@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the online engine: full-epoch scheduling runs on
+//! Table I-style workloads of growing size (the microbenchmark counterpart
+//! of the Figure 11 scalability experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf};
+use webmon_sim::{Experiment, ExperimentConfig, TraceSpec};
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+fn workload(n_profiles: u32) -> Experiment {
+    Experiment::materialize(ExperimentConfig {
+        n_resources: 500,
+        horizon: 1000,
+        budget: 1,
+        workload: WorkloadConfig {
+            n_profiles,
+            rank: RankSpec::UpTo { k: 5, beta: 0.0 },
+            resource_alpha: 0.3,
+            length: EiLength::Overwrite { max_len: Some(10) },
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Poisson { lambda: 20.0 },
+        noise: None,
+        repetitions: 1,
+        seed: 0xBE7C,
+    })
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_full_run");
+    group.sample_size(10);
+    for m in [50u32, 100, 200] {
+        let exp = workload(m);
+        let instance = &exp.workloads()[0].instance;
+        group.throughput(Throughput::Elements(instance.total_eis() as u64));
+        for (name, policy) in [
+            ("S-EDF", &SEdf as &dyn Policy),
+            ("MRSF", &Mrsf),
+            ("M-EDF", &MEdf),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, m),
+                instance,
+                |b, inst| {
+                    b.iter(|| OnlineEngine::run(inst, policy, EngineConfig::preemptive()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmark pitting the offline Local-Ratio pipeline (Prop. 5
+//! expansion + decomposition + unwinding) against a full online run on the
+//! same instance — the microbenchmark behind the §V-D runtime table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::offline::{local_ratio_schedule, LocalRatioConfig};
+use webmon_core::policy::Mrsf;
+use webmon_sim::{Experiment, ExperimentConfig, TraceSpec};
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+fn workload(n_profiles: u32) -> Experiment {
+    Experiment::materialize(ExperimentConfig {
+        n_resources: 500,
+        horizon: 1000,
+        budget: 1,
+        workload: WorkloadConfig {
+            n_profiles,
+            rank: RankSpec::Fixed(5),
+            resource_alpha: 0.3,
+            // Width-2 EIs exercise the Prop. 5 expansion (32× jobs).
+            length: EiLength::Window(1),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Poisson { lambda: 20.0 },
+        noise: None,
+        repetitions: 1,
+        seed: 0xBE7D,
+    })
+}
+
+fn offline_vs_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_vs_online");
+    group.sample_size(10);
+    for m in [50u32, 100] {
+        let exp = workload(m);
+        let instance = &exp.workloads()[0].instance;
+        group.bench_with_input(BenchmarkId::new("online_mrsf_p", m), instance, |b, inst| {
+            b.iter(|| OnlineEngine::run(inst, &Mrsf, EngineConfig::preemptive()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("offline_local_ratio", m),
+            instance,
+            |b, inst| {
+                b.iter(|| local_ratio_schedule(inst, LocalRatioConfig::default()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_vs_online);
+criterion_main!(benches);

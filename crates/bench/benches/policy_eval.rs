@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the per-candidate policy evaluation cost —
+//! the paper's `τ(Φ)` (Appendix B: S-EDF and MRSF are `Θ(1)`, M-EDF is
+//! `O(k)` in the rank).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use webmon_core::model::{Ei, ResourceId};
+use webmon_core::policy::{
+    Candidate, CeiView, MEdf, Mrsf, Policy, PolicyContext, ResourceStats, SEdf, Wic,
+};
+
+/// Builds a rank-`k` CEI with staggered windows and scores its first EI.
+fn bench_policy(c: &mut Criterion, policy: &dyn Policy, k: usize) {
+    let eis: Vec<Ei> = (0..k)
+        .map(|i| Ei::new(ResourceId(i as u32), 10 * i as u32, 10 * i as u32 + 8))
+        .collect();
+    let captured = vec![false; k];
+    let active = vec![1u32; k];
+    let updates = vec![false; k];
+    let ctx = PolicyContext {
+        now: 3,
+        resources: ResourceStats {
+            active_eis: &active,
+            has_update: &updates,
+        },
+    };
+    let cand = Candidate {
+        ei: eis[0],
+        ei_index: 0,
+        cei: CeiView {
+            eis: &eis,
+            captured: &captured,
+            n_captured: 0,
+            required: k as u16,
+            weight: 1.0,
+            profile_rank: k as u16,
+        },
+    };
+    c.bench_with_input(
+        BenchmarkId::new(policy.name(), k),
+        &cand,
+        |b, cand| b.iter(|| black_box(policy.score(&ctx, black_box(cand)))),
+    );
+}
+
+fn policy_eval(c: &mut Criterion) {
+    for k in [1usize, 5, 20] {
+        bench_policy(c, &SEdf, k);
+        bench_policy(c, &Mrsf, k);
+        bench_policy(c, &MEdf, k);
+        bench_policy(c, &Wic::paper(), k);
+    }
+}
+
+criterion_group!(benches, policy_eval);
+criterion_main!(benches);

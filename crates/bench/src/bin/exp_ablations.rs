@@ -1,0 +1,7 @@
+//! Prints the DESIGN.md §5 ablation tables. Pass `--quick` for a fast smoke
+//! run.
+
+fn main() {
+    let scale = webmon_bench::Scale::from_args();
+    webmon_bench::print_tables(&webmon_bench::ablations::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Prints the fig15 experiment tables. Pass `--quick` for a fast smoke run.
+
+fn main() {
+    let scale = webmon_bench::Scale::from_args();
+    webmon_bench::print_tables(&webmon_bench::fig15::run(scale));
+}

@@ -1,0 +1,7 @@
+//! Prints the §V-D offline-vs-online runtime table. Pass `--quick` for a
+//! fast smoke run.
+
+fn main() {
+    let scale = webmon_bench::Scale::from_args();
+    webmon_bench::print_tables(&webmon_bench::runtime_offline::run(scale));
+}

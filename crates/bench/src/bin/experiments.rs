@@ -1,0 +1,65 @@
+//! Runs the full experiment suite — every table and figure of Section V
+//! plus the ablations — printing each table as it completes and, when
+//! `--out <path>` is given, writing a Markdown report (the measured half of
+//! `EXPERIMENTS.md`).
+//!
+//! Usage: `cargo run --release -p webmon-bench --bin experiments [--quick] [--out report.md]`
+
+use std::time::Instant;
+use webmon_bench::{
+    ablations, extensions, fig09, fig10, fig11, fig12, fig13, fig14, fig15, runtime_offline,
+    table1, Scale,
+};
+use webmon_sim::Table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = out_arg();
+
+    type Runner = fn(Scale) -> Vec<Table>;
+    let suite: Vec<(&str, Runner)> = vec![
+        ("Table I", table1::run),
+        ("Figure 9", fig09::run),
+        ("Figure 10", fig10::run),
+        ("§V-D runtime", runtime_offline::run),
+        ("Figure 11", fig11::run),
+        ("Figure 12", fig12::run),
+        ("Figure 13", fig13::run),
+        ("Figure 14", fig14::run),
+        ("Figure 15", fig15::run),
+        ("Ablations", ablations::run),
+        ("Extensions", extensions::run),
+    ];
+
+    let mut report = String::from("# Measured results\n\n");
+    report.push_str(&format!(
+        "Scale: `{scale:?}` — regenerate with `cargo run --release -p webmon-bench --bin experiments{}`.\n\n",
+        if scale == Scale::Quick { " --quick" } else { "" }
+    ));
+
+    let total = Instant::now();
+    for (name, runner) in suite {
+        eprintln!(">> running {name} ...");
+        let start = Instant::now();
+        let tables = runner(scale);
+        eprintln!(">> {name} done in {:.1?}", start.elapsed());
+        for t in &tables {
+            println!("{t}");
+            report.push_str(&t.to_markdown());
+            report.push('\n');
+        }
+    }
+    eprintln!(">> suite done in {:.1?}", total.elapsed());
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, report).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(">> wrote {path}");
+    }
+}
+
+fn out_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+}

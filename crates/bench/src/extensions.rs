@@ -1,0 +1,230 @@
+//! Experiments for the paper's named future-work extensions (§III, §VII):
+//! client profile utilities, threshold ("alternatives") CEI semantics, and
+//! varying probe costs. These go beyond the paper's evaluation — there are
+//! no paper numbers to compare against — but each table checks the
+//! qualitative property the extension exists to deliver.
+
+use crate::Scale;
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::{Instance, ProbeCosts};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, UtilityWeighted};
+use webmon_sim::{Experiment, ExperimentConfig, Summary, Table, TraceSpec};
+use webmon_streams::rng::SimRng;
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+/// The contended base workload all three extension tables share.
+fn base_config(scale: Scale) -> ExperimentConfig {
+    let (n_resources, n_profiles) = match scale {
+        Scale::Quick => (150, 40),
+        Scale::Paper => (600, 100),
+    };
+    ExperimentConfig {
+        n_resources,
+        horizon: 1000,
+        budget: 1,
+        workload: WorkloadConfig {
+            n_profiles,
+            rank: RankSpec::UpTo { k: 5, beta: 0.0 },
+            resource_alpha: 0.3,
+            length: EiLength::Overwrite { max_len: Some(10) },
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Poisson { lambda: 20.0 },
+        noise: None,
+        repetitions: scale.repetitions(),
+        seed: 0xE87E,
+    }
+}
+
+/// Rebuilds an instance with ~20% of CEIs carrying weight 5 (VIP requests).
+fn weighted_variant(instance: &Instance, rng: &SimRng) -> Instance {
+    let mut rng = rng.fork("weights");
+    let mut out = instance.clone();
+    for cei in &mut out.ceis {
+        if rng.chance(0.2) {
+            *cei = cei.clone().with_weight(5.0);
+        }
+    }
+    out
+}
+
+/// Rebuilds an instance where every multi-EI CEI needs only a majority of
+/// its EIs (`ceil(size / 2)`), the §VII "alternatives" semantics.
+fn majority_variant(instance: &Instance) -> Instance {
+    let mut out = instance.clone();
+    for cei in &mut out.ceis {
+        if cei.size() > 1 {
+            let required = cei.size().div_ceil(2) as u16;
+            *cei = cei.clone().with_required(required);
+        }
+    }
+    out
+}
+
+/// Per-resource probe costs in {1, 2, 3}, skewed so popular (low-id)
+/// resources are the expensive ones — the paper's "searching a blog costs
+/// more than reading a ticker".
+fn costed_variant(instance: &Instance, rng: &SimRng) -> Instance {
+    let mut rng = rng.fork("costs");
+    let costs: Vec<u32> = (0..instance.n_resources)
+        .map(|r| {
+            if r < instance.n_resources / 10 {
+                3
+            } else if rng.chance(0.3) {
+                2
+            } else {
+                1
+            }
+        })
+        .collect();
+    instance.clone().with_costs(ProbeCosts::per_resource(costs))
+}
+
+/// Mean of a metric over per-repetition engine runs of `policy` on
+/// transformed instances.
+fn run_mean(
+    instances: &[Instance],
+    policy: &dyn Policy,
+    metric: impl Fn(&webmon_core::RunStats) -> f64,
+) -> f64 {
+    let samples: Vec<f64> = instances
+        .iter()
+        .map(|inst| {
+            let run = OnlineEngine::run(inst, policy, EngineConfig::preemptive());
+            metric(&run.stats)
+        })
+        .collect();
+    Summary::from_samples(&samples).mean
+}
+
+/// Runs all three extension tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let exp = Experiment::materialize(base_config(scale));
+    let rng = SimRng::new(0xE87E);
+    let mut out = Vec::new();
+
+    // ---- 1. Profile utilities (§VII). -------------------------------
+    let weighted: Vec<Instance> = exp
+        .workloads()
+        .iter()
+        .map(|w| weighted_variant(&w.instance, &rng))
+        .collect();
+    let mut t = Table::with_headers(
+        "Extension — client profile utilities (§VII): 20% of CEIs weigh 5×",
+        &["policy", "weighted completeness", "plain completeness"],
+    );
+    let u_mrsf = UtilityWeighted::new(Mrsf, "U-MRSF(P)");
+    let u_medf = UtilityWeighted::new(MEdf, "U-M-EDF(P)");
+    for policy in [&Mrsf as &dyn Policy, &u_mrsf, &MEdf, &u_medf] {
+        t.push_numeric_row(
+            policy.name(),
+            &[
+                run_mean(&weighted, policy, |s| s.weighted_completeness()),
+                run_mean(&weighted, policy, |s| s.completeness()),
+            ],
+            4,
+        );
+    }
+    out.push(t);
+
+    // ---- 2. Threshold semantics (§VII "alternatives"). --------------
+    let majority: Vec<Instance> = exp
+        .workloads()
+        .iter()
+        .map(|w| majority_variant(&w.instance))
+        .collect();
+    let plain: Vec<Instance> = exp.workloads().iter().map(|w| w.instance.clone()).collect();
+    let mut t = Table::with_headers(
+        "Extension — threshold semantics (§VII): AND vs majority (⌈|η|/2⌉-of-|η|)",
+        &["policy", "AND completeness", "majority completeness"],
+    );
+    for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+        t.push_numeric_row(
+            format!("{}(P)", policy.name()),
+            &[
+                run_mean(&plain, policy, |s| s.completeness()),
+                run_mean(&majority, policy, |s| s.completeness()),
+            ],
+            4,
+        );
+    }
+    out.push(t);
+
+    // ---- 3. Varying probe costs (§III). ------------------------------
+    let costed: Vec<Instance> = exp
+        .workloads()
+        .iter()
+        .map(|w| costed_variant(&w.instance, &rng))
+        .collect();
+    let mut t = Table::with_headers(
+        "Extension — varying probe costs (§III): popular resources cost up to 3×",
+        &["policy", "uniform-cost completeness", "varying-cost completeness", "budget util."],
+    );
+    for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+        t.push_numeric_row(
+            format!("{}(P)", policy.name()),
+            &[
+                run_mean(&plain, policy, |s| s.completeness()),
+                run_mean(&costed, policy, |s| s.completeness()),
+                run_mean(&costed, policy, |s| s.budget_utilization()),
+            ],
+            4,
+        );
+    }
+    out.push(t);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_tables() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 3);
+    }
+
+    #[test]
+    fn utility_wrapper_improves_weighted_completeness() {
+        let tables = run(Scale::Quick);
+        let rows = &tables[0].rows;
+        let mrsf: f64 = rows[0][1].parse().unwrap();
+        let u_mrsf: f64 = rows[1][1].parse().unwrap();
+        assert!(
+            u_mrsf >= mrsf - 0.01,
+            "U-MRSF weighted ({u_mrsf}) should not fall below MRSF ({mrsf})"
+        );
+    }
+
+    #[test]
+    fn majority_semantics_easier_than_and() {
+        let tables = run(Scale::Quick);
+        for row in &tables[1].rows {
+            let and: f64 = row[1].parse().unwrap();
+            let majority: f64 = row[2].parse().unwrap();
+            assert!(
+                majority >= and,
+                "{}: majority ({majority}) must dominate AND ({and})",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn varying_costs_reduce_completeness() {
+        let tables = run(Scale::Quick);
+        for row in &tables[2].rows {
+            let uniform: f64 = row[1].parse().unwrap();
+            let costed: f64 = row[2].parse().unwrap();
+            assert!(
+                costed <= uniform + 0.01,
+                "{}: costs should not increase completeness ({uniform} → {costed})",
+                row[0]
+            );
+        }
+    }
+}

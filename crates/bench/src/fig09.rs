@@ -1,0 +1,139 @@
+//! Figure 9 — sensitivity to preemption: completeness of each online policy
+//! with and without preemption.
+//!
+//! Paper setting: real auction trace, `AuctionWatch(upto 3)` profiles,
+//! `window(20)` EIs, budget `C = 2`, 400 auction resources (≈1590 CEIs /
+//! 3599 simple EIs at `m = 100`).
+
+use crate::Scale;
+use webmon_sim::{Experiment, ExperimentConfig, PolicySpec, Table, TraceSpec};
+use webmon_streams::auction::AuctionTraceConfig;
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+/// The Figure 9 experiment configuration.
+pub fn config(scale: Scale) -> ExperimentConfig {
+    // m = 160 lands the generated workload at the paper's reported size
+    // (~1590 CEIs / ~3600 EIs on 400 auctions) and creates enough
+    // contention for preemption to matter.
+    let (n_auctions, n_profiles) = match scale {
+        Scale::Quick => (100, 60),
+        Scale::Paper => (400, 160),
+    };
+    ExperimentConfig {
+        n_resources: n_auctions,
+        horizon: 1000,
+        budget: 2,
+        workload: WorkloadConfig {
+            n_profiles,
+            rank: RankSpec::UpTo { k: 3, beta: 0.0 },
+            resource_alpha: 0.3,
+            length: EiLength::Window(20),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Auction(AuctionTraceConfig::scaled(n_auctions, 1000)),
+        noise: None,
+        repetitions: scale.repetitions(),
+        seed: 0x0F19,
+    }
+}
+
+/// The synthetic companion setting ("most of the parameter settings that
+/// were tested"): mixed-rank profiles over overwrite-length EIs, where the
+/// preemption benefit of the rank-aware policies shows clearly.
+pub fn synthetic_config(scale: Scale) -> ExperimentConfig {
+    let (n_resources, n_profiles) = match scale {
+        Scale::Quick => (200, 40),
+        Scale::Paper => (1000, 100),
+    };
+    ExperimentConfig {
+        n_resources,
+        horizon: 1000,
+        budget: 2,
+        workload: WorkloadConfig {
+            n_profiles,
+            rank: RankSpec::UpTo { k: 5, beta: 0.0 },
+            resource_alpha: 0.3,
+            length: EiLength::Overwrite { max_len: Some(10) },
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Poisson { lambda: 20.0 },
+        noise: None,
+        repetitions: scale.repetitions(),
+        seed: 0x0F19 + 1,
+    }
+}
+
+/// Runs the experiment and renders the preemption comparison tables: the
+/// paper's auction setting plus the synthetic companion.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (cfg, caption) in [
+        (config(scale), "auction trace, w=20, C=2".to_string()),
+        (
+            synthetic_config(scale),
+            "synthetic Poisson λ=20, overwrite ω=10, C=2".to_string(),
+        ),
+    ] {
+        let exp = Experiment::materialize(cfg);
+        let (ceis, eis) = exp.mean_sizes();
+        let results = exp.run_roster(&PolicySpec::preemption_grid());
+
+        let mut t = Table::with_headers(
+            format!(
+                "Figure 9 — preemption sensitivity ({caption}; ~{ceis:.0} CEIs / {eis:.0} EIs)"
+            ),
+            &["policy", "completeness (NP)", "completeness (P)", "P − NP"],
+        );
+        for pair in results.chunks(2) {
+            let np = &pair[0];
+            let p = &pair[1];
+            let name = np.label.trim_end_matches("(NP)").to_string();
+            t.push_numeric_row(
+                name,
+                &[
+                    np.completeness.mean,
+                    p.completeness.mean,
+                    p.completeness.mean - np.completeness.mean,
+                ],
+                4,
+            );
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_two_tables_of_three_policy_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            let labels: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+            assert_eq!(labels, vec!["S-EDF", "MRSF", "M-EDF"]);
+        }
+    }
+
+    /// The paper's headline: MRSF and M-EDF "almost always perform better
+    /// with pre-emption" — visible on the synthetic companion setting.
+    #[test]
+    fn preemption_helps_rank_aware_policies_on_synthetic() {
+        let tables = run(Scale::Quick);
+        for row in &tables[1].rows[1..] {
+            let np: f64 = row[1].parse().unwrap();
+            let p: f64 = row[2].parse().unwrap();
+            assert!(
+                p >= np - 0.01,
+                "{}: preemption should not hurt (NP {np}, P {p})",
+                row[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 11 — runtime scalability of the online policies as the workload
+//! grows (profiles up to 2500, update intensity 2.5× higher than §V-D).
+//!
+//! The paper observes a linear runtime trend per EI; the offline
+//! approximation is omitted "since it is very high".
+
+use crate::Scale;
+use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec};
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+/// Configuration for one profile-count level.
+pub fn config(n_profiles: u32, scale: Scale) -> ExperimentConfig {
+    let lambda = match scale {
+        Scale::Quick => 20.0,
+        Scale::Paper => 50.0,
+    };
+    ExperimentConfig {
+        n_resources: 1000,
+        horizon: 1000,
+        budget: 1,
+        workload: WorkloadConfig {
+            n_profiles,
+            rank: RankSpec::Fixed(5),
+            resource_alpha: 0.3,
+            length: EiLength::Overwrite { max_len: Some(10) },
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Poisson { lambda },
+        noise: None,
+        // Runtime measurements: a few repetitions suffice and keep the
+        // 2500-profile level tractable.
+        repetitions: scale.repetitions().min(3),
+        seed: 0x0F11,
+    }
+}
+
+/// Runs the scalability sweep.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let levels: &[u32] = match scale {
+        Scale::Quick => &[100, 200],
+        Scale::Paper => &[500, 1000, 1500, 2000, 2500],
+    };
+    let specs = [
+        PolicySpec::np(PolicyKind::SEdf),
+        PolicySpec::p(PolicyKind::Mrsf),
+        PolicySpec::p(PolicyKind::MEdf),
+    ];
+
+    let mut t = Table::with_headers(
+        "Figure 11 — online runtime scalability (µs/EI; Poisson, rank 5, C=1)",
+        &[
+            "profiles",
+            "CEIs",
+            "EIs",
+            "S-EDF(NP) µs/EI",
+            "MRSF(P) µs/EI",
+            "M-EDF(P) µs/EI",
+        ],
+    );
+
+    for &m in levels {
+        let exp = Experiment::materialize(config(m, scale));
+        let (ceis, eis) = exp.mean_sizes();
+        let mut cells = vec![ceis, eis];
+        for &s in &specs {
+            cells.push(exp.run_spec(s).micros_per_ei.mean);
+        }
+        t.push_numeric_row(m.to_string(), &cells, 2);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_runtime_for_each_level() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables[0].rows.len(), 2);
+        for row in &tables[0].rows {
+            for cell in &row[3..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0, "runtime must be positive");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_grows_with_profiles() {
+        let tables = run(Scale::Quick);
+        let eis_small: f64 = tables[0].rows[0][2].parse().unwrap();
+        let eis_large: f64 = tables[0].rows[1][2].parse().unwrap();
+        assert!(eis_large > eis_small);
+    }
+}

@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+
+//! # webmon-bench
+//!
+//! The experiment harness: regenerates **every table and figure** of the
+//! evaluation section (Section V) of *Web Monitoring 2.0*.
+//!
+//! Each module corresponds to one artifact of the paper and exposes a
+//! `run(scale) -> Vec<Table>` function; each `exp_*` binary in `src/bin/`
+//! prints that module's tables, and the `experiments` binary runs the full
+//! suite (writing Markdown suitable for `EXPERIMENTS.md`).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — controlled parameters |
+//! | [`fig09`] | Fig. 9 — preemptive vs non-preemptive |
+//! | [`fig10`] | Fig. 10 — online policies vs offline approximation |
+//! | [`runtime_offline`] | §V-D — offline vs online runtime (msec/EI) |
+//! | [`fig11`] | Fig. 11 — online runtime scalability |
+//! | [`fig12`] | Fig. 12 — completeness vs update intensity |
+//! | [`fig13`] | Fig. 13 — completeness vs budget |
+//! | [`fig14`] | Fig. 14 — skew in resource access (α) + rank variance (β) |
+//! | [`fig15`] | Fig. 15 — sensitivity to update-model noise (FPN(Z)) |
+//! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
+//! | [`extensions`] | §III/§VII future-work extensions: utilities, thresholds, probe costs |
+//!
+//! Criterion microbenchmarks live in `benches/` (policy evaluation cost
+//! `τ(Φ)`, engine throughput, offline-vs-online cost).
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod runtime_offline;
+pub mod table1;
+
+use webmon_sim::Table;
+
+/// Experiment scale: `Paper` reproduces the paper's dimensions; `Quick`
+/// shrinks sizes and repetitions for smoke tests and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes, 2 repetitions — seconds per experiment.
+    Quick,
+    /// The paper's dimensions, 10 repetitions.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--quick` from process args; defaults to `Paper`.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Repetition count at this scale (paper: 10).
+    pub fn repetitions(self) -> u32 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Paper => 10,
+        }
+    }
+}
+
+/// Prints tables to stdout (the contract of every `exp_*` binary).
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{t}");
+    }
+}
+
+/// Renders tables as Markdown (for `EXPERIMENTS.md`).
+pub fn tables_to_markdown(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(Table::to_markdown)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_repetitions() {
+        assert_eq!(Scale::Quick.repetitions(), 2);
+        assert_eq!(Scale::Paper.repetitions(), 10);
+    }
+
+    #[test]
+    fn markdown_concatenates_tables() {
+        let mut t = Table::with_headers("A", &["x"]);
+        t.push_row(vec!["1".into()]);
+        let md = tables_to_markdown(&[t.clone(), t]);
+        assert_eq!(md.matches("**A**").count(), 2);
+    }
+}

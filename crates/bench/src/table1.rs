@@ -1,0 +1,112 @@
+//! Table I — the controlled parameters and their baseline values.
+
+use crate::Scale;
+use webmon_sim::{ExperimentConfig, Table, TraceSpec};
+use webmon_workload::{EiLength, RankSpec};
+
+/// Renders Table I from the live [`ExperimentConfig::paper_baseline`] so the
+/// printed table can never drift from the configuration the experiments
+/// actually use.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let cfg = ExperimentConfig::paper_baseline();
+    let omega = match cfg.workload.length {
+        EiLength::Overwrite { max_len } => {
+            max_len.map_or("∞".to_string(), |m| m.to_string())
+        }
+        EiLength::Window(w) => format!("window({w})"),
+    };
+    let (rank, beta) = match cfg.workload.rank {
+        RankSpec::Fixed(k) => (format!("= {k}"), "-".to_string()),
+        RankSpec::UpTo { k, beta } => (format!("≤ {k}"), format!("{beta}")),
+    };
+    let lambda = match cfg.trace {
+        TraceSpec::Poisson { lambda } => lambda.to_string(),
+        _ => "-".to_string(),
+    };
+
+    let mut t = Table::with_headers(
+        "Table I — Controlled parameters (range / baseline)",
+        &["parameter", "name", "range", "baseline"],
+    );
+    let rows: Vec<[String; 4]> = vec![
+        [
+            "ω (chronons)".into(),
+            "Max. EI length".into(),
+            "[0, 20]".into(),
+            omega,
+        ],
+        [
+            "n".into(),
+            "Number of resources".into(),
+            "[100, 2000]".into(),
+            cfg.n_resources.to_string(),
+        ],
+        [
+            "m".into(),
+            "Number of profiles".into(),
+            "[100, 2500]".into(),
+            cfg.workload.n_profiles.to_string(),
+        ],
+        [
+            "K".into(),
+            "Number of chronons".into(),
+            "1000".into(),
+            cfg.horizon.to_string(),
+        ],
+        [
+            "C".into(),
+            "Budget limitation".into(),
+            "[1, 5]".into(),
+            cfg.budget.to_string(),
+        ],
+        [
+            "λ".into(),
+            "Avg. update intensity".into(),
+            "[10, 50]".into(),
+            lambda,
+        ],
+        [
+            "rank(P)".into(),
+            "Max. profile rank".into(),
+            "[1, 5]".into(),
+            rank,
+        ],
+        [
+            "α".into(),
+            "Inter preferences (resource skew)".into(),
+            "[0, 1]".into(),
+            cfg.workload.resource_alpha.to_string(),
+        ],
+        ["β".into(), "Intra preferences (rank skew)".into(), "[0, 2]".into(), beta],
+        [
+            "Φ".into(),
+            "Policy".into(),
+            "all".into(),
+            "all".into(),
+        ],
+    ];
+    for r in rows {
+        t.push_row(r.to_vec());
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_parameters() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 10);
+        assert!(tables[0].rows.iter().any(|r| r[0] == "λ"));
+    }
+
+    #[test]
+    fn baseline_cells_come_from_config() {
+        let tables = run(Scale::Quick);
+        let k_row = tables[0].rows.iter().find(|r| r[0] == "K").unwrap();
+        assert_eq!(k_row[3], "1000");
+    }
+}

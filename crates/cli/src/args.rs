@@ -1,0 +1,175 @@
+//! A small hand-rolled argument parser (`--key value` / `--flag` pairs), so
+//! the CLI stays inside the workspace's approved dependency set.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// `--flag`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional argument (the subcommand).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given twice.
+    Duplicate(String),
+    /// A positional argument appeared after options began.
+    UnexpectedPositional(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Duplicate(k) => write!(f, "option --{k} given more than once"),
+            ArgError::UnexpectedPositional(p) => {
+                write!(f, "unexpected positional argument '{p}'")
+            }
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "--{key} {value}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// `--key value` becomes an option; `--key` followed by another `--…` or
+    /// nothing becomes a flag; the first bare token is the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
+        let mut it = args.into_iter().peekable();
+        let mut command = None;
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let takes_value = it
+                    .peek()
+                    .is_some_and(|next| !next.starts_with("--"));
+                if takes_value {
+                    let value = it.next().expect("peeked");
+                    if options.insert(key.to_string(), value).is_some() {
+                        return Err(ArgError::Duplicate(key.to_string()));
+                    }
+                } else if flags.contains(&key.to_string()) {
+                    return Err(ArgError::Duplicate(key.to_string()));
+                } else {
+                    flags.push(key.to_string());
+                }
+            } else if command.is_none() && options.is_empty() && flags.is_empty() {
+                command = Some(tok);
+            } else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// The raw string value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// `true` if `--key` was given as a bare flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A parsed numeric/typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(toks.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommand_options_and_flags() {
+        let a = parse(&["run", "--lambda", "20", "--quick", "--policy", "mrsf"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("lambda"), Some("20"));
+        assert_eq!(a.get("policy"), Some("mrsf"));
+        assert!(a.flag("quick"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn empty_line_is_ok() {
+        let a = parse(&[]).unwrap();
+        assert!(a.command.is_none());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert_eq!(
+            parse(&["run", "--x", "1", "--x", "2"]),
+            Err(ArgError::Duplicate("x".into()))
+        );
+    }
+
+    #[test]
+    fn late_positional_rejected() {
+        assert!(matches!(
+            parse(&["run", "--x", "1", "stray"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn typed_access_with_default() {
+        let a = parse(&["run", "--budget", "3"]).unwrap();
+        assert_eq!(a.get_parsed("budget", 1u32, "an integer").unwrap(), 3);
+        assert_eq!(a.get_parsed("missing", 7u32, "an integer").unwrap(), 7);
+        let bad = parse(&["run", "--budget", "x"]).unwrap();
+        assert!(bad.get_parsed("budget", 1u32, "an integer").is_err());
+    }
+
+    #[test]
+    fn flag_then_option_order_is_fine() {
+        let a = parse(&["sweep", "--quick", "--param", "budget"]).unwrap();
+        assert!(a.flag("quick"));
+        assert_eq!(a.get("param"), Some("budget"));
+    }
+}

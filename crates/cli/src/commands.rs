@@ -1,0 +1,332 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use webmon_sim::{
+    Experiment, ExperimentConfig, NoiseSpec, PolicyKind, PolicySpec, Report, Table, TraceSpec,
+};
+use webmon_streams::auction::AuctionTraceConfig;
+use webmon_streams::fpn::FpnModel;
+use webmon_streams::news::NewsTraceConfig;
+use webmon_streams::rng::SimRng;
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+webmon — Web Monitoring 2.0 (ICDE 2009) reproduction
+
+USAGE:
+    webmon <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run          Run one monitoring experiment and print the policy table
+    sweep        Sweep one parameter (budget | lambda | alpha | rank)
+    trace        Generate a trace and print its statistics
+    experiments  Run the full paper experiment suite (all figures/tables)
+    help         Show this message
+
+COMMON OPTIONS (run / sweep):
+    --trace poisson|auction|news   update-event source        [poisson]
+    --lambda <f64>                 Poisson intensity/epoch    [20]
+    --resources <u32>              number of resources n      [200]
+    --horizon <u32>                epoch length K             [1000]
+    --budget <u32>                 probes per chronon C       [1]
+    --profiles <u32>               number of profiles m       [50]
+    --rank <u16>                   max profile rank k         [5]
+    --fixed-rank                   all CEIs exactly rank k (default: up to k)
+    --alpha <f64>                  resource-popularity skew   [0.3]
+    --beta <f64>                   rank-variance skew         [0]
+    --window <u32>                 window(w) EIs instead of overwrite(ω=10)
+    --noise-z <f64>                FPN(Z) noise level (1 = none)
+    --reps <u32>                   repetitions                [5]
+    --seed <u64>                   master seed                [1234]
+
+SWEEP OPTIONS:
+    --param budget|lambda|alpha|rank   the swept parameter    [budget]
+
+TRACE OPTIONS:
+    --trace poisson|auction|news, --resources, --horizon, --lambda, --seed
+
+EXPERIMENTS OPTIONS:
+    --quick                        smoke-test sizes
+
+OUTPUT:
+    --json                         machine-readable JSON (run / sweep)
+";
+
+/// Runs the parsed command line; returns the process exit code.
+pub fn dispatch(args: &Args) -> Result<i32, ArgError> {
+    match args.command.as_deref() {
+        Some("run") => cmd_run(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("trace") => cmd_trace(args),
+        Some("experiments") => cmd_experiments(args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            Ok(2)
+        }
+    }
+}
+
+/// Builds an `ExperimentConfig` from common options.
+fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
+    let n_resources: u32 = args.get_parsed("resources", 200, "an integer")?;
+    let horizon: u32 = args.get_parsed("horizon", 1000, "an integer")?;
+    let lambda: f64 = args.get_parsed("lambda", 20.0, "a number")?;
+    let rank: u16 = args.get_parsed("rank", 5, "an integer")?;
+    let beta: f64 = args.get_parsed("beta", 0.0, "a number")?;
+
+    let trace = match args.get("trace").unwrap_or("poisson") {
+        "auction" => TraceSpec::Auction(AuctionTraceConfig::scaled(n_resources, horizon)),
+        "news" => TraceSpec::News(NewsTraceConfig::scaled(n_resources, horizon)),
+        _ => TraceSpec::Poisson { lambda },
+    };
+    let length = match args.get("window") {
+        Some(_) => EiLength::Window(args.get_parsed("window", 10, "an integer")?),
+        None => EiLength::Overwrite { max_len: Some(10) },
+    };
+    let noise = match args.get("noise-z") {
+        Some(_) => {
+            let z: f64 = args.get_parsed("noise-z", 1.0, "a number in [0,1]")?;
+            Some(NoiseSpec::Fpn(FpnModel::new(z, 10)))
+        }
+        None => None,
+    };
+
+    Ok(ExperimentConfig {
+        n_resources,
+        horizon,
+        budget: args.get_parsed("budget", 1, "an integer")?,
+        workload: WorkloadConfig {
+            n_profiles: args.get_parsed("profiles", 50, "an integer")?,
+            rank: if args.flag("fixed-rank") {
+                RankSpec::Fixed(rank)
+            } else {
+                RankSpec::UpTo { k: rank, beta }
+            },
+            resource_alpha: args.get_parsed("alpha", 0.3, "a number")?,
+            length,
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        },
+        trace,
+        noise,
+        repetitions: args.get_parsed("reps", 5, "an integer")?,
+        seed: args.get_parsed("seed", 1234, "an integer")?,
+    })
+}
+
+fn roster_table(title: &str, exp: &Experiment) -> Table {
+    let mut t = Table::with_headers(
+        title,
+        &["policy", "completeness", "EI completeness", "µs/EI", "budget util."],
+    );
+    for spec in PolicySpec::paper_roster() {
+        let agg = exp.run_spec(spec);
+        t.push_numeric_row(
+            agg.label.clone(),
+            &[
+                agg.completeness.mean,
+                agg.ei_completeness.mean,
+                agg.micros_per_ei.mean,
+                agg.budget_utilization.mean,
+            ],
+            4,
+        );
+    }
+    t
+}
+
+fn cmd_run(args: &Args) -> Result<i32, ArgError> {
+    let cfg = config_from(args)?;
+    let exp = Experiment::materialize(cfg);
+    if args.flag("json") {
+        let aggregates: Vec<_> = PolicySpec::paper_roster()
+            .into_iter()
+            .map(|s| exp.run_spec(s))
+            .collect();
+        let report = Report::from_tables(vec![roster_table("webmon run", &exp)])
+            .with_aggregates(aggregates);
+        println!("{}", report.to_json());
+        return Ok(0);
+    }
+    let (ceis, eis) = exp.mean_sizes();
+    println!(
+        "workload: ~{ceis:.0} CEIs / ~{eis:.0} EIs per repetition ({} reps)\n",
+        exp.config().repetitions
+    );
+    println!("{}", roster_table("webmon run", &exp));
+    Ok(0)
+}
+
+fn cmd_sweep(args: &Args) -> Result<i32, ArgError> {
+    let param = args.get("param").unwrap_or("budget").to_string();
+    let base = config_from(args)?;
+    let specs = [
+        PolicySpec::np(PolicyKind::SEdf),
+        PolicySpec::p(PolicyKind::Mrsf),
+        PolicySpec::p(PolicyKind::MEdf),
+    ];
+    let mut t = Table::with_headers(
+        format!("webmon sweep — {param}"),
+        &[param.as_str(), "S-EDF(NP)", "MRSF(P)", "M-EDF(P)"],
+    );
+    let points: Vec<(String, ExperimentConfig)> = match param.as_str() {
+        "lambda" => [10.0, 20.0, 30.0, 40.0, 50.0]
+            .iter()
+            .map(|&l| {
+                let mut c = base.clone();
+                c.trace = TraceSpec::Poisson { lambda: l };
+                (format!("{l}"), c)
+            })
+            .collect(),
+        "alpha" => [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&a| {
+                let mut c = base.clone();
+                c.workload.resource_alpha = a;
+                (format!("{a}"), c)
+            })
+            .collect(),
+        "rank" => (1..=5u16)
+            .map(|k| {
+                let mut c = base.clone();
+                c.workload.rank = RankSpec::Fixed(k);
+                (format!("{k}"), c)
+            })
+            .collect(),
+        _ => (1..=5u32)
+            .map(|b| {
+                let mut c = base.clone();
+                c.budget = b;
+                (format!("{b}"), c)
+            })
+            .collect(),
+    };
+    for (label, cfg) in points {
+        let exp = Experiment::materialize(cfg);
+        let vals: Vec<f64> = specs
+            .iter()
+            .map(|&s| exp.run_spec(s).completeness.mean)
+            .collect();
+        t.push_numeric_row(label, &vals, 4);
+    }
+    if args.flag("json") {
+        println!("{}", Report::from_tables(vec![t]).to_json());
+    } else {
+        println!("{t}");
+    }
+    Ok(0)
+}
+
+fn cmd_trace(args: &Args) -> Result<i32, ArgError> {
+    let n_resources: u32 = args.get_parsed("resources", 100, "an integer")?;
+    let horizon: u32 = args.get_parsed("horizon", 1000, "an integer")?;
+    let lambda: f64 = args.get_parsed("lambda", 20.0, "a number")?;
+    let seed: u64 = args.get_parsed("seed", 1234, "an integer")?;
+    let spec = match args.get("trace").unwrap_or("poisson") {
+        "auction" => TraceSpec::Auction(AuctionTraceConfig::scaled(n_resources, horizon)),
+        "news" => TraceSpec::News(NewsTraceConfig::scaled(n_resources, horizon)),
+        _ => TraceSpec::Poisson { lambda },
+    };
+    let trace = spec.generate(n_resources, horizon, &SimRng::new(seed));
+    let mut counts: Vec<usize> = (0..trace.n_resources())
+        .map(|r| trace.events_of(r).len())
+        .collect();
+    counts.sort_unstable();
+    let total = trace.total_events();
+    println!("resources: {}", trace.n_resources());
+    println!("horizon:   {} chronons", trace.horizon());
+    println!("events:    {total} total, {:.1} mean/resource", trace.mean_intensity());
+    println!(
+        "per-resource events: min {} / median {} / max {}",
+        counts.first().unwrap_or(&0),
+        counts.get(counts.len() / 2).unwrap_or(&0),
+        counts.last().unwrap_or(&0),
+    );
+    Ok(0)
+}
+
+fn cmd_experiments(args: &Args) -> Result<i32, ArgError> {
+    let scale = if args.flag("quick") {
+        webmon_bench::Scale::Quick
+    } else {
+        webmon_bench::Scale::Paper
+    };
+    for (name, runner) in suite() {
+        eprintln!(">> {name}");
+        webmon_bench::print_tables(&runner(scale));
+    }
+    Ok(0)
+}
+
+type Runner = fn(webmon_bench::Scale) -> Vec<Table>;
+
+fn suite() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("Table I", webmon_bench::table1::run),
+        ("Figure 9", webmon_bench::fig09::run),
+        ("Figure 10", webmon_bench::fig10::run),
+        ("§V-D runtime", webmon_bench::runtime_offline::run),
+        ("Figure 11", webmon_bench::fig11::run),
+        ("Figure 12", webmon_bench::fig12::run),
+        ("Figure 13", webmon_bench::fig13::run),
+        ("Figure 14", webmon_bench::fig14::run),
+        ("Figure 15", webmon_bench::fig15::run),
+        ("Ablations", webmon_bench::ablations::run),
+        ("Extensions", webmon_bench::extensions::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = config_from(&parse(&["run"])).unwrap();
+        assert_eq!(cfg.budget, 1);
+        assert_eq!(cfg.n_resources, 200);
+        assert!(matches!(cfg.trace, TraceSpec::Poisson { .. }));
+        assert!(cfg.noise.is_none());
+    }
+
+    #[test]
+    fn config_honors_options() {
+        let cfg = config_from(&parse(&[
+            "run", "--budget", "3", "--trace", "auction", "--resources", "80", "--fixed-rank",
+            "--rank", "2", "--window", "5", "--noise-z", "0.4",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.budget, 3);
+        assert!(matches!(cfg.trace, TraceSpec::Auction(_)));
+        assert_eq!(cfg.workload.rank, RankSpec::Fixed(2));
+        assert_eq!(cfg.workload.length, EiLength::Window(5));
+        assert!(cfg.noise.is_some());
+    }
+
+    #[test]
+    fn bad_value_is_reported() {
+        let err = config_from(&parse(&["run", "--budget", "lots"])).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+    }
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        assert_eq!(dispatch(&parse(&["help"])).unwrap(), 0);
+        assert_eq!(dispatch(&parse(&["frobnicate"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn suite_covers_all_artifacts() {
+        assert_eq!(suite().len(), 11);
+    }
+}

@@ -1,0 +1,22 @@
+//! `webmon` — the command-line front end of the Web Monitoring 2.0
+//! reproduction. Run `webmon help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

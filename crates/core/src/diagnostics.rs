@@ -1,0 +1,236 @@
+//! Schedule diagnostics: the observability a proxy operator needs to
+//! understand *why* a run scored the way it did — per-resource probe load,
+//! capture latency, and a textual timeline for small instances.
+
+use crate::model::{ei_captured, Instance, ResourceId, Schedule};
+use serde::Serialize;
+
+/// Aggregated diagnostics of one schedule against its instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleDiagnostics {
+    /// Probes issued per resource, indexed by resource id.
+    pub probes_per_resource: Vec<u32>,
+    /// Capture latency (chronons from window open to the first in-window
+    /// probe) of every captured EI.
+    pub capture_latencies: Vec<u32>,
+    /// EIs whose window passed with no in-window probe.
+    pub missed_eis: usize,
+    /// Probes that captured no EI at all (possible when evaluating a
+    /// schedule against a different instance, e.g. predictions vs truth).
+    pub wasted_probes: usize,
+}
+
+impl ScheduleDiagnostics {
+    /// Computes diagnostics for `schedule` against `instance`.
+    pub fn compute(instance: &Instance, schedule: &Schedule) -> Self {
+        let mut probes_per_resource = vec![0u32; instance.n_resources as usize];
+        for (_, r) in schedule.iter() {
+            probes_per_resource[r.index()] += 1;
+        }
+
+        let mut capture_latencies = Vec::new();
+        let mut missed_eis = 0usize;
+        // Mark which probes served at least one EI.
+        let mut probe_used: std::collections::HashSet<(u32, ResourceId)> =
+            std::collections::HashSet::new();
+
+        for cei in &instance.ceis {
+            for &ei in &cei.eis {
+                let mut first_hit = None;
+                for t in ei.start..=ei.end {
+                    if schedule.is_probed(ei.resource, t) {
+                        probe_used.insert((t, ei.resource));
+                        if first_hit.is_none() {
+                            first_hit = Some(t);
+                        }
+                    }
+                }
+                match first_hit {
+                    Some(t) => capture_latencies.push(t - ei.start),
+                    None => missed_eis += 1,
+                }
+            }
+        }
+
+        let wasted_probes = schedule
+            .iter()
+            .filter(|&(t, r)| !probe_used.contains(&(t, r)))
+            .count();
+
+        ScheduleDiagnostics {
+            probes_per_resource,
+            capture_latencies,
+            missed_eis,
+            wasted_probes,
+        }
+    }
+
+    /// Mean capture latency in chronons; `None` when nothing was captured.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.capture_latencies.is_empty() {
+            None
+        } else {
+            Some(
+                self.capture_latencies.iter().map(|&l| f64::from(l)).sum::<f64>()
+                    / self.capture_latencies.len() as f64,
+            )
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of capture latency; `None` when nothing
+    /// was captured.
+    pub fn latency_quantile(&self, q: f64) -> Option<u32> {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.capture_latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.capture_latencies.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// The most-probed resource and its probe count; `None` on an empty
+    /// schedule.
+    pub fn hottest_resource(&self) -> Option<(ResourceId, u32)> {
+        self.probes_per_resource
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (ResourceId(i as u32), c))
+    }
+}
+
+/// Renders a textual timeline of a small instance and its schedule: one row
+/// per resource, one column per chronon; `─` marks an open window, `●` a
+/// probe that captured, `○` a probe in dead air. Intended for debugging and
+/// teaching; refuses epochs wider than 200 chronons.
+pub fn render_timeline(instance: &Instance, schedule: &Schedule) -> String {
+    assert!(
+        instance.epoch.len() <= 200,
+        "timeline rendering is for small instances (≤ 200 chronons)"
+    );
+    let mut out = String::new();
+    for r in 0..instance.n_resources {
+        let rid = ResourceId(r);
+        let mut row = format!("{rid:>5} ");
+        for t in instance.epoch.chronons() {
+            let window_open = instance
+                .ceis
+                .iter()
+                .flat_map(|c| &c.eis)
+                .any(|ei| ei.resource == rid && ei.is_active(t));
+            let probed = schedule.is_probed(rid, t);
+            row.push(match (probed, window_open) {
+                (true, true) => '●',
+                (true, false) => '○',
+                (false, true) => '─',
+                (false, false) => '·',
+            });
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, OnlineEngine};
+    use crate::model::{Budget, InstanceBuilder};
+    use crate::policy::SEdf;
+
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 4)]);
+        b.cei(p, &[(1, 2, 6)]);
+        b.cei(p, &[(0, 8, 9), (1, 8, 9)]); // contended: one must miss
+        b.build()
+    }
+
+    #[test]
+    fn diagnostics_account_for_every_ei() {
+        let inst = instance();
+        let run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        let d = ScheduleDiagnostics::compute(&inst, &run.schedule);
+        assert_eq!(d.capture_latencies.len() + d.missed_eis, inst.total_eis());
+        // Every probe the engine issues serves a window.
+        assert_eq!(d.wasted_probes, 0);
+        assert_eq!(
+            d.probes_per_resource.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            run.stats.probes_used
+        );
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let inst = instance();
+        let run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        let d = ScheduleDiagnostics::compute(&inst, &run.schedule);
+        // S-EDF probes at window open, except the contended pair at
+        // chronon 8 where C = 1 forces one EI to wait a chronon:
+        // latencies = [0, 0, 0, 1].
+        assert_eq!(d.mean_latency(), Some(0.25));
+        assert_eq!(d.latency_quantile(0.5), Some(0));
+        assert_eq!(d.latency_quantile(1.0), Some(1));
+    }
+
+    #[test]
+    fn wasted_probes_show_up_against_a_different_instance() {
+        // A schedule built for one instance, evaluated against an empty one.
+        let inst = instance();
+        let run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        let empty = InstanceBuilder::new(2, 10, Budget::Uniform(1)).build();
+        let d = ScheduleDiagnostics::compute(&empty, &run.schedule);
+        assert_eq!(d.wasted_probes as u64, run.stats.probes_used);
+        assert!(d.capture_latencies.is_empty());
+        assert_eq!(d.mean_latency(), None);
+    }
+
+    #[test]
+    fn hottest_resource_is_the_most_probed() {
+        let inst = instance();
+        let run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        let d = ScheduleDiagnostics::compute(&inst, &run.schedule);
+        let (r, c) = d.hottest_resource().unwrap();
+        assert_eq!(c, *d.probes_per_resource.iter().max().unwrap());
+        assert_eq!(d.probes_per_resource[r.index()], c);
+    }
+
+    #[test]
+    fn timeline_renders_rows_and_glyphs() {
+        let inst = instance();
+        let run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        let tl = render_timeline(&inst, &run.schedule);
+        assert_eq!(tl.lines().count(), 2);
+        assert!(tl.contains('●'));
+        assert!(tl.contains('─') || tl.contains('·'));
+        assert!(!tl.contains('○'), "engine probes never miss windows");
+    }
+
+    #[test]
+    #[should_panic(expected = "small instances")]
+    fn timeline_refuses_wide_epochs() {
+        let b = InstanceBuilder::new(1, 500, Budget::Uniform(1));
+        let inst = b.build();
+        let s = Schedule::new(1, inst.epoch);
+        let _ = render_timeline(&inst, &s);
+    }
+
+    #[test]
+    fn capture_agrees_with_indicator() {
+        let inst = instance();
+        let run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        let d = ScheduleDiagnostics::compute(&inst, &run.schedule);
+        let captured_eis = inst
+            .ceis
+            .iter()
+            .flat_map(|c| &c.eis)
+            .filter(|&&ei| ei_captured(ei, &run.schedule))
+            .count();
+        assert_eq!(captured_eis, d.capture_latencies.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! The online complex-monitoring engine — Algorithm 1 of the paper.
+//!
+//! At every chronon the engine:
+//!
+//! 1. receives the CEIs released at that chronon (`η(j)`),
+//! 2. folds newly opened EIs into the candidate pool `cands(I)`,
+//! 3. selects up to `C_j` resources to probe by repeatedly taking the
+//!    policy's minimum-score candidate (`probeEIs`),
+//! 4. lets one probe capture *every* active candidate EI on the probed
+//!    resource (the `R_ids` intra-resource sharing of Algorithm 1),
+//! 5. completes CEIs whose last EI was captured, and
+//! 6. expires EIs whose window closed uncaptured — failing their parent CEI
+//!    and dropping its siblings from the pool.
+//!
+//! **Preemption.** A non-preemptive run snapshots, at the start of each
+//! chronon, which candidate CEIs have already been probed at least once
+//! (`cands⁺`); those EIs are served first, and new CEIs only compete for
+//! leftover budget. A preemptive run lets all candidates compete at once.
+//! Even non-preemptive runs cannot guarantee completion of a started CEI —
+//! when started CEIs alone exceed the budget, some are dropped (Section
+//! IV-A).
+
+mod runner;
+
+pub use runner::{EngineConfig, OnlineEngine, RunResult, SelectionStrategy};

@@ -1,0 +1,973 @@
+//! The run loop implementing Algorithm 1 (Online Complex Monitoring).
+
+use crate::model::{CaptureSet, CeiId, Chronon, Instance, Schedule};
+use crate::policy::{Candidate, CeiView, Policy, PolicyContext, ResourceStats};
+use crate::stats::{CeiOutcome, RunStats};
+
+/// How `probeEIs` finds the minimum-score candidate each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Fresh linear scan per probe — the reference implementation; scores
+    /// are always current.
+    #[default]
+    Scan,
+    /// A lazy binary heap per phase (the paper's Appendix-B suggestion):
+    /// candidates are pushed once with their scores; a popped entry whose
+    /// score changed (a sibling was captured this chronon) is re-pushed at
+    /// its current score. Produces the identical schedule — verified by
+    /// property test — at `O(log N)` per probe instead of `O(N)`.
+    LazyHeap,
+}
+
+/// Execution mode of the online engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Preemptive (`P`): all candidates compete for budget each chronon.
+    /// Non-preemptive (`NP`): EIs of already-probed CEIs are served first;
+    /// new CEIs only get leftover budget.
+    pub preemptive: bool,
+    /// Intra-resource probe sharing (Algorithm 1's `R_ids`): one probe
+    /// captures every active candidate EI on the probed resource, and no
+    /// budget is wasted re-probing it in the same chronon. `true` is the
+    /// paper's algorithm; `false` is an ablation where each probe captures
+    /// only the EI it was issued for.
+    pub share_probes: bool,
+    /// Candidate selection data structure.
+    pub selection: SelectionStrategy,
+}
+
+impl EngineConfig {
+    /// Preemptive execution — the paper's `Φ(P)` mode.
+    pub fn preemptive() -> Self {
+        EngineConfig {
+            preemptive: true,
+            share_probes: true,
+            selection: SelectionStrategy::Scan,
+        }
+    }
+
+    /// Non-preemptive execution — the paper's `Φ(NP)` mode.
+    pub fn non_preemptive() -> Self {
+        EngineConfig {
+            preemptive: false,
+            share_probes: true,
+            selection: SelectionStrategy::Scan,
+        }
+    }
+
+    /// Disables intra-resource probe sharing (ablation).
+    pub fn without_probe_sharing(mut self) -> Self {
+        self.share_probes = false;
+        self
+    }
+
+    /// Selects candidates through the lazy heap (Appendix B).
+    pub fn with_lazy_heap(mut self) -> Self {
+        self.selection = SelectionStrategy::LazyHeap;
+        self
+    }
+
+    /// Suffix used in experiment tables: `"(P)"` or `"(NP)"`.
+    pub fn label(self) -> &'static str {
+        if self.preemptive {
+            "(P)"
+        } else {
+            "(NP)"
+        }
+    }
+}
+
+/// The outcome of one online run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The probes the engine issued.
+    pub schedule: Schedule,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Per-CEI outcome, indexed by [`CeiId`].
+    pub outcomes: Vec<CeiOutcome>,
+}
+
+/// Lifecycle of a CEI inside the engine.
+enum Status {
+    /// Release chronon not reached yet.
+    NotArrived,
+    /// Released; tracking which EIs have been captured.
+    Active(CaptureSet),
+    /// All EIs captured.
+    Captured,
+    /// An EI expired uncaptured.
+    Failed,
+}
+
+impl Status {
+    fn capture_set(&self) -> Option<&CaptureSet> {
+        match self {
+            Status::Active(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// One candidate EI in the pool: `(parent CEI, index of the EI within it)`.
+#[derive(Debug, Clone, Copy)]
+struct PoolEntry {
+    cei: CeiId,
+    ei_idx: u16,
+}
+
+/// The online complex-monitoring engine. See the [module docs](crate::engine)
+/// for the per-chronon procedure.
+pub struct OnlineEngine;
+
+impl OnlineEngine {
+    /// Runs `policy` over `instance` in the given mode and returns the
+    /// schedule, statistics, and per-CEI outcomes.
+    pub fn run(instance: &Instance, policy: &dyn Policy, config: EngineConfig) -> RunResult {
+        let n_ceis = instance.ceis.len();
+        let n_res = instance.n_resources as usize;
+        let horizon = instance.epoch.len();
+
+        // Bucket EIs by start chronon so each enters the pool exactly when
+        // its window opens.
+        let mut starts: Vec<Vec<PoolEntry>> = vec![Vec::new(); horizon as usize];
+        for cei in &instance.ceis {
+            for (idx, ei) in cei.eis.iter().enumerate() {
+                starts[ei.start as usize].push(PoolEntry {
+                    cei: cei.id,
+                    ei_idx: idx as u16,
+                });
+            }
+        }
+
+        let mut status: Vec<Status> = (0..n_ceis).map(|_| Status::NotArrived).collect();
+        let mut outcomes = vec![CeiOutcome::Pending; n_ceis];
+        let mut schedule = Schedule::new(instance.n_resources, instance.epoch);
+        let mut stats = RunStats {
+            n_ceis: n_ceis as u64,
+            n_eis: instance.total_eis() as u64,
+            probes_available: instance.budget.total_over(horizon),
+            ..Default::default()
+        };
+
+        let mut pool: Vec<PoolEntry> = Vec::new();
+        // Reusable per-chronon buffers.
+        let mut active_count = vec![0u32; n_res];
+        let mut has_update = vec![false; n_res];
+        let mut probed_now = vec![false; n_res];
+        let mut started_snapshot = vec![false; n_ceis];
+        let mut transitions: Vec<(CeiId, CeiOutcome)> = Vec::new();
+        let mut touched: Vec<CeiId> = Vec::new();
+
+        for t in instance.epoch.chronons() {
+            // -- 1. Arrivals: η(j) joins cands(η).
+            for &id in instance.released_at(t) {
+                status[id.index()] = Status::Active(CaptureSet::new(instance.cei(id).size()));
+            }
+
+            // -- 2. EIs whose window opens now join cands(I).
+            for entry in &starts[t as usize] {
+                if matches!(status[entry.cei.index()], Status::Active(_)) {
+                    pool.push(*entry);
+                }
+            }
+
+            // -- 3. Compact: drop EIs of resolved CEIs, captured EIs, and
+            // expired EIs (a threshold CEI can stay active past an expiry).
+            pool.retain(|e| {
+                status[e.cei.index()].capture_set().is_some_and(|cap| {
+                    !cap.is_captured(e.ei_idx as usize) && !cap.is_expired(e.ei_idx as usize)
+                })
+            });
+
+            // -- 4. Per-resource aggregates for the policy context.
+            active_count.fill(0);
+            has_update.fill(false);
+            for e in &pool {
+                let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
+                let r = ei.resource.index();
+                active_count[r] += 1;
+                if ei.start == t {
+                    has_update[r] = true;
+                }
+            }
+
+            // Non-preemptive mode snapshots, before any probing this
+            // chronon, which CEIs already have a captured EI (cands⁺).
+            if !config.preemptive {
+                for e in &pool {
+                    started_snapshot[e.cei.index()] = status[e.cei.index()]
+                        .capture_set()
+                        .is_some_and(CaptureSet::is_started);
+                }
+            }
+
+            // -- 5. probeEIs: select up to C_j resources by repeated argmin.
+            probed_now.fill(false);
+            let budget = instance.budget.at(t);
+            let mut used: u32 = 0;
+            let phases: &[Option<bool>] = if config.preemptive {
+                &[None]
+            } else {
+                &[Some(true), Some(false)]
+            };
+
+            for &phase in phases {
+                let ctx = PolicyContext {
+                    now: t,
+                    resources: ResourceStats {
+                        active_eis: &active_count,
+                        has_update: &has_update,
+                    },
+                };
+                // Lazy heap: seed once per phase with current scores, and
+                // index the pool by CEI so sibling captures can refresh
+                // affected entries (captures can *lower* MRSF / M-EDF
+                // scores, and a lazily validated heap never re-prioritizes
+                // buried entries on its own).
+                let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u16)>> =
+                    std::collections::BinaryHeap::new();
+                let mut cei_entries: std::collections::HashMap<u32, Vec<PoolEntry>> =
+                    std::collections::HashMap::new();
+                if config.selection == SelectionStrategy::LazyHeap {
+                    for e in &pool {
+                        let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                        if let Some(score) =
+                            score_entry(instance, policy, &ctx, &status, *e, snapshot)
+                        {
+                            heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
+                            cei_entries.entry(e.cei.0).or_default().push(*e);
+                        }
+                    }
+                }
+
+                while used < budget {
+                    let remaining = budget - used;
+                    let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                    let best = match config.selection {
+                        SelectionStrategy::Scan => argmin_candidate(
+                            instance,
+                            policy,
+                            &ctx,
+                            &pool,
+                            &status,
+                            &probed_now,
+                            remaining,
+                            snapshot,
+                        ),
+                        SelectionStrategy::LazyHeap => pop_valid(
+                            instance,
+                            policy,
+                            &ctx,
+                            &mut heap,
+                            &status,
+                            &probed_now,
+                            remaining,
+                            snapshot,
+                        ),
+                    };
+                    let Some(best) = best else {
+                        break;
+                    };
+
+                    // Probe the selected EI's resource; with sharing on, the
+                    // probe captures every active candidate EI on that
+                    // resource (R_ids).
+                    let resource = instance.cei(best.cei).eis[best.ei_idx as usize].resource;
+                    let cost = instance.costs.of(resource);
+                    schedule.probe(resource, t);
+                    used += cost;
+                    stats.probes_used += 1;
+                    stats.budget_spent += u64::from(cost);
+
+                    touched.clear();
+                    if config.share_probes {
+                        probed_now[resource.index()] = true;
+                        capture_resource(
+                            instance,
+                            &pool,
+                            &mut status,
+                            resource.index(),
+                            t,
+                            &mut stats,
+                            &mut outcomes,
+                            &mut transitions,
+                            &mut touched,
+                        );
+                    } else {
+                        capture_single(
+                            instance,
+                            best,
+                            &mut status,
+                            t,
+                            &mut stats,
+                            &mut outcomes,
+                        );
+                        touched.push(best.cei);
+                    }
+
+                    // Refresh heap priorities of CEIs whose capture state
+                    // just changed: push their remaining live entries at
+                    // their new (never higher) scores; stale copies are
+                    // skipped on pop.
+                    if config.selection == SelectionStrategy::LazyHeap {
+                        let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                        for id in &touched {
+                            let Some(entries) = cei_entries.get(&id.0) else {
+                                continue;
+                            };
+                            for e in entries {
+                                if probed_now[instance.cei(e.cei).eis[e.ei_idx as usize]
+                                    .resource
+                                    .index()]
+                                {
+                                    continue;
+                                }
+                                if let Some(score) =
+                                    score_entry(instance, policy, &ctx, &status, *e, snapshot)
+                                {
+                                    heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // -- 6. Expiry: EIs closing uncaptured at t doom their CEI once
+            // fewer than `required` EIs can still be captured (with the
+            // paper's AND semantics: on the first expiry).
+            transitions.clear();
+            for e in &pool {
+                let Status::Active(cap) = &mut status[e.cei.index()] else {
+                    continue;
+                };
+                let cei = instance.cei(e.cei);
+                let ei = cei.eis[e.ei_idx as usize];
+                if ei.end == t
+                    && cap.mark_expired(e.ei_idx as usize)
+                    && cap.is_doomed(cei.required)
+                {
+                    transitions.push((e.cei, CeiOutcome::Failed { at: t }));
+                }
+            }
+            for &(id, outcome) in &transitions {
+                if matches!(status[id.index()], Status::Active(_)) {
+                    status[id.index()] = Status::Failed;
+                    outcomes[id.index()] = outcome;
+                    stats.record_outcome_of(instance.cei(id), outcome);
+                }
+            }
+        }
+
+        // Any CEI still unresolved at epoch end is recorded as pending so
+        // the size histogram sums to n_ceis. (Unreachable for well-formed
+        // instances: every EI ends inside the epoch, so expiry resolves it.)
+        for (i, s) in status.iter().enumerate() {
+            if matches!(s, Status::Active(_) | Status::NotArrived) {
+                stats.record_outcome_of(&instance.ceis[i], CeiOutcome::Pending);
+            }
+        }
+
+        RunResult {
+            schedule,
+            stats,
+            outcomes,
+        }
+    }
+}
+
+/// Scores one pool entry if it is live and phase-eligible: parent active,
+/// EI uncaptured and unexpired. Returns `None` otherwise.
+fn score_entry(
+    instance: &Instance,
+    policy: &dyn Policy,
+    ctx: &PolicyContext<'_>,
+    status: &[Status],
+    e: PoolEntry,
+    phase: Option<(bool, &[bool])>,
+) -> Option<i64> {
+    let cap = status[e.cei.index()].capture_set()?;
+    if cap.is_captured(e.ei_idx as usize) || cap.is_expired(e.ei_idx as usize) {
+        return None;
+    }
+    if let Some((required, snapshot)) = phase {
+        if snapshot[e.cei.index()] != required {
+            return None;
+        }
+    }
+    let cei = instance.cei(e.cei);
+    let cand = Candidate {
+        ei: cei.eis[e.ei_idx as usize],
+        ei_index: e.ei_idx as usize,
+        cei: CeiView {
+            eis: &cei.eis,
+            captured: cap.flags(),
+            n_captured: cap.n_captured() as u16,
+            required: cei.required,
+            weight: cei.weight,
+            profile_rank: instance.profiles[cei.profile.index()].rank,
+        },
+    };
+    Some(policy.score(ctx, &cand))
+}
+
+/// Scans the pool for the minimum-score live candidate. Ties break by
+/// `(score, cei id, ei index)` so runs are deterministic.
+#[allow(clippy::too_many_arguments)]
+fn argmin_candidate(
+    instance: &Instance,
+    policy: &dyn Policy,
+    ctx: &PolicyContext<'_>,
+    pool: &[PoolEntry],
+    status: &[Status],
+    probed_now: &[bool],
+    remaining_budget: u32,
+    phase: Option<(bool, &[bool])>,
+) -> Option<PoolEntry> {
+    let mut best: Option<(i64, PoolEntry)> = None;
+    for e in pool {
+        let resource = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
+        if probed_now[resource.index()] {
+            continue; // already captured by an earlier probe this chronon
+        }
+        if instance.costs.of(resource) > remaining_budget {
+            continue; // unaffordable this chronon (varying-costs extension)
+        }
+        let Some(score) = score_entry(instance, policy, ctx, status, *e, phase) else {
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some((s, b)) => (score, e.cei.0, e.ei_idx) < (*s, b.cei.0, b.ei_idx),
+        };
+        if better {
+            best = Some((score, *e));
+        }
+    }
+    best.map(|(_, e)| e)
+}
+
+/// Pops the minimum-score live candidate from the lazy heap, re-pushing
+/// entries whose stored score went stale (a sibling capture this chronon
+/// changed it). Tie ordering matches [`argmin_candidate`].
+#[allow(clippy::too_many_arguments)]
+fn pop_valid(
+    instance: &Instance,
+    policy: &dyn Policy,
+    ctx: &PolicyContext<'_>,
+    heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u16)>>,
+    status: &[Status],
+    probed_now: &[bool],
+    remaining_budget: u32,
+    phase: Option<(bool, &[bool])>,
+) -> Option<PoolEntry> {
+    while let Some(std::cmp::Reverse((stored, cei, ei_idx))) = heap.pop() {
+        let e = PoolEntry {
+            cei: CeiId(cei),
+            ei_idx,
+        };
+        let resource = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
+        if probed_now[resource.index()] {
+            continue; // captured earlier this chronon
+        }
+        let Some(current) = score_entry(instance, policy, ctx, status, e, phase) else {
+            continue; // no longer live
+        };
+        if current != stored {
+            heap.push(std::cmp::Reverse((current, cei, ei_idx)));
+            continue; // stale score: reinsert at its true priority
+        }
+        if instance.costs.of(resource) > remaining_budget {
+            continue; // unaffordable for the rest of this chronon
+        }
+        return Some(e);
+    }
+    None
+}
+
+/// Marks every active, uncaptured pool EI on `resource` as captured by the
+/// probe at chronon `t`, completing CEIs whose last EI this was.
+#[allow(clippy::too_many_arguments)]
+fn capture_resource(
+    instance: &Instance,
+    pool: &[PoolEntry],
+    status: &mut [Status],
+    resource: usize,
+    t: Chronon,
+    stats: &mut RunStats,
+    outcomes: &mut [CeiOutcome],
+    completed: &mut Vec<(CeiId, CeiOutcome)>,
+    touched: &mut Vec<CeiId>,
+) {
+    completed.clear();
+    for e in pool {
+        let Status::Active(cap) = &mut status[e.cei.index()] else {
+            continue;
+        };
+        let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
+        if ei.resource.index() != resource || !ei.is_active(t) {
+            continue;
+        }
+        if cap.capture(e.ei_idx as usize) {
+            stats.eis_captured += 1;
+            if !touched.contains(&e.cei) {
+                touched.push(e.cei);
+            }
+            // Record completion exactly once: when this capture crosses the
+            // threshold (under threshold semantics `meets` stays true for
+            // every further capture in the same probe).
+            if cap.n_captured() == usize::from(instance.cei(e.cei).required) {
+                completed.push((e.cei, CeiOutcome::Captured { at: t }));
+            }
+        }
+    }
+    for &(id, outcome) in completed.iter() {
+        status[id.index()] = Status::Captured;
+        outcomes[id.index()] = outcome;
+        stats.record_outcome_of(instance.cei(id), outcome);
+    }
+}
+
+/// Ablation path (`share_probes = false`): a probe captures only the EI it
+/// was issued for.
+fn capture_single(
+    instance: &Instance,
+    entry: PoolEntry,
+    status: &mut [Status],
+    t: Chronon,
+    stats: &mut RunStats,
+    outcomes: &mut [CeiOutcome],
+) {
+    let Status::Active(cap) = &mut status[entry.cei.index()] else {
+        return;
+    };
+    if cap.capture(entry.ei_idx as usize) {
+        stats.eis_captured += 1;
+        if cap.n_captured() == usize::from(instance.cei(entry.cei).required) {
+            let outcome = CeiOutcome::Captured { at: t };
+            status[entry.cei.index()] = Status::Captured;
+            outcomes[entry.cei.index()] = outcome;
+            stats.record_outcome_of(instance.cei(entry.cei), outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Budget, InstanceBuilder};
+    use crate::policy::{MEdf, Mrsf, SEdf};
+    use crate::stats::CeiOutcome;
+
+    fn run_sedf(instance: &Instance) -> RunResult {
+        OnlineEngine::run(instance, &SEdf, EngineConfig::preemptive())
+    }
+
+    #[test]
+    fn single_ei_cei_is_captured() {
+        let mut b = InstanceBuilder::new(1, 5, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 3)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert_eq!(r.outcomes[0], CeiOutcome::Captured { at: 1 });
+        // S-EDF probes the moment the window opens.
+        assert!(r.schedule.is_probed(crate::model::ResourceId(0), 1));
+    }
+
+    #[test]
+    fn conjunctive_cei_requires_all_eis() {
+        // Two EIs on different resources, same single chronon, budget 1:
+        // only one can be probed → the CEI fails.
+        let mut b = InstanceBuilder::new(2, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1), (1, 1, 1)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 0);
+        assert_eq!(r.stats.ceis_failed, 1);
+        assert_eq!(r.stats.eis_captured, 1);
+        assert_eq!(r.outcomes[0], CeiOutcome::Failed { at: 1 });
+    }
+
+    #[test]
+    fn staggered_windows_allow_full_capture_with_budget_one() {
+        let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 2), (1, 3, 5)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert_eq!(r.stats.probes_used, 2);
+    }
+
+    #[test]
+    fn one_probe_captures_overlapping_eis_on_same_resource() {
+        // Two CEIs, each one EI on resource 0, overlapping at chronon 2.
+        let mut b = InstanceBuilder::new(1, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 2)]);
+        b.cei(p, &[(0, 2, 5)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        // S-EDF probes r0 at chronon... EI0 deadline first: probe at 0
+        // captures only EI0 (EI1 not open). EI1 captured later. Either way
+        // both captured with ≤ 2 probes.
+        assert_eq!(r.stats.ceis_captured, 2);
+        // With intra-resource sharing a probe at chronon 2 would capture
+        // both; S-EDF (earliest deadline) probes at 0, so 2 probes are used.
+        assert!(r.stats.probes_used <= 2);
+    }
+
+    #[test]
+    fn probe_sharing_captures_across_ceis_in_one_chronon() {
+        // Both EIs live only at chronon 1 on the same resource: one probe,
+        // two captures.
+        let mut b = InstanceBuilder::new(1, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1)]);
+        b.cei(p, &[(0, 1, 1)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 2);
+        assert_eq!(r.stats.probes_used, 1);
+    }
+
+    #[test]
+    fn budget_zero_captures_nothing() {
+        let mut b = InstanceBuilder::new(1, 3, Budget::Uniform(0));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 2)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 0);
+        assert_eq!(r.stats.probes_used, 0);
+        assert_eq!(r.stats.ceis_failed, 1);
+    }
+
+    #[test]
+    fn per_chronon_budget_is_respected() {
+        let mut b = InstanceBuilder::new(3, 3, Budget::PerChronon(vec![0, 3, 0]));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 2)]);
+        b.cei(p, &[(1, 0, 2)]);
+        b.cei(p, &[(2, 0, 2)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 3);
+        assert_eq!(r.schedule.probes_at(1).len(), 3);
+        assert!(r.schedule.probes_at(0).is_empty());
+        assert!(r.schedule.is_feasible(&inst.budget));
+    }
+
+    #[test]
+    fn schedule_is_always_feasible() {
+        let mut b = InstanceBuilder::new(4, 20, Budget::Uniform(2));
+        let p = b.profile();
+        for k in 0..6u32 {
+            let s = k * 3;
+            b.cei(p, &[(k % 4, s, s + 2), ((k + 1) % 4, s + 1, s + 4)]);
+        }
+        let inst = b.build();
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let r = OnlineEngine::run(&inst, policy, config);
+                assert!(r.schedule.is_feasible(&inst.budget));
+                assert_eq!(
+                    r.stats.ceis_captured + r.stats.ceis_failed,
+                    r.stats.n_ceis,
+                    "all CEIs resolve by epoch end"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_preemptive_prioritizes_started_ceis() {
+        // CEI A (2 EIs): first EI captured at chronon 0. Its second EI and
+        // new CEI B's only EI are both live at chronon 2 on different
+        // resources, B with the tighter deadline. NP must finish A first.
+        let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 0), (1, 2, 5)]); // A
+        b.cei(p, &[(0, 2, 2)]); // B: tight deadline, S-EDF would pick it
+        let inst = b.build();
+
+        let np = OnlineEngine::run(&inst, &SEdf, EngineConfig::non_preemptive());
+        // NP: chronon 0 probes r0 (captures A.0 and... B not open yet).
+        // Chronon 2: A started → phase 1 probes r1 for A; B expires.
+        assert_eq!(np.outcomes[0], CeiOutcome::Captured { at: 2 });
+        assert_eq!(np.outcomes[1], CeiOutcome::Failed { at: 2 });
+
+        let p_run = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        // P: chronon 2 S-EDF prefers B (deadline 1 < A's 4); A finishes at 3.
+        assert_eq!(p_run.outcomes[1], CeiOutcome::Captured { at: 2 });
+        assert_eq!(p_run.outcomes[0], CeiOutcome::Captured { at: 3 });
+    }
+
+    #[test]
+    fn release_before_window_defers_probing() {
+        let mut b = InstanceBuilder::new(1, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_released(p, 0, &[(0, 4, 5)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        // No probe before the window opens.
+        for t in 0..4 {
+            assert!(r.schedule.probes_at(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn mrsf_finishes_near_complete_cei_first() {
+        // CEI A has 2 EIs (one already capturable at chronon 0); CEI B has 3.
+        // At the contended chronon, MRSF sticks with A.
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let pa = b.profile();
+        b.cei(pa, &[(0, 0, 0), (0, 2, 4)]);
+        let pb = b.profile();
+        b.cei(pb, &[(1, 2, 4), (1, 5, 6), (1, 7, 8)]);
+        let inst = b.build();
+        let r = OnlineEngine::run(&inst, &Mrsf, EngineConfig::preemptive());
+        // Both can be fully captured here (disjoint resources), but A first.
+        assert!(r.outcomes[0].is_captured());
+        assert!(r.outcomes[1].is_captured());
+    }
+
+    #[test]
+    fn without_sharing_one_probe_captures_one_ei() {
+        // Two unit CEIs on the same resource at the same chronon, C = 1:
+        // with sharing both are captured by one probe; without it, only the
+        // selected one.
+        let mut b = InstanceBuilder::new(1, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1)]);
+        b.cei(p, &[(0, 1, 1)]);
+        let inst = b.build();
+
+        let shared = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        assert_eq!(shared.stats.ceis_captured, 2);
+
+        let unshared = OnlineEngine::run(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive().without_probe_sharing(),
+        );
+        assert_eq!(unshared.stats.ceis_captured, 1);
+        assert_eq!(unshared.stats.probes_used, 1);
+    }
+
+    #[test]
+    fn without_sharing_duplicate_probes_consume_budget() {
+        // Same-resource overlap at one chronon with C = 2: the ablation
+        // spends both probes on r0 to capture both EIs.
+        let mut b = InstanceBuilder::new(1, 3, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1)]);
+        b.cei(p, &[(0, 1, 1)]);
+        let inst = b.build();
+        let r = OnlineEngine::run(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive().without_probe_sharing(),
+        );
+        assert_eq!(r.stats.ceis_captured, 2);
+        // Two selections, but the physical schedule holds one probe.
+        assert_eq!(r.stats.probes_used, 2);
+        assert_eq!(r.schedule.total_probes(), 1);
+    }
+
+    #[test]
+    fn threshold_cei_captured_by_subset() {
+        // A 1-of-2 CEI whose EIs collide at the same chronon on different
+        // resources with C = 1: AND semantics fails it, threshold succeeds.
+        let mut b = InstanceBuilder::new(2, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_threshold(p, 1, &[(0, 1, 1), (1, 1, 1)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert_eq!(r.outcomes[0], CeiOutcome::Captured { at: 1 });
+    }
+
+    #[test]
+    fn threshold_cei_survives_one_expiry() {
+        // 2-of-3 with one unreachable window (budget 0 at its only chronon
+        // via per-chronon budget): the CEI still completes on the others.
+        let mut b = InstanceBuilder::new(3, 10, Budget::PerChronon(vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 1]));
+        let p = b.profile();
+        b.cei_threshold(p, 2, &[(0, 1, 1), (1, 3, 4), (2, 6, 7)]);
+        let inst = b.build();
+        let r = OnlineEngine::run(&inst, &Mrsf, EngineConfig::preemptive());
+        assert!(r.outcomes[0].is_captured(), "outcomes: {:?}", r.outcomes);
+        assert_eq!(r.stats.eis_captured, 2);
+    }
+
+    #[test]
+    fn threshold_cei_fails_once_doomed() {
+        // Requires 2 captures; with zero budget the CEI is doomed exactly
+        // when the second-to-last window closes.
+        let mut b = InstanceBuilder::new(3, 10, Budget::Uniform(0));
+        let p = b.profile();
+        b.cei_threshold(p, 2, &[(0, 1, 1), (1, 2, 2), (2, 8, 9)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        // t=1: one expiry, 2 windows possible >= 2 -> alive;
+        // t=2: second expiry, 1 possible < 2 -> failed at 2.
+        assert_eq!(r.outcomes[0], CeiOutcome::Failed { at: 2 });
+    }
+
+    #[test]
+    fn weighted_stats_accumulate_utilities() {
+        let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_weighted(p, 3.0, &[(0, 0, 1)]);
+        b.cei_weighted(p, 1.0, &[(0, 3, 3), (1, 3, 3)]); // fails (C=1)
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert!((r.stats.weight_total - 4.0).abs() < 1e-9);
+        assert!((r.stats.weight_captured - 3.0).abs() < 1e-9);
+        assert!((r.stats.weighted_completeness() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_weighted_policy_prioritizes_heavy_ceis() {
+        use crate::policy::UtilityWeighted;
+        // Two identical unit CEIs competing for one probe; the heavy one
+        // must win under the utility-weighted policy.
+        let mut b = InstanceBuilder::new(2, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_weighted(p, 1.0, &[(0, 1, 1)]);
+        b.cei_weighted(p, 5.0, &[(1, 1, 1)]);
+        let inst = b.build();
+
+        let plain = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        // Tie-break by id: the light CEI wins under the unweighted policy.
+        assert!(plain.outcomes[0].is_captured());
+        assert!(!plain.outcomes[1].is_captured());
+
+        let weighted = UtilityWeighted::new(SEdf, "U-S-EDF");
+        let run = OnlineEngine::run(&inst, &weighted, EngineConfig::preemptive());
+        assert!(!run.outcomes[0].is_captured());
+        assert!(run.outcomes[1].is_captured());
+        assert!(run.stats.weighted_completeness() > plain.stats.weighted_completeness());
+    }
+
+    #[test]
+    fn varying_costs_constrain_selection() {
+        use crate::model::ProbeCosts;
+        // r0 costs 2, r1 costs 1; budget 2 per chronon. Both unit CEIs live
+        // at chronon 1 only: probing r0 exhausts the budget, so only one of
+        // the two can be captured — unless the policy picks r1 first, in
+        // which case r0 (cost 2 > remaining 1) is unaffordable.
+        let mut b = InstanceBuilder::new(2, 3, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1)]);
+        b.cei(p, &[(1, 1, 1)]);
+        let inst = b.build().with_costs(ProbeCosts::per_resource(vec![2, 1]));
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert_eq!(r.stats.budget_spent, 2);
+        // With uniform costs the same instance captures both.
+        let uniform = b_uniform();
+        let r2 = run_sedf(&uniform);
+        assert_eq!(r2.stats.ceis_captured, 2);
+
+        fn b_uniform() -> Instance {
+            let mut b = InstanceBuilder::new(2, 3, Budget::Uniform(2));
+            let p = b.profile();
+            b.cei(p, &[(0, 1, 1)]);
+            b.cei(p, &[(1, 1, 1)]);
+            b.build()
+        }
+    }
+
+    #[test]
+    fn unaffordable_resource_is_skipped_not_blocking() {
+        use crate::model::ProbeCosts;
+        // r0 costs 3 > budget 2 — never probeable; r1 must still be served.
+        let mut b = InstanceBuilder::new(2, 4, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 2)]);
+        b.cei(p, &[(1, 1, 2)]);
+        let inst = b.build().with_costs(ProbeCosts::per_resource(vec![3, 1]));
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert!(r.outcomes[1].is_captured());
+        assert!(!r.outcomes[0].is_captured());
+    }
+
+    #[test]
+    fn lazy_heap_matches_scan_on_structured_instances() {
+        use crate::policy::{MEdf, Wic};
+        // Budget 3 with many overlapping multi-EI CEIs: intra-chronon
+        // captures shift MRSF / M-EDF sibling scores, exercising the heap's
+        // refresh path (a lazily validated heap without refresh diverges
+        // here — regression for the buried-priority bug).
+        let mut b = InstanceBuilder::new(5, 30, Budget::Uniform(3));
+        let p = b.profile();
+        for k in 0..12u32 {
+            let s = (k * 2) % 24;
+            b.cei(p, &[(k % 5, s, s + 3), ((k + 2) % 5, s + 1, s + 5)]);
+        }
+        for k in 0..8u32 {
+            let s = (k * 3) % 20;
+            b.cei(
+                p,
+                &[
+                    (k % 5, s, s + 4),
+                    ((k + 1) % 5, s + 1, s + 6),
+                    ((k + 3) % 5, s + 2, s + 8),
+                ],
+            );
+        }
+        let inst = b.build();
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+            for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let scan = OnlineEngine::run(&inst, policy, base);
+                let heap = OnlineEngine::run(&inst, policy, base.with_lazy_heap());
+                assert_eq!(
+                    scan.schedule, heap.schedule,
+                    "{} {:?}: schedules diverge",
+                    policy.name(),
+                    base
+                );
+                assert_eq!(scan.stats, heap.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_probe_crossing_threshold_records_once() {
+        // Regression: a 1-of-2 CEI whose two EIs sit on the SAME resource at
+        // the same chronon — one probe captures both EIs and crosses the
+        // threshold twice-over; the completion must be recorded exactly once.
+        let mut b = InstanceBuilder::new(1, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_threshold(p, 1, &[(0, 1, 1), (0, 1, 1)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        assert_eq!(r.stats.ceis_captured, 1);
+        assert_eq!(r.stats.n_ceis, 1);
+        assert_eq!(r.stats.eis_captured, 2);
+        let total: u64 = r.stats.by_size.values().map(|b| b.total).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn stats_size_histogram_sums_to_total() {
+        let mut b = InstanceBuilder::new(2, 8, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1)]);
+        b.cei(p, &[(0, 2, 3), (1, 2, 3)]);
+        b.cei(p, &[(0, 5, 6), (1, 5, 6)]);
+        let inst = b.build();
+        let r = run_sedf(&inst);
+        let total: u64 = r.stats.by_size.values().map(|b| b.total).sum();
+        assert_eq!(total, 3);
+    }
+}

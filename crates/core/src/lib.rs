@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # webmon-core
+//!
+//! A from-scratch Rust implementation of the monitoring model, online
+//! scheduling policies, and offline baselines of
+//! *Web Monitoring 2.0: Crossing Streams to Satisfy Complex Data Needs*
+//! (Roitman, Gal, Raschid — ICDE 2009).
+//!
+//! ## The problem
+//!
+//! A proxy monitors `n` pull-only Web resources over an epoch of `K`
+//! *chronons* (indivisible time units) on behalf of many clients. Each client
+//! registers a [`model::Profile`]: a set of *complex execution
+//! intervals* ([`model::Cei`]). A CEI crosses several streams: it is a
+//! bag of simple *execution intervals* ([`model::Ei`]), each a time
+//! window on one resource during which that resource must be probed at least
+//! once. A CEI is **captured** only when *all* of its EIs are captured (AND
+//! semantics). At every chronon the proxy may probe at most `C_j` resources
+//! (the [`model::Budget`]); the goal is to maximize *gained
+//! completeness* — the fraction of CEIs captured (Problem 1, Eq. 1).
+//!
+//! ## What this crate provides
+//!
+//! * [`model`] — chronons, resources, EIs, CEIs, profiles, budgets,
+//!   schedules, and the capture / completeness arithmetic of Section III.
+//! * [`policy`] — the three heuristic levels of Section IV-A:
+//!   individual-EI level ([`policy::SEdf`], [`policy::Wic`]), rank level
+//!   ([`policy::Mrsf`]), and multi-EI level ([`policy::MEdf`]), plus
+//!   [`policy::RandomPolicy`] / [`policy::RoundRobin`] controls.
+//! * [`engine`] — Algorithm 1 (online complex monitoring) with preemptive
+//!   and non-preemptive execution, intra-resource probe sharing, candidate
+//!   expiry, and per-run statistics.
+//! * [`offline`] — the offline baselines of Section IV-B: exact optimum by
+//!   bounded enumeration (Prop. 4), the `P → P^[1]` transformation
+//!   (Prop. 5), and the Local-Ratio t-interval approximation (\[11\]).
+//! * [`diagnostics`] — operator observability: probe load, capture
+//!   latency, and textual timelines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use webmon_core::model::{Budget, InstanceBuilder};
+//! use webmon_core::engine::{EngineConfig, OnlineEngine};
+//! use webmon_core::policy::MEdf;
+//!
+//! // Two resources, a 10-chronon epoch, budget of one probe per chronon.
+//! let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+//! let p = b.profile();
+//! // A rank-2 CEI crossing both resources on overlapping windows.
+//! b.cei(p, &[(0, 1, 4), (1, 2, 6)]);
+//! let instance = b.build();
+//!
+//! let result = OnlineEngine::run(&instance, &MEdf, EngineConfig::preemptive());
+//! assert_eq!(result.stats.ceis_captured, 1);
+//! assert!((result.stats.completeness() - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod diagnostics;
+pub mod engine;
+pub mod model;
+pub mod offline;
+pub mod policy;
+pub mod stats;
+
+pub use engine::{EngineConfig, OnlineEngine, RunResult};
+pub use model::{
+    Budget, Cei, CeiId, Chronon, Ei, Instance, InstanceBuilder, Profile, ProfileId, ResourceId,
+    Schedule,
+};
+pub use policy::{MEdf, Mrsf, Policy, SEdf, Wic};
+pub use stats::RunStats;

@@ -1,0 +1,103 @@
+//! Probing budgets: the per-chronon constraint `Σ_i s_{i,j} <= C_j`.
+
+use super::Chronon;
+use serde::{Deserialize, Serialize};
+
+/// The proxy's probing budget: at chronon `T_j` it may probe at most `C_j`
+/// resources. The paper's budget vector `C = (C_1, ..., C_K)`; most
+/// experiments use a uniform `C`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Budget {
+    /// The same number of probes at every chronon.
+    Uniform(u32),
+    /// An explicit per-chronon vector; chronons past the end of the vector
+    /// get zero budget.
+    PerChronon(Vec<u32>),
+}
+
+impl Budget {
+    /// The budget `C_j` available at chronon `t`.
+    #[inline]
+    pub fn at(&self, t: Chronon) -> u32 {
+        match self {
+            Budget::Uniform(c) => *c,
+            Budget::PerChronon(v) => v.get(t as usize).copied().unwrap_or(0),
+        }
+    }
+
+    /// `C_max = max_j C_j` over the first `horizon` chronons — the quantity
+    /// driving the enumeration cost of Prop. 4 and the approximation ratio
+    /// of the Local-Ratio baseline.
+    pub fn max_over(&self, horizon: Chronon) -> u32 {
+        match self {
+            Budget::Uniform(c) => *c,
+            Budget::PerChronon(v) => v
+                .iter()
+                .take(horizon as usize)
+                .copied()
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Total probes available over the first `horizon` chronons.
+    pub fn total_over(&self, horizon: Chronon) -> u64 {
+        match self {
+            Budget::Uniform(c) => u64::from(*c) * u64::from(horizon),
+            Budget::PerChronon(v) => v
+                .iter()
+                .take(horizon as usize)
+                .map(|&c| u64::from(c))
+                .sum(),
+        }
+    }
+}
+
+impl From<u32> for Budget {
+    fn from(c: u32) -> Self {
+        Budget::Uniform(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_budget_is_constant() {
+        let b = Budget::Uniform(3);
+        assert_eq!(b.at(0), 3);
+        assert_eq!(b.at(999), 3);
+        assert_eq!(b.max_over(1000), 3);
+        assert_eq!(b.total_over(10), 30);
+    }
+
+    #[test]
+    fn per_chronon_budget_indexes_and_defaults_to_zero() {
+        let b = Budget::PerChronon(vec![1, 0, 4]);
+        assert_eq!(b.at(0), 1);
+        assert_eq!(b.at(1), 0);
+        assert_eq!(b.at(2), 4);
+        assert_eq!(b.at(3), 0);
+    }
+
+    #[test]
+    fn per_chronon_max_respects_horizon() {
+        let b = Budget::PerChronon(vec![1, 2, 9]);
+        assert_eq!(b.max_over(2), 2);
+        assert_eq!(b.max_over(3), 9);
+        assert_eq!(b.max_over(0), 0);
+    }
+
+    #[test]
+    fn per_chronon_total_respects_horizon() {
+        let b = Budget::PerChronon(vec![1, 2, 9]);
+        assert_eq!(b.total_over(2), 3);
+        assert_eq!(b.total_over(10), 12);
+    }
+
+    #[test]
+    fn from_u32_builds_uniform() {
+        assert_eq!(Budget::from(5), Budget::Uniform(5));
+    }
+}

@@ -1,0 +1,212 @@
+//! Ergonomic construction of problem instances.
+
+use super::{Budget, Cei, CeiId, Chronon, Ei, Epoch, Instance, Profile, ProfileId, ResourceId};
+
+/// Builds an [`Instance`] incrementally: declare profiles, attach CEIs,
+/// build. Keeps ids dense and profile ranks up to date.
+///
+/// ```
+/// use webmon_core::model::{Budget, InstanceBuilder};
+///
+/// let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+/// let p = b.profile();
+/// let cei = b.cei(p, &[(0, 1, 4), (1, 2, 6)]);
+/// let instance = b.build();
+/// assert_eq!(instance.cei(cei).size(), 2);
+/// assert_eq!(instance.profiles[p.index()].rank, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    n_resources: u32,
+    epoch: Epoch,
+    budget: Budget,
+    ceis: Vec<Cei>,
+    profiles: Vec<Profile>,
+}
+
+impl InstanceBuilder {
+    /// Starts an instance with `n_resources` resources, an epoch of
+    /// `horizon` chronons, and the given probing budget.
+    pub fn new(n_resources: u32, horizon: Chronon, budget: Budget) -> Self {
+        InstanceBuilder {
+            n_resources,
+            epoch: Epoch::new(horizon),
+            budget,
+            ceis: Vec::new(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Declares a new (empty) profile and returns its id.
+    pub fn profile(&mut self) -> ProfileId {
+        let id = ProfileId(self.profiles.len() as u32);
+        self.profiles.push(Profile::new(id));
+        id
+    }
+
+    /// Adds a CEI to profile `p`. Each `(resource, start, end)` triple is one
+    /// EI. The CEI releases at the start of its earliest EI.
+    ///
+    /// # Panics
+    /// Panics if `p` was not declared, `eis` is empty, or any triple is
+    /// invalid.
+    pub fn cei(&mut self, p: ProfileId, eis: &[(u32, Chronon, Chronon)]) -> CeiId {
+        let eis: Vec<Ei> = eis
+            .iter()
+            .map(|&(r, s, e)| Ei::new(ResourceId(r), s, e))
+            .collect();
+        self.cei_from_eis(p, eis, None)
+    }
+
+    /// Adds a CEI with an explicit release chronon (the proxy learns of the
+    /// CEI at `release`, possibly before any window opens).
+    pub fn cei_released(
+        &mut self,
+        p: ProfileId,
+        release: Chronon,
+        eis: &[(u32, Chronon, Chronon)],
+    ) -> CeiId {
+        let eis: Vec<Ei> = eis
+            .iter()
+            .map(|&(r, s, e)| Ei::new(ResourceId(r), s, e))
+            .collect();
+        self.cei_from_eis(p, eis, Some(release))
+    }
+
+    /// Adds a CEI with a utility weight (§VII profile-utility extension).
+    pub fn cei_weighted(
+        &mut self,
+        p: ProfileId,
+        weight: f32,
+        eis: &[(u32, Chronon, Chronon)],
+    ) -> CeiId {
+        let id = self.cei(p, eis);
+        let cei = self.ceis.last_mut().expect("just pushed");
+        *cei = cei.clone().with_weight(weight);
+        id
+    }
+
+    /// Adds a threshold-semantics CEI: captured once `required` of its EIs
+    /// are (§VII "alternatives" extension).
+    pub fn cei_threshold(
+        &mut self,
+        p: ProfileId,
+        required: u16,
+        eis: &[(u32, Chronon, Chronon)],
+    ) -> CeiId {
+        let id = self.cei(p, eis);
+        let cei = self.ceis.last_mut().expect("just pushed");
+        *cei = cei.clone().with_required(required);
+        id
+    }
+
+    /// Adds a CEI from already-built [`Ei`]s.
+    pub fn cei_from_eis(&mut self, p: ProfileId, eis: Vec<Ei>, release: Option<Chronon>) -> CeiId {
+        let id = CeiId(self.ceis.len() as u32);
+        let cei = match release {
+            Some(r) => Cei::with_release(id, p, r, eis),
+            None => Cei::new(id, p, eis),
+        };
+        let profile = self
+            .profiles
+            .get_mut(p.index())
+            .expect("profile must be declared before attaching CEIs");
+        profile.ceis.push(id);
+        profile.rank = profile
+            .rank
+            .max(u16::try_from(cei.size()).expect("CEI size fits in u16"));
+        self.ceis.push(cei);
+        id
+    }
+
+    /// Number of CEIs added so far.
+    pub fn n_ceis(&self) -> usize {
+        self.ceis.len()
+    }
+
+    /// Number of profiles declared so far.
+    pub fn n_profiles(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Finalizes the instance, validating all invariants.
+    pub fn build(self) -> Instance {
+        Instance::from_parts(
+            self.n_resources,
+            self.epoch,
+            self.budget,
+            self.ceis,
+            self.profiles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p0 = b.profile();
+        let p1 = b.profile();
+        assert_eq!(p0, ProfileId(0));
+        assert_eq!(p1, ProfileId(1));
+        let c0 = b.cei(p0, &[(0, 0, 1)]);
+        let c1 = b.cei(p1, &[(1, 2, 3)]);
+        assert_eq!(c0, CeiId(0));
+        assert_eq!(c1, CeiId(1));
+        assert_eq!(b.n_ceis(), 2);
+        assert_eq!(b.n_profiles(), 2);
+    }
+
+    #[test]
+    fn builder_maintains_profile_rank() {
+        let mut b = InstanceBuilder::new(3, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1)]);
+        b.cei(p, &[(0, 2, 3), (1, 2, 3), (2, 2, 3)]);
+        b.cei(p, &[(0, 5, 6), (1, 5, 6)]);
+        let inst = b.build();
+        assert_eq!(inst.profiles[0].rank, 3);
+        assert_eq!(inst.profiles[0].len(), 3);
+    }
+
+    #[test]
+    fn cei_released_sets_release() {
+        let mut b = InstanceBuilder::new(1, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_released(p, 0, &[(0, 4, 6)]);
+        let inst = b.build();
+        assert_eq!(inst.cei(CeiId(0)).release, 0);
+        assert_eq!(inst.released_at(0), &[CeiId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared before attaching")]
+    fn cei_on_undeclared_profile_rejected() {
+        let mut b = InstanceBuilder::new(1, 10, Budget::Uniform(1));
+        b.cei(ProfileId(3), &[(0, 0, 1)]);
+    }
+
+    #[test]
+    fn weighted_and_threshold_ceis() {
+        let mut b = InstanceBuilder::new(3, 10, Budget::Uniform(1));
+        let p = b.profile();
+        let w = b.cei_weighted(p, 2.5, &[(0, 0, 1)]);
+        let t = b.cei_threshold(p, 1, &[(0, 2, 3), (1, 2, 3), (2, 2, 3)]);
+        let inst = b.build();
+        assert_eq!(inst.cei(w).weight, 2.5);
+        assert_eq!(inst.cei(t).required, 1);
+        assert_eq!(inst.cei(t).size(), 3);
+        // Rank still counts EIs, not the threshold.
+        assert_eq!(inst.profiles[0].rank, 3);
+    }
+
+    #[test]
+    fn empty_build_succeeds() {
+        let inst = InstanceBuilder::new(1, 1, Budget::Uniform(1)).build();
+        assert_eq!(inst.total_eis(), 0);
+        assert_eq!(inst.rank(), 0);
+    }
+}

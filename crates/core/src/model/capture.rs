@@ -1,0 +1,336 @@
+//! Capture indicators and gained completeness (Section III-B/C, Eq. 1).
+
+use super::{Cei, Ei, Instance, Schedule};
+
+/// The paper's indicator `X(I, S)`: `true` iff schedule `S` probes `r(I)`
+/// at some chronon inside the window of `I`.
+pub fn ei_captured(ei: Ei, schedule: &Schedule) -> bool {
+    (ei.start..=ei.end).any(|t| schedule.is_probed(ei.resource, t))
+}
+
+/// The paper's indicator `X(η, S) = Π_{I ∈ η} X(I, S)` generalized to
+/// threshold semantics: a CEI is captured iff at least `required` of its
+/// EIs are. For plain AND CEIs (`required == |η|`, every Section III–V
+/// construct) this is exactly the paper's conjunction.
+pub fn cei_captured(cei: &Cei, schedule: &Schedule) -> bool {
+    let mut captured = 0u16;
+    for &ei in &cei.eis {
+        if ei_captured(ei, schedule) {
+            captured += 1;
+            if captured >= cei.required {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Gained completeness (Eq. 1): the fraction of CEIs over all profiles that
+/// schedule `S` captures,
+/// `GC(P, T, S) = Σ_p Σ_{η ∈ p} X(η, S) / Σ_p |p|`.
+///
+/// Returns `0.0` for an instance without CEIs.
+pub fn gained_completeness(instance: &Instance, schedule: &Schedule) -> f64 {
+    if instance.ceis.is_empty() {
+        return 0.0;
+    }
+    let captured = instance
+        .ceis
+        .iter()
+        .filter(|c| cei_captured(c, schedule))
+        .count();
+    captured as f64 / instance.ceis.len() as f64
+}
+
+/// Evaluates an arbitrary schedule against an instance, producing
+/// [`RunStats`](crate::stats::RunStats) comparable to what the online engine
+/// reports. Used to score offline schedules and to validate noisy
+/// predictions against ground truth.
+///
+/// CEI-level counts agree exactly with the engine's. The EI-level count is
+/// the raw indicator `Σ X(I, S)` and can exceed the engine's `eis_captured`,
+/// because the engine stops crediting EIs of CEIs that already failed
+/// (probes landing in such windows are coincidental under AND semantics).
+pub fn evaluate_schedule(instance: &Instance, schedule: &Schedule) -> crate::stats::RunStats {
+    use crate::stats::{CeiOutcome, RunStats};
+    let mut stats = RunStats {
+        n_ceis: instance.ceis.len() as u64,
+        n_eis: instance.total_eis() as u64,
+        probes_used: schedule.total_probes(),
+        budget_spent: schedule
+            .iter()
+            .map(|(_, r)| u64::from(instance.costs.of(r)))
+            .sum(),
+        probes_available: instance.budget.total_over(instance.epoch.len()),
+        ..Default::default()
+    };
+    for cei in &instance.ceis {
+        let mut captured = 0u16;
+        let mut last_capture: u32 = 0;
+        for &ei in &cei.eis {
+            if ei_captured(ei, schedule) {
+                stats.eis_captured += 1;
+                captured += 1;
+                last_capture = last_capture.max(ei.end);
+            }
+        }
+        let outcome = if captured >= cei.required {
+            CeiOutcome::Captured { at: last_capture }
+        } else {
+            CeiOutcome::Failed {
+                at: cei.earliest_deadline(),
+            }
+        };
+        stats.record_outcome_of(cei, outcome);
+    }
+    stats
+}
+
+/// Incremental capture bookkeeping for one CEI: which of its EIs a schedule
+/// has captured so far. Used by the online engine and the offline schedule
+/// realizers, where re-scanning the schedule per EI (as the pure indicator
+/// functions do) would be quadratic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureSet {
+    captured: Vec<bool>,
+    expired: Vec<bool>,
+    n_captured: usize,
+    n_expired: usize,
+}
+
+impl CaptureSet {
+    /// A capture set for a CEI with `size` EIs, initially all uncaptured.
+    pub fn new(size: usize) -> Self {
+        CaptureSet {
+            captured: vec![false; size],
+            expired: vec![false; size],
+            n_captured: 0,
+            n_expired: 0,
+        }
+    }
+
+    /// Marks EI `idx` captured. Idempotent; returns `true` if newly captured.
+    ///
+    /// # Panics
+    /// Panics if the EI already expired uncaptured — a closed window cannot
+    /// be captured.
+    pub fn capture(&mut self, idx: usize) -> bool {
+        assert!(!self.expired[idx], "EI {idx} already expired uncaptured");
+        if self.captured[idx] {
+            false
+        } else {
+            self.captured[idx] = true;
+            self.n_captured += 1;
+            true
+        }
+    }
+
+    /// Marks an uncaptured EI's window as closed. Idempotent; no effect on
+    /// captured EIs. Returns `true` if newly expired.
+    pub fn mark_expired(&mut self, idx: usize) -> bool {
+        if self.captured[idx] || self.expired[idx] {
+            false
+        } else {
+            self.expired[idx] = true;
+            self.n_expired += 1;
+            true
+        }
+    }
+
+    /// `true` iff EI `idx` has been captured.
+    #[inline]
+    pub fn is_captured(&self, idx: usize) -> bool {
+        self.captured[idx]
+    }
+
+    /// `true` iff EI `idx` expired uncaptured.
+    #[inline]
+    pub fn is_expired(&self, idx: usize) -> bool {
+        self.expired[idx]
+    }
+
+    /// Number of EIs captured so far (`Σ_{I' ∈ η} X(I', S)`).
+    #[inline]
+    pub fn n_captured(&self) -> usize {
+        self.n_captured
+    }
+
+    /// Number of EIs still to capture.
+    #[inline]
+    pub fn n_remaining(&self) -> usize {
+        self.captured.len() - self.n_captured
+    }
+
+    /// Number of EIs that can still be captured (not yet expired), counting
+    /// already-captured ones — the ceiling on the final capture count.
+    #[inline]
+    pub fn n_possible(&self) -> usize {
+        self.captured.len() - self.n_expired
+    }
+
+    /// `true` iff at least `required` EIs are captured — the CEI is
+    /// satisfied under threshold semantics (`required = |η|` is the paper's
+    /// AND).
+    #[inline]
+    pub fn meets(&self, required: u16) -> bool {
+        self.n_captured >= usize::from(required)
+    }
+
+    /// `true` iff fewer than `required` EIs can ever be captured — the CEI
+    /// is doomed.
+    #[inline]
+    pub fn is_doomed(&self, required: u16) -> bool {
+        self.n_possible() < usize::from(required)
+    }
+
+    /// `true` iff every EI is captured.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.n_captured == self.captured.len()
+    }
+
+    /// `true` iff at least one EI is captured — the CEI has been "probed at
+    /// least once", the criterion the non-preemptive mode protects.
+    #[inline]
+    pub fn is_started(&self) -> bool {
+        self.n_captured > 0
+    }
+
+    /// Per-EI capture flags, parallel to `cei.eis`.
+    #[inline]
+    pub fn flags(&self) -> &[bool] {
+        &self.captured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Budget, CeiId, Epoch, InstanceBuilder, ProfileId, ResourceId};
+
+    fn ei(r: u32, s: u32, e: u32) -> Ei {
+        Ei::new(ResourceId(r), s, e)
+    }
+
+    #[test]
+    fn ei_capture_requires_probe_inside_window() {
+        let mut s = Schedule::new(2, Epoch::new(10));
+        s.probe(ResourceId(0), 5);
+        assert!(ei_captured(ei(0, 3, 5), &s));
+        assert!(ei_captured(ei(0, 5, 9), &s));
+        assert!(!ei_captured(ei(0, 6, 9), &s));
+        assert!(!ei_captured(ei(1, 3, 7), &s));
+    }
+
+    #[test]
+    fn cei_capture_is_conjunctive() {
+        let cei = Cei::new(CeiId(0), ProfileId(0), vec![ei(0, 0, 2), ei(1, 1, 3)]);
+        let mut s = Schedule::new(2, Epoch::new(5));
+        s.probe(ResourceId(0), 1);
+        assert!(!cei_captured(&cei, &s));
+        s.probe(ResourceId(1), 3);
+        assert!(cei_captured(&cei, &s));
+    }
+
+    #[test]
+    fn completeness_counts_fraction_of_ceis() {
+        let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1)]);
+        b.cei(p, &[(1, 2, 3)]);
+        b.cei(p, &[(0, 4, 5), (1, 4, 5)]);
+        let inst = b.build();
+
+        let mut s = Schedule::new(2, Epoch::new(6));
+        s.probe(ResourceId(0), 0); // captures the first CEI
+        s.probe(ResourceId(0), 4); // half of the third CEI
+        assert!((gained_completeness(&inst, &s) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completeness_of_empty_instance_is_zero() {
+        let b = InstanceBuilder::new(1, 1, Budget::Uniform(1));
+        let inst = b.build();
+        let s = Schedule::new(1, Epoch::new(1));
+        assert_eq!(gained_completeness(&inst, &s), 0.0);
+    }
+
+    #[test]
+    fn evaluate_schedule_matches_indicator_functions() {
+        let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1), (1, 0, 1)]);
+        b.cei(p, &[(0, 3, 5)]);
+        let inst = b.build();
+
+        let mut s = Schedule::new(2, Epoch::new(6));
+        s.probe(ResourceId(0), 0);
+        s.probe(ResourceId(1), 1);
+        let stats = evaluate_schedule(&inst, &s);
+        assert_eq!(stats.ceis_captured, 1);
+        assert_eq!(stats.eis_captured, 2);
+        assert_eq!(stats.probes_used, 2);
+        assert_eq!(stats.n_ceis, 2);
+        assert!((stats.completeness() - 0.5).abs() < 1e-12);
+        let total: u64 = stats.by_size.values().map(|b| b.total).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn capture_set_tracks_progress() {
+        let mut cs = CaptureSet::new(3);
+        assert!(!cs.is_started());
+        assert!(cs.capture(1));
+        assert!(!cs.capture(1)); // idempotent
+        assert!(cs.is_started());
+        assert!(!cs.is_complete());
+        assert_eq!(cs.n_captured(), 1);
+        assert_eq!(cs.n_remaining(), 2);
+        cs.capture(0);
+        cs.capture(2);
+        assert!(cs.is_complete());
+        assert_eq!(cs.flags(), &[true, true, true]);
+    }
+
+    #[test]
+    fn capture_set_threshold_semantics() {
+        let mut cs = CaptureSet::new(3);
+        assert!(!cs.meets(2));
+        cs.capture(0);
+        cs.capture(2);
+        assert!(cs.meets(2));
+        assert!(!cs.meets(3));
+        assert!(!cs.is_complete());
+    }
+
+    #[test]
+    fn capture_set_expiry_and_doom() {
+        let mut cs = CaptureSet::new(3);
+        assert_eq!(cs.n_possible(), 3);
+        assert!(cs.mark_expired(0));
+        assert!(!cs.mark_expired(0)); // idempotent
+        assert_eq!(cs.n_possible(), 2);
+        assert!(cs.is_doomed(3)); // AND can never complete
+        assert!(!cs.is_doomed(2)); // 2-of-3 still viable
+        cs.capture(1);
+        assert!(!cs.mark_expired(1)); // captured EIs never expire
+        assert_eq!(cs.n_possible(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already expired")]
+    fn capturing_expired_ei_rejected() {
+        let mut cs = CaptureSet::new(1);
+        cs.mark_expired(0);
+        cs.capture(0);
+    }
+
+    #[test]
+    fn threshold_cei_captured_by_subset() {
+        let cei = Cei::new(CeiId(0), ProfileId(0), vec![ei(0, 0, 2), ei(1, 1, 3)])
+            .with_required(1);
+        let mut s = Schedule::new(2, Epoch::new(5));
+        s.probe(ResourceId(0), 1);
+        assert!(cei_captured(&cei, &s));
+    }
+}

@@ -1,0 +1,317 @@
+//! Complex execution intervals (CEIs).
+
+use super::{Chronon, Ei, ProfileId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a complex execution interval, unique within an
+/// [`Instance`](super::Instance). Dense: usable as an index into per-CEI
+/// arrays.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct CeiId(pub u32);
+
+impl CeiId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CeiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cei{}", self.0)
+    }
+}
+
+/// A *complex execution interval*: a bag of [`Ei`]s, possibly over several
+/// resources, under AND semantics — every EI must be captured (in any order)
+/// for the CEI to be captured.
+///
+/// CEIs arrive online: the proxy learns of a CEI at its `release` chronon
+/// (e.g. when a triggering update is detected), which is never later than the
+/// start of its earliest EI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cei {
+    /// Instance-unique identifier.
+    pub id: CeiId,
+    /// The profile this CEI belongs to.
+    pub profile: ProfileId,
+    /// Chronon at which the proxy learns of this CEI.
+    pub release: Chronon,
+    /// The execution intervals to capture. A *bag*: duplicates are legal
+    /// (intra-resource overlap).
+    pub eis: Vec<Ei>,
+    /// Number of EIs that must be captured for the CEI to be satisfied.
+    /// The paper's AND semantics is `required == eis.len()` (the default);
+    /// smaller values realize the "alternatives" extension of Section VII
+    /// (capture of a subset of EIs). Always `1 ≤ required ≤ eis.len()`.
+    pub required: u16,
+    /// Client-assigned utility of capturing this CEI — the profile-utility
+    /// extension of Section VII. Plain gained completeness (Eq. 1) weights
+    /// every CEI `1.0` (the default).
+    pub weight: f32,
+}
+
+impl Cei {
+    /// Creates an AND-semantics, unit-weight CEI releasing at the start of
+    /// its earliest EI.
+    ///
+    /// # Panics
+    /// Panics if `eis` is empty — a CEI must contain at least one EI.
+    pub fn new(id: CeiId, profile: ProfileId, eis: Vec<Ei>) -> Self {
+        assert!(!eis.is_empty(), "a CEI must contain at least one EI");
+        let release = eis.iter().map(|i| i.start).min().expect("non-empty");
+        let required = eis.len() as u16;
+        Cei {
+            id,
+            profile,
+            release,
+            eis,
+            required,
+            weight: 1.0,
+        }
+    }
+
+    /// Creates a CEI with an explicit release chronon.
+    ///
+    /// # Panics
+    /// Panics if `eis` is empty or if `release` is later than the earliest EI
+    /// start (a CEI the proxy learns about only after one of its windows has
+    /// opened could never be captured reliably; clamp upstream instead).
+    pub fn with_release(id: CeiId, profile: ProfileId, release: Chronon, eis: Vec<Ei>) -> Self {
+        assert!(!eis.is_empty(), "a CEI must contain at least one EI");
+        let earliest = eis.iter().map(|i| i.start).min().expect("non-empty");
+        assert!(
+            release <= earliest,
+            "release chronon {release} is after the earliest EI start {earliest}"
+        );
+        let required = eis.len() as u16;
+        Cei {
+            id,
+            profile,
+            release,
+            eis,
+            required,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the satisfaction threshold: the CEI is captured once `required`
+    /// of its EIs are (threshold / "alternatives" semantics, §VII).
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ required ≤ |η|`.
+    pub fn with_required(mut self, required: u16) -> Self {
+        assert!(
+            required >= 1 && usize::from(required) <= self.eis.len(),
+            "required must lie in [1, {}] (got {required})",
+            self.eis.len()
+        );
+        self.required = required;
+        self
+    }
+
+    /// Sets the client utility weight of this CEI.
+    ///
+    /// # Panics
+    /// Panics unless the weight is finite and positive.
+    pub fn with_weight(mut self, weight: f32) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be finite and positive (got {weight})"
+        );
+        self.weight = weight;
+        self
+    }
+
+    /// `true` if this CEI uses the paper's plain AND semantics at unit
+    /// weight (every Section III–V construct does).
+    pub fn is_plain(&self) -> bool {
+        usize::from(self.required) == self.eis.len() && self.weight == 1.0
+    }
+
+    /// Number of execution intervals — the paper's `|η|`, the basis of
+    /// profile rank.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.eis.len()
+    }
+
+    /// Sum of all EI lengths, `Σ_{I ∈ η} |I|` — the quantity bounding the
+    /// MRSF competitive ratio (Prop. 2) and the M-EDF weight at release.
+    pub fn total_chronons(&self) -> u64 {
+        self.eis.iter().map(|i| u64::from(i.len())).sum()
+    }
+
+    /// Last chronon at which any EI of this CEI is still active; after this
+    /// the CEI is either captured or failed.
+    pub fn horizon(&self) -> Chronon {
+        self.eis.iter().map(|i| i.end).max().expect("non-empty")
+    }
+
+    /// First chronon at which the earliest EI opens.
+    pub fn earliest_start(&self) -> Chronon {
+        self.eis.iter().map(|i| i.start).min().expect("non-empty")
+    }
+
+    /// Deadline of the tightest EI: if no probe lands in any window by its
+    /// own end, the CEI fails at the earliest such end.
+    pub fn earliest_deadline(&self) -> Chronon {
+        self.eis.iter().map(|i| i.end).min().expect("non-empty")
+    }
+
+    /// `true` if every EI has a width of exactly one chronon — the paper's
+    /// `P^[1]` class (Prop. 3 / Section IV-B.2).
+    pub fn is_unit_width(&self) -> bool {
+        self.eis.iter().all(|i| i.len() == 1)
+    }
+
+    /// `true` if at least two EIs of this CEI refer to the same resource and
+    /// overlap in time (*intra-resource overlap*), meaning one probe could
+    /// capture both.
+    pub fn has_intra_resource_overlap(&self) -> bool {
+        for (a, ei_a) in self.eis.iter().enumerate() {
+            for ei_b in &self.eis[a + 1..] {
+                if ei_a.intra_resource_overlap(*ei_b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Cei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.id)?;
+        for (k, ei) in self.eis.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ei}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ResourceId;
+
+    fn ei(r: u32, s: Chronon, e: Chronon) -> Ei {
+        Ei::new(ResourceId(r), s, e)
+    }
+
+    fn cei(eis: Vec<Ei>) -> Cei {
+        Cei::new(CeiId(0), ProfileId(0), eis)
+    }
+
+    #[test]
+    fn release_defaults_to_earliest_start() {
+        let c = cei(vec![ei(0, 5, 9), ei(1, 3, 4)]);
+        assert_eq!(c.release, 3);
+        assert_eq!(c.earliest_start(), 3);
+    }
+
+    #[test]
+    fn explicit_release_must_precede_earliest_start() {
+        let c = Cei::with_release(CeiId(1), ProfileId(0), 1, vec![ei(0, 5, 9)]);
+        assert_eq!(c.release, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the earliest EI start")]
+    fn late_release_rejected() {
+        let _ = Cei::with_release(CeiId(1), ProfileId(0), 6, vec![ei(0, 5, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one EI")]
+    fn empty_cei_rejected() {
+        let _ = cei(vec![]);
+    }
+
+    #[test]
+    fn size_and_total_chronons() {
+        let c = cei(vec![ei(0, 0, 4), ei(1, 2, 3)]);
+        assert_eq!(c.size(), 2);
+        assert_eq!(c.total_chronons(), 5 + 2);
+    }
+
+    #[test]
+    fn horizon_and_deadline() {
+        let c = cei(vec![ei(0, 0, 4), ei(1, 2, 9), ei(2, 1, 2)]);
+        assert_eq!(c.horizon(), 9);
+        assert_eq!(c.earliest_deadline(), 2);
+    }
+
+    #[test]
+    fn unit_width_detection() {
+        assert!(cei(vec![ei(0, 3, 3), ei(1, 7, 7)]).is_unit_width());
+        assert!(!cei(vec![ei(0, 3, 4)]).is_unit_width());
+    }
+
+    #[test]
+    fn intra_resource_overlap_detection() {
+        // Same resource, overlapping windows.
+        assert!(cei(vec![ei(0, 0, 4), ei(0, 3, 6)]).has_intra_resource_overlap());
+        // Same resource, disjoint windows.
+        assert!(!cei(vec![ei(0, 0, 2), ei(0, 3, 6)]).has_intra_resource_overlap());
+        // Different resources, overlapping windows.
+        assert!(!cei(vec![ei(0, 0, 4), ei(1, 3, 6)]).has_intra_resource_overlap());
+    }
+
+    #[test]
+    fn defaults_are_plain_and_semantics() {
+        let c = cei(vec![ei(0, 0, 1), ei(1, 0, 1)]);
+        assert_eq!(c.required, 2);
+        assert_eq!(c.weight, 1.0);
+        assert!(c.is_plain());
+    }
+
+    #[test]
+    fn threshold_and_weight_builders() {
+        let c = cei(vec![ei(0, 0, 1), ei(1, 0, 1), ei(2, 0, 1)])
+            .with_required(2)
+            .with_weight(3.5);
+        assert_eq!(c.required, 2);
+        assert_eq!(c.weight, 3.5);
+        assert!(!c.is_plain());
+    }
+
+    #[test]
+    #[should_panic(expected = "required must lie in")]
+    fn zero_threshold_rejected() {
+        let _ = cei(vec![ei(0, 0, 1)]).with_required(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "required must lie in")]
+    fn oversized_threshold_rejected() {
+        let _ = cei(vec![ei(0, 0, 1)]).with_required(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_weight_rejected() {
+        let _ = cei(vec![ei(0, 0, 1)]).with_weight(0.0);
+    }
+
+    #[test]
+    fn duplicate_eis_are_legal_bag_semantics() {
+        let c = cei(vec![ei(0, 1, 2), ei(0, 1, 2)]);
+        assert_eq!(c.size(), 2);
+        assert!(c.has_intra_resource_overlap());
+    }
+
+    #[test]
+    fn display_lists_eis() {
+        let c = cei(vec![ei(0, 1, 2), ei(1, 3, 4)]);
+        assert_eq!(c.to_string(), "cei0(r0@[1, 2], r1@[3, 4])");
+    }
+}

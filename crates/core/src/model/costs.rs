@@ -1,0 +1,84 @@
+//! Per-resource probe costs — the extension Section III defers to future
+//! work ("extracting a stock price may be cheaper than searching for a
+//! keyword in a blog; bandwidth; monetary charges at the servers").
+//!
+//! With costs, the per-chronon constraint generalizes from "at most `C_j`
+//! probes" to "total probe cost at most `C_j`".
+
+use super::ResourceId;
+use serde::{Deserialize, Serialize};
+
+/// The cost of probing each resource, in budget units.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ProbeCosts {
+    /// Every probe costs one budget unit — the paper's setting.
+    #[default]
+    Uniform,
+    /// An explicit per-resource cost vector; resources past the end of the
+    /// vector cost one unit.
+    PerResource(Vec<u32>),
+}
+
+impl ProbeCosts {
+    /// The cost of probing resource `r`.
+    #[inline]
+    pub fn of(&self, r: ResourceId) -> u32 {
+        match self {
+            ProbeCosts::Uniform => 1,
+            ProbeCosts::PerResource(v) => v.get(r.index()).copied().unwrap_or(1),
+        }
+    }
+
+    /// `true` if every probe costs one unit (the paper's setting).
+    pub fn is_uniform(&self) -> bool {
+        match self {
+            ProbeCosts::Uniform => true,
+            ProbeCosts::PerResource(v) => v.iter().all(|&c| c == 1),
+        }
+    }
+
+    /// Builds a per-resource cost vector.
+    ///
+    /// # Panics
+    /// Panics if any cost is zero (free probes make the budget meaningless).
+    pub fn per_resource(costs: Vec<u32>) -> Self {
+        assert!(
+            costs.iter().all(|&c| c > 0),
+            "probe costs must be positive"
+        );
+        ProbeCosts::PerResource(costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_one_everywhere() {
+        let c = ProbeCosts::Uniform;
+        assert_eq!(c.of(ResourceId(0)), 1);
+        assert_eq!(c.of(ResourceId(999)), 1);
+        assert!(c.is_uniform());
+    }
+
+    #[test]
+    fn per_resource_costs_index_and_default() {
+        let c = ProbeCosts::per_resource(vec![2, 5]);
+        assert_eq!(c.of(ResourceId(0)), 2);
+        assert_eq!(c.of(ResourceId(1)), 5);
+        assert_eq!(c.of(ResourceId(2)), 1); // past the vector
+        assert!(!c.is_uniform());
+    }
+
+    #[test]
+    fn all_ones_counts_as_uniform() {
+        assert!(ProbeCosts::per_resource(vec![1, 1, 1]).is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cost_rejected() {
+        let _ = ProbeCosts::per_resource(vec![1, 0]);
+    }
+}

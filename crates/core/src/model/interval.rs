@@ -1,0 +1,173 @@
+//! Simple execution intervals (EIs).
+
+use super::{Chronon, ResourceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple *execution interval*: resource `r` must be probed at least once
+/// during the closed chronon range `[start, end]` for the interval to be
+/// captured (the paper's `I = [T_s, T_f]` with `T_s <= T_f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ei {
+    /// The resource this interval refers to (`r(I)`).
+    pub resource: ResourceId,
+    /// First chronon of the window (`I.T_s`), inclusive.
+    pub start: Chronon,
+    /// Last chronon of the window (`I.T_f`), inclusive.
+    pub end: Chronon,
+}
+
+impl Ei {
+    /// Creates an execution interval.
+    ///
+    /// # Panics
+    /// Panics if `start > end` (the paper requires `T_s <= T_f`).
+    pub fn new(resource: ResourceId, start: Chronon, end: Chronon) -> Self {
+        assert!(
+            start <= end,
+            "execution interval must satisfy T_s <= T_f (got [{start}, {end}])"
+        );
+        Ei {
+            resource,
+            start,
+            end,
+        }
+    }
+
+    /// Number of chronons in the window (the paper's `|I|`).
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Execution intervals always contain at least one chronon.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// `true` if the window contains chronon `t`.
+    #[inline]
+    pub fn contains(self, t: Chronon) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// `true` if the window is *active* at chronon `t` — i.e. a probe at `t`
+    /// would capture it. Synonym of [`contains`](Self::contains), named after
+    /// the paper's usage.
+    #[inline]
+    pub fn is_active(self, t: Chronon) -> bool {
+        self.contains(t)
+    }
+
+    /// `true` once the window has passed without possibility of capture at
+    /// or after chronon `t`.
+    #[inline]
+    pub fn is_expired(self, t: Chronon) -> bool {
+        t > self.end
+    }
+
+    /// `true` if the window has not opened yet at chronon `t`.
+    #[inline]
+    pub fn is_future(self, t: Chronon) -> bool {
+        t < self.start
+    }
+
+    /// Remaining chronons including `t` itself — the paper's
+    /// `S-EDF(I, T) = I.T_f - T + 1`. Meaningful while `t <= end`.
+    #[inline]
+    pub fn remaining(self, t: Chronon) -> u32 {
+        debug_assert!(t <= self.end, "remaining() called after expiry");
+        self.end - t + 1
+    }
+
+    /// `true` if the two intervals share at least one chronon.
+    #[inline]
+    pub fn overlaps_in_time(self, other: Ei) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// `true` if the intervals refer to the same resource *and* share a
+    /// chronon — the paper's *intra-resource overlap*, which a single probe
+    /// can exploit to capture both.
+    #[inline]
+    pub fn intra_resource_overlap(self, other: Ei) -> bool {
+        self.resource == other.resource && self.overlaps_in_time(other)
+    }
+}
+
+impl fmt::Display for Ei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@[{}, {}]", self.resource, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ei(r: u32, s: Chronon, e: Chronon) -> Ei {
+        Ei::new(ResourceId(r), s, e)
+    }
+
+    #[test]
+    fn length_counts_inclusive_chronons() {
+        assert_eq!(ei(0, 3, 3).len(), 1);
+        assert_eq!(ei(0, 3, 7).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "T_s <= T_f")]
+    fn inverted_interval_rejected() {
+        let _ = ei(0, 5, 4);
+    }
+
+    #[test]
+    fn activity_lifecycle() {
+        let i = ei(1, 2, 4);
+        assert!(i.is_future(1));
+        assert!(!i.is_active(1));
+        assert!(i.is_active(2));
+        assert!(i.is_active(4));
+        assert!(!i.is_active(5));
+        assert!(i.is_expired(5));
+        assert!(!i.is_expired(4));
+    }
+
+    #[test]
+    fn remaining_matches_s_edf_definition() {
+        // Paper: S-EDF(I, T) = I.T_f - T + 1.
+        let i = ei(0, 2, 6);
+        assert_eq!(i.remaining(2), 5);
+        assert_eq!(i.remaining(6), 1);
+    }
+
+    #[test]
+    fn time_overlap_is_symmetric_and_inclusive() {
+        let a = ei(0, 0, 3);
+        let b = ei(1, 3, 5);
+        let c = ei(0, 4, 5);
+        assert!(a.overlaps_in_time(b));
+        assert!(b.overlaps_in_time(a));
+        assert!(!a.overlaps_in_time(c));
+    }
+
+    #[test]
+    fn intra_resource_overlap_requires_same_resource() {
+        let a = ei(0, 0, 3);
+        let b = ei(1, 2, 5);
+        let c = ei(0, 2, 5);
+        assert!(!a.intra_resource_overlap(b));
+        assert!(a.intra_resource_overlap(c));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ei(2, 1, 4).to_string(), "r2@[1, 4]");
+    }
+
+    #[test]
+    fn single_chronon_interval_is_never_empty() {
+        assert!(!ei(0, 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The data model of Section III: chronons, resources, execution intervals,
+//! complex execution intervals, profiles, budgets, schedules, and the
+//! capture / completeness arithmetic.
+
+mod budget;
+mod builder;
+mod costs;
+mod capture;
+mod cei;
+mod instance;
+mod interval;
+mod profile;
+mod resource;
+mod schedule;
+mod time;
+
+pub use budget::Budget;
+pub use builder::InstanceBuilder;
+pub use capture::{
+    cei_captured, ei_captured, evaluate_schedule, gained_completeness, CaptureSet,
+};
+pub use cei::{Cei, CeiId};
+pub use costs::ProbeCosts;
+pub use instance::Instance;
+pub use interval::Ei;
+pub use profile::{compute_rank, rank_of_profiles, Profile, ProfileId};
+pub use resource::ResourceId;
+pub use schedule::Schedule;
+pub use time::{Chronon, Epoch};

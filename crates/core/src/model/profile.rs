@@ -1,0 +1,125 @@
+//! Client profiles and profile rank.
+
+use super::{Cei, CeiId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a client profile, unique within an
+/// [`Instance`](super::Instance). Dense: usable as an index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ProfileId(pub u32);
+
+impl ProfileId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProfileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A client profile: the complex information need of one client, expressed
+/// as a collection of CEIs (stored flat in the owning
+/// [`Instance`](super::Instance); the profile keeps their ids).
+///
+/// The paper's hierarchy — profile → CEIs → EIs — makes two CEIs of one
+/// profile *siblings*, and likewise two EIs of one CEI.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Instance-unique identifier.
+    pub id: ProfileId,
+    /// Ids of the CEIs belonging to this profile.
+    pub ceis: Vec<CeiId>,
+    /// `rank(p) = max_{η ∈ p} |η|`: the maximal number of EIs in any CEI of
+    /// this profile — the paper's measure of profile complexity. Maintained
+    /// by [`InstanceBuilder`](super::InstanceBuilder).
+    pub rank: u16,
+}
+
+impl Profile {
+    /// Creates an empty profile; CEIs are attached through the builder.
+    pub fn new(id: ProfileId) -> Self {
+        Profile {
+            id,
+            ceis: Vec::new(),
+            rank: 0,
+        }
+    }
+
+    /// Number of CEIs in this profile (the paper's `|p|`, the denominator
+    /// contribution in Eq. 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ceis.len()
+    }
+
+    /// `true` if the profile has no CEIs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ceis.is_empty()
+    }
+}
+
+/// `rank(P) = max_{p ∈ P} rank(p)` over a set of profiles.
+pub fn rank_of_profiles(profiles: &[Profile]) -> u16 {
+    profiles.iter().map(|p| p.rank).max().unwrap_or(0)
+}
+
+/// Recomputes a profile's rank from the CEIs it references. Useful when
+/// assembling profiles by hand rather than through the builder.
+pub fn compute_rank<'a>(ceis: impl IntoIterator<Item = &'a Cei>) -> u16 {
+    ceis.into_iter()
+        .map(|c| u16::try_from(c.size()).expect("CEI size fits in u16"))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Ei, ResourceId};
+
+    fn mk_cei(id: u32, n_eis: usize) -> Cei {
+        let eis = (0..n_eis)
+            .map(|k| Ei::new(ResourceId(k as u32), 0, 1))
+            .collect();
+        Cei::new(CeiId(id), ProfileId(0), eis)
+    }
+
+    #[test]
+    fn empty_profile_has_rank_zero() {
+        let p = Profile::new(ProfileId(0));
+        assert_eq!(p.rank, 0);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn compute_rank_takes_max_cei_size() {
+        let ceis = [mk_cei(0, 2), mk_cei(1, 5), mk_cei(2, 1)];
+        assert_eq!(compute_rank(ceis.iter()), 5);
+    }
+
+    #[test]
+    fn rank_of_profiles_takes_max() {
+        let mut a = Profile::new(ProfileId(0));
+        a.rank = 3;
+        let mut b = Profile::new(ProfileId(1));
+        b.rank = 5;
+        assert_eq!(rank_of_profiles(&[a, b]), 5);
+        assert_eq!(rank_of_profiles(&[]), 0);
+    }
+
+    #[test]
+    fn profile_id_displays_with_prefix() {
+        assert_eq!(ProfileId(2).to_string(), "p2");
+    }
+}

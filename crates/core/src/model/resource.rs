@@ -1,0 +1,57 @@
+//! Resources: the pull-only streams a proxy can probe.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a monitored resource (a Web feed, an auction page, a stock
+/// ticker, ...). Resource ids are dense: an instance with `n` resources uses
+/// ids `0..n`, so a `ResourceId` doubles as an index into per-resource
+/// arrays.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ResourceId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ResourceId(v)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_id_roundtrips_as_index() {
+        let r = ResourceId(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(ResourceId::from(7u32), r);
+    }
+
+    #[test]
+    fn resource_id_displays_with_prefix() {
+        assert_eq!(ResourceId(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn resource_ids_order_by_value() {
+        assert!(ResourceId(1) < ResourceId(2));
+    }
+}

@@ -1,0 +1,94 @@
+//! Time: chronons and epochs.
+//!
+//! The paper models time as an epoch `T = (T_1, ..., T_K)` of `K` chronons,
+//! where a *chronon* is an indivisible unit of time. We index chronons from
+//! zero: an epoch of length `K` covers chronons `0..K`.
+
+use serde::{Deserialize, Serialize};
+
+/// An indivisible unit of time. Chronon `t` is the `t`-th tick of the epoch,
+/// counted from zero.
+///
+/// A plain `u32` alias (rather than a newtype) keeps the hot scheduling loops
+/// free of conversion noise; [`ResourceId`](super::ResourceId) and the other
+/// identifiers are newtypes because they are never used in arithmetic.
+pub type Chronon = u32;
+
+/// A monitoring epoch: the closed-open chronon range `0..len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Epoch {
+    len: Chronon,
+}
+
+impl Epoch {
+    /// Creates an epoch of `len` chronons (`0..len`).
+    ///
+    /// # Panics
+    /// Panics if `len == 0`; an empty epoch cannot schedule anything.
+    pub fn new(len: Chronon) -> Self {
+        assert!(len > 0, "epoch must contain at least one chronon");
+        Epoch { len }
+    }
+
+    /// Number of chronons in the epoch (the paper's `K`).
+    #[inline]
+    pub fn len(self) -> Chronon {
+        self.len
+    }
+
+    /// Epochs are never empty (enforced at construction).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// `true` if chronon `t` falls inside the epoch.
+    #[inline]
+    pub fn contains(self, t: Chronon) -> bool {
+        t < self.len
+    }
+
+    /// Iterates over every chronon of the epoch, in order.
+    pub fn chronons(self) -> impl Iterator<Item = Chronon> {
+        0..self.len
+    }
+
+    /// The last chronon of the epoch.
+    #[inline]
+    pub fn last(self) -> Chronon {
+        self.len - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_contains_its_chronons() {
+        let e = Epoch::new(5);
+        assert_eq!(e.len(), 5);
+        assert!(e.contains(0));
+        assert!(e.contains(4));
+        assert!(!e.contains(5));
+        assert_eq!(e.last(), 4);
+    }
+
+    #[test]
+    fn epoch_iterates_in_order() {
+        let e = Epoch::new(3);
+        let ts: Vec<Chronon> = e.chronons().collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chronon")]
+    fn zero_length_epoch_rejected() {
+        let _ = Epoch::new(0);
+    }
+
+    #[test]
+    fn epoch_is_never_empty() {
+        assert!(!Epoch::new(1).is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline solutions — the baseline of Section IV-B.
+//!
+//! In the offline setting the proxy knows every CEI for all `K` chronons in
+//! advance. The paper uses offline solutions for two purposes, and so do we:
+//!
+//! * as a (near-)optimal **baseline** for the online policies, and
+//! * to expose the **difficulty** of the problem: full enumeration costs
+//!   `O(K · n^(K·C_max + 1))` (Prop. 4), and the best known approximation —
+//!   the Local Ratio scheme for t-interval scheduling \[11\] — guarantees only
+//!   `2k` / `(2k+1)` on unit-width (`P^[1]`) instances, degrading by one rank
+//!   through the `P → P^[1]` transformation (Prop. 5).
+//!
+//! [`enumeration`] finds the exact optimum by bounded branch-and-bound,
+//! feasible only on tiny instances — we use it as ground truth in tests.
+//! [`transform`] implements the Prop. 5 expansion. [`local_ratio`] implements
+//! the combinatorial Local-Ratio baseline used in the Figure 10 comparison.
+
+pub mod enumeration;
+pub mod local_ratio;
+pub mod transform;
+
+pub use enumeration::{optimal_schedule, SearchAborted, SearchLimits};
+pub use local_ratio::{local_ratio_schedule, LocalRatioConfig, OfflineOutcome, PivotOrder};
+pub use transform::{expand_to_unit, ExpansionError, UnitExpansion};

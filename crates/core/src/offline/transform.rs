@@ -1,0 +1,236 @@
+//! The `P → P^[1]` transformation of Prop. 5.
+//!
+//! Any CEI `η = {I_1, ..., I_k}` with EI lengths `n_1, ..., n_k` expands into
+//! `Π_q n_q` *combination CEIs*, one per choice of a single chronon from each
+//! EI; every combination CEI has unit-width EIs. Capturing any one
+//! combination CEI captures the original (the probes land inside every
+//! original window), so a solution of the expanded `P^[1]` instance realizes
+//! a solution of the original `P`.
+//!
+//! The paper's proof adds a `(k+1)`-th shared unit EI to each combination so
+//! that, in the *independent-set* formulation fed to the Local Ratio scheme,
+//! sibling combinations of one original CEI are pairwise conflicting and an
+//! independent set never double-counts an original CEI. We keep the origin
+//! mapping explicit ([`UnitExpansion::origin`]) instead of materializing a
+//! virtual resource; [`local_ratio`](super::local_ratio) treats sibling
+//! combinations as conflicting, which is the same constraint.
+//!
+//! The expansion is exponential in the rank (the product of EI lengths), so
+//! it carries an explicit output cap.
+
+use crate::model::{Cei, CeiId, Ei, Instance, Profile};
+use std::fmt;
+
+/// The result of expanding an instance to unit width.
+#[derive(Debug, Clone)]
+pub struct UnitExpansion {
+    /// The expanded `P^[1]` instance. Same resources, epoch, and budget;
+    /// one profile per original profile.
+    pub instance: Instance,
+    /// `origin[j]` = id of the original CEI that expanded CEI `j` realizes.
+    pub origin: Vec<CeiId>,
+}
+
+impl UnitExpansion {
+    /// Number of expanded CEIs realizing original CEI `id`.
+    pub fn combinations_of(&self, id: CeiId) -> usize {
+        self.origin.iter().filter(|&&o| o == id).count()
+    }
+}
+
+/// Expansion failed: the combination product exceeds the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionError {
+    /// The CEI whose expansion overflowed the cap.
+    pub cei: CeiId,
+    /// Number of expanded CEIs accumulated when the cap was hit.
+    pub reached: usize,
+    /// The configured cap.
+    pub cap: usize,
+}
+
+impl fmt::Display for ExpansionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P^[1] expansion of {} exceeds cap of {} CEIs (reached {})",
+            self.cei, self.cap, self.reached
+        )
+    }
+}
+
+impl std::error::Error for ExpansionError {}
+
+/// Expands `instance` into the `P^[1]` class per Prop. 5, capping the total
+/// number of expanded CEIs at `max_ceis`.
+///
+/// # Panics
+/// Panics on threshold-semantics CEIs (`required < |η|`): the combination
+/// construction realizes AND semantics only, and silently treating a
+/// threshold CEI as AND would understate the offline baseline. (Weights are
+/// carried through to the combinations.)
+pub fn expand_to_unit(instance: &Instance, max_ceis: usize) -> Result<UnitExpansion, ExpansionError> {
+    let mut ceis: Vec<Cei> = Vec::new();
+    let mut origin: Vec<CeiId> = Vec::new();
+    let mut profiles: Vec<Profile> = instance
+        .profiles
+        .iter()
+        .map(|p| Profile::new(p.id))
+        .collect();
+
+    for cei in &instance.ceis {
+        assert!(
+            usize::from(cei.required) == cei.size(),
+            "{}: Prop. 5 expansion requires AND semantics (required {} < size {})",
+            cei.id,
+            cei.required,
+            cei.size()
+        );
+        // Iterate the Cartesian product of per-EI chronon choices with a
+        // mixed-radix counter.
+        let k = cei.size();
+        let mut choice: Vec<u32> = vec![0; k]; // offset within each EI
+        loop {
+            if ceis.len() >= max_ceis {
+                return Err(ExpansionError {
+                    cei: cei.id,
+                    reached: ceis.len(),
+                    cap: max_ceis,
+                });
+            }
+            let eis: Vec<Ei> = cei
+                .eis
+                .iter()
+                .zip(&choice)
+                .map(|(ei, &off)| Ei::new(ei.resource, ei.start + off, ei.start + off))
+                .collect();
+            let id = CeiId(ceis.len() as u32);
+            // Keep the original release so the expanded instance stays a
+            // valid online input.
+            let new_cei = Cei::with_release(
+                id,
+                cei.profile,
+                cei.release.min(eis.iter().map(|e| e.start).min().expect("non-empty")),
+                eis,
+            )
+            .with_weight(cei.weight);
+            let profile = &mut profiles[cei.profile.index()];
+            profile.ceis.push(id);
+            profile.rank = profile.rank.max(k as u16);
+            ceis.push(new_cei);
+            origin.push(cei.id);
+
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == k {
+                    break;
+                }
+                choice[pos] += 1;
+                if choice[pos] < cei.eis[pos].len() {
+                    break;
+                }
+                choice[pos] = 0;
+                pos += 1;
+            }
+            if pos == k {
+                break;
+            }
+        }
+    }
+
+    let instance = Instance::from_parts(
+        instance.n_resources,
+        instance.epoch,
+        instance.budget.clone(),
+        ceis,
+        profiles,
+    );
+    Ok(UnitExpansion { instance, origin })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Budget, InstanceBuilder};
+
+    #[test]
+    fn expansion_size_is_product_of_lengths() {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        // Lengths 3 and 2 → 6 combinations.
+        b.cei(p, &[(0, 0, 2), (1, 4, 5)]);
+        let inst = b.build();
+        let exp = expand_to_unit(&inst, 1000).unwrap();
+        assert_eq!(exp.instance.ceis.len(), 6);
+        assert_eq!(exp.combinations_of(CeiId(0)), 6);
+        assert!(exp.instance.is_unit_width());
+        assert_eq!(exp.instance.rank(), 2);
+    }
+
+    #[test]
+    fn unit_instance_expands_to_itself() {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1), (1, 3, 3)]);
+        b.cei(p, &[(0, 5, 5)]);
+        let inst = b.build();
+        let exp = expand_to_unit(&inst, 1000).unwrap();
+        assert_eq!(exp.instance.ceis.len(), 2);
+        for (new, old) in exp.instance.ceis.iter().zip(&inst.ceis) {
+            assert_eq!(new.eis, old.eis);
+        }
+    }
+
+    #[test]
+    fn combinations_cover_every_chronon_choice() {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1), (1, 5, 6)]);
+        let inst = b.build();
+        let exp = expand_to_unit(&inst, 1000).unwrap();
+        let mut combos: Vec<(u32, u32)> = exp
+            .instance
+            .ceis
+            .iter()
+            .map(|c| (c.eis[0].start, c.eis[1].start))
+            .collect();
+        combos.sort_unstable();
+        assert_eq!(combos, vec![(0, 5), (0, 6), (1, 5), (1, 6)]);
+    }
+
+    #[test]
+    fn cap_aborts_oversized_expansion() {
+        let mut b = InstanceBuilder::new(3, 40, Budget::Uniform(1));
+        let p = b.profile();
+        // 10 × 10 × 10 = 1000 combinations.
+        b.cei(p, &[(0, 0, 9), (1, 10, 19), (2, 20, 29)]);
+        let inst = b.build();
+        let err = expand_to_unit(&inst, 100).unwrap_err();
+        assert_eq!(err.cap, 100);
+        assert_eq!(err.cei, CeiId(0));
+    }
+
+    #[test]
+    fn capturing_a_combination_captures_the_original() {
+        use crate::model::{evaluate_schedule, Epoch, ResourceId, Schedule};
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 2), (1, 4, 6)]);
+        let inst = b.build();
+        let exp = expand_to_unit(&inst, 1000).unwrap();
+
+        // Capture an arbitrary combination.
+        let combo = &exp.instance.ceis[4];
+        let mut s = Schedule::new(2, Epoch::new(10));
+        for ei in &combo.eis {
+            s.probe(ei.resource, ei.start);
+        }
+        // The original instance is captured by the same schedule.
+        let stats = evaluate_schedule(&inst, &s);
+        assert_eq!(stats.ceis_captured, 1);
+        // Sanity: the probes land on both resources.
+        assert!(s.iter().any(|(_, r)| r == ResourceId(0)));
+        assert!(s.iter().any(|(_, r)| r == ResourceId(1)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi Interval EDF (M-EDF).
+
+use super::{Candidate, Policy, PolicyContext};
+
+/// **M-EDF** — the multi-EI-level representative: prefer EIs whose parent CEI
+/// has the fewest *total remaining chronons* across all uncaptured EIs,
+/// `M-EDF(I, T) = Σ_{I' ∈ η} S-EDF'(I', T) · (1 − X(I', S))` (Section IV-A).
+///
+/// For an uncaptured sibling `I'`:
+/// * active (`T_s ≤ T ≤ T_f`): contributes its remaining chronons
+///   `T_f − T + 1`;
+/// * not yet active (`T < T_s`): contributes its full length `|I'|` — the
+///   paper's "EDF value calculated with `T = 0`", i.e. relative time zero of
+///   the interval. This matches Figures 6 and 7, which accumulate "the
+///   number of chronons of all remaining EIs".
+///
+/// Intuition: a CEI with fewer total remaining chronons has fewer chances to
+/// collide with competing CEIs, hence a higher completion probability.
+/// Prop. 3: on `P^[1]` instances (all EIs one chronon wide) M-EDF degenerates
+/// to [`Mrsf`](super::Mrsf).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MEdf;
+
+impl Policy for MEdf {
+    fn name(&self) -> &'static str {
+        "M-EDF"
+    }
+
+    fn score(&self, ctx: &PolicyContext<'_>, cand: &Candidate<'_>) -> i64 {
+        // Under the §VII threshold extension only `required − captured`
+        // more EIs are needed; the cheapest such subset is the CEI's true
+        // remaining work. With AND semantics (every paper construct) the
+        // subset is "all of them" and no sorting happens.
+        let needed = usize::from(cand.cei.required)
+            .saturating_sub(usize::from(cand.cei.n_captured));
+        let mut contributions: Vec<i64> = Vec::new();
+        let mut total: i64 = 0;
+        let threshold_mode =
+            usize::from(cand.cei.required) < cand.cei.eis.len();
+        for (ei, &captured) in cand.cei.eis.iter().zip(cand.cei.captured) {
+            if captured {
+                continue;
+            }
+            let c = if ei.is_future(ctx.now) {
+                i64::from(ei.len())
+            } else if ei.is_expired(ctx.now) {
+                // An expired uncaptured sibling contributes nothing (it can
+                // never be captured); under AND semantics the engine has
+                // already failed such CEIs.
+                continue;
+            } else {
+                i64::from(ei.remaining(ctx.now))
+            };
+            if threshold_mode {
+                contributions.push(c);
+            } else {
+                total += c;
+            }
+        }
+        if threshold_mode {
+            contributions.sort_unstable();
+            contributions.into_iter().take(needed.max(1)).sum()
+        } else {
+            total
+        }
+    }
+}
+
+/// Ablation variant of [`MEdf`] reading "calculated with `T = 0`" literally
+/// as *absolute* time zero: a not-yet-active sibling contributes its absolute
+/// deadline `T_f + 1` instead of its length. Biases against CEIs whose later
+/// EIs sit deep in the epoch; kept to quantify the interpretation gap
+/// (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MEdfAbsoluteDeadline;
+
+impl Policy for MEdfAbsoluteDeadline {
+    fn name(&self) -> &'static str {
+        "M-EDF-Abs"
+    }
+
+    fn score(&self, ctx: &PolicyContext<'_>, cand: &Candidate<'_>) -> i64 {
+        let mut total: i64 = 0;
+        for (ei, &captured) in cand.cei.eis.iter().zip(cand.cei.captured) {
+            if captured {
+                continue;
+            }
+            total += if ei.is_future(ctx.now) {
+                i64::from(ei.end) + 1
+            } else if ei.is_expired(ctx.now) {
+                0
+            } else {
+                i64::from(ei.remaining(ctx.now))
+            };
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::*;
+
+    #[test]
+    fn active_siblings_contribute_remaining_chronons() {
+        // Both EIs active at T=2: remaining 4 and 7.
+        let eis = vec![ei(0, 0, 5), ei(1, 1, 8)];
+        let data = CtxData::new(2, 2);
+        assert_eq!(
+            score_of(&MEdf, &data.ctx(), &eis, &[false, false], 0, 2),
+            4 + 7
+        );
+    }
+
+    #[test]
+    fn future_siblings_contribute_full_length() {
+        // EI 0 active (remaining 4), EI 1 future (length 3).
+        let eis = vec![ei(0, 0, 5), ei(1, 6, 8)];
+        let data = CtxData::new(2, 2);
+        assert_eq!(
+            score_of(&MEdf, &data.ctx(), &eis, &[false, false], 0, 2),
+            4 + 3
+        );
+    }
+
+    #[test]
+    fn captured_siblings_are_excluded() {
+        let eis = vec![ei(0, 0, 5), ei(1, 0, 9)];
+        let data = CtxData::new(2, 2);
+        assert_eq!(
+            score_of(&MEdf, &data.ctx(), &eis, &[false, true], 0, 2),
+            4
+        );
+    }
+
+    /// Prop. 3: on unit-width EIs, M-EDF equals MRSF.
+    #[test]
+    fn unit_width_degenerates_to_mrsf() {
+        use crate::policy::Mrsf;
+        // Every EI one chronon wide; candidate active at its only chronon.
+        let eis = vec![ei(0, 3, 3), ei(1, 5, 5), ei(2, 7, 7)];
+        for captured in [
+            [false, false, false],
+            [true, false, false],
+            [true, true, false],
+        ] {
+            let data = CtxData::new(3, 3);
+            let ctx = data.ctx();
+            let medf = score_of(&MEdf, &ctx, &eis, &captured, 0, 3);
+            let mrsf = score_of(&Mrsf, &ctx, &eis, &captured, 0, 3);
+            assert_eq!(medf, mrsf, "captured = {captured:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_cei_counts_cheapest_subset() {
+        use crate::policy::{Candidate, CeiView};
+        // 2-of-3 CEI: remaining contributions are 4 (active), 3 and 7
+        // (future); the cheapest 2 are 3 + 4 = 7.
+        let eis = vec![ei(0, 0, 5), ei(1, 6, 8), ei(2, 10, 16)];
+        let captured = vec![false, false, false];
+        let data = CtxData::new(2, 3);
+        let cand = Candidate {
+            ei: eis[0],
+            ei_index: 0,
+            cei: CeiView {
+                eis: &eis,
+                captured: &captured,
+                n_captured: 0,
+                required: 2,
+                weight: 1.0,
+                profile_rank: 3,
+            },
+        };
+        assert_eq!(MEdf.score(&data.ctx(), &cand), 7);
+    }
+
+    #[test]
+    fn absolute_variant_weights_future_by_deadline() {
+        // EI 0 active (remaining 4); EI 1 future ending at 8 → contributes 9.
+        let eis = vec![ei(0, 0, 5), ei(1, 6, 8)];
+        let data = CtxData::new(2, 2);
+        assert_eq!(
+            score_of(
+                &MEdfAbsoluteDeadline,
+                &data.ctx(),
+                &eis,
+                &[false, false],
+                0,
+                2
+            ),
+            4 + 9
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A round-robin control policy.
+
+use super::{Candidate, Policy, PolicyContext};
+
+/// **Round-robin** — a control policy cycling deterministically through
+/// resources: at chronon `T`, resource `(T mod n)` is most preferred, then
+/// `(T+1 mod n)`, and so on. Oblivious to deadlines and CEI structure; like
+/// [`RandomPolicy`](super::RandomPolicy) it anchors experiment tables and is
+/// occasionally competitive when update load is uniform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl Policy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RoundRobin"
+    }
+
+    #[inline]
+    fn score(&self, ctx: &PolicyContext<'_>, cand: &Candidate<'_>) -> i64 {
+        let n = ctx.resources.active_eis.len() as u32;
+        if n == 0 {
+            return 0;
+        }
+        let r = cand.ei.resource.0;
+        i64::from((r + n - (ctx.now % n)) % n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::*;
+
+    #[test]
+    fn preference_rotates_with_time() {
+        let eis = vec![ei(0, 0, 9), ei(1, 0, 9), ei(2, 0, 9)];
+        let cap = vec![false; 3];
+        // At T=1 with n=3: r1 scores 0, r2 scores 1, r0 scores 2.
+        let data = CtxData::new(1, 3);
+        let ctx = data.ctx();
+        assert_eq!(score_of(&RoundRobin, &ctx, &eis, &cap, 1, 3), 0);
+        assert_eq!(score_of(&RoundRobin, &ctx, &eis, &cap, 2, 3), 1);
+        assert_eq!(score_of(&RoundRobin, &ctx, &eis, &cap, 0, 3), 2);
+    }
+
+    #[test]
+    fn wraps_past_epoch_of_resources() {
+        let eis = vec![ei(0, 0, 99), ei(1, 0, 99)];
+        let cap = vec![false; 2];
+        let data = CtxData::new(7, 2); // 7 mod 2 = 1 → r1 preferred
+        let ctx = data.ctx();
+        assert!(
+            score_of(&RoundRobin, &ctx, &eis, &cap, 1, 2)
+                < score_of(&RoundRobin, &ctx, &eis, &cap, 0, 2)
+        );
+    }
+}

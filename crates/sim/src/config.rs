@@ -1,0 +1,175 @@
+//! Experiment configuration — the controlled parameters of Table I.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::model::Chronon;
+use webmon_streams::auction::{AuctionTrace, AuctionTraceConfig};
+use webmon_streams::fitted::{PoissonFittedModel, PrefixFittedModel};
+use webmon_streams::fpn::{FpnModel, NoisyTrace};
+use webmon_streams::news::NewsTraceConfig;
+use webmon_streams::poisson::PoissonProcess;
+use webmon_streams::rng::SimRng;
+use webmon_streams::trace::UpdateTrace;
+use webmon_workload::WorkloadConfig;
+
+/// Which update-event stream drives the experiment (Section V-A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// Synthetic Poisson stream; `lambda` = expected updates per resource
+    /// per epoch (Table I: `[10, 50]`, baseline 20).
+    Poisson {
+        /// Expected updates per resource per epoch.
+        lambda: f64,
+    },
+    /// Synthetic eBay-style auction trace (one resource per auction).
+    Auction(AuctionTraceConfig),
+    /// Synthetic RSS news-feed trace.
+    News(NewsTraceConfig),
+}
+
+impl TraceSpec {
+    /// Generates the trace. `n_resources`/`horizon` apply to the Poisson
+    /// source; auction and news sources carry their own dimensions.
+    pub fn generate(&self, n_resources: u32, horizon: Chronon, rng: &SimRng) -> UpdateTrace {
+        match self {
+            TraceSpec::Poisson { lambda } => {
+                PoissonProcess::new(*lambda).sample_trace(n_resources, horizon, rng)
+            }
+            TraceSpec::Auction(cfg) => AuctionTrace::generate(cfg, rng).trace,
+            TraceSpec::News(cfg) => cfg.generate(rng),
+        }
+    }
+
+    /// The number of resources this spec will produce.
+    pub fn n_resources(&self, default_n: u32) -> u32 {
+        match self {
+            TraceSpec::Poisson { .. } => default_n,
+            TraceSpec::Auction(cfg) => cfg.n_auctions,
+            TraceSpec::News(cfg) => cfg.n_feeds,
+        }
+    }
+}
+
+/// Which noisy update model degrades the proxy's predictions (Section V-H).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseSpec {
+    /// FPN(Z): each event predicted exactly with probability `Z`, else
+    /// deviated by up to `max_deviation` chronons.
+    Fpn(FpnModel),
+    /// Homogeneous Poisson fitted to each resource's empirical rate — the
+    /// paper's news-trace companion mechanism.
+    PoissonFitted,
+    /// Poisson fitted on a leading training prefix only; out-of-sample
+    /// events are predicted from the learned rate (warm-up crawl realism).
+    PrefixFitted {
+        /// Fraction of the epoch used for training, in `(0, 1)`.
+        train_fraction: f64,
+    },
+}
+
+impl NoiseSpec {
+    /// Applies the model to a ground-truth trace.
+    pub fn apply(&self, truth: &webmon_streams::trace::UpdateTrace, rng: &SimRng) -> NoisyTrace {
+        match self {
+            NoiseSpec::Fpn(model) => model.apply(truth, rng),
+            NoiseSpec::PoissonFitted => PoissonFittedModel.apply(truth, rng),
+            NoiseSpec::PrefixFitted { train_fraction } => {
+                PrefixFittedModel::new(*train_fraction).apply(truth, rng)
+            }
+        }
+    }
+}
+
+/// One experiment: the full parameter set of Table I plus the trace source,
+/// optional noise model, repetition count, and master seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of resources `n` (Poisson source; trace sources override).
+    pub n_resources: u32,
+    /// Epoch length `K` in chronons.
+    pub horizon: Chronon,
+    /// Uniform per-chronon probing budget `C`.
+    pub budget: u32,
+    /// Profile-generation parameters (`m`, rank spec, `α`, EI length `ω`).
+    pub workload: WorkloadConfig,
+    /// Update-event source.
+    pub trace: TraceSpec,
+    /// Optional noisy update model (Figure 15).
+    pub noise: Option<NoiseSpec>,
+    /// Number of repetitions to average over (paper: 10).
+    pub repetitions: u32,
+    /// Master seed; repetition `i` forks substream `i`.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Table I baseline: `n = 1000`, `K = 1000`, `C = 1`, `λ = 20`,
+    /// `m = 100`, rank up to 5 (uniform), `α = 0.3`, `ω = 10`, 10
+    /// repetitions.
+    pub fn paper_baseline() -> Self {
+        ExperimentConfig {
+            n_resources: 1000,
+            horizon: 1000,
+            budget: 1,
+            workload: WorkloadConfig::paper_baseline(),
+            trace: TraceSpec::Poisson { lambda: 20.0 },
+            noise: None,
+            repetitions: 10,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The effective number of resources after the trace source is applied.
+    pub fn effective_resources(&self) -> u32 {
+        self.trace.n_resources(self.n_resources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_one() {
+        let c = ExperimentConfig::paper_baseline();
+        assert_eq!(c.n_resources, 1000);
+        assert_eq!(c.horizon, 1000);
+        assert_eq!(c.budget, 1);
+        assert_eq!(c.repetitions, 10);
+        assert!(matches!(c.trace, TraceSpec::Poisson { lambda } if (lambda - 20.0).abs() < 1e-12));
+        assert!(c.noise.is_none());
+    }
+
+    #[test]
+    fn poisson_spec_generates_requested_dimensions() {
+        let spec = TraceSpec::Poisson { lambda: 5.0 };
+        let t = spec.generate(10, 200, &SimRng::new(1));
+        assert_eq!(t.n_resources(), 10);
+        assert_eq!(t.horizon(), 200);
+        assert_eq!(spec.n_resources(10), 10);
+    }
+
+    #[test]
+    fn auction_spec_overrides_resource_count() {
+        let spec = TraceSpec::Auction(AuctionTraceConfig::scaled(50, 500));
+        assert_eq!(spec.n_resources(9999), 50);
+        let t = spec.generate(9999, 500, &SimRng::new(2));
+        assert_eq!(t.n_resources(), 50);
+    }
+
+    #[test]
+    fn news_spec_overrides_resource_count() {
+        let spec = TraceSpec::News(NewsTraceConfig::scaled(20, 1000));
+        assert_eq!(spec.n_resources(0), 20);
+        let t = spec.generate(0, 1000, &SimRng::new(3));
+        assert_eq!(t.n_resources(), 20);
+    }
+
+    #[test]
+    fn trace_generation_is_seed_deterministic() {
+        let spec = TraceSpec::Poisson { lambda: 8.0 };
+        assert_eq!(
+            spec.generate(5, 100, &SimRng::new(4)),
+            spec.generate(5, 100, &SimRng::new(4))
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Materializing problem instances and running policy rosters over them.
+
+use crate::config::ExperimentConfig;
+use crate::policies::PolicySpec;
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use webmon_core::engine::OnlineEngine;
+use webmon_core::model::{evaluate_schedule, Budget, Cei, CeiId, Instance, Profile, ProfileId};
+use webmon_core::offline::{local_ratio_schedule, LocalRatioConfig};
+use webmon_core::policy::SEdf;
+use webmon_core::stats::RunStats;
+use webmon_streams::fpn::NoisyTrace;
+use webmon_streams::rng::SimRng;
+use webmon_workload::{generate, GeneratedWorkload};
+
+/// One repetition's measurements for one policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepetitionOutcome {
+    /// Stats validated against the ground-truth instance.
+    pub stats: RunStats,
+    /// Wall-clock runtime of the scheduling run.
+    pub runtime: Duration,
+    /// Total EIs in the instance (the paper's runtime normalizer).
+    pub n_eis: usize,
+}
+
+impl RepetitionOutcome {
+    /// Runtime per EI in microseconds — the unit of Figure 11 (the paper
+    /// reports msec/EI; Rust runs ~100× faster than the 2009 JVM setup).
+    pub fn micros_per_ei(&self) -> f64 {
+        if self.n_eis == 0 {
+            0.0
+        } else {
+            self.runtime.as_secs_f64() * 1e6 / self.n_eis as f64
+        }
+    }
+}
+
+/// Aggregated (mean ± std over repetitions) results of one policy column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyAggregate {
+    /// Column label, e.g. `"MRSF(P)"`.
+    pub label: String,
+    /// Gained completeness (Eq. 1) vs ground truth.
+    pub completeness: Summary,
+    /// EI-level completeness (captured EIs / all EIs).
+    pub ei_completeness: Summary,
+    /// Runtime per EI, microseconds.
+    pub micros_per_ei: Summary,
+    /// Fraction of the probe budget spent.
+    pub budget_utilization: Summary,
+    /// Completeness by CEI size (rank), for per-rank breakdowns.
+    pub by_size: BTreeMap<u16, Summary>,
+    /// Raw per-repetition outcomes.
+    pub repetitions: Vec<RepetitionOutcome>,
+}
+
+impl PolicyAggregate {
+    fn from_outcomes(label: String, outcomes: Vec<RepetitionOutcome>) -> Self {
+        let completeness =
+            Summary::from_samples(&collect(&outcomes, |o| o.stats.completeness()));
+        let ei_completeness =
+            Summary::from_samples(&collect(&outcomes, |o| o.stats.ei_completeness()));
+        let micros_per_ei =
+            Summary::from_samples(&collect(&outcomes, RepetitionOutcome::micros_per_ei));
+        let budget_utilization =
+            Summary::from_samples(&collect(&outcomes, |o| o.stats.budget_utilization()));
+
+        let mut sizes: Vec<u16> = outcomes
+            .iter()
+            .flat_map(|o| o.stats.by_size.keys().copied())
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let by_size = sizes
+            .into_iter()
+            .map(|s| {
+                let samples: Vec<f64> = outcomes
+                    .iter()
+                    .filter_map(|o| o.stats.completeness_for_size(s))
+                    .collect();
+                (s, Summary::from_samples(&samples))
+            })
+            .collect();
+
+        PolicyAggregate {
+            label,
+            completeness,
+            ei_completeness,
+            micros_per_ei,
+            budget_utilization,
+            by_size,
+            repetitions: outcomes,
+        }
+    }
+}
+
+fn collect(outcomes: &[RepetitionOutcome], f: impl Fn(&RepetitionOutcome) -> f64) -> Vec<f64> {
+    outcomes.iter().map(f).collect()
+}
+
+/// A materialized experiment: the same seeded problem instances are reused
+/// for every policy and for the offline baseline, exactly as the paper runs
+/// online and offline "on the same problem instances".
+pub struct Experiment {
+    config: ExperimentConfig,
+    workloads: Vec<GeneratedWorkload>,
+}
+
+impl Experiment {
+    /// Generates `config.repetitions` seeded workloads.
+    pub fn materialize(config: ExperimentConfig) -> Self {
+        let master = SimRng::new(config.seed);
+        let workloads = (0..config.repetitions)
+            .map(|rep| {
+                let rep_rng = master.fork_indexed("repetition", u64::from(rep));
+                let trace = config.trace.generate(
+                    config.n_resources,
+                    config.horizon,
+                    &rep_rng.fork("trace"),
+                );
+                let noisy = match &config.noise {
+                    Some(spec) => spec.apply(&trace, &rep_rng.fork("noise")),
+                    None => NoisyTrace::exact(&trace),
+                };
+                generate(
+                    &config.workload,
+                    &noisy,
+                    Budget::Uniform(config.budget),
+                    &rep_rng.fork("workload"),
+                )
+            })
+            .collect();
+        Experiment { config, workloads }
+    }
+
+    /// The experiment's configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The materialized per-repetition workloads.
+    pub fn workloads(&self) -> &[GeneratedWorkload] {
+        &self.workloads
+    }
+
+    /// Mean CEI / EI counts across repetitions (reported in figure
+    /// captions, e.g. "1590 CEIs and 3599 EIs").
+    pub fn mean_sizes(&self) -> (f64, f64) {
+        let n = self.workloads.len().max(1) as f64;
+        let ceis: usize = self.workloads.iter().map(GeneratedWorkload::n_ceis).sum();
+        let eis: usize = self.workloads.iter().map(GeneratedWorkload::n_eis).sum();
+        (ceis as f64 / n, eis as f64 / n)
+    }
+
+    /// Runs one policy spec over every repetition.
+    pub fn run_spec(&self, spec: PolicySpec) -> PolicyAggregate {
+        let policy = spec.kind.build(self.config.seed);
+        let noisy = self.config.noise.is_some();
+        let outcomes = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let start = Instant::now();
+                let result = OnlineEngine::run(&w.instance, policy.as_ref(), spec.engine_config());
+                let runtime = start.elapsed();
+                let stats = if noisy {
+                    evaluate_schedule(&w.truth, &result.schedule)
+                } else {
+                    result.stats
+                };
+                RepetitionOutcome {
+                    stats,
+                    runtime,
+                    n_eis: w.n_eis(),
+                }
+            })
+            .collect();
+        PolicyAggregate::from_outcomes(spec.label(), outcomes)
+    }
+
+    /// Runs a roster of policy specs (columns of an experiment table).
+    pub fn run_roster(&self, specs: &[PolicySpec]) -> Vec<PolicyAggregate> {
+        specs.iter().map(|&s| self.run_spec(s)).collect()
+    }
+
+    /// Runs the offline Local-Ratio baseline over every repetition.
+    ///
+    /// # Panics
+    /// Panics if the Prop. 5 expansion exceeds the configured cap — size the
+    /// cap (or the workload) accordingly.
+    pub fn run_local_ratio(&self, lr: LocalRatioConfig) -> PolicyAggregate {
+        let noisy = self.config.noise.is_some();
+        let outcomes = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let start = Instant::now();
+                let out = local_ratio_schedule(&w.instance, lr)
+                    .expect("P^[1] expansion exceeded cap; reduce EI lengths or raise the cap");
+                let runtime = start.elapsed();
+                let stats = if noisy {
+                    evaluate_schedule(&w.truth, &out.schedule)
+                } else {
+                    out.stats
+                };
+                RepetitionOutcome {
+                    stats,
+                    runtime,
+                    n_eis: w.n_eis(),
+                }
+            })
+            .collect();
+        PolicyAggregate::from_outcomes("Offline-LR".to_string(), outcomes)
+    }
+
+    /// The Figure 10 normalizer: the "worst case upper bound on the optimal
+    /// completeness", measured "in terms of single EIs that are captured
+    /// (i.e., assuming that rank(P) = 1)".
+    ///
+    /// Every EI of the instance becomes its own rank-1 CEI; S-EDF(P) — which
+    /// Prop. 1 proves optimal for rank-1, overlap-free instances — schedules
+    /// it. A CEI of size `k` needs `k` EIs, so the per-repetition upper
+    /// bound on capturable CEIs is `captured EIs / k̄` with `k̄` the mean CEI
+    /// size. Returns per-repetition upper bounds on *completeness*.
+    pub fn ei_upper_bounds(&self) -> Vec<f64> {
+        self.workloads
+            .iter()
+            .map(|w| {
+                let split = split_to_rank1(&w.instance);
+                let result = OnlineEngine::run(&split, &SEdf, webmon_core::EngineConfig::preemptive());
+                let captured_eis = result.stats.ceis_captured as f64;
+                let n_ceis = w.instance.ceis.len().max(1) as f64;
+                let mean_size = w.n_eis() as f64 / n_ceis;
+                ((captured_eis / mean_size) / n_ceis).min(1.0)
+            })
+            .collect()
+    }
+}
+
+/// Splits an instance so every EI becomes its own rank-1 CEI (used by the
+/// Figure 10 upper bound).
+fn split_to_rank1(instance: &Instance) -> Instance {
+    let mut ceis: Vec<Cei> = Vec::with_capacity(instance.total_eis());
+    let mut profile = Profile::new(ProfileId(0));
+    for cei in &instance.ceis {
+        for &ei in &cei.eis {
+            let id = CeiId(ceis.len() as u32);
+            ceis.push(Cei::new(id, ProfileId(0), vec![ei]));
+            profile.ceis.push(id);
+        }
+    }
+    profile.rank = if ceis.is_empty() { 0 } else { 1 };
+    Instance::from_parts(
+        instance.n_resources,
+        instance.epoch,
+        instance.budget.clone(),
+        ceis,
+        vec![profile],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NoiseSpec, TraceSpec};
+    use crate::policies::PolicyKind;
+    use webmon_streams::fpn::FpnModel;
+    use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            n_resources: 40,
+            horizon: 200,
+            budget: 1,
+            workload: WorkloadConfig {
+                n_profiles: 10,
+                rank: RankSpec::UpTo { k: 3, beta: 0.0 },
+                resource_alpha: 0.0,
+                length: EiLength::Window(3),
+                distinct_resources: true,
+                max_ceis: Some(500),
+                no_intra_resource_overlap: false,
+            },
+            trace: TraceSpec::Poisson { lambda: 8.0 },
+            noise: None,
+            repetitions: 3,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn materialize_produces_one_workload_per_repetition() {
+        let exp = Experiment::materialize(tiny_config());
+        assert_eq!(exp.workloads().len(), 3);
+        let (ceis, eis) = exp.mean_sizes();
+        assert!(ceis > 0.0 && eis >= ceis);
+    }
+
+    #[test]
+    fn repetitions_differ_but_reruns_match() {
+        let a = Experiment::materialize(tiny_config());
+        let b = Experiment::materialize(tiny_config());
+        assert_eq!(a.workloads()[0].instance, b.workloads()[0].instance);
+        assert_ne!(a.workloads()[0].instance, a.workloads()[1].instance);
+    }
+
+    #[test]
+    fn run_spec_reports_sane_aggregates() {
+        let exp = Experiment::materialize(tiny_config());
+        let agg = exp.run_spec(PolicySpec::p(PolicyKind::MEdf));
+        assert_eq!(agg.label, "M-EDF(P)");
+        assert_eq!(agg.repetitions.len(), 3);
+        assert!(agg.completeness.mean > 0.0 && agg.completeness.mean <= 1.0);
+        assert!(agg.ei_completeness.mean >= agg.completeness.mean);
+        assert!(agg.micros_per_ei.mean > 0.0);
+    }
+
+    #[test]
+    fn rank_policies_beat_random_on_complex_profiles() {
+        // A contended setting (many profiles, few resources, tight budget)
+        // so policy quality actually matters.
+        let mut cfg = tiny_config();
+        cfg.n_resources = 20;
+        cfg.workload.n_profiles = 40;
+        cfg.workload.rank = RankSpec::Fixed(3);
+        cfg.trace = TraceSpec::Poisson { lambda: 20.0 };
+        let exp = Experiment::materialize(cfg);
+        let mrsf = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+        let random = exp.run_spec(PolicySpec::p(PolicyKind::Random));
+        assert!(
+            mrsf.completeness.mean >= random.completeness.mean,
+            "MRSF {} < Random {}",
+            mrsf.completeness.mean,
+            random.completeness.mean
+        );
+    }
+
+    #[test]
+    fn local_ratio_runs_on_unit_instances() {
+        let mut cfg = tiny_config();
+        cfg.workload.length = EiLength::Window(0);
+        let exp = Experiment::materialize(cfg);
+        let lr = exp.run_local_ratio(LocalRatioConfig::default());
+        assert_eq!(lr.label, "Offline-LR");
+        assert!(lr.completeness.mean > 0.0);
+    }
+
+    #[test]
+    fn upper_bound_dominates_online_policies() {
+        let mut cfg = tiny_config();
+        cfg.workload.length = EiLength::Window(0);
+        cfg.workload.rank = RankSpec::Fixed(2);
+        let exp = Experiment::materialize(cfg);
+        let bounds = exp.ei_upper_bounds();
+        let medf = exp.run_spec(PolicySpec::p(PolicyKind::MEdf));
+        for (ub, rep) in bounds.iter().zip(&medf.repetitions) {
+            assert!(
+                rep.stats.completeness() <= ub + 1e-9,
+                "completeness {} exceeds upper bound {ub}",
+                rep.stats.completeness()
+            );
+        }
+    }
+
+    #[test]
+    fn noise_lowers_truth_validated_completeness() {
+        let clean = Experiment::materialize(tiny_config());
+        let mut noisy_cfg = tiny_config();
+        noisy_cfg.noise = Some(NoiseSpec::Fpn(FpnModel::new(0.2, 5)));
+        let noisy = Experiment::materialize(noisy_cfg);
+        let spec = PolicySpec::p(PolicyKind::MEdf);
+        let c = clean.run_spec(spec).completeness.mean;
+        let n = noisy.run_spec(spec).completeness.mean;
+        assert!(n < c, "noisy {n} should be below clean {c}");
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # webmon-sim
+//!
+//! The discrete-time simulation driver of the *Web Monitoring 2.0*
+//! reproduction — the stand-in for the authors' Java simulation environment
+//! (Section V-A.3).
+//!
+//! An [`experiment::Experiment`] bundles a [`config`] (the
+//! controlled parameters of Table I), materializes seeded problem instances
+//! — trace → optional FPN noise → profile generation — and runs a roster of
+//! [`policies`] (and the offline Local-Ratio baseline) over *the same*
+//! instances, exactly as the paper executes online and offline on identical
+//! problem instances. Each execution is repeated (paper: 10×) and metrics
+//! are averaged:
+//!
+//! * **completeness** (Eq. 1) validated against the ground-truth instance
+//!   (identical to the scheduled instance when there is no noise);
+//! * **runtime** normalized over the total number of EIs (the paper's
+//!   msec/EI metric);
+//! * probe-budget utilization and per-rank completeness breakdowns.
+//!
+//! [`table`] renders experiment output as aligned text / Markdown tables so
+//! each `exp_*` binary in `webmon-bench` prints the rows of its paper
+//! figure.
+
+pub mod config;
+pub mod experiment;
+pub mod policies;
+pub mod report;
+pub mod summary;
+pub mod table;
+
+pub use config::{ExperimentConfig, NoiseSpec, TraceSpec};
+pub use experiment::{Experiment, PolicyAggregate, RepetitionOutcome};
+pub use report::Report;
+pub use policies::{PolicyKind, PolicySpec};
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,168 @@
+//! The policy roster: constructing policies by name for experiment tables.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::engine::EngineConfig;
+use webmon_core::policy::{
+    MEdf, MEdfAbsoluteDeadline, Mrsf, MrsfExact, Policy, RandomPolicy, RoundRobin, SEdf, Wic,
+};
+
+/// Which policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Single Interval Early Deadline First.
+    SEdf,
+    /// Minimal Residual Stub First (paper formula).
+    Mrsf,
+    /// MRSF ablation using the exact residual `|η| − captured`.
+    MrsfExact,
+    /// Multi Interval EDF.
+    MEdf,
+    /// M-EDF ablation weighting future EIs by absolute deadline.
+    MEdfAbs,
+    /// The WIC baseline of \[3\] (paper configuration).
+    Wic,
+    /// Uniform-random control.
+    Random,
+    /// Round-robin control.
+    RoundRobin,
+}
+
+impl PolicyKind {
+    /// Every policy evaluated in the paper's figures.
+    pub const PAPER_SET: [PolicyKind; 4] =
+        [PolicyKind::SEdf, PolicyKind::Mrsf, PolicyKind::MEdf, PolicyKind::Wic];
+
+    /// Instantiates the policy. `seed` only affects [`PolicyKind::Random`].
+    pub fn build(self, seed: u64) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::SEdf => Box::new(SEdf),
+            PolicyKind::Mrsf => Box::new(Mrsf),
+            PolicyKind::MrsfExact => Box::new(MrsfExact),
+            PolicyKind::MEdf => Box::new(MEdf),
+            PolicyKind::MEdfAbs => Box::new(MEdfAbsoluteDeadline),
+            PolicyKind::Wic => Box::new(Wic::paper()),
+            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
+            PolicyKind::RoundRobin => Box::new(RoundRobin),
+        }
+    }
+
+    /// The policy's table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::SEdf => "S-EDF",
+            PolicyKind::Mrsf => "MRSF",
+            PolicyKind::MrsfExact => "MRSF-Exact",
+            PolicyKind::MEdf => "M-EDF",
+            PolicyKind::MEdfAbs => "M-EDF-Abs",
+            PolicyKind::Wic => "WIC",
+            PolicyKind::Random => "Random",
+            PolicyKind::RoundRobin => "RoundRobin",
+        }
+    }
+}
+
+/// A policy plus its execution mode — one column of an experiment table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// The policy.
+    pub kind: PolicyKind,
+    /// Preemptive (`(P)`) or non-preemptive (`(NP)`).
+    pub preemptive: bool,
+}
+
+impl PolicySpec {
+    /// Preemptive spec.
+    pub fn p(kind: PolicyKind) -> Self {
+        PolicySpec {
+            kind,
+            preemptive: true,
+        }
+    }
+
+    /// Non-preemptive spec.
+    pub fn np(kind: PolicyKind) -> Self {
+        PolicySpec {
+            kind,
+            preemptive: false,
+        }
+    }
+
+    /// The engine configuration for this spec.
+    pub fn engine_config(self) -> EngineConfig {
+        if self.preemptive {
+            EngineConfig::preemptive()
+        } else {
+            EngineConfig::non_preemptive()
+        }
+    }
+
+    /// Table label, e.g. `"MRSF(P)"`.
+    pub fn label(self) -> String {
+        format!("{}{}", self.kind.name(), self.engine_config().label())
+    }
+
+    /// The paper's headline roster: `S-EDF(NP)`, `S-EDF(P)`, `MRSF(P)`,
+    /// `M-EDF(P)`, `WIC(P)`.
+    pub fn paper_roster() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::np(PolicyKind::SEdf),
+            PolicySpec::p(PolicyKind::SEdf),
+            PolicySpec::p(PolicyKind::Mrsf),
+            PolicySpec::p(PolicyKind::MEdf),
+            PolicySpec::p(PolicyKind::Wic),
+        ]
+    }
+
+    /// Both modes of every paper policy (the Figure 9 grid).
+    pub fn preemption_grid() -> Vec<PolicySpec> {
+        let mut out = Vec::new();
+        for kind in [PolicyKind::SEdf, PolicyKind::Mrsf, PolicyKind::MEdf] {
+            out.push(PolicySpec::np(kind));
+            out.push(PolicySpec::p(kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_paper_notation() {
+        assert_eq!(PolicySpec::p(PolicyKind::Mrsf).label(), "MRSF(P)");
+        assert_eq!(PolicySpec::np(PolicyKind::SEdf).label(), "S-EDF(NP)");
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in [
+            PolicyKind::SEdf,
+            PolicyKind::Mrsf,
+            PolicyKind::MrsfExact,
+            PolicyKind::MEdf,
+            PolicyKind::MEdfAbs,
+            PolicyKind::Wic,
+            PolicyKind::Random,
+            PolicyKind::RoundRobin,
+        ] {
+            let p = kind.build(1);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn paper_roster_has_five_columns() {
+        let r = PolicySpec::paper_roster();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].label(), "S-EDF(NP)");
+        assert_eq!(r[4].label(), "WIC(P)");
+    }
+
+    #[test]
+    fn preemption_grid_pairs_modes() {
+        let g = PolicySpec::preemption_grid();
+        assert_eq!(g.len(), 6);
+        assert!(g.iter().filter(|s| s.preemptive).count() == 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Machine-readable experiment reports (JSON), so downstream tooling —
+//! plotting scripts, CI dashboards — can consume experiment output without
+//! scraping tables.
+
+use crate::experiment::PolicyAggregate;
+use crate::table::Table;
+use serde::Serialize;
+
+/// A full experiment report: named tables plus, optionally, the raw policy
+/// aggregates they were rendered from.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Report {
+    /// Rendered tables, in presentation order.
+    pub tables: Vec<Table>,
+    /// Raw aggregates for programmatic use (per-repetition stats included).
+    pub aggregates: Vec<PolicyAggregate>,
+}
+
+impl Report {
+    /// A report over rendered tables only.
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        Report {
+            tables,
+            aggregates: Vec::new(),
+        }
+    }
+
+    /// Attaches raw aggregates.
+    pub fn with_aggregates(mut self, aggregates: Vec<PolicyAggregate>) -> Self {
+        self.aggregates = aggregates;
+        self
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, TraceSpec};
+    use crate::experiment::Experiment;
+    use crate::policies::{PolicyKind, PolicySpec};
+    use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+    fn tiny() -> Experiment {
+        Experiment::materialize(ExperimentConfig {
+            n_resources: 20,
+            horizon: 100,
+            budget: 1,
+            workload: WorkloadConfig {
+                n_profiles: 5,
+                rank: RankSpec::Fixed(2),
+                resource_alpha: 0.0,
+                length: EiLength::Window(3),
+                distinct_resources: true,
+                max_ceis: Some(100),
+                no_intra_resource_overlap: false,
+            },
+            trace: TraceSpec::Poisson { lambda: 6.0 },
+            noise: None,
+            repetitions: 2,
+            seed: 31,
+        })
+    }
+
+    #[test]
+    fn json_report_contains_tables_and_aggregates() {
+        let exp = tiny();
+        let agg = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+        let mut t = Table::with_headers("demo", &["policy", "completeness"]);
+        t.push_numeric_row(agg.label.clone(), &[agg.completeness.mean], 4);
+
+        let json = Report::from_tables(vec![t])
+            .with_aggregates(vec![agg])
+            .to_json();
+        assert!(json.contains("\"tables\""));
+        assert!(json.contains("\"aggregates\""));
+        assert!(json.contains("MRSF(P)"));
+        assert!(json.contains("\"completeness\""));
+        // Must be valid JSON.
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed["tables"].is_array());
+        assert_eq!(parsed["aggregates"][0]["label"], "MRSF(P)");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let json = Report::default().to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["tables"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Sample summaries: mean / standard deviation over repetitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and (sample) standard deviation of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator); `0` for `n < 2`.
+    pub std: f64,
+    /// Number of samples.
+    pub n: u32,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Summary {
+            mean,
+            std,
+            n: n as u32,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_samples() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((s.std - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn empty_sample_is_default() {
+        assert_eq!(Summary::from_samples(&[]), Summary::default());
+    }
+
+    #[test]
+    fn display_shows_mean_and_std() {
+        let s = Summary::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.to_string(), "2.0000 ± 1.4142");
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic eBay-style auction trace — substitute for the paper's
+//! real-world trace of 732 three-day auctions with 11,150 bids.
+//!
+//! The real RSS trace is unavailable; we synthesize a trace with the same
+//! volume and the documented shape of eBay bidding: a modest early stream of
+//! bids with intensity rising toward the auction close, plus a *sniping*
+//! burst in the final moments. The scheduler only ever consumes
+//! `(resource, chronon)` pairs, so any trace with realistic volume and
+//! burstiness exercises the identical code path (DESIGN.md §1.3).
+
+use crate::poisson::poisson_count;
+use crate::rng::SimRng;
+use crate::trace::{Chronon, UpdateTrace};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic auction trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionTraceConfig {
+    /// Number of auctions (each is one monitored resource). Paper: 732.
+    pub n_auctions: u32,
+    /// Target total bid count across all auctions. Paper: 11,150.
+    pub total_bids: u64,
+    /// Epoch length in chronons.
+    pub horizon: Chronon,
+    /// Auction duration in chronons (the paper's auctions all run 3 days;
+    /// scaled into the epoch).
+    pub duration: Chronon,
+    /// Fraction of bids arriving in the sniping window at the auction close.
+    pub sniping_fraction: f64,
+    /// Length of the sniping window, as a fraction of the duration.
+    pub sniping_window: f64,
+}
+
+impl AuctionTraceConfig {
+    /// The paper's trace dimensions mapped onto a 1000-chronon epoch.
+    pub fn paper(horizon: Chronon) -> Self {
+        AuctionTraceConfig {
+            n_auctions: 732,
+            total_bids: 11_150,
+            horizon,
+            duration: (horizon / 3).max(10),
+            sniping_fraction: 0.35,
+            sniping_window: 0.1,
+        }
+    }
+
+    /// A smaller trace for quick experiments: `n` auctions with the paper's
+    /// mean bids-per-auction ratio.
+    pub fn scaled(n_auctions: u32, horizon: Chronon) -> Self {
+        let mean_bids = 11_150.0 / 732.0;
+        AuctionTraceConfig {
+            n_auctions,
+            total_bids: (f64::from(n_auctions) * mean_bids).round() as u64,
+            horizon,
+            duration: (horizon / 3).max(10),
+            sniping_fraction: 0.35,
+            sniping_window: 0.1,
+        }
+    }
+}
+
+/// The lifetime of one auction within the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuctionSpan {
+    /// First chronon of the auction.
+    pub start: Chronon,
+    /// Last chronon (the close — where sniping concentrates).
+    pub end: Chronon,
+}
+
+/// A synthesized auction trace: the update-event trace (one resource per
+/// auction, one event per bid) plus per-auction lifetimes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuctionTrace {
+    /// Bid events, one resource per auction.
+    pub trace: UpdateTrace,
+    /// Auction lifetimes, parallel to the resources.
+    pub spans: Vec<AuctionSpan>,
+}
+
+impl AuctionTrace {
+    /// Synthesizes an auction trace.
+    ///
+    /// # Panics
+    /// Panics if the duration exceeds the horizon or fractions are out of
+    /// `[0, 1]`.
+    pub fn generate(config: &AuctionTraceConfig, rng: &SimRng) -> Self {
+        assert!(
+            config.duration <= config.horizon,
+            "auction duration {} exceeds horizon {}",
+            config.duration,
+            config.horizon
+        );
+        assert!(config.duration >= 2, "auction needs at least 2 chronons");
+        assert!(
+            (0.0..=1.0).contains(&config.sniping_fraction)
+                && (0.0..=1.0).contains(&config.sniping_window),
+            "sniping parameters must lie in [0, 1]"
+        );
+
+        let mean_bids = config.total_bids as f64 / f64::from(config.n_auctions.max(1));
+        let mut events: Vec<Vec<Chronon>> = Vec::with_capacity(config.n_auctions as usize);
+        let mut spans = Vec::with_capacity(config.n_auctions as usize);
+
+        for a in 0..config.n_auctions {
+            let mut sub = rng.fork_indexed("auction", u64::from(a));
+            let latest_start = config.horizon - config.duration;
+            let start = if latest_start == 0 {
+                0
+            } else {
+                sub.below(u64::from(latest_start) + 1) as Chronon
+            };
+            let end = start + config.duration - 1;
+            spans.push(AuctionSpan { start, end });
+
+            let n_bids = poisson_count(mean_bids, &mut sub);
+            let snipe_len =
+                ((f64::from(config.duration) * config.sniping_window).ceil() as Chronon).max(1);
+            let mut bids: Vec<Chronon> = Vec::with_capacity(n_bids as usize);
+            for _ in 0..n_bids {
+                let t = if sub.chance(config.sniping_fraction) {
+                    // Sniping: exponential back-off from the close.
+                    let back = (sub.exponential(3.0) * f64::from(snipe_len)) as Chronon;
+                    end.saturating_sub(back.min(snipe_len - 1))
+                } else {
+                    // Body of the auction: density rising linearly toward
+                    // the close (t = start + D·√u has CDF (x/D)², i.e.
+                    // linearly increasing density).
+                    let u = sub.f64();
+                    start + (u.sqrt() * f64::from(config.duration - 1)) as Chronon
+                };
+                bids.push(t.clamp(start, end));
+            }
+            events.push(bids);
+        }
+
+        AuctionTrace {
+            trace: UpdateTrace::from_events(config.horizon, events),
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AuctionTrace {
+        AuctionTrace::generate(&AuctionTraceConfig::scaled(100, 1000), &SimRng::new(42))
+    }
+
+    #[test]
+    fn paper_scale_volume_is_close() {
+        let t = AuctionTrace::generate(&AuctionTraceConfig::paper(1000), &SimRng::new(42));
+        let total = t.trace.total_events() as f64;
+        // Chronon-granularity dedup loses a few percent of 11,150.
+        assert!(
+            (9_500.0..=11_800.0).contains(&total),
+            "total bids {total} far from 11,150"
+        );
+        assert_eq!(t.trace.n_resources(), 732);
+        assert_eq!(t.spans.len(), 732);
+    }
+
+    #[test]
+    fn bids_fall_within_auction_span() {
+        let t = small();
+        for (r, span) in t.spans.iter().enumerate() {
+            for &b in t.trace.events_of(r as u32) {
+                assert!(
+                    b >= span.start && b <= span.end,
+                    "bid {b} outside span [{}, {}]",
+                    span.start,
+                    span.end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sniping_concentrates_bids_near_close() {
+        let t = AuctionTrace::generate(&AuctionTraceConfig::paper(1000), &SimRng::new(7));
+        let mut last_decile = 0u64;
+        let mut total = 0u64;
+        for (r, span) in t.spans.iter().enumerate() {
+            let dur = span.end - span.start + 1;
+            let cutoff = span.end - dur / 10;
+            for &b in t.trace.events_of(r as u32) {
+                total += 1;
+                if b >= cutoff {
+                    last_decile += 1;
+                }
+            }
+        }
+        let frac = last_decile as f64 / total as f64;
+        // Uniform bidding would put ~10% there; sniping should push well
+        // above 25%.
+        assert!(frac > 0.25, "last-decile fraction {frac} too low");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = small();
+        let b = small();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = AuctionTrace::generate(&AuctionTraceConfig::scaled(50, 500), &SimRng::new(1));
+        let b = AuctionTrace::generate(&AuctionTraceConfig::scaled(50, 500), &SimRng::new(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds horizon")]
+    fn oversized_duration_rejected() {
+        let mut cfg = AuctionTraceConfig::paper(100);
+        cfg.duration = 200;
+        let _ = AuctionTrace::generate(&cfg, &SimRng::new(1));
+    }
+}

@@ -1,0 +1,228 @@
+//! The Poisson-fitted update model of Section V-H's news-trace experiment:
+//! "we used an homogeneous Poisson update model calculating λ as the average
+//! number of updates of each RSS news resource ... to generate the EIs. We
+//! then validated the capture of events against the real event trace."
+//!
+//! Unlike [`FpnModel`](crate::fpn::FpnModel) — which perturbs each true
+//! event — this model throws the true timestamps away entirely and predicts
+//! from the fitted rate alone: the proxy knows *how often* a feed updates,
+//! not *when*. Prediction quality then depends on how bursty the real
+//! process is; a feed that actually updates like a Poisson process is
+//! predicted decently, a diurnal or sniping-shaped one poorly.
+
+use crate::fpn::{EventPair, NoisyTrace};
+use crate::poisson::PoissonProcess;
+use crate::rng::SimRng;
+use crate::trace::UpdateTrace;
+
+/// The homogeneous Poisson-fitted update model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoissonFittedModel;
+
+impl PoissonFittedModel {
+    /// Fits a per-resource rate to `truth` (its exact event count over the
+    /// epoch) and samples predicted events from it, pairing the i-th
+    /// predicted event with the i-th true event. Events beyond the shorter
+    /// of the two sequences are unpaired: a surplus of predictions wastes
+    /// probes, a surplus of true events goes unmonitored — both are real
+    /// model failure modes and both lower validated completeness.
+    pub fn apply(&self, truth: &UpdateTrace, rng: &SimRng) -> NoisyTrace {
+        let horizon = truth.horizon();
+        let pairs: Vec<Vec<EventPair>> = (0..truth.n_resources())
+            .map(|r| {
+                let mut sub = rng.fork_indexed("poisson-fitted", u64::from(r));
+                let events = truth.events_of(r);
+                let rate = events.len() as f64;
+                let predicted = PoissonProcess::new(rate).sample(horizon, &mut sub);
+                events
+                    .iter()
+                    .zip(&predicted)
+                    .map(|(&t, &p)| EventPair {
+                        truth: t,
+                        predicted: p,
+                    })
+                    .collect()
+            })
+            .collect();
+        NoisyTrace::from_pairs(horizon, pairs)
+    }
+}
+
+/// A prefix-trained variant: the model observes the first
+/// `train_fraction` of the epoch (a real proxy's warm-up crawl), fits each
+/// resource's rate on that prefix only, and predicts the *remainder* of the
+/// epoch from the fitted rate. Events inside the training prefix are
+/// predicted exactly (the proxy saw them); events after it get rate-based
+/// predictions. The out-of-sample half is where estimation error lives —
+/// e.g. a feed that sped up after the warm-up is under-monitored.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixFittedModel {
+    /// Fraction of the epoch used for training, in `(0, 1)`.
+    pub train_fraction: f64,
+}
+
+impl PrefixFittedModel {
+    /// A model training on the leading `train_fraction` of the epoch.
+    ///
+    /// # Panics
+    /// Panics unless `0 < train_fraction < 1`.
+    pub fn new(train_fraction: f64) -> Self {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must lie in (0, 1) (got {train_fraction})"
+        );
+        PrefixFittedModel { train_fraction }
+    }
+
+    /// Applies the model to a ground-truth trace.
+    pub fn apply(&self, truth: &UpdateTrace, rng: &SimRng) -> NoisyTrace {
+        let horizon = truth.horizon();
+        let split = ((f64::from(horizon) * self.train_fraction) as u32).clamp(1, horizon - 1);
+        let test_len = horizon - split;
+
+        let pairs: Vec<Vec<EventPair>> = (0..truth.n_resources())
+            .map(|r| {
+                let mut sub = rng.fork_indexed("prefix-fitted", u64::from(r));
+                let events = truth.events_of(r);
+                let n_train = events.partition_point(|&t| t < split);
+
+                // In-sample events: known exactly.
+                let mut out: Vec<EventPair> = events[..n_train]
+                    .iter()
+                    .map(|&t| EventPair {
+                        truth: t,
+                        predicted: t,
+                    })
+                    .collect();
+
+                // Out-of-sample: predict from the trained rate, scaled to
+                // the test region's length.
+                let rate_per_chronon = n_train as f64 / f64::from(split);
+                let expected_test = rate_per_chronon * f64::from(test_len);
+                let predicted: Vec<u32> = PoissonProcess::new(expected_test)
+                    .sample(test_len, &mut sub)
+                    .into_iter()
+                    .map(|t| t + split)
+                    .collect();
+                out.extend(events[n_train..].iter().zip(&predicted).map(|(&t, &p)| {
+                    EventPair {
+                        truth: t,
+                        predicted: p,
+                    }
+                }));
+                out
+            })
+            .collect();
+        NoisyTrace::from_pairs(horizon, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> UpdateTrace {
+        PoissonProcess::new(25.0).sample_trace(30, 1000, &SimRng::new(42))
+    }
+
+    #[test]
+    fn prefix_model_is_exact_in_sample() {
+        let t = truth();
+        let model = PrefixFittedModel::new(0.5);
+        let noisy = model.apply(&t, &SimRng::new(9));
+        for r in 0..t.n_resources() {
+            for p in noisy.pairs_of(r) {
+                if p.truth < 500 {
+                    assert!(p.is_exact(), "in-sample event {p:?} must be exact");
+                } else {
+                    assert!(p.predicted >= 500, "test predictions stay out of sample");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_model_degrades_out_of_sample() {
+        let t = truth();
+        let noisy = PrefixFittedModel::new(0.5).apply(&t, &SimRng::new(9));
+        let out_of_sample_exact = (0..t.n_resources())
+            .flat_map(|r| noisy.pairs_of(r).to_vec())
+            .filter(|p| p.truth >= 500 && p.is_exact())
+            .count();
+        let out_of_sample_total = (0..t.n_resources())
+            .flat_map(|r| noisy.pairs_of(r).to_vec())
+            .filter(|p| p.truth >= 500)
+            .count();
+        assert!(out_of_sample_total > 100);
+        assert!(
+            (out_of_sample_exact as f64) < 0.2 * out_of_sample_total as f64,
+            "rate-only predictions should rarely be exact"
+        );
+    }
+
+    #[test]
+    fn prefix_model_reproducible() {
+        let t = truth();
+        let a = PrefixFittedModel::new(0.3).apply(&t, &SimRng::new(4));
+        let b = PrefixFittedModel::new(0.3).apply(&t, &SimRng::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_train_fraction_rejected() {
+        let _ = PrefixFittedModel::new(1.0);
+    }
+
+    #[test]
+    fn pair_counts_bounded_by_truth() {
+        let t = truth();
+        let noisy = PoissonFittedModel.apply(&t, &SimRng::new(1));
+        for r in 0..t.n_resources() {
+            assert!(noisy.pairs_of(r).len() <= t.events_of(r).len());
+        }
+    }
+
+    #[test]
+    fn predicted_volume_tracks_fitted_rate() {
+        let t = truth();
+        let noisy = PoissonFittedModel.apply(&t, &SimRng::new(2));
+        let truth_total = t.total_events() as f64;
+        let pair_total: usize = (0..t.n_resources())
+            .map(|r| noisy.pairs_of(r).len())
+            .sum();
+        // Pairing truncates to min(n_truth, n_predicted) per resource;
+        // with matched rates that stays within ~25% of the truth volume.
+        assert!(
+            pair_total as f64 > truth_total * 0.6,
+            "paired {pair_total} vs truth {truth_total}"
+        );
+    }
+
+    #[test]
+    fn predictions_rarely_exact() {
+        let t = truth();
+        let noisy = PoissonFittedModel.apply(&t, &SimRng::new(3));
+        // A rate-only model almost never lands on the exact chronon.
+        assert!(noisy.exact_fraction() < 0.2);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let t = truth();
+        let a = PoissonFittedModel.apply(&t, &SimRng::new(4));
+        let b = PoissonFittedModel.apply(&t, &SimRng::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pairs_sorted_consistently() {
+        let t = truth();
+        let noisy = PoissonFittedModel.apply(&t, &SimRng::new(5));
+        for r in 0..t.n_resources() {
+            let ps = noisy.pairs_of(r);
+            assert!(ps.windows(2).all(|w| w[0].truth <= w[1].truth));
+            assert!(ps.windows(2).all(|w| w[0].predicted <= w[1].predicted));
+        }
+    }
+}

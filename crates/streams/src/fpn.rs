@@ -1,0 +1,289 @@
+//! The FPN(Z) noisy update model of \[3\], used in the Figure 15 noise
+//! sensitivity experiments.
+//!
+//! A proxy that must *predict* update events (rather than being pushed
+//! notifications) schedules its EIs from an update model. FPN(Z)
+//! parameterizes model quality: with probability `Z` the model predicts an
+//! event exactly; with probability `1 − Z` the prediction *deviates* from
+//! the real event. `Z = 1` is a perfect model; `Z = 0` deviates on every
+//! event. Scheduling runs against the predictions, but completeness is
+//! validated against the real event trace — a deviated prediction steers
+//! probes to windows where nothing (capturable) happens.
+
+use crate::rng::SimRng;
+use crate::trace::{Chronon, UpdateTrace};
+use serde::{Deserialize, Serialize};
+
+/// One true event paired with the model's prediction of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventPair {
+    /// When the update actually happens.
+    pub truth: Chronon,
+    /// When the model predicts it (equal to `truth` with probability `Z`).
+    pub predicted: Chronon,
+}
+
+impl EventPair {
+    /// `true` if the model predicted this event exactly.
+    pub fn is_exact(self) -> bool {
+        self.truth == self.predicted
+    }
+}
+
+/// The FPN(Z) model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpnModel {
+    /// Probability that a prediction is exact. `1.0` = perfect model.
+    pub z: f64,
+    /// Maximum absolute deviation (in chronons) of a noisy prediction.
+    pub max_deviation: Chronon,
+}
+
+impl FpnModel {
+    /// An FPN model with noise level `1 − z` and the given deviation bound.
+    ///
+    /// # Panics
+    /// Panics if `z` is outside `[0, 1]` or `max_deviation == 0`.
+    pub fn new(z: f64, max_deviation: Chronon) -> Self {
+        assert!((0.0..=1.0).contains(&z), "Z must lie in [0, 1] (got {z})");
+        assert!(
+            max_deviation > 0,
+            "max deviation must be positive (a zero deviation is a perfect model)"
+        );
+        FpnModel { z, max_deviation }
+    }
+
+    /// Applies the model to a ground-truth trace, pairing every true event
+    /// with a prediction.
+    pub fn apply(&self, truth: &UpdateTrace, rng: &SimRng) -> NoisyTrace {
+        let horizon = truth.horizon();
+        let pairs: Vec<Vec<EventPair>> = (0..truth.n_resources())
+            .map(|r| {
+                let mut sub = rng.fork_indexed("fpn-resource", u64::from(r));
+                truth
+                    .events_of(r)
+                    .iter()
+                    .map(|&t| {
+                        let predicted = if sub.chance(self.z) {
+                            t
+                        } else {
+                            self.deviate(t, horizon, &mut sub)
+                        };
+                        EventPair {
+                            truth: t,
+                            predicted,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        NoisyTrace { horizon, pairs }
+    }
+
+    /// A deviated prediction: `t ± U[1, max_deviation]`, clamped into the
+    /// epoch, guaranteed different from `t` when the epoch permits.
+    fn deviate(&self, t: Chronon, horizon: Chronon, rng: &mut SimRng) -> Chronon {
+        let delta = rng.range_inclusive(1, u64::from(self.max_deviation)) as Chronon;
+        let forward = rng.chance(0.5);
+        let candidate = if forward {
+            t.saturating_add(delta).min(horizon - 1)
+        } else {
+            t.saturating_sub(delta)
+        };
+        if candidate != t {
+            return candidate;
+        }
+        // Clamping collapsed the deviation (event at an epoch edge): push
+        // the other way if possible.
+        if t + 1 < horizon {
+            t + 1
+        } else if t > 0 {
+            t - 1
+        } else {
+            t // single-chronon epoch: nowhere to deviate
+        }
+    }
+}
+
+/// A ground-truth trace with per-event predictions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoisyTrace {
+    horizon: Chronon,
+    /// `pairs[r]` = event pairs of resource `r`, sorted by true chronon.
+    pairs: Vec<Vec<EventPair>>,
+}
+
+impl NoisyTrace {
+    /// Builds a noisy trace from explicit event pairs (used by alternative
+    /// update models such as the Poisson-fitted model of Section V-H).
+    ///
+    /// # Panics
+    /// Panics if any chronon lies at or beyond the horizon.
+    pub fn from_pairs(horizon: Chronon, pairs: Vec<Vec<EventPair>>) -> Self {
+        for (r, ps) in pairs.iter().enumerate() {
+            for p in ps {
+                assert!(
+                    p.truth < horizon && p.predicted < horizon,
+                    "resource {r}: pair ({}, {}) beyond horizon {horizon}",
+                    p.truth,
+                    p.predicted
+                );
+            }
+        }
+        NoisyTrace { horizon, pairs }
+    }
+
+    /// Wraps a trace as its own perfect prediction (`Z = 1`). Lets
+    /// noise-free and noisy workloads share one generation path.
+    pub fn exact(truth: &UpdateTrace) -> Self {
+        NoisyTrace {
+            horizon: truth.horizon(),
+            pairs: (0..truth.n_resources())
+                .map(|r| {
+                    truth
+                        .events_of(r)
+                        .iter()
+                        .map(|&t| EventPair {
+                            truth: t,
+                            predicted: t,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Epoch length in chronons.
+    pub fn horizon(&self) -> Chronon {
+        self.horizon
+    }
+
+    /// Number of resources.
+    pub fn n_resources(&self) -> u32 {
+        self.pairs.len() as u32
+    }
+
+    /// The event pairs of resource `r`.
+    pub fn pairs_of(&self, r: u32) -> &[EventPair] {
+        &self.pairs[r as usize]
+    }
+
+    /// The trace the scheduler sees (predicted events).
+    pub fn predicted_trace(&self) -> UpdateTrace {
+        UpdateTrace::from_events(
+            self.horizon,
+            self.pairs
+                .iter()
+                .map(|ps| ps.iter().map(|p| p.predicted).collect())
+                .collect(),
+        )
+    }
+
+    /// The trace completeness is validated against (true events).
+    pub fn truth_trace(&self) -> UpdateTrace {
+        UpdateTrace::from_events(
+            self.horizon,
+            self.pairs
+                .iter()
+                .map(|ps| ps.iter().map(|p| p.truth).collect())
+                .collect(),
+        )
+    }
+
+    /// Fraction of exactly-predicted events (the empirical `Z`).
+    pub fn exact_fraction(&self) -> f64 {
+        let total: usize = self.pairs.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let exact: usize = self
+            .pairs
+            .iter()
+            .flat_map(|ps| ps.iter())
+            .filter(|p| p.is_exact())
+            .count();
+        exact as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::PoissonProcess;
+
+    fn truth() -> UpdateTrace {
+        PoissonProcess::new(30.0).sample_trace(20, 1000, &SimRng::new(42))
+    }
+
+    #[test]
+    fn exact_wrapper_equals_perfect_model() {
+        let t = truth();
+        let exact = NoisyTrace::exact(&t);
+        assert!((exact.exact_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(exact.predicted_trace(), t);
+        assert_eq!(exact.truth_trace(), t);
+    }
+
+    #[test]
+    fn perfect_model_predicts_exactly() {
+        let noisy = FpnModel::new(1.0, 5).apply(&truth(), &SimRng::new(1));
+        assert!((noisy.exact_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(noisy.predicted_trace(), noisy.truth_trace());
+    }
+
+    #[test]
+    fn fully_noisy_model_always_deviates() {
+        let noisy = FpnModel::new(0.0, 5).apply(&truth(), &SimRng::new(1));
+        assert_eq!(noisy.exact_fraction(), 0.0);
+    }
+
+    #[test]
+    fn intermediate_z_matches_empirically() {
+        let noisy = FpnModel::new(0.6, 5).apply(&truth(), &SimRng::new(1));
+        let f = noisy.exact_fraction();
+        assert!((f - 0.6).abs() < 0.05, "exact fraction {f} far from 0.6");
+    }
+
+    #[test]
+    fn deviations_are_bounded_and_in_epoch() {
+        let t = truth();
+        let noisy = FpnModel::new(0.0, 7).apply(&t, &SimRng::new(3));
+        for r in 0..noisy.n_resources() {
+            for p in noisy.pairs_of(r) {
+                let d = p.predicted.abs_diff(p.truth);
+                assert!((1..=7).contains(&d), "deviation {d} out of [1, 7]");
+                assert!(p.predicted < t.horizon());
+            }
+        }
+    }
+
+    #[test]
+    fn pair_counts_match_truth() {
+        let t = truth();
+        let noisy = FpnModel::new(0.5, 5).apply(&t, &SimRng::new(9));
+        for r in 0..t.n_resources() {
+            assert_eq!(noisy.pairs_of(r).len(), t.events_of(r).len());
+        }
+        assert_eq!(noisy.truth_trace(), t);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let t = truth();
+        let a = FpnModel::new(0.4, 5).apply(&t, &SimRng::new(8));
+        let b = FpnModel::new(0.4, 5).apply(&t, &SimRng::new(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn bad_z_rejected() {
+        let _ = FpnModel::new(1.5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_deviation_rejected() {
+        let _ = FpnModel::new(0.5, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Plain-text trace interchange: load real update-event dumps (an RSS crawl
+//! log, an auction bid log) into an [`UpdateTrace`], or save synthetic ones.
+//!
+//! The format is a minimal CSV: a header line `resource,chronon`, then one
+//! event per line. Lines starting with `#` are comments. Resources must be
+//! dense ids `0..n`; the horizon is `max chronon + 1` unless given
+//! explicitly. This is the adoption path for the paper's *real* traces: map
+//! timestamps to chronons offline (e.g. one chronon = one minute), dump to
+//! CSV, and every experiment in this workspace runs on it unchanged.
+
+use crate::trace::{Chronon, UpdateTrace};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A malformed trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// The header line was missing or wrong.
+    BadHeader(String),
+    /// A data line failed to parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An event chronon at or beyond the declared horizon.
+    EventBeyondHorizon {
+        /// 1-based line number.
+        line: usize,
+        /// The event chronon.
+        chronon: Chronon,
+        /// The declared horizon.
+        horizon: Chronon,
+    },
+    /// Underlying I/O failure (message only, so the error stays `Eq`).
+    Io(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadHeader(h) => {
+                write!(f, "expected header 'resource,chronon', got '{h}'")
+            }
+            TraceIoError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse '{content}'")
+            }
+            TraceIoError::EventBeyondHorizon {
+                line,
+                chronon,
+                horizon,
+            } => write!(
+                f,
+                "line {line}: event at chronon {chronon} beyond horizon {horizon}"
+            ),
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e.to_string())
+    }
+}
+
+/// Writes a trace as CSV.
+pub fn write_csv<W: Write>(trace: &UpdateTrace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "# webmon update trace: {} resources, {} chronons", trace.n_resources(), trace.horizon())?;
+    writeln!(w, "resource,chronon")?;
+    for (r, t) in trace.iter() {
+        writeln!(w, "{r},{t}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from CSV. `horizon` fixes the epoch length; `None` infers
+/// `max chronon + 1`. `n_resources` fixes the resource count; `None` infers
+/// `max resource + 1`.
+pub fn read_csv<R: BufRead>(
+    r: R,
+    horizon: Option<Chronon>,
+    n_resources: Option<u32>,
+) -> Result<UpdateTrace, TraceIoError> {
+    let mut events: Vec<(u32, Chronon)> = Vec::new();
+    let mut header_seen = false;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            if trimmed != "resource,chronon" {
+                return Err(TraceIoError::BadHeader(trimmed.to_string()));
+            }
+            header_seen = true;
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split(',').collect();
+        let parsed = (|| -> Option<(u32, Chronon)> {
+            if parts.len() != 2 {
+                return None;
+            }
+            Some((
+                parts[0].trim().parse().ok()?,
+                parts[1].trim().parse().ok()?,
+            ))
+        })();
+        match parsed {
+            Some(ev) => events.push(ev),
+            None => {
+                return Err(TraceIoError::BadLine {
+                    line: i + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+
+    let inferred_h = events.iter().map(|&(_, t)| t + 1).max().unwrap_or(1);
+    let h = horizon.unwrap_or(inferred_h);
+    let inferred_n = events.iter().map(|&(r, _)| r + 1).max().unwrap_or(0);
+    let n = n_resources.unwrap_or(inferred_n);
+
+    let mut per_resource: Vec<Vec<Chronon>> = vec![Vec::new(); n as usize];
+    for (i, &(r, t)) in events.iter().enumerate() {
+        if t >= h {
+            return Err(TraceIoError::EventBeyondHorizon {
+                line: i + 1,
+                chronon: t,
+                horizon: h,
+            });
+        }
+        if (r as usize) < per_resource.len() {
+            per_resource[r as usize].push(t);
+        } else {
+            return Err(TraceIoError::BadLine {
+                line: i + 1,
+                content: format!("resource {r} >= declared count {n}"),
+            });
+        }
+    }
+    Ok(UpdateTrace::from_events(h, per_resource))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::PoissonProcess;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = PoissonProcess::new(12.0).sample_trace(8, 300, &SimRng::new(7));
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), Some(300), Some(8)).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn dimensions_are_inferred() {
+        let csv = "resource,chronon\n0,5\n2,9\n";
+        let t = read_csv(csv.as_bytes(), None, None).unwrap();
+        assert_eq!(t.n_resources(), 3);
+        assert_eq!(t.horizon(), 10);
+        assert_eq!(t.events_of(2), &[9]);
+        assert!(t.events_of(1).is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let csv = "# a comment\n\nresource,chronon\n# another\n1,3\n";
+        let t = read_csv(csv.as_bytes(), None, None).unwrap();
+        assert_eq!(t.total_events(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let csv = "0,5\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), None, None),
+            Err(TraceIoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_line_reported_with_number() {
+        let csv = "resource,chronon\n0,5\nnot-a-line\n";
+        let err = read_csv(csv.as_bytes(), None, None).unwrap_err();
+        assert_eq!(
+            err,
+            TraceIoError::BadLine {
+                line: 3,
+                content: "not-a-line".into()
+            }
+        );
+    }
+
+    #[test]
+    fn event_beyond_declared_horizon_rejected() {
+        let csv = "resource,chronon\n0,50\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), Some(10), None),
+            Err(TraceIoError::EventBeyondHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn resource_beyond_declared_count_rejected() {
+        let csv = "resource,chronon\n5,1\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), None, Some(2)),
+            Err(TraceIoError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_yields_empty_trace() {
+        let csv = "resource,chronon\n";
+        let t = read_csv(csv.as_bytes(), Some(10), Some(2)).unwrap();
+        assert_eq!(t.total_events(), 0);
+        assert_eq!(t.n_resources(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Poisson update-event processes — the paper's synthetic stream model.
+//!
+//! "We also used a synthetic data stream that was generated using a Poisson
+//! based update model; the parameter λ controls the update intensity of each
+//! resource" (Section V-A.1). We interpret λ as the expected number of
+//! updates per resource over the epoch, matching Table I's range `[10, 50]`
+//! against the 1000-chronon epoch.
+
+use crate::rng::SimRng;
+use crate::trace::{Chronon, UpdateTrace};
+
+/// A homogeneous Poisson process: events arrive with exponential gaps at a
+/// constant rate.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonProcess {
+    /// Expected number of events over the whole epoch.
+    pub rate_per_epoch: f64,
+}
+
+impl PoissonProcess {
+    /// A process expecting `rate_per_epoch` events per epoch.
+    ///
+    /// # Panics
+    /// Panics if the rate is negative or non-finite.
+    pub fn new(rate_per_epoch: f64) -> Self {
+        assert!(
+            rate_per_epoch.is_finite() && rate_per_epoch >= 0.0,
+            "Poisson rate must be finite and non-negative (got {rate_per_epoch})"
+        );
+        PoissonProcess { rate_per_epoch }
+    }
+
+    /// Samples event chronons over `0..horizon` (sorted, deduplicated at
+    /// chronon granularity).
+    pub fn sample(&self, horizon: Chronon, rng: &mut SimRng) -> Vec<Chronon> {
+        if self.rate_per_epoch == 0.0 {
+            return Vec::new();
+        }
+        let rate_per_chronon = self.rate_per_epoch / f64::from(horizon);
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(rate_per_chronon);
+            if t >= f64::from(horizon) {
+                break;
+            }
+            events.push(t as Chronon);
+        }
+        events.dedup();
+        events
+    }
+
+    /// Samples a full trace: one independent process per resource.
+    pub fn sample_trace(&self, n_resources: u32, horizon: Chronon, rng: &SimRng) -> UpdateTrace {
+        let events = (0..n_resources)
+            .map(|r| {
+                let mut sub = rng.fork_indexed("poisson-resource", u64::from(r));
+                self.sample(horizon, &mut sub)
+            })
+            .collect();
+        UpdateTrace::from_events(horizon, events)
+    }
+}
+
+/// Samples a Poisson-distributed count with mean `lambda` (Knuth's method
+/// for small λ, normal approximation above 30 — we only need workload-scale
+/// counts).
+pub fn poisson_count(lambda: f64, rng: &mut SimRng) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson mean must be finite and non-negative"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        // Knuth: multiply uniforms until below e^(-λ).
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    // Normal approximation N(λ, λ) via Box–Muller, clamped at zero.
+    let u1 = 1.0 - rng.f64();
+    let u2 = rng.f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let v = lambda + lambda.sqrt() * z;
+    if v < 0.0 {
+        0
+    } else {
+        v.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_count_close_to_rate() {
+        let p = PoissonProcess::new(20.0);
+        let mut rng = SimRng::new(42);
+        let reps = 500;
+        let total: usize = (0..reps).map(|_| p.sample(1000, &mut rng).len()).sum();
+        let mean = total as f64 / reps as f64;
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean} far from 20");
+    }
+
+    #[test]
+    fn events_sorted_within_horizon() {
+        let p = PoissonProcess::new(50.0);
+        let mut rng = SimRng::new(7);
+        let evs = p.sample(1000, &mut rng);
+        assert!(evs.windows(2).all(|w| w[0] < w[1]));
+        assert!(evs.iter().all(|&t| t < 1000));
+    }
+
+    #[test]
+    fn zero_rate_yields_no_events() {
+        let p = PoissonProcess::new(0.0);
+        let mut rng = SimRng::new(1);
+        assert!(p.sample(100, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn trace_is_reproducible_and_per_resource_independent() {
+        let p = PoissonProcess::new(10.0);
+        let t1 = p.sample_trace(5, 500, &SimRng::new(3));
+        let t2 = p.sample_trace(5, 500, &SimRng::new(3));
+        assert_eq!(t1, t2);
+        // Different resources should not share a stream.
+        assert_ne!(t1.events_of(0), t1.events_of(1));
+    }
+
+    #[test]
+    fn poisson_count_small_lambda_mean() {
+        let mut rng = SimRng::new(42);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| poisson_count(3.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_count_large_lambda_mean() {
+        let mut rng = SimRng::new(42);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson_count(100.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_count_zero() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(poisson_count(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_rejected() {
+        let _ = PoissonProcess::new(-1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Seeded, forkable randomness for reproducible traces and workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source. Every generator in this workspace draws from a
+/// `SimRng`, so a `(seed, config)` pair fully determines a trace, a
+/// workload, and therefore an experiment row.
+///
+/// [`fork`](SimRng::fork) derives independent substreams from string labels,
+/// so adding a new consumer of randomness does not perturb existing ones —
+/// the property that keeps experiment tables stable across code evolution.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent substream keyed by `label` (and the original
+    /// seed). Forking never advances `self`.
+    pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::new(mix(self.seed, label))
+    }
+
+    /// Derives an independent substream keyed by an index (e.g. a resource
+    /// id or a repetition number).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        SimRng::new(mix(self.seed, label).wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.inner.random::<f64>() < p
+    }
+
+    /// Exponential variate with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        // Inverse CDF on (0, 1]; 1 - f64() avoids ln(0).
+        -(1.0 - self.f64()).ln() / rate
+    }
+}
+
+/// Mixes a seed and a label into a new seed (FNV-1a over the label, then
+/// SplitMix64 finalization).
+fn mix(seed: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // SplitMix64 finalizer for avalanche.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_state() {
+        let parent = SimRng::new(7);
+        let mut f1 = parent.fork("auction");
+        let mut parent2 = SimRng::new(7);
+        // Drawing from the parent must not change what a fork yields.
+        let mut p = parent;
+        let _ = p.f64();
+        let mut f2 = parent2.fork("auction");
+        assert_eq!(f1.below(1_000_000), f2.below(1_000_000));
+        let _ = parent2.f64();
+    }
+
+    #[test]
+    fn distinct_labels_yield_distinct_streams() {
+        let parent = SimRng::new(7);
+        let mut a = parent.fork("auction");
+        let mut b = parent.fork("news");
+        let xs: Vec<u64> = (0..4).map(|_| a.below(u64::MAX)).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.below(u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn fork_indexed_varies_by_index() {
+        let parent = SimRng::new(7);
+        let mut a = parent.fork_indexed("res", 0);
+        let mut b = parent.fork_indexed("res", 1);
+        assert_ne!(a.below(u64::MAX), b.below(u64::MAX));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_inclusive_hits_bounds() {
+        let mut rng = SimRng::new(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            match rng.range_inclusive(1, 3) {
+                1 => lo_seen = true,
+                3 => hi_seen = true,
+                2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_rejected() {
+        SimRng::new(1).below(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Update-event traces: the `(resource, chronon)` streams that drive EI
+//! generation.
+
+use serde::{Deserialize, Serialize};
+
+/// Chronon type re-exported for convenience (matches `webmon_core`).
+pub type Chronon = u32;
+
+/// A trace of update events: for each resource, the sorted, deduplicated
+/// chronons at which the resource's content changed. This is the *only*
+/// interface between a stream source (synthetic, auction, news) and the
+/// workload generator — any source producing plausible `(resource, chronon)`
+/// pairs exercises the identical scheduling code path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateTrace {
+    horizon: Chronon,
+    /// `events[r]` = sorted update chronons of resource `r`.
+    events: Vec<Vec<Chronon>>,
+}
+
+impl UpdateTrace {
+    /// An empty trace over `n_resources` resources and `horizon` chronons.
+    pub fn new(n_resources: u32, horizon: Chronon) -> Self {
+        assert!(horizon > 0, "trace horizon must be positive");
+        UpdateTrace {
+            horizon,
+            events: vec![Vec::new(); n_resources as usize],
+        }
+    }
+
+    /// Builds a trace from per-resource event lists (sorted + deduplicated
+    /// internally).
+    ///
+    /// # Panics
+    /// Panics if any event lies at or beyond `horizon`.
+    pub fn from_events(horizon: Chronon, mut events: Vec<Vec<Chronon>>) -> Self {
+        for (r, evs) in events.iter_mut().enumerate() {
+            evs.sort_unstable();
+            evs.dedup();
+            if let Some(&last) = evs.last() {
+                assert!(
+                    last < horizon,
+                    "resource {r}: event at {last} beyond horizon {horizon}"
+                );
+            }
+        }
+        UpdateTrace { horizon, events }
+    }
+
+    /// Number of resources.
+    pub fn n_resources(&self) -> u32 {
+        self.events.len() as u32
+    }
+
+    /// Epoch length in chronons.
+    pub fn horizon(&self) -> Chronon {
+        self.horizon
+    }
+
+    /// Adds an update event. Keeps the list sorted; idempotent.
+    pub fn push(&mut self, resource: u32, t: Chronon) {
+        assert!(t < self.horizon, "event at {t} beyond horizon");
+        let evs = &mut self.events[resource as usize];
+        match evs.binary_search(&t) {
+            Ok(_) => {}
+            Err(pos) => evs.insert(pos, t),
+        }
+    }
+
+    /// The sorted update chronons of resource `r`.
+    pub fn events_of(&self, resource: u32) -> &[Chronon] {
+        &self.events[resource as usize]
+    }
+
+    /// `true` if resource `r` updates at chronon `t`.
+    pub fn has_update_at(&self, resource: u32, t: Chronon) -> bool {
+        self.events[resource as usize].binary_search(&t).is_ok()
+    }
+
+    /// The first update of `r` strictly after chronon `t`, if any.
+    pub fn next_update_after(&self, resource: u32, t: Chronon) -> Option<Chronon> {
+        let evs = &self.events[resource as usize];
+        let idx = evs.partition_point(|&e| e <= t);
+        evs.get(idx).copied()
+    }
+
+    /// Total number of update events across all resources.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().map(|e| e.len() as u64).sum()
+    }
+
+    /// Mean updates per resource (the empirical `λ` of the trace).
+    pub fn mean_intensity(&self) -> f64 {
+        if self.events.is_empty() {
+            0.0
+        } else {
+            self.total_events() as f64 / self.events.len() as f64
+        }
+    }
+
+    /// Iterates `(resource, chronon)` over all events, resource-major.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Chronon)> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .flat_map(|(r, evs)| evs.iter().map(move |&t| (r as u32, t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_events_sorts_and_dedupes() {
+        let t = UpdateTrace::from_events(10, vec![vec![5, 1, 5, 3]]);
+        assert_eq!(t.events_of(0), &[1, 3, 5]);
+        assert_eq!(t.total_events(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn event_past_horizon_rejected() {
+        let _ = UpdateTrace::from_events(10, vec![vec![10]]);
+    }
+
+    #[test]
+    fn push_keeps_sorted_and_dedupes() {
+        let mut t = UpdateTrace::new(2, 10);
+        t.push(0, 7);
+        t.push(0, 2);
+        t.push(0, 7);
+        assert_eq!(t.events_of(0), &[2, 7]);
+        assert!(t.events_of(1).is_empty());
+    }
+
+    #[test]
+    fn has_update_and_next_update() {
+        let t = UpdateTrace::from_events(20, vec![vec![3, 9, 15]]);
+        assert!(t.has_update_at(0, 9));
+        assert!(!t.has_update_at(0, 10));
+        assert_eq!(t.next_update_after(0, 3), Some(9));
+        assert_eq!(t.next_update_after(0, 2), Some(3));
+        assert_eq!(t.next_update_after(0, 15), None);
+    }
+
+    #[test]
+    fn intensity_is_mean_events_per_resource() {
+        let t = UpdateTrace::from_events(10, vec![vec![1, 2, 3], vec![4]]);
+        assert!((t.mean_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_is_resource_major() {
+        let t = UpdateTrace::from_events(10, vec![vec![2, 4], vec![1]]);
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(0, 2), (0, 4), (1, 1)]);
+    }
+}

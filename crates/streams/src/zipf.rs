@@ -1,0 +1,147 @@
+//! A Zipf distribution sampler, implemented from scratch.
+//!
+//! The paper's profile generator (Section V-A.2) uses two Zipf
+//! distributions: `Zipf(α, n)` to pick resources (α > 0 skews toward
+//! "popular" resources; the paper cites α ≈ 1.37 for Web feeds) and
+//! `Zipf(β, k)` to pick profile ranks (β > 0 produces more low-rank
+//! profiles). `θ = 0` degenerates to the uniform distribution, exactly as
+//! the paper specifies.
+
+use crate::rng::SimRng;
+
+/// Zipf distribution over ranks `1..=n`: `P(i) ∝ 1 / i^θ`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[i]` = P(rank ≤ i+1).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `1..=n` with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(theta: f64, n: u32) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative (got {theta})"
+        );
+        let mut cdf: Vec<f64> = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / f64::from(i).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against accumulated floating error at the tail.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Probability of rank `i` (1-based).
+    pub fn pmf(&self, i: u32) -> f64 {
+        assert!((1..=self.n()).contains(&i), "rank {i} out of range");
+        let idx = (i - 1) as usize;
+        if idx == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[idx] - self.cdf[idx - 1]
+        }
+    }
+
+    /// Samples a rank in `1..=n` (rank 1 is the most likely for θ > 0).
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        let u = rng.f64();
+        // First index with cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(0.0, 4);
+        for i in 1..=4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for theta in [0.0, 0.3, 1.0, 1.37, 2.0] {
+            let z = Zipf::new(theta, 50);
+            let total: f64 = (1..=50).map(|i| z.pmf(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta={theta} total={total}");
+        }
+    }
+
+    #[test]
+    fn positive_theta_skews_to_low_ranks() {
+        let z = Zipf::new(1.37, 100);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(100));
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(1.0, 5);
+        let mut rng = SimRng::new(42);
+        let n = 100_000;
+        let mut counts = [0u32; 5];
+        for _ in 0..n {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for i in 1..=5u32 {
+            let observed = f64::from(counts[(i - 1) as usize]) / n as f64;
+            let expected = z.pmf(i);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {i}: observed {observed} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(2.0, 3);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1.0, 1);
+        let mut rng = SimRng::new(9);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert!((z.pmf(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_theta_rejected() {
+        let _ = Zipf::new(-0.5, 10);
+    }
+}

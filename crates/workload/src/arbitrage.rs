@@ -1,0 +1,118 @@
+//! The arbitrage template of the paper's Example 1 / Example 3: a
+//! push-notified trigger market whose every price update demands an atomic
+//! crossing of the companion markets within a tight deadline.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::model::{Budget, Chronon, Instance, InstanceBuilder};
+use webmon_streams::trace::UpdateTrace;
+
+/// Configuration of the arbitrage profile (`q_1` ON PUSH; `q_2`, `q_3`, ...
+/// WITHIN `T1 + deadline`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbitrageTemplate {
+    /// The push-notified trigger market (`q_1`'s resource).
+    pub trigger_resource: u32,
+    /// Companion markets to cross on every trigger update.
+    pub crossed_resources: Vec<u32>,
+    /// Crossing deadline in chronons ("WITHIN T1+1 SECONDS" → 1).
+    pub deadline: Chronon,
+}
+
+impl ArbitrageTemplate {
+    /// Example 3's shape: stock exchange triggers; futures and currency
+    /// exchanges crossed within one chronon.
+    pub fn example3(trigger: u32, crossed: Vec<u32>) -> Self {
+        ArbitrageTemplate {
+            trigger_resource: trigger,
+            crossed_resources: crossed,
+            deadline: 1,
+        }
+    }
+
+    /// Generates the instance: one CEI per trigger-market update event in
+    /// `trace`, each crossing every market (including the trigger — its
+    /// price must be read too) within the deadline.
+    ///
+    /// # Panics
+    /// Panics if a resource id is outside the trace, or the trigger has the
+    /// same id as a crossed resource.
+    pub fn generate(&self, trace: &UpdateTrace, budget: Budget) -> Instance {
+        let n = trace.n_resources();
+        assert!(
+            self.trigger_resource < n && self.crossed_resources.iter().all(|&r| r < n),
+            "resource id out of range for a {n}-resource trace"
+        );
+        assert!(
+            !self.crossed_resources.contains(&self.trigger_resource),
+            "trigger market cannot also be a crossed market"
+        );
+
+        let horizon = trace.horizon();
+        let mut b = InstanceBuilder::new(n, horizon, budget);
+        let analyst = b.profile();
+        for &t in trace.events_of(self.trigger_resource) {
+            let end = t.saturating_add(self.deadline).min(horizon - 1);
+            let mut eis = vec![(self.trigger_resource, t, end)];
+            eis.extend(self.crossed_resources.iter().map(|&r| (r, t, end)));
+            b.cei(analyst, &eis);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webmon_core::engine::{EngineConfig, OnlineEngine};
+    use webmon_core::policy::SEdf;
+
+    fn trace() -> UpdateTrace {
+        UpdateTrace::from_events(100, vec![vec![10, 40, 70], vec![], vec![]])
+    }
+
+    #[test]
+    fn one_cei_per_trigger_update() {
+        let tpl = ArbitrageTemplate::example3(0, vec![1, 2]);
+        let inst = tpl.generate(&trace(), Budget::Uniform(3));
+        assert_eq!(inst.ceis.len(), 3);
+        assert!(inst.ceis.iter().all(|c| c.size() == 3));
+        assert_eq!(inst.rank(), 3);
+        // Windows are [t, t + 1].
+        assert_eq!(inst.ceis[0].eis[0].start, 10);
+        assert_eq!(inst.ceis[0].eis[2].end, 11);
+    }
+
+    #[test]
+    fn budget_cliff_for_atomic_crossings() {
+        // A rank-3 crossing within 2 chronons needs ≥ 2 probes/chronon.
+        let tpl = ArbitrageTemplate::example3(0, vec![1, 2]);
+        let starved = tpl.generate(&trace(), Budget::Uniform(1));
+        let funded = tpl.generate(&trace(), Budget::Uniform(2));
+        let r1 = OnlineEngine::run(&starved, &SEdf, EngineConfig::preemptive());
+        let r2 = OnlineEngine::run(&funded, &SEdf, EngineConfig::preemptive());
+        assert_eq!(r1.stats.ceis_captured, 0);
+        assert_eq!(r2.stats.ceis_captured, 3);
+    }
+
+    #[test]
+    fn deadline_clamps_at_epoch_end() {
+        let t = UpdateTrace::from_events(100, vec![vec![99], vec![], vec![]]);
+        let tpl = ArbitrageTemplate::example3(0, vec![1, 2]);
+        let inst = tpl.generate(&t, Budget::Uniform(3));
+        assert!(inst.ceis[0].eis.iter().all(|e| e.end == 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_market_rejected() {
+        let tpl = ArbitrageTemplate::example3(0, vec![9]);
+        let _ = tpl.generate(&trace(), Budget::Uniform(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot also be")]
+    fn trigger_in_crossed_set_rejected() {
+        let tpl = ArbitrageTemplate::example3(0, vec![0, 1]);
+        let _ = tpl.generate(&trace(), Budget::Uniform(1));
+    }
+}

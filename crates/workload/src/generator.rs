@@ -1,0 +1,503 @@
+//! The two-stage Zipf profile-instance generator (Section V-A.2).
+
+use crate::length::EiLength;
+use crate::spec::{RankSpec, WorkloadConfig};
+use webmon_core::model::{Budget, Chronon, Ei, Instance, InstanceBuilder, ResourceId};
+use webmon_streams::fpn::{EventPair, NoisyTrace};
+use webmon_streams::rng::SimRng;
+use webmon_streams::zipf::Zipf;
+
+/// A generated workload: the scheduler-facing instance built from
+/// *predicted* events, plus a parallel ground-truth instance with identical
+/// CEI ids built from the *true* events. The two coincide when the trace is
+/// noise-free.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// What the proxy schedules against (predicted event windows).
+    pub instance: Instance,
+    /// What completeness is validated against (true event windows).
+    pub truth: Instance,
+    /// Resources of each profile, primary first. Indexed by profile id.
+    pub profile_resources: Vec<Vec<u32>>,
+}
+
+impl GeneratedWorkload {
+    /// Number of CEIs generated.
+    pub fn n_ceis(&self) -> usize {
+        self.instance.ceis.len()
+    }
+
+    /// Total number of EIs generated.
+    pub fn n_eis(&self) -> usize {
+        self.instance.total_eis()
+    }
+}
+
+/// Instantiates `config.n_profiles` profiles against `trace` and builds the
+/// predicted + truth instances.
+///
+/// Each update event of a profile's primary resource spawns one CEI: the
+/// primary EI opens at the event; each secondary EI opens at that resource's
+/// first event at or after the trigger. A CEI is dropped (not truncated)
+/// when a secondary resource never updates again — there is no crossing to
+/// capture.
+///
+/// # Panics
+/// Panics if `config.distinct_resources` demands more distinct resources
+/// than the trace has.
+pub fn generate(
+    config: &WorkloadConfig,
+    trace: &NoisyTrace,
+    budget: Budget,
+    rng: &SimRng,
+) -> GeneratedWorkload {
+    let n = trace.n_resources();
+    let horizon = trace.horizon();
+    assert!(n > 0, "trace has no resources");
+    let max_rank = config.rank.max_rank();
+    assert!(max_rank >= 1, "rank must be at least 1");
+    if config.distinct_resources {
+        assert!(
+            u32::from(max_rank) <= n,
+            "cannot pick {max_rank} distinct resources out of {n}"
+        );
+    }
+
+    // Per-resource event pairs sorted by *predicted* chronon — the timeline
+    // the proxy plans on.
+    let by_pred: Vec<Vec<EventPair>> = (0..n)
+        .map(|r| {
+            let mut ps: Vec<EventPair> = trace.pairs_of(r).to_vec();
+            ps.sort_by_key(|p| (p.predicted, p.truth));
+            ps
+        })
+        .collect();
+    // Per-resource true event chronons (sorted) for truth windows.
+    let truth_events: Vec<Vec<Chronon>> = (0..n)
+        .map(|r| trace.pairs_of(r).iter().map(|p| p.truth).collect())
+        .collect();
+
+    let resource_zipf = Zipf::new(config.resource_alpha, n);
+    let rank_zipf = match config.rank {
+        RankSpec::Fixed(_) => None,
+        RankSpec::UpTo { k, beta } => Some(Zipf::new(beta, u32::from(k))),
+    };
+
+    let mut predicted = InstanceBuilder::new(n, horizon, budget.clone());
+    let mut truth = InstanceBuilder::new(n, horizon, budget);
+    let mut profile_resources = Vec::with_capacity(config.n_profiles as usize);
+    let mut total_ceis = 0usize;
+    // Occupied spans per resource, kept sorted by start, for the
+    // no-intra-resource-overlap mode.
+    let mut occupied: Vec<Vec<(Chronon, Chronon)>> = if config.no_intra_resource_overlap {
+        vec![Vec::new(); n as usize]
+    } else {
+        Vec::new()
+    };
+
+    for pi in 0..config.n_profiles {
+        let mut prng = rng.fork_indexed("profile", u64::from(pi));
+        let rank = match (&config.rank, &rank_zipf) {
+            (RankSpec::Fixed(k), _) => *k,
+            (RankSpec::UpTo { .. }, Some(z)) => z.sample(&mut prng) as u16,
+            (RankSpec::UpTo { .. }, None) => unreachable!(),
+        };
+        let resources = pick_resources(
+            &resource_zipf,
+            rank,
+            config.distinct_resources,
+            n,
+            &mut prng,
+        );
+        let primary = resources[0];
+
+        let p_pred = predicted.profile();
+        let p_truth = truth.profile();
+        debug_assert_eq!(p_pred, p_truth);
+
+        for (j, pair) in by_pred[primary as usize].iter().enumerate() {
+            if let Some(cap) = config.max_ceis {
+                if total_ceis >= cap {
+                    break;
+                }
+            }
+            let next_pred = by_pred[primary as usize].get(j + 1).map(|p| p.predicted);
+            let Some(cei) = build_cei(
+                config.length,
+                &resources,
+                *pair,
+                next_pred,
+                &by_pred,
+                &truth_events,
+                horizon,
+            ) else {
+                continue;
+            };
+            if config.no_intra_resource_overlap
+                && !claim_slots(&mut occupied, &cei.predicted_eis)
+            {
+                continue;
+            }
+            predicted.cei_from_eis(p_pred, cei.predicted_eis, Some(cei.release));
+            truth.cei_from_eis(p_truth, cei.truth_eis, None);
+            total_ceis += 1;
+        }
+        profile_resources.push(resources);
+    }
+
+    GeneratedWorkload {
+        instance: predicted.build(),
+        truth: truth.build(),
+        profile_resources,
+    }
+}
+
+/// Stage 2: draw `rank` resources from `Zipf(α, n)` (optionally distinct).
+fn pick_resources(
+    zipf: &Zipf,
+    rank: u16,
+    distinct: bool,
+    n: u32,
+    rng: &mut SimRng,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::with_capacity(rank as usize);
+    let mut attempts = 0u32;
+    while out.len() < rank as usize {
+        let r = zipf.sample(rng) - 1; // rank 1 → resource 0 (most popular)
+        if distinct && out.contains(&r) {
+            attempts += 1;
+            // A heavily skewed Zipf can dwell on the head; fall back to a
+            // uniform draw over the remaining resources if sampling stalls.
+            if attempts > 64 {
+                let r = rng.below(u64::from(n)) as u32;
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+            continue;
+        }
+        out.push(r);
+    }
+    out
+}
+
+/// Both views of one generated CEI.
+struct BuiltCei {
+    release: Chronon,
+    predicted_eis: Vec<Ei>,
+    truth_eis: Vec<Ei>,
+}
+
+/// Builds the predicted and truth EIs of one CEI triggered by `pair` on the
+/// primary resource. Returns `None` when a secondary resource has no event
+/// at/after the trigger, or a window collapses (ω = 0).
+fn build_cei(
+    length: EiLength,
+    resources: &[u32],
+    pair: EventPair,
+    next_pred_primary: Option<Chronon>,
+    by_pred: &[Vec<EventPair>],
+    truth_events: &[Vec<Chronon>],
+    horizon: Chronon,
+) -> Option<BuiltCei> {
+    let mut predicted_eis = Vec::with_capacity(resources.len());
+    let mut truth_eis = Vec::with_capacity(resources.len());
+
+    // Primary EI.
+    let (ps, pe) = length.window_for(pair.predicted, next_pred_primary, horizon)?;
+    predicted_eis.push(Ei::new(ResourceId(resources[0]), ps, pe));
+    let (ts, te) = length.window_for(
+        pair.truth,
+        next_truth_after(&truth_events[resources[0] as usize], pair.truth),
+        horizon,
+    )?;
+    truth_eis.push(Ei::new(ResourceId(resources[0]), ts, te));
+
+    // Secondary EIs: the first event at/after the (predicted) trigger.
+    for &r in &resources[1..] {
+        let pairs = &by_pred[r as usize];
+        let idx = pairs.partition_point(|p| p.predicted < pair.predicted);
+        let sec = pairs.get(idx)?;
+        let next_pred = pairs.get(idx + 1).map(|p| p.predicted);
+        let (ss, se) = length.window_for(sec.predicted, next_pred, horizon)?;
+        predicted_eis.push(Ei::new(ResourceId(r), ss, se));
+        let (us, ue) = length.window_for(
+            sec.truth,
+            next_truth_after(&truth_events[r as usize], sec.truth),
+            horizon,
+        )?;
+        truth_eis.push(Ei::new(ResourceId(r), us, ue));
+    }
+
+    Some(BuiltCei {
+        release: pair.predicted,
+        predicted_eis,
+        truth_eis,
+    })
+}
+
+/// Atomically claims the `(resource, span)` slots of a CEI's EIs against the
+/// occupied map. Returns `false` (claiming nothing) if any EI would overlap
+/// an already-occupied span on its resource — including a sibling EI of the
+/// same CEI.
+fn claim_slots(occupied: &mut [Vec<(Chronon, Chronon)>], eis: &[Ei]) -> bool {
+    // Check first (including mutual overlap among the new EIs), then insert.
+    for (i, ei) in eis.iter().enumerate() {
+        let spans = &occupied[ei.resource.index()];
+        let idx = spans.partition_point(|&(s, _)| s <= ei.end);
+        // Potential overlap only with the span before `idx` (starts ≤ end).
+        if idx > 0 && spans[idx - 1].1 >= ei.start {
+            return false;
+        }
+        for other in &eis[..i] {
+            if other.resource == ei.resource
+                && other.start <= ei.end
+                && ei.start <= other.end
+            {
+                return false;
+            }
+        }
+    }
+    for ei in eis {
+        let spans = &mut occupied[ei.resource.index()];
+        let idx = spans.partition_point(|&(s, _)| s < ei.start);
+        spans.insert(idx, (ei.start, ei.end));
+    }
+    true
+}
+
+/// First true event strictly after `t` (sorted input).
+fn next_truth_after(events: &[Chronon], t: Chronon) -> Option<Chronon> {
+    let idx = events.partition_point(|&e| e <= t);
+    events.get(idx).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webmon_streams::fpn::FpnModel;
+    use webmon_streams::poisson::PoissonProcess;
+
+    fn exact_trace(n: u32, horizon: Chronon, lambda: f64, seed: u64) -> NoisyTrace {
+        let t = PoissonProcess::new(lambda).sample_trace(n, horizon, &SimRng::new(seed));
+        NoisyTrace::exact(&t)
+    }
+
+    #[test]
+    fn fixed_rank_produces_uniform_cei_sizes() {
+        let trace = exact_trace(50, 1000, 20.0, 1);
+        let cfg = WorkloadConfig {
+            n_profiles: 20,
+            ..WorkloadConfig::fig10(3)
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(2));
+        assert!(w.n_ceis() > 0);
+        assert!(w.instance.ceis.iter().all(|c| c.size() == 3));
+        assert_eq!(w.instance.rank(), 3);
+    }
+
+    #[test]
+    fn fig10_workload_is_unit_width_distinct_resources() {
+        let trace = exact_trace(100, 1000, 20.0, 3);
+        let cfg = WorkloadConfig {
+            n_profiles: 30,
+            ..WorkloadConfig::fig10(4)
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(4));
+        assert!(w.instance.is_unit_width());
+        for cei in &w.instance.ceis {
+            let mut rs: Vec<_> = cei.eis.iter().map(|e| e.resource).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            assert_eq!(rs.len(), cei.size(), "resources must be distinct");
+        }
+    }
+
+    #[test]
+    fn exact_trace_gives_identical_predicted_and_truth() {
+        let trace = exact_trace(30, 500, 15.0, 5);
+        let cfg = WorkloadConfig {
+            n_profiles: 10,
+            ..WorkloadConfig::paper_baseline()
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(6));
+        assert_eq!(w.instance.ceis.len(), w.truth.ceis.len());
+        for (p, t) in w.instance.ceis.iter().zip(&w.truth.ceis) {
+            assert_eq!(p.eis, t.eis);
+        }
+    }
+
+    #[test]
+    fn noisy_trace_shifts_predictions_but_not_truth() {
+        let base = PoissonProcess::new(20.0).sample_trace(30, 1000, &SimRng::new(7));
+        let noisy = FpnModel::new(0.0, 5).apply(&base, &SimRng::new(8));
+        let cfg = WorkloadConfig {
+            n_profiles: 10,
+            rank: RankSpec::Fixed(1),
+            ..WorkloadConfig::paper_baseline()
+        };
+        let w = generate(&cfg, &noisy, Budget::Uniform(1), &SimRng::new(9));
+        assert_eq!(w.instance.ceis.len(), w.truth.ceis.len());
+        // With Z = 0 every prediction deviates, so predicted and truth EIs
+        // must differ somewhere.
+        let differs = w
+            .instance
+            .ceis
+            .iter()
+            .zip(&w.truth.ceis)
+            .any(|(p, t)| p.eis != t.eis);
+        assert!(differs);
+        // Truth EIs start at true events.
+        for cei in &w.truth.ceis {
+            for ei in &cei.eis {
+                assert!(base.has_update_at(ei.resource.0, ei.start));
+            }
+        }
+    }
+
+    #[test]
+    fn cei_count_tracks_primary_event_count() {
+        // Rank 1, no drops possible: one CEI per primary event.
+        let trace = exact_trace(10, 500, 10.0, 11);
+        let cfg = WorkloadConfig {
+            n_profiles: 5,
+            rank: RankSpec::Fixed(1),
+            resource_alpha: 0.0,
+            length: EiLength::Window(2),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(12));
+        let expected: usize = w
+            .profile_resources
+            .iter()
+            .map(|rs| trace.pairs_of(rs[0]).len())
+            .sum();
+        assert_eq!(w.n_ceis(), expected);
+    }
+
+    #[test]
+    fn secondary_eis_start_at_or_after_trigger() {
+        let trace = exact_trace(40, 1000, 25.0, 13);
+        let cfg = WorkloadConfig {
+            n_profiles: 15,
+            rank: RankSpec::Fixed(3),
+            resource_alpha: 0.5,
+            length: EiLength::Window(4),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(14));
+        for cei in &w.instance.ceis {
+            let trigger = cei.eis[0].start;
+            for ei in &cei.eis[1..] {
+                assert!(ei.start >= trigger);
+            }
+            assert_eq!(cei.release, trigger);
+        }
+    }
+
+    #[test]
+    fn no_intra_resource_overlap_mode_yields_overlap_free_instances() {
+        let trace = exact_trace(60, 1000, 25.0, 23);
+        let mut cfg = WorkloadConfig {
+            n_profiles: 40,
+            ..WorkloadConfig::fig10(3)
+        };
+        cfg.no_intra_resource_overlap = true;
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(24));
+        assert!(w.n_ceis() > 0);
+        assert!(w.instance.has_no_intra_resource_overlap());
+
+        // The same workload without the flag does overlap (shared popular
+        // events across profiles), proving the flag is load-bearing.
+        cfg.no_intra_resource_overlap = false;
+        let free = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(24));
+        assert!(free.n_ceis() > w.n_ceis());
+        assert!(!free.instance.has_no_intra_resource_overlap());
+    }
+
+    #[test]
+    fn overlap_free_mode_works_with_wide_eis() {
+        let trace = exact_trace(80, 1000, 15.0, 25);
+        let cfg = WorkloadConfig {
+            n_profiles: 30,
+            rank: RankSpec::Fixed(2),
+            resource_alpha: 0.0,
+            length: EiLength::Window(5),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: true,
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(26));
+        assert!(w.n_ceis() > 0);
+        assert!(w.instance.has_no_intra_resource_overlap());
+    }
+
+    #[test]
+    fn max_ceis_cap_is_enforced() {
+        let trace = exact_trace(20, 1000, 30.0, 15);
+        let cfg = WorkloadConfig {
+            n_profiles: 50,
+            max_ceis: Some(37),
+            ..WorkloadConfig::paper_baseline()
+        };
+        let w = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(16));
+        assert_eq!(w.n_ceis(), 37);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let trace = exact_trace(25, 500, 20.0, 17);
+        let cfg = WorkloadConfig {
+            n_profiles: 10,
+            ..WorkloadConfig::paper_baseline()
+        };
+        let a = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(18));
+        let b = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(18));
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn high_alpha_skews_resource_usage() {
+        let trace = exact_trace(200, 500, 10.0, 19);
+        let mk = |alpha: f64| {
+            let cfg = WorkloadConfig {
+                n_profiles: 200,
+                rank: RankSpec::Fixed(1),
+                resource_alpha: alpha,
+                length: EiLength::Window(0),
+                distinct_resources: true,
+                max_ceis: None,
+            no_intra_resource_overlap: false,
+            };
+            generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(20))
+        };
+        let skewed = mk(1.37);
+        let head_hits = skewed
+            .profile_resources
+            .iter()
+            .filter(|rs| rs[0] < 20)
+            .count();
+        // With α = 1.37 most profiles should sit on the popular head;
+        // uniform would put ~10% there.
+        assert!(
+            head_hits > 100,
+            "only {head_hits}/200 profiles on the head"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct resources")]
+    fn too_few_resources_rejected() {
+        let trace = exact_trace(2, 100, 5.0, 21);
+        let cfg = WorkloadConfig {
+            n_profiles: 1,
+            ..WorkloadConfig::fig10(5)
+        };
+        let _ = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(22));
+    }
+}

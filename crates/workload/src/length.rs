@@ -1,0 +1,110 @@
+//! EI length semantics: `overwrite` vs `window(w)`.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::model::Chronon;
+
+/// How long an execution interval stays capturable after its update event
+/// (Section V-A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EiLength {
+    /// The item must be delivered before the next update overwrites it: the
+    /// window runs from the event to just before the resource's next event
+    /// (or the epoch end), optionally capped at `max_len` chronons — the
+    /// paper's `ω` ("Max. EI length", Table I).
+    Overwrite {
+        /// Cap on the window length in chronons (`ω`); `None` = uncapped.
+        max_len: Option<u32>,
+    },
+    /// The item must be delivered within `w` chronons of the event: the
+    /// window is `[e, e + w]` (so `w = 0` demands probing at the event
+    /// chronon itself — a unit EI).
+    Window(u32),
+}
+
+impl EiLength {
+    /// The paper's baseline: overwrite semantics capped at `ω = 10`.
+    pub fn paper_baseline() -> Self {
+        EiLength::Overwrite { max_len: Some(10) }
+    }
+
+    /// Computes the inclusive window `[start, end]` for an event at `event`,
+    /// given the resource's next event (if any) and the epoch horizon.
+    /// Returns `None` if the window would be empty (cap of 0).
+    pub fn window_for(
+        self,
+        event: Chronon,
+        next_event: Option<Chronon>,
+        horizon: Chronon,
+    ) -> Option<(Chronon, Chronon)> {
+        debug_assert!(event < horizon, "event outside epoch");
+        let end = match self {
+            EiLength::Overwrite { max_len } => {
+                // Until just before the overwrite (next event), clamped to
+                // the epoch.
+                let natural = match next_event {
+                    Some(n) if n > event => n - 1,
+                    Some(_) => event, // simultaneous event: unit window
+                    None => horizon - 1,
+                };
+                match max_len {
+                    Some(0) => return None,
+                    Some(cap) => natural.min(event + cap - 1),
+                    None => natural,
+                }
+            }
+            EiLength::Window(w) => event.saturating_add(w).min(horizon - 1),
+        };
+        Some((event, end.max(event)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_semantics() {
+        let w = EiLength::Window(5);
+        assert_eq!(w.window_for(10, None, 100), Some((10, 15)));
+        // Clamped at the epoch end.
+        assert_eq!(w.window_for(98, None, 100), Some((98, 99)));
+        // w = 0 → unit EI.
+        assert_eq!(EiLength::Window(0).window_for(7, None, 100), Some((7, 7)));
+    }
+
+    #[test]
+    fn overwrite_runs_until_next_event() {
+        let o = EiLength::Overwrite { max_len: None };
+        assert_eq!(o.window_for(10, Some(17), 100), Some((10, 16)));
+        assert_eq!(o.window_for(10, None, 100), Some((10, 99)));
+    }
+
+    #[test]
+    fn overwrite_cap_limits_length() {
+        let o = EiLength::Overwrite { max_len: Some(4) };
+        // Natural window [10, 29], capped to length 4 → [10, 13].
+        assert_eq!(o.window_for(10, Some(30), 100), Some((10, 13)));
+        // Natural window shorter than the cap stays as is.
+        assert_eq!(o.window_for(10, Some(12), 100), Some((10, 11)));
+    }
+
+    #[test]
+    fn overwrite_zero_cap_yields_no_window() {
+        let o = EiLength::Overwrite { max_len: Some(0) };
+        assert_eq!(o.window_for(10, Some(30), 100), None);
+    }
+
+    #[test]
+    fn simultaneous_next_event_degrades_to_unit() {
+        let o = EiLength::Overwrite { max_len: None };
+        assert_eq!(o.window_for(10, Some(10), 100), Some((10, 10)));
+    }
+
+    #[test]
+    fn paper_baseline_is_overwrite_capped_at_ten() {
+        assert_eq!(
+            EiLength::paper_baseline(),
+            EiLength::Overwrite { max_len: Some(10) }
+        );
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # webmon-workload
+//!
+//! Profile templates and the two-stage Zipf profile-instance generator of
+//! *Web Monitoring 2.0* (Section V-A.2).
+//!
+//! A profile template (e.g. `AuctionWatch(k)`) describes a complex
+//! information need; the generator instantiates `m` profiles from it against
+//! an update-event trace:
+//!
+//! 1. **Rank stage.** Each profile's rank is drawn from `Zipf(β, k)`
+//!    (β = 0 → uniform `U[1, k]`; larger β → more low-rank profiles), or
+//!    fixed at `k` for the Figure 10 style experiments.
+//! 2. **Resource stage.** Each profile picks its resources from
+//!    `Zipf(α, n)` (α = 0 → uniform; larger α → skew toward popular
+//!    resources — the paper estimates α ≈ 1.37 for Web feeds).
+//!
+//! Each update event of a profile's *primary* resource then spawns one CEI
+//! crossing all of the profile's resources: the primary EI opens at the
+//! event, and each secondary EI opens at that resource's first following
+//! update. EI lengths follow the template's [`EiLength`]: `overwrite`
+//! (deliver before the next update overwrites the item) or `window(w)`
+//! (deliver within `w` chronons).
+//!
+//! Generation always runs on a [`NoisyTrace`](webmon_streams::NoisyTrace):
+//! the scheduler-facing instance is built from *predicted* events while a
+//! parallel ground-truth instance (same CEI ids) is built from the *true*
+//! events, so the Figure 15 noise experiments can validate captures against
+//! reality.
+//!
+//! [`mashup`] additionally provides the periodic conditional-crossing
+//! template of the paper's Example 2 / Figure 4 (blog poll + conditional
+//! news crossing), and [`arbitrage`] the push-triggered atomic crossing of
+//! Examples 1 and 3.
+
+pub mod arbitrage;
+pub mod generator;
+pub mod length;
+pub mod mashup;
+pub mod spec;
+
+pub use arbitrage::ArbitrageTemplate;
+pub use generator::{generate, GeneratedWorkload};
+pub use length::EiLength;
+pub use mashup::{MashupTemplate, MashupWorkload};
+pub use spec::{RankSpec, WorkloadConfig};

@@ -1,0 +1,179 @@
+//! The periodic conditional-crossing template of Example 2 / Figure 4:
+//! poll a blog every `period` chronons (with a slack window); whenever a
+//! post matches the condition (e.g. contains `%oil%`), cross two further
+//! feeds within a deadline.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::model::{Budget, Chronon, Instance, InstanceBuilder};
+use webmon_streams::rng::SimRng;
+
+/// Configuration of the mashup template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MashupTemplate {
+    /// Resource polled periodically (the blog; `q_1`).
+    pub trigger_resource: u32,
+    /// Resources crossed when the condition fires (`q_2`, `q_3`, ...).
+    pub crossed_resources: Vec<u32>,
+    /// Poll period in chronons ("WHEN EVERY 10 MINUTES").
+    pub period: Chronon,
+    /// Slack for the trigger probe ("WITHIN T1+2 MINUTES"): the trigger EI
+    /// spans `[t, t + slack]`.
+    pub slack: Chronon,
+    /// Deadline for the crossed probes ("WITHIN T1+10 MINUTES"): each
+    /// crossed EI spans `[t, t + crossing_window]`.
+    pub crossing_window: Chronon,
+    /// Probability that a poll matches the condition (models the `%oil%`
+    /// keyword as a Bernoulli draw — content is out of scope for the
+    /// scheduler).
+    pub condition_probability: f64,
+}
+
+/// The generated mashup workload.
+#[derive(Debug, Clone)]
+pub struct MashupWorkload {
+    /// The instance: rank-1 CEIs for plain polls, rank-(1 + crossed) CEIs
+    /// for polls whose condition fired.
+    pub instance: Instance,
+    /// Poll chronons whose condition fired.
+    pub fired: Vec<Chronon>,
+}
+
+impl MashupTemplate {
+    /// Example 2's shape: poll every 10, slack 2, crossing window 10.
+    pub fn example2(trigger: u32, crossed: Vec<u32>) -> Self {
+        MashupTemplate {
+            trigger_resource: trigger,
+            crossed_resources: crossed,
+            period: 10,
+            slack: 2,
+            crossing_window: 10,
+            condition_probability: 0.3,
+        }
+    }
+
+    /// Generates CEIs over `horizon` chronons for one client profile.
+    ///
+    /// # Panics
+    /// Panics if `period == 0`, the probability is out of `[0, 1]`, or a
+    /// resource id is out of range for `n_resources`.
+    pub fn generate(
+        &self,
+        n_resources: u32,
+        horizon: Chronon,
+        budget: Budget,
+        rng: &SimRng,
+    ) -> MashupWorkload {
+        assert!(self.period > 0, "poll period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.condition_probability),
+            "condition probability must lie in [0, 1]"
+        );
+        assert!(
+            self.trigger_resource < n_resources
+                && self.crossed_resources.iter().all(|&r| r < n_resources),
+            "resource id out of range"
+        );
+
+        let mut rng = rng.fork("mashup");
+        let mut b = InstanceBuilder::new(n_resources, horizon, budget);
+        let p = b.profile();
+        let mut fired = Vec::new();
+
+        let mut t = self.period; // first poll after one period
+        while t < horizon {
+            let trigger_end = (t + self.slack).min(horizon - 1);
+            let mut eis = vec![(self.trigger_resource, t, trigger_end)];
+            if rng.chance(self.condition_probability) {
+                fired.push(t);
+                let cross_end = (t + self.crossing_window).min(horizon - 1);
+                for &r in &self.crossed_resources {
+                    eis.push((r, t, cross_end));
+                }
+            }
+            b.cei(p, &eis);
+            t += self.period;
+        }
+
+        MashupWorkload {
+            instance: b.build(),
+            fired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> MashupTemplate {
+        MashupTemplate::example2(0, vec![1, 2])
+    }
+
+    #[test]
+    fn polls_cover_the_epoch_periodically() {
+        let w = template().generate(3, 101, Budget::Uniform(1), &SimRng::new(1));
+        // Polls at 10, 20, ..., 100 → 10 CEIs.
+        assert_eq!(w.instance.ceis.len(), 10);
+        for (i, cei) in w.instance.ceis.iter().enumerate() {
+            assert_eq!(cei.eis[0].start, 10 * (i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn condition_expands_rank() {
+        let mut t = template();
+        t.condition_probability = 1.0;
+        let w = t.generate(3, 101, Budget::Uniform(1), &SimRng::new(2));
+        assert!(w.instance.ceis.iter().all(|c| c.size() == 3));
+        assert_eq!(w.fired.len(), 10);
+
+        t.condition_probability = 0.0;
+        let w = t.generate(3, 101, Budget::Uniform(1), &SimRng::new(2));
+        assert!(w.instance.ceis.iter().all(|c| c.size() == 1));
+        assert!(w.fired.is_empty());
+    }
+
+    #[test]
+    fn mixed_ranks_match_fired_polls() {
+        let w = template().generate(3, 501, Budget::Uniform(1), &SimRng::new(3));
+        let fired: Vec<Chronon> = w
+            .instance
+            .ceis
+            .iter()
+            .filter(|c| c.size() == 3)
+            .map(|c| c.eis[0].start)
+            .collect();
+        assert_eq!(fired, w.fired);
+        // Profile rank reflects the largest CEI.
+        assert_eq!(w.instance.profiles[0].rank, 3);
+    }
+
+    #[test]
+    fn windows_follow_slack_and_crossing_deadline() {
+        let mut t = template();
+        t.condition_probability = 1.0;
+        let w = t.generate(3, 200, Budget::Uniform(1), &SimRng::new(4));
+        let cei = &w.instance.ceis[0];
+        let poll = cei.eis[0].start;
+        assert_eq!(cei.eis[0].end, poll + 2); // slack
+        assert_eq!(cei.eis[1].start, poll);
+        assert_eq!(cei.eis[1].end, poll + 10); // crossing window
+    }
+
+    #[test]
+    fn windows_clamp_at_epoch_end() {
+        let mut t = template();
+        t.condition_probability = 1.0;
+        t.period = 95;
+        let w = t.generate(3, 100, Budget::Uniform(1), &SimRng::new(5));
+        let cei = &w.instance.ceis[0];
+        assert_eq!(cei.eis[0].start, 95);
+        assert!(cei.eis.iter().all(|e| e.end <= 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_resource_rejected() {
+        let _ = template().generate(2, 100, Budget::Uniform(1), &SimRng::new(6));
+    }
+}

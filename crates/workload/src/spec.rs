@@ -1,0 +1,119 @@
+//! Workload specification: the knobs of Table I.
+
+use crate::length::EiLength;
+use serde::{Deserialize, Serialize};
+
+/// How profile ranks are assigned (stage 1 of the generator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RankSpec {
+    /// Every profile has exactly rank `k` — "if rank = 3, then all CEIs that
+    /// were generated for that problem instance has exactly 3 EIs"
+    /// (Section V-C).
+    Fixed(u16),
+    /// `rank(p) ~ Zipf(β, k)`: `β = 0` is uniform `U[1, k]`; positive `β`
+    /// produces more low-rank profiles — the "AuctionWatch(upto k)" mode.
+    UpTo {
+        /// Maximal rank `k`.
+        k: u16,
+        /// Zipf exponent `β` ("intra preferences", Table I).
+        beta: f64,
+    },
+}
+
+impl RankSpec {
+    /// The maximal rank this spec can produce.
+    pub fn max_rank(self) -> u16 {
+        match self {
+            RankSpec::Fixed(k) => k,
+            RankSpec::UpTo { k, .. } => k,
+        }
+    }
+}
+
+/// Configuration of the two-stage Zipf profile generator (Section V-A.2 /
+/// Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of profiles `m`.
+    pub n_profiles: u32,
+    /// Rank assignment (stage 1).
+    pub rank: RankSpec,
+    /// Zipf exponent `α` of resource popularity (stage 2); `0` = uniform.
+    /// Table I baseline: `0.3`; the paper estimates `1.37` for Web feeds.
+    pub resource_alpha: f64,
+    /// EI length semantics.
+    pub length: EiLength,
+    /// Require the resources of one profile to be pairwise distinct
+    /// (the Figure 10 `P^[1]` experiments require it; popular-skew
+    /// experiments with α > 0 keep it too — a profile watching the same
+    /// feed twice is meaningless).
+    pub distinct_resources: bool,
+    /// Safety cap on generated CEIs (`None` = unlimited).
+    pub max_ceis: Option<usize>,
+    /// Enforce the paper's "no intra-resource overlap" premise globally
+    /// (Section V-C): a CEI whose EI would overlap, on the same resource, an
+    /// EI of any previously generated CEI is dropped. Required for the
+    /// Figure 10 `P^[1]` experiments, where Props. 1–3 and the offline
+    /// approximation bounds assume overlap-free instances.
+    pub no_intra_resource_overlap: bool,
+}
+
+impl WorkloadConfig {
+    /// Table I baseline: `m = 100` profiles, rank up to 5 uniform,
+    /// `α = 0.3`, overwrite EIs capped at `ω = 10`.
+    pub fn paper_baseline() -> Self {
+        WorkloadConfig {
+            n_profiles: 100,
+            rank: RankSpec::UpTo { k: 5, beta: 0.0 },
+            resource_alpha: 0.3,
+            length: EiLength::paper_baseline(),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        }
+    }
+
+    /// The Figure 10 setting: fixed rank `k`, `w = 0` (unit EIs —
+    /// immediate probing), uniform resource selection, distinct resources.
+    pub fn fig10(k: u16) -> Self {
+        WorkloadConfig {
+            n_profiles: 100,
+            rank: RankSpec::Fixed(k),
+            resource_alpha: 0.0,
+            length: EiLength::Window(0),
+            distinct_resources: true,
+            max_ceis: None,
+            // The paper generates Figure 10's P^[1] instances with no
+            // intra-resource overlap (Section V-C).
+            no_intra_resource_overlap: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_spec_max() {
+        assert_eq!(RankSpec::Fixed(3).max_rank(), 3);
+        assert_eq!(RankSpec::UpTo { k: 5, beta: 1.0 }.max_rank(), 5);
+    }
+
+    #[test]
+    fn baseline_matches_table_one() {
+        let c = WorkloadConfig::paper_baseline();
+        assert_eq!(c.n_profiles, 100);
+        assert_eq!(c.rank, RankSpec::UpTo { k: 5, beta: 0.0 });
+        assert!((c.resource_alpha - 0.3).abs() < 1e-12);
+        assert_eq!(c.length, EiLength::Overwrite { max_len: Some(10) });
+    }
+
+    #[test]
+    fn fig10_uses_unit_windows() {
+        let c = WorkloadConfig::fig10(4);
+        assert_eq!(c.rank, RankSpec::Fixed(4));
+        assert_eq!(c.length, EiLength::Window(0));
+        assert!(c.distinct_resources);
+    }
+}

@@ -1,0 +1,76 @@
+//! Arbitrage monitoring — the paper's Example 1 / Example 3.
+//!
+//! A financial analyst hunts price differentials between markets: whenever
+//! the stock exchange pushes an update, the futures and currency exchanges
+//! must be probed within one second (one chronon here), or the arbitrage
+//! window is gone. Every price update on the primary market spawns a rank-3
+//! CEI with tight crossing deadlines; the proxy budget decides how many
+//! opportunities survive.
+//!
+//! ```sh
+//! cargo run -p webmon-examples --bin arbitrage
+//! ```
+
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::{Budget, InstanceBuilder};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf};
+use webmon_streams::poisson::PoissonProcess;
+use webmon_streams::rng::SimRng;
+
+/// Market resources.
+const STOCK: u32 = 0;
+const FUTURES: u32 = 1;
+const CURRENCY: u32 = 2;
+
+fn main() {
+    let horizon = 600; // ten "minutes" at one-second chronons
+    let rng = SimRng::new(2_009);
+
+    // The stock exchange ticks frequently; crossing deadline = 1 chronon
+    // ("WITHIN T1+1 SECONDS"), so each CEI is nearly unsatisfiable unless
+    // probed immediately on both other markets.
+    let ticks = PoissonProcess::new(260.0).sample(horizon, &mut rng.fork("ticks"));
+    println!(
+        "stock exchange: {} price updates over {horizon} chronons",
+        ticks.len()
+    );
+
+    for budget in [1u32, 2, 3, 4] {
+        let mut b = InstanceBuilder::new(3, horizon, Budget::Uniform(budget));
+        let analyst = b.profile();
+        for &t in &ticks {
+            let deadline = (t + 1).min(horizon - 1);
+            // Push-notified trigger: the proxy knows at t that it must cross
+            // the two other exchanges by t+1.
+            b.cei(
+                analyst,
+                &[
+                    (STOCK, t, deadline),
+                    (FUTURES, t, deadline),
+                    (CURRENCY, t, deadline),
+                ],
+            );
+        }
+        let instance = b.build();
+
+        println!("\nbudget C = {budget} probes/chronon:");
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            let result = OnlineEngine::run(&instance, policy, EngineConfig::preemptive());
+            println!(
+                "  {:>6}: {:>5.1}% of arbitrage windows fully crossed ({} of {})",
+                policy.name(),
+                100.0 * result.stats.completeness(),
+                result.stats.ceis_captured,
+                result.stats.n_ceis,
+            );
+        }
+    }
+
+    println!(
+        "\nAtomic crossings make the budget a cliff: with C = 1 a three-way \
+         crossing inside a 2-chronon window is impossible (0%), while C = 2 \
+         already fits all three probes into the window — the binding \
+         constraint is bandwidth, not policy. Partial probing buys nothing: \
+         AND semantics pay only on full capture."
+    );
+}

@@ -1,0 +1,76 @@
+//! AuctionWatch over the synthetic eBay trace: one client tracks bundles of
+//! auctions and wants every new bid delivered within a 20-chronon window —
+//! the workload behind Figures 9 and 10, at example scale, with a probing
+//! budget sweep (the Figure 13 story).
+//!
+//! ```sh
+//! cargo run -p webmon-examples --bin auction_sniper
+//! ```
+
+use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, TraceSpec};
+use webmon_streams::auction::AuctionTraceConfig;
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+fn main() {
+    let n_auctions = 100;
+    println!("AuctionWatch(≤3) over {n_auctions} synthetic 3-day auctions\n");
+    println!("{:>3}  {:>10} {:>10} {:>10}", "C", "S-EDF(P)", "MRSF(P)", "M-EDF(P)");
+
+    for budget in 1..=4u32 {
+        let cfg = ExperimentConfig {
+            n_resources: n_auctions,
+            horizon: 1000,
+            budget,
+            workload: WorkloadConfig {
+                n_profiles: 250,
+                rank: RankSpec::UpTo { k: 3, beta: 0.0 },
+                resource_alpha: 1.0,
+                length: EiLength::Window(20),
+                distinct_resources: true,
+                max_ceis: None,
+                no_intra_resource_overlap: false,
+            },
+            trace: TraceSpec::Auction(AuctionTraceConfig::scaled(n_auctions, 1000)),
+            noise: None,
+            repetitions: 3,
+            seed: 0xEBA1,
+        };
+        let exp = Experiment::materialize(cfg);
+        let row: Vec<f64> = [PolicyKind::SEdf, PolicyKind::Mrsf, PolicyKind::MEdf]
+            .into_iter()
+            .map(|k| exp.run_spec(PolicySpec::p(k)).completeness.mean)
+            .collect();
+        println!(
+            "{budget:>3}  {:>9.1}% {:>9.1}% {:>9.1}%",
+            100.0 * row[0],
+            100.0 * row[1],
+            100.0 * row[2],
+        );
+    }
+
+    // Show what a single generated instance looks like.
+    let cfg = ExperimentConfig {
+        n_resources: n_auctions,
+        horizon: 1000,
+        budget: 1,
+        workload: WorkloadConfig {
+            n_profiles: 3,
+            rank: RankSpec::Fixed(3),
+            resource_alpha: 1.0,
+            length: EiLength::Window(20),
+            distinct_resources: true,
+            max_ceis: Some(6),
+            no_intra_resource_overlap: false,
+        },
+        trace: TraceSpec::Auction(AuctionTraceConfig::scaled(n_auctions, 1000)),
+        noise: None,
+        repetitions: 1,
+        seed: 0xEBA2,
+    };
+    let exp = Experiment::materialize(cfg);
+    let instance = &exp.workloads()[0].instance;
+    println!("\nsample CEIs (bundle crossings generated from bid events):");
+    for cei in &instance.ceis {
+        println!("  {cei}");
+    }
+}

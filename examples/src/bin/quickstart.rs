@@ -1,0 +1,64 @@
+//! Quickstart: build a tiny monitoring problem by hand, run a policy, and
+//! inspect the schedule.
+//!
+//! ```sh
+//! cargo run -p webmon-examples --bin quickstart
+//! ```
+
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::{Budget, InstanceBuilder};
+use webmon_core::policy::MEdf;
+
+fn main() {
+    // Three resources monitored over a 20-chronon epoch; the proxy may
+    // probe one resource per chronon.
+    let mut builder = InstanceBuilder::new(3, 20, Budget::Uniform(1));
+
+    // Client A crosses two streams: capture r0 during [1, 5] AND r1 during
+    // [4, 9] (a rank-2 complex execution interval).
+    let a = builder.profile();
+    builder.cei(a, &[(0, 1, 5), (1, 4, 9)]);
+
+    // Client B watches a single stream, twice.
+    let b = builder.profile();
+    builder.cei(b, &[(2, 2, 4)]);
+    builder.cei(b, &[(2, 10, 13)]);
+
+    // Client C needs a three-way crossing late in the epoch.
+    let c = builder.profile();
+    builder.cei(c, &[(0, 12, 16), (1, 13, 17), (2, 14, 18)]);
+
+    let instance = builder.build();
+    println!(
+        "instance: {} resources, {} chronons, {} profiles, {} CEIs / {} EIs (rank {})",
+        instance.n_resources,
+        instance.epoch.len(),
+        instance.profiles.len(),
+        instance.ceis.len(),
+        instance.total_eis(),
+        instance.rank(),
+    );
+
+    // Run the Multi-Interval EDF policy preemptively.
+    let result = OnlineEngine::run(&instance, &MEdf, EngineConfig::preemptive());
+
+    println!("\nschedule (chronon → probed resource):");
+    for (t, r) in result.schedule.iter() {
+        println!("  T{t:<3} → {r}");
+    }
+
+    println!("\nper-CEI outcomes:");
+    for (cei, outcome) in instance.ceis.iter().zip(&result.outcomes) {
+        println!("  {cei} → {outcome:?}");
+    }
+
+    let s = &result.stats;
+    println!(
+        "\ncompleteness: {:.0}% ({} of {} CEIs captured, {} of {} probes spent)",
+        100.0 * s.completeness(),
+        s.ceis_captured,
+        s.n_ceis,
+        s.probes_used,
+        s.probes_available,
+    );
+}

@@ -1,0 +1,11 @@
+//! Runnable examples for the `webmon` workspace. Each binary in `src/bin/`
+//! exercises the public API on one of the paper's motivating scenarios:
+//!
+//! * `quickstart` — build a tiny instance by hand, run a policy, read the
+//!   schedule.
+//! * `arbitrage` — Example 1/3: cross-market price crossing with tight
+//!   deadlines (the financial-arbitrage profile of Section I).
+//! * `mashup` — Example 2 / Figure 4: periodic blog poll with conditional
+//!   crossing of two news feeds.
+//! * `auction_sniper` — AuctionWatch over the synthetic eBay trace with a
+//!   probing-budget sweep.

