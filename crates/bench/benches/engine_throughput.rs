@@ -41,13 +41,9 @@ fn engine_throughput(c: &mut Criterion) {
             ("MRSF", &Mrsf),
             ("M-EDF", &MEdf),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, m),
-                instance,
-                |b, inst| {
-                    b.iter(|| OnlineEngine::run(inst, policy, EngineConfig::preemptive()))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, m), instance, |b, inst| {
+                b.iter(|| OnlineEngine::run(inst, policy, EngineConfig::preemptive()))
+            });
         }
     }
     group.finish();

@@ -43,9 +43,7 @@ fn offline_vs_online(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("offline_local_ratio", m),
             instance,
-            |b, inst| {
-                b.iter(|| local_ratio_schedule(inst, LocalRatioConfig::default()).unwrap())
-            },
+            |b, inst| b.iter(|| local_ratio_schedule(inst, LocalRatioConfig::default()).unwrap()),
         );
     }
     group.finish();

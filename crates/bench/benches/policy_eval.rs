@@ -35,11 +35,9 @@ fn bench_policy(c: &mut Criterion, policy: &dyn Policy, k: usize) {
             profile_rank: k as u16,
         },
     };
-    c.bench_with_input(
-        BenchmarkId::new(policy.name(), k),
-        &cand,
-        |b, cand| b.iter(|| black_box(policy.score(&ctx, black_box(cand)))),
-    );
+    c.bench_with_input(BenchmarkId::new(policy.name(), k), &cand, |b, cand| {
+        b.iter(|| black_box(policy.score(&ctx, black_box(cand))))
+    });
 }
 
 fn policy_eval(c: &mut Criterion) {

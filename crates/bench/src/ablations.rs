@@ -14,6 +14,7 @@ use crate::Scale;
 use webmon_core::engine::{EngineConfig, OnlineEngine};
 use webmon_core::offline::LocalRatioConfig;
 use webmon_core::policy::Mrsf;
+use webmon_sim::parallel::{par_map, serial};
 use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Summary, Table, TraceSpec};
 use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
 
@@ -86,25 +87,28 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
     out.push(t);
 
-    // 3: probe sharing on/off (manual engine runs on shared workloads).
+    // 3: probe sharing on/off (manual engine runs on shared workloads,
+    // repetitions in parallel).
     let exp = Experiment::materialize(overlap_config(scale));
-    let mut shared = Vec::new();
-    let mut unshared = Vec::new();
-    for w in exp.workloads() {
+    let pairs = par_map(exp.workloads().iter().collect(), |_, w| {
         let on = OnlineEngine::run(&w.instance, &Mrsf, EngineConfig::preemptive());
-        shared.push(on.stats.completeness());
         let off = OnlineEngine::run(
             &w.instance,
             &Mrsf,
             EngineConfig::preemptive().without_probe_sharing(),
         );
-        unshared.push(off.stats.completeness());
-    }
+        (on.stats.completeness(), off.stats.completeness())
+    });
+    let (shared, unshared): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
     let mut t = Table::with_headers(
         "Ablation — intra-resource probe sharing (R_ids), MRSF(P), α=1.37",
         &["variant", "completeness"],
     );
-    t.push_numeric_row("sharing on (paper)", &[Summary::from_samples(&shared).mean], 4);
+    t.push_numeric_row(
+        "sharing on (paper)",
+        &[Summary::from_samples(&shared).mean],
+        4,
+    );
     t.push_numeric_row("sharing off", &[Summary::from_samples(&unshared).mean], 4);
     out.push(t);
 
@@ -139,33 +143,37 @@ pub fn run(scale: Scale) -> Vec<Table> {
     out.push(t);
 
     // 5: candidate selection — reference scan vs the Appendix-B lazy heap.
-    let exp = Experiment::materialize(selection_config(scale));
-    let mut t = Table::with_headers(
-        "Ablation — candidate selection: scan vs lazy heap (Appendix B), MRSF(P)",
-        &["strategy", "completeness", "µs/EI"],
-    );
-    for (label, cfg) in [
-        ("linear scan (reference)", EngineConfig::preemptive()),
-        ("lazy heap", EngineConfig::preemptive().with_lazy_heap()),
-    ] {
-        let mut completeness = Vec::new();
-        let mut micros = Vec::new();
-        for w in exp.workloads() {
-            let start = std::time::Instant::now();
-            let run = OnlineEngine::run(&w.instance, &Mrsf, cfg);
-            let elapsed = start.elapsed();
-            completeness.push(run.stats.completeness());
-            micros.push(elapsed.as_secs_f64() * 1e6 / w.n_eis().max(1) as f64);
-        }
-        t.push_numeric_row(
-            label,
-            &[
-                Summary::from_samples(&completeness).mean,
-                Summary::from_samples(&micros).mean,
-            ],
-            4,
+    // Pinned to one worker: the µs/EI column is a wall-clock comparison.
+    let t = serial(|| {
+        let exp = Experiment::materialize(selection_config(scale));
+        let mut t = Table::with_headers(
+            "Ablation — candidate selection: scan vs lazy heap (Appendix B), MRSF(P)",
+            &["strategy", "completeness", "µs/EI"],
         );
-    }
+        for (label, cfg) in [
+            ("linear scan (reference)", EngineConfig::preemptive()),
+            ("lazy heap", EngineConfig::preemptive().with_lazy_heap()),
+        ] {
+            let mut completeness = Vec::new();
+            let mut micros = Vec::new();
+            for w in exp.workloads() {
+                let start = std::time::Instant::now();
+                let run = OnlineEngine::run(&w.instance, &Mrsf, cfg);
+                let elapsed = start.elapsed();
+                completeness.push(run.stats.completeness());
+                micros.push(elapsed.as_secs_f64() * 1e6 / w.n_eis().max(1) as f64);
+            }
+            t.push_numeric_row(
+                label,
+                &[
+                    Summary::from_samples(&completeness).mean,
+                    Summary::from_samples(&micros).mean,
+                ],
+                4,
+            );
+        }
+        t
+    });
     out.push(t);
 
     out

@@ -3,17 +3,19 @@
 //! `--out <path>` is given, writing a Markdown report (the measured half of
 //! `EXPERIMENTS.md`).
 //!
-//! Usage: `cargo run --release -p webmon-bench --bin experiments [--quick] [--out report.md]`
+//! Usage: `cargo run --release -p webmon-bench --bin experiments [--quick] [--jobs N] [--out report.md]`
 
 use std::time::Instant;
 use webmon_bench::{
-    ablations, extensions, fig09, fig10, fig11, fig12, fig13, fig14, fig15, runtime_offline,
-    table1, Scale,
+    ablations, extensions, fig09, fig10, fig11, fig12, fig13, fig14, fig15, jobs_from_args,
+    runtime_offline, table1, Scale,
 };
+use webmon_sim::parallel;
 use webmon_sim::Table;
 
 fn main() {
     let scale = Scale::from_args();
+    let jobs = jobs_from_args();
     let out_path = out_arg();
 
     type Runner = fn(Scale) -> Vec<Table>;
@@ -37,6 +39,8 @@ fn main() {
         if scale == Scale::Quick { " --quick" } else { "" }
     ));
 
+    eprintln!(">> workers: {jobs}");
+    parallel::reset_busy_time();
     let total = Instant::now();
     for (name, runner) in suite {
         eprintln!(">> running {name} ...");
@@ -49,7 +53,13 @@ fn main() {
             report.push('\n');
         }
     }
-    eprintln!(">> suite done in {:.1?}", total.elapsed());
+    let wall = total.elapsed().as_secs_f64();
+    let busy = parallel::busy_time_secs();
+    eprintln!(
+        ">> suite done in {:.1?} ({jobs} workers; {busy:.1}s of work, {:.2}x achieved speedup)",
+        total.elapsed(),
+        if wall > 0.0 { busy / wall } else { 1.0 },
+    );
 
     if let Some(path) = out_path {
         std::fs::write(&path, report).unwrap_or_else(|e| panic!("writing {path}: {e}"));

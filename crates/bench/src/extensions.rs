@@ -8,6 +8,7 @@ use crate::Scale;
 use webmon_core::engine::{EngineConfig, OnlineEngine};
 use webmon_core::model::{Instance, ProbeCosts};
 use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, UtilityWeighted};
+use webmon_sim::parallel::par_map;
 use webmon_sim::{Experiment, ExperimentConfig, Summary, Table, TraceSpec};
 use webmon_streams::rng::SimRng;
 use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
@@ -87,15 +88,12 @@ fn costed_variant(instance: &Instance, rng: &SimRng) -> Instance {
 fn run_mean(
     instances: &[Instance],
     policy: &dyn Policy,
-    metric: impl Fn(&webmon_core::RunStats) -> f64,
+    metric: impl Fn(&webmon_core::RunStats) -> f64 + Sync,
 ) -> f64 {
-    let samples: Vec<f64> = instances
-        .iter()
-        .map(|inst| {
-            let run = OnlineEngine::run(inst, policy, EngineConfig::preemptive());
-            metric(&run.stats)
-        })
-        .collect();
+    let samples = par_map(instances.iter().collect(), |_, inst| {
+        let run = OnlineEngine::run(inst, policy, EngineConfig::preemptive());
+        metric(&run.stats)
+    });
     Summary::from_samples(&samples).mean
 }
 
@@ -160,7 +158,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         .collect();
     let mut t = Table::with_headers(
         "Extension — varying probe costs (§III): popular resources cost up to 3×",
-        &["policy", "uniform-cost completeness", "varying-cost completeness", "budget util."],
+        &[
+            "policy",
+            "uniform-cost completeness",
+            "varying-cost completeness",
+            "budget util.",
+        ],
     );
     for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
         t.push_numeric_row(

@@ -6,6 +6,7 @@
 //! 3599 simple EIs at `m = 100`).
 
 use crate::Scale;
+use webmon_sim::parallel::par_map;
 use webmon_sim::{Experiment, ExperimentConfig, PolicySpec, Table, TraceSpec};
 use webmon_streams::auction::AuctionTraceConfig;
 use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
@@ -70,14 +71,15 @@ pub fn synthetic_config(scale: Scale) -> ExperimentConfig {
 /// Runs the experiment and renders the preemption comparison tables: the
 /// paper's auction setting plus the synthetic companion.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut out = Vec::new();
-    for (cfg, caption) in [
+    // Both settings run in parallel (each roster fans out further inside).
+    let settings = vec![
         (config(scale), "auction trace, w=20, C=2".to_string()),
         (
             synthetic_config(scale),
             "synthetic Poisson λ=20, overwrite ω=10, C=2".to_string(),
         ),
-    ] {
+    ];
+    par_map(settings, |_, (cfg, caption)| {
         let exp = Experiment::materialize(cfg);
         let (ceis, eis) = exp.mean_sizes();
         let results = exp.run_roster(&PolicySpec::preemption_grid());
@@ -102,9 +104,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 4,
             );
         }
-        out.push(t);
-    }
-    out
+        t
+    })
 }
 
 #[cfg(test)]

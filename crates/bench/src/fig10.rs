@@ -9,6 +9,7 @@
 
 use crate::Scale;
 use webmon_core::offline::LocalRatioConfig;
+use webmon_sim::parallel::par_map;
 use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Summary, Table, TraceSpec};
 use webmon_streams::auction::AuctionTraceConfig;
 use webmon_workload::WorkloadConfig;
@@ -56,7 +57,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
 
-    for rank in 1..=5u16 {
+    // Rank levels run in parallel; rows are emitted in sweep order.
+    let rows = par_map((1..=5u16).collect(), |_, rank| {
         let exp = Experiment::materialize(config(rank, scale));
         let bounds = exp.ei_upper_bounds();
 
@@ -68,17 +70,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
         // The paper-faithful pure scheme (pivot unwinding only).
         let lr = exp.run_local_ratio(LocalRatioConfig::paper());
         cells.push(percent_of_bound(&lr.repetitions, &bounds));
-
+        (rank, cells)
+    });
+    for (rank, cells) in rows {
         t.push_numeric_row(rank.to_string(), &cells, 1);
     }
     vec![t]
 }
 
 /// Mean percentage of the per-repetition completeness upper bound.
-fn percent_of_bound(
-    reps: &[webmon_sim::RepetitionOutcome],
-    bounds: &[f64],
-) -> f64 {
+fn percent_of_bound(reps: &[webmon_sim::RepetitionOutcome], bounds: &[f64]) -> f64 {
     let samples: Vec<f64> = reps
         .iter()
         .zip(bounds)

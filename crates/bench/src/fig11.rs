@@ -37,7 +37,15 @@ pub fn config(n_profiles: u32, scale: Scale) -> ExperimentConfig {
 }
 
 /// Runs the scalability sweep.
+///
+/// The whole sweep is pinned to one worker ([`webmon_sim::parallel::serial`]):
+/// this experiment *measures wall-clock runtime*, and sibling repetitions
+/// racing on other cores would contaminate the µs/EI columns.
 pub fn run(scale: Scale) -> Vec<Table> {
+    webmon_sim::parallel::serial(|| run_inner(scale))
+}
+
+fn run_inner(scale: Scale) -> Vec<Table> {
     let levels: &[u32] = match scale {
         Scale::Quick => &[100, 200],
         Scale::Paper => &[500, 1000, 1500, 2000, 2500],

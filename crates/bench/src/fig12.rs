@@ -5,6 +5,7 @@
 //! policy; MRSF(P) ≈ M-EDF(P) dominate S-EDF(NP) throughout.
 
 use crate::Scale;
+use webmon_sim::parallel::par_map;
 use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec};
 use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
 
@@ -53,13 +54,17 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 12 — completeness vs update intensity λ (Poisson, rank 5, C=1)",
         &["λ", "CEIs", "S-EDF(NP)", "MRSF(P)", "M-EDF(P)"],
     );
-    for &lambda in lambdas {
+    // Intensity levels run in parallel; rows are emitted in sweep order.
+    let rows = par_map(lambdas.to_vec(), |_, lambda| {
         let exp = Experiment::materialize(config(lambda, scale));
         let (ceis, _) = exp.mean_sizes();
         let mut cells = vec![ceis];
         for &s in &specs {
             cells.push(exp.run_spec(s).completeness.mean);
         }
+        (lambda, cells)
+    });
+    for (lambda, cells) in rows {
         t.push_numeric_row(format!("{lambda:.0}"), &cells, 4);
     }
     vec![t]

@@ -6,6 +6,7 @@
 //! "utilize the budget much better".
 
 use crate::Scale;
+use webmon_sim::parallel::par_map;
 use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec};
 use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
 
@@ -52,12 +53,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 13 — completeness vs budget C (Poisson λ=20, rank 5)",
         &["C", "S-EDF(P)", "MRSF(P)", "M-EDF(P)", "MRSF−S-EDF"],
     );
-    for &c in budgets {
+    // Budget levels run in parallel; rows are emitted in sweep order.
+    let rows = par_map(budgets.to_vec(), |_, c| {
         let exp = Experiment::materialize(config(c, scale));
         let vals: Vec<f64> = specs
             .iter()
             .map(|&s| exp.run_spec(s).completeness.mean)
             .collect();
+        (c, vals)
+    });
+    for (c, vals) in rows {
         t.push_numeric_row(
             c.to_string(),
             &[vals[0], vals[1], vals[2], vals[1] - vals[0]],

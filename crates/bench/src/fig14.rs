@@ -7,6 +7,7 @@
 //! relative to the α = 0 baseline.
 
 use crate::Scale;
+use webmon_sim::parallel::par_map;
 use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec};
 use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
 
@@ -57,14 +58,21 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 14 — completeness vs resource skew α (rank ≤5, C=1; % relative to α=0 in parens)",
         &["α", "S-EDF(NP)", "MRSF(P)", "M-EDF(P)"],
     );
-    let mut baselines: Vec<f64> = Vec::new();
-    for (i, &alpha) in alphas.iter().enumerate() {
+    // All α points run in parallel; the α = 0 row then supplies the
+    // baselines the later rows are normalized against.
+    let alpha_vals = par_map(alphas.to_vec(), |_, alpha| {
         let exp = Experiment::materialize(config(alpha, 0.0, scale));
+        let vals: Vec<f64> = specs
+            .iter()
+            .map(|&s| exp.run_spec(s).completeness.mean)
+            .collect();
+        (alpha, vals)
+    });
+    let baselines = alpha_vals[0].1.clone();
+    for (i, (alpha, vals)) in alpha_vals.into_iter().enumerate() {
         let mut cells: Vec<String> = vec![format!("{alpha:.2}")];
-        for (j, &s) in specs.iter().enumerate() {
-            let v = exp.run_spec(s).completeness.mean;
+        for (j, v) in vals.into_iter().enumerate() {
             if i == 0 {
-                baselines.push(v);
                 cells.push(format!("{v:.4}"));
             } else {
                 let rel = if baselines[j] > 0.0 {
@@ -83,7 +91,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 14 companion — completeness vs rank-variance skew β (α=0.3, C=1)",
         &["β", "S-EDF(NP)", "MRSF(P)", "M-EDF(P)", "mean CEI size"],
     );
-    for &beta in betas {
+    let beta_rows = par_map(betas.to_vec(), |_, beta| {
         let exp = Experiment::materialize(config(0.3, beta, scale));
         let (ceis, eis) = exp.mean_sizes();
         let mut cells: Vec<f64> = specs
@@ -91,6 +99,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .map(|&s| exp.run_spec(s).completeness.mean)
             .collect();
         cells.push(if ceis > 0.0 { eis / ceis } else { 0.0 });
+        (beta, cells)
+    });
+    for (beta, cells) in beta_rows {
         beta_table.push_numeric_row(format!("{beta:.1}"), &cells, 4);
     }
 

@@ -13,7 +13,10 @@
 //! mid noise level, over the synthetic news trace, sweeping the rank.
 
 use crate::Scale;
-use webmon_sim::{Experiment, ExperimentConfig, NoiseSpec, PolicyKind, PolicySpec, Table, TraceSpec};
+use webmon_sim::parallel::par_map;
+use webmon_sim::{
+    Experiment, ExperimentConfig, NoiseSpec, PolicyKind, PolicySpec, Table, TraceSpec,
+};
 use webmon_streams::auction::AuctionTraceConfig;
 use webmon_streams::fpn::FpnModel;
 use webmon_streams::news::NewsTraceConfig;
@@ -95,20 +98,28 @@ pub fn run(scale: Scale) -> Vec<Table> {
         .chain(ranks.iter().map(|r| format!("rank {r}")))
         .collect();
 
-    for &z in zs {
-        let mut cells = Vec::new();
-        for &rank in ranks {
-            let exp = Experiment::materialize(config(rank, z, scale));
-            cells.push(exp.run_spec(spec).completeness.mean);
-        }
-        t.push_numeric_row(format!("{z:.1}"), &cells, 4);
+    // The whole (Z, rank) grid runs in parallel as one flat work list, then
+    // regroups into one row per Z in sweep order.
+    let grid: Vec<(f64, u16)> = zs
+        .iter()
+        .flat_map(|&z| ranks.iter().map(move |&rank| (z, rank)))
+        .collect();
+    let vals = par_map(grid, |_, (z, rank)| {
+        Experiment::materialize(config(rank, z, scale))
+            .run_spec(spec)
+            .completeness
+            .mean
+    });
+    for (zi, &z) in zs.iter().enumerate() {
+        let cells = &vals[zi * ranks.len()..(zi + 1) * ranks.len()];
+        t.push_numeric_row(format!("{z:.1}"), cells, 4);
     }
 
     let mut news = Table::with_headers(
         "Figure 15 companion — news trace, FPN(Z=0.6) vs the paper's Poisson-fitted model, M-EDF(P), C=1",
         &["rank", "FPN(0.6)", "Poisson-fitted (paper §V-H)"],
     );
-    for &rank in ranks {
+    let news_rows = par_map(ranks.to_vec(), |_, rank| {
         let fpn = Experiment::materialize(news_config(rank, scale))
             .run_spec(spec)
             .completeness
@@ -119,6 +130,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .run_spec(spec)
             .completeness
             .mean;
+        (rank, fpn, fitted)
+    });
+    for (rank, fpn, fitted) in news_rows {
         news.push_numeric_row(rank.to_string(), &[fpn, fitted], 4);
     }
 

@@ -70,6 +70,22 @@ impl Scale {
     }
 }
 
+/// Applies a `--jobs N` process argument (if present) to the parallel
+/// runtime and returns the worker count now in effect. Without the flag the
+/// runtime falls back to `WEBMON_JOBS`, then to the machine's parallelism.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        webmon_sim::parallel::set_jobs(n);
+    }
+    webmon_sim::parallel::effective_jobs()
+}
+
 /// Prints tables to stdout (the contract of every `exp_*` binary).
 pub fn print_tables(tables: &[Table]) {
     for t in tables {

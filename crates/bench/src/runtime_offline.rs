@@ -41,7 +41,14 @@ pub fn config(n_profiles: u32, scale: Scale) -> ExperimentConfig {
 }
 
 /// Runs the offline-vs-online runtime comparison.
+///
+/// Pinned to one worker ([`webmon_sim::parallel::serial`]) because the
+/// offline/online µs/EI columns are wall-clock measurements.
 pub fn run(scale: Scale) -> Vec<Table> {
+    webmon_sim::parallel::serial(|| run_inner(scale))
+}
+
+fn run_inner(scale: Scale) -> Vec<Table> {
     let levels: &[u32] = match scale {
         Scale::Quick => &[50, 100],
         Scale::Paper => &[100, 300, 500],

@@ -10,9 +10,7 @@ use webmon_workload::{EiLength, RankSpec};
 pub fn run(_scale: Scale) -> Vec<Table> {
     let cfg = ExperimentConfig::paper_baseline();
     let omega = match cfg.workload.length {
-        EiLength::Overwrite { max_len } => {
-            max_len.map_or("∞".to_string(), |m| m.to_string())
-        }
+        EiLength::Overwrite { max_len } => max_len.map_or("∞".to_string(), |m| m.to_string()),
         EiLength::Window(w) => format!("window({w})"),
     };
     let (rank, beta) = match cfg.workload.rank {
@@ -77,13 +75,13 @@ pub fn run(_scale: Scale) -> Vec<Table> {
             "[0, 1]".into(),
             cfg.workload.resource_alpha.to_string(),
         ],
-        ["β".into(), "Intra preferences (rank skew)".into(), "[0, 2]".into(), beta],
         [
-            "Φ".into(),
-            "Policy".into(),
-            "all".into(),
-            "all".into(),
+            "β".into(),
+            "Intra preferences (rank skew)".into(),
+            "[0, 2]".into(),
+            beta,
         ],
+        ["Φ".into(), "Policy".into(), "all".into(), "all".into()],
     ];
     for r in rows {
         t.push_row(r.to_vec());

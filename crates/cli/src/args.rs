@@ -63,9 +63,7 @@ impl Args {
 
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let takes_value = it
-                    .peek()
-                    .is_some_and(|next| !next.starts_with("--"));
+                let takes_value = it.peek().is_some_and(|next| !next.starts_with("--"));
                 if takes_value {
                     let value = it.next().expect("peeked");
                     if options.insert(key.to_string(), value).is_some() {

@@ -49,12 +49,20 @@ TRACE OPTIONS:
 EXPERIMENTS OPTIONS:
     --quick                        smoke-test sizes
 
+PARALLELISM (run / sweep / experiments):
+    --jobs <N>                     worker threads (also: WEBMON_JOBS env var;
+                                   default: all cores; results are identical
+                                   for every N — timed experiments always
+                                   run single-worker)
+
 OUTPUT:
     --json                         machine-readable JSON (run / sweep)
 ";
 
 /// Runs the parsed command line; returns the process exit code.
 pub fn dispatch(args: &Args) -> Result<i32, ArgError> {
+    let jobs: usize = args.get_parsed("jobs", 0, "a worker count")?;
+    webmon_sim::parallel::set_jobs(jobs);
     match args.command.as_deref() {
         Some("run") => cmd_run(args),
         Some("sweep") => cmd_sweep(args),
@@ -123,7 +131,13 @@ fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
 fn roster_table(title: &str, exp: &Experiment) -> Table {
     let mut t = Table::with_headers(
         title,
-        &["policy", "completeness", "EI completeness", "µs/EI", "budget util."],
+        &[
+            "policy",
+            "completeness",
+            "EI completeness",
+            "µs/EI",
+            "budget util.",
+        ],
     );
     for spec in PolicySpec::paper_roster() {
         let agg = exp.run_spec(spec);
@@ -149,8 +163,8 @@ fn cmd_run(args: &Args) -> Result<i32, ArgError> {
             .into_iter()
             .map(|s| exp.run_spec(s))
             .collect();
-        let report = Report::from_tables(vec![roster_table("webmon run", &exp)])
-            .with_aggregates(aggregates);
+        let report =
+            Report::from_tables(vec![roster_table("webmon run", &exp)]).with_aggregates(aggregates);
         println!("{}", report.to_json());
         return Ok(0);
     }
@@ -207,12 +221,16 @@ fn cmd_sweep(args: &Args) -> Result<i32, ArgError> {
             })
             .collect(),
     };
-    for (label, cfg) in points {
+    // Sweep points run in parallel; rows are pushed in sweep order.
+    let rows = webmon_sim::parallel::par_map(points, |_, (label, cfg)| {
         let exp = Experiment::materialize(cfg);
         let vals: Vec<f64> = specs
             .iter()
             .map(|&s| exp.run_spec(s).completeness.mean)
             .collect();
+        (label, vals)
+    });
+    for (label, vals) in rows {
         t.push_numeric_row(label, &vals, 4);
     }
     if args.flag("json") {
@@ -241,7 +259,10 @@ fn cmd_trace(args: &Args) -> Result<i32, ArgError> {
     let total = trace.total_events();
     println!("resources: {}", trace.n_resources());
     println!("horizon:   {} chronons", trace.horizon());
-    println!("events:    {total} total, {:.1} mean/resource", trace.mean_intensity());
+    println!(
+        "events:    {total} total, {:.1} mean/resource",
+        trace.mean_intensity()
+    );
     println!(
         "per-resource events: min {} / median {} / max {}",
         counts.first().unwrap_or(&0),
@@ -302,8 +323,20 @@ mod tests {
     #[test]
     fn config_honors_options() {
         let cfg = config_from(&parse(&[
-            "run", "--budget", "3", "--trace", "auction", "--resources", "80", "--fixed-rank",
-            "--rank", "2", "--window", "5", "--noise-z", "0.4",
+            "run",
+            "--budget",
+            "3",
+            "--trace",
+            "auction",
+            "--resources",
+            "80",
+            "--fixed-rank",
+            "--rank",
+            "2",
+            "--window",
+            "5",
+            "--noise-z",
+            "0.4",
         ]))
         .unwrap();
         assert_eq!(cfg.budget, 3);

@@ -2,7 +2,7 @@
 //! understand *why* a run scored the way it did — per-resource probe load,
 //! capture latency, and a textual timeline for small instances.
 
-use crate::model::{ei_captured, Instance, ResourceId, Schedule};
+use crate::model::{Instance, ResourceId, Schedule};
 use serde::Serialize;
 
 /// Aggregated diagnostics of one schedule against its instance.
@@ -71,7 +71,10 @@ impl ScheduleDiagnostics {
             None
         } else {
             Some(
-                self.capture_latencies.iter().map(|&l| f64::from(l)).sum::<f64>()
+                self.capture_latencies
+                    .iter()
+                    .map(|&l| f64::from(l))
+                    .sum::<f64>()
                     / self.capture_latencies.len() as f64,
             )
         }
@@ -139,7 +142,7 @@ pub fn render_timeline(instance: &Instance, schedule: &Schedule) -> String {
 mod tests {
     use super::*;
     use crate::engine::{EngineConfig, OnlineEngine};
-    use crate::model::{Budget, InstanceBuilder};
+    use crate::model::{ei_captured, Budget, InstanceBuilder};
     use crate::policy::SEdf;
 
     fn instance() -> Instance {
@@ -160,7 +163,10 @@ mod tests {
         // Every probe the engine issues serves a window.
         assert_eq!(d.wasted_probes, 0);
         assert_eq!(
-            d.probes_per_resource.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            d.probes_per_resource
+                .iter()
+                .map(|&c| u64::from(c))
+                .sum::<u64>(),
             run.stats.probes_used
         );
     }

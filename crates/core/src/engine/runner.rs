@@ -295,14 +295,7 @@ impl OnlineEngine {
                             &mut touched,
                         );
                     } else {
-                        capture_single(
-                            instance,
-                            best,
-                            &mut status,
-                            t,
-                            &mut stats,
-                            &mut outcomes,
-                        );
+                        capture_single(instance, best, &mut status, t, &mut stats, &mut outcomes);
                         touched.push(best.cei);
                     }
 
@@ -317,9 +310,8 @@ impl OnlineEngine {
                                 continue;
                             };
                             for e in entries {
-                                if probed_now[instance.cei(e.cei).eis[e.ei_idx as usize]
-                                    .resource
-                                    .index()]
+                                if probed_now
+                                    [instance.cei(e.cei).eis[e.ei_idx as usize].resource.index()]
                                 {
                                     continue;
                                 }
@@ -344,9 +336,7 @@ impl OnlineEngine {
                 };
                 let cei = instance.cei(e.cei);
                 let ei = cei.eis[e.ei_idx as usize];
-                if ei.end == t
-                    && cap.mark_expired(e.ei_idx as usize)
-                    && cap.is_doomed(cei.required)
+                if ei.end == t && cap.mark_expired(e.ei_idx as usize) && cap.is_doomed(cei.required)
                 {
                     transitions.push((e.cei, CeiOutcome::Failed { at: t }));
                 }
@@ -361,8 +351,10 @@ impl OnlineEngine {
         }
 
         // Any CEI still unresolved at epoch end is recorded as pending so
-        // the size histogram sums to n_ceis. (Unreachable for well-formed
-        // instances: every EI ends inside the epoch, so expiry resolves it.)
+        // the size histogram sums to n_ceis. This is reached by CEIs the
+        // trace never releases inside the epoch (`NotArrived`) and by CEIs
+        // whose unreleased-at-expiry EIs never joined the pool, so no
+        // expiry event ever doomed them (`Active`).
         for (i, s) in status.iter().enumerate() {
             if matches!(s, Status::Active(_) | Status::NotArrived) {
                 stats.record_outcome_of(&instance.ceis[i], CeiOutcome::Pending);
@@ -797,7 +789,11 @@ mod tests {
     fn threshold_cei_survives_one_expiry() {
         // 2-of-3 with one unreachable window (budget 0 at its only chronon
         // via per-chronon budget): the CEI still completes on the others.
-        let mut b = InstanceBuilder::new(3, 10, Budget::PerChronon(vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 1]));
+        let mut b = InstanceBuilder::new(
+            3,
+            10,
+            Budget::PerChronon(vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 1]),
+        );
         let p = b.profile();
         b.cei_threshold(p, 2, &[(0, 1, 1), (1, 3, 4), (2, 6, 7)]);
         let inst = b.build();
@@ -931,7 +927,8 @@ mod tests {
                 let scan = OnlineEngine::run(&inst, policy, base);
                 let heap = OnlineEngine::run(&inst, policy, base.with_lazy_heap());
                 assert_eq!(
-                    scan.schedule, heap.schedule,
+                    scan.schedule,
+                    heap.schedule,
                     "{} {:?}: schedules diverge",
                     policy.name(),
                     base

@@ -31,12 +31,7 @@ impl Budget {
     pub fn max_over(&self, horizon: Chronon) -> u32 {
         match self {
             Budget::Uniform(c) => *c,
-            Budget::PerChronon(v) => v
-                .iter()
-                .take(horizon as usize)
-                .copied()
-                .max()
-                .unwrap_or(0),
+            Budget::PerChronon(v) => v.iter().take(horizon as usize).copied().max().unwrap_or(0),
         }
     }
 
@@ -44,11 +39,7 @@ impl Budget {
     pub fn total_over(&self, horizon: Chronon) -> u64 {
         match self {
             Budget::Uniform(c) => u64::from(*c) * u64::from(horizon),
-            Budget::PerChronon(v) => v
-                .iter()
-                .take(horizon as usize)
-                .map(|&c| u64::from(c))
-                .sum(),
+            Budget::PerChronon(v) => v.iter().take(horizon as usize).map(|&c| u64::from(c)).sum(),
         }
     }
 }

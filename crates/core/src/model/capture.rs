@@ -1,11 +1,20 @@
 //! Capture indicators and gained completeness (Section III-B/C, Eq. 1).
 
-use super::{Cei, Ei, Instance, Schedule};
+use super::{Cei, Chronon, Ei, Instance, Schedule};
+use crate::stats::{CeiOutcome, RunStats};
 
 /// The paper's indicator `X(I, S)`: `true` iff schedule `S` probes `r(I)`
 /// at some chronon inside the window of `I`.
 pub fn ei_captured(ei: Ei, schedule: &Schedule) -> bool {
-    (ei.start..=ei.end).any(|t| schedule.is_probed(ei.resource, t))
+    ei_capture_chronon(ei, schedule).is_some()
+}
+
+/// The chronon at which schedule `S` captures `I`: the earliest probe of
+/// `r(I)` inside the window, or `None` if the window is never probed. This
+/// is when the online engine marks the EI captured — the first probe that
+/// lands in an open window.
+pub fn ei_capture_chronon(ei: Ei, schedule: &Schedule) -> Option<Chronon> {
+    (ei.start..=ei.end).find(|&t| schedule.is_probed(ei.resource, t))
 }
 
 /// The paper's indicator `X(η, S) = Π_{I ∈ η} X(I, S)` generalized to
@@ -51,8 +60,13 @@ pub fn gained_completeness(instance: &Instance, schedule: &Schedule) -> f64 {
 /// the raw indicator `Σ X(I, S)` and can exceed the engine's `eis_captured`,
 /// because the engine stops crediting EIs of CEIs that already failed
 /// (probes landing in such windows are coincidental under AND semantics).
-pub fn evaluate_schedule(instance: &Instance, schedule: &Schedule) -> crate::stats::RunStats {
-    use crate::stats::{CeiOutcome, RunStats};
+///
+/// Outcome chronons match the engine's bookkeeping on clean runs:
+/// `Captured { at }` is the chronon of the probe that crossed the
+/// `required` threshold (the `required`-th smallest per-EI capture
+/// chronon), and `Failed { at }` is the doom chronon — the deadline whose
+/// passing made `required` captures unreachable.
+pub fn evaluate_schedule(instance: &Instance, schedule: &Schedule) -> RunStats {
     let mut stats = RunStats {
         n_ceis: instance.ceis.len() as u64,
         n_eis: instance.total_eis() as u64,
@@ -65,25 +79,55 @@ pub fn evaluate_schedule(instance: &Instance, schedule: &Schedule) -> crate::sta
         ..Default::default()
     };
     for cei in &instance.ceis {
-        let mut captured = 0u16;
-        let mut last_capture: u32 = 0;
-        for &ei in &cei.eis {
-            if ei_captured(ei, schedule) {
-                stats.eis_captured += 1;
-                captured += 1;
-                last_capture = last_capture.max(ei.end);
-            }
-        }
-        let outcome = if captured >= cei.required {
-            CeiOutcome::Captured { at: last_capture }
-        } else {
-            CeiOutcome::Failed {
-                at: cei.earliest_deadline(),
-            }
-        };
+        let (outcome, captured_eis) = cei_outcome(cei, schedule);
+        stats.eis_captured += captured_eis;
         stats.record_outcome_of(cei, outcome);
     }
     stats
+}
+
+/// Per-CEI outcomes of an arbitrary schedule, parallel to `instance.ceis`
+/// — the same shape as [`RunResult::outcomes`](crate::engine::RunResult),
+/// with the chronon semantics documented on [`evaluate_schedule`].
+pub fn evaluate_outcomes(instance: &Instance, schedule: &Schedule) -> Vec<CeiOutcome> {
+    instance
+        .ceis
+        .iter()
+        .map(|cei| cei_outcome(cei, schedule).0)
+        .collect()
+}
+
+/// One CEI's outcome under `schedule`, plus its raw captured-EI count.
+fn cei_outcome(cei: &Cei, schedule: &Schedule) -> (CeiOutcome, u64) {
+    let mut capture_times: Vec<Chronon> = Vec::new();
+    let mut open_deadlines: Vec<Chronon> = Vec::new();
+    for &ei in &cei.eis {
+        match ei_capture_chronon(ei, schedule) {
+            Some(t) => capture_times.push(t),
+            None => open_deadlines.push(ei.end),
+        }
+    }
+    let required = usize::from(cei.required);
+    let captured_eis = capture_times.len() as u64;
+    let outcome = if capture_times.len() >= required {
+        // The threshold is crossed by the probe that lands the
+        // `required`-th capture in chronon order.
+        capture_times.sort_unstable();
+        CeiOutcome::Captured {
+            at: capture_times[required - 1],
+        }
+    } else {
+        // Uncaptured windows close in deadline order; the CEI is doomed
+        // once more than `size - required` of them have closed.
+        // (`required ∈ [1, size]` and fewer than `required` captures
+        // leave at least `size - required + 1` open deadlines, so the
+        // index is in bounds.)
+        open_deadlines.sort_unstable();
+        CeiOutcome::Failed {
+            at: open_deadlines[cei.size() - required],
+        }
+    };
+    (outcome, captured_eis)
 }
 
 /// Incremental capture bookkeeping for one CEI: which of its EIs a schedule
@@ -327,10 +371,72 @@ mod tests {
 
     #[test]
     fn threshold_cei_captured_by_subset() {
-        let cei = Cei::new(CeiId(0), ProfileId(0), vec![ei(0, 0, 2), ei(1, 1, 3)])
-            .with_required(1);
+        let cei = Cei::new(CeiId(0), ProfileId(0), vec![ei(0, 0, 2), ei(1, 1, 3)]).with_required(1);
         let mut s = Schedule::new(2, Epoch::new(5));
         s.probe(ResourceId(0), 1);
         assert!(cei_captured(&cei, &s));
+    }
+
+    #[test]
+    fn capture_chronon_is_earliest_probe_in_window() {
+        let mut s = Schedule::new(1, Epoch::new(10));
+        s.probe(ResourceId(0), 2);
+        s.probe(ResourceId(0), 5);
+        assert_eq!(ei_capture_chronon(ei(0, 1, 6), &s), Some(2));
+        assert_eq!(ei_capture_chronon(ei(0, 4, 6), &s), Some(5));
+        assert_eq!(ei_capture_chronon(ei(0, 7, 9), &s), None);
+    }
+
+    #[test]
+    fn captured_outcome_uses_threshold_crossing_probe() {
+        // Both EIs end at 8, but the probes land at 2 and 5 — the AND
+        // threshold is crossed by the *later* probe, not the window ends.
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 8), (1, 1, 8)]);
+        let inst = b.build();
+        let mut s = Schedule::new(2, Epoch::new(10));
+        s.probe(ResourceId(0), 2);
+        s.probe(ResourceId(1), 5);
+        let stats = evaluate_schedule(&inst, &s);
+        assert_eq!(stats.ceis_captured, 1);
+        assert_eq!(
+            evaluate_outcomes(&inst, &s),
+            vec![CeiOutcome::Captured { at: 5 }]
+        );
+    }
+
+    #[test]
+    fn failed_outcome_skips_captured_earliest_deadline() {
+        // The earliest-deadline EI (end 2) *is* captured; the CEI is
+        // doomed only when the second window closes uncaptured at 6.
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 2), (1, 3, 6)]);
+        let inst = b.build();
+        let mut s = Schedule::new(2, Epoch::new(10));
+        s.probe(ResourceId(0), 1);
+        let stats = evaluate_schedule(&inst, &s);
+        assert_eq!(stats.ceis_captured, 0);
+        assert_eq!(
+            evaluate_outcomes(&inst, &s),
+            vec![CeiOutcome::Failed { at: 6 }]
+        );
+    }
+
+    #[test]
+    fn threshold_failure_dooms_at_unreachability_not_first_expiry() {
+        // 2-of-3 with no probes at all: after the first deadline (2) one
+        // can still capture 2 of the remaining windows; the threshold
+        // becomes unreachable when the second window closes at 4.
+        let mut b = InstanceBuilder::new(3, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei_threshold(p, 2, &[(0, 0, 2), (1, 0, 4), (2, 0, 6)]);
+        let inst = b.build();
+        let s = Schedule::new(3, Epoch::new(10));
+        assert_eq!(
+            evaluate_outcomes(&inst, &s),
+            vec![CeiOutcome::Failed { at: 4 }]
+        );
     }
 }

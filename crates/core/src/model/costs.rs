@@ -42,10 +42,7 @@ impl ProbeCosts {
     /// # Panics
     /// Panics if any cost is zero (free probes make the budget meaningless).
     pub fn per_resource(costs: Vec<u32>) -> Self {
-        assert!(
-            costs.iter().all(|&c| c > 0),
-            "probe costs must be positive"
-        );
+        assert!(costs.iter().all(|&c| c > 0), "probe costs must be positive");
         ProbeCosts::PerResource(costs)
     }
 }

@@ -4,9 +4,9 @@
 
 mod budget;
 mod builder;
-mod costs;
 mod capture;
 mod cei;
+mod costs;
 mod instance;
 mod interval;
 mod profile;
@@ -17,7 +17,8 @@ mod time;
 pub use budget::Budget;
 pub use builder::InstanceBuilder;
 pub use capture::{
-    cei_captured, ei_captured, evaluate_schedule, gained_completeness, CaptureSet,
+    cei_captured, ei_capture_chronon, ei_captured, evaluate_outcomes, evaluate_schedule,
+    gained_completeness, CaptureSet,
 };
 pub use cei::{Cei, CeiId};
 pub use costs::ProbeCosts;

@@ -351,8 +351,7 @@ fn spend_leftover_budget(instance: &Instance, schedule: &mut Schedule) {
                 }
             }
         }
-        let mut ranked: Vec<(u32, ResourceId)> =
-            demand.into_iter().map(|(r, d)| (d, r)).collect();
+        let mut ranked: Vec<(u32, ResourceId)> = demand.into_iter().map(|(r, d)| (d, r)).collect();
         ranked.sort_unstable_by(|a, b| (b.0, a.1).cmp(&(a.0, b.1)));
         for (_, r) in ranked {
             if used >= budget {

@@ -69,7 +69,10 @@ impl std::error::Error for ExpansionError {}
 /// construction realizes AND semantics only, and silently treating a
 /// threshold CEI as AND would understate the offline baseline. (Weights are
 /// carried through to the combinations.)
-pub fn expand_to_unit(instance: &Instance, max_ceis: usize) -> Result<UnitExpansion, ExpansionError> {
+pub fn expand_to_unit(
+    instance: &Instance,
+    max_ceis: usize,
+) -> Result<UnitExpansion, ExpansionError> {
     let mut ceis: Vec<Cei> = Vec::new();
     let mut origin: Vec<CeiId> = Vec::new();
     let mut profiles: Vec<Profile> = instance
@@ -110,7 +113,8 @@ pub fn expand_to_unit(instance: &Instance, max_ceis: usize) -> Result<UnitExpans
             let new_cei = Cei::with_release(
                 id,
                 cei.profile,
-                cei.release.min(eis.iter().map(|e| e.start).min().expect("non-empty")),
+                cei.release
+                    .min(eis.iter().map(|e| e.start).min().expect("non-empty")),
                 eis,
             )
             .with_weight(cei.weight);

@@ -31,12 +31,11 @@ impl Policy for MEdf {
         // more EIs are needed; the cheapest such subset is the CEI's true
         // remaining work. With AND semantics (every paper construct) the
         // subset is "all of them" and no sorting happens.
-        let needed = usize::from(cand.cei.required)
-            .saturating_sub(usize::from(cand.cei.n_captured));
+        let needed =
+            usize::from(cand.cei.required).saturating_sub(usize::from(cand.cei.n_captured));
         let mut contributions: Vec<i64> = Vec::new();
         let mut total: i64 = 0;
-        let threshold_mode =
-            usize::from(cand.cei.required) < cand.cei.eis.len();
+        let threshold_mode = usize::from(cand.cei.required) < cand.cei.eis.len();
         for (ei, &captured) in cand.cei.eis.iter().zip(cand.cei.captured) {
             if captured {
                 continue;
@@ -128,10 +127,7 @@ mod tests {
     fn captured_siblings_are_excluded() {
         let eis = vec![ei(0, 0, 5), ei(1, 0, 9)];
         let data = CtxData::new(2, 2);
-        assert_eq!(
-            score_of(&MEdf, &data.ctx(), &eis, &[false, true], 0, 2),
-            4
-        );
+        assert_eq!(score_of(&MEdf, &data.ctx(), &eis, &[false, true], 0, 2), 4);
     }
 
     /// Prop. 3: on unit-width EIs, M-EDF equals MRSF.

@@ -47,12 +47,7 @@ mod tests {
     use crate::policy::test_util::*;
     use crate::policy::{CeiView, Mrsf, SEdf};
 
-    fn weighted_score(
-        policy: &dyn Policy,
-        eis: &[crate::model::Ei],
-        weight: f32,
-        now: u32,
-    ) -> i64 {
+    fn weighted_score(policy: &dyn Policy, eis: &[crate::model::Ei], weight: f32, now: u32) -> i64 {
         let captured = vec![false; eis.len()];
         let data = CtxData::new(now, eis.len());
         let cand = Candidate {

@@ -62,7 +62,11 @@ impl Policy for Wic {
         // fresh; we approximate the fresh count by 1 when an update fires
         // (the engine aggregates per resource, and multiple simultaneous
         // openings on one resource are rare at chronon granularity).
-        let fresh = if ctx.resources.has_update[r] { 1.0 } else { 0.0 };
+        let fresh = if ctx.resources.has_update[r] {
+            1.0
+        } else {
+            0.0
+        };
         let stale = (live - fresh).max(0.0);
         let utility = fresh + stale * self.stale_utility;
         -((utility * UTILITY_SCALE) as i64)

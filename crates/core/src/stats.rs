@@ -7,18 +7,22 @@ use std::collections::BTreeMap;
 /// Outcome of one CEI at the end of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CeiOutcome {
-    /// Every EI was captured; completed at the given chronon.
+    /// At least `required` EIs were captured (every EI, under the paper's
+    /// AND semantics).
     Captured {
-        /// Chronon at which the last EI was captured.
+        /// Chronon of the probe that crossed the `required` threshold.
         at: Chronon,
     },
-    /// At least one EI expired uncaptured at the given chronon.
+    /// Fewer than `required` EIs could still be captured — the CEI became
+    /// doomed at the given chronon.
     Failed {
-        /// Chronon of the first uncapturable expiry.
+        /// Chronon of the expiry that made `required` captures unreachable.
         at: Chronon,
     },
-    /// The epoch ended before the CEI resolved (only possible if an EI
-    /// extends to the last chronon and the engine stopped early).
+    /// The epoch ended before the CEI resolved. The engine records this
+    /// for CEIs that are never released to the proxy (their EIs never
+    /// enter the probe pool, so no expiry ever dooms them) — e.g. a
+    /// release at or beyond epoch end.
     Pending,
 }
 

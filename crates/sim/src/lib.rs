@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod parallel;
 pub mod policies;
 pub mod report;
 pub mod summary;
@@ -33,7 +34,7 @@ pub mod table;
 
 pub use config::{ExperimentConfig, NoiseSpec, TraceSpec};
 pub use experiment::{Experiment, PolicyAggregate, RepetitionOutcome};
-pub use report::Report;
 pub use policies::{PolicyKind, PolicySpec};
+pub use report::Report;
 pub use summary::Summary;
 pub use table::Table;

@@ -29,8 +29,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// Every policy evaluated in the paper's figures.
-    pub const PAPER_SET: [PolicyKind; 4] =
-        [PolicyKind::SEdf, PolicyKind::Mrsf, PolicyKind::MEdf, PolicyKind::Wic];
+    pub const PAPER_SET: [PolicyKind; 4] = [
+        PolicyKind::SEdf,
+        PolicyKind::Mrsf,
+        PolicyKind::MEdf,
+        PolicyKind::Wic,
+    ];
 
     /// Instantiates the policy. `seed` only affects [`PolicyKind::Random`].
     pub fn build(self, seed: u64) -> Box<dyn Policy> {

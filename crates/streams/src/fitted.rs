@@ -80,39 +80,40 @@ impl PrefixFittedModel {
         let split = ((f64::from(horizon) * self.train_fraction) as u32).clamp(1, horizon - 1);
         let test_len = horizon - split;
 
-        let pairs: Vec<Vec<EventPair>> = (0..truth.n_resources())
-            .map(|r| {
-                let mut sub = rng.fork_indexed("prefix-fitted", u64::from(r));
-                let events = truth.events_of(r);
-                let n_train = events.partition_point(|&t| t < split);
+        let pairs: Vec<Vec<EventPair>> =
+            (0..truth.n_resources())
+                .map(|r| {
+                    let mut sub = rng.fork_indexed("prefix-fitted", u64::from(r));
+                    let events = truth.events_of(r);
+                    let n_train = events.partition_point(|&t| t < split);
 
-                // In-sample events: known exactly.
-                let mut out: Vec<EventPair> = events[..n_train]
-                    .iter()
-                    .map(|&t| EventPair {
-                        truth: t,
-                        predicted: t,
-                    })
-                    .collect();
+                    // In-sample events: known exactly.
+                    let mut out: Vec<EventPair> = events[..n_train]
+                        .iter()
+                        .map(|&t| EventPair {
+                            truth: t,
+                            predicted: t,
+                        })
+                        .collect();
 
-                // Out-of-sample: predict from the trained rate, scaled to
-                // the test region's length.
-                let rate_per_chronon = n_train as f64 / f64::from(split);
-                let expected_test = rate_per_chronon * f64::from(test_len);
-                let predicted: Vec<u32> = PoissonProcess::new(expected_test)
-                    .sample(test_len, &mut sub)
-                    .into_iter()
-                    .map(|t| t + split)
-                    .collect();
-                out.extend(events[n_train..].iter().zip(&predicted).map(|(&t, &p)| {
-                    EventPair {
-                        truth: t,
-                        predicted: p,
-                    }
-                }));
-                out
-            })
-            .collect();
+                    // Out-of-sample: predict from the trained rate, scaled to
+                    // the test region's length.
+                    let rate_per_chronon = n_train as f64 / f64::from(split);
+                    let expected_test = rate_per_chronon * f64::from(test_len);
+                    let predicted: Vec<u32> = PoissonProcess::new(expected_test)
+                        .sample(test_len, &mut sub)
+                        .into_iter()
+                        .map(|t| t + split)
+                        .collect();
+                    out.extend(events[n_train..].iter().zip(&predicted).map(|(&t, &p)| {
+                        EventPair {
+                            truth: t,
+                            predicted: p,
+                        }
+                    }));
+                    out
+                })
+                .collect();
         NoisyTrace::from_pairs(horizon, pairs)
     }
 }
@@ -188,9 +189,7 @@ mod tests {
         let t = truth();
         let noisy = PoissonFittedModel.apply(&t, &SimRng::new(2));
         let truth_total = t.total_events() as f64;
-        let pair_total: usize = (0..t.n_resources())
-            .map(|r| noisy.pairs_of(r).len())
-            .sum();
+        let pair_total: usize = (0..t.n_resources()).map(|r| noisy.pairs_of(r).len()).sum();
         // Pairing truncates to min(n_truth, n_predicted) per resource;
         // with matched rates that stays within ~25% of the truth volume.
         assert!(

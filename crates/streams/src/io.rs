@@ -69,7 +69,12 @@ impl From<std::io::Error> for TraceIoError {
 
 /// Writes a trace as CSV.
 pub fn write_csv<W: Write>(trace: &UpdateTrace, mut w: W) -> Result<(), TraceIoError> {
-    writeln!(w, "# webmon update trace: {} resources, {} chronons", trace.n_resources(), trace.horizon())?;
+    writeln!(
+        w,
+        "# webmon update trace: {} resources, {} chronons",
+        trace.n_resources(),
+        trace.horizon()
+    )?;
     writeln!(w, "resource,chronon")?;
     for (r, t) in trace.iter() {
         writeln!(w, "{r},{t}")?;
@@ -105,10 +110,7 @@ pub fn read_csv<R: BufRead>(
             if parts.len() != 2 {
                 return None;
             }
-            Some((
-                parts[0].trim().parse().ok()?,
-                parts[1].trim().parse().ok()?,
-            ))
+            Some((parts[0].trim().parse().ok()?, parts[1].trim().parse().ok()?))
         })();
         match parsed {
             Some(ev) => events.push(ev),

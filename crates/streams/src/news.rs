@@ -76,8 +76,7 @@ impl NewsTraceConfig {
                 let expected = self.total_events as f64 * zipf.pmf(f + 1);
                 // Thinning: homogeneous at the peak rate, accept with
                 // λ(t)/λ_max where λ(t) carries the diurnal factor.
-                let peak_rate = expected * (1.0 + self.diurnal_amplitude)
-                    / f64::from(self.horizon);
+                let peak_rate = expected * (1.0 + self.diurnal_amplitude) / f64::from(self.horizon);
                 if peak_rate <= 0.0 {
                     return Vec::new();
                 }

@@ -133,9 +133,7 @@ pub fn generate(
             ) else {
                 continue;
             };
-            if config.no_intra_resource_overlap
-                && !claim_slots(&mut occupied, &cei.predicted_eis)
-            {
+            if config.no_intra_resource_overlap && !claim_slots(&mut occupied, &cei.predicted_eis) {
                 continue;
             }
             predicted.cei_from_eis(p_pred, cei.predicted_eis, Some(cei.release));
@@ -153,13 +151,7 @@ pub fn generate(
 }
 
 /// Stage 2: draw `rank` resources from `Zipf(α, n)` (optionally distinct).
-fn pick_resources(
-    zipf: &Zipf,
-    rank: u16,
-    distinct: bool,
-    n: u32,
-    rng: &mut SimRng,
-) -> Vec<u32> {
+fn pick_resources(zipf: &Zipf, rank: u16, distinct: bool, n: u32, rng: &mut SimRng) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::with_capacity(rank as usize);
     let mut attempts = 0u32;
     while out.len() < rank as usize {
@@ -250,10 +242,7 @@ fn claim_slots(occupied: &mut [Vec<(Chronon, Chronon)>], eis: &[Ei]) -> bool {
             return false;
         }
         for other in &eis[..i] {
-            if other.resource == ei.resource
-                && other.start <= ei.end
-                && ei.start <= other.end
-            {
+            if other.resource == ei.resource && other.start <= ei.end && ei.start <= other.end {
                 return false;
             }
         }
@@ -472,7 +461,7 @@ mod tests {
                 length: EiLength::Window(0),
                 distinct_resources: true,
                 max_ceis: None,
-            no_intra_resource_overlap: false,
+                no_intra_resource_overlap: false,
             };
             generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(20))
         };
@@ -484,10 +473,7 @@ mod tests {
             .count();
         // With α = 1.37 most profiles should sit on the popular head;
         // uniform would put ~10% there.
-        assert!(
-            head_hits > 100,
-            "only {head_hits}/200 profiles on the head"
-        );
+        assert!(head_hits > 100, "only {head_hits}/200 profiles on the head");
     }
 
     #[test]

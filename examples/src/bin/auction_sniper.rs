@@ -14,7 +14,10 @@ use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
 fn main() {
     let n_auctions = 100;
     println!("AuctionWatch(≤3) over {n_auctions} synthetic 3-day auctions\n");
-    println!("{:>3}  {:>10} {:>10} {:>10}", "C", "S-EDF(P)", "MRSF(P)", "M-EDF(P)");
+    println!(
+        "{:>3}  {:>10} {:>10} {:>10}",
+        "C", "S-EDF(P)", "MRSF(P)", "M-EDF(P)"
+    );
 
     for budget in 1..=4u32 {
         let cfg = ExperimentConfig {

@@ -23,9 +23,9 @@ fn main() {
     let template = MashupTemplate {
         trigger_resource: MISH_BLOG,
         crossed_resources: vec![CNN_BREAKING, CNN_MONEY],
-        period: 10,            // "WHEN EVERY 10 MINUTES"
-        slack: 2,              // "WITHIN T1+2 MINUTES"
-        crossing_window: 10,   // "WITHIN T1+10 MINUTES"
+        period: 10,                 // "WHEN EVERY 10 MINUTES"
+        slack: 2,                   // "WITHIN T1+2 MINUTES"
+        crossing_window: 10,        // "WITHIN T1+10 MINUTES"
         condition_probability: 0.3, // how often a post matches %oil%
     };
 

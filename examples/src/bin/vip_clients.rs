@@ -62,8 +62,7 @@ fn main() {
     );
     for policy in [&plain as &dyn Policy, &weighted] {
         let run = OnlineEngine::run(&instance, policy, EngineConfig::preemptive());
-        let vip_captured = instance
-            .profiles[vip.index()]
+        let vip_captured = instance.profiles[vip.index()]
             .ceis
             .iter()
             .filter(|&&id| run.outcomes[id.index()].is_captured())

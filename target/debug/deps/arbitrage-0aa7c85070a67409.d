@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitrage-0aa7c85070a67409.d: examples/src/bin/arbitrage.rs
+
+/root/repo/target/debug/deps/arbitrage-0aa7c85070a67409: examples/src/bin/arbitrage.rs
+
+examples/src/bin/arbitrage.rs:

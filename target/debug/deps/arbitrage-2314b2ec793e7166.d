@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbitrage-2314b2ec793e7166.d: examples/src/bin/arbitrage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitrage-2314b2ec793e7166.rmeta: examples/src/bin/arbitrage.rs Cargo.toml
+
+examples/src/bin/arbitrage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

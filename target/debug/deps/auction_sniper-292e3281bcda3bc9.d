@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/auction_sniper-292e3281bcda3bc9.d: examples/src/bin/auction_sniper.rs
+
+/root/repo/target/debug/deps/auction_sniper-292e3281bcda3bc9: examples/src/bin/auction_sniper.rs
+
+examples/src/bin/auction_sniper.rs:

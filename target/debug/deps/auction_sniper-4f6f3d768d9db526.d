@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/auction_sniper-4f6f3d768d9db526.d: examples/src/bin/auction_sniper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libauction_sniper-4f6f3d768d9db526.rmeta: examples/src/bin/auction_sniper.rs Cargo.toml
+
+examples/src/bin/auction_sniper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-79cad2a9d79fe98c.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-79cad2a9d79fe98c: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

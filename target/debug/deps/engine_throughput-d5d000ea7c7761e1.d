@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_throughput-d5d000ea7c7761e1.d: crates/bench/benches/engine_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_throughput-d5d000ea7c7761e1.rmeta: crates/bench/benches/engine_throughput.rs Cargo.toml
+
+crates/bench/benches/engine_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-14208414d54c69ea.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-14208414d54c69ea: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

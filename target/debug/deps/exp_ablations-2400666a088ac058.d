@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablations-2400666a088ac058.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/debug/deps/exp_ablations-2400666a088ac058: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablations-6260b95a307031aa.d: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablations-6260b95a307031aa.rmeta: crates/bench/src/bin/exp_ablations.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_extensions-20b55a81841362cf.d: crates/bench/src/bin/exp_extensions.rs
+
+/root/repo/target/debug/deps/exp_extensions-20b55a81841362cf: crates/bench/src/bin/exp_extensions.rs
+
+crates/bench/src/bin/exp_extensions.rs:

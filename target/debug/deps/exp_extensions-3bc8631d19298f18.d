@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_extensions-3bc8631d19298f18.d: crates/bench/src/bin/exp_extensions.rs
+
+/root/repo/target/debug/deps/exp_extensions-3bc8631d19298f18: crates/bench/src/bin/exp_extensions.rs
+
+crates/bench/src/bin/exp_extensions.rs:

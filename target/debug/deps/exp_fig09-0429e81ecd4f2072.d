@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig09-0429e81ecd4f2072.d: crates/bench/src/bin/exp_fig09.rs
+
+/root/repo/target/debug/deps/exp_fig09-0429e81ecd4f2072: crates/bench/src/bin/exp_fig09.rs
+
+crates/bench/src/bin/exp_fig09.rs:

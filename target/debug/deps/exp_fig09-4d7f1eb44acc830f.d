@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig09-4d7f1eb44acc830f.d: crates/bench/src/bin/exp_fig09.rs
+
+/root/repo/target/debug/deps/exp_fig09-4d7f1eb44acc830f: crates/bench/src/bin/exp_fig09.rs
+
+crates/bench/src/bin/exp_fig09.rs:

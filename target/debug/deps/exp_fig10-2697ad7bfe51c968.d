@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10-2697ad7bfe51c968.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/debug/deps/exp_fig10-2697ad7bfe51c968: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10-cf4a88cc3117e309.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/debug/deps/exp_fig10-cf4a88cc3117e309: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

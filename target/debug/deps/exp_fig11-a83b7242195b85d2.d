@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11-a83b7242195b85d2.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig11-a83b7242195b85d2: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

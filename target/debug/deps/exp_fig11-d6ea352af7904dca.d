@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig11-d6ea352af7904dca.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/debug/deps/exp_fig11-d6ea352af7904dca: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

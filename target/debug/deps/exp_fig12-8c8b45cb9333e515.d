@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-8c8b45cb9333e515.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-8c8b45cb9333e515: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

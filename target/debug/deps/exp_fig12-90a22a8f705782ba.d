@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-90a22a8f705782ba.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-90a22a8f705782ba: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-b3fd968656e0fca6.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-b3fd968656e0fca6: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-ec23669d60e42e61.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-ec23669d60e42e61: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

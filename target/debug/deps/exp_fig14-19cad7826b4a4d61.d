@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-19cad7826b4a4d61.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-19cad7826b4a4d61: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-a35bb24bdd160059.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-a35bb24bdd160059: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

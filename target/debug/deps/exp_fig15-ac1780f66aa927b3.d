@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig15-ac1780f66aa927b3.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/debug/deps/exp_fig15-ac1780f66aa927b3: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

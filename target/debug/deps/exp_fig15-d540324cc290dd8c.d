@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig15-d540324cc290dd8c.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/debug/deps/exp_fig15-d540324cc290dd8c: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

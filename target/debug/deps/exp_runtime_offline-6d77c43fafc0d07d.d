@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_runtime_offline-6d77c43fafc0d07d.d: crates/bench/src/bin/exp_runtime_offline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_runtime_offline-6d77c43fafc0d07d.rmeta: crates/bench/src/bin/exp_runtime_offline.rs Cargo.toml
+
+crates/bench/src/bin/exp_runtime_offline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_runtime_offline-7cc3372e84e8fb0f.d: crates/bench/src/bin/exp_runtime_offline.rs
+
+/root/repo/target/debug/deps/exp_runtime_offline-7cc3372e84e8fb0f: crates/bench/src/bin/exp_runtime_offline.rs
+
+crates/bench/src/bin/exp_runtime_offline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_runtime_offline-a740c6e0d6777791.d: crates/bench/src/bin/exp_runtime_offline.rs
+
+/root/repo/target/debug/deps/exp_runtime_offline-a740c6e0d6777791: crates/bench/src/bin/exp_runtime_offline.rs
+
+crates/bench/src/bin/exp_runtime_offline.rs:

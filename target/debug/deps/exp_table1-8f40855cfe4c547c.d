@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-8f40855cfe4c547c.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-8f40855cfe4c547c: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

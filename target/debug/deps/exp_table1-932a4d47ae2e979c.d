@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-932a4d47ae2e979c.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-932a4d47ae2e979c: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

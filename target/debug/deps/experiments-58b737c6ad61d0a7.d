@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-58b737c6ad61d0a7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-58b737c6ad61d0a7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

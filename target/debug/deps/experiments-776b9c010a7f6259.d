@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-776b9c010a7f6259.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-776b9c010a7f6259: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_properties-2b2ded120c14828d.d: tests/tests/extension_properties.rs
+
+/root/repo/target/debug/deps/extension_properties-2b2ded120c14828d: tests/tests/extension_properties.rs
+
+tests/tests/extension_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_properties-701865ff4b196e80.d: tests/tests/extension_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_properties-701865ff4b196e80.rmeta: tests/tests/extension_properties.rs Cargo.toml
+
+tests/tests/extension_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

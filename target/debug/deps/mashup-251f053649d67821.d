@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mashup-251f053649d67821.d: examples/src/bin/mashup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmashup-251f053649d67821.rmeta: examples/src/bin/mashup.rs Cargo.toml
+
+examples/src/bin/mashup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mashup-d9973c58b0356b85.d: examples/src/bin/mashup.rs
+
+/root/repo/target/debug/deps/mashup-d9973c58b0356b85: examples/src/bin/mashup.rs
+
+examples/src/bin/mashup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_optimality-390f90148c461707.d: tests/tests/offline_optimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_optimality-390f90148c461707.rmeta: tests/tests/offline_optimality.rs Cargo.toml
+
+tests/tests/offline_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offline_optimality-e9b322a895999487.d: tests/tests/offline_optimality.rs
+
+/root/repo/target/debug/deps/offline_optimality-e9b322a895999487: tests/tests/offline_optimality.rs
+
+tests/tests/offline_optimality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_vs_online-6e23484c0b78c791.d: crates/bench/benches/offline_vs_online.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_vs_online-6e23484c0b78c791.rmeta: crates/bench/benches/offline_vs_online.rs Cargo.toml
+
+crates/bench/benches/offline_vs_online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7a7a1649a24fc6a5.d: tests/tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-7a7a1649a24fc6a5: tests/tests/paper_claims.rs
+
+tests/tests/paper_claims.rs:

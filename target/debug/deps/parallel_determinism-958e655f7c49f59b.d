@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-958e655f7c49f59b.d: tests/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-958e655f7c49f59b: tests/tests/parallel_determinism.rs
+
+tests/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-23fca50588d2a173.d: tests/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-23fca50588d2a173: tests/tests/properties.rs
+
+tests/tests/properties.rs:

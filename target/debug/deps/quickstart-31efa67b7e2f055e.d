@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-31efa67b7e2f055e.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-31efa67b7e2f055e: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

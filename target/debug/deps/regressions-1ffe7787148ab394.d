@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressions-1ffe7787148ab394.d: tests/tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-1ffe7787148ab394: tests/tests/regressions.rs
+
+tests/tests/regressions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regressions-fd03d228851faa6c.d: tests/tests/regressions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressions-fd03d228851faa6c.rmeta: tests/tests/regressions.rs Cargo.toml
+
+tests/tests/regressions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

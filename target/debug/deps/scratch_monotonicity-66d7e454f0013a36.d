@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_monotonicity-66d7e454f0013a36.d: tests/tests/scratch_monotonicity.rs
+
+/root/repo/target/debug/deps/scratch_monotonicity-66d7e454f0013a36: tests/tests/scratch_monotonicity.rs
+
+tests/tests/scratch_monotonicity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_properties-16db36bdda49e2bb.d: tests/tests/stream_properties.rs
+
+/root/repo/target/debug/deps/stream_properties-16db36bdda49e2bb: tests/tests/stream_properties.rs
+
+tests/tests/stream_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_properties-ec266087388cede0.d: tests/tests/stream_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_properties-ec266087388cede0.rmeta: tests/tests/stream_properties.rs Cargo.toml
+
+tests/tests/stream_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vip_clients-16ac57615b7d9774.d: examples/src/bin/vip_clients.rs
+
+/root/repo/target/debug/deps/vip_clients-16ac57615b7d9774: examples/src/bin/vip_clients.rs
+
+examples/src/bin/vip_clients.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vip_clients-79a35727b769f609.d: examples/src/bin/vip_clients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvip_clients-79a35727b769f609.rmeta: examples/src/bin/vip_clients.rs Cargo.toml
+
+examples/src/bin/vip_clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vip_clients-f7b7e0ab27609872.d: examples/src/bin/vip_clients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvip_clients-f7b7e0ab27609872.rmeta: examples/src/bin/vip_clients.rs Cargo.toml
+
+examples/src/bin/vip_clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

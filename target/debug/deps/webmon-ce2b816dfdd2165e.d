@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webmon-ce2b816dfdd2165e.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/webmon-ce2b816dfdd2165e: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/webmon_bench-411e78785161d683.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/extensions.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/runtime_offline.rs crates/bench/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_bench-411e78785161d683.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/extensions.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/runtime_offline.rs crates/bench/src/table1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/runtime_offline.rs:
+crates/bench/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

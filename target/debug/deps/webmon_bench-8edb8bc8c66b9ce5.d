@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/webmon_bench-8edb8bc8c66b9ce5.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/extensions.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/runtime_offline.rs crates/bench/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_bench-8edb8bc8c66b9ce5.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/extensions.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/runtime_offline.rs crates/bench/src/table1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/runtime_offline.rs:
+crates/bench/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

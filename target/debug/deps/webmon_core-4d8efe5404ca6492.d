@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/webmon_core-4d8efe5404ca6492.d: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/engine/mod.rs crates/core/src/engine/runner.rs crates/core/src/model/mod.rs crates/core/src/model/budget.rs crates/core/src/model/builder.rs crates/core/src/model/capture.rs crates/core/src/model/cei.rs crates/core/src/model/costs.rs crates/core/src/model/instance.rs crates/core/src/model/interval.rs crates/core/src/model/profile.rs crates/core/src/model/resource.rs crates/core/src/model/schedule.rs crates/core/src/model/time.rs crates/core/src/offline/mod.rs crates/core/src/offline/enumeration.rs crates/core/src/offline/local_ratio.rs crates/core/src/offline/transform.rs crates/core/src/policy/mod.rs crates/core/src/policy/m_edf.rs crates/core/src/policy/mrsf.rs crates/core/src/policy/random.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/s_edf.rs crates/core/src/policy/utility.rs crates/core/src/policy/wic.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/webmon_core-4d8efe5404ca6492: crates/core/src/lib.rs crates/core/src/diagnostics.rs crates/core/src/engine/mod.rs crates/core/src/engine/runner.rs crates/core/src/model/mod.rs crates/core/src/model/budget.rs crates/core/src/model/builder.rs crates/core/src/model/capture.rs crates/core/src/model/cei.rs crates/core/src/model/costs.rs crates/core/src/model/instance.rs crates/core/src/model/interval.rs crates/core/src/model/profile.rs crates/core/src/model/resource.rs crates/core/src/model/schedule.rs crates/core/src/model/time.rs crates/core/src/offline/mod.rs crates/core/src/offline/enumeration.rs crates/core/src/offline/local_ratio.rs crates/core/src/offline/transform.rs crates/core/src/policy/mod.rs crates/core/src/policy/m_edf.rs crates/core/src/policy/mrsf.rs crates/core/src/policy/random.rs crates/core/src/policy/round_robin.rs crates/core/src/policy/s_edf.rs crates/core/src/policy/utility.rs crates/core/src/policy/wic.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/runner.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/budget.rs:
+crates/core/src/model/builder.rs:
+crates/core/src/model/capture.rs:
+crates/core/src/model/cei.rs:
+crates/core/src/model/costs.rs:
+crates/core/src/model/instance.rs:
+crates/core/src/model/interval.rs:
+crates/core/src/model/profile.rs:
+crates/core/src/model/resource.rs:
+crates/core/src/model/schedule.rs:
+crates/core/src/model/time.rs:
+crates/core/src/offline/mod.rs:
+crates/core/src/offline/enumeration.rs:
+crates/core/src/offline/local_ratio.rs:
+crates/core/src/offline/transform.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/m_edf.rs:
+crates/core/src/policy/mrsf.rs:
+crates/core/src/policy/random.rs:
+crates/core/src/policy/round_robin.rs:
+crates/core/src/policy/s_edf.rs:
+crates/core/src/policy/utility.rs:
+crates/core/src/policy/wic.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webmon_examples-0432a4caff686458.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_examples-0432a4caff686458.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webmon_examples-4fb2ccb82719e5e8.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/webmon_examples-4fb2ccb82719e5e8: examples/src/lib.rs
+
+examples/src/lib.rs:

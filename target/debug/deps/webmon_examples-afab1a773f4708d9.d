@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webmon_examples-afab1a773f4708d9.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libwebmon_examples-afab1a773f4708d9.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libwebmon_examples-afab1a773f4708d9.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

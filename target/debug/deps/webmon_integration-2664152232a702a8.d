@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webmon_integration-2664152232a702a8.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/webmon_integration-2664152232a702a8: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webmon_integration-8fe7c5d73707a47d.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_integration-8fe7c5d73707a47d.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webmon_integration-d56086fca94cdb6d.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libwebmon_integration-d56086fca94cdb6d.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libwebmon_integration-d56086fca94cdb6d.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/webmon_sim-297b3eea02a26a3f.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/webmon_sim-297b3eea02a26a3f: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/policies.rs:
+crates/sim/src/report.rs:
+crates/sim/src/summary.rs:
+crates/sim/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/webmon_sim-4c8c126db1596f59.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_sim-4c8c126db1596f59.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/policies.rs:
+crates/sim/src/report.rs:
+crates/sim/src/summary.rs:
+crates/sim/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

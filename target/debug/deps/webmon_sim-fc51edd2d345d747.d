@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/webmon_sim-fc51edd2d345d747.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/libwebmon_sim-fc51edd2d345d747.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/libwebmon_sim-fc51edd2d345d747.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/policies.rs:
+crates/sim/src/report.rs:
+crates/sim/src/summary.rs:
+crates/sim/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/webmon_streams-5a1e549f527d7919.d: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs
+
+/root/repo/target/debug/deps/libwebmon_streams-5a1e549f527d7919.rlib: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs
+
+/root/repo/target/debug/deps/libwebmon_streams-5a1e549f527d7919.rmeta: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/auction.rs:
+crates/streams/src/fitted.rs:
+crates/streams/src/fpn.rs:
+crates/streams/src/io.rs:
+crates/streams/src/news.rs:
+crates/streams/src/poisson.rs:
+crates/streams/src/rng.rs:
+crates/streams/src/trace.rs:
+crates/streams/src/zipf.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/webmon_streams-ff6e06aca7955e71.d: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_streams-ff6e06aca7955e71.rmeta: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs Cargo.toml
+
+crates/streams/src/lib.rs:
+crates/streams/src/auction.rs:
+crates/streams/src/fitted.rs:
+crates/streams/src/fpn.rs:
+crates/streams/src/io.rs:
+crates/streams/src/news.rs:
+crates/streams/src/poisson.rs:
+crates/streams/src/rng.rs:
+crates/streams/src/trace.rs:
+crates/streams/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

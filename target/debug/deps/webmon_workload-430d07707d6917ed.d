@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/webmon_workload-430d07707d6917ed.d: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebmon_workload-430d07707d6917ed.rmeta: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arbitrage.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/length.rs:
+crates/workload/src/mashup.rs:
+crates/workload/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/webmon_workload-eaad23d7cefdabca.d: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/libwebmon_workload-eaad23d7cefdabca.rlib: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/libwebmon_workload-eaad23d7cefdabca.rmeta: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arbitrage.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/length.rs:
+crates/workload/src/mashup.rs:
+crates/workload/src/spec.rs:

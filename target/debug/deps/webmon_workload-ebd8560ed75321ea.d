@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/webmon_workload-ebd8560ed75321ea.d: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/webmon_workload-ebd8560ed75321ea: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arbitrage.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/length.rs:
+crates/workload/src/mashup.rs:
+crates/workload/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arbitrage-7ffda37ccebc6f6e.d: examples/src/bin/arbitrage.rs
+
+/root/repo/target/release/deps/arbitrage-7ffda37ccebc6f6e: examples/src/bin/arbitrage.rs
+
+examples/src/bin/arbitrage.rs:

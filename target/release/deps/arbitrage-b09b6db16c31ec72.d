@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arbitrage-b09b6db16c31ec72.d: examples/src/bin/arbitrage.rs
+
+/root/repo/target/release/deps/arbitrage-b09b6db16c31ec72: examples/src/bin/arbitrage.rs
+
+examples/src/bin/arbitrage.rs:

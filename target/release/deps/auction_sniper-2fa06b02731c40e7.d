@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/auction_sniper-2fa06b02731c40e7.d: examples/src/bin/auction_sniper.rs
+
+/root/repo/target/release/deps/auction_sniper-2fa06b02731c40e7: examples/src/bin/auction_sniper.rs
+
+examples/src/bin/auction_sniper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/auction_sniper-bfad03124cffc310.d: examples/src/bin/auction_sniper.rs
+
+/root/repo/target/release/deps/auction_sniper-bfad03124cffc310: examples/src/bin/auction_sniper.rs
+
+examples/src/bin/auction_sniper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-73b9638f9b929c26.d: tests/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-73b9638f9b929c26: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablations-24e7558f5bf90a80.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/release/deps/exp_ablations-24e7558f5bf90a80: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

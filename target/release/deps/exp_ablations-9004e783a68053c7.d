@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablations-9004e783a68053c7.d: crates/bench/src/bin/exp_ablations.rs
+
+/root/repo/target/release/deps/exp_ablations-9004e783a68053c7: crates/bench/src/bin/exp_ablations.rs
+
+crates/bench/src/bin/exp_ablations.rs:

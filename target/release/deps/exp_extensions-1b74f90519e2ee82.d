@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_extensions-1b74f90519e2ee82.d: crates/bench/src/bin/exp_extensions.rs
+
+/root/repo/target/release/deps/exp_extensions-1b74f90519e2ee82: crates/bench/src/bin/exp_extensions.rs
+
+crates/bench/src/bin/exp_extensions.rs:

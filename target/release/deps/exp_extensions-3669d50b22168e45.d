@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_extensions-3669d50b22168e45.d: crates/bench/src/bin/exp_extensions.rs
+
+/root/repo/target/release/deps/exp_extensions-3669d50b22168e45: crates/bench/src/bin/exp_extensions.rs
+
+crates/bench/src/bin/exp_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig09-04d44dc4c97950cd.d: crates/bench/src/bin/exp_fig09.rs
+
+/root/repo/target/release/deps/exp_fig09-04d44dc4c97950cd: crates/bench/src/bin/exp_fig09.rs
+
+crates/bench/src/bin/exp_fig09.rs:

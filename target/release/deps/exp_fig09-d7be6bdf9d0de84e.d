@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig09-d7be6bdf9d0de84e.d: crates/bench/src/bin/exp_fig09.rs
+
+/root/repo/target/release/deps/exp_fig09-d7be6bdf9d0de84e: crates/bench/src/bin/exp_fig09.rs
+
+crates/bench/src/bin/exp_fig09.rs:

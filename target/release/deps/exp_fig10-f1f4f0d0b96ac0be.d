@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10-f1f4f0d0b96ac0be.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/release/deps/exp_fig10-f1f4f0d0b96ac0be: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

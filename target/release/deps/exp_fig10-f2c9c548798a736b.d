@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10-f2c9c548798a736b.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/release/deps/exp_fig10-f2c9c548798a736b: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11-111aecf06204cc8c.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/release/deps/exp_fig11-111aecf06204cc8c: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig11-c8392541cba00132.d: crates/bench/src/bin/exp_fig11.rs
+
+/root/repo/target/release/deps/exp_fig11-c8392541cba00132: crates/bench/src/bin/exp_fig11.rs
+
+crates/bench/src/bin/exp_fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-0138e11fe150fa29.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-0138e11fe150fa29: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

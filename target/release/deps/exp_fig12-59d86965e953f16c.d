@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-59d86965e953f16c.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-59d86965e953f16c: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13-b9e1216adda9d4dc.d: crates/bench/src/bin/exp_fig13.rs
+
+/root/repo/target/release/deps/exp_fig13-b9e1216adda9d4dc: crates/bench/src/bin/exp_fig13.rs
+
+crates/bench/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-a94ddb5531d8c8ac.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-a94ddb5531d8c8ac: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

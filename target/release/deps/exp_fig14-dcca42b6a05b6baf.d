@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-dcca42b6a05b6baf.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-dcca42b6a05b6baf: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

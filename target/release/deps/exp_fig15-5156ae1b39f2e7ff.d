@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig15-5156ae1b39f2e7ff.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/release/deps/exp_fig15-5156ae1b39f2e7ff: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

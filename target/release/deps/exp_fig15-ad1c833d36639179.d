@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig15-ad1c833d36639179.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/release/deps/exp_fig15-ad1c833d36639179: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

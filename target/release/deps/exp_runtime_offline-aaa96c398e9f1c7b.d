@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_runtime_offline-aaa96c398e9f1c7b.d: crates/bench/src/bin/exp_runtime_offline.rs
+
+/root/repo/target/release/deps/exp_runtime_offline-aaa96c398e9f1c7b: crates/bench/src/bin/exp_runtime_offline.rs
+
+crates/bench/src/bin/exp_runtime_offline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_runtime_offline-e1e37fb440d1ebcd.d: crates/bench/src/bin/exp_runtime_offline.rs
+
+/root/repo/target/release/deps/exp_runtime_offline-e1e37fb440d1ebcd: crates/bench/src/bin/exp_runtime_offline.rs
+
+crates/bench/src/bin/exp_runtime_offline.rs:

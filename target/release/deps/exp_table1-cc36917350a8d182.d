@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-cc36917350a8d182.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-cc36917350a8d182: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-df40bacdc0e464e3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-df40bacdc0e464e3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f2989abe3fc77532.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-f2989abe3fc77532: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_properties-49f1ddfecea00a40.d: tests/tests/extension_properties.rs
+
+/root/repo/target/release/deps/extension_properties-49f1ddfecea00a40: tests/tests/extension_properties.rs
+
+tests/tests/extension_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mashup-b9f37a2fd3209bf7.d: examples/src/bin/mashup.rs
+
+/root/repo/target/release/deps/mashup-b9f37a2fd3209bf7: examples/src/bin/mashup.rs
+
+examples/src/bin/mashup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mashup-c281ba78c82a9199.d: examples/src/bin/mashup.rs
+
+/root/repo/target/release/deps/mashup-c281ba78c82a9199: examples/src/bin/mashup.rs
+
+examples/src/bin/mashup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/offline_optimality-659271202600fcab.d: tests/tests/offline_optimality.rs
+
+/root/repo/target/release/deps/offline_optimality-659271202600fcab: tests/tests/offline_optimality.rs
+
+tests/tests/offline_optimality.rs:

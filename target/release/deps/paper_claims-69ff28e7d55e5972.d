@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-69ff28e7d55e5972.d: tests/tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-69ff28e7d55e5972: tests/tests/paper_claims.rs
+
+tests/tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-16cda3917ae53d25.d: tests/tests/properties.rs
+
+/root/repo/target/release/deps/properties-16cda3917ae53d25: tests/tests/properties.rs
+
+tests/tests/properties.rs:

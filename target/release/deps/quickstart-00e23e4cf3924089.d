@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-00e23e4cf3924089.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-00e23e4cf3924089: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-1e28243ec3495f1a.d: examples/src/bin/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-1e28243ec3495f1a: examples/src/bin/quickstart.rs
+
+examples/src/bin/quickstart.rs:

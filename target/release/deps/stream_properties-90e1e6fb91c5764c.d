@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream_properties-90e1e6fb91c5764c.d: tests/tests/stream_properties.rs
+
+/root/repo/target/release/deps/stream_properties-90e1e6fb91c5764c: tests/tests/stream_properties.rs
+
+tests/tests/stream_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vip_clients-6a25572166c0f732.d: examples/src/bin/vip_clients.rs
+
+/root/repo/target/release/deps/vip_clients-6a25572166c0f732: examples/src/bin/vip_clients.rs
+
+examples/src/bin/vip_clients.rs:

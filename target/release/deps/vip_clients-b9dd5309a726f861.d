@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vip_clients-b9dd5309a726f861.d: examples/src/bin/vip_clients.rs
+
+/root/repo/target/release/deps/vip_clients-b9dd5309a726f861: examples/src/bin/vip_clients.rs
+
+examples/src/bin/vip_clients.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/webmon-19ec0a565b1cd0b5.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/webmon-19ec0a565b1cd0b5: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

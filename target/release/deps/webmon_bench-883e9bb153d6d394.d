@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/webmon_bench-883e9bb153d6d394.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/extensions.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/runtime_offline.rs crates/bench/src/table1.rs
+
+/root/repo/target/release/deps/webmon_bench-883e9bb153d6d394: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/extensions.rs crates/bench/src/fig09.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/runtime_offline.rs crates/bench/src/table1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig09.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/runtime_offline.rs:
+crates/bench/src/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/webmon_examples-5df7ecfbd1bf02da.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/webmon_examples-5df7ecfbd1bf02da: examples/src/lib.rs
+
+examples/src/lib.rs:

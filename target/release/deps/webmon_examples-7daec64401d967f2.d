@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/webmon_examples-7daec64401d967f2.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libwebmon_examples-7daec64401d967f2.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libwebmon_examples-7daec64401d967f2.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/webmon_integration-41dcb2d0be33a7eb.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libwebmon_integration-41dcb2d0be33a7eb.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libwebmon_integration-41dcb2d0be33a7eb.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/webmon_integration-ca7883d27d8919fa.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/webmon_integration-ca7883d27d8919fa: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/webmon_sim-33ffa71d8114a6b0.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/webmon_sim-33ffa71d8114a6b0: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/policies.rs:
+crates/sim/src/report.rs:
+crates/sim/src/summary.rs:
+crates/sim/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/webmon_sim-c114aa89586c9156.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libwebmon_sim-c114aa89586c9156.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libwebmon_sim-c114aa89586c9156.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiment.rs crates/sim/src/parallel.rs crates/sim/src/policies.rs crates/sim/src/report.rs crates/sim/src/summary.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/policies.rs:
+crates/sim/src/report.rs:
+crates/sim/src/summary.rs:
+crates/sim/src/table.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/webmon_streams-74e49e4c10e773d4.d: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs
+
+/root/repo/target/release/deps/libwebmon_streams-74e49e4c10e773d4.rlib: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs
+
+/root/repo/target/release/deps/libwebmon_streams-74e49e4c10e773d4.rmeta: crates/streams/src/lib.rs crates/streams/src/auction.rs crates/streams/src/fitted.rs crates/streams/src/fpn.rs crates/streams/src/io.rs crates/streams/src/news.rs crates/streams/src/poisson.rs crates/streams/src/rng.rs crates/streams/src/trace.rs crates/streams/src/zipf.rs
+
+crates/streams/src/lib.rs:
+crates/streams/src/auction.rs:
+crates/streams/src/fitted.rs:
+crates/streams/src/fpn.rs:
+crates/streams/src/io.rs:
+crates/streams/src/news.rs:
+crates/streams/src/poisson.rs:
+crates/streams/src/rng.rs:
+crates/streams/src/trace.rs:
+crates/streams/src/zipf.rs:

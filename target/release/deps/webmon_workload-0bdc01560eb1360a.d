@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/webmon_workload-0bdc01560eb1360a.d: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/webmon_workload-0bdc01560eb1360a: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arbitrage.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/length.rs:
+crates/workload/src/mashup.rs:
+crates/workload/src/spec.rs:

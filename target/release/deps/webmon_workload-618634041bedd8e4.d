@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/webmon_workload-618634041bedd8e4.d: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/libwebmon_workload-618634041bedd8e4.rlib: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/libwebmon_workload-618634041bedd8e4.rmeta: crates/workload/src/lib.rs crates/workload/src/arbitrage.rs crates/workload/src/generator.rs crates/workload/src/length.rs crates/workload/src/mashup.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arbitrage.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/length.rs:
+crates/workload/src/mashup.rs:
+crates/workload/src/spec.rs:

@@ -44,7 +44,8 @@ fn engine_stats_agree_with_schedule_reevaluation() {
                 let run = OnlineEngine::run(&w.instance, policy, config);
                 let reeval = evaluate_schedule(&w.instance, &run.schedule);
                 assert_eq!(
-                    run.stats.ceis_captured, reeval.ceis_captured,
+                    run.stats.ceis_captured,
+                    reeval.ceis_captured,
                     "{} {:?}: CEI capture mismatch",
                     policy.name(),
                     config

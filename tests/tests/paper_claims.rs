@@ -34,10 +34,22 @@ const UPTO5: RankSpec = RankSpec::UpTo { k: 5, beta: 0.0 };
 #[test]
 fn mrsf_and_medf_dominate_sedf_and_wic() {
     let exp = Experiment::materialize(contended(1, UPTO5));
-    let mrsf = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf)).completeness.mean;
-    let medf = exp.run_spec(PolicySpec::p(PolicyKind::MEdf)).completeness.mean;
-    let sedf = exp.run_spec(PolicySpec::p(PolicyKind::SEdf)).completeness.mean;
-    let wic = exp.run_spec(PolicySpec::p(PolicyKind::Wic)).completeness.mean;
+    let mrsf = exp
+        .run_spec(PolicySpec::p(PolicyKind::Mrsf))
+        .completeness
+        .mean;
+    let medf = exp
+        .run_spec(PolicySpec::p(PolicyKind::MEdf))
+        .completeness
+        .mean;
+    let sedf = exp
+        .run_spec(PolicySpec::p(PolicyKind::SEdf))
+        .completeness
+        .mean;
+    let wic = exp
+        .run_spec(PolicySpec::p(PolicyKind::Wic))
+        .completeness
+        .mean;
     assert!(mrsf > sedf, "MRSF(P) {mrsf} vs S-EDF(P) {sedf}");
     assert!(medf > sedf, "M-EDF(P) {medf} vs S-EDF(P) {sedf}");
     assert!(mrsf > wic, "MRSF(P) {mrsf} vs WIC {wic}");
@@ -57,7 +69,10 @@ fn budget_helps_and_rank_aware_policies_use_it_better() {
     let s1 = lo.run_spec(spec_s).completeness.mean;
     let s3 = hi.run_spec(spec_s).completeness.mean;
 
-    assert!(m3 > m1 && s3 > s1, "budget must help ({m1}→{m3}, {s1}→{s3})");
+    assert!(
+        m3 > m1 && s3 > s1,
+        "budget must help ({m1}→{m3}, {s1}→{s3})"
+    );
     assert!(m1 > s1, "at C=1 MRSF {m1} should lead S-EDF {s1}");
     // Near saturation S-EDF can close the gap (the paper's own Figure 13
     // shows S-EDF catching up at C = 5); require MRSF to stay in the band.
@@ -75,8 +90,14 @@ fn completeness_decreases_with_update_intensity() {
     let mut busy = contended(1, UPTO5);
     busy.trace = TraceSpec::Poisson { lambda: 30.0 };
     let spec = PolicySpec::p(PolicyKind::MEdf);
-    let q = Experiment::materialize(quiet).run_spec(spec).completeness.mean;
-    let b = Experiment::materialize(busy).run_spec(spec).completeness.mean;
+    let q = Experiment::materialize(quiet)
+        .run_spec(spec)
+        .completeness
+        .mean;
+    let b = Experiment::materialize(busy)
+        .run_spec(spec)
+        .completeness
+        .mean;
     assert!(b < q, "λ=30 ({b}) must be below λ=8 ({q})");
 }
 
@@ -106,7 +127,10 @@ fn completeness_decreases_with_noise() {
         let mut cfg = contended(1, RankSpec::Fixed(2));
         cfg.workload.length = EiLength::Window(8);
         cfg.noise = Some(NoiseSpec::Fpn(FpnModel::new(z, 8)));
-        let c = Experiment::materialize(cfg).run_spec(spec).completeness.mean;
+        let c = Experiment::materialize(cfg)
+            .run_spec(spec)
+            .completeness
+            .mean;
         assert!(
             c >= prev - 0.02,
             "Z={z}: completeness {c} should not fall below the noisier level {prev}"
@@ -143,8 +167,14 @@ fn offline_pipeline_costs_more_per_ei() {
     let mut cfg = contended(1, RankSpec::Fixed(4));
     cfg.workload.length = EiLength::Window(1); // 2^4 expansion
     let exp = Experiment::materialize(cfg);
-    let online = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf)).micros_per_ei.mean;
-    let offline = exp.run_local_ratio(LocalRatioConfig::default()).micros_per_ei.mean;
+    let online = exp
+        .run_spec(PolicySpec::p(PolicyKind::Mrsf))
+        .micros_per_ei
+        .mean;
+    let offline = exp
+        .run_local_ratio(LocalRatioConfig::default())
+        .micros_per_ei
+        .mean;
     assert!(
         offline > online * 2.0,
         "offline {offline} µs/EI should far exceed online {online} µs/EI"

@@ -1,0 +1,205 @@
+//! Deterministic regression tests pinning the shrunk counterexamples from
+//! the checked-in `*.proptest-regressions` files, plus the engine-vs-
+//! re-evaluation outcome agreement those shrinks originally violated.
+//!
+//! The property tests sample fresh instances each run; these tests replay
+//! the historical failures exactly, so they keep guarding the fixes even
+//! if the sampler never revisits the same corner.
+
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::{
+    evaluate_outcomes, evaluate_schedule, Budget, Chronon, Instance, InstanceBuilder, ProbeCosts,
+};
+use webmon_core::policy::{MEdf, Mrsf, MrsfExact, Policy, SEdf, UtilityWeighted, Wic};
+use webmon_core::stats::CeiOutcome;
+
+/// `properties.proptest-regressions`: one rank-2 CEI released at 3 with two
+/// single-chronon EIs on distinct resources, both windowed to exactly
+/// chronon 3, under a budget of `c` probes per chronon.
+fn properties_shrunk_instance(budget: u32) -> Instance {
+    let mut b = InstanceBuilder::new(5, 40, Budget::Uniform(budget));
+    let p = b.profile();
+    b.cei_released(p, 3, &[(0, 3, 3), (1, 3, 3)]);
+    b.build()
+}
+
+/// A threshold CEI spec as `(eis, required-percentage, weight)`, mirroring
+/// the generator in `extension_properties.rs`.
+type CeiSpec = (Vec<(u32, Chronon, Chronon)>, u8, f32);
+
+/// `extension_properties.proptest-regressions`: replay the shrunk threshold
+/// CEI specs into an instance.
+fn extension_instance(specs: &[CeiSpec], budget: u32, costs: bool) -> Instance {
+    let mut b = InstanceBuilder::new(4, 24, Budget::Uniform(budget));
+    let p = b.profile();
+    for (eis, frac, _) in specs {
+        let size = eis.len() as u16;
+        let required = ((u16::from(*frac) * size).div_ceil(100)).clamp(1, size);
+        b.cei_threshold(p, required, eis);
+    }
+    let mut inst = b.build();
+    for (cei, (_, _, weight)) in inst.ceis.iter_mut().zip(specs) {
+        *cei = cei.clone().with_weight(*weight);
+    }
+    if costs {
+        inst = inst.with_costs(ProbeCosts::per_resource(vec![1, 2, 1, 3]));
+    }
+    inst
+}
+
+/// The core-engine invariants from `properties.rs::engine_invariants`,
+/// applied to one instance across all policies and both modes.
+fn assert_engine_invariants(instance: &Instance) {
+    for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let run = OnlineEngine::run(instance, policy, config);
+            assert!(run.schedule.is_feasible(&instance.budget));
+            assert_eq!(
+                run.stats.ceis_captured + run.stats.ceis_failed,
+                run.stats.n_ceis
+            );
+            let reeval = evaluate_schedule(instance, &run.schedule);
+            assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
+            assert!(run.stats.eis_captured <= reeval.eis_captured);
+        }
+    }
+}
+
+#[test]
+fn shrunk_rank2_simultaneous_deadline_instance() {
+    for budget in [1, 2] {
+        assert_engine_invariants(&properties_shrunk_instance(budget));
+    }
+    // Scan and lazy-heap must take the same tie-break when both EIs carry
+    // identical scores at chronon 3.
+    let instance = properties_shrunk_instance(1);
+    for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+        for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let scan = OnlineEngine::run(&instance, policy, base);
+            let heap = OnlineEngine::run(&instance, policy, base.with_lazy_heap());
+            assert_eq!(scan.schedule, heap.schedule);
+            assert_eq!(scan.stats, heap.stats);
+        }
+    }
+    // Budget 1 cannot satisfy two simultaneous single-chronon windows;
+    // budget 2 captures both with probes at chronon 3.
+    let one = OnlineEngine::run(
+        &properties_shrunk_instance(1),
+        &Mrsf,
+        EngineConfig::preemptive(),
+    );
+    let two = OnlineEngine::run(
+        &properties_shrunk_instance(2),
+        &Mrsf,
+        EngineConfig::preemptive(),
+    );
+    assert_eq!(one.stats.ceis_captured, 0);
+    assert_eq!(one.outcomes[0], CeiOutcome::Failed { at: 3 });
+    assert_eq!(two.stats.ceis_captured, 1);
+    assert_eq!(two.outcomes[0], CeiOutcome::Captured { at: 3 });
+}
+
+/// The extension-engine invariants from
+/// `extension_properties.rs::engine_invariants_under_extensions`.
+fn assert_extension_invariants(instance: &Instance) {
+    let u_mrsf = UtilityWeighted::new(Mrsf, "U-MRSF");
+    for policy in [&SEdf as &dyn Policy, &Mrsf, &MrsfExact, &MEdf, &u_mrsf] {
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let run = OnlineEngine::run(instance, policy, config);
+            assert!(run.schedule.is_feasible(&instance.budget) || !instance.costs.is_uniform());
+            assert_eq!(
+                run.stats.ceis_captured + run.stats.ceis_failed,
+                run.stats.n_ceis
+            );
+            let reeval = evaluate_schedule(instance, &run.schedule);
+            assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
+            assert!(run.stats.weight_captured <= run.stats.weight_total + 1e-9);
+            assert!(run.stats.weighted_completeness() - 1.0 < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn shrunk_threshold_overlap_instance() {
+    // Two EIs of one 1-of-2 CEI overlap on resource 0, so a single shared
+    // probe can capture both EIs at once; the other CEIs contend for the
+    // single probe per chronon.
+    let instance = extension_instance(
+        &[
+            (vec![(0, 9, 10), (0, 8, 10)], 1, 1.0),
+            (vec![(0, 0, 0)], 1, 1.0),
+            (vec![(1, 8, 8)], 1, 1.0),
+        ],
+        1,
+        false,
+    );
+    assert_extension_invariants(&instance);
+}
+
+#[test]
+fn shrunk_identical_single_chronon_pair_instance() {
+    // A 1-of-2 CEI whose EIs are *identical* single-chronon windows: one
+    // probe at chronon 14 captures both EIs simultaneously and must record
+    // the CEI captured exactly once.
+    let instance = extension_instance(&[(vec![(0, 14, 14), (0, 14, 14)], 1, 1.0)], 1, false);
+    assert_extension_invariants(&instance);
+    let run = OnlineEngine::run(&instance, &Mrsf, EngineConfig::preemptive());
+    assert_eq!(run.stats.ceis_captured, 1);
+    assert_eq!(run.stats.eis_captured, 2);
+    assert_eq!(run.outcomes[0], CeiOutcome::Captured { at: 14 });
+}
+
+/// On clean (noise-free) runs the engine's per-CEI outcomes and a
+/// from-scratch re-evaluation of its schedule must agree exactly —
+/// including the `at` chronons, which `evaluate_schedule` used to get
+/// wrong (it reported window ends for captures and the earliest deadline
+/// over *all* EIs, captured or not, for failures).
+#[test]
+fn engine_outcomes_match_reevaluation_on_clean_runs() {
+    let instances = vec![
+        properties_shrunk_instance(1),
+        properties_shrunk_instance(2),
+        extension_instance(
+            &[
+                (vec![(0, 9, 10), (0, 8, 10)], 1, 1.0),
+                (vec![(0, 0, 0)], 1, 1.0),
+                (vec![(1, 8, 8)], 1, 1.0),
+            ],
+            1,
+            false,
+        ),
+        extension_instance(&[(vec![(0, 14, 14), (0, 14, 14)], 1, 1.0)], 1, false),
+        // A denser mixed instance: staggered windows, a threshold CEI, and
+        // a CEI whose earliest-deadline EI is captured while a later one
+        // fails (the exact shape the old `Failed { at }` got wrong).
+        {
+            let mut b = InstanceBuilder::new(4, 24, Budget::Uniform(1));
+            let p = b.profile();
+            b.cei(p, &[(0, 0, 4)]);
+            b.cei(p, &[(1, 0, 2), (2, 10, 12)]);
+            b.cei(p, &[(0, 6, 9), (1, 6, 9), (3, 7, 9)]);
+            b.cei_threshold(p, 2, &[(0, 12, 15), (1, 12, 15), (2, 14, 17)]);
+            b.cei(p, &[(3, 18, 18), (2, 18, 20)]);
+            b.build()
+        },
+    ];
+    for instance in &instances {
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+            for config in [
+                EngineConfig::preemptive(),
+                EngineConfig::non_preemptive(),
+                EngineConfig::preemptive().with_lazy_heap(),
+            ] {
+                let run = OnlineEngine::run(instance, policy, config);
+                let reeval = evaluate_outcomes(instance, &run.schedule);
+                assert_eq!(
+                    run.outcomes,
+                    reeval,
+                    "outcomes diverged for {} under {}",
+                    policy.name(),
+                    config.label()
+                );
+            }
+        }
+    }
+}

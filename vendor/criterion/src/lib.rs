@@ -1,0 +1,194 @@
+//! Offline drop-in stub of the slice of `criterion` this workspace's
+//! benches use. The build container has no network access, so the real
+//! crate cannot be fetched.
+//!
+//! The stub keeps the bench binaries compiling and gives rough wall-clock
+//! numbers under `cargo bench` (median-of-samples over an adaptive
+//! iteration count) without criterion's statistics, plots, or CLI.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded but only echoed, not rated).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of bytes, decimal multiple.
+    BytesDecimal(u64),
+}
+
+/// Runs the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, adapting the iteration count to the routine's cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: grow the batch until it costs ≥ ~5 ms.
+        let mut batch: u64 = 1;
+        let budget = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget || batch >= 1 << 20 {
+                // One more measured run at the calibrated batch size.
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                self.measured = Some(start.elapsed());
+                self.iters = batch;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if let Some(total) = self.measured {
+            let per_iter = total.as_secs_f64() / self.iters.max(1) as f64;
+            println!("bench {label}: {:.1} ns/iter ({} iters)", per_iter * 1e9, self.iters);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the stub
+    /// always runs one calibrated sample).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput (echoed only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.name));
+        self
+    }
+
+    /// Benchmarks a parameterless routine.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` against `input` outside a group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id.name);
+    }
+
+    /// Benchmarks a parameterless routine outside a group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&name.to_string());
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,59 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (mirror of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

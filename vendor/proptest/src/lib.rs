@@ -1,0 +1,155 @@
+//! Offline drop-in stub of the slice of `proptest` this workspace uses.
+//!
+//! The build container has no network access, so the real `proptest` crate
+//! cannot be fetched. This stub keeps the same surface syntax — the
+//! [`proptest!`] macro, [`Strategy`](strategy::Strategy) with `prop_map`,
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()`, range
+//! strategies, `prop_assert!`/`prop_assert_eq!` — over a plain seeded
+//! random-sampling runner.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its generated inputs via
+//!   `Debug` but is not minimized.
+//! - **No persistence.** `*.proptest-regressions` files are ignored (their
+//!   seeds encode the real proptest RNG, which this stub cannot replay);
+//!   known shrunk cases are instead pinned as explicit unit tests in the
+//!   test suite.
+//! - **Deterministic seeding** per test name, overridable with the
+//!   `PROPTEST_RNG_SEED` environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is passed through) that samples the
+/// strategies `config.cases` times and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                let __inputs = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(__e)) => {
+                        ::std::panic!(
+                            "property `{}` failed on case {}/{}: {}\n  inputs: {}",
+                            ::std::stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e,
+                            __inputs
+                        );
+                    }
+                    ::std::result::Result::Err(__payload) => {
+                        ::std::eprintln!(
+                            "property `{}` panicked on case {}/{}\n  inputs: {}",
+                            ::std::stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body, failing the case (with the
+/// generated inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, ::std::concat!("assertion failed: ", ::std::stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: `{:?}` == `{:?}`",
+            ::std::format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}

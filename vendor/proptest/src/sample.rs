@@ -1,0 +1,28 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// A strategy choosing uniformly among `options`.
+///
+/// # Panics
+/// Panics (on first sample) if `options` is empty.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}

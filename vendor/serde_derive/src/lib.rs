@@ -1,0 +1,446 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which cannot be
+//! fetched in this network-less build container. This stub parses the
+//! deriving item by scanning its raw token stream (field *names* and item
+//! *shape* are all the generated code needs — field types are recovered by
+//! inference at the `Deserialize::from_value` call sites) and emits impls
+//! of the stub `serde`'s `Value`-based `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs, tuple structs (newtypes serialize transparently,
+//! like real serde), unit structs, and enums with unit / tuple / struct
+//! variants (externally tagged, like real serde's default). Generic items
+//! are rejected with a compile error rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` for a non-generic item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    generate_serialize(&shape).parse().unwrap()
+}
+
+/// Derives the stub `serde::Deserialize` for a non-generic item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    generate_deserialize(&shape).parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parsing
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (incl. doc comments) and visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic item `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            None => Shape::UnitStruct { name },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde_derive stub: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from the token stream of a `{ ... }` field list.
+/// Commas inside generic arguments (`BTreeMap<u16, Bucket>`) are skipped by
+/// tracking angle-bracket depth; parenthesised/bracketed types arrive as
+/// single atomic groups.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut expecting = true;
+    let mut angle_depth = 0i32;
+    while i < toks.len() {
+        if expecting {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    i += 2;
+                    continue;
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = toks.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                TokenTree::Ident(id) => {
+                    if matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                        fields.push(id.to_string());
+                        expecting = false;
+                        i += 2;
+                        continue;
+                    }
+                    panic!("serde_derive stub: unexpected token in field list: {id}");
+                }
+                other => panic!("serde_derive stub: unexpected token in field list: {other:?}"),
+            }
+        } else {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => expecting = true,
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields in the token stream of a `( ... )` field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut segment_nonempty = false;
+    let mut angle_depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // the attribute body group is skipped as one token
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_nonempty {
+                    arity += 1;
+                }
+                segment_nonempty = false;
+            }
+            _ => segment_nonempty = true,
+        }
+        i += 1;
+    }
+    if segment_nonempty {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match toks.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        panic!("serde_derive stub: explicit discriminants are not supported")
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------------ codegen
+
+const V: &str = "::serde::value::Value";
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::{trait_name} for {type_name} {{\n"
+    )
+}
+
+fn generate_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (name, format!("{V}::Object(::std::vec![{}])", pairs.join(", ")))
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (name, format!("{V}::Array(::std::vec![{}])", items.join(", ")))
+        }
+        Shape::UnitStruct { name } => (name, format!("{V}::Null")),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let tag = format!("::std::string::String::from(\"{vn}\")");
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => {V}::String({tag}),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => {V}::Object(::std::vec![({tag}, \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {V}::Object(::std::vec![({tag}, \
+                                 {V}::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {V}::Object(::std::vec![({tag}, \
+                                 {V}::Object(::std::vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{\n{}\n}}", arms.join("\n")))
+        }
+    };
+    format!(
+        "{}    fn to_value(&self) -> {V} {{\n        {body}\n    }}\n}}\n",
+        impl_header("Serialize", name)
+    )
+}
+
+fn generate_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value({V}::get_field(__v, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name} {{\n{}\n}})", inits.join("\n")),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value({V}::get_index(__v, {i}))?")
+                })
+                .collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name}({}))", inits.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => {
+            (name, format!("::std::result::Result::Ok({name})"))
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         {V}::get_index(__inner, {i}))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         {V}::get_field(__inner, \"{f}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n{}\n}}),",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let err = format!(
+                "::std::result::Result::Err(::serde::value::Error::new(::std::format!(\
+                 \"unknown variant {{__other}} for {name}\")))"
+            );
+            let body = format!(
+                "match __v {{\n\
+                 {V}::String(__s) => match __s.as_str() {{\n{unit}\n__other => {err},\n}},\n\
+                 {V}::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{data}\n__other => {err},\n}}\n\
+                 }},\n\
+                 __other_v => ::std::result::Result::Err(\
+                 ::serde::value::Error::type_mismatch(\"enum {name}\", __other_v)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "{}    fn from_value(__v: &{V}) -> ::std::result::Result<Self, ::serde::value::Error> {{\n\
+         {body}\n    }}\n}}\n",
+        impl_header("Deserialize", name)
+    )
+}
