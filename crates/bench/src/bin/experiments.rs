@@ -3,12 +3,17 @@
 //! `--out <path>` is given, writing a Markdown report (the measured half of
 //! `EXPERIMENTS.md`).
 //!
-//! Usage: `cargo run --release -p webmon-bench --bin experiments [--quick] [--jobs N] [--out report.md]`
+//! Usage: `cargo run --release -p webmon-bench --bin experiments [--quick] [--jobs N] [--out report.md] [--metrics metrics.json]`
+//!
+//! With `--metrics <path>` the suite additionally runs the CI metrics gate
+//! ([`webmon_bench::metrics`]), writes the `metrics.json` artifact, and
+//! exits nonzero on any gate violation (wasted probes, infeasible
+//! schedules, or metrics/stats drift).
 
 use std::time::Instant;
 use webmon_bench::{
     ablations, extensions, fig09, fig10, fig11, fig12, fig13, fig14, fig15, jobs_from_args,
-    runtime_offline, table1, Scale,
+    metrics, runtime_offline, table1, Scale,
 };
 use webmon_sim::parallel;
 use webmon_sim::Table;
@@ -16,7 +21,8 @@ use webmon_sim::Table;
 fn main() {
     let scale = Scale::from_args();
     let jobs = jobs_from_args();
-    let out_path = out_arg();
+    let out_path = path_arg("--out");
+    let metrics_path = path_arg("--metrics");
 
     type Runner = fn(Scale) -> Vec<Table>;
     let suite: Vec<(&str, Runner)> = vec![
@@ -65,11 +71,26 @@ fn main() {
         std::fs::write(&path, report).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!(">> wrote {path}");
     }
+
+    if let Some(path) = metrics_path {
+        eprintln!(">> running metrics gate ...");
+        let gate = metrics::collect(scale);
+        std::fs::write(&path, gate.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(">> wrote {path}");
+        let violations = gate.violations();
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("!! metrics gate: {v}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(">> metrics gate clean ({} cells)", gate.cells.len());
+    }
 }
 
-fn out_arg() -> Option<String> {
+fn path_arg(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--out")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
 }

@@ -24,6 +24,11 @@
 //! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
 //! | [`extensions`] | §III/§VII future-work extensions: utilities, thresholds, probe costs |
 //!
+//! [`metrics`] is not a paper artifact: it is the CI metrics gate, running
+//! the roster under [`webmon_core::obs::MetricsObserver`] and
+//! cross-checking metrics, schedule feasibility, and wasted probes (the
+//! `metrics.json` artifact of `experiments --metrics`).
+//!
 //! Criterion microbenchmarks live in `benches/` (policy evaluation cost
 //! `τ(Φ)`, engine throughput, offline-vs-online cost).
 
@@ -36,6 +41,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod metrics;
 pub mod runtime_offline;
 pub mod table1;
 

@@ -1,0 +1,159 @@
+//! The CI metrics gate: re-runs a canonical engine workload under
+//! [`MetricsObserver`] and cross-checks every run three ways — in-run
+//! metrics vs post-hoc [`webmon_core::stats::RunStats`], schedule
+//! feasibility vs the budget,
+//! and wasted probes vs [`ScheduleDiagnostics`] — then renders the whole
+//! thing as the `metrics.json` workflow artifact.
+//!
+//! A healthy engine has **zero** violations: it never issues a probe
+//! outside every EI window (`wasted_probes == 0`), never exceeds a
+//! chronon's budget (`feasible`), and its event stream agrees exactly with
+//! the statistics it reports. Any drift fails the `metrics-gate` CI job.
+
+use crate::Scale;
+use serde::Serialize;
+use webmon_core::diagnostics::ScheduleDiagnostics;
+use webmon_core::engine::OnlineEngine;
+use webmon_core::obs::{MetricsObserver, RunMetrics};
+use webmon_sim::parallel::par_map;
+use webmon_sim::{Experiment, PolicySpec};
+
+/// One roster policy's gate results over every repetition.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellReport {
+    /// Roster label, e.g. `"MRSF(P)"`.
+    pub label: String,
+    /// Every repetition's schedule respected its per-chronon budget.
+    pub feasible: bool,
+    /// Probes landing in no EI window, summed over repetitions
+    /// ([`ScheduleDiagnostics::wasted_probes`]; the engine only probes to
+    /// serve candidates, so this must be 0).
+    pub wasted_probes: u64,
+    /// Mismatches between in-run metrics and post-hoc stats, tagged by
+    /// repetition (must be empty).
+    pub consistency_errors: Vec<String>,
+    /// In-run metrics merged over repetitions, in repetition order.
+    pub metrics: RunMetrics,
+}
+
+/// The `metrics.json` artifact: one [`CellReport`] per roster policy on the
+/// canonical synthetic workload ([`crate::fig09::synthetic_config`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsReport {
+    /// `"Quick"` or `"Paper"`.
+    pub scale: String,
+    /// Repetitions merged into each cell.
+    pub repetitions: u32,
+    /// One cell per roster policy, in roster order.
+    pub cells: Vec<CellReport>,
+}
+
+/// Runs the gate workload: the full paper roster over the Figure 9
+/// synthetic setting, every repetition observed, diagnosed, and
+/// feasibility-checked. Deterministic for every `--jobs` value.
+pub fn collect(scale: Scale) -> MetricsReport {
+    let cfg = crate::fig09::synthetic_config(scale);
+    let seed = cfg.seed;
+    let repetitions = cfg.repetitions;
+    let exp = Experiment::materialize(cfg);
+
+    let cells = par_map(PolicySpec::paper_roster(), |_, spec| {
+        let mut metrics = RunMetrics::default();
+        let mut wasted_probes = 0u64;
+        let mut feasible = true;
+        let mut consistency_errors = Vec::new();
+        for (rep, w) in exp.workloads().iter().enumerate() {
+            let policy = spec.kind.build(seed.wrapping_add(rep as u64));
+            let mut observer = MetricsObserver::new();
+            let result = OnlineEngine::run_observed(
+                &w.instance,
+                policy.as_ref(),
+                spec.engine_config(),
+                &mut observer,
+            );
+            let run_metrics = observer.finish();
+            for e in run_metrics.consistency_errors(&result.stats) {
+                consistency_errors.push(format!("rep {rep}: {e}"));
+            }
+            let diag = ScheduleDiagnostics::compute(&w.instance, &result.schedule);
+            wasted_probes += diag.wasted_probes as u64;
+            feasible &= result.schedule.is_feasible(&w.instance.budget);
+            metrics.merge(&run_metrics);
+        }
+        CellReport {
+            label: spec.label(),
+            feasible,
+            wasted_probes,
+            consistency_errors,
+            metrics,
+        }
+    });
+
+    MetricsReport {
+        scale: format!("{scale:?}"),
+        repetitions,
+        cells,
+    }
+}
+
+impl MetricsReport {
+    /// Every gate violation, one message per failure; empty on a healthy
+    /// build. This is what fails the CI `metrics-gate` job.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            if cell.wasted_probes > 0 {
+                out.push(format!(
+                    "{}: {} wasted probes (engine probed outside every EI window)",
+                    cell.label, cell.wasted_probes
+                ));
+            }
+            if !cell.feasible {
+                out.push(format!(
+                    "{}: schedule exceeds the per-chronon budget",
+                    cell.label
+                ));
+            }
+            for e in &cell.consistency_errors {
+                out.push(format!("{}: {e}", cell.label));
+            }
+        }
+        out
+    }
+
+    /// The artifact as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("MetricsReport serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_gate_is_clean() {
+        let report = collect(Scale::Quick);
+        assert_eq!(report.cells.len(), 5);
+        assert_eq!(report.repetitions, 2);
+        let violations = report.violations();
+        assert!(violations.is_empty(), "gate violations: {violations:?}");
+        for cell in &report.cells {
+            assert_eq!(cell.metrics.runs, 2);
+            assert!(cell.metrics.probes_issued > 0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"wasted_probes\""));
+    }
+
+    #[test]
+    fn violations_catch_a_poisoned_cell() {
+        let mut report = collect(Scale::Quick);
+        report.cells[0].wasted_probes = 3;
+        report.cells[1].feasible = false;
+        report.cells[2]
+            .consistency_errors
+            .push("rep 0: probes: metrics 1 != stats 2".into());
+        assert_eq!(report.violations().len(), 3);
+    }
+}

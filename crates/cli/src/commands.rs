@@ -1,8 +1,11 @@
 //! CLI subcommand implementations.
 
 use crate::args::{ArgError, Args};
+use serde::Serialize;
+use webmon_core::obs::RunMetrics;
 use webmon_sim::{
-    Experiment, ExperimentConfig, NoiseSpec, PolicyKind, PolicySpec, Report, Table, TraceSpec,
+    Experiment, ExperimentConfig, NoiseSpec, PolicyAggregate, PolicyKind, PolicySpec, Report,
+    Table, TraceSpec,
 };
 use webmon_streams::auction::AuctionTraceConfig;
 use webmon_streams::fpn::FpnModel;
@@ -57,6 +60,15 @@ PARALLELISM (run / sweep / experiments):
 
 OUTPUT:
     --json                         machine-readable JSON (run / sweep)
+
+OBSERVABILITY (run):
+    --metrics <path>               write per-policy RunMetrics (merged over
+                                   repetitions) + RunStats consistency checks
+                                   as JSON
+    --trace-out <path>             write the JSONL engine event trace of
+                                   repetition 0 for every roster policy,
+                                   concatenated in roster order (a new stream
+                                   starts at each ChrononStart with t = 0)
 ";
 
 /// Runs the parsed command line; returns the process exit code.
@@ -128,7 +140,7 @@ fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
     })
 }
 
-fn roster_table(title: &str, exp: &Experiment) -> Table {
+fn roster_table(title: &str, aggregates: &[PolicyAggregate]) -> Table {
     let mut t = Table::with_headers(
         title,
         &[
@@ -139,8 +151,7 @@ fn roster_table(title: &str, exp: &Experiment) -> Table {
             "budget util.",
         ],
     );
-    for spec in PolicySpec::paper_roster() {
-        let agg = exp.run_spec(spec);
+    for agg in aggregates {
         t.push_numeric_row(
             agg.label.clone(),
             &[
@@ -155,16 +166,104 @@ fn roster_table(title: &str, exp: &Experiment) -> Table {
     t
 }
 
+/// One policy column of the `--metrics` artifact.
+#[derive(Debug, Serialize)]
+struct PolicyMetricsDoc {
+    /// Roster label, e.g. `"MRSF(P)"`.
+    label: String,
+    /// Per-repetition mismatches between in-run metrics and post-hoc
+    /// `RunStats` (always empty on a healthy build; skipped under noise,
+    /// where stats are truth-validated and *should* disagree).
+    consistency_errors: Vec<String>,
+    /// Metrics merged over all repetitions, in repetition order.
+    metrics: RunMetrics,
+}
+
+/// The `webmon run --metrics` artifact.
+#[derive(Debug, Serialize)]
+struct MetricsDoc {
+    /// Master seed of the experiment.
+    seed: u64,
+    /// Repetitions merged into each policy's metrics.
+    repetitions: u32,
+    /// One entry per roster policy, in roster order.
+    policies: Vec<PolicyMetricsDoc>,
+}
+
+fn metrics_doc(exp: &Experiment, aggregates: &[PolicyAggregate]) -> MetricsDoc {
+    let noisy = exp.config().noise.is_some();
+    let policies = aggregates
+        .iter()
+        .map(|agg| {
+            let mut consistency_errors = Vec::new();
+            if !noisy {
+                for (i, rep) in agg.repetitions.iter().enumerate() {
+                    for e in rep.metrics.consistency_errors(&rep.stats) {
+                        consistency_errors.push(format!("rep {i}: {e}"));
+                    }
+                }
+            }
+            PolicyMetricsDoc {
+                label: agg.label.clone(),
+                consistency_errors,
+                metrics: agg.metrics.clone(),
+            }
+        })
+        .collect();
+    MetricsDoc {
+        seed: exp.config().seed,
+        repetitions: exp.config().repetitions,
+        policies,
+    }
+}
+
+fn write_metrics(path: &str, doc: &MetricsDoc) -> std::io::Result<()> {
+    let json =
+        serde_json::to_string_pretty(doc).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+fn write_trace(path: &str, exp: &Experiment, roster: &[PolicySpec]) -> std::io::Result<u64> {
+    let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut total = 0;
+    for &spec in roster {
+        let (w, events) = exp.trace_spec(spec, 0, writer)?;
+        writer = w;
+        total += events;
+    }
+    Ok(total)
+}
+
 fn cmd_run(args: &Args) -> Result<i32, ArgError> {
     let cfg = config_from(args)?;
     let exp = Experiment::materialize(cfg);
+    let roster = PolicySpec::paper_roster();
+    let aggregates = exp.run_roster(&roster);
+
+    if let Some(path) = args.get("metrics") {
+        let doc = metrics_doc(&exp, &aggregates);
+        for err in doc.policies.iter().flat_map(|p| &p.consistency_errors) {
+            eprintln!("metrics inconsistency: {err}");
+        }
+        if let Err(e) = write_metrics(path, &doc) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return Ok(1);
+        }
+        eprintln!("metrics: wrote {} policies to {path}", doc.policies.len());
+    }
+    if let Some(path) = args.get("trace-out") {
+        match write_trace(path, &exp, &roster) {
+            Ok(events) => eprintln!("trace: wrote {events} events to {path}"),
+            Err(e) => {
+                eprintln!("cannot write trace to {path}: {e}");
+                return Ok(1);
+            }
+        }
+    }
+
     if args.flag("json") {
-        let aggregates: Vec<_> = PolicySpec::paper_roster()
-            .into_iter()
-            .map(|s| exp.run_spec(s))
-            .collect();
-        let report =
-            Report::from_tables(vec![roster_table("webmon run", &exp)]).with_aggregates(aggregates);
+        let report = Report::from_tables(vec![roster_table("webmon run", &aggregates)])
+            .with_aggregates(aggregates);
         println!("{}", report.to_json());
         return Ok(0);
     }
@@ -173,7 +272,7 @@ fn cmd_run(args: &Args) -> Result<i32, ArgError> {
         "workload: ~{ceis:.0} CEIs / ~{eis:.0} EIs per repetition ({} reps)\n",
         exp.config().repetitions
     );
-    println!("{}", roster_table("webmon run", &exp));
+    println!("{}", roster_table("webmon run", &aggregates));
     Ok(0)
 }
 
@@ -361,5 +460,77 @@ mod tests {
     #[test]
     fn suite_covers_all_artifacts() {
         assert_eq!(suite().len(), 11);
+    }
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::materialize(ExperimentConfig {
+            n_resources: 30,
+            horizon: 120,
+            budget: 1,
+            workload: WorkloadConfig {
+                n_profiles: 8,
+                rank: RankSpec::UpTo { k: 3, beta: 0.0 },
+                resource_alpha: 0.0,
+                length: EiLength::Window(3),
+                distinct_resources: true,
+                max_ceis: Some(200),
+                no_intra_resource_overlap: false,
+            },
+            trace: TraceSpec::Poisson { lambda: 6.0 },
+            noise: None,
+            repetitions: 2,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn metrics_doc_is_consistent_and_serializable() {
+        let exp = tiny_experiment();
+        let roster = [
+            PolicySpec::p(PolicyKind::MEdf),
+            PolicySpec::np(PolicyKind::SEdf),
+        ];
+        let aggregates = exp.run_roster(&roster);
+        let doc = metrics_doc(&exp, &aggregates);
+        assert_eq!(doc.repetitions, 2);
+        assert_eq!(doc.policies.len(), 2);
+        for p in &doc.policies {
+            assert!(
+                p.consistency_errors.is_empty(),
+                "metrics drifted from stats: {:?}",
+                p.consistency_errors
+            );
+            assert_eq!(p.metrics.runs, 2);
+        }
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(json.contains("\"probes_issued\""));
+    }
+
+    #[test]
+    fn trace_streams_valid_jsonl_per_roster_policy() {
+        let exp = tiny_experiment();
+        let roster = [
+            PolicySpec::p(PolicyKind::MEdf),
+            PolicySpec::p(PolicyKind::Mrsf),
+        ];
+        let mut buf = Vec::new();
+        let mut total = 0;
+        for &spec in &roster {
+            let (b, events) = exp.trace_spec(spec, 0, buf).unwrap();
+            buf = b;
+            total += events;
+        }
+        let out = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len() as u64, total);
+        for line in &lines {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
+        // One stream restart per roster policy: t = 0 opens each stream.
+        let restarts = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"ChrononStart\":{\"t\":0,"))
+            .count();
+        assert_eq!(restarts, 2);
     }
 }

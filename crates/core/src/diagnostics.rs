@@ -22,40 +22,63 @@ pub struct ScheduleDiagnostics {
 
 impl ScheduleDiagnostics {
     /// Computes diagnostics for `schedule` against `instance`.
+    ///
+    /// Runs in `O(probes + EIs · log)` via a per-resource probe-time index,
+    /// so it stays usable at bench scale (the naive per-chronon
+    /// `is_probed` scan is `O(EIs × window × log probes)`).
     pub fn compute(instance: &Instance, schedule: &Schedule) -> Self {
-        let mut probes_per_resource = vec![0u32; instance.n_resources as usize];
-        for (_, r) in schedule.iter() {
+        let n = instance.n_resources as usize;
+        let mut probes_per_resource = vec![0u32; n];
+        // `Schedule::iter` is chronological, so each per-resource list of
+        // probe times comes out sorted.
+        let mut probe_times: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (t, r) in schedule.iter() {
             probes_per_resource[r.index()] += 1;
+            probe_times[r.index()].push(t);
         }
 
+        // An EI is captured by its first in-window probe: the first probe
+        // time ≥ start, if it is ≤ end. Latencies push in CEI/EI order.
         let mut capture_latencies = Vec::new();
         let mut missed_eis = 0usize;
-        // Mark which probes served at least one EI.
-        let mut probe_used: std::collections::HashSet<(u32, ResourceId)> =
-            std::collections::HashSet::new();
-
         for cei in &instance.ceis {
             for &ei in &cei.eis {
-                let mut first_hit = None;
-                for t in ei.start..=ei.end {
-                    if schedule.is_probed(ei.resource, t) {
-                        probe_used.insert((t, ei.resource));
-                        if first_hit.is_none() {
-                            first_hit = Some(t);
-                        }
-                    }
-                }
-                match first_hit {
-                    Some(t) => capture_latencies.push(t - ei.start),
-                    None => missed_eis += 1,
+                let times = &probe_times[ei.resource.index()];
+                let i = times.partition_point(|&t| t < ei.start);
+                match times.get(i) {
+                    Some(&t) if t <= ei.end => capture_latencies.push(t - ei.start),
+                    _ => missed_eis += 1,
                 }
             }
         }
 
-        let wasted_probes = schedule
-            .iter()
-            .filter(|&(t, r)| !probe_used.contains(&(t, r)))
-            .count();
+        // A probe is wasted iff it falls inside no EI window on its
+        // resource. Merge each resource's windows into disjoint sorted
+        // intervals, then membership is one binary search per probe.
+        let mut windows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for cei in &instance.ceis {
+            for &ei in &cei.eis {
+                windows[ei.resource.index()].push((ei.start, ei.end));
+            }
+        }
+        let mut wasted_probes = 0usize;
+        for (w, times) in windows.iter_mut().zip(&probe_times) {
+            w.sort_unstable();
+            let mut merged: Vec<(u32, u32)> = Vec::with_capacity(w.len());
+            for &(s, e) in w.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            wasted_probes += times
+                .iter()
+                .filter(|&&t| {
+                    let i = merged.partition_point(|&(s, _)| s <= t);
+                    i == 0 || merged[i - 1].1 < t
+                })
+                .count();
+        }
 
         ScheduleDiagnostics {
             probes_per_resource,
@@ -224,6 +247,107 @@ mod tests {
         let inst = b.build();
         let s = Schedule::new(1, inst.epoch);
         let _ = render_timeline(&inst, &s);
+    }
+
+    /// The pre-index reference implementation: per-chronon `is_probed`
+    /// scans. Kept as the semantic oracle for the fast path.
+    fn naive(instance: &Instance, schedule: &Schedule) -> ScheduleDiagnostics {
+        let mut probes_per_resource = vec![0u32; instance.n_resources as usize];
+        for (_, r) in schedule.iter() {
+            probes_per_resource[r.index()] += 1;
+        }
+        let mut capture_latencies = Vec::new();
+        let mut missed_eis = 0usize;
+        let mut probe_used = std::collections::HashSet::new();
+        for cei in &instance.ceis {
+            for &ei in &cei.eis {
+                let mut first_hit = None;
+                for t in ei.start..=ei.end {
+                    if schedule.is_probed(ei.resource, t) {
+                        probe_used.insert((t, ei.resource));
+                        first_hit = first_hit.or(Some(t));
+                    }
+                }
+                match first_hit {
+                    Some(t) => capture_latencies.push(t - ei.start),
+                    None => missed_eis += 1,
+                }
+            }
+        }
+        let wasted_probes = schedule
+            .iter()
+            .filter(|&(t, r)| !probe_used.contains(&(t, r)))
+            .count();
+        ScheduleDiagnostics {
+            probes_per_resource,
+            capture_latencies,
+            missed_eis,
+            wasted_probes,
+        }
+    }
+
+    /// A contended instance with overlapping, nested, and disjoint windows
+    /// across resources, plus a schedule with both serving and dead-air
+    /// probes — every code path of the fast diagnostics.
+    #[test]
+    fn indexed_compute_matches_naive_reference() {
+        let mut b = InstanceBuilder::new(5, 60, Budget::Uniform(2));
+        let p = b.profile();
+        for i in 0..40u32 {
+            let r = i % 5;
+            let start = (i * 7) % 50;
+            let end = (start + 1 + (i % 9)).min(59);
+            b.cei(p, &[(r, start, end)]);
+        }
+        // A nested-window pair on one resource (merge must handle it).
+        b.cei(p, &[(0, 10, 40)]);
+        b.cei(p, &[(0, 20, 25)]);
+        let inst = b.build();
+
+        let mut schedule = Schedule::new(5, inst.epoch);
+        for t in 0..60u32 {
+            schedule.probe(ResourceId(t % 5), t);
+            if t % 3 == 0 {
+                schedule.probe(ResourceId((t + 2) % 5), t);
+            }
+        }
+
+        let fast = ScheduleDiagnostics::compute(&inst, &schedule);
+        let slow = naive(&inst, &schedule);
+        assert_eq!(fast.probes_per_resource, slow.probes_per_resource);
+        assert_eq!(fast.capture_latencies, slow.capture_latencies);
+        assert_eq!(fast.missed_eis, slow.missed_eis);
+        assert_eq!(fast.wasted_probes, slow.wasted_probes);
+    }
+
+    /// Bench-scale smoke: long windows over a long epoch, where the old
+    /// per-chronon scan (EIs × window `is_probed` calls) bogged down.
+    #[test]
+    fn diagnostics_stay_fast_on_large_instances() {
+        let n: u32 = 300;
+        let horizon: u32 = 5_000;
+        let mut b = InstanceBuilder::new(n, horizon, Budget::Uniform(2));
+        let p = b.profile();
+        for i in 0..3_000u32 {
+            let start = (i * 13) % (horizon - 500);
+            b.cei(p, &[(i % n, start, start + 400)]);
+        }
+        let inst = b.build();
+        let mut schedule = Schedule::new(n, inst.epoch);
+        for t in 0..horizon {
+            schedule.probe(ResourceId(t % n), t);
+        }
+
+        let d = ScheduleDiagnostics::compute(&inst, &schedule);
+        assert_eq!(d.capture_latencies.len() + d.missed_eis, inst.total_eis());
+        assert_eq!(
+            d.probes_per_resource
+                .iter()
+                .map(|&c| u64::from(c))
+                .sum::<u64>(),
+            schedule.total_probes()
+        );
+        assert!(d.wasted_probes as u64 <= schedule.total_probes());
     }
 
     #[test]

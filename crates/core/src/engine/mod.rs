@@ -19,6 +19,13 @@
 //! Even non-preemptive runs cannot guarantee completion of a started CEI —
 //! when started CEIs alone exceed the budget, some are dropped (Section
 //! IV-A).
+//!
+//! **Observability.** [`OnlineEngine::run_observed`] streams typed
+//! [`crate::obs::Event`]s from inside the loop — probes with sharing
+//! fan-out, per-EI capture latencies, CEI resolutions, candidate-pool and
+//! budget accounting — to any [`crate::obs::Observer`]. The plain
+//! [`OnlineEngine::run`] uses [`crate::obs::NoopObserver`], which
+//! monomorphizes to the unobserved loop at zero cost.
 
 mod runner;
 

@@ -1,6 +1,7 @@
 //! The run loop implementing Algorithm 1 (Online Complex Monitoring).
 
 use crate::model::{CaptureSet, CeiId, Chronon, Instance, Schedule};
+use crate::obs::{Event, NoopObserver, Observer};
 use crate::policy::{Candidate, CeiView, Policy, PolicyContext, ResourceStats};
 use crate::stats::{CeiOutcome, RunStats};
 
@@ -123,7 +124,24 @@ pub struct OnlineEngine;
 impl OnlineEngine {
     /// Runs `policy` over `instance` in the given mode and returns the
     /// schedule, statistics, and per-CEI outcomes.
+    ///
+    /// Equivalent to [`run_observed`](Self::run_observed) with a
+    /// [`NoopObserver`] — the observer monomorphizes away, so this path
+    /// costs exactly what it did before observability existed.
     pub fn run(instance: &Instance, policy: &dyn Policy, config: EngineConfig) -> RunResult {
+        Self::run_observed(instance, policy, config, &mut NoopObserver)
+    }
+
+    /// Runs `policy` over `instance`, streaming typed [`Event`]s to
+    /// `observer` (see [`crate::obs`] for the event vocabulary and
+    /// ordering guarantees). The event stream is deterministic: a pure
+    /// function of `(instance, policy, config)`.
+    pub fn run_observed<O: Observer>(
+        instance: &Instance,
+        policy: &dyn Policy,
+        config: EngineConfig,
+        observer: &mut O,
+    ) -> RunResult {
         let n_ceis = instance.ceis.len();
         let n_res = instance.n_resources as usize;
         let horizon = instance.epoch.len();
@@ -160,6 +178,9 @@ impl OnlineEngine {
         let mut touched: Vec<CeiId> = Vec::new();
 
         for t in instance.epoch.chronons() {
+            let budget = instance.budget.at(t);
+            observer.on_event(Event::ChrononStart { t, budget });
+
             // -- 1. Arrivals: η(j) joins cands(η).
             for &id in instance.released_at(t) {
                 status[id.index()] = Status::Active(CaptureSet::new(instance.cei(id).size()));
@@ -204,8 +225,8 @@ impl OnlineEngine {
 
             // -- 5. probeEIs: select up to C_j resources by repeated argmin.
             probed_now.fill(false);
-            let budget = instance.budget.at(t);
             let mut used: u32 = 0;
+            let mut selection_steps: u32 = 0;
             let phases: &[Option<bool>] = if config.preemptive {
                 &[None]
             } else {
@@ -254,6 +275,7 @@ impl OnlineEngine {
                             &probed_now,
                             remaining,
                             snapshot,
+                            &mut selection_steps,
                         ),
                         SelectionStrategy::LazyHeap => pop_valid(
                             instance,
@@ -264,6 +286,7 @@ impl OnlineEngine {
                             &probed_now,
                             remaining,
                             snapshot,
+                            &mut selection_steps,
                         ),
                     };
                     let Some(best) = best else {
@@ -280,6 +303,23 @@ impl OnlineEngine {
                     stats.probes_used += 1;
                     stats.budget_spent += u64::from(cost);
 
+                    // Announce the probe with its sharing fan-out before the
+                    // per-EI capture events. The eligibility pre-count is an
+                    // extra pool scan, so it only runs for a live observer.
+                    if observer.enabled() {
+                        let shared_eis = if config.share_probes {
+                            count_capturable(instance, &pool, &status, resource.index(), t)
+                        } else {
+                            1
+                        };
+                        observer.on_event(Event::ProbeIssued {
+                            t,
+                            resource,
+                            cost,
+                            shared_eis,
+                        });
+                    }
+
                     touched.clear();
                     if config.share_probes {
                         probed_now[resource.index()] = true;
@@ -293,9 +333,18 @@ impl OnlineEngine {
                             &mut outcomes,
                             &mut transitions,
                             &mut touched,
+                            observer,
                         );
                     } else {
-                        capture_single(instance, best, &mut status, t, &mut stats, &mut outcomes);
+                        capture_single(
+                            instance,
+                            best,
+                            &mut status,
+                            t,
+                            &mut stats,
+                            &mut outcomes,
+                            observer,
+                        );
                         touched.push(best.cei);
                     }
 
@@ -326,6 +375,34 @@ impl OnlineEngine {
                 }
             }
 
+            // Post-probing snapshot events. `pool` is untouched by probing
+            // (captures only flip status bits), so its length is the live
+            // candidate count the chronon's selection competed over; the
+            // deferred count — live EIs left unserved once the budget ran
+            // out or nothing affordable remained — needs a pool scan, so it
+            // stays behind the `enabled()` gate.
+            if observer.enabled() {
+                observer.on_event(Event::CandidateSet {
+                    t,
+                    size: pool.len() as u32,
+                    heap_pops: selection_steps,
+                });
+                let deferred = pool
+                    .iter()
+                    .filter(|e| {
+                        let r = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
+                        !probed_now[r.index()]
+                            && status[e.cei.index()].capture_set().is_some_and(|cap| {
+                                !cap.is_captured(e.ei_idx as usize)
+                                    && !cap.is_expired(e.ei_idx as usize)
+                            })
+                    })
+                    .count() as u32;
+                if deferred > 0 {
+                    observer.on_event(Event::BudgetExhausted { t, deferred });
+                }
+            }
+
             // -- 6. Expiry: EIs closing uncaptured at t doom their CEI once
             // fewer than `required` EIs can still be captured (with the
             // paper's AND semantics: on the first expiry).
@@ -346,8 +423,15 @@ impl OnlineEngine {
                     status[id.index()] = Status::Failed;
                     outcomes[id.index()] = outcome;
                     stats.record_outcome_of(instance.cei(id), outcome);
+                    observer.on_event(Event::CeiExpired { cei: id, at: t });
                 }
             }
+
+            observer.on_event(Event::ChrononEnd {
+                t,
+                spent: used,
+                budget,
+            });
         }
 
         // Any CEI still unresolved at epoch end is recorded as pending so
@@ -405,7 +489,8 @@ fn score_entry(
 }
 
 /// Scans the pool for the minimum-score live candidate. Ties break by
-/// `(score, cei id, ei index)` so runs are deterministic.
+/// `(score, cei id, ei index)` so runs are deterministic. Each call counts
+/// as one selection step toward [`Event::CandidateSet`].
 #[allow(clippy::too_many_arguments)]
 fn argmin_candidate(
     instance: &Instance,
@@ -416,7 +501,9 @@ fn argmin_candidate(
     probed_now: &[bool],
     remaining_budget: u32,
     phase: Option<(bool, &[bool])>,
+    steps: &mut u32,
 ) -> Option<PoolEntry> {
+    *steps += 1;
     let mut best: Option<(i64, PoolEntry)> = None;
     for e in pool {
         let resource = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
@@ -442,7 +529,8 @@ fn argmin_candidate(
 
 /// Pops the minimum-score live candidate from the lazy heap, re-pushing
 /// entries whose stored score went stale (a sibling capture this chronon
-/// changed it). Tie ordering matches [`argmin_candidate`].
+/// changed it). Tie ordering matches [`argmin_candidate`]. Each pop counts
+/// as one selection step toward [`Event::CandidateSet`].
 #[allow(clippy::too_many_arguments)]
 fn pop_valid(
     instance: &Instance,
@@ -453,8 +541,10 @@ fn pop_valid(
     probed_now: &[bool],
     remaining_budget: u32,
     phase: Option<(bool, &[bool])>,
+    steps: &mut u32,
 ) -> Option<PoolEntry> {
     while let Some(std::cmp::Reverse((stored, cei, ei_idx))) = heap.pop() {
+        *steps += 1;
         let e = PoolEntry {
             cei: CeiId(cei),
             ei_idx,
@@ -478,10 +568,35 @@ fn pop_valid(
     None
 }
 
+/// Counts the EIs a shared probe of `resource` at `t` would capture — the
+/// sharing fan-out reported on [`Event::ProbeIssued`]. Mirrors the
+/// eligibility conditions of [`capture_resource`] without mutating, and only
+/// runs for a live observer.
+fn count_capturable(
+    instance: &Instance,
+    pool: &[PoolEntry],
+    status: &[Status],
+    resource: usize,
+    t: Chronon,
+) -> u32 {
+    pool.iter()
+        .filter(|e| {
+            let Some(cap) = status[e.cei.index()].capture_set() else {
+                return false;
+            };
+            let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
+            ei.resource.index() == resource
+                && ei.is_active(t)
+                && !cap.is_captured(e.ei_idx as usize)
+                && !cap.is_expired(e.ei_idx as usize)
+        })
+        .count() as u32
+}
+
 /// Marks every active, uncaptured pool EI on `resource` as captured by the
 /// probe at chronon `t`, completing CEIs whose last EI this was.
 #[allow(clippy::too_many_arguments)]
-fn capture_resource(
+fn capture_resource<O: Observer>(
     instance: &Instance,
     pool: &[PoolEntry],
     status: &mut [Status],
@@ -491,6 +606,7 @@ fn capture_resource(
     outcomes: &mut [CeiOutcome],
     completed: &mut Vec<(CeiId, CeiOutcome)>,
     touched: &mut Vec<CeiId>,
+    observer: &mut O,
 ) {
     completed.clear();
     for e in pool {
@@ -503,6 +619,11 @@ fn capture_resource(
         }
         if cap.capture(e.ei_idx as usize) {
             stats.eis_captured += 1;
+            observer.on_event(Event::EiCaptured {
+                t,
+                cei: e.cei,
+                latency: t - ei.start,
+            });
             if !touched.contains(&e.cei) {
                 touched.push(e.cei);
             }
@@ -518,29 +639,41 @@ fn capture_resource(
         status[id.index()] = Status::Captured;
         outcomes[id.index()] = outcome;
         stats.record_outcome_of(instance.cei(id), outcome);
+        observer.on_event(Event::CeiCompleted { cei: id, at: t });
     }
 }
 
 /// Ablation path (`share_probes = false`): a probe captures only the EI it
 /// was issued for.
-fn capture_single(
+fn capture_single<O: Observer>(
     instance: &Instance,
     entry: PoolEntry,
     status: &mut [Status],
     t: Chronon,
     stats: &mut RunStats,
     outcomes: &mut [CeiOutcome],
+    observer: &mut O,
 ) {
     let Status::Active(cap) = &mut status[entry.cei.index()] else {
         return;
     };
     if cap.capture(entry.ei_idx as usize) {
         stats.eis_captured += 1;
+        let ei = instance.cei(entry.cei).eis[entry.ei_idx as usize];
+        observer.on_event(Event::EiCaptured {
+            t,
+            cei: entry.cei,
+            latency: t - ei.start,
+        });
         if cap.n_captured() == usize::from(instance.cei(entry.cei).required) {
             let outcome = CeiOutcome::Captured { at: t };
             status[entry.cei.index()] = Status::Captured;
             outcomes[entry.cei.index()] = outcome;
             stats.record_outcome_of(instance.cei(entry.cei), outcome);
+            observer.on_event(Event::CeiCompleted {
+                cei: entry.cei,
+                at: t,
+            });
         }
     }
 }
@@ -953,6 +1086,119 @@ mod tests {
         assert_eq!(r.stats.eis_captured, 2);
         let total: u64 = r.stats.by_size.values().map(|b| b.total).sum();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn metrics_observer_totals_match_run_stats() {
+        use crate::obs::{MetricsObserver, Observer};
+        let mut b = InstanceBuilder::new(4, 30, Budget::Uniform(2));
+        let p = b.profile();
+        for k in 0..10u32 {
+            let s = (k * 2) % 24;
+            b.cei(p, &[(k % 4, s, s + 3), ((k + 2) % 4, s + 1, s + 5)]);
+        }
+        let inst = b.build();
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let mut obs = MetricsObserver::new();
+                let r = OnlineEngine::run_observed(&inst, policy, config, &mut obs);
+                let m = obs.finish();
+                assert_eq!(
+                    m.consistency_errors(&r.stats),
+                    Vec::<String>::new(),
+                    "{} {:?}",
+                    policy.name(),
+                    config
+                );
+                assert_eq!(m.chronons, 30);
+                assert_eq!(m.budget_utilization.count, 30);
+                // The observed run is bit-identical to the unobserved one.
+                let plain = OnlineEngine::run(&inst, policy, config);
+                assert_eq!(plain.schedule, r.schedule);
+                assert_eq!(plain.stats, r.stats);
+                assert_eq!(plain.outcomes, r.outcomes);
+                // enabled() is what gates the extra accounting scans.
+                assert!(obs_enabled_probe(policy, config, &inst));
+            }
+        }
+
+        fn obs_enabled_probe(policy: &dyn Policy, config: EngineConfig, inst: &Instance) -> bool {
+            let mut obs = MetricsObserver::new();
+            let enabled = obs.enabled();
+            OnlineEngine::run_observed(inst, policy, config, &mut obs);
+            enabled
+        }
+    }
+
+    #[test]
+    fn event_stream_orders_probe_before_captures() {
+        use crate::obs::{Event, Observer};
+        #[derive(Default)]
+        struct Recorder(Vec<Event>);
+        impl Observer for Recorder {
+            fn on_event(&mut self, event: Event) {
+                self.0.push(event);
+            }
+        }
+
+        // Two CEIs overlap on resource 0 at chronon 1: one probe, fan-out 2.
+        let mut b = InstanceBuilder::new(1, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1)]);
+        b.cei(p, &[(0, 1, 1)]);
+        let inst = b.build();
+        let mut rec = Recorder::default();
+        OnlineEngine::run_observed(&inst, &SEdf, EngineConfig::preemptive(), &mut rec);
+
+        let kinds: Vec<&str> = rec.0.iter().map(Event::kind).collect();
+        // Chronon 1 contains the probe, then both captures, then both
+        // completions (captures are marked in pool order before any CEI is
+        // resolved, so a shared probe's captures batch ahead).
+        let probe_at = kinds.iter().position(|&k| k == "ProbeIssued").unwrap();
+        assert_eq!(
+            &kinds[probe_at..probe_at + 5],
+            &[
+                "ProbeIssued",
+                "EiCaptured",
+                "EiCaptured",
+                "CeiCompleted",
+                "CeiCompleted"
+            ]
+        );
+        let Event::ProbeIssued { shared_eis, .. } = rec.0[probe_at] else {
+            panic!("not a probe");
+        };
+        assert_eq!(shared_eis, 2);
+        // Every chronon opens and closes exactly once.
+        assert_eq!(kinds.iter().filter(|&&k| k == "ChrononStart").count(), 3);
+        assert_eq!(kinds.iter().filter(|&&k| k == "ChrononEnd").count(), 3);
+        assert_eq!(kinds.iter().filter(|&&k| k == "CandidateSet").count(), 3);
+    }
+
+    #[test]
+    fn budget_exhausted_reports_deferred_candidates() {
+        use crate::obs::{Event, Observer};
+        #[derive(Default)]
+        struct Exhaustions(Vec<(Chronon, u32)>);
+        impl Observer for Exhaustions {
+            fn on_event(&mut self, event: Event) {
+                if let Event::BudgetExhausted { t, deferred } = event {
+                    self.0.push((t, deferred));
+                }
+            }
+        }
+
+        // Three unit CEIs on distinct resources, all live only at chronon 1,
+        // budget 1: one is served, two are deferred (and then expire).
+        let mut b = InstanceBuilder::new(3, 3, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 1)]);
+        b.cei(p, &[(1, 1, 1)]);
+        b.cei(p, &[(2, 1, 1)]);
+        let inst = b.build();
+        let mut obs = Exhaustions::default();
+        OnlineEngine::run_observed(&inst, &SEdf, EngineConfig::preemptive(), &mut obs);
+        assert_eq!(obs.0, vec![(1, 2)]);
     }
 
     #[test]

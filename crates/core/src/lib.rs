@@ -34,8 +34,11 @@
 //! * [`offline`] — the offline baselines of Section IV-B: exact optimum by
 //!   bounded enumeration (Prop. 4), the `P → P^[1]` transformation
 //!   (Prop. 5), and the Local-Ratio t-interval approximation (\[11\]).
-//! * [`diagnostics`] — operator observability: probe load, capture
+//! * [`diagnostics`] — post-hoc schedule analysis: probe load, capture
 //!   latency, and textual timelines.
+//! * [`obs`] — live engine observability: typed events emitted from inside
+//!   the run loop, zero-cost when disabled, with shipped metrics and JSONL
+//!   trace observers.
 //!
 //! ## Quick start
 //!
@@ -59,6 +62,7 @@
 pub mod diagnostics;
 pub mod engine;
 pub mod model;
+pub mod obs;
 pub mod offline;
 pub mod policy;
 pub mod stats;
@@ -68,5 +72,6 @@ pub use model::{
     Budget, Cei, CeiId, Chronon, Ei, Instance, InstanceBuilder, Profile, ProfileId, ResourceId,
     Schedule,
 };
+pub use obs::{Event, JsonlTraceObserver, MetricsObserver, NoopObserver, Observer, RunMetrics};
 pub use policy::{MEdf, Mrsf, Policy, SEdf, Wic};
 pub use stats::RunStats;

@@ -1,0 +1,111 @@
+//! Streaming event traces: one JSON object per line (JSONL), suitable for
+//! offline analysis with any line-oriented tooling.
+
+use super::{Event, Observer};
+use std::io::Write;
+
+/// Streams every event as one externally-tagged JSON line to a writer —
+/// e.g. `{"ProbeIssued":{"t":4,"resource":17,"cost":1,"shared_eis":2}}`.
+///
+/// The observer buffers through whatever `W` provides (wrap files in a
+/// [`std::io::BufWriter`]); call [`finish`](Self::finish) to flush and
+/// recover the writer. Write errors are counted, not propagated — the
+/// engine hot loop has no error channel, and a best-effort trace must
+/// never abort a run.
+#[derive(Debug)]
+pub struct JsonlTraceObserver<W: Write> {
+    writer: W,
+    events_written: u64,
+    write_errors: u64,
+}
+
+impl<W: Write> JsonlTraceObserver<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlTraceObserver {
+            writer,
+            events_written: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Write attempts that failed (the trace is best-effort).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Flushes and returns the writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Observer for JsonlTraceObserver<W> {
+    fn on_event(&mut self, event: Event) {
+        match serde_json::to_string(&event) {
+            Ok(line) => match writeln!(self.writer, "{line}") {
+                Ok(()) => self.events_written += 1,
+                Err(_) => self.write_errors += 1,
+            },
+            Err(_) => self.write_errors += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CeiId, ResourceId};
+
+    #[test]
+    fn events_stream_as_one_json_line_each() {
+        let mut obs = JsonlTraceObserver::new(Vec::new());
+        obs.on_event(Event::ChrononStart { t: 0, budget: 2 });
+        obs.on_event(Event::ProbeIssued {
+            t: 0,
+            resource: ResourceId(3),
+            cost: 1,
+            shared_eis: 2,
+        });
+        obs.on_event(Event::CeiCompleted {
+            cei: CeiId(7),
+            at: 0,
+        });
+        assert_eq!(obs.events_written(), 3);
+        assert_eq!(obs.write_errors(), 0);
+        let out = String::from_utf8(obs.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("ChrononStart"));
+        assert!(lines[1].contains("ProbeIssued"));
+        assert!(lines[1].contains("\"shared_eis\""));
+        // Every line parses back as JSON.
+        for line in lines {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_errors_are_counted_not_fatal() {
+        /// A writer that always fails.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut obs = JsonlTraceObserver::new(Broken);
+        obs.on_event(Event::ChrononStart { t: 0, budget: 1 });
+        assert_eq!(obs.events_written(), 0);
+        assert_eq!(obs.write_errors(), 1);
+    }
+}

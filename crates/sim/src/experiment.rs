@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 use webmon_core::engine::OnlineEngine;
 use webmon_core::model::{evaluate_schedule, Budget, Cei, CeiId, Instance, Profile, ProfileId};
+use webmon_core::obs::{JsonlTraceObserver, MetricsObserver, RunMetrics};
 use webmon_core::offline::{local_ratio_schedule, LocalRatioConfig};
 use webmon_core::policy::SEdf;
 use webmon_core::stats::RunStats;
@@ -21,6 +22,11 @@ use webmon_workload::{generate, GeneratedWorkload};
 pub struct RepetitionOutcome {
     /// Stats validated against the ground-truth instance.
     pub stats: RunStats,
+    /// In-run metrics from the engine's event stream (empty, with
+    /// `runs == 0`, for offline baselines that never run the engine).
+    /// The runtime below includes the metric observer's bookkeeping —
+    /// counter arithmetic plus the engine's fan-out pre-counts.
+    pub metrics: RunMetrics,
     /// Wall-clock runtime of the scheduling run.
     pub runtime: Duration,
     /// Total EIs in the instance (the paper's runtime normalizer).
@@ -54,6 +60,10 @@ pub struct PolicyAggregate {
     pub budget_utilization: Summary,
     /// Completeness by CEI size (rank), for per-rank breakdowns.
     pub by_size: BTreeMap<u16, Summary>,
+    /// Per-repetition engine metrics merged **in repetition order**, so the
+    /// aggregate is bit-identical for every `--jobs` value (the PR-1
+    /// determinism contract extends to `RunMetrics`).
+    pub metrics: RunMetrics,
     /// Raw per-repetition outcomes.
     pub repetitions: Vec<RepetitionOutcome>,
 }
@@ -85,6 +95,8 @@ impl PolicyAggregate {
             })
             .collect();
 
+        let metrics = RunMetrics::merged(outcomes.iter().map(|o| &o.metrics));
+
         PolicyAggregate {
             label,
             completeness,
@@ -92,6 +104,7 @@ impl PolicyAggregate {
             micros_per_ei,
             budget_utilization,
             by_size,
+            metrics,
             repetitions: outcomes,
         }
     }
@@ -171,8 +184,14 @@ impl Experiment {
         let noisy = self.config.noise.is_some();
         let outcomes = par_map(self.workloads.iter().collect(), |rep, w| {
             let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
+            let mut observer = MetricsObserver::new();
             let start = Instant::now();
-            let result = OnlineEngine::run(&w.instance, policy.as_ref(), spec.engine_config());
+            let result = OnlineEngine::run_observed(
+                &w.instance,
+                policy.as_ref(),
+                spec.engine_config(),
+                &mut observer,
+            );
             let runtime = start.elapsed();
             let stats = if noisy {
                 evaluate_schedule(&w.truth, &result.schedule)
@@ -181,11 +200,40 @@ impl Experiment {
             };
             RepetitionOutcome {
                 stats,
+                metrics: observer.finish(),
                 runtime,
                 n_eis: w.n_eis(),
             }
         });
         PolicyAggregate::from_outcomes(spec.label(), outcomes)
+    }
+
+    /// Re-runs one materialized repetition of `spec` with a
+    /// [`JsonlTraceObserver`], streaming the engine's full event stream to
+    /// `writer` as JSONL. Returns the flushed writer and the number of
+    /// events written. The replay is the exact run [`Self::run_spec`]
+    /// scores — same workload, same per-repetition policy seed — so the
+    /// trace explains the reported numbers.
+    ///
+    /// # Panics
+    /// Panics if `rep` is out of range.
+    pub fn trace_spec<W: std::io::Write>(
+        &self,
+        spec: PolicySpec,
+        rep: usize,
+        writer: W,
+    ) -> std::io::Result<(W, u64)> {
+        let w = &self.workloads[rep];
+        let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
+        let mut observer = JsonlTraceObserver::new(writer);
+        OnlineEngine::run_observed(
+            &w.instance,
+            policy.as_ref(),
+            spec.engine_config(),
+            &mut observer,
+        );
+        let events = observer.events_written();
+        Ok((observer.finish()?, events))
     }
 
     /// Runs a roster of policy specs (columns of an experiment table), specs
@@ -214,6 +262,7 @@ impl Experiment {
             };
             RepetitionOutcome {
                 stats,
+                metrics: RunMetrics::default(),
                 runtime,
                 n_eis: w.n_eis(),
             }
@@ -331,6 +380,31 @@ mod tests {
             assert!(rep.stats.eis_captured >= captured_ei_floor);
         }
         assert!(agg.micros_per_ei.mean > 0.0);
+    }
+
+    #[test]
+    fn aggregate_metrics_merge_in_repetition_order() {
+        let exp = Experiment::materialize(tiny_config());
+        let agg = exp.run_spec(PolicySpec::p(PolicyKind::MEdf));
+        assert_eq!(agg.metrics.runs, 3);
+        let manual = RunMetrics::merged(agg.repetitions.iter().map(|o| &o.metrics));
+        assert_eq!(agg.metrics, manual);
+        // Noise-free runs score against the engine's own schedule, so the
+        // in-run metrics must mirror the post-hoc stats exactly.
+        for rep in &agg.repetitions {
+            let errs = rep.metrics.consistency_errors(&rep.stats);
+            assert!(errs.is_empty(), "metrics drifted from stats: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn offline_baseline_reports_empty_metrics() {
+        let mut cfg = tiny_config();
+        cfg.workload.length = EiLength::Window(0);
+        let exp = Experiment::materialize(cfg);
+        let lr = exp.run_local_ratio(LocalRatioConfig::default());
+        assert_eq!(lr.metrics.runs, 0);
+        assert_eq!(lr.metrics.probes_issued, 0);
     }
 
     #[test]

@@ -85,8 +85,18 @@ fn parallel_experiment_matches_serial_bit_for_bit() {
                 "{}: per-repetition stats diverged",
                 par.label
             );
+            assert_eq!(
+                p.metrics, b.metrics,
+                "{}: per-repetition metrics diverged",
+                par.label
+            );
             assert_eq!(p.n_eis, b.n_eis);
         }
+        assert_eq!(
+            par.metrics, base.metrics,
+            "{}: merged metrics diverged",
+            par.label
+        );
         // Aggregates derived from the stats must therefore match too.
         assert_eq!(par.completeness.mean, base.completeness.mean);
         assert_eq!(par.completeness.std, base.completeness.std);
