@@ -1,0 +1,1457 @@
+//! Live engine invariant checking (the conformance harness's core).
+//!
+//! [`InvariantObserver`] is an [`Observer`] that *independently mirrors* the
+//! engine's per-chronon state from the typed event stream alone — it never
+//! reads engine internals — and cross-checks every event against the model's
+//! declarative invariants:
+//!
+//! * **Budget**: the per-chronon cost of issued probes never exceeds the
+//!   budget vector `C_j`, probe costs match the instance's cost model, and
+//!   [`Event::ChrononEnd`]'s `spent` equals the observed spend.
+//! * **Probe validity**: every probe lands inside the window of at least one
+//!   live candidate EI, and the intra-resource sharing fan-out (`R_ids`)
+//!   reported on [`Event::ProbeIssued`] matches the mirrored candidate pool
+//!   — as do the [`Event::EiCaptured`] events that follow it.
+//! * **Capture indicators**: [`Event::EiCaptured`] must correspond to an
+//!   open, uncaptured window (`X(I, S)`), and [`Event::CeiCompleted`] must
+//!   fire exactly when a CEI crosses its `required` threshold (`X(η, S)`).
+//!   At the end of a run every completed CEI is re-verified against the
+//!   pure indicator functions of [`crate::model`].
+//! * **Candidate sets**: the size reported on [`Event::CandidateSet`] must
+//!   equal the mirrored pool — in particular, no candidate set may contain
+//!   an EI of an expired (failed) or completed CEI.
+//! * **Expiry**: [`Event::CeiExpired`] fires exactly at the chronon where a
+//!   CEI first becomes doomed (fewer than `required` EIs capturable), never
+//!   twice, and never after completion.
+//!
+//! Divergence is reported as structured [`Violation`]s collected into an
+//! [`InvariantReport`] instead of panicking, so a differential harness can
+//! aggregate them. Checking costs `O(total EIs)` per chronon — fine for a
+//! conformance suite, not for production hot loops (use
+//! [`NoopObserver`](crate::obs::NoopObserver) there).
+//!
+//! ```
+//! use webmon_core::check::InvariantObserver;
+//! use webmon_core::engine::{EngineConfig, OnlineEngine};
+//! use webmon_core::model::{Budget, InstanceBuilder};
+//! use webmon_core::policy::Mrsf;
+//!
+//! let mut b = InstanceBuilder::new(2, 8, Budget::Uniform(1));
+//! let p = b.profile();
+//! b.cei(p, &[(0, 1, 3), (1, 2, 6)]);
+//! let instance = b.build();
+//!
+//! let config = EngineConfig::preemptive();
+//! let mut checker = InvariantObserver::new(&instance, config);
+//! let run = OnlineEngine::run_observed(&instance, &Mrsf, config, &mut checker);
+//! let report = checker.finish_with(&run);
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+use crate::engine::{EngineConfig, RunResult};
+use crate::model::{ei_captured, Cei, CeiId, Chronon, Instance, ResourceId, Schedule};
+use crate::obs::{Event, Observer};
+use crate::stats::CeiOutcome;
+use serde::Serialize;
+use std::fmt;
+
+/// Hard cap on collected violations; anything beyond is counted in
+/// [`InvariantReport::suppressed`] so a pathological stream cannot balloon
+/// memory.
+const MAX_VIOLATIONS: usize = 64;
+
+/// One structured invariant violation detected in the event stream.
+///
+/// Chronons and ids refer to the checked instance; `reported` fields quote
+/// the event stream, `expected`/`observed` fields quote the mirror.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Violation {
+    /// The event stream itself is malformed (events outside an open
+    /// chronon, chronons out of order, duplicate or missing per-chronon
+    /// events, captures with no preceding probe).
+    Protocol {
+        /// Human-readable description of the stream-shape breach.
+        detail: String,
+    },
+    /// A chronon's declared budget differs from the instance's `C_j`.
+    BudgetMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// Budget the event stream declared.
+        reported: u32,
+        /// Budget the instance prescribes.
+        expected: u32,
+    },
+    /// The summed cost of issued probes exceeded the chronon's budget.
+    BudgetExceeded {
+        /// The chronon.
+        t: Chronon,
+        /// Cost sum including the offending probe.
+        spent: u32,
+        /// The chronon's budget `C_j`.
+        budget: u32,
+    },
+    /// `ChrononEnd` reported a different spend than the probes summed to.
+    SpentMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// Spend reported by `ChrononEnd`.
+        reported: u32,
+        /// Cost sum of the chronon's `ProbeIssued` events.
+        observed: u32,
+    },
+    /// A probe's reported cost differs from the instance's cost model.
+    CostMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// The probed resource.
+        resource: ResourceId,
+        /// Cost the event reported.
+        reported: u32,
+        /// Cost the instance prescribes.
+        expected: u32,
+    },
+    /// With sharing enabled the engine probed the same resource twice in
+    /// one chronon — the second probe is pure waste.
+    DuplicateSharedProbe {
+        /// The chronon.
+        t: Chronon,
+        /// The twice-probed resource.
+        resource: ResourceId,
+    },
+    /// A probe served no live candidate EI window at all.
+    ProbeOutsideWindow {
+        /// The chronon.
+        t: Chronon,
+        /// The probed resource.
+        resource: ResourceId,
+    },
+    /// The sharing fan-out reported on `ProbeIssued` differs from the
+    /// mirrored count of capturable EIs on that resource.
+    FanoutMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// The probed resource.
+        resource: ResourceId,
+        /// Fan-out the event reported.
+        reported: u32,
+        /// Capturable EIs in the mirrored pool.
+        expected: u32,
+    },
+    /// The number of `EiCaptured` events following a probe differs from the
+    /// number of EIs the probe could capture.
+    CaptureCountMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// The probed resource.
+        resource: ResourceId,
+        /// Captures the mirror expected.
+        expected: u32,
+        /// `EiCaptured` events observed.
+        observed: u32,
+    },
+    /// An `EiCaptured` event matches no open, uncaptured EI of that CEI on
+    /// the probed resource (the indicator `X(I, S)` cannot be satisfied).
+    CaptureWithoutWindow {
+        /// The chronon.
+        t: Chronon,
+        /// The CEI the capture was attributed to.
+        cei: CeiId,
+    },
+    /// `CeiCompleted` fired although fewer than `required` EIs are captured.
+    CompletionWithoutThreshold {
+        /// The completed CEI.
+        cei: CeiId,
+        /// The completion chronon.
+        at: Chronon,
+        /// Captured EIs in the mirror.
+        captured: u16,
+        /// The CEI's threshold.
+        required: u16,
+    },
+    /// `CeiCompleted` fired more than once for the same CEI.
+    DuplicateCompletion {
+        /// The CEI.
+        cei: CeiId,
+        /// The duplicate completion's chronon.
+        at: Chronon,
+    },
+    /// A CEI crossed its threshold but no `CeiCompleted` followed before
+    /// the next probe / end of chronon.
+    MissingCompletion {
+        /// The CEI.
+        cei: CeiId,
+        /// The chronon in which the threshold was crossed.
+        t: Chronon,
+    },
+    /// `CeiExpired` fired for a CEI that had already completed.
+    ExpiredAfterCompletion {
+        /// The CEI.
+        cei: CeiId,
+        /// The expiry chronon.
+        at: Chronon,
+    },
+    /// `CeiExpired` fired more than once for the same CEI.
+    DuplicateExpiry {
+        /// The CEI.
+        cei: CeiId,
+        /// The duplicate expiry's chronon.
+        at: Chronon,
+    },
+    /// `CeiExpired` fired although the CEI is not doomed (enough EIs remain
+    /// capturable), or at the wrong chronon.
+    SpuriousExpiry {
+        /// The CEI.
+        cei: CeiId,
+        /// The expiry chronon.
+        at: Chronon,
+    },
+    /// A CEI became doomed this chronon but no `CeiExpired` fired.
+    MissingExpiry {
+        /// The CEI.
+        cei: CeiId,
+        /// The chronon whose window expiries doomed the CEI.
+        t: Chronon,
+    },
+    /// `CandidateSet` reported a pool size that differs from the mirror —
+    /// e.g. the pool still holds EIs of expired or completed CEIs.
+    CandidateSetMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// Size the event reported.
+        reported: u32,
+        /// Size of the mirrored pool.
+        expected: u32,
+    },
+    /// `BudgetExhausted`'s deferred-candidate count differs from the mirror
+    /// (a `reported` of zero means the expected event never fired).
+    DeferredMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// Deferred count the event reported (0 = event missing).
+        reported: u32,
+        /// Deferred candidates in the mirrored pool.
+        expected: u32,
+    },
+    /// The run ended before covering the instance's epoch.
+    EpochTruncated {
+        /// Chronons fully processed.
+        chronons_seen: Chronon,
+        /// The instance's epoch length `K`.
+        expected: Chronon,
+    },
+    /// A CEI was reported completed, but the pure indicator `X(η, S)` over
+    /// the accumulated probe schedule says it is not captured.
+    IndicatorMismatch {
+        /// The CEI.
+        cei: CeiId,
+    },
+    /// The engine's [`RunResult`] disagrees with the mirrored state (only
+    /// produced by [`InvariantObserver::finish_with`]).
+    ResultDivergence {
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Protocol { detail } => write!(f, "protocol: {detail}"),
+            Violation::BudgetMismatch {
+                t,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: declared budget {reported} but the instance prescribes {expected}"
+            ),
+            Violation::BudgetExceeded { t, spent, budget } => {
+                write!(f, "t={t}: probes cost {spent} > budget {budget}")
+            }
+            Violation::SpentMismatch {
+                t,
+                reported,
+                observed,
+            } => write!(
+                f,
+                "t={t}: ChrononEnd reported spent={reported} but probes summed to {observed}"
+            ),
+            Violation::CostMismatch {
+                t,
+                resource,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: probe of {resource} reported cost {reported}, instance says {expected}"
+            ),
+            Violation::DuplicateSharedProbe { t, resource } => {
+                write!(f, "t={t}: {resource} probed twice with sharing enabled")
+            }
+            Violation::ProbeOutsideWindow { t, resource } => {
+                write!(f, "t={t}: probe of {resource} serves no live EI window")
+            }
+            Violation::FanoutMismatch {
+                t,
+                resource,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: probe of {resource} reported fan-out {reported}, mirror says {expected}"
+            ),
+            Violation::CaptureCountMismatch {
+                t,
+                resource,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "t={t}: probe of {resource} produced {observed} captures, mirror expected {expected}"
+            ),
+            Violation::CaptureWithoutWindow { t, cei } => {
+                write!(f, "t={t}: capture for {cei} matches no open window")
+            }
+            Violation::CompletionWithoutThreshold {
+                cei,
+                at,
+                captured,
+                required,
+            } => write!(
+                f,
+                "{cei} completed at {at} with {captured}/{required} EIs captured"
+            ),
+            Violation::DuplicateCompletion { cei, at } => {
+                write!(f, "{cei} completed twice (second at {at})")
+            }
+            Violation::MissingCompletion { cei, t } => {
+                write!(f, "{cei} crossed its threshold at {t} without CeiCompleted")
+            }
+            Violation::ExpiredAfterCompletion { cei, at } => {
+                write!(f, "{cei} expired at {at} after completing")
+            }
+            Violation::DuplicateExpiry { cei, at } => {
+                write!(f, "{cei} expired twice (second at {at})")
+            }
+            Violation::SpuriousExpiry { cei, at } => {
+                write!(f, "{cei} reported expired at {at} but is not doomed")
+            }
+            Violation::MissingExpiry { cei, t } => {
+                write!(f, "{cei} became doomed at {t} without CeiExpired")
+            }
+            Violation::CandidateSetMismatch {
+                t,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: candidate set reported {reported} EIs, mirror says {expected}"
+            ),
+            Violation::DeferredMismatch {
+                t,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: BudgetExhausted reported {reported} deferred, mirror says {expected}"
+            ),
+            Violation::EpochTruncated {
+                chronons_seen,
+                expected,
+            } => write!(
+                f,
+                "run covered {chronons_seen} of {expected} epoch chronons"
+            ),
+            Violation::IndicatorMismatch { cei } => write!(
+                f,
+                "{cei} reported completed but X(η, S) over the probe schedule is 0"
+            ),
+            Violation::ResultDivergence { detail } => write!(f, "result divergence: {detail}"),
+        }
+    }
+}
+
+/// Outcome of a checked run: the violations found (empty for a conforming
+/// run) plus summary counters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InvariantReport {
+    /// Violations, in detection order, capped at an internal limit.
+    pub violations: Vec<Violation>,
+    /// Violations beyond the cap that were counted but not stored.
+    pub suppressed: u64,
+    /// Chronons fully processed (`ChrononStart` … `ChrononEnd` pairs).
+    pub chronons: Chronon,
+    /// Probes observed.
+    pub probes: u64,
+    /// EI captures observed.
+    pub captures: u64,
+}
+
+impl InvariantReport {
+    /// `true` iff no invariant violation was detected.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Panics with the full violation list unless the report is clean.
+    /// Convenience for tests and CI gates.
+    ///
+    /// # Panics
+    /// Panics if any violation was recorded, listing them all.
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "invariant violations detected:\n{self}");
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "clean: {} chronons, {} probes, {} captures",
+                self.chronons, self.probes, self.captures
+            );
+        }
+        writeln!(
+            f,
+            "{} violation(s) ({} suppressed) over {} chronons:",
+            self.violations.len(),
+            self.suppressed,
+            self.chronons
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-CEI mirrored lifecycle state.
+#[derive(Debug, Clone)]
+struct MirrorCei {
+    captured: Vec<bool>,
+    n_captured: u16,
+    completed_at: Option<Chronon>,
+    failed_at: Option<Chronon>,
+}
+
+impl MirrorCei {
+    fn live(&self) -> bool {
+        self.completed_at.is_none() && self.failed_at.is_none()
+    }
+}
+
+/// An [`Observer`] that validates the engine's event stream against the
+/// instance's declarative invariants. See the [module docs](crate::check)
+/// for the full invariant list and an example.
+///
+/// Construct one per run, drive it through
+/// [`OnlineEngine::run_observed`](crate::engine::OnlineEngine::run_observed)
+/// (alone or inside a [`Tee`](crate::obs::Tee)), then call
+/// [`finish`](Self::finish) — or [`finish_with`](Self::finish_with) to also
+/// cross-check the engine's [`RunResult`] against the mirrored state.
+#[derive(Debug)]
+pub struct InvariantObserver<'a> {
+    instance: &'a Instance,
+    share_probes: bool,
+
+    // Chronon-scoped state.
+    t_open: Option<Chronon>,
+    next_t: Chronon,
+    budget_now: u32,
+    spent_now: u32,
+    probed_now: Vec<bool>,
+    expected_pool: u32,
+    candidate_set_seen: bool,
+    expected_deferred: Option<u32>,
+    deferred_reported: bool,
+    last_probe: Option<(ResourceId, u32)>,
+    captures_since_probe: u32,
+    pending_completion: Vec<CeiId>,
+    expired_this_chronon: Vec<CeiId>,
+
+    // Run-scoped mirror.
+    ceis: Vec<MirrorCei>,
+    schedule: Schedule,
+    probes_seen: u64,
+    captures_seen: u64,
+
+    violations: Vec<Violation>,
+    suppressed: u64,
+}
+
+impl<'a> InvariantObserver<'a> {
+    /// A fresh checker for one run of `instance` under `config` (only
+    /// `config.share_probes` affects the invariants; selection strategy and
+    /// preemption do not).
+    pub fn new(instance: &'a Instance, config: EngineConfig) -> Self {
+        InvariantObserver {
+            instance,
+            share_probes: config.share_probes,
+            t_open: None,
+            next_t: 0,
+            budget_now: 0,
+            spent_now: 0,
+            probed_now: vec![false; instance.n_resources as usize],
+            expected_pool: 0,
+            candidate_set_seen: false,
+            expected_deferred: None,
+            deferred_reported: false,
+            last_probe: None,
+            captures_since_probe: 0,
+            pending_completion: Vec::new(),
+            expired_this_chronon: Vec::new(),
+            ceis: instance
+                .ceis
+                .iter()
+                .map(|c| MirrorCei {
+                    captured: vec![false; c.size()],
+                    n_captured: 0,
+                    completed_at: None,
+                    failed_at: None,
+                })
+                .collect(),
+            schedule: Schedule::new(instance.n_resources, instance.epoch),
+            probes_seen: 0,
+            captures_seen: 0,
+            violations: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Violations detected so far (the run can still be in flight).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The probe schedule accumulated from `ProbeIssued` events.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    fn report(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn protocol(&mut self, detail: String) {
+        self.report(Violation::Protocol { detail });
+    }
+
+    /// `true` iff EI `k` of CEI `i` is a live candidate at `t` in the
+    /// mirror: parent unresolved, window open, not yet captured. For CEIs
+    /// resolved in earlier chronons this coincides with membership in the
+    /// engine's compacted pool.
+    fn is_live_candidate(&self, i: usize, k: usize, t: Chronon) -> bool {
+        let m = &self.ceis[i];
+        let ei = self.instance.ceis[i].eis[k];
+        m.live() && !m.captured[k] && ei.start <= t && t <= ei.end
+    }
+
+    /// Mirrored candidate-pool size at `t` (over all resources).
+    fn pool_size(&self, t: Chronon) -> u32 {
+        let mut n = 0u32;
+        for i in 0..self.ceis.len() {
+            for k in 0..self.ceis[i].captured.len() {
+                if self.is_live_candidate(i, k, t) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Mirrored count of EIs a shared probe of `resource` at `t` captures.
+    fn capturable_on(&self, resource: ResourceId, t: Chronon) -> u32 {
+        let mut n = 0u32;
+        for i in 0..self.ceis.len() {
+            for k in 0..self.ceis[i].captured.len() {
+                if self.instance.ceis[i].eis[k].resource == resource
+                    && self.is_live_candidate(i, k, t)
+                {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Mirrored count of live candidates left unserved this chronon (the
+    /// `deferred` field of [`Event::BudgetExhausted`]).
+    fn deferred_now(&self, t: Chronon) -> u32 {
+        let mut n = 0u32;
+        for i in 0..self.ceis.len() {
+            for k in 0..self.ceis[i].captured.len() {
+                let r = self.instance.ceis[i].eis[k].resource;
+                let served = self.share_probes && self.probed_now[r.index()];
+                if !served && self.is_live_candidate(i, k, t) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Closes out the previous probe: its capture fan-out must match the
+    /// mirror, and every threshold crossing must have produced a
+    /// `CeiCompleted` by now.
+    fn flush_probe(&mut self, t: Chronon) {
+        if let Some((resource, expected)) = self.last_probe.take() {
+            if self.captures_since_probe != expected {
+                let observed = self.captures_since_probe;
+                self.report(Violation::CaptureCountMismatch {
+                    t,
+                    resource,
+                    expected,
+                    observed,
+                });
+            }
+        }
+        self.captures_since_probe = 0;
+        let pending = std::mem::take(&mut self.pending_completion);
+        for cei in pending {
+            self.report(Violation::MissingCompletion { cei, t });
+        }
+    }
+
+    fn on_chronon_start(&mut self, t: Chronon, budget: u32) {
+        if let Some(prev) = self.t_open {
+            self.protocol(format!("chronon {prev} never closed before {t} opened"));
+        }
+        if t != self.next_t {
+            let expected = self.next_t;
+            self.protocol(format!("chronon {t} opened, expected {expected}"));
+        }
+        let prescribed = self.instance.budget.at(t);
+        if budget != prescribed {
+            self.report(Violation::BudgetMismatch {
+                t,
+                reported: budget,
+                expected: prescribed,
+            });
+        }
+        self.t_open = Some(t);
+        self.budget_now = budget;
+        self.spent_now = 0;
+        self.probed_now.fill(false);
+        self.candidate_set_seen = false;
+        self.expected_deferred = None;
+        self.deferred_reported = false;
+        self.last_probe = None;
+        self.captures_since_probe = 0;
+        self.expired_this_chronon.clear();
+        // Snapshot the pool the engine's compaction produces at the top of
+        // this chronon; `CandidateSet` (emitted after probing, from the
+        // untouched pool vector) must report exactly this.
+        self.expected_pool = self.pool_size(t);
+    }
+
+    /// Checks an event's chronon tag against the open chronon; reports and
+    /// returns `None` when the stream is out of order.
+    fn open_chronon(&mut self, t: Chronon, kind: &'static str) -> Option<Chronon> {
+        match self.t_open {
+            Some(open) if open == t => Some(open),
+            Some(open) => {
+                self.protocol(format!("{kind} tagged t={t} inside chronon {open}"));
+                None
+            }
+            None => {
+                self.protocol(format!("{kind} at t={t} outside any open chronon"));
+                None
+            }
+        }
+    }
+
+    fn on_probe(&mut self, t: Chronon, resource: ResourceId, cost: u32, shared_eis: u32) {
+        if self.open_chronon(t, "ProbeIssued").is_none() {
+            return;
+        }
+        self.flush_probe(t);
+        // A corrupt stream may reference chronons or resources outside the
+        // instance; report instead of indexing out of bounds.
+        if resource.index() >= self.probed_now.len() || !self.instance.epoch.contains(t) {
+            self.protocol(format!("probe of {resource} at t={t} outside the instance"));
+            return;
+        }
+        let prescribed = self.instance.costs.of(resource);
+        if cost != prescribed {
+            self.report(Violation::CostMismatch {
+                t,
+                resource,
+                reported: cost,
+                expected: prescribed,
+            });
+        }
+        if self.spent_now + cost > self.budget_now {
+            self.report(Violation::BudgetExceeded {
+                t,
+                spent: self.spent_now + cost,
+                budget: self.budget_now,
+            });
+        }
+        if self.share_probes && self.probed_now[resource.index()] {
+            self.report(Violation::DuplicateSharedProbe { t, resource });
+        }
+        let capturable = self.capturable_on(resource, t);
+        if capturable == 0 {
+            self.report(Violation::ProbeOutsideWindow { t, resource });
+        }
+        // With sharing, the reported fan-out and the following captures
+        // both equal the capturable count; without it, a probe serves
+        // exactly the one EI it was issued for.
+        let expected_captures = if self.share_probes {
+            if shared_eis != capturable {
+                self.report(Violation::FanoutMismatch {
+                    t,
+                    resource,
+                    reported: shared_eis,
+                    expected: capturable,
+                });
+            }
+            capturable
+        } else {
+            if shared_eis != 1 {
+                self.report(Violation::FanoutMismatch {
+                    t,
+                    resource,
+                    reported: shared_eis,
+                    expected: 1,
+                });
+            }
+            capturable.min(1)
+        };
+        self.spent_now += cost;
+        self.probed_now[resource.index()] = true;
+        self.probes_seen += 1;
+        self.schedule.probe(resource, t);
+        self.last_probe = Some((resource, expected_captures));
+    }
+
+    fn on_ei_captured(&mut self, t: Chronon, cei: CeiId, latency: u32) {
+        if self.open_chronon(t, "EiCaptured").is_none() {
+            return;
+        }
+        let Some((resource, _)) = self.last_probe else {
+            self.protocol(format!("EiCaptured for {cei} at t={t} with no probe"));
+            return;
+        };
+        self.captures_since_probe += 1;
+        let i = cei.index();
+        if i >= self.ceis.len() {
+            self.protocol(format!("EiCaptured references unknown {cei}"));
+            return;
+        }
+        // Attribute the event to the first uncaptured EI of this CEI on the
+        // probed resource whose open window matches the reported latency.
+        let matched = (0..self.ceis[i].captured.len()).find(|&k| {
+            let ei = self.instance.ceis[i].eis[k];
+            ei.resource == resource && self.is_live_candidate(i, k, t) && t - ei.start == latency
+        });
+        let Some(k) = matched else {
+            self.report(Violation::CaptureWithoutWindow { t, cei });
+            return;
+        };
+        let m = &mut self.ceis[i];
+        m.captured[k] = true;
+        m.n_captured += 1;
+        self.captures_seen += 1;
+        if m.n_captured == self.instance.ceis[i].required {
+            self.pending_completion.push(cei);
+        }
+    }
+
+    fn on_cei_completed(&mut self, cei: CeiId, at: Chronon) {
+        if self.open_chronon(at, "CeiCompleted").is_none() {
+            return;
+        }
+        let i = cei.index();
+        if i >= self.ceis.len() {
+            self.protocol(format!("CeiCompleted references unknown {cei}"));
+            return;
+        }
+        if self.ceis[i].completed_at.is_some() {
+            self.report(Violation::DuplicateCompletion { cei, at });
+            return;
+        }
+        let required = self.instance.ceis[i].required;
+        if self.ceis[i].n_captured < required || self.ceis[i].failed_at.is_some() {
+            let captured = self.ceis[i].n_captured;
+            self.report(Violation::CompletionWithoutThreshold {
+                cei,
+                at,
+                captured,
+                required,
+            });
+        }
+        self.pending_completion.retain(|&c| c != cei);
+        self.ceis[i].completed_at = Some(at);
+    }
+
+    fn on_cei_expired(&mut self, cei: CeiId, at: Chronon) {
+        if self.open_chronon(at, "CeiExpired").is_none() {
+            return;
+        }
+        self.flush_probe(at);
+        let i = cei.index();
+        if i >= self.ceis.len() {
+            self.protocol(format!("CeiExpired references unknown {cei}"));
+            return;
+        }
+        if self.ceis[i].completed_at.is_some() {
+            self.report(Violation::ExpiredAfterCompletion { cei, at });
+            return;
+        }
+        if self.ceis[i].failed_at.is_some() {
+            self.report(Violation::DuplicateExpiry { cei, at });
+            return;
+        }
+        self.ceis[i].failed_at = Some(at);
+        self.expired_this_chronon.push(cei);
+    }
+
+    fn on_candidate_set(&mut self, t: Chronon, size: u32) {
+        if self.open_chronon(t, "CandidateSet").is_none() {
+            return;
+        }
+        self.flush_probe(t);
+        if self.candidate_set_seen {
+            self.protocol(format!("duplicate CandidateSet in chronon {t}"));
+            return;
+        }
+        self.candidate_set_seen = true;
+        if size != self.expected_pool {
+            let expected = self.expected_pool;
+            self.report(Violation::CandidateSetMismatch {
+                t,
+                reported: size,
+                expected,
+            });
+        }
+        // The deferred count is evaluated here — after all probing, before
+        // expiry — exactly where the engine computes it.
+        self.expected_deferred = Some(self.deferred_now(t));
+    }
+
+    fn on_budget_exhausted(&mut self, t: Chronon, deferred: u32) {
+        if self.open_chronon(t, "BudgetExhausted").is_none() {
+            return;
+        }
+        let Some(expected) = self.expected_deferred else {
+            self.protocol(format!("BudgetExhausted before CandidateSet at t={t}"));
+            return;
+        };
+        self.deferred_reported = true;
+        if deferred != expected || expected == 0 {
+            self.report(Violation::DeferredMismatch {
+                t,
+                reported: deferred,
+                expected,
+            });
+        }
+    }
+
+    fn on_chronon_end(&mut self, t: Chronon, spent: u32, budget: u32) {
+        if self.open_chronon(t, "ChrononEnd").is_none() {
+            return;
+        }
+        self.flush_probe(t);
+        if !self.candidate_set_seen {
+            self.protocol(format!("chronon {t} closed without a CandidateSet"));
+        }
+        if let Some(expected) = self.expected_deferred {
+            if expected > 0 && !self.deferred_reported {
+                self.report(Violation::DeferredMismatch {
+                    t,
+                    reported: 0,
+                    expected,
+                });
+            }
+        }
+        if spent != self.spent_now {
+            let observed = self.spent_now;
+            self.report(Violation::SpentMismatch {
+                t,
+                reported: spent,
+                observed,
+            });
+        }
+        if budget != self.budget_now {
+            let expected = self.budget_now;
+            self.report(Violation::BudgetMismatch {
+                t,
+                reported: budget,
+                expected,
+            });
+        }
+        self.check_expiries(t);
+        self.t_open = None;
+        self.next_t = t.wrapping_add(1);
+    }
+
+    /// Mirrors the engine's expiry phase: a CEI must fail exactly at the
+    /// chronon where uncaptured window closings first make `required`
+    /// captures unreachable.
+    fn check_expiries(&mut self, t: Chronon) {
+        let mut missing: Vec<CeiId> = Vec::new();
+        let mut spurious: Vec<CeiId> = Vec::new();
+        for (i, cei) in self.instance.ceis.iter().enumerate() {
+            let m = &self.ceis[i];
+            if m.completed_at.is_some() {
+                continue;
+            }
+            let failed_now = m.failed_at == Some(t) && self.expired_this_chronon.contains(&cei.id);
+            if m.failed_at.is_some() && !failed_now {
+                continue; // resolved in an earlier chronon
+            }
+            // `n_possible` after this chronon's closings vs. before them.
+            // EIs closing before `t` cannot have been captured at `t`, so
+            // current capture flags are valid for both counts.
+            let mut closed_now = 0usize;
+            let mut closed_prev = 0usize;
+            for (k, ei) in cei.eis.iter().enumerate() {
+                if !m.captured[k] && ei.end <= t {
+                    closed_now += 1;
+                    if ei.end < t {
+                        closed_prev += 1;
+                    }
+                }
+            }
+            let required = usize::from(cei.required);
+            let doomed_now = cei.size() - closed_now < required;
+            let doomed_prev = cei.size() - closed_prev < required;
+            if doomed_prev {
+                continue; // already reported as missing at the earlier chronon
+            }
+            let expected = doomed_now;
+            if expected && !failed_now {
+                missing.push(cei.id);
+            } else if failed_now && !expected {
+                spurious.push(cei.id);
+            }
+        }
+        for cei in missing {
+            self.report(Violation::MissingExpiry { cei, t });
+        }
+        for cei in spurious {
+            self.report(Violation::SpuriousExpiry { cei, at: t });
+        }
+    }
+
+    /// Finishes the stream-level checks and returns the report: the epoch
+    /// must be fully covered, and every completed CEI must satisfy the pure
+    /// capture indicator `X(η, S)` over the accumulated probe schedule.
+    pub fn finish(mut self) -> InvariantReport {
+        self.end_of_run_checks();
+        InvariantReport {
+            violations: self.violations,
+            suppressed: self.suppressed,
+            chronons: self.next_t,
+            probes: self.probes_seen,
+            captures: self.captures_seen,
+        }
+    }
+
+    /// Like [`finish`](Self::finish), additionally cross-checking the
+    /// engine's own [`RunResult`] — schedule, per-CEI outcomes, and
+    /// aggregate statistics — against the mirrored state.
+    pub fn finish_with(mut self, result: &RunResult) -> InvariantReport {
+        self.end_of_run_checks();
+        if result.schedule != self.schedule {
+            self.report(Violation::ResultDivergence {
+                detail: "engine schedule differs from the probes the stream announced".into(),
+            });
+        }
+        if result.outcomes.len() != self.ceis.len() {
+            let n = result.outcomes.len();
+            self.report(Violation::ResultDivergence {
+                detail: format!("{n} outcomes for {} CEIs", self.ceis.len()),
+            });
+        } else {
+            for (i, outcome) in result.outcomes.iter().enumerate() {
+                let m = &self.ceis[i];
+                let mirrored = if let Some(at) = m.completed_at {
+                    CeiOutcome::Captured { at }
+                } else if let Some(at) = m.failed_at {
+                    CeiOutcome::Failed { at }
+                } else {
+                    CeiOutcome::Pending
+                };
+                if *outcome != mirrored {
+                    let id = self.instance.ceis[i].id;
+                    self.report(Violation::ResultDivergence {
+                        detail: format!("{id}: engine outcome {outcome:?}, mirror {mirrored:?}"),
+                    });
+                }
+            }
+        }
+        let completed = self
+            .ceis
+            .iter()
+            .filter(|m| m.completed_at.is_some())
+            .count() as u64;
+        let failed = self.ceis.iter().filter(|m| m.failed_at.is_some()).count() as u64;
+        let checks = [
+            ("probes_used", result.stats.probes_used, self.probes_seen),
+            (
+                "eis_captured",
+                result.stats.eis_captured,
+                self.captures_seen,
+            ),
+            ("ceis_captured", result.stats.ceis_captured, completed),
+            ("ceis_failed", result.stats.ceis_failed, failed),
+        ];
+        for (name, engine, mirror) in checks {
+            if engine != mirror {
+                self.report(Violation::ResultDivergence {
+                    detail: format!("stats.{name}: engine {engine}, mirror {mirror}"),
+                });
+            }
+        }
+        InvariantReport {
+            violations: self.violations,
+            suppressed: self.suppressed,
+            chronons: self.next_t,
+            probes: self.probes_seen,
+            captures: self.captures_seen,
+        }
+    }
+
+    fn end_of_run_checks(&mut self) {
+        if let Some(t) = self.t_open {
+            self.protocol(format!("chronon {t} still open at end of run"));
+        }
+        let horizon = self.instance.epoch.len();
+        if self.next_t != horizon {
+            self.report(Violation::EpochTruncated {
+                chronons_seen: self.next_t,
+                expected: horizon,
+            });
+        }
+        for i in 0..self.ceis.len() {
+            if self.ceis[i].completed_at.is_some()
+                && !mirror_indicator(&self.instance.ceis[i], self)
+            {
+                let cei = self.instance.ceis[i].id;
+                self.report(Violation::IndicatorMismatch { cei });
+            }
+        }
+    }
+}
+
+/// `X(η, S)` restricted to the EIs the mirror saw captured — every mirrored
+/// capture must be justified by a probe in that EI's window.
+fn mirror_indicator(cei: &Cei, obs: &InvariantObserver<'_>) -> bool {
+    let m = &obs.ceis[cei.id.index()];
+    let mut justified = 0u16;
+    for (k, &ei) in cei.eis.iter().enumerate() {
+        if m.captured[k] && ei_captured(ei, &obs.schedule) {
+            justified += 1;
+        }
+    }
+    justified >= cei.required
+}
+
+impl Observer for InvariantObserver<'_> {
+    fn on_event(&mut self, event: Event) {
+        match event {
+            Event::ChrononStart { t, budget } => self.on_chronon_start(t, budget),
+            Event::CandidateSet { t, size, .. } => self.on_candidate_set(t, size),
+            Event::ProbeIssued {
+                t,
+                resource,
+                cost,
+                shared_eis,
+            } => self.on_probe(t, resource, cost, shared_eis),
+            Event::EiCaptured { t, cei, latency } => self.on_ei_captured(t, cei, latency),
+            Event::CeiCompleted { cei, at } => self.on_cei_completed(cei, at),
+            Event::CeiExpired { cei, at } => self.on_cei_expired(cei, at),
+            Event::BudgetExhausted { t, deferred } => self.on_budget_exhausted(t, deferred),
+            Event::ChrononEnd { t, spent, budget } => self.on_chronon_end(t, spent, budget),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::OnlineEngine;
+    use crate::model::{Budget, InstanceBuilder, ProbeCosts};
+    use crate::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
+
+    /// A contended mixed instance: staggered AND CEIs, a threshold CEI, an
+    /// explicit release, and intra-resource overlap.
+    fn mixed_instance(budget: u32) -> Instance {
+        let mut b = InstanceBuilder::new(4, 24, Budget::Uniform(budget));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 4)]);
+        b.cei(p, &[(1, 0, 2), (2, 10, 12)]);
+        b.cei(p, &[(0, 6, 9), (1, 6, 9), (3, 7, 9)]);
+        b.cei_threshold(p, 2, &[(0, 12, 15), (1, 12, 15), (2, 14, 17)]);
+        b.cei(p, &[(3, 18, 18), (2, 18, 20)]);
+        b.cei_released(p, 1, &[(0, 3, 3), (1, 3, 3)]);
+        b.cei(p, &[(0, 14, 14), (0, 14, 14)]);
+        b.build()
+    }
+
+    fn checked_run(instance: &Instance, policy: &dyn Policy, config: EngineConfig) {
+        let mut obs = InvariantObserver::new(instance, config);
+        let run = OnlineEngine::run_observed(instance, policy, config, &mut obs);
+        let report = obs.finish_with(&run);
+        report.assert_clean();
+        assert_eq!(report.chronons, instance.epoch.len());
+        assert_eq!(report.probes, run.stats.probes_used);
+    }
+
+    #[test]
+    fn clean_runs_produce_clean_reports() {
+        for budget in [0, 1, 2] {
+            let instance = mixed_instance(budget);
+            for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+                for config in [
+                    EngineConfig::preemptive(),
+                    EngineConfig::non_preemptive(),
+                    EngineConfig::preemptive().with_lazy_heap(),
+                    EngineConfig::preemptive().without_probe_sharing(),
+                    EngineConfig::non_preemptive().without_probe_sharing(),
+                ] {
+                    checked_run(&instance, policy, config);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_under_varying_costs_and_per_chronon_budgets() {
+        let mut b = InstanceBuilder::new(
+            3,
+            10,
+            Budget::PerChronon(vec![0, 2, 1, 1, 3, 0, 1, 1, 2, 1]),
+        );
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 3)]);
+        b.cei(p, &[(1, 2, 5), (2, 4, 8)]);
+        b.cei_threshold(p, 1, &[(0, 6, 9), (1, 6, 9)]);
+        let instance = b
+            .build()
+            .with_costs(ProbeCosts::per_resource(vec![1, 2, 1]));
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            checked_run(&instance, &Mrsf, config);
+        }
+    }
+
+    /// Replays a run's true event stream with one event swapped/dropped by
+    /// `mutate`, and returns the resulting report.
+    fn mutated_report(
+        instance: &Instance,
+        config: EngineConfig,
+        mutate: impl Fn(Vec<Event>) -> Vec<Event>,
+    ) -> InvariantReport {
+        struct Rec(Vec<Event>);
+        impl Observer for Rec {
+            fn on_event(&mut self, event: Event) {
+                self.0.push(event);
+            }
+        }
+        let mut rec = Rec(Vec::new());
+        OnlineEngine::run_observed(instance, &Mrsf, config, &mut rec);
+        let events = mutate(rec.0);
+        let mut checker = InvariantObserver::new(instance, config);
+        for e in events {
+            checker.on_event(e);
+        }
+        checker.finish()
+    }
+
+    /// The true stream passes; this is the control for the mutation tests.
+    #[test]
+    fn unmutated_replay_is_clean() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |e| e);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn probe_outside_any_window_is_flagged() {
+        // Chronon 21 has no open windows on resource 3 in mixed_instance.
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            let at = ev
+                .iter()
+                .position(|e| matches!(e, Event::ChrononStart { t: 21, .. }))
+                .unwrap();
+            ev.insert(
+                at + 1,
+                Event::ProbeIssued {
+                    t: 21,
+                    resource: ResourceId(3),
+                    cost: 1,
+                    shared_eis: 0,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::ProbeOutsideWindow {
+                    t: 21,
+                    resource: ResourceId(3)
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn over_budget_probing_is_flagged() {
+        // Duplicate the first probe: same chronon, budget 1 → cost 2 > 1.
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            let at = ev
+                .iter()
+                .position(|e| matches!(e, Event::ProbeIssued { .. }))
+                .unwrap();
+            ev.insert(at, ev[at]);
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::BudgetExceeded { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dropped_expiry_is_flagged_as_missing() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |ev| {
+            let first = ev
+                .iter()
+                .position(|e| matches!(e, Event::CeiExpired { .. }))
+                .unwrap();
+            ev.into_iter()
+                .enumerate()
+                .filter(|&(i, _)| i != first)
+                .map(|(_, e)| e)
+                .collect()
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::MissingExpiry { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dropped_completion_is_flagged_as_missing() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |ev| {
+            let first = ev
+                .iter()
+                .position(|e| matches!(e, Event::CeiCompleted { .. }))
+                .unwrap();
+            ev.into_iter()
+                .enumerate()
+                .filter(|&(i, _)| i != first)
+                .map(|(_, e)| e)
+                .collect()
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::MissingCompletion { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn premature_completion_is_flagged() {
+        // Announce CEI 2 (three EIs, AND) complete in chronon 0.
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            ev.insert(
+                1,
+                Event::CeiCompleted {
+                    cei: CeiId(2),
+                    at: 0,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::CompletionWithoutThreshold {
+                    cei: CeiId(2),
+                    at: 0,
+                    captured: 0,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn expiry_after_completion_is_flagged() {
+        // Append an expiry for an already-completed CEI inside the final
+        // chronon (before its ChrononEnd).
+        let report = mutated_report(&mixed_instance(2), EngineConfig::preemptive(), |mut ev| {
+            let done = ev
+                .iter()
+                .find_map(|e| match e {
+                    Event::CeiCompleted { cei, .. } => Some(*cei),
+                    _ => None,
+                })
+                .expect("some CEI completes under budget 2");
+            let last_end = ev.len() - 1;
+            assert!(matches!(ev[last_end], Event::ChrononEnd { t: 23, .. }));
+            ev.insert(last_end, Event::CeiExpired { cei: done, at: 23 });
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ExpiredAfterCompletion { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn fake_capture_is_flagged() {
+        // An EiCaptured for a CEI with no window on the probed resource.
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            let at = ev
+                .iter()
+                .position(|e| matches!(e, Event::ProbeIssued { .. }))
+                .unwrap();
+            let Event::ProbeIssued { t, .. } = ev[at] else {
+                unreachable!()
+            };
+            ev.insert(
+                at + 1,
+                Event::EiCaptured {
+                    t,
+                    cei: CeiId(4),
+                    latency: 0,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::CaptureWithoutWindow { cei: CeiId(4), .. }
+                    | Violation::CaptureCountMismatch { .. }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn tampered_candidate_set_is_flagged() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            for e in &mut ev {
+                if let Event::CandidateSet { size, .. } = e {
+                    *size += 1;
+                    break;
+                }
+            }
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::CandidateSetMismatch { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn tampered_spent_and_budget_are_flagged() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            for e in &mut ev {
+                if let Event::ChrononEnd { spent, .. } = e {
+                    *spent += 1;
+                    break;
+                }
+            }
+            for e in &mut ev {
+                if let Event::ChrononStart { t: 5, budget } = e {
+                    *budget = 9;
+                }
+            }
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::SpentMismatch { .. })),
+            "{report}"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::BudgetMismatch { t: 5, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn truncated_epoch_is_flagged() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |ev| {
+            let cut = ev
+                .iter()
+                .position(|e| matches!(e, Event::ChrononStart { t: 20, .. }))
+                .unwrap();
+            ev.into_iter().take(cut).collect()
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::EpochTruncated {
+                    chronons_seen: 20,
+                    expected: 24
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn violation_cap_suppresses_overflow() {
+        // An entirely bogus stream: every chronon out of order.
+        let instance = mixed_instance(1);
+        let mut checker = InvariantObserver::new(&instance, EngineConfig::preemptive());
+        for _ in 0..(MAX_VIOLATIONS as u32 + 40) {
+            checker.on_event(Event::ChrononStart { t: 999, budget: 7 });
+        }
+        let report = checker.finish();
+        assert_eq!(report.violations.len(), MAX_VIOLATIONS);
+        assert!(report.suppressed > 0);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            for e in &mut ev {
+                if let Event::CandidateSet { size, .. } = e {
+                    *size += 3;
+                    break;
+                }
+            }
+            ev
+        });
+        let text = report.to_string();
+        assert!(text.contains("violation"), "{text}");
+        assert!(text.contains("candidate set"), "{text}");
+    }
+}

@@ -39,6 +39,9 @@
 //! * [`obs`] — live engine observability: typed events emitted from inside
 //!   the run loop, zero-cost when disabled, with shipped metrics and JSONL
 //!   trace observers.
+//! * [`check`] — the conformance harness's invariant checker: an observer
+//!   that mirrors the engine from its event stream alone and reports any
+//!   divergence from the model's invariants as structured violations.
 //!
 //! ## Quick start
 //!
@@ -59,6 +62,7 @@
 //! assert!((result.stats.completeness() - 1.0).abs() < 1e-9);
 //! ```
 
+pub mod check;
 pub mod diagnostics;
 pub mod engine;
 pub mod model;
@@ -67,6 +71,7 @@ pub mod offline;
 pub mod policy;
 pub mod stats;
 
+pub use check::{InvariantObserver, InvariantReport, Violation};
 pub use engine::{EngineConfig, OnlineEngine, RunResult};
 pub use model::{
     Budget, Cei, CeiId, Chronon, Ei, Instance, InstanceBuilder, Profile, ProfileId, ResourceId,

@@ -42,20 +42,24 @@
 //! notwithstanding.
 
 mod metrics;
+mod replay;
 mod trace;
 
 pub use metrics::{Histogram, MetricsObserver, RunMetrics};
+pub use replay::{replay_events, replay_metrics, ReplayError};
 pub use trace::JsonlTraceObserver;
 
 use crate::model::{CeiId, Chronon, ResourceId};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One typed event from inside [`OnlineEngine`](crate::engine::OnlineEngine).
 ///
 /// Events are small `Copy` records of already-computed scalars; constructing
 /// one costs a handful of register moves, and under [`NoopObserver`] the
-/// construction is eliminated entirely.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+/// construction is eliminated entirely. `Deserialize` makes a persisted
+/// [`JsonlTraceObserver`] trace a lossless transcript: [`replay_metrics`]
+/// re-derives [`RunMetrics`] from the bytes alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
     /// A chronon opened with the given probe budget.
     ChrononStart {

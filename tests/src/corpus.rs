@@ -1,0 +1,159 @@
+//! The fixed-seed conformance corpus.
+//!
+//! The differential harness needs a corpus that is *identical* on every
+//! machine and CI run. The vendored proptest's RNG is seeded per test name
+//! (and perturbable via `PROPTEST_RNG_SEED`), so it cannot provide that;
+//! this module carries its own splitmix64 generator, seeded purely by the
+//! case index.
+//!
+//! Instances are sized for exact offline enumeration (Prop. 4 is
+//! exponential): few resources, short epochs, small budgets, and narrow
+//! windows — while still covering thresholds, releases, shared windows,
+//! and zero-budget chronons.
+
+use webmon_core::model::{Budget, Chronon, Instance, InstanceBuilder};
+
+/// Base number of conformance cases checked in CI (the acceptance floor is
+/// 200; a few extra guard against future case-splitting).
+pub const BASE_CASES: u64 = 240;
+
+/// Total conformance cases to run: `WEBMON_CONFORMANCE_CASES` extends the
+/// fixed corpus for local extended fuzzing, but can never shrink it below
+/// [`BASE_CASES`] — CI always checks at least the fixed prefix.
+pub fn conformance_cases() -> u64 {
+    std::env::var("WEBMON_CONFORMANCE_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(BASE_CASES, |n| n.max(BASE_CASES))
+}
+
+/// A tiny deterministic RNG (splitmix64): identical output for identical
+/// seeds on every platform, with no dependency on the proptest stub's
+/// per-test-name seeding.
+#[derive(Debug, Clone)]
+pub struct CorpusRng {
+    state: u64,
+}
+
+impl CorpusRng {
+    /// Seeds the generator; equal seeds yield equal streams forever.
+    pub fn new(seed: u64) -> Self {
+        CorpusRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`; the slight modulo bias is irrelevant at
+    /// test-corpus scale).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// One corpus instance: 1–3 resources, a 4–10 chronon epoch, uniform
+/// budget 0–2, and 1–4 CEIs of 1–2 EIs with windows of at most 3 chronons.
+/// With `allow_threshold`, multi-EI CEIs sometimes get `required <` size
+/// (disable for Prop. 5 expansion, which is AND-only); some CEIs get an
+/// early release chronon.
+pub fn small_instance(seed: u64, allow_threshold: bool) -> Instance {
+    let mut rng = CorpusRng::new(seed);
+    let n_resources = rng.range(1, 3) as u32;
+    let horizon = rng.range(4, 10) as Chronon;
+    let budget = rng.below(3) as u32;
+    let n_ceis = rng.range(1, 4);
+
+    let mut b = InstanceBuilder::new(n_resources, horizon, Budget::Uniform(budget));
+    let p = b.profile();
+    for _ in 0..n_ceis {
+        let n_eis = rng.range(1, 2);
+        let eis: Vec<(u32, Chronon, Chronon)> = (0..n_eis)
+            .map(|_| {
+                let r = rng.below(u64::from(n_resources)) as u32;
+                let start = rng.below(u64::from(horizon)) as Chronon;
+                let end = (start + rng.below(3) as Chronon).min(horizon - 1);
+                (r, start, end)
+            })
+            .collect();
+        let earliest = eis.iter().map(|&(_, s, _)| s).min().expect("non-empty");
+        if allow_threshold && n_eis > 1 && rng.chance(40) {
+            b.cei_threshold(p, rng.range(1, n_eis) as u16, &eis);
+        } else if rng.chance(30) {
+            b.cei_released(p, rng.below(u64::from(earliest) + 1) as Chronon, &eis);
+        } else {
+            b.cei(p, &eis);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        for seed in 0..32 {
+            let a = small_instance(seed, true);
+            let b = small_instance(seed, true);
+            assert_eq!(a.ceis, b.ceis);
+            assert_eq!(a.budget, b.budget);
+            assert_eq!(a.epoch, b.epoch);
+        }
+    }
+
+    #[test]
+    fn and_only_corpus_has_no_thresholds() {
+        for seed in 0..BASE_CASES {
+            let inst = small_instance(seed, false);
+            for cei in &inst.ceis {
+                assert_eq!(usize::from(cei.required), cei.size());
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_covers_the_interesting_shapes() {
+        let mut any_threshold = false;
+        let mut any_release = false;
+        let mut any_zero_budget = false;
+        let mut any_multi_ei = false;
+        for seed in 0..BASE_CASES {
+            let inst = small_instance(seed, true);
+            any_zero_budget |= inst.budget.at(0) == 0;
+            for cei in &inst.ceis {
+                any_threshold |= usize::from(cei.required) < cei.size();
+                any_release |= cei.release < cei.earliest_start();
+                any_multi_ei |= cei.size() > 1;
+            }
+        }
+        assert!(any_threshold, "corpus never generated a threshold CEI");
+        assert!(any_release, "corpus never generated an early release");
+        assert!(any_zero_budget, "corpus never generated a zero budget");
+        assert!(any_multi_ei, "corpus never generated a multi-EI CEI");
+    }
+
+    #[test]
+    fn env_extension_never_shrinks_the_corpus() {
+        assert!(conformance_cases() >= BASE_CASES);
+    }
+}

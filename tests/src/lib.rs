@@ -1,1 +1,20 @@
-//! Cross-crate integration tests live in the `tests/` subdirectory.
+//! # webmon-testkit
+//!
+//! The shared test kit behind the integration and conformance suites:
+//!
+//! * [`strategies`] — the proptest generators (AND CEIs, threshold CEI
+//!   specs, whole instances) that the property-test files used to duplicate,
+//!   plus the deterministic builders that replay generated specs.
+//! * [`corpus`] — the fixed-seed conformance corpus: a self-contained
+//!   deterministic RNG (independent of proptest's per-test seeding) and
+//!   small-instance generators sized for exact offline enumeration.
+//! * [`checks`] — cross-crate invariant bundles: every engine run is also
+//!   driven through [`webmon_core::check::InvariantObserver`] so each
+//!   property case doubles as a conformance case.
+//!
+//! The crate also hosts the integration tests themselves (in `tests/`);
+//! everything here is test support, never shipped.
+
+pub mod checks;
+pub mod corpus;
+pub mod strategies;

@@ -1,0 +1,143 @@
+//! Shared proptest strategies and the deterministic builders that replay
+//! generated specs into [`Instance`]s.
+//!
+//! These were previously duplicated across `tests/{properties,
+//! extension_properties}.rs` and `regressions.rs`; keeping the generator and
+//! its replay builder side by side means a shrunk counterexample can always
+//! be pinned as a deterministic test without re-deriving the construction.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use webmon_core::model::{Budget, Chronon, Instance, InstanceBuilder, ProbeCosts};
+
+/// Dimensions of the core (AND-semantics) generator.
+pub const CORE_N_RESOURCES: u32 = 5;
+/// Epoch length of the core generator.
+pub const CORE_HORIZON: Chronon = 40;
+/// Dimensions of the extension (threshold/weight/cost) generator.
+pub const EXT_N_RESOURCES: u32 = 4;
+/// Epoch length of the extension generator.
+pub const EXT_HORIZON: Chronon = 24;
+
+/// One generated EI as `(resource, start, end)`, end inclusive.
+pub type EiSpec = (u32, Chronon, Chronon);
+
+/// One generated extension CEI as `(eis, required-percentage, weight)`.
+pub type CeiSpec = (Vec<EiSpec>, u8, f32);
+
+/// Strategy: an AND-semantics CEI as 1..=`max_eis` `(resource, start, end)`
+/// triples with window length `< len_bound`, clamped into the epoch.
+pub fn and_cei_strategy(
+    n_resources: u32,
+    horizon: Chronon,
+    max_eis: usize,
+    len_bound: u32,
+) -> impl Strategy<Value = Vec<EiSpec>> {
+    prop::collection::vec(
+        (0..n_resources, 0..horizon - len_bound, 0..len_bound),
+        1..=max_eis,
+    )
+    .prop_map(move |eis| {
+        eis.into_iter()
+            .map(|(r, s, len)| (r, s, (s + len).min(horizon - 1)))
+            .collect()
+    })
+}
+
+/// The core CEI strategy: 1–4 EIs over 5 resources in a 40-chronon epoch.
+pub fn core_cei_strategy() -> impl Strategy<Value = Vec<EiSpec>> {
+    and_cei_strategy(CORE_N_RESOURCES, CORE_HORIZON, 4, 6)
+}
+
+/// Replays core CEI specs into an instance: CEIs round-robin over
+/// `n_profiles` profiles under a uniform budget.
+pub fn core_instance(ceis: &[Vec<EiSpec>], n_profiles: u32, budget: u32) -> Instance {
+    let mut b = InstanceBuilder::new(CORE_N_RESOURCES, CORE_HORIZON, Budget::Uniform(budget));
+    let profiles: Vec<_> = (0..n_profiles.max(1)).map(|_| b.profile()).collect();
+    for (i, eis) in ceis.iter().enumerate() {
+        b.cei(profiles[i % profiles.len()], eis);
+    }
+    b.build()
+}
+
+/// The core instance strategy: 1–12 CEIs over 1–3 profiles, budget 0–3.
+pub fn core_instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(core_cei_strategy(), 1..=12),
+        1..=3u32,
+        0..=3u32,
+    )
+        .prop_map(|(ceis, n_profiles, budget)| core_instance(&ceis, n_profiles, budget))
+}
+
+/// The extension CEI-spec strategy: 1–3 EIs over 4 resources in a
+/// 24-chronon epoch, a required-percentage, and a utility weight.
+pub fn extension_cei_strategy() -> impl Strategy<Value = CeiSpec> {
+    (
+        prop::collection::vec((0..EXT_N_RESOURCES, 0..EXT_HORIZON - 4, 0..4u32), 1..=3),
+        1..=100u8,
+        prop::sample::select(vec![1.0f32, 2.0, 5.0]),
+    )
+        .prop_map(|(eis, frac, weight)| {
+            let eis = eis
+                .into_iter()
+                .map(|(r, s, len)| (r, s, (s + len).min(EXT_HORIZON - 1)))
+                .collect();
+            (eis, frac, weight)
+        })
+}
+
+/// The threshold a required-percentage resolves to for a CEI of `size` EIs:
+/// `ceil(frac% · size)`, clamped to `1..=size`.
+pub fn threshold_from_percent(frac: u8, size: u16) -> u16 {
+    ((u16::from(frac) * size).div_ceil(100)).clamp(1, size)
+}
+
+/// Replays extension CEI specs into an instance: threshold semantics from
+/// the required-percentage, post-build weights, and (optionally) the fixed
+/// non-uniform per-resource costs `[1, 2, 1, 3]`.
+pub fn extension_instance(specs: &[CeiSpec], budget: u32, costs: bool) -> Instance {
+    let mut b = InstanceBuilder::new(EXT_N_RESOURCES, EXT_HORIZON, Budget::Uniform(budget));
+    let p = b.profile();
+    for (eis, frac, _) in specs {
+        b.cei_threshold(p, threshold_from_percent(*frac, eis.len() as u16), eis);
+    }
+    let mut inst = b.build();
+    // Weights are applied post-build (builder ids are dense and in order).
+    for (cei, (_, _, weight)) in inst.ceis.iter_mut().zip(specs) {
+        *cei = cei.clone().with_weight(*weight);
+    }
+    if costs {
+        inst = inst.with_costs(ProbeCosts::per_resource(vec![1, 2, 1, 3]));
+    }
+    inst
+}
+
+/// Rebuilds `instance` with a different uniform budget, preserving
+/// profiles, releases, thresholds, weights, and costs.
+pub fn rebuild_with_budget(instance: &Instance, budget: u32) -> Instance {
+    let mut b = InstanceBuilder::new(
+        instance.n_resources,
+        instance.epoch.len(),
+        Budget::Uniform(budget),
+    );
+    let mut profile_map = HashMap::new();
+    for p in &instance.profiles {
+        profile_map.insert(p.id, b.profile());
+    }
+    for cei in &instance.ceis {
+        b.cei_from_eis(
+            profile_map[&cei.profile],
+            cei.eis.clone(),
+            Some(cei.release),
+        );
+    }
+    let mut out = b.build();
+    for (rebuilt, orig) in out.ceis.iter_mut().zip(&instance.ceis) {
+        *rebuilt = rebuilt
+            .clone()
+            .with_required(orig.required)
+            .with_weight(orig.weight);
+    }
+    out.with_costs(instance.costs.clone())
+}

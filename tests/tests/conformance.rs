@@ -1,0 +1,277 @@
+//! The differential conformance suite: every case of the fixed seed corpus
+//! is checked against ground truth from three independent directions —
+//!
+//! 1. **Online vs. offline** (Prop. 4): no online policy's gained
+//!    completeness may exceed the branch-and-bound offline optimum, and
+//!    every one of those runs must produce a clean
+//!    [`InvariantObserver`](webmon_core::check::InvariantObserver) report.
+//! 2. **Prop. 5**: the `P → P^[1]` expansion preserves `rank(P)`, yields
+//!    unit-width EIs only, and every combination realizes its origin.
+//! 3. **Trace replay**: re-deriving `RunMetrics` from the persisted JSONL
+//!    trace reproduces the live observer's metrics byte for byte.
+//!
+//! The corpus is fixed (seeds `0..BASE_CASES`, identical on every machine);
+//! `WEBMON_CONFORMANCE_CASES=<n>` extends it for local fuzzing but can
+//! never shrink it. A mutation self-test closes the loop by proving the
+//! checker actually rejects a corrupted stream — see `checker_flags_*`
+//! below and the unit mutation tests in `webmon_core::check`.
+
+use webmon_core::check::{InvariantObserver, Violation};
+use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::model::gained_completeness;
+use webmon_core::obs::{replay_metrics, Event, JsonlTraceObserver, MetricsObserver, Observer, Tee};
+use webmon_core::offline::{expand_to_unit, optimal_schedule, SearchLimits};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
+use webmon_testkit::checks::conformant_run;
+use webmon_testkit::corpus::{conformance_cases, small_instance, BASE_CASES};
+
+/// Prop. 4 differential: on every corpus instance the exact offline optimum
+/// dominates every online policy in both execution modes — and each online
+/// run passes the live invariant checker.
+#[test]
+fn online_gc_never_exceeds_offline_optimum() {
+    let cases = conformance_cases();
+    let mut aborted = 0u64;
+    for seed in 0..cases {
+        let instance = small_instance(seed, true);
+        let opt = match optimal_schedule(
+            &instance,
+            SearchLimits {
+                max_nodes: 2_000_000,
+            },
+        ) {
+            Ok((schedule, stats)) => {
+                assert!(schedule.is_feasible(&instance.budget), "seed {seed}");
+                stats
+            }
+            Err(_) => {
+                aborted += 1;
+                continue;
+            }
+        };
+        let opt_gc = opt.ceis_captured as f64 / instance.ceis.len() as f64;
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let run = conformant_run(&instance, policy, config);
+                assert!(
+                    run.stats.ceis_captured <= opt.ceis_captured,
+                    "seed {seed}: {} under {} captured {} > optimum {}",
+                    policy.name(),
+                    config.label(),
+                    run.stats.ceis_captured,
+                    opt.ceis_captured
+                );
+                let gc = gained_completeness(&instance, &run.schedule);
+                assert!(
+                    gc <= opt_gc + 1e-9,
+                    "seed {seed}: GC {gc} > optimal GC {opt_gc}"
+                );
+            }
+        }
+    }
+    // The corpus is sized for exact enumeration; if the search starts
+    // aborting, the corpus (or the node cap) needs retuning, not skipping.
+    assert!(
+        aborted * 10 <= cases,
+        "{aborted}/{cases} corpus instances exceeded the enumeration cap"
+    );
+}
+
+/// Prop. 5 differential: the `P → P^[1]` expansion preserves the profile
+/// rank, emits unit-width EIs only, produces exactly `Π_q n_q` combinations
+/// per CEI, and every combination's windows sit inside its origin's.
+#[test]
+fn prop5_expansion_preserves_rank() {
+    for seed in 0..conformance_cases() {
+        // AND-only corpus: the expansion is defined for AND semantics.
+        let instance = small_instance(seed, false);
+        let exp =
+            expand_to_unit(&instance, 100_000).expect("corpus windows are narrow enough to expand");
+        assert_eq!(
+            exp.instance.rank(),
+            instance.rank(),
+            "seed {seed}: rank(P^[1]) != rank(P)"
+        );
+        assert!(exp.instance.is_unit_width(), "seed {seed}");
+        assert_eq!(exp.instance.epoch, instance.epoch);
+        assert_eq!(exp.instance.budget, instance.budget);
+        for cei in &instance.ceis {
+            let product: usize = cei.eis.iter().map(|ei| ei.len() as usize).product();
+            assert_eq!(
+                exp.combinations_of(cei.id),
+                product,
+                "seed {seed}: {} combinations",
+                cei.id
+            );
+        }
+        for (combo, &origin) in exp.instance.ceis.iter().zip(&exp.origin) {
+            let orig = instance.cei(origin);
+            assert_eq!(combo.size(), orig.size(), "seed {seed}");
+            for (unit, window) in combo.eis.iter().zip(&orig.eis) {
+                assert_eq!(unit.resource, window.resource, "seed {seed}");
+                assert_eq!(unit.start, unit.end, "seed {seed}");
+                assert!(
+                    window.start <= unit.start && unit.end <= window.end,
+                    "seed {seed}: combination escapes its origin window"
+                );
+            }
+        }
+    }
+}
+
+/// Unit-rank CEIs leave preemption nothing to preempt: the paper's P and NP
+/// modes must coincide exactly (schedule, stats, and outcomes) — the
+/// degenerate case where preemptive dominance holds with equality.
+#[test]
+fn preemptive_equals_non_preemptive_on_unit_rank_instances() {
+    use webmon_core::model::InstanceBuilder;
+    for seed in 0..conformance_cases() {
+        let full = small_instance(seed, false);
+        // Truncate every CEI to its first EI: rank-1, AND semantics.
+        let mut b = InstanceBuilder::new(full.n_resources, full.epoch.len(), full.budget.clone());
+        let p = b.profile();
+        for cei in &full.ceis {
+            let first = cei.eis[0];
+            b.cei_from_eis(p, vec![first], Some(cei.release.min(first.start)));
+        }
+        let instance = b.build();
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            let pre = conformant_run(&instance, policy, EngineConfig::preemptive());
+            let non = conformant_run(&instance, policy, EngineConfig::non_preemptive());
+            assert_eq!(pre.schedule, non.schedule, "seed {seed}: {}", policy.name());
+            assert_eq!(pre.stats, non.stats, "seed {seed}: {}", policy.name());
+            assert_eq!(pre.outcomes, non.outcomes, "seed {seed}: {}", policy.name());
+        }
+    }
+}
+
+/// Where the modes *can* diverge (rank ≥ 2), preemption must not lose in
+/// aggregate over the fixed corpus — a deterministic pin of the paper's
+/// §V observation that preemptive execution dominates on average.
+#[test]
+fn preemptive_dominates_non_preemptive_in_corpus_aggregate() {
+    let mut pre_total = 0u64;
+    let mut non_total = 0u64;
+    // Fixed prefix only: the aggregate must not drift when the corpus is
+    // extended via WEBMON_CONFORMANCE_CASES.
+    for seed in 0..BASE_CASES {
+        let instance = small_instance(seed, true);
+        let pre = OnlineEngine::run(&instance, &Mrsf, EngineConfig::preemptive());
+        let non = OnlineEngine::run(&instance, &Mrsf, EngineConfig::non_preemptive());
+        pre_total += pre.stats.ceis_captured;
+        non_total += non.stats.ceis_captured;
+    }
+    assert!(
+        pre_total >= non_total,
+        "preemptive captured {pre_total} < non-preemptive {non_total} over the fixed corpus"
+    );
+}
+
+/// Trace-replay differential: folding the persisted JSONL trace through the
+/// pure re-derivation reproduces the live `RunMetrics` exactly — equal as
+/// values and byte-for-byte in serialized form.
+#[test]
+fn trace_replay_reproduces_run_metrics_byte_for_byte() {
+    for seed in 0..conformance_cases() {
+        let instance = small_instance(seed, true);
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let mut tee = Tee(MetricsObserver::new(), JsonlTraceObserver::new(Vec::new()));
+            OnlineEngine::run_observed(&instance, &Mrsf, config, &mut tee);
+            let Tee(metrics, trace) = tee;
+            let live = metrics.finish();
+            let bytes = trace.finish().expect("Vec<u8> sink cannot fail");
+            let text = String::from_utf8(bytes).expect("trace is UTF-8");
+            let replayed = replay_metrics(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: trace failed to replay: {e}"));
+            assert_eq!(live, replayed, "seed {seed}: replayed metrics diverged");
+            assert_eq!(
+                serde_json::to_string(&live).unwrap(),
+                serde_json::to_string(&replayed).unwrap(),
+                "seed {seed}: serialized metrics diverged"
+            );
+        }
+    }
+}
+
+/// Mutation self-test on corpus instances: a deliberately corrupted stream
+/// (extra probe outside every window, tampered spend) must be flagged — the
+/// harness is not vacuously green.
+#[test]
+fn checker_flags_injected_corruption_on_corpus_instances() {
+    struct Rec(Vec<Event>);
+    impl Observer for Rec {
+        fn on_event(&mut self, event: Event) {
+            self.0.push(event);
+        }
+    }
+    let mut flagged_probe = 0u32;
+    let mut flagged_spent = 0u32;
+    let mut checked = 0u32;
+    for seed in 0..24 {
+        let instance = small_instance(seed, true);
+        if instance.budget.at(0) == 0 || instance.ceis.is_empty() {
+            continue;
+        }
+        checked += 1;
+        let config = EngineConfig::preemptive();
+        let mut rec = Rec(Vec::new());
+        OnlineEngine::run_observed(&instance, &Mrsf, config, &mut rec);
+
+        // Mutation A: tamper with the reported spend of the last chronon.
+        let mut tampered = rec.0.clone();
+        for e in tampered.iter_mut().rev() {
+            if let Event::ChrononEnd { spent, .. } = e {
+                *spent += 1;
+                break;
+            }
+        }
+        let mut checker = InvariantObserver::new(&instance, config);
+        for e in &tampered {
+            checker.on_event(*e);
+        }
+        let report = checker.finish();
+        if report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SpentMismatch { .. }))
+        {
+            flagged_spent += 1;
+        }
+
+        // Mutation B: inject a probe into the final chronon; at best it is
+        // over budget or outside every window, at worst both.
+        let mut injected = rec.0.clone();
+        let last_end = injected.len() - 1;
+        let Event::ChrononEnd { t, .. } = injected[last_end] else {
+            panic!("stream must close with ChrononEnd");
+        };
+        injected.insert(
+            last_end,
+            Event::ProbeIssued {
+                t,
+                resource: webmon_core::model::ResourceId(0),
+                cost: instance.budget.at(t) + 1,
+                shared_eis: 0,
+            },
+        );
+        let mut checker = InvariantObserver::new(&instance, config);
+        for e in &injected {
+            checker.on_event(*e);
+        }
+        if !checker.finish().is_clean() {
+            flagged_probe += 1;
+        }
+    }
+    assert!(
+        checked >= 8,
+        "corpus prefix too degenerate: {checked} cases"
+    );
+    assert_eq!(
+        flagged_spent, checked,
+        "tampered spend went undetected on some instance"
+    );
+    assert_eq!(
+        flagged_probe, checked,
+        "injected probe went undetected on some instance"
+    );
+}

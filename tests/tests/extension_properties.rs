@@ -1,97 +1,41 @@
 //! Property-based tests for the §III/§VII extension semantics: thresholds,
 //! utility weights, and probe costs must preserve the engine's invariants
 //! and stay dominated by the exact optimum.
+//!
+//! Generators and the spec→instance builder live in
+//! `webmon_testkit::strategies` (shared with `regressions.rs`, which pins
+//! this file's shrunk counterexamples deterministically).
 
 use proptest::prelude::*;
 use webmon_core::engine::{EngineConfig, OnlineEngine};
-use webmon_core::model::{
-    evaluate_schedule, Budget, Chronon, Instance, InstanceBuilder, ProbeCosts,
-};
+use webmon_core::model::evaluate_schedule;
 use webmon_core::offline::{optimal_schedule, SearchLimits};
-use webmon_core::policy::{MEdf, Mrsf, MrsfExact, Policy, SEdf, UtilityWeighted};
-
-const HORIZON: Chronon = 24;
-const N_RESOURCES: u32 = 4;
-
-/// `(eis, required-percentage, weight)` — one generated CEI.
-type CeiSpec = (Vec<(u32, Chronon, Chronon)>, u8, f32);
-
-/// Strategy: a CEI spec `(eis, required_fraction, weight)`.
-fn cei_strategy() -> impl Strategy<Value = CeiSpec> {
-    (
-        prop::collection::vec((0..N_RESOURCES, 0..HORIZON - 4, 0..4u32), 1..=3),
-        1..=100u8,
-        prop::sample::select(vec![1.0f32, 2.0, 5.0]),
-    )
-        .prop_map(|(eis, frac, weight)| {
-            let eis = eis
-                .into_iter()
-                .map(|(r, s, len)| (r, s, (s + len).min(HORIZON - 1)))
-                .collect();
-            (eis, frac, weight)
-        })
-}
-
-fn build_instance(specs: &[CeiSpec], budget: u32, costs: bool) -> Instance {
-    let mut b = InstanceBuilder::new(N_RESOURCES, HORIZON, Budget::Uniform(budget));
-    let p = b.profile();
-    for (eis, frac, _) in specs {
-        let size = eis.len() as u16;
-        let required = ((u16::from(*frac) * size).div_ceil(100)).clamp(1, size);
-        b.cei_threshold(p, required, eis);
-    }
-    let mut inst = b.build();
-    // Weights are applied post-build (builder ids are dense and in order).
-    for (cei, (_, _, weight)) in inst.ceis.iter_mut().zip(specs) {
-        *cei = cei.clone().with_weight(*weight);
-    }
-    if costs {
-        inst = inst.with_costs(ProbeCosts::per_resource(vec![1, 2, 1, 3]));
-    }
-    inst
-}
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf};
+use webmon_testkit::checks::assert_extension_invariants;
+use webmon_testkit::strategies::{extension_cei_strategy, extension_instance};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Threshold + weighted instances uphold the core engine invariants.
+    /// Threshold + weighted instances uphold the core engine invariants —
+    /// including a clean conformance-checker report per run.
     #[test]
     fn engine_invariants_under_extensions(
-        specs in prop::collection::vec(cei_strategy(), 1..=8),
+        specs in prop::collection::vec(extension_cei_strategy(), 1..=8),
         budget in 0..=2u32,
         costs in any::<bool>(),
     ) {
-        let instance = build_instance(&specs, budget, costs);
-        let u_mrsf = UtilityWeighted::new(Mrsf, "U-MRSF");
-        for policy in [&SEdf as &dyn Policy, &Mrsf, &MrsfExact, &MEdf, &u_mrsf] {
-            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
-                let run = OnlineEngine::run(&instance, policy, config);
-                prop_assert!(run.schedule.is_feasible(&instance.budget)
-                    || !instance.costs.is_uniform());
-                prop_assert_eq!(
-                    run.stats.ceis_captured + run.stats.ceis_failed,
-                    run.stats.n_ceis
-                );
-                // Engine capture decisions must agree with re-evaluation
-                // under threshold semantics.
-                let reeval = evaluate_schedule(&instance, &run.schedule);
-                prop_assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
-                // Weighted accounting is internally consistent.
-                prop_assert!(run.stats.weight_captured <= run.stats.weight_total + 1e-9);
-                prop_assert!(
-                    (run.stats.weighted_completeness() - 1.0) < 1e-9
-                );
-            }
-        }
+        let instance = extension_instance(&specs, budget, costs);
+        assert_extension_invariants(&instance);
     }
 
     /// Lazy-heap equivalence holds under the extension semantics too.
     #[test]
     fn lazy_heap_equals_scan_under_extensions(
-        specs in prop::collection::vec(cei_strategy(), 1..=8),
+        specs in prop::collection::vec(extension_cei_strategy(), 1..=8),
         costs in any::<bool>(),
     ) {
-        let instance = build_instance(&specs, 2, costs);
+        let instance = extension_instance(&specs, 2, costs);
         for policy in [&Mrsf as &dyn Policy, &MEdf] {
             let scan = OnlineEngine::run(&instance, policy, EngineConfig::preemptive());
             let heap = OnlineEngine::run(
@@ -108,9 +52,9 @@ proptest! {
     /// online policy on threshold instances.
     #[test]
     fn optimum_dominates_online_under_thresholds(
-        specs in prop::collection::vec(cei_strategy(), 1..=5),
+        specs in prop::collection::vec(extension_cei_strategy(), 1..=5),
     ) {
-        let instance = build_instance(&specs, 1, false);
+        let instance = extension_instance(&specs, 1, false);
         if let Ok((_, opt)) = optimal_schedule(&instance, SearchLimits { max_nodes: 200_000 }) {
             for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
                 let run = OnlineEngine::run(&instance, policy, EngineConfig::preemptive());
@@ -130,14 +74,14 @@ proptest! {
     /// evaluation.
     #[test]
     fn threshold_relaxation_helps_evaluation(
-        specs in prop::collection::vec(cei_strategy(), 1..=8),
+        specs in prop::collection::vec(extension_cei_strategy(), 1..=8),
     ) {
-        let strict = build_instance(
+        let strict = extension_instance(
             &specs.iter().map(|(e, _, w)| (e.clone(), 100u8, *w)).collect::<Vec<_>>(),
             1,
             false,
         );
-        let relaxed = build_instance(&specs, 1, false);
+        let relaxed = extension_instance(&specs, 1, false);
         // Same schedule (produced against the strict instance), evaluated
         // under both semantics: the relaxed semantics can only capture more.
         let run = OnlineEngine::run(&strict, &Mrsf, EngineConfig::preemptive());

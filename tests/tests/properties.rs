@@ -1,61 +1,30 @@
 //! Property-based tests over randomly generated problem instances: the
 //! engine and the offline baselines must uphold their invariants on *any*
 //! well-formed input, not just the workloads the generators produce.
+//!
+//! Generators live in `webmon_testkit::strategies`; the invariant bundles
+//! (which also drive every run through the conformance checker) live in
+//! `webmon_testkit::checks`.
 
 use proptest::prelude::*;
 use webmon_core::engine::{EngineConfig, OnlineEngine};
-use webmon_core::model::{evaluate_schedule, Budget, Chronon, Instance, InstanceBuilder};
 use webmon_core::offline::{local_ratio_schedule, LocalRatioConfig};
 use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
-
-const HORIZON: Chronon = 40;
-const N_RESOURCES: u32 = 5;
-
-/// Strategy: a CEI as 1–4 `(resource, start, len)` triples.
-fn cei_strategy() -> impl Strategy<Value = Vec<(u32, Chronon, Chronon)>> {
-    prop::collection::vec((0..N_RESOURCES, 0..HORIZON - 6, 0..6u32), 1..=4).prop_map(|eis| {
-        eis.into_iter()
-            .map(|(r, s, len)| (r, s, (s + len).min(HORIZON - 1)))
-            .collect()
-    })
-}
-
-/// Strategy: a full instance of 1–12 CEIs over 1–3 profiles.
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    (
-        prop::collection::vec(cei_strategy(), 1..=12),
-        1..=3u32,
-        0..=3u32,
-    )
-        .prop_map(|(ceis, n_profiles, budget)| {
-            let mut b = InstanceBuilder::new(N_RESOURCES, HORIZON, Budget::Uniform(budget));
-            let profiles: Vec<_> = (0..n_profiles).map(|_| b.profile()).collect();
-            for (i, eis) in ceis.iter().enumerate() {
-                b.cei(profiles[i % profiles.len()], eis);
-            }
-            b.build()
-        })
-}
+use webmon_testkit::checks::assert_engine_invariants;
+use webmon_testkit::strategies::{core_instance_strategy, rebuild_with_budget};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// The engine's schedule is always budget-feasible, its bookkeeping
-    /// matches a from-scratch re-evaluation, and every CEI resolves.
+    /// matches a from-scratch re-evaluation, every CEI resolves, and the
+    /// live invariant checker stays clean.
     #[test]
-    fn engine_invariants(instance in instance_strategy()) {
+    fn engine_invariants(instance in core_instance_strategy()) {
+        assert_engine_invariants(&instance);
         for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
             for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
                 let run = OnlineEngine::run(&instance, policy, config);
-                prop_assert!(run.schedule.is_feasible(&instance.budget));
-                prop_assert_eq!(
-                    run.stats.ceis_captured + run.stats.ceis_failed,
-                    run.stats.n_ceis
-                );
-                let reeval = evaluate_schedule(&instance, &run.schedule);
-                prop_assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
-                // Raw indicator counts EIs of failed CEIs too.
-                prop_assert!(run.stats.eis_captured <= reeval.eis_captured);
                 prop_assert!(run.stats.eis_captured >= run.stats.probes_used
                     || instance.budget.at(0) == 0);
             }
@@ -74,21 +43,17 @@ proptest! {
     /// would indicate an engine bug rather than greedy pathology, so that
     /// is the bound this property pins.
     #[test]
-    fn budget_monotonicity(instance in instance_strategy()) {
-        // Rebuild the same instance with budgets 1 and 2.
-        let rebuild = |c: u32| {
-            let mut b = InstanceBuilder::new(N_RESOURCES, HORIZON, Budget::Uniform(c));
-            let mut profile_map = std::collections::HashMap::new();
-            for p in &instance.profiles {
-                profile_map.insert(p.id, b.profile());
-            }
-            for cei in &instance.ceis {
-                b.cei_from_eis(profile_map[&cei.profile], cei.eis.clone(), Some(cei.release));
-            }
-            b.build()
-        };
-        let one = OnlineEngine::run(&rebuild(1), &Mrsf, EngineConfig::preemptive());
-        let two = OnlineEngine::run(&rebuild(2), &Mrsf, EngineConfig::preemptive());
+    fn budget_monotonicity(instance in core_instance_strategy()) {
+        let one = OnlineEngine::run(
+            &rebuild_with_budget(&instance, 1),
+            &Mrsf,
+            EngineConfig::preemptive(),
+        );
+        let two = OnlineEngine::run(
+            &rebuild_with_budget(&instance, 2),
+            &Mrsf,
+            EngineConfig::preemptive(),
+        );
         prop_assert!(
             3 * two.stats.ceis_captured + 1 >= 2 * one.stats.ceis_captured,
             "budget 2 captured {} vs budget 1 {}",
@@ -100,7 +65,8 @@ proptest! {
     /// The Local-Ratio baseline always emits feasible schedules and never
     /// reports captures the schedule cannot justify.
     #[test]
-    fn local_ratio_invariants(instance in instance_strategy()) {
+    fn local_ratio_invariants(instance in core_instance_strategy()) {
+        use webmon_core::model::evaluate_schedule;
         for cfg in [LocalRatioConfig::default(), LocalRatioConfig::paper()] {
             if let Ok(out) = local_ratio_schedule(&instance, cfg) {
                 prop_assert!(out.schedule.is_feasible(&instance.budget));
@@ -115,7 +81,7 @@ proptest! {
     /// The lazy-heap selection strategy (Appendix B) is decision-for-
     /// decision equivalent to the reference scan on arbitrary instances.
     #[test]
-    fn lazy_heap_equals_scan(instance in instance_strategy()) {
+    fn lazy_heap_equals_scan(instance in core_instance_strategy()) {
         for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
             for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
                 let scan = OnlineEngine::run(&instance, policy, base);
@@ -129,7 +95,7 @@ proptest! {
     /// Probe sharing can only help: the ablated engine never beats the
     /// paper's R_ids engine on the same instance and policy.
     #[test]
-    fn probe_sharing_dominates_ablation(instance in instance_strategy()) {
+    fn probe_sharing_dominates_ablation(instance in core_instance_strategy()) {
         let on = OnlineEngine::run(&instance, &Mrsf, EngineConfig::preemptive());
         let off = OnlineEngine::run(
             &instance,

@@ -1,68 +1,37 @@
-//! Deterministic regression tests pinning the shrunk counterexamples from
-//! the checked-in `*.proptest-regressions` files, plus the engine-vs-
-//! re-evaluation outcome agreement those shrinks originally violated.
+//! Deterministic regression tests pinning the shrunk counterexamples that
+//! were once stored in the two `*.proptest-regressions` files, plus the
+//! engine-vs-re-evaluation outcome agreement those shrinks originally
+//! violated.
 //!
-//! The property tests sample fresh instances each run; these tests replay
-//! the historical failures exactly, so they keep guarding the fixes even
-//! if the sampler never revisits the same corner.
+//! The property tests sample fresh instances each run (the vendored
+//! proptest does not replay regression files), so these tests replay the
+//! historical failures exactly — they keep guarding the fixes even if the
+//! sampler never revisits the same corner, and they survive generator
+//! refactors because each case is spelled out as a literal spec. The
+//! builders are shared with the live generators via
+//! `webmon_testkit::strategies`, so a spec here is constructed precisely
+//! the way the original generated case was.
 
 use webmon_core::engine::{EngineConfig, OnlineEngine};
-use webmon_core::model::{
-    evaluate_outcomes, evaluate_schedule, Budget, Chronon, Instance, InstanceBuilder, ProbeCosts,
-};
-use webmon_core::policy::{MEdf, Mrsf, MrsfExact, Policy, SEdf, UtilityWeighted, Wic};
+use webmon_core::model::{evaluate_outcomes, Budget, Instance, InstanceBuilder};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
 use webmon_core::stats::CeiOutcome;
+use webmon_testkit::checks::{assert_engine_invariants, assert_extension_invariants};
+use webmon_testkit::strategies::extension_instance;
 
-/// `properties.proptest-regressions`: one rank-2 CEI released at 3 with two
-/// single-chronon EIs on distinct resources, both windowed to exactly
-/// chronon 3, under a budget of `c` probes per chronon.
+/// `properties.proptest-regressions` (cc 5df6c7…): one rank-2 CEI released at
+/// 3 with two single-chronon EIs on distinct resources, both windowed to
+/// exactly chronon 3, under a budget of `c` probes per chronon.
+///
+/// Invariant it broke: the engine recorded the CEI *captured* while its
+/// schedule re-evaluation said *failed* — probing one of two simultaneous
+/// single-chronon deadlines must fail the CEI, consistently in both the
+/// live bookkeeping and `evaluate_schedule`.
 fn properties_shrunk_instance(budget: u32) -> Instance {
     let mut b = InstanceBuilder::new(5, 40, Budget::Uniform(budget));
     let p = b.profile();
     b.cei_released(p, 3, &[(0, 3, 3), (1, 3, 3)]);
     b.build()
-}
-
-/// A threshold CEI spec as `(eis, required-percentage, weight)`, mirroring
-/// the generator in `extension_properties.rs`.
-type CeiSpec = (Vec<(u32, Chronon, Chronon)>, u8, f32);
-
-/// `extension_properties.proptest-regressions`: replay the shrunk threshold
-/// CEI specs into an instance.
-fn extension_instance(specs: &[CeiSpec], budget: u32, costs: bool) -> Instance {
-    let mut b = InstanceBuilder::new(4, 24, Budget::Uniform(budget));
-    let p = b.profile();
-    for (eis, frac, _) in specs {
-        let size = eis.len() as u16;
-        let required = ((u16::from(*frac) * size).div_ceil(100)).clamp(1, size);
-        b.cei_threshold(p, required, eis);
-    }
-    let mut inst = b.build();
-    for (cei, (_, _, weight)) in inst.ceis.iter_mut().zip(specs) {
-        *cei = cei.clone().with_weight(*weight);
-    }
-    if costs {
-        inst = inst.with_costs(ProbeCosts::per_resource(vec![1, 2, 1, 3]));
-    }
-    inst
-}
-
-/// The core-engine invariants from `properties.rs::engine_invariants`,
-/// applied to one instance across all policies and both modes.
-fn assert_engine_invariants(instance: &Instance) {
-    for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
-        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
-            let run = OnlineEngine::run(instance, policy, config);
-            assert!(run.schedule.is_feasible(&instance.budget));
-            assert_eq!(
-                run.stats.ceis_captured + run.stats.ceis_failed,
-                run.stats.n_ceis
-            );
-            let reeval = evaluate_schedule(instance, &run.schedule);
-            assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
-            assert!(run.stats.eis_captured <= reeval.eis_captured);
-        }
-    }
 }
 
 #[test]
@@ -99,31 +68,16 @@ fn shrunk_rank2_simultaneous_deadline_instance() {
     assert_eq!(two.outcomes[0], CeiOutcome::Captured { at: 3 });
 }
 
-/// The extension-engine invariants from
-/// `extension_properties.rs::engine_invariants_under_extensions`.
-fn assert_extension_invariants(instance: &Instance) {
-    let u_mrsf = UtilityWeighted::new(Mrsf, "U-MRSF");
-    for policy in [&SEdf as &dyn Policy, &Mrsf, &MrsfExact, &MEdf, &u_mrsf] {
-        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
-            let run = OnlineEngine::run(instance, policy, config);
-            assert!(run.schedule.is_feasible(&instance.budget) || !instance.costs.is_uniform());
-            assert_eq!(
-                run.stats.ceis_captured + run.stats.ceis_failed,
-                run.stats.n_ceis
-            );
-            let reeval = evaluate_schedule(instance, &run.schedule);
-            assert_eq!(run.stats.ceis_captured, reeval.ceis_captured);
-            assert!(run.stats.weight_captured <= run.stats.weight_total + 1e-9);
-            assert!(run.stats.weighted_completeness() - 1.0 < 1e-9);
-        }
-    }
-}
-
+/// `extension_properties.proptest-regressions` (cc 8ba050…): two EIs of one
+/// 1-of-2 threshold CEI overlap on resource 0, so a single shared probe can
+/// capture both EIs at once, while two more CEIs contend for the single
+/// probe per chronon.
+///
+/// Invariant it broke: with intra-resource sharing, one probe crossing the
+/// threshold via *two* simultaneous captures double-counted the CEI in the
+/// capture bookkeeping (`ceis_captured` disagreed with re-evaluation).
 #[test]
 fn shrunk_threshold_overlap_instance() {
-    // Two EIs of one 1-of-2 CEI overlap on resource 0, so a single shared
-    // probe can capture both EIs at once; the other CEIs contend for the
-    // single probe per chronon.
     let instance = extension_instance(
         &[
             (vec![(0, 9, 10), (0, 8, 10)], 1, 1.0),
@@ -136,11 +90,15 @@ fn shrunk_threshold_overlap_instance() {
     assert_extension_invariants(&instance);
 }
 
+/// `extension_properties.proptest-regressions` (cc 69520a…): a 1-of-2
+/// threshold CEI whose EIs are *identical* single-chronon windows.
+///
+/// Invariant it broke: one probe at chronon 14 captures both EIs
+/// simultaneously and must record the CEI captured exactly once — the
+/// shrink exposed a completion being counted per captured EI instead of
+/// per threshold crossing.
 #[test]
 fn shrunk_identical_single_chronon_pair_instance() {
-    // A 1-of-2 CEI whose EIs are *identical* single-chronon windows: one
-    // probe at chronon 14 captures both EIs simultaneously and must record
-    // the CEI captured exactly once.
     let instance = extension_instance(&[(vec![(0, 14, 14), (0, 14, 14)], 1, 1.0)], 1, false);
     assert_extension_invariants(&instance);
     let run = OnlineEngine::run(&instance, &Mrsf, EngineConfig::preemptive());

@@ -1,9 +1,11 @@
 //! Property-based tests over the stream substrates: every generator must
 //! emit well-formed traces, and every probe the engine issues must serve a
-//! live window.
+//! live window. Engine runs go through `webmon_testkit::checks`, so every
+//! workload-generated instance is also a conformance case for the
+//! `InvariantObserver`.
 
 use proptest::prelude::*;
-use webmon_core::engine::{EngineConfig, OnlineEngine};
+use webmon_core::engine::EngineConfig;
 use webmon_core::model::Budget;
 use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf};
 use webmon_streams::auction::{AuctionTrace, AuctionTraceConfig};
@@ -12,6 +14,7 @@ use webmon_streams::news::NewsTraceConfig;
 use webmon_streams::poisson::PoissonProcess;
 use webmon_streams::rng::SimRng;
 use webmon_streams::zipf::Zipf;
+use webmon_testkit::checks::conformant_run;
 use webmon_workload::{generate, EiLength, RankSpec, WorkloadConfig};
 
 proptest! {
@@ -98,7 +101,7 @@ proptest! {
             &SimRng::new(seed ^ 2),
         );
         for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
-            let run = OnlineEngine::run(&w.instance, policy, EngineConfig::preemptive());
+            let run = conformant_run(&w.instance, policy, EngineConfig::preemptive());
             for (t, r) in run.schedule.iter() {
                 let serves_window = w.instance.ceis.iter().any(|cei| {
                     cei.eis
