@@ -1,0 +1,8 @@
+//! Prints the fault-injection robustness tables. Pass `--quick` for a fast
+//! smoke run.
+
+fn main() {
+    webmon_bench::jobs_from_args();
+    let scale = webmon_bench::Scale::from_args();
+    webmon_bench::print_tables(&webmon_bench::faults::run(scale));
+}

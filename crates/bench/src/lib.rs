@@ -23,6 +23,7 @@
 //! | [`fig15`] | Fig. 15 — sensitivity to update-model noise (FPN(Z)) |
 //! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
 //! | [`extensions`] | §III/§VII future-work extensions: utilities, thresholds, probe costs |
+//! | [`faults`] | Robustness — completeness under fault-injected probing (not in the paper) |
 //!
 //! [`metrics`] is not a paper artifact: it is the CI metrics gate, running
 //! the roster under [`webmon_core::obs::MetricsObserver`] and
@@ -34,6 +35,7 @@
 
 pub mod ablations;
 pub mod extensions;
+pub mod faults;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

@@ -2,10 +2,11 @@
 
 use crate::args::{ArgError, Args};
 use serde::Serialize;
+use webmon_core::fault::{Backoff, FaultConfig};
 use webmon_core::obs::RunMetrics;
 use webmon_sim::{
-    Experiment, ExperimentConfig, NoiseSpec, PolicyAggregate, PolicyKind, PolicySpec, Report,
-    Table, TraceSpec,
+    Experiment, ExperimentConfig, FaultKind, FaultSpec, NoiseSpec, PolicyAggregate, PolicyKind,
+    PolicySpec, Report, Table, TraceSpec,
 };
 use webmon_streams::auction::AuctionTraceConfig;
 use webmon_streams::fpn::FpnModel;
@@ -44,7 +45,17 @@ COMMON OPTIONS (run / sweep):
     --seed <u64>                   master seed                [1234]
 
 SWEEP OPTIONS:
-    --param budget|lambda|alpha|rank   the swept parameter    [budget]
+    --param budget|lambda|alpha|rank|fault-rate   swept parameter [budget]
+
+FAULT INJECTION (run; sweep --param fault-rate):
+    --fault-rate <f64>             enable faults: per-probe failure (iid)
+                                   or per-chronon outage (burst) probability
+    --fault-model iid|burst        fault model                [iid]
+    --fault-recover <f64>          burst recovery probability [0.5]
+    --fault-seed <u64>             fault master seed          [64023]
+    --fault-free                   failed probes do not consume budget
+    --retry immediate|backoff      retry discipline           [immediate]
+    --retry-quota <u32>            max retried probes per chronon
 
 TRACE OPTIONS:
     --trace poisson|auction|news, --resources, --horizon, --lambda, --seed
@@ -91,10 +102,27 @@ pub fn dispatch(args: &Args) -> Result<i32, ArgError> {
     }
 }
 
+/// Rejects a zero where the engine needs at least one (resources, horizon,
+/// budget, profiles, repetitions): a structured error beats a panic deep in
+/// instance materialization.
+fn require_positive(key: &'static str, value: u32) -> Result<u32, ArgError> {
+    if value == 0 {
+        return Err(ArgError::BadValue {
+            key: key.to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+    Ok(value)
+}
+
 /// Builds an `ExperimentConfig` from common options.
 fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
-    let n_resources: u32 = args.get_parsed("resources", 200, "an integer")?;
-    let horizon: u32 = args.get_parsed("horizon", 1000, "an integer")?;
+    let n_resources = require_positive(
+        "resources",
+        args.get_parsed("resources", 200, "an integer")?,
+    )?;
+    let horizon = require_positive("horizon", args.get_parsed("horizon", 1000, "an integer")?)?;
     let lambda: f64 = args.get_parsed("lambda", 20.0, "a number")?;
     let rank: u16 = args.get_parsed("rank", 5, "an integer")?;
     let beta: f64 = args.get_parsed("beta", 0.0, "a number")?;
@@ -119,9 +147,12 @@ fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
     Ok(ExperimentConfig {
         n_resources,
         horizon,
-        budget: args.get_parsed("budget", 1, "an integer")?,
+        budget: require_positive("budget", args.get_parsed("budget", 1, "an integer")?)?,
         workload: WorkloadConfig {
-            n_profiles: args.get_parsed("profiles", 50, "an integer")?,
+            n_profiles: require_positive(
+                "profiles",
+                args.get_parsed("profiles", 50, "an integer")?,
+            )?,
             rank: if args.flag("fixed-rank") {
                 RankSpec::Fixed(rank)
             } else {
@@ -135,9 +166,76 @@ fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
         },
         trace,
         noise,
-        repetitions: args.get_parsed("reps", 5, "an integer")?,
+        repetitions: require_positive("reps", args.get_parsed("reps", 5, "an integer")?)?,
         seed: args.get_parsed("seed", 1234, "an integer")?,
     })
+}
+
+/// Default master seed of CLI fault injection (`0xFA17`).
+const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+/// Parses the retry discipline and failure-charging options shared by every
+/// fault model.
+fn fault_config_from(args: &Args) -> Result<FaultConfig, ArgError> {
+    let mut config = FaultConfig::charged();
+    if args.flag("fault-free") {
+        config = config.free_failures();
+    }
+    match args.get("retry").unwrap_or("immediate") {
+        "immediate" => {}
+        "backoff" => config = config.with_backoff(Backoff::new(1, 8)),
+        other => {
+            return Err(ArgError::BadValue {
+                key: "retry".to_string(),
+                value: other.to_string(),
+                expected: "immediate|backoff",
+            })
+        }
+    }
+    if args.get("retry-quota").is_some() {
+        config = config.with_retry_quota(args.get_parsed("retry-quota", 0, "an integer")?);
+    }
+    Ok(config)
+}
+
+/// Builds the optional fault scenario of `webmon run`. Faults are enabled
+/// by `--fault-rate`; without it every fault/retry flag is ignored and the
+/// run is the fault-free fast path.
+fn fault_from(args: &Args) -> Result<Option<FaultSpec>, ArgError> {
+    let Some(raw) = args.get("fault-rate") else {
+        return Ok(None);
+    };
+    let rate: f64 = args.get_parsed("fault-rate", 0.0, "a probability in [0,1]")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError::BadValue {
+            key: "fault-rate".to_string(),
+            value: raw.to_string(),
+            expected: "a probability in [0,1]",
+        });
+    }
+    let seed: u64 = args.get_parsed("fault-seed", DEFAULT_FAULT_SEED, "an integer")?;
+    let kind = match args.get("fault-model").unwrap_or("iid") {
+        "iid" => FaultKind::Iid { rate },
+        "burst" => {
+            let p_recover: f64 = args.get_parsed("fault-recover", 0.5, "a probability in (0,1]")?;
+            FaultKind::Burst {
+                p_fail: rate,
+                p_recover,
+            }
+        }
+        other => {
+            return Err(ArgError::BadValue {
+                key: "fault-model".to_string(),
+                value: other.to_string(),
+                expected: "iid|burst",
+            })
+        }
+    };
+    Ok(Some(FaultSpec {
+        kind,
+        seed,
+        config: fault_config_from(args)?,
+    }))
 }
 
 fn roster_table(title: &str, aggregates: &[PolicyAggregate]) -> Table {
@@ -223,11 +321,19 @@ fn write_metrics(path: &str, doc: &MetricsDoc) -> std::io::Result<()> {
     std::fs::write(path, json)
 }
 
-fn write_trace(path: &str, exp: &Experiment, roster: &[PolicySpec]) -> std::io::Result<u64> {
+fn write_trace(
+    path: &str,
+    exp: &Experiment,
+    roster: &[PolicySpec],
+    fault: Option<FaultSpec>,
+) -> std::io::Result<u64> {
     let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
     let mut total = 0;
     for &spec in roster {
-        let (w, events) = exp.trace_spec(spec, 0, writer)?;
+        let (w, events) = match fault {
+            Some(f) => exp.trace_spec_faulted(spec, f, 0, writer)?,
+            None => exp.trace_spec(spec, 0, writer)?,
+        };
         writer = w;
         total += events;
     }
@@ -236,9 +342,13 @@ fn write_trace(path: &str, exp: &Experiment, roster: &[PolicySpec]) -> std::io::
 
 fn cmd_run(args: &Args) -> Result<i32, ArgError> {
     let cfg = config_from(args)?;
+    let fault = fault_from(args)?;
     let exp = Experiment::materialize(cfg);
     let roster = PolicySpec::paper_roster();
-    let aggregates = exp.run_roster(&roster);
+    let aggregates = match fault {
+        Some(f) => exp.run_roster_faulted(&roster, f),
+        None => exp.run_roster(&roster),
+    };
 
     if let Some(path) = args.get("metrics") {
         let doc = metrics_doc(&exp, &aggregates);
@@ -252,7 +362,7 @@ fn cmd_run(args: &Args) -> Result<i32, ArgError> {
         eprintln!("metrics: wrote {} policies to {path}", doc.policies.len());
     }
     if let Some(path) = args.get("trace-out") {
-        match write_trace(path, &exp, &roster) {
+        match write_trace(path, &exp, &roster, fault) {
             Ok(events) => eprintln!("trace: wrote {events} events to {path}"),
             Err(e) => {
                 eprintln!("cannot write trace to {path}: {e}");
@@ -269,10 +379,27 @@ fn cmd_run(args: &Args) -> Result<i32, ArgError> {
     }
     let (ceis, eis) = exp.mean_sizes();
     println!(
-        "workload: ~{ceis:.0} CEIs / ~{eis:.0} EIs per repetition ({} reps)\n",
+        "workload: ~{ceis:.0} CEIs / ~{eis:.0} EIs per repetition ({} reps)",
         exp.config().repetitions
     );
-    println!("{}", roster_table("webmon run", &aggregates));
+    if let Some(f) = fault {
+        println!(
+            "faults:   {} seed {} ({}charged{}{})",
+            f.kind.label(),
+            f.seed,
+            if f.config.failures_cost { "" } else { "un" },
+            if f.config.backoff.is_some() {
+                ", backoff"
+            } else {
+                ", immediate retry"
+            },
+            match f.config.retry_quota {
+                Some(q) => format!(", quota {q}"),
+                None => String::new(),
+            },
+        );
+    }
+    println!("\n{}", roster_table("webmon run", &aggregates));
     Ok(0)
 }
 
@@ -288,6 +415,24 @@ fn cmd_sweep(args: &Args) -> Result<i32, ArgError> {
         format!("webmon sweep — {param}"),
         &[param.as_str(), "S-EDF(NP)", "MRSF(P)", "M-EDF(P)"],
     );
+    // Fault-rate sweeps rerun the *same* materialized instances under
+    // increasing i.i.d. probe loss (the CLI face of `exp_faults`).
+    if param == "fault-rate" {
+        let fault_seed: u64 = args.get_parsed("fault-seed", DEFAULT_FAULT_SEED, "an integer")?;
+        let fault_config = fault_config_from(args)?;
+        let exp = Experiment::materialize(base);
+        let rates = [0.0, 0.1, 0.3, 0.5, 0.7];
+        for (rate, roster) in exp.robustness_sweep(&specs, &rates, fault_seed, fault_config) {
+            let vals: Vec<f64> = roster.iter().map(|a| a.completeness.mean).collect();
+            t.push_numeric_row(format!("{rate:.2}"), &vals, 4);
+        }
+        if args.flag("json") {
+            println!("{}", Report::from_tables(vec![t]).to_json());
+        } else {
+            println!("{t}");
+        }
+        return Ok(0);
+    }
     let points: Vec<(String, ExperimentConfig)> = match param.as_str() {
         "lambda" => [10.0, 20.0, 30.0, 40.0, 50.0]
             .iter()
@@ -399,6 +544,7 @@ fn suite() -> Vec<(&'static str, Runner)> {
         ("Figure 15", webmon_bench::fig15::run),
         ("Ablations", webmon_bench::ablations::run),
         ("Extensions", webmon_bench::extensions::run),
+        ("Robustness", webmon_bench::faults::run),
     ]
 }
 
@@ -459,7 +605,84 @@ mod tests {
 
     #[test]
     fn suite_covers_all_artifacts() {
-        assert_eq!(suite().len(), 11);
+        assert_eq!(suite().len(), 12);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_structured_errors() {
+        for key in ["resources", "horizon", "budget", "profiles", "reps"] {
+            let err = config_from(&parse(&["run", &format!("--{key}"), "0"])).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { key: ref k, .. } if k == key),
+                "--{key} 0 must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_are_off_without_a_rate() {
+        assert_eq!(fault_from(&parse(&["run"])).unwrap(), None);
+        // Retry flags alone do not enable fault injection.
+        assert_eq!(
+            fault_from(&parse(&["run", "--retry", "backoff"])).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn fault_flags_build_the_spec() {
+        let f = fault_from(&parse(&["run", "--fault-rate", "0.3"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.kind, FaultKind::Iid { rate: 0.3 });
+        assert_eq!(f.seed, DEFAULT_FAULT_SEED);
+        assert_eq!(f.config, FaultConfig::charged());
+
+        let f = fault_from(&parse(&[
+            "run",
+            "--fault-rate",
+            "0.2",
+            "--fault-model",
+            "burst",
+            "--fault-recover",
+            "0.6",
+            "--fault-seed",
+            "9",
+            "--fault-free",
+            "--retry",
+            "backoff",
+            "--retry-quota",
+            "2",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            f.kind,
+            FaultKind::Burst {
+                p_fail: 0.2,
+                p_recover: 0.6
+            }
+        );
+        assert_eq!(f.seed, 9);
+        assert!(!f.config.failures_cost);
+        assert_eq!(f.config.backoff, Some(Backoff::new(1, 8)));
+        assert_eq!(f.config.retry_quota, Some(2));
+    }
+
+    #[test]
+    fn bad_fault_flags_are_structured_errors() {
+        for toks in [
+            vec!["run", "--fault-rate", "1.5"],
+            vec!["run", "--fault-rate", "lots"],
+            vec!["run", "--fault-rate", "0.1", "--fault-model", "chaos"],
+            vec!["run", "--fault-rate", "0.1", "--retry", "never"],
+        ] {
+            let err = fault_from(&parse(&toks)).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { .. }),
+                "{toks:?}: {err:?}"
+            );
+        }
     }
 
     fn tiny_experiment() -> Experiment {
@@ -504,6 +727,20 @@ mod tests {
         }
         let json = serde_json::to_string_pretty(&doc).unwrap();
         assert!(json.contains("\"probes_issued\""));
+    }
+
+    #[test]
+    fn faulted_run_metrics_stay_consistent() {
+        let exp = tiny_experiment();
+        let roster = [PolicySpec::p(PolicyKind::MEdf)];
+        let aggregates = exp.run_roster_faulted(&roster, FaultSpec::iid(0.4, 99));
+        let doc = metrics_doc(&exp, &aggregates);
+        assert!(
+            doc.policies[0].consistency_errors.is_empty(),
+            "faulted metrics drifted from stats: {:?}",
+            doc.policies[0].consistency_errors
+        );
+        assert!(doc.policies[0].metrics.probes_failed > 0);
     }
 
     #[test]

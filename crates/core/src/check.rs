@@ -23,6 +23,13 @@
 //! * **Expiry**: [`Event::CeiExpired`] fires exactly at the chronon where a
 //!   CEI first becomes doomed (fewer than `required` EIs capturable), never
 //!   twice, and never after completion.
+//! * **Faults**: failed probes never capture and are charged exactly as
+//!   the declared [`FaultConfig`] prescribes,
+//!   no probe lands on a resource inside an announced outage or before its
+//!   backoff deadline, retries announce themselves with
+//!   [`Event::ProbeRetried`] and respect the per-chronon quota, and
+//!   [`Event::CeiShed`] fires exactly when committed outage horizons (not
+//!   natural window closings) first make a CEI's threshold unreachable.
 //!
 //! Divergence is reported as structured [`Violation`]s collected into an
 //! [`InvariantReport`] instead of panicking, so a differential harness can
@@ -49,6 +56,7 @@
 //! ```
 
 use crate::engine::{EngineConfig, RunResult};
+use crate::fault::FaultConfig;
 use crate::model::{ei_captured, Cei, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, Observer};
 use crate::stats::CeiOutcome;
@@ -213,6 +221,75 @@ pub enum Violation {
         /// The chronon whose window expiries doomed the CEI.
         t: Chronon,
     },
+    /// A probe attempt (successful or failed) targeted a resource inside
+    /// an announced outage.
+    ProbeWhileDown {
+        /// The chronon.
+        t: Chronon,
+        /// The probed resource.
+        resource: ResourceId,
+    },
+    /// A probe attempt was issued before the resource's backoff deadline.
+    BackoffViolated {
+        /// The chronon.
+        t: Chronon,
+        /// The probed resource.
+        resource: ResourceId,
+        /// First chronon the backoff schedule permits.
+        allowed_at: Chronon,
+    },
+    /// An attempt's failure streak disagrees with the mirror (wrong
+    /// `attempt` on `ProbeFailed` or `ProbeRetried`, or a retry announced
+    /// for a resource with no streak).
+    RetryMismatch {
+        /// The chronon.
+        t: Chronon,
+        /// The resource.
+        resource: ResourceId,
+        /// Attempt number the event reported.
+        reported: u32,
+        /// Consecutive failures in the mirror.
+        expected: u32,
+    },
+    /// More retries were announced in one chronon than the configured
+    /// per-chronon quota allows.
+    RetryQuotaExceeded {
+        /// The chronon.
+        t: Chronon,
+        /// Retries announced so far this chronon (including this one).
+        used: u32,
+        /// The configured quota.
+        quota: u32,
+    },
+    /// `ProbeFailed` charged (or waived) the probe's cost contrary to the
+    /// declared failure accounting.
+    FailureAccounting {
+        /// The chronon.
+        t: Chronon,
+        /// The resource.
+        resource: ResourceId,
+        /// The `charged` flag the event reported.
+        reported: bool,
+        /// The flag the fault configuration prescribes.
+        expected: bool,
+    },
+    /// `CeiShed` fired although committed outages leave the CEI's
+    /// threshold reachable — or a natural window close already doomed it,
+    /// which must report `CeiExpired` instead.
+    SpuriousShed {
+        /// The CEI.
+        cei: CeiId,
+        /// The shed chronon.
+        at: Chronon,
+    },
+    /// Committed outage horizons made a CEI's threshold unreachable this
+    /// chronon but no `CeiShed` fired.
+    MissingShed {
+        /// The CEI.
+        cei: CeiId,
+        /// The chronon whose outage commitments doomed the CEI.
+        t: Chronon,
+    },
     /// `CandidateSet` reported a pool size that differs from the mirror —
     /// e.g. the pool still holds EIs of expired or completed CEIs.
     CandidateSetMismatch {
@@ -340,6 +417,46 @@ impl fmt::Display for Violation {
             Violation::MissingExpiry { cei, t } => {
                 write!(f, "{cei} became doomed at {t} without CeiExpired")
             }
+            Violation::ProbeWhileDown { t, resource } => {
+                write!(f, "t={t}: probe of {resource} inside an announced outage")
+            }
+            Violation::BackoffViolated {
+                t,
+                resource,
+                allowed_at,
+            } => write!(
+                f,
+                "t={t}: probe of {resource} before its backoff deadline {allowed_at}"
+            ),
+            Violation::RetryMismatch {
+                t,
+                resource,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: attempt on {resource} reported streak {reported}, mirror says {expected}"
+            ),
+            Violation::RetryQuotaExceeded { t, used, quota } => {
+                write!(f, "t={t}: {used} retries announced, quota allows {quota}")
+            }
+            Violation::FailureAccounting {
+                t,
+                resource,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "t={t}: failed probe of {resource} reported charged={reported}, config says {expected}"
+            ),
+            Violation::SpuriousShed { cei, at } => write!(
+                f,
+                "{cei} reported shed at {at} but its threshold is still reachable"
+            ),
+            Violation::MissingShed { cei, t } => write!(
+                f,
+                "{cei} became infeasible under committed outages at {t} without CeiShed"
+            ),
             Violation::CandidateSetMismatch {
                 t,
                 reported,
@@ -431,6 +548,11 @@ impl fmt::Display for InvariantReport {
 #[derive(Debug, Clone)]
 struct MirrorCei {
     captured: Vec<bool>,
+    /// Chronon at which each EI was shed (marked unreachable inside a
+    /// committed outage) while its natural window was still open, `None`
+    /// while reachable. Shed EIs leave the candidate pool from the next
+    /// chronon on, like naturally closed ones.
+    early: Vec<Option<Chronon>>,
     n_captured: u16,
     completed_at: Option<Chronon>,
     failed_at: Option<Chronon>,
@@ -455,6 +577,7 @@ impl MirrorCei {
 pub struct InvariantObserver<'a> {
     instance: &'a Instance,
     share_probes: bool,
+    fault_config: FaultConfig,
 
     // Chronon-scoped state.
     t_open: Option<Chronon>,
@@ -470,12 +593,23 @@ pub struct InvariantObserver<'a> {
     captures_since_probe: u32,
     pending_completion: Vec<CeiId>,
     expired_this_chronon: Vec<CeiId>,
+    shed_this_chronon: Vec<CeiId>,
+    retries_used: u32,
+    pending_retry: Option<(ResourceId, u32)>,
 
     // Run-scoped mirror.
     ceis: Vec<MirrorCei>,
     schedule: Schedule,
     probes_seen: u64,
     captures_seen: u64,
+    // Fault mirror: announced outage horizons, failure streaks, and the
+    // earliest chronon each resource may be re-attempted under backoff.
+    down_until: Vec<Option<Chronon>>,
+    consec_failures: Vec<u32>,
+    next_attempt_at: Vec<Chronon>,
+    probes_failed_seen: u64,
+    budget_lost_seen: u64,
+    sheds_seen: u64,
 
     violations: Vec<Violation>,
     suppressed: u64,
@@ -486,14 +620,16 @@ impl<'a> InvariantObserver<'a> {
     /// `config.share_probes` affects the invariants; selection strategy and
     /// preemption do not).
     pub fn new(instance: &'a Instance, config: EngineConfig) -> Self {
+        let n_res = instance.n_resources as usize;
         InvariantObserver {
             instance,
             share_probes: config.share_probes,
+            fault_config: FaultConfig::default(),
             t_open: None,
             next_t: 0,
             budget_now: 0,
             spent_now: 0,
-            probed_now: vec![false; instance.n_resources as usize],
+            probed_now: vec![false; n_res],
             expected_pool: 0,
             candidate_set_seen: false,
             expected_deferred: None,
@@ -502,11 +638,15 @@ impl<'a> InvariantObserver<'a> {
             captures_since_probe: 0,
             pending_completion: Vec::new(),
             expired_this_chronon: Vec::new(),
+            shed_this_chronon: Vec::new(),
+            retries_used: 0,
+            pending_retry: None,
             ceis: instance
                 .ceis
                 .iter()
                 .map(|c| MirrorCei {
                     captured: vec![false; c.size()],
+                    early: vec![None; c.size()],
                     n_captured: 0,
                     completed_at: None,
                     failed_at: None,
@@ -515,9 +655,24 @@ impl<'a> InvariantObserver<'a> {
             schedule: Schedule::new(instance.n_resources, instance.epoch),
             probes_seen: 0,
             captures_seen: 0,
+            down_until: vec![None; n_res],
+            consec_failures: vec![0; n_res],
+            next_attempt_at: vec![0; n_res],
+            probes_failed_seen: 0,
+            budget_lost_seen: 0,
+            sheds_seen: 0,
             violations: Vec::new(),
             suppressed: 0,
         }
+    }
+
+    /// Declares the fault configuration the checked run used, so failure
+    /// charging, backoff deadlines, and the retry quota can be enforced.
+    /// Runs driven without faults need no declaration: the default
+    /// configuration is consistent with fault-free streams.
+    pub fn with_faults(mut self, fault_config: FaultConfig) -> Self {
+        self.fault_config = fault_config;
+        self
     }
 
     /// Violations detected so far (the run can still be in flight).
@@ -543,13 +698,13 @@ impl<'a> InvariantObserver<'a> {
     }
 
     /// `true` iff EI `k` of CEI `i` is a live candidate at `t` in the
-    /// mirror: parent unresolved, window open, not yet captured. For CEIs
-    /// resolved in earlier chronons this coincides with membership in the
-    /// engine's compacted pool.
+    /// mirror: parent unresolved, window open, not yet captured, not shed
+    /// into a committed outage. For CEIs resolved in earlier chronons this
+    /// coincides with membership in the engine's compacted pool.
     fn is_live_candidate(&self, i: usize, k: usize, t: Chronon) -> bool {
         let m = &self.ceis[i];
         let ei = self.instance.ceis[i].eis[k];
-        m.live() && !m.captured[k] && ei.start <= t && t <= ei.end
+        m.live() && !m.captured[k] && m.early[k].is_none() && ei.start <= t && t <= ei.end
     }
 
     /// Mirrored candidate-pool size at `t` (over all resources).
@@ -644,6 +799,9 @@ impl<'a> InvariantObserver<'a> {
         self.last_probe = None;
         self.captures_since_probe = 0;
         self.expired_this_chronon.clear();
+        self.shed_this_chronon.clear();
+        self.retries_used = 0;
+        self.pending_retry = None;
         // Snapshot the pool the engine's compaction produces at the top of
         // this chronon; `CandidateSet` (emitted after probing, from the
         // untouched pool vector) must report exactly this.
@@ -677,6 +835,10 @@ impl<'a> InvariantObserver<'a> {
             self.protocol(format!("probe of {resource} at t={t} outside the instance"));
             return;
         }
+        self.check_attempt_admissible(t, resource);
+        let streak = self.consec_failures[resource.index()];
+        self.check_retry_pairing(t, resource, streak, "probe");
+        self.consec_failures[resource.index()] = 0;
         let prescribed = self.instance.costs.of(resource);
         if cost != prescribed {
             self.report(Violation::CostMismatch {
@@ -813,6 +975,212 @@ impl<'a> InvariantObserver<'a> {
         self.expired_this_chronon.push(cei);
     }
 
+    /// A probe attempt (successful or failed) must not target a resource
+    /// inside an announced outage or before its backoff deadline.
+    fn check_attempt_admissible(&mut self, t: Chronon, resource: ResourceId) {
+        if self.down_until[resource.index()].is_some() {
+            self.report(Violation::ProbeWhileDown { t, resource });
+        }
+        let allowed_at = self.next_attempt_at[resource.index()];
+        if t < allowed_at {
+            self.report(Violation::BackoffViolated {
+                t,
+                resource,
+                allowed_at,
+            });
+        }
+    }
+
+    /// Consumes the pending [`Event::ProbeRetried`] announcement: an
+    /// attempt with a failure streak must follow one naming the same
+    /// resource and streak; a fresh attempt must not follow one at all.
+    fn check_retry_pairing(&mut self, t: Chronon, resource: ResourceId, attempt: u32, kind: &str) {
+        match self.pending_retry.take() {
+            Some((r, a)) if r == resource && a == attempt && attempt > 0 => {}
+            Some((r, a)) => self.protocol(format!(
+                "{kind} of {resource} (attempt {attempt}) at t={t} follows a ProbeRetried for {r} (attempt {a})"
+            )),
+            None if attempt > 0 => self.protocol(format!(
+                "{kind} of {resource} at t={t} retries (attempt {attempt}) without ProbeRetried"
+            )),
+            None => {}
+        }
+    }
+
+    fn on_probe_failed(
+        &mut self,
+        t: Chronon,
+        resource: ResourceId,
+        cost: u32,
+        attempt: u32,
+        charged: bool,
+    ) {
+        if self.open_chronon(t, "ProbeFailed").is_none() {
+            return;
+        }
+        self.flush_probe(t);
+        if resource.index() >= self.probed_now.len() || !self.instance.epoch.contains(t) {
+            self.protocol(format!(
+                "failed probe of {resource} at t={t} outside the instance"
+            ));
+            return;
+        }
+        let prescribed = self.instance.costs.of(resource);
+        if cost != prescribed {
+            self.report(Violation::CostMismatch {
+                t,
+                resource,
+                reported: cost,
+                expected: prescribed,
+            });
+        }
+        let expected_charge = self.fault_config.failures_cost;
+        if charged != expected_charge {
+            self.report(Violation::FailureAccounting {
+                t,
+                resource,
+                reported: charged,
+                expected: expected_charge,
+            });
+        }
+        self.check_attempt_admissible(t, resource);
+        // A failed probe still spends a selection slot: it must have been
+        // aimed at a live candidate, like a successful one.
+        if self.capturable_on(resource, t) == 0 {
+            self.report(Violation::ProbeOutsideWindow { t, resource });
+        }
+        let streak = self.consec_failures[resource.index()];
+        if attempt != streak {
+            self.report(Violation::RetryMismatch {
+                t,
+                resource,
+                reported: attempt,
+                expected: streak,
+            });
+        }
+        self.check_retry_pairing(t, resource, attempt, "failed probe");
+        if charged {
+            if self.spent_now + cost > self.budget_now {
+                self.report(Violation::BudgetExceeded {
+                    t,
+                    spent: self.spent_now + cost,
+                    budget: self.budget_now,
+                });
+            }
+            self.spent_now += cost;
+            self.budget_lost_seen += u64::from(cost);
+        }
+        self.consec_failures[resource.index()] = streak + 1;
+        if let Some(backoff) = self.fault_config.backoff {
+            self.next_attempt_at[resource.index()] = t.saturating_add(backoff.delay(streak + 1));
+        }
+        self.probes_failed_seen += 1;
+    }
+
+    fn on_probe_retried(&mut self, t: Chronon, resource: ResourceId, attempt: u32) {
+        if self.open_chronon(t, "ProbeRetried").is_none() {
+            return;
+        }
+        if resource.index() >= self.probed_now.len() {
+            self.protocol(format!(
+                "ProbeRetried for {resource} at t={t} outside the instance"
+            ));
+            return;
+        }
+        let expected = self.consec_failures[resource.index()];
+        if attempt == 0 || attempt != expected {
+            self.report(Violation::RetryMismatch {
+                t,
+                resource,
+                reported: attempt,
+                expected,
+            });
+        }
+        if let Some((r, a)) = self.pending_retry.replace((resource, attempt)) {
+            self.protocol(format!(
+                "ProbeRetried for {resource} at t={t} while {r} (attempt {a}) is still pending"
+            ));
+        }
+        self.retries_used += 1;
+        if let Some(quota) = self.fault_config.retry_quota {
+            if self.retries_used > quota {
+                let used = self.retries_used;
+                self.report(Violation::RetryQuotaExceeded { t, used, quota });
+            }
+        }
+    }
+
+    fn on_resource_down(&mut self, t: Chronon, resource: ResourceId, until: Chronon) {
+        if self.open_chronon(t, "ResourceDown").is_none() {
+            return;
+        }
+        if resource.index() >= self.probed_now.len() {
+            self.protocol(format!(
+                "ResourceDown for {resource} at t={t} outside the instance"
+            ));
+            return;
+        }
+        if until < t {
+            self.protocol(format!(
+                "ResourceDown for {resource} at t={t} commits to the past (until={until})"
+            ));
+            return;
+        }
+        // Re-announcements must extend the committed horizon: a fault
+        // model's commitment never shrinks, and an unchanged one stays
+        // silent.
+        if let Some(prev) = self.down_until[resource.index()] {
+            if until <= prev {
+                self.protocol(format!(
+                    "ResourceDown for {resource} at t={t} re-announced horizon {until} (was {prev})"
+                ));
+            }
+        }
+        self.down_until[resource.index()] = Some(until);
+    }
+
+    fn on_resource_up(&mut self, t: Chronon, resource: ResourceId) {
+        if self.open_chronon(t, "ResourceUp").is_none() {
+            return;
+        }
+        if resource.index() >= self.probed_now.len() {
+            self.protocol(format!(
+                "ResourceUp for {resource} at t={t} outside the instance"
+            ));
+            return;
+        }
+        match self.down_until[resource.index()].take() {
+            None => self.protocol(format!("ResourceUp for {resource} at t={t} while not down")),
+            Some(u) if u >= t => self.protocol(format!(
+                "{resource} came up at t={t} inside its committed outage (until={u})"
+            )),
+            Some(_) => {}
+        }
+    }
+
+    fn on_cei_shed(&mut self, cei: CeiId, at: Chronon) {
+        if self.open_chronon(at, "CeiShed").is_none() {
+            return;
+        }
+        self.flush_probe(at);
+        let i = cei.index();
+        if i >= self.ceis.len() {
+            self.protocol(format!("CeiShed references unknown {cei}"));
+            return;
+        }
+        if self.ceis[i].completed_at.is_some() {
+            self.report(Violation::ExpiredAfterCompletion { cei, at });
+            return;
+        }
+        if self.ceis[i].failed_at.is_some() {
+            self.report(Violation::DuplicateExpiry { cei, at });
+            return;
+        }
+        self.ceis[i].failed_at = Some(at);
+        self.shed_this_chronon.push(cei);
+        self.sheds_seen += 1;
+    }
+
     fn on_candidate_set(&mut self, t: Chronon, size: u32) {
         if self.open_chronon(t, "CandidateSet").is_none() {
             return;
@@ -887,57 +1255,111 @@ impl<'a> InvariantObserver<'a> {
                 expected,
             });
         }
+        if let Some((r, a)) = self.pending_retry.take() {
+            self.protocol(format!(
+                "ProbeRetried for {r} (attempt {a}) with no following attempt in chronon {t}"
+            ));
+        }
         self.check_expiries(t);
         self.t_open = None;
         self.next_t = t.wrapping_add(1);
     }
 
-    /// Mirrors the engine's expiry phase: a CEI must fail exactly at the
-    /// chronon where uncaptured window closings first make `required`
-    /// captures unreachable.
+    /// Mirrors the engine's expiry and shed phases: a CEI must fail via
+    /// `CeiExpired` exactly at the chronon where uncaptured window
+    /// closings (including earlier shed marks) first make `required`
+    /// captures unreachable, and via `CeiShed` exactly when this chronon's
+    /// committed outage horizons — not natural closings — first do so.
     fn check_expiries(&mut self, t: Chronon) {
-        let mut missing: Vec<CeiId> = Vec::new();
-        let mut spurious: Vec<CeiId> = Vec::new();
+        let mut missing_expiry: Vec<CeiId> = Vec::new();
+        let mut spurious_expiry: Vec<CeiId> = Vec::new();
+        let mut missing_shed: Vec<CeiId> = Vec::new();
+        let mut spurious_shed: Vec<CeiId> = Vec::new();
+        let mut shed_marks: Vec<(usize, usize)> = Vec::new();
         for (i, cei) in self.instance.ceis.iter().enumerate() {
             let m = &self.ceis[i];
             if m.completed_at.is_some() {
                 continue;
             }
-            let failed_now = m.failed_at == Some(t) && self.expired_this_chronon.contains(&cei.id);
+            let failed_now = m.failed_at == Some(t);
             if m.failed_at.is_some() && !failed_now {
                 continue; // resolved in an earlier chronon
             }
-            // `n_possible` after this chronon's closings vs. before them.
-            // EIs closing before `t` cannot have been captured at `t`, so
-            // current capture flags are valid for both counts.
-            let mut closed_now = 0usize;
+            // Classify each uncaptured EI: closed before this chronon
+            // (naturally or by an earlier shed mark), closing now, or
+            // newly unreachable because its whole remaining window sits
+            // inside a committed outage. EIs closing before `t` cannot
+            // have been captured at `t`, so current capture flags are
+            // valid for all counts.
             let mut closed_prev = 0usize;
+            let mut closed_now = 0usize;
+            let mut shed_now = 0usize;
             for (k, ei) in cei.eis.iter().enumerate() {
-                if !m.captured[k] && ei.end <= t {
+                if m.captured[k] {
+                    continue;
+                }
+                if m.early[k].is_some() || ei.end < t {
+                    closed_prev += 1;
                     closed_now += 1;
-                    if ei.end < t {
-                        closed_prev += 1;
-                    }
+                } else if ei.end == t {
+                    closed_now += 1;
+                } else if ei.start <= t
+                    && self.down_until[ei.resource.index()].is_some_and(|u| u >= ei.end)
+                {
+                    shed_now += 1;
+                    shed_marks.push((i, k));
                 }
             }
             let required = usize::from(cei.required);
-            let doomed_now = cei.size() - closed_now < required;
-            let doomed_prev = cei.size() - closed_prev < required;
-            if doomed_prev {
+            if cei.size() - closed_prev < required {
                 continue; // already reported as missing at the earlier chronon
             }
-            let expected = doomed_now;
-            if expected && !failed_now {
-                missing.push(cei.id);
-            } else if failed_now && !expected {
-                spurious.push(cei.id);
+            let doomed_nat = cei.size() - closed_now < required;
+            let doomed_all = cei.size() - closed_now - shed_now < required;
+            let was_expired = failed_now && self.expired_this_chronon.contains(&cei.id);
+            let was_shed = failed_now && self.shed_this_chronon.contains(&cei.id);
+            if doomed_nat {
+                // Natural window closings own this failure: CeiExpired.
+                if !was_expired {
+                    missing_expiry.push(cei.id);
+                }
+                if was_shed {
+                    spurious_shed.push(cei.id);
+                }
+            } else if doomed_all {
+                // Only the outage commitments doom it: CeiShed.
+                if !was_shed {
+                    missing_shed.push(cei.id);
+                }
+                if was_expired {
+                    spurious_expiry.push(cei.id);
+                }
+            } else {
+                if was_expired {
+                    spurious_expiry.push(cei.id);
+                }
+                if was_shed {
+                    spurious_shed.push(cei.id);
+                }
             }
         }
-        for cei in missing {
+        // Persist the shed marks: the engine expires outage-doomed EIs
+        // even when the CEI itself survives (threshold semantics),
+        // removing them from every later candidate pool.
+        for (i, k) in shed_marks {
+            self.ceis[i].early[k] = Some(t);
+        }
+        for cei in missing_expiry {
             self.report(Violation::MissingExpiry { cei, t });
         }
-        for cei in spurious {
+        for cei in spurious_expiry {
             self.report(Violation::SpuriousExpiry { cei, at: t });
+        }
+        for cei in missing_shed {
+            self.report(Violation::MissingShed { cei, t });
+        }
+        for cei in spurious_shed {
+            self.report(Violation::SpuriousShed { cei, at: t });
         }
     }
 
@@ -1003,6 +1425,17 @@ impl<'a> InvariantObserver<'a> {
             ),
             ("ceis_captured", result.stats.ceis_captured, completed),
             ("ceis_failed", result.stats.ceis_failed, failed),
+            (
+                "probes_failed",
+                result.stats.probes_failed,
+                self.probes_failed_seen,
+            ),
+            (
+                "budget_lost",
+                result.stats.budget_lost,
+                self.budget_lost_seen,
+            ),
+            ("ceis_shed", result.stats.ceis_shed, self.sheds_seen),
         ];
         for (name, engine, mirror) in checks {
             if engine != mirror {
@@ -1071,6 +1504,21 @@ impl Observer for InvariantObserver<'_> {
             Event::CeiExpired { cei, at } => self.on_cei_expired(cei, at),
             Event::BudgetExhausted { t, deferred } => self.on_budget_exhausted(t, deferred),
             Event::ChrononEnd { t, spent, budget } => self.on_chronon_end(t, spent, budget),
+            Event::ProbeFailed {
+                t,
+                resource,
+                cost,
+                attempt,
+                charged,
+            } => self.on_probe_failed(t, resource, cost, attempt, charged),
+            Event::ProbeRetried {
+                t,
+                resource,
+                attempt,
+            } => self.on_probe_retried(t, resource, attempt),
+            Event::ResourceDown { t, resource, until } => self.on_resource_down(t, resource, until),
+            Event::ResourceUp { t, resource } => self.on_resource_up(t, resource),
+            Event::CeiShed { cei, at } => self.on_cei_shed(cei, at),
         }
     }
 }
@@ -1079,6 +1527,7 @@ impl Observer for InvariantObserver<'_> {
 mod tests {
     use super::*;
     use crate::engine::OnlineEngine;
+    use crate::fault::{Backoff, GilbertElliott, IidFaults, RateLimit};
     use crate::model::{Budget, InstanceBuilder, ProbeCosts};
     use crate::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
 
@@ -1150,6 +1599,16 @@ mod tests {
         config: EngineConfig,
         mutate: impl Fn(Vec<Event>) -> Vec<Event>,
     ) -> InvariantReport {
+        mutated_faulted_report(instance, config, FaultConfig::default(), mutate)
+    }
+
+    /// Like [`mutated_report`], with the checker declaring `fault_config`.
+    fn mutated_faulted_report(
+        instance: &Instance,
+        config: EngineConfig,
+        fault_config: FaultConfig,
+        mutate: impl Fn(Vec<Event>) -> Vec<Event>,
+    ) -> InvariantReport {
         struct Rec(Vec<Event>);
         impl Observer for Rec {
             fn on_event(&mut self, event: Event) {
@@ -1159,11 +1618,23 @@ mod tests {
         let mut rec = Rec(Vec::new());
         OnlineEngine::run_observed(instance, &Mrsf, config, &mut rec);
         let events = mutate(rec.0);
-        let mut checker = InvariantObserver::new(instance, config);
+        let mut checker = InvariantObserver::new(instance, config).with_faults(fault_config);
         for e in events {
             checker.on_event(e);
         }
         checker.finish()
+    }
+
+    /// Position, chronon, and resource of the stream's first probe.
+    fn first_probe(ev: &[Event]) -> (usize, Chronon, ResourceId) {
+        let at = ev
+            .iter()
+            .position(|e| matches!(e, Event::ProbeIssued { .. }))
+            .unwrap();
+        let Event::ProbeIssued { t, resource, .. } = ev[at] else {
+            unreachable!()
+        };
+        (at, t, resource)
     }
 
     /// The true stream passes; this is the control for the mutation tests.
@@ -1437,6 +1908,271 @@ mod tests {
         assert_eq!(report.violations.len(), MAX_VIOLATIONS);
         assert!(report.suppressed > 0);
         assert!(!report.is_clean());
+    }
+
+    /// Genuinely faulted runs — i.i.d. failures under every retry
+    /// configuration — must check clean end to end.
+    #[test]
+    fn clean_faulted_runs_produce_clean_reports() {
+        let instance = mixed_instance(2);
+        for rate in [0.0, 0.35, 0.8] {
+            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                for fc in [
+                    FaultConfig::default(),
+                    FaultConfig::default().with_backoff(Backoff::new(1, 8)),
+                    FaultConfig::default().free_failures().with_retry_quota(1),
+                ] {
+                    let mut faults = IidFaults::new(rate, 0xF00D);
+                    let mut obs = InvariantObserver::new(&instance, config).with_faults(fc);
+                    let run = OnlineEngine::run_faulted(
+                        &instance,
+                        &Mrsf,
+                        config,
+                        &mut faults,
+                        fc,
+                        &mut obs,
+                    );
+                    let report = obs.finish_with(&run);
+                    report.assert_clean();
+                }
+            }
+        }
+    }
+
+    /// Bursty outages and rate-limit windows exercise the down/up
+    /// announcements and the shed pass; both must check clean.
+    #[test]
+    fn clean_outage_runs_produce_clean_reports() {
+        let instance = mixed_instance(1);
+        let n_res = instance.n_resources as usize;
+        let fc = FaultConfig::default();
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let mut ge = GilbertElliott::new(0.3, 0.4, 0xBEEF, n_res);
+            let mut obs = InvariantObserver::new(&instance, config).with_faults(fc);
+            let run = OnlineEngine::run_faulted(&instance, &Mrsf, config, &mut ge, fc, &mut obs);
+            obs.finish_with(&run).assert_clean();
+
+            let mut rl = RateLimit::new(6, 1, n_res);
+            let mut obs = InvariantObserver::new(&instance, config).with_faults(fc);
+            let run = OnlineEngine::run_faulted(&instance, &Mrsf, config, &mut rl, fc, &mut obs);
+            obs.finish_with(&run).assert_clean();
+        }
+    }
+
+    #[test]
+    fn probe_inside_announced_outage_is_flagged() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            let (at, t, resource) = first_probe(&ev);
+            ev.insert(
+                at,
+                Event::ResourceDown {
+                    t,
+                    resource,
+                    until: t,
+                },
+            );
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ProbeWhileDown { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn probe_before_backoff_deadline_is_flagged() {
+        // A failure with backoff configured forbids the very next probe of
+        // the same resource; the unmutated stream issues one anyway.
+        let fc = FaultConfig::default()
+            .free_failures()
+            .with_backoff(Backoff::new(4, 16));
+        let report = mutated_faulted_report(
+            &mixed_instance(1),
+            EngineConfig::preemptive(),
+            fc,
+            |mut ev| {
+                let (at, t, resource) = first_probe(&ev);
+                ev.insert(
+                    at,
+                    Event::ProbeFailed {
+                        t,
+                        resource,
+                        cost: 1,
+                        attempt: 0,
+                        charged: false,
+                    },
+                );
+                ev
+            },
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::BackoffViolated { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn retry_with_wrong_streak_is_flagged() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            let (at, t, resource) = first_probe(&ev);
+            ev.insert(
+                at,
+                Event::ProbeRetried {
+                    t,
+                    resource,
+                    attempt: 3,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::RetryMismatch {
+                    reported: 3,
+                    expected: 0,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn retry_over_quota_is_flagged() {
+        // Quota 0 forbids any retry; a failure followed by a correctly
+        // numbered retry announcement must be flagged.
+        let fc = FaultConfig::default().free_failures().with_retry_quota(0);
+        let report = mutated_faulted_report(
+            &mixed_instance(1),
+            EngineConfig::preemptive(),
+            fc,
+            |mut ev| {
+                let (at, t, resource) = first_probe(&ev);
+                ev.insert(
+                    at,
+                    Event::ProbeRetried {
+                        t,
+                        resource,
+                        attempt: 1,
+                    },
+                );
+                ev.insert(
+                    at,
+                    Event::ProbeFailed {
+                        t,
+                        resource,
+                        cost: 1,
+                        attempt: 0,
+                        charged: false,
+                    },
+                );
+                ev
+            },
+        );
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::RetryQuotaExceeded {
+                    used: 1,
+                    quota: 0,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn uncharged_failure_under_charged_config_is_flagged() {
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            let (at, t, resource) = first_probe(&ev);
+            ev.insert(
+                at,
+                Event::ProbeFailed {
+                    t,
+                    resource,
+                    cost: 1,
+                    attempt: 0,
+                    charged: false,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::FailureAccounting {
+                    reported: false,
+                    expected: true,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn shed_of_feasible_cei_is_flagged() {
+        // CEI 2 is alive and fully reachable at chronon 0.
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            ev.insert(
+                1,
+                Event::CeiShed {
+                    cei: CeiId(2),
+                    at: 0,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::SpuriousShed {
+                    cei: CeiId(2),
+                    at: 0
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unshed_infeasible_cei_is_flagged() {
+        // Budget 0: nothing is ever captured. An outage on resource 0
+        // committed through chronon 4 swallows the whole remaining window
+        // of CEI 0's only EI (0, 0, 4) at t=2, yet no CeiShed follows.
+        let report = mutated_report(&mixed_instance(0), EngineConfig::preemptive(), |mut ev| {
+            let at = ev
+                .iter()
+                .position(|e| matches!(e, Event::ChrononStart { t: 2, .. }))
+                .unwrap();
+            ev.insert(
+                at + 1,
+                Event::ResourceDown {
+                    t: 2,
+                    resource: ResourceId(0),
+                    until: 4,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::MissingShed {
+                    cei: CeiId(0),
+                    t: 2
+                }
+            )),
+            "{report}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The run loop implementing Algorithm 1 (Online Complex Monitoring).
 
-use crate::model::{CaptureSet, CeiId, Chronon, Instance, Schedule};
+use crate::fault::{FaultConfig, FaultModel, NoFaults};
+use crate::model::{CaptureSet, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, NoopObserver, Observer};
 use crate::policy::{Candidate, CeiView, Policy, PolicyContext, ResourceStats};
 use crate::stats::{CeiOutcome, RunStats};
@@ -136,10 +137,55 @@ impl OnlineEngine {
     /// `observer` (see [`crate::obs`] for the event vocabulary and
     /// ordering guarantees). The event stream is deterministic: a pure
     /// function of `(instance, policy, config)`.
+    ///
+    /// Equivalent to [`run_faulted`](Self::run_faulted) with [`NoFaults`] —
+    /// the disabled fault model monomorphizes every fault branch away, so
+    /// this path costs exactly what it did before fault injection existed.
     pub fn run_observed<O: Observer>(
         instance: &Instance,
         policy: &dyn Policy,
         config: EngineConfig,
+        observer: &mut O,
+    ) -> RunResult {
+        Self::run_faulted(
+            instance,
+            policy,
+            config,
+            &mut NoFaults,
+            FaultConfig::default(),
+            observer,
+        )
+    }
+
+    /// Runs `policy` over `instance` under a deterministic fault model.
+    ///
+    /// Per chronon, the engine first advances `faults`, snapshots each
+    /// resource's committed outage horizon, and announces
+    /// [`Event::ResourceDown`] / [`Event::ResourceUp`] transitions. Down
+    /// and backed-off resources are excluded from candidate selection. A
+    /// selected probe is then submitted to the model: on failure the engine
+    /// emits [`Event::ProbeFailed`] (charging the probe's cost against the
+    /// chronon budget iff [`FaultConfig::failures_cost`]), tracks the
+    /// resource's consecutive-failure count for retry/backoff, and selects
+    /// again; on success the normal capture path runs. Retry attempts (a
+    /// probe on a resource with consecutive failures) announce themselves
+    /// with [`Event::ProbeRetried`] and respect the optional per-chronon
+    /// [`FaultConfig::retry_quota`]. After the natural expiry pass, the
+    /// engine sheds CEIs whose remaining uncaptured windows fall entirely
+    /// within committed outages ([`Event::CeiShed`]) — under AND/threshold
+    /// semantics they are provably doomed, so burning further probes on
+    /// them would only starve feasible CEIs.
+    ///
+    /// Determinism: every shipped [`FaultModel`] is a pure function of its
+    /// seed and parameters, so the faulted run — schedule, event stream,
+    /// stats — is a pure function of
+    /// `(instance, policy, config, model, fault_config)`.
+    pub fn run_faulted<F: FaultModel, O: Observer>(
+        instance: &Instance,
+        policy: &dyn Policy,
+        config: EngineConfig,
+        faults: &mut F,
+        fault_config: FaultConfig,
         observer: &mut O,
     ) -> RunResult {
         let n_ceis = instance.ceis.len();
@@ -177,9 +223,56 @@ impl OnlineEngine {
         let mut transitions: Vec<(CeiId, CeiOutcome)> = Vec::new();
         let mut touched: Vec<CeiId> = Vec::new();
 
+        // Fault-injection state. `fault_blocked` is always allocated (the
+        // selectors index it unconditionally); the rest is sized to zero
+        // for a disabled model so NoFaults pays nothing.
+        let fault_on = faults.enabled();
+        let n_track = if fault_on { n_res } else { 0 };
+        // Committed outage horizon per resource, frozen at chronon start so
+        // shedding and the event-driven checker see the same state.
+        let mut down_snapshot: Vec<Option<Chronon>> = vec![None; n_track];
+        // Last horizon announced via ResourceDown (None while up).
+        let mut announced: Vec<Option<Chronon>> = vec![None; n_track];
+        let mut consec_failures: Vec<u32> = vec![0; n_track];
+        let mut next_attempt_at: Vec<Chronon> = vec![0; n_track];
+        let mut fault_blocked: Vec<bool> = vec![false; n_res];
+
         for t in instance.epoch.chronons() {
             let budget = instance.budget.at(t);
             observer.on_event(Event::ChrononStart { t, budget });
+            let mut retries_used: u32 = 0;
+
+            if fault_on {
+                faults.begin_chronon(t);
+                for r in 0..n_res {
+                    let id = ResourceId(r as u32);
+                    let d = faults.down_until(id);
+                    down_snapshot[r] = d;
+                    match d {
+                        Some(until) => {
+                            // Announce new outages and extensions of the
+                            // committed horizon; a steady commitment stays
+                            // silent.
+                            if announced[r] != Some(until) {
+                                observer.on_event(Event::ResourceDown {
+                                    t,
+                                    resource: id,
+                                    until,
+                                });
+                                announced[r] = Some(until);
+                            }
+                        }
+                        None => {
+                            if announced[r].take().is_some() {
+                                observer.on_event(Event::ResourceUp { t, resource: id });
+                            }
+                        }
+                    }
+                    fault_blocked[r] = d.is_some()
+                        || t < next_attempt_at[r]
+                        || (consec_failures[r] > 0 && fault_config.retry_quota == Some(0));
+                }
+            }
 
             // -- 1. Arrivals: η(j) joins cands(η).
             for &id in instance.released_at(t) {
@@ -223,7 +316,8 @@ impl OnlineEngine {
                 }
             }
 
-            // -- 5. probeEIs: select up to C_j resources by repeated argmin.
+            // -- 5. probeEIs: select up to C_j resources by repeated argmin,
+            // skipping resources blocked by outages, backoff, or quota.
             probed_now.fill(false);
             let mut used: u32 = 0;
             let mut selection_steps: u32 = 0;
@@ -273,6 +367,7 @@ impl OnlineEngine {
                             &pool,
                             &status,
                             &probed_now,
+                            &fault_blocked,
                             remaining,
                             snapshot,
                             &mut selection_steps,
@@ -284,6 +379,7 @@ impl OnlineEngine {
                             &mut heap,
                             &status,
                             &probed_now,
+                            &fault_blocked,
                             remaining,
                             snapshot,
                             &mut selection_steps,
@@ -298,6 +394,77 @@ impl OnlineEngine {
                     // resource (R_ids).
                     let resource = instance.cei(best.cei).eis[best.ei_idx as usize].resource;
                     let cost = instance.costs.of(resource);
+
+                    // Submit the attempt to the fault model before touching
+                    // the schedule: a failed probe never captures and is
+                    // never recorded as issued.
+                    if fault_on {
+                        let ri = resource.index();
+                        let attempt = consec_failures[ri];
+                        if attempt > 0 {
+                            observer.on_event(Event::ProbeRetried {
+                                t,
+                                resource,
+                                attempt,
+                            });
+                            retries_used += 1;
+                        }
+                        let succeeded = faults.probe_succeeds(t, resource, attempt);
+                        if succeeded {
+                            consec_failures[ri] = 0;
+                        } else {
+                            consec_failures[ri] = attempt + 1;
+                            stats.probes_failed += 1;
+                            let charged = fault_config.failures_cost;
+                            if charged {
+                                used += cost;
+                                stats.budget_lost += u64::from(cost);
+                            }
+                            if !charged || cost == 0 {
+                                // A failure that consumes no budget must not
+                                // re-enter selection this chronon, or the
+                                // loop would spin on the same candidate.
+                                fault_blocked[ri] = true;
+                            }
+                            if let Some(backoff) = fault_config.backoff {
+                                next_attempt_at[ri] = t.saturating_add(backoff.delay(attempt + 1));
+                                fault_blocked[ri] = true;
+                            }
+                            observer.on_event(Event::ProbeFailed {
+                                t,
+                                resource,
+                                cost,
+                                attempt,
+                                charged,
+                            });
+                        }
+                        // Once the retry quota is spent, every resource with
+                        // a failure streak leaves selection for the chronon.
+                        if fault_config.retry_quota.is_some_and(|q| retries_used >= q) {
+                            for (blocked, &streak) in fault_blocked.iter_mut().zip(&consec_failures)
+                            {
+                                if streak > 0 {
+                                    *blocked = true;
+                                }
+                            }
+                        }
+                        if !succeeded {
+                            // The heap consumed this entry on pop; re-seed it
+                            // if its resource can still be selected, so Scan
+                            // and LazyHeap keep identical schedules.
+                            if config.selection == SelectionStrategy::LazyHeap && !fault_blocked[ri]
+                            {
+                                let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                                if let Some(score) =
+                                    score_entry(instance, policy, &ctx, &status, best, snapshot)
+                                {
+                                    heap.push(std::cmp::Reverse((score, best.cei.0, best.ei_idx)));
+                                }
+                            }
+                            continue;
+                        }
+                    }
+
                     schedule.probe(resource, t);
                     used += cost;
                     stats.probes_used += 1;
@@ -427,6 +594,43 @@ impl OnlineEngine {
                 }
             }
 
+            // -- 6b. Graceful degradation: an uncaptured EI whose whole
+            // remaining window sits inside a committed outage is
+            // unreachable; marking it expired sheds CEIs that can no longer
+            // meet their threshold, after the natural pass so a CEI doomed
+            // by a real window close always reports CeiExpired, not CeiShed.
+            if fault_on {
+                transitions.clear();
+                for e in &pool {
+                    let Status::Active(cap) = &mut status[e.cei.index()] else {
+                        continue;
+                    };
+                    let cei = instance.cei(e.cei);
+                    let ei = cei.eis[e.ei_idx as usize];
+                    if ei.end <= t {
+                        continue; // the natural expiry pass owns closed windows
+                    }
+                    let Some(until) = down_snapshot[ei.resource.index()] else {
+                        continue;
+                    };
+                    if until >= ei.end
+                        && cap.mark_expired(e.ei_idx as usize)
+                        && cap.is_doomed(cei.required)
+                    {
+                        transitions.push((e.cei, CeiOutcome::Failed { at: t }));
+                    }
+                }
+                for &(id, outcome) in &transitions {
+                    if matches!(status[id.index()], Status::Active(_)) {
+                        status[id.index()] = Status::Failed;
+                        outcomes[id.index()] = outcome;
+                        stats.record_outcome_of(instance.cei(id), outcome);
+                        stats.ceis_shed += 1;
+                        observer.on_event(Event::CeiShed { cei: id, at: t });
+                    }
+                }
+            }
+
             observer.on_event(Event::ChrononEnd {
                 t,
                 spent: used,
@@ -499,6 +703,7 @@ fn argmin_candidate(
     pool: &[PoolEntry],
     status: &[Status],
     probed_now: &[bool],
+    blocked: &[bool],
     remaining_budget: u32,
     phase: Option<(bool, &[bool])>,
     steps: &mut u32,
@@ -509,6 +714,9 @@ fn argmin_candidate(
         let resource = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
         if probed_now[resource.index()] {
             continue; // already captured by an earlier probe this chronon
+        }
+        if blocked[resource.index()] {
+            continue; // down, backing off, or out of retry quota
         }
         if instance.costs.of(resource) > remaining_budget {
             continue; // unaffordable this chronon (varying-costs extension)
@@ -539,6 +747,7 @@ fn pop_valid(
     heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u16)>>,
     status: &[Status],
     probed_now: &[bool],
+    blocked: &[bool],
     remaining_budget: u32,
     phase: Option<(bool, &[bool])>,
     steps: &mut u32,
@@ -552,6 +761,9 @@ fn pop_valid(
         let resource = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
         if probed_now[resource.index()] {
             continue; // captured earlier this chronon
+        }
+        if blocked[resource.index()] {
+            continue; // down, backing off, or out of retry quota
         }
         let Some(current) = score_entry(instance, policy, ctx, status, e, phase) else {
             continue; // no longer live

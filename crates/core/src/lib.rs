@@ -42,6 +42,10 @@
 //! * [`check`] — the conformance harness's invariant checker: an observer
 //!   that mirrors the engine from its event stream alone and reports any
 //!   divergence from the model's invariants as structured violations.
+//! * [`fault`] — seeded, deterministic fault injection: i.i.d. probe
+//!   failures, Gilbert–Elliott bursty outages, and rate-limit windows,
+//!   threaded through [`engine::OnlineEngine::run_faulted`] with retry /
+//!   backoff handling and graceful shedding of provably-doomed CEIs.
 //!
 //! ## Quick start
 //!
@@ -65,6 +69,7 @@
 pub mod check;
 pub mod diagnostics;
 pub mod engine;
+pub mod fault;
 pub mod model;
 pub mod obs;
 pub mod offline;
@@ -73,6 +78,7 @@ pub mod stats;
 
 pub use check::{InvariantObserver, InvariantReport, Violation};
 pub use engine::{EngineConfig, OnlineEngine, RunResult};
+pub use fault::{Backoff, FaultConfig, FaultModel, GilbertElliott, IidFaults, NoFaults, RateLimit};
 pub use model::{
     Budget, Cei, CeiId, Chronon, Ei, Instance, InstanceBuilder, Profile, ProfileId, ResourceId,
     Schedule,

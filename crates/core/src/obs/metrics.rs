@@ -148,6 +148,44 @@ pub struct RunMetrics {
     /// Per-chronon budget utilization percent (chronons with zero budget
     /// are not sampled — nothing could be probed).
     pub budget_utilization: Histogram,
+    /// Probe attempts rejected by the fault model (mirror of
+    /// [`RunStats::probes_failed`]).
+    #[serde(default)]
+    pub probes_failed: u64,
+    /// Retry attempts: probes issued against a resource with at least one
+    /// consecutive failure.
+    #[serde(default)]
+    pub probes_retried: u64,
+    /// Budget units charged to failed probes (mirror of
+    /// [`RunStats::budget_lost`]).
+    #[serde(default)]
+    pub budget_lost: u64,
+    /// Resource outages started (one per `ResourceDown` transition; an
+    /// outage still open at epoch end is counted here but not in
+    /// [`outage_length`](Self::outage_length)).
+    #[serde(default)]
+    pub resource_outages: u64,
+    /// CEIs shed by graceful degradation (mirror of
+    /// [`RunStats::ceis_shed`]).
+    #[serde(default)]
+    pub ceis_shed: u64,
+    /// Consecutive-failure count per retry attempt.
+    #[serde(default = "retry_attempts_histogram")]
+    pub retry_attempts: Histogram,
+    /// Completed outage lengths in chronons (outages still open at epoch
+    /// end are not sampled).
+    #[serde(default = "outage_length_histogram")]
+    pub outage_length: Histogram,
+}
+
+/// Default bucket layout for [`RunMetrics::retry_attempts`].
+fn retry_attempts_histogram() -> Histogram {
+    Histogram::pow2(32)
+}
+
+/// Default bucket layout for [`RunMetrics::outage_length`].
+fn outage_length_histogram() -> Histogram {
+    Histogram::pow2(256)
 }
 
 impl Default for RunMetrics {
@@ -168,6 +206,13 @@ impl Default for RunMetrics {
             capture_latency: Histogram::pow2(256),
             probe_fanout: Histogram::pow2(32),
             budget_utilization: Histogram::percent(),
+            probes_failed: 0,
+            probes_retried: 0,
+            budget_lost: 0,
+            resource_outages: 0,
+            ceis_shed: 0,
+            retry_attempts: retry_attempts_histogram(),
+            outage_length: outage_length_histogram(),
         }
     }
 }
@@ -192,6 +237,13 @@ impl RunMetrics {
         self.capture_latency.merge(&other.capture_latency);
         self.probe_fanout.merge(&other.probe_fanout);
         self.budget_utilization.merge(&other.budget_utilization);
+        self.probes_failed += other.probes_failed;
+        self.probes_retried += other.probes_retried;
+        self.budget_lost += other.budget_lost;
+        self.resource_outages += other.resource_outages;
+        self.ceis_shed += other.ceis_shed;
+        self.retry_attempts.merge(&other.retry_attempts);
+        self.outage_length.merge(&other.outage_length);
     }
 
     /// Merges an ordered sequence of per-run metrics.
@@ -227,7 +279,14 @@ impl RunMetrics {
         );
         check("EIs captured", self.eis_captured, stats.eis_captured);
         check("CEIs completed", self.ceis_completed, stats.ceis_captured);
-        check("CEIs expired", self.ceis_expired, stats.ceis_failed);
+        check(
+            "CEIs expired+shed",
+            self.ceis_expired + self.ceis_shed,
+            stats.ceis_failed,
+        );
+        check("probes failed", self.probes_failed, stats.probes_failed);
+        check("budget lost", self.budget_lost, stats.budget_lost);
+        check("CEIs shed", self.ceis_shed, stats.ceis_shed);
         check(
             "capture-latency histogram mass",
             self.capture_latency.count,
@@ -238,6 +297,12 @@ impl RunMetrics {
             self.probe_fanout.count,
             stats.probes_used,
         );
+        if self.retry_attempts.count != self.probes_retried {
+            errs.push(format!(
+                "retry-attempts histogram mass: {} != retries {}",
+                self.retry_attempts.count, self.probes_retried
+            ));
+        }
         errs
     }
 }
@@ -250,6 +315,10 @@ impl RunMetrics {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsObserver {
     metrics: RunMetrics,
+    /// Start chronon of each currently-open outage, keyed by resource.
+    /// Working state only — outages still open at epoch end never reach
+    /// [`RunMetrics::outage_length`].
+    down_since: std::collections::BTreeMap<u32, u64>,
 }
 
 impl MetricsObserver {
@@ -260,6 +329,7 @@ impl MetricsObserver {
                 runs: 1,
                 ..RunMetrics::default()
             },
+            down_since: std::collections::BTreeMap::new(),
         }
     }
 
@@ -312,6 +382,30 @@ impl Observer for MetricsObserver {
                         .observe(u64::from(spent) * 100 / u64::from(budget));
                 }
             }
+            Event::ProbeFailed { cost, charged, .. } => {
+                m.probes_failed += 1;
+                if charged {
+                    m.budget_lost += u64::from(cost);
+                }
+            }
+            Event::ProbeRetried { attempt, .. } => {
+                m.probes_retried += 1;
+                m.retry_attempts.observe(u64::from(attempt));
+            }
+            Event::ResourceDown { t, resource, .. } => {
+                // Repeated Downs extend an open outage's commitment; only
+                // the opening transition counts as a new outage.
+                self.down_since.entry(resource.0).or_insert_with(|| {
+                    m.resource_outages += 1;
+                    u64::from(t)
+                });
+            }
+            Event::ResourceUp { t, resource } => {
+                if let Some(start) = self.down_since.remove(&resource.0) {
+                    m.outage_length.observe(u64::from(t).saturating_sub(start));
+                }
+            }
+            Event::CeiShed { .. } => m.ceis_shed += 1,
         }
     }
 }

@@ -22,19 +22,29 @@
 //! One run emits, per chronon `t` of the epoch, in this order:
 //!
 //! 1. [`Event::ChrononStart`] — the chronon opens with its probe budget;
-//! 2. per issued probe: one [`Event::ProbeIssued`] (with the probe's cost
-//!    and its intra-resource sharing fan-out), followed by that probe's
-//!    [`Event::EiCaptured`]s (one per captured EI, with its capture
-//!    latency) and [`Event::CeiCompleted`]s (CEIs that crossed their
-//!    threshold);
-//! 3. one [`Event::CandidateSet`] — the live candidate-EI pool the
+//! 2. under fault injection only: [`Event::ResourceDown`] /
+//!    [`Event::ResourceUp`] transitions, in resource order — a `Down` is
+//!    (re-)emitted whenever a resource's committed outage horizon starts
+//!    or extends;
+//! 3. per probe attempt: an optional [`Event::ProbeRetried`] (the attempt
+//!    targets a resource with consecutive failures), then either one
+//!    [`Event::ProbeIssued`] (with the probe's cost and its intra-resource
+//!    sharing fan-out), followed by that probe's [`Event::EiCaptured`]s
+//!    (one per captured EI, with its capture latency) and
+//!    [`Event::CeiCompleted`]s (CEIs that crossed their threshold) — or
+//!    one [`Event::ProbeFailed`] (the fault model rejected the probe;
+//!    failed probes never capture);
+//! 4. one [`Event::CandidateSet`] — the live candidate-EI pool the
 //!    chronon's `probeEIs` competed over, plus how many selection steps
 //!    (heap pops or full scans) it performed;
-//! 4. at most one [`Event::BudgetExhausted`] — live candidates were left
+//! 5. at most one [`Event::BudgetExhausted`] — live candidates were left
 //!    unserved when the budget ran out (or nothing affordable remained);
-//! 5. zero or more [`Event::CeiExpired`] — CEIs doomed by this chronon's
-//!    window expiries;
-//! 6. [`Event::ChrononEnd`] — budget units actually spent.
+//! 6. zero or more [`Event::CeiExpired`] — CEIs doomed by this chronon's
+//!    window expiries — then zero or more [`Event::CeiShed`] — CEIs the
+//!    engine degraded gracefully because their remaining windows lie
+//!    entirely within committed outages;
+//! 7. [`Event::ChrononEnd`] — budget units actually spent (including
+//!    budget charged to failed probes).
 //!
 //! The stream is **deterministic**: the engine is a pure function of
 //! `(instance, policy, config)`, so the exact event sequence — not just its
@@ -132,6 +142,60 @@ pub enum Event {
         /// Budget units that were available (`C_j`).
         budget: u32,
     },
+    /// A probe attempt was rejected by the fault model. Failed probes never
+    /// capture and are not recorded in the schedule.
+    ProbeFailed {
+        /// The chronon.
+        t: Chronon,
+        /// The resource whose probe failed.
+        resource: ResourceId,
+        /// Budget units the attempt would have cost.
+        cost: u32,
+        /// Consecutive failures on this resource before this attempt
+        /// (0 for a fresh probe).
+        attempt: u32,
+        /// Whether the attempt's cost was charged against the chronon
+        /// budget ([`FaultConfig::failures_cost`](crate::fault::FaultConfig)).
+        charged: bool,
+    },
+    /// A probe attempt targets a resource with consecutive failures —
+    /// emitted immediately before that attempt's [`Event::ProbeIssued`] or
+    /// [`Event::ProbeFailed`].
+    ProbeRetried {
+        /// The chronon.
+        t: Chronon,
+        /// The retried resource.
+        resource: ResourceId,
+        /// Consecutive failures before this attempt (≥ 1).
+        attempt: u32,
+    },
+    /// A resource became unavailable, or an ongoing outage extended its
+    /// committed horizon.
+    ResourceDown {
+        /// The chronon.
+        t: Chronon,
+        /// The unavailable resource.
+        resource: ResourceId,
+        /// Inclusive horizon of the committed outage: no probe of this
+        /// resource can succeed at any chronon in `t..=until`.
+        until: Chronon,
+    },
+    /// A previously-down resource recovered.
+    ResourceUp {
+        /// The chronon.
+        t: Chronon,
+        /// The recovered resource.
+        resource: ResourceId,
+    },
+    /// The engine shed a CEI: its remaining uncaptured windows lie entirely
+    /// within committed outages, so AND/threshold semantics can no longer
+    /// be satisfied and spending probes on it would be wasted.
+    CeiShed {
+        /// The shed CEI.
+        cei: CeiId,
+        /// The chronon of the shed decision.
+        at: Chronon,
+    },
 }
 
 impl Event {
@@ -147,6 +211,11 @@ impl Event {
             Event::CeiExpired { .. } => "CeiExpired",
             Event::BudgetExhausted { .. } => "BudgetExhausted",
             Event::ChrononEnd { .. } => "ChrononEnd",
+            Event::ProbeFailed { .. } => "ProbeFailed",
+            Event::ProbeRetried { .. } => "ProbeRetried",
+            Event::ResourceDown { .. } => "ResourceDown",
+            Event::ResourceUp { .. } => "ResourceUp",
+            Event::CeiShed { .. } => "CeiShed",
         }
     }
 }

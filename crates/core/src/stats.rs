@@ -62,6 +62,20 @@ pub struct RunStats {
     pub weight_total: f64,
     /// Sum of utility weights of captured CEIs.
     pub weight_captured: f64,
+    /// Probe attempts rejected by the fault model (always 0 on the
+    /// unfaulted `run` / `run_observed` paths).
+    #[serde(default)]
+    pub probes_failed: u64,
+    /// Budget units charged to failed probes (counted in the per-chronon
+    /// spend but not in [`budget_spent`](Self::budget_spent), which tracks
+    /// successful probes only).
+    #[serde(default)]
+    pub budget_lost: u64,
+    /// CEIs shed by graceful degradation: their remaining uncaptured
+    /// windows fell entirely within committed resource outages. Shed CEIs
+    /// are also counted in [`ceis_failed`](Self::ceis_failed).
+    #[serde(default)]
+    pub ceis_shed: u64,
 }
 
 /// Captured / total counts for CEIs of one size.

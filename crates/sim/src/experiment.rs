@@ -1,6 +1,7 @@
 //! Materializing problem instances and running policy rosters over them.
 
 use crate::config::ExperimentConfig;
+use crate::faults::FaultSpec;
 use crate::parallel::par_map;
 use crate::policies::PolicySpec;
 use crate::summary::Summary;
@@ -206,6 +207,107 @@ impl Experiment {
             }
         });
         PolicyAggregate::from_outcomes(spec.label(), outcomes)
+    }
+
+    /// Like [`Self::run_spec`], under an injected fault scenario: each
+    /// repetition builds a fresh fault model from `fault` (seed forked by
+    /// repetition index) and drives
+    /// [`OnlineEngine::run_faulted`] instead of the fault-free path.
+    ///
+    /// Determinism carries over: the outcome is a pure function of
+    /// `(config, spec, fault, rep)`, so `--jobs N` stays bit-identical to
+    /// `--jobs 1`, and a spec whose model never fails reproduces
+    /// [`Self::run_spec`] exactly.
+    pub fn run_spec_faulted(&self, spec: PolicySpec, fault: FaultSpec) -> PolicyAggregate {
+        let noisy = self.config.noise.is_some();
+        let outcomes = par_map(self.workloads.iter().collect(), |rep, w| {
+            let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
+            let mut model = fault.build(rep as u64, w.instance.n_resources as usize);
+            let mut observer = MetricsObserver::new();
+            let start = Instant::now();
+            let result = OnlineEngine::run_faulted(
+                &w.instance,
+                policy.as_ref(),
+                spec.engine_config(),
+                &mut model,
+                fault.config,
+                &mut observer,
+            );
+            let runtime = start.elapsed();
+            let stats = if noisy {
+                evaluate_schedule(&w.truth, &result.schedule)
+            } else {
+                result.stats
+            };
+            RepetitionOutcome {
+                stats,
+                metrics: observer.finish(),
+                runtime,
+                n_eis: w.n_eis(),
+            }
+        });
+        PolicyAggregate::from_outcomes(spec.label(), outcomes)
+    }
+
+    /// Runs a roster of policy specs under one fault scenario.
+    pub fn run_roster_faulted(
+        &self,
+        specs: &[PolicySpec],
+        fault: FaultSpec,
+    ) -> Vec<PolicyAggregate> {
+        par_map(specs.to_vec(), |_, s| self.run_spec_faulted(s, fault))
+    }
+
+    /// The robustness sweep: reruns `specs` at every i.i.d. failure rate in
+    /// `rates` (seeded by `fault_seed`, retry behavior from `config`) and
+    /// returns one roster of aggregates per rate, in input order.
+    ///
+    /// The shipped i.i.d. model draws failure sets that are *nested* in the
+    /// rate for a fixed seed, so corpus-aggregate completeness is
+    /// non-increasing along `rates` — the curve the `exp_faults` bench
+    /// plots per policy.
+    pub fn robustness_sweep(
+        &self,
+        specs: &[PolicySpec],
+        rates: &[f64],
+        fault_seed: u64,
+        config: webmon_core::fault::FaultConfig,
+    ) -> Vec<(f64, Vec<PolicyAggregate>)> {
+        par_map(rates.to_vec(), |_, rate| {
+            let fault = FaultSpec::iid(rate, fault_seed).with_config(config);
+            (rate, self.run_roster_faulted(specs, fault))
+        })
+    }
+
+    /// Re-runs one materialized repetition of `spec` under `fault` with a
+    /// [`JsonlTraceObserver`], streaming the faulted event stream to
+    /// `writer` as JSONL — the trace twin of [`Self::run_spec_faulted`],
+    /// byte-replayable through
+    /// [`webmon_core::obs::replay_metrics`].
+    ///
+    /// # Panics
+    /// Panics if `rep` is out of range.
+    pub fn trace_spec_faulted<W: std::io::Write>(
+        &self,
+        spec: PolicySpec,
+        fault: FaultSpec,
+        rep: usize,
+        writer: W,
+    ) -> std::io::Result<(W, u64)> {
+        let w = &self.workloads[rep];
+        let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
+        let mut model = fault.build(rep as u64, w.instance.n_resources as usize);
+        let mut observer = JsonlTraceObserver::new(writer);
+        OnlineEngine::run_faulted(
+            &w.instance,
+            policy.as_ref(),
+            spec.engine_config(),
+            &mut model,
+            fault.config,
+            &mut observer,
+        );
+        let events = observer.events_written();
+        Ok((observer.finish()?, events))
     }
 
     /// Re-runs one materialized repetition of `spec` with a
@@ -451,6 +553,59 @@ mod tests {
                 "completeness {} exceeds upper bound {ub}",
                 rep.stats.completeness()
             );
+        }
+    }
+
+    #[test]
+    fn zero_rate_faults_reproduce_the_fault_free_run() {
+        let exp = Experiment::materialize(tiny_config());
+        let spec = PolicySpec::p(PolicyKind::Mrsf);
+        let base = exp.run_spec(spec);
+        let faulted = exp.run_spec_faulted(spec, FaultSpec::iid(0.0, 77));
+        for (a, b) in base.repetitions.iter().zip(&faulted.repetitions) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_lose_budget_and_stay_consistent() {
+        let exp = Experiment::materialize(tiny_config());
+        let agg = exp.run_spec_faulted(PolicySpec::p(PolicyKind::MEdf), FaultSpec::iid(0.5, 7));
+        assert!(agg.metrics.probes_failed > 0);
+        assert!(agg.metrics.budget_lost > 0);
+        for rep in &agg.repetitions {
+            let errs = rep.metrics.consistency_errors(&rep.stats);
+            assert!(errs.is_empty(), "metrics drifted from stats: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn robustness_sweep_degrades_completeness_monotonically() {
+        let exp = Experiment::materialize(tiny_config());
+        let sweep = exp.robustness_sweep(
+            &[PolicySpec::p(PolicyKind::MEdf)],
+            &[0.0, 0.4, 0.9],
+            7,
+            webmon_core::fault::FaultConfig::default(),
+        );
+        let gcs: Vec<f64> = sweep.iter().map(|(_, r)| r[0].completeness.mean).collect();
+        assert!(gcs[0] >= gcs[1] && gcs[1] >= gcs[2], "{gcs:?}");
+    }
+
+    #[test]
+    fn bursty_outages_shed_ceis_under_starved_budget() {
+        let mut cfg = tiny_config();
+        cfg.trace = TraceSpec::Poisson { lambda: 20.0 };
+        let exp = Experiment::materialize(cfg);
+        let agg = exp.run_spec_faulted(
+            PolicySpec::p(PolicyKind::Mrsf),
+            FaultSpec::burst(0.4, 0.2, 11),
+        );
+        assert!(agg.metrics.resource_outages > 0);
+        for rep in &agg.repetitions {
+            let errs = rep.metrics.consistency_errors(&rep.stats);
+            assert!(errs.is_empty(), "metrics drifted from stats: {errs:?}");
         }
     }
 

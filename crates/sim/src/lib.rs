@@ -23,9 +23,16 @@
 //! [`table`] renders experiment output as aligned text / Markdown tables so
 //! each `exp_*` binary in `webmon-bench` prints the rows of its paper
 //! figure.
+//!
+//! [`faults`] adds serializable fault scenarios on top: the same
+//! materialized instances can be rerun under seeded probe failures,
+//! bursty outages, or rate limits ([`Experiment::run_spec_faulted`] and
+//! [`Experiment::robustness_sweep`]) to measure how gained completeness
+//! degrades when probes are lost.
 
 pub mod config;
 pub mod experiment;
+pub mod faults;
 pub mod parallel;
 pub mod policies;
 pub mod report;
@@ -34,6 +41,7 @@ pub mod table;
 
 pub use config::{ExperimentConfig, NoiseSpec, TraceSpec};
 pub use experiment::{Experiment, PolicyAggregate, RepetitionOutcome};
+pub use faults::{BuiltFault, FaultKind, FaultSpec};
 pub use policies::{PolicyKind, PolicySpec};
 pub use report::Report;
 pub use summary::Summary;

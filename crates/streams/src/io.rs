@@ -90,7 +90,10 @@ pub fn read_csv<R: BufRead>(
     horizon: Option<Chronon>,
     n_resources: Option<u32>,
 ) -> Result<UpdateTrace, TraceIoError> {
-    let mut events: Vec<(u32, Chronon)> = Vec::new();
+    // Each event remembers its real 1-based file line, so validation
+    // failures below point at the file, not at an index into the (comment-
+    // and blank-stripped) event list.
+    let mut events: Vec<(usize, u32, Chronon)> = Vec::new();
     let mut header_seen = false;
     for (i, line) in r.lines().enumerate() {
         let line = line?;
@@ -113,7 +116,7 @@ pub fn read_csv<R: BufRead>(
             Some((parts[0].trim().parse().ok()?, parts[1].trim().parse().ok()?))
         })();
         match parsed {
-            Some(ev) => events.push(ev),
+            Some((res, t)) => events.push((i + 1, res, t)),
             None => {
                 return Err(TraceIoError::BadLine {
                     line: i + 1,
@@ -123,16 +126,16 @@ pub fn read_csv<R: BufRead>(
         }
     }
 
-    let inferred_h = events.iter().map(|&(_, t)| t + 1).max().unwrap_or(1);
+    let inferred_h = events.iter().map(|&(_, _, t)| t + 1).max().unwrap_or(1);
     let h = horizon.unwrap_or(inferred_h);
-    let inferred_n = events.iter().map(|&(r, _)| r + 1).max().unwrap_or(0);
+    let inferred_n = events.iter().map(|&(_, r, _)| r + 1).max().unwrap_or(0);
     let n = n_resources.unwrap_or(inferred_n);
 
     let mut per_resource: Vec<Vec<Chronon>> = vec![Vec::new(); n as usize];
-    for (i, &(r, t)) in events.iter().enumerate() {
+    for &(line, r, t) in &events {
         if t >= h {
             return Err(TraceIoError::EventBeyondHorizon {
-                line: i + 1,
+                line,
                 chronon: t,
                 horizon: h,
             });
@@ -141,7 +144,7 @@ pub fn read_csv<R: BufRead>(
             per_resource[r as usize].push(t);
         } else {
             return Err(TraceIoError::BadLine {
-                line: i + 1,
+                line,
                 content: format!("resource {r} >= declared count {n}"),
             });
         }
@@ -210,6 +213,29 @@ mod tests {
             read_csv(csv.as_bytes(), Some(10), None),
             Err(TraceIoError::EventBeyondHorizon { .. })
         ));
+    }
+
+    #[test]
+    fn validation_errors_report_real_file_lines() {
+        // Comments and blank lines shift the event index away from the file
+        // line; the reported number must be the file's.
+        let csv = "# preamble\nresource,chronon\n0,1\n# interlude\n\n0,50\n";
+        assert_eq!(
+            read_csv(csv.as_bytes(), Some(10), None).unwrap_err(),
+            TraceIoError::EventBeyondHorizon {
+                line: 6,
+                chronon: 50,
+                horizon: 10
+            }
+        );
+        let csv = "# preamble\nresource,chronon\n0,1\n\n7,2\n";
+        assert_eq!(
+            read_csv(csv.as_bytes(), None, Some(2)).unwrap_err(),
+            TraceIoError::BadLine {
+                line: 5,
+                content: "resource 7 >= declared count 2".into()
+            }
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use webmon_core::check::InvariantObserver;
 use webmon_core::engine::{EngineConfig, OnlineEngine, RunResult};
+use webmon_core::fault::{FaultConfig, FaultModel};
 use webmon_core::model::{evaluate_schedule, Instance};
 use webmon_core::policy::{MEdf, Mrsf, MrsfExact, Policy, SEdf, UtilityWeighted, Wic};
 
@@ -20,6 +21,29 @@ pub fn conformant_run(instance: &Instance, policy: &dyn Policy, config: EngineCo
     assert!(
         report.is_clean(),
         "{} under {}: {report}",
+        policy.name(),
+        config.label()
+    );
+    run
+}
+
+/// The fault-injected twin of [`conformant_run`]: drives the engine through
+/// `faults` with a fault-aware invariant checker attached and panics on any
+/// violation. Returns the run.
+pub fn conformant_faulted_run<F: FaultModel>(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+    faults: &mut F,
+    fault_config: FaultConfig,
+) -> RunResult {
+    let mut checker = InvariantObserver::new(instance, config).with_faults(fault_config);
+    let run =
+        OnlineEngine::run_faulted(instance, policy, config, faults, fault_config, &mut checker);
+    let report = checker.finish_with(&run);
+    assert!(
+        report.is_clean(),
+        "{} under {} (faulted): {report}",
         policy.name(),
         config.label()
     );
