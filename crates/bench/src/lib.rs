@@ -25,6 +25,11 @@
 //! | [`extensions`] | §III/§VII future-work extensions: utilities, thresholds, probe costs |
 //! | [`faults`] | Robustness — completeness under fault-injected probing (not in the paper) |
 //!
+//! [`scale`] is not a paper artifact either: it is the engine scaling
+//! benchmark (`exp_scale`), sweeping instance size × policies × selection
+//! strategies and emitting the `BENCH_engine.json` perf baseline that the
+//! CI `bench-smoke` job gates on.
+//!
 //! [`metrics`] is not a paper artifact: it is the CI metrics gate, running
 //! the roster under [`webmon_core::obs::MetricsObserver`] and
 //! cross-checking metrics, schedule feasibility, and wasted probes (the
@@ -45,6 +50,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod metrics;
 pub mod runtime_offline;
+pub mod scale;
 pub mod table1;
 
 use webmon_sim::Table;

@@ -121,15 +121,34 @@ mod tests {
     }
 
     #[test]
-    fn medf_costs_at_least_as_much_as_sedf() {
-        // τ(Φ): S-EDF and MRSF are O(1) per candidate; M-EDF is O(k).
-        let tables = run(Scale::Quick);
-        let row = &tables[0].rows[1];
-        let sedf: f64 = row[4].parse().unwrap();
-        let medf: f64 = row[6].parse().unwrap();
+    fn medf_costs_at_least_as_much_as_sedf_under_scan() {
+        // τ(Φ): S-EDF and MRSF are O(1) per candidate; M-EDF is O(k). The
+        // per-candidate scoring cost only shows when every candidate is
+        // re-scored per probe, i.e. under the reference Scan selector — the
+        // default incremental heap evaluates far fewer scores — so the
+        // selection strategy is held at Scan for both columns. Both columns
+        // also run preemptively: the headline table pairs S-EDF with NP and
+        // M-EDF with P, and non-preemption's extra per-chronon selection
+        // phase is an engine-mode cost that would confound the pure
+        // scoring-cost ordering this test pins.
+        let sedf_spec = PolicySpec::p(PolicyKind::SEdf);
+        let medf_spec = PolicySpec::p(PolicyKind::MEdf);
+        let (sedf, medf) = webmon_sim::parallel::serial(|| {
+            let exp = Experiment::materialize(config(100, Scale::Quick));
+            let sedf = exp
+                .run_spec_configured(sedf_spec, sedf_spec.engine_config().with_scan())
+                .micros_per_ei
+                .mean;
+            let medf = exp
+                .run_spec_configured(medf_spec, medf_spec.engine_config().with_scan())
+                .micros_per_ei
+                .mean;
+            (sedf, medf)
+        });
         assert!(
             medf >= sedf * 0.8,
-            "M-EDF ({medf}) should not be materially cheaper than S-EDF ({sedf})"
+            "M-EDF ({medf}) should not be materially cheaper than S-EDF ({sedf}) \
+             in the same (preemptive, Scan) configuration"
         );
     }
 }

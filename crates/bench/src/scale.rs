@@ -1,0 +1,522 @@
+//! `exp_scale` — the engine scaling benchmark and the repo's perf baseline.
+//!
+//! Not a paper artifact: the paper stops at §V-D's per-EI runtime table.
+//! This experiment starts the repo's *performance trajectory* toward the
+//! ROADMAP's production-scale north star. It sweeps instance size — |P|
+//! (profiles), EIs/CEI (rank), horizon, and budget — across policies ×
+//! P/NP, runs every cell under each
+//! [`SelectionStrategy`](webmon_core::SelectionStrategy), and reports
+//! throughput (chronons/sec), wall time, selection steps, and peak pool
+//! size per cell from the [`RunMetrics`](webmon_core::obs::RunMetrics)
+//! machinery.
+//!
+//! The committed artifact is `BENCH_engine.json` at the repo root (the
+//! [`BenchReport`] schema below, documented in EXPERIMENTS.md). The CI
+//! `bench-smoke` job re-runs the quick grid and fails when
+//!
+//! * any **deterministic** counter drifts (chronons, probes, selection
+//!   steps, peak pool size — these are machine-independent and must match
+//!   the baseline exactly), or
+//! * the `Incremental`-over-`LazyHeap` **speedup** of any cell regresses
+//!   by more than 20% relative to the baseline's speedup for that cell.
+//!   Comparing the self-normalized ratio — both strategies measured in the
+//!   same process seconds apart — keeps the gate meaningful across
+//!   machines of different absolute speed.
+//!
+//! Re-baselining is deliberate: regenerate with
+//! `cargo run --release -p webmon-bench --bin exp_scale -- --quick --out BENCH_engine.json`
+//! and commit the diff (CI's escape hatch is the `[rebench]` commit-message
+//! tag; see `.github/workflows/ci.yml`).
+
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use webmon_sim::parallel::serial;
+use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec};
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+
+/// Relative speedup regression the CI gate tolerates (20%).
+pub const SPEEDUP_TOLERANCE: f64 = 0.20;
+
+/// One grid point: the instance dimensions under sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellDims {
+    /// Number of profiles |P| (`m`).
+    pub profiles: u32,
+    /// EIs per CEI (fixed rank `k`).
+    pub rank: u16,
+    /// Epoch length `K` in chronons.
+    pub horizon: u32,
+    /// Per-chronon probe budget `C`.
+    pub budget: u32,
+}
+
+impl CellDims {
+    fn label(&self) -> String {
+        format!(
+            "m{}·k{}·K{}·C{}",
+            self.profiles, self.rank, self.horizon, self.budget
+        )
+    }
+
+    fn config(&self, scale: Scale) -> ExperimentConfig {
+        ExperimentConfig {
+            n_resources: 300,
+            horizon: self.horizon,
+            budget: self.budget,
+            workload: WorkloadConfig {
+                n_profiles: self.profiles,
+                rank: RankSpec::Fixed(self.rank),
+                resource_alpha: 0.3,
+                // Long windows keep many EIs live per chronon, which is
+                // exactly the regime where per-phase pool rebuilds hurt.
+                length: EiLength::Window(20),
+                distinct_resources: true,
+                max_ceis: None,
+                no_intra_resource_overlap: false,
+            },
+            trace: TraceSpec::Poisson { lambda: 20.0 },
+            noise: None,
+            repetitions: match scale {
+                Scale::Quick => 5,
+                Scale::Paper => 7,
+            },
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// The swept grid: a |P| ladder at the base shape, then one cell per other
+/// dimension (rank, horizon, budget) moved off the base — small enough for
+/// the CI smoke job at `Quick`, wide enough at `Paper` to show the
+/// O(active work) separation on large instances.
+pub fn grid(scale: Scale) -> Vec<CellDims> {
+    let base = CellDims {
+        profiles: 150,
+        rank: 3,
+        horizon: 300,
+        budget: 2,
+    };
+    match scale {
+        Scale::Quick => vec![
+            base,
+            CellDims {
+                profiles: 600,
+                ..base
+            },
+            CellDims {
+                profiles: 600,
+                budget: 8,
+                ..base
+            },
+        ],
+        Scale::Paper => vec![
+            base,
+            CellDims {
+                profiles: 600,
+                ..base
+            },
+            CellDims {
+                profiles: 2400,
+                ..base
+            },
+            CellDims { rank: 6, ..base },
+            CellDims {
+                horizon: 1000,
+                ..base
+            },
+            CellDims { budget: 8, ..base },
+        ],
+    }
+}
+
+/// The policy × mode roster each cell runs under.
+pub fn roster(scale: Scale) -> Vec<PolicySpec> {
+    match scale {
+        Scale::Quick => vec![
+            PolicySpec::np(PolicyKind::SEdf),
+            PolicySpec::p(PolicyKind::Mrsf),
+        ],
+        Scale::Paper => vec![
+            PolicySpec::np(PolicyKind::SEdf),
+            PolicySpec::p(PolicyKind::SEdf),
+            PolicySpec::np(PolicyKind::Mrsf),
+            PolicySpec::p(PolicyKind::Mrsf),
+            PolicySpec::p(PolicyKind::MEdf),
+        ],
+    }
+}
+
+/// One (cell × policy × strategy) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyMeasure {
+    /// `"scan"`, `"lazy-heap"`, or `"incremental"`.
+    pub strategy: String,
+    /// Engine wall time summed over repetitions, seconds.
+    pub wall_secs: f64,
+    /// Median per-repetition `chronons / runtime` (the headline
+    /// throughput). Median-of-reps rather than total-over-total, so one
+    /// scheduler-perturbed repetition cannot skew the reported number.
+    pub chronons_per_sec: f64,
+    /// Deterministic: chronons summed over repetitions.
+    pub chronons: u64,
+    /// Deterministic: probes issued summed over repetitions.
+    pub probes_issued: u64,
+    /// Deterministic: selection steps summed over repetitions.
+    pub selection_steps: u64,
+    /// Deterministic: peak candidate-pool size over all repetitions.
+    pub peak_pool: u64,
+}
+
+/// One grid cell: dimensions, workload size, and per-policy measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellReport {
+    /// The swept dimensions.
+    pub dims: CellDims,
+    /// Mean CEIs per repetition.
+    pub ceis: f64,
+    /// Mean EIs per repetition.
+    pub eis: f64,
+    /// Per-policy measurements; each holds one entry per strategy.
+    pub policies: Vec<PolicyCell>,
+}
+
+/// One policy column inside a cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyCell {
+    /// Roster label, e.g. `"MRSF(P)"`.
+    pub label: String,
+    /// One measurement per strategy, in [`strategies`] order.
+    pub strategies: Vec<StrategyMeasure>,
+    /// Median over repetitions of the paired per-repetition ratio
+    /// `incremental throughput / lazy-heap throughput` (repetition `i` of
+    /// both strategies runs the identical workload).
+    pub speedup_vs_lazy_heap: f64,
+    /// Median paired ratio `incremental throughput / scan throughput`.
+    pub speedup_vs_scan: f64,
+}
+
+/// The `BENCH_engine.json` artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag for forward compatibility.
+    pub schema: String,
+    /// `"Quick"` or `"Paper"`.
+    pub scale: String,
+    /// Repetitions summed into each measurement.
+    pub repetitions: u32,
+    /// One report per grid cell, in grid order.
+    pub cells: Vec<CellReport>,
+}
+
+/// The benchmarked strategies, in report order. `Scan` is the O(|pool|)
+/// reference, `LazyHeap` the pre-refactor per-phase heap rebuild,
+/// `Incremental` the engine-owned index (the default).
+pub fn strategies() -> [(&'static str, webmon_core::SelectionStrategy); 3] {
+    use webmon_core::SelectionStrategy;
+    [
+        ("scan", SelectionStrategy::Scan),
+        ("lazy-heap", SelectionStrategy::LazyHeap),
+        ("incremental", SelectionStrategy::Incremental),
+    ]
+}
+
+/// Median of a slice (empty → NaN). Used for the paired speedup ratios:
+/// robust to the single-repetition wall-clock outliers that a mean or a
+/// best-of would pass straight into the CI gate.
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Measurement passes per strategy. The passes interleave the strategies
+/// (scan, lazy-heap, incremental, scan, …) so slow temporal drift — CPU
+/// frequency scaling, co-tenant load on shared runners — hits all
+/// strategies alike and cancels out of the paired speedup ratios.
+const PASSES: usize = 3;
+
+fn measure(exp: &Experiment, spec: PolicySpec) -> PolicyCell {
+    let strats = strategies();
+    // rep_tp[s] = per-(pass, repetition) throughput for strategy `s`, in
+    // identical (pass, rep) order across strategies: entry `j` of any two
+    // strategies ran the same workload moments apart, so their ratio is a
+    // paired sample with workload variance and temporal drift cancelled.
+    let mut rep_tp: Vec<Vec<f64>> = vec![Vec::new(); strats.len()];
+    let mut wall: Vec<f64> = vec![0.0; strats.len()];
+    let mut last: Vec<Option<webmon_core::obs::RunMetrics>> = vec![None; strats.len()];
+    for _pass in 0..PASSES {
+        for (si, &(_, strategy)) in strats.iter().enumerate() {
+            let agg = exp.run_spec_configured(spec, spec.engine_config().with_selection(strategy));
+            for r in &agg.repetitions {
+                let secs = r.runtime.as_secs_f64();
+                wall[si] += secs;
+                rep_tp[si].push(if secs > 0.0 {
+                    r.metrics.chronons as f64 / secs
+                } else {
+                    f64::INFINITY
+                });
+            }
+            last[si] = Some(agg.metrics);
+        }
+    }
+    let measures: Vec<StrategyMeasure> = strats
+        .iter()
+        .enumerate()
+        .map(|(si, &(name, _))| {
+            let m = last[si].take().expect("measured above");
+            StrategyMeasure {
+                strategy: name.to_string(),
+                wall_secs: wall[si],
+                chronons_per_sec: median(&mut rep_tp[si].clone()),
+                chronons: m.chronons,
+                probes_issued: m.probes_issued,
+                selection_steps: m.selection_steps,
+                peak_pool: m.candidate_set.max,
+            }
+        })
+        .collect();
+    let paired_speedup = |reference: usize| {
+        let inc = &rep_tp[2]; // strategies() order: scan, lazy-heap, incremental
+        let mut ratios: Vec<f64> = inc
+            .iter()
+            .zip(&rep_tp[reference])
+            .map(|(i, r)| i / r)
+            .collect();
+        median(&mut ratios)
+    };
+    PolicyCell {
+        label: spec.label(),
+        speedup_vs_lazy_heap: paired_speedup(1),
+        speedup_vs_scan: paired_speedup(0),
+        strategies: measures,
+    }
+}
+
+/// Runs the scaling grid. Wall-clock measurements, so the whole sweep is
+/// pinned to one worker ([`webmon_sim::parallel::serial`]).
+pub fn collect(scale: Scale) -> BenchReport {
+    collect_grid(scale, &grid(scale), &roster(scale))
+}
+
+/// Runs an explicit grid/roster (the `--profiles`/`--ranks`/… CLI
+/// overrides funnel through here).
+pub fn collect_grid(scale: Scale, cells: &[CellDims], specs: &[PolicySpec]) -> BenchReport {
+    serial(|| {
+        let mut reports = Vec::with_capacity(cells.len());
+        let mut repetitions = 0;
+        for dims in cells {
+            let cfg = dims.config(scale);
+            repetitions = cfg.repetitions;
+            let exp = Experiment::materialize(cfg);
+            let (ceis, eis) = exp.mean_sizes();
+            reports.push(CellReport {
+                dims: *dims,
+                ceis,
+                eis,
+                policies: specs.iter().map(|&s| measure(&exp, s)).collect(),
+            });
+        }
+        BenchReport {
+            schema: "webmon-bench-engine/v1".to_string(),
+            scale: format!("{scale:?}"),
+            repetitions,
+            cells: reports,
+        }
+    })
+}
+
+impl BenchReport {
+    /// The artifact as pretty-printed JSON (plus trailing newline, so the
+    /// committed file is POSIX-clean).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("BenchReport serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a committed baseline.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Gate violations of `self` (a fresh run) against `baseline` (the
+    /// committed artifact): deterministic counters must match exactly;
+    /// per-cell `Incremental`-over-`LazyHeap` speedups may not regress more
+    /// than [`SPEEDUP_TOLERANCE`] relative to the baseline. Grid-shape
+    /// drift is reported rather than ignored, so a stale baseline fails
+    /// loudly instead of vacuously passing.
+    pub fn violations_against(&self, baseline: &BenchReport) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.cells.len() != baseline.cells.len() {
+            out.push(format!(
+                "grid shape changed: {} cells vs baseline {} — re-baseline BENCH_engine.json",
+                self.cells.len(),
+                baseline.cells.len()
+            ));
+            return out;
+        }
+        for (cell, base) in self.cells.iter().zip(&baseline.cells) {
+            let where_ = cell.dims.label();
+            if cell.dims != base.dims {
+                out.push(format!(
+                    "{where_}: dims differ from baseline {} — re-baseline",
+                    base.dims.label()
+                ));
+                continue;
+            }
+            for (p, bp) in cell.policies.iter().zip(&base.policies) {
+                if p.label != bp.label {
+                    out.push(format!(
+                        "{where_}: roster drift {} vs baseline {} — re-baseline",
+                        p.label, bp.label
+                    ));
+                    continue;
+                }
+                for (m, bm) in p.strategies.iter().zip(&bp.strategies) {
+                    let tag = format!("{where_} {} {}", p.label, m.strategy);
+                    for (name, got, want) in [
+                        ("chronons", m.chronons, bm.chronons),
+                        ("probes_issued", m.probes_issued, bm.probes_issued),
+                        ("selection_steps", m.selection_steps, bm.selection_steps),
+                        ("peak_pool", m.peak_pool, bm.peak_pool),
+                    ] {
+                        if got != want {
+                            out.push(format!(
+                                "{tag}: deterministic counter {name} drifted: {got} vs baseline \
+                                 {want}"
+                            ));
+                        }
+                    }
+                }
+                let floor = bp.speedup_vs_lazy_heap * (1.0 - SPEEDUP_TOLERANCE);
+                if p.speedup_vs_lazy_heap < floor {
+                    out.push(format!(
+                        "{where_} {}: incremental speedup over lazy-heap regressed: {:.2}x vs \
+                         baseline {:.2}x (floor {:.2}x)",
+                        p.label, p.speedup_vs_lazy_heap, bp.speedup_vs_lazy_heap, floor
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable table of the report, for `exp_scale` stdout and the
+    /// `experiments` suite.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut t = Table::with_headers(
+            "exp_scale — engine throughput by instance size (chronons/sec; sweep pinned to one \
+             worker)",
+            &[
+                "cell · policy",
+                "EIs",
+                "scan",
+                "lazy-heap",
+                "incremental",
+                "vs lazy-heap",
+                "vs scan",
+            ],
+        );
+        for cell in &self.cells {
+            for p in &cell.policies {
+                let col = |name: &str| {
+                    p.strategies
+                        .iter()
+                        .find(|m| m.strategy == name)
+                        .map_or(f64::NAN, |m| m.chronons_per_sec)
+                };
+                t.push_numeric_row(
+                    format!("{} {}", cell.dims.label(), p.label),
+                    &[
+                        cell.eis,
+                        col("scan"),
+                        col("lazy-heap"),
+                        col("incremental"),
+                        p.speedup_vs_lazy_heap,
+                        p.speedup_vs_scan,
+                    ],
+                    2,
+                );
+            }
+        }
+        vec![t]
+    }
+}
+
+/// `experiments`-suite entry point: run the grid and render the table.
+pub fn run(scale: Scale) -> Vec<Table> {
+    collect(scale).tables()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchReport {
+        // One micro-cell so the unit tests stay fast; the full grid runs in
+        // the exp_scale binary / CI smoke job.
+        collect_grid(
+            Scale::Quick,
+            &[CellDims {
+                profiles: 30,
+                rank: 2,
+                horizon: 80,
+                budget: 2,
+            }],
+            &[PolicySpec::p(PolicyKind::Mrsf)],
+        )
+    }
+
+    #[test]
+    fn report_roundtrips_and_counters_are_strategy_invariant() {
+        let report = tiny();
+        let json = report.to_json();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        let p = &report.cells[0].policies[0];
+        assert_eq!(p.strategies.len(), 3);
+        // Bit-identity makes every deterministic counter agree across
+        // strategies except selection_steps, whose accounting differs
+        // between Scan (one step per argmin call) and the heap selectors
+        // (one step per pop).
+        let (s, l, i) = (&p.strategies[0], &p.strategies[1], &p.strategies[2]);
+        assert_eq!(l.chronons, i.chronons);
+        assert_eq!(l.probes_issued, i.probes_issued);
+        assert_eq!(l.selection_steps, i.selection_steps);
+        assert_eq!(l.peak_pool, i.peak_pool);
+        assert_eq!(s.chronons, i.chronons);
+        assert_eq!(s.probes_issued, i.probes_issued);
+        assert_eq!(s.peak_pool, i.peak_pool);
+        assert!(i.chronons > 0 && i.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn gate_passes_against_itself_and_catches_drift() {
+        let report = tiny();
+        assert_eq!(report.violations_against(&report), Vec::<String>::new());
+
+        let mut drifted = report.clone();
+        drifted.cells[0].policies[0].strategies[2].selection_steps += 1;
+        let v = report.violations_against(&drifted);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("selection_steps"), "{v:?}");
+
+        let mut slower = report.clone();
+        slower.cells[0].policies[0].speedup_vs_lazy_heap /= 2.0;
+        let v = slower.violations_against(&report);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("regressed"), "{v:?}");
+
+        let mut reshaped = report.clone();
+        reshaped.cells.clear();
+        let v = reshaped.violations_against(&report);
+        assert!(v[0].contains("re-baseline"), "{v:?}");
+    }
+}

@@ -63,9 +63,9 @@ impl Args {
 
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let takes_value = it.peek().is_some_and(|next| !next.starts_with("--"));
-                if takes_value {
-                    let value = it.next().expect("peeked");
+                // `next_if` both tests and consumes the value token, so there
+                // is no peek-then-unwrap window to go wrong.
+                if let Some(value) = it.next_if(|next| !next.starts_with("--")) {
                     if options.insert(key.to_string(), value).is_some() {
                         return Err(ArgError::Duplicate(key.to_string()));
                     }
@@ -162,6 +162,15 @@ mod tests {
         assert_eq!(a.get_parsed("missing", 7u32, "an integer").unwrap(), 7);
         let bad = parse(&["run", "--budget", "x"]).unwrap();
         assert!(bad.get_parsed("budget", 1u32, "an integer").is_err());
+    }
+
+    #[test]
+    fn dangling_key_at_end_of_line_is_a_flag() {
+        // Regression: a trailing `--key` with no value used to go through a
+        // peek-then-`expect` pair; it must parse as a flag, never panic.
+        let a = parse(&["run", "--lambda"]).unwrap();
+        assert!(a.flag("lambda"));
+        assert_eq!(a.get("lambda"), None);
     }
 
     #[test]

@@ -26,6 +26,7 @@ COMMANDS:
     sweep        Sweep one parameter (budget | lambda | alpha | rank)
     trace        Generate a trace and print its statistics
     experiments  Run the full paper experiment suite (all figures/tables)
+    bench        Run the engine scaling benchmark (the BENCH_engine.json grid)
     help         Show this message
 
 COMMON OPTIONS (run / sweep):
@@ -63,6 +64,18 @@ TRACE OPTIONS:
 EXPERIMENTS OPTIONS:
     --quick                        smoke-test sizes
 
+BENCH OPTIONS:
+    --quick                        the CI smoke grid (default: the full grid)
+    --bench-profiles <a,b,..>      override the |P| ladder       e.g. 150,600
+    --bench-ranks <a,b,..>         override the EIs/CEI ladder
+    --bench-horizons <a,b,..>      override the horizon ladder
+    --bench-budgets <a,b,..>       override the budget ladder
+                                   (any override replaces the default grid
+                                   with the cross product of the ladders)
+    --out <path>                   write BENCH_engine.json-format report
+    --check <path>                 gate against a committed baseline; exits 1
+                                   on counter drift or >20% speedup regression
+
 PARALLELISM (run / sweep / experiments):
     --jobs <N>                     worker threads (also: WEBMON_JOBS env var;
                                    default: all cores; results are identical
@@ -91,6 +104,7 @@ pub fn dispatch(args: &Args) -> Result<i32, ArgError> {
         Some("sweep") => cmd_sweep(args),
         Some("trace") => cmd_trace(args),
         Some("experiments") => cmd_experiments(args),
+        Some("bench") => cmd_bench(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(0)
@@ -486,8 +500,11 @@ fn cmd_sweep(args: &Args) -> Result<i32, ArgError> {
 }
 
 fn cmd_trace(args: &Args) -> Result<i32, ArgError> {
-    let n_resources: u32 = args.get_parsed("resources", 100, "an integer")?;
-    let horizon: u32 = args.get_parsed("horizon", 1000, "an integer")?;
+    let n_resources = require_positive(
+        "resources",
+        args.get_parsed("resources", 100, "an integer")?,
+    )?;
+    let horizon = require_positive("horizon", args.get_parsed("horizon", 1000, "an integer")?)?;
     let lambda: f64 = args.get_parsed("lambda", 20.0, "a number")?;
     let seed: u64 = args.get_parsed("seed", 1234, "an integer")?;
     let spec = match args.get("trace").unwrap_or("poisson") {
@@ -525,6 +542,123 @@ fn cmd_experiments(args: &Args) -> Result<i32, ArgError> {
     for (name, runner) in suite() {
         eprintln!(">> {name}");
         webmon_bench::print_tables(&runner(scale));
+    }
+    Ok(0)
+}
+
+/// Parses a `--bench-*` comma-separated ladder; absent → `[base]`. The bool
+/// says whether the axis was explicitly overridden.
+fn bench_ladder<T: std::str::FromStr + Copy>(
+    args: &Args,
+    key: &'static str,
+    base: T,
+    expected: &'static str,
+) -> Result<(Vec<T>, bool), ArgError> {
+    let Some(raw) = args.get(key) else {
+        return Ok((vec![base], false));
+    };
+    let bad = || ArgError::BadValue {
+        key: key.to_string(),
+        value: raw.to_string(),
+        expected,
+    };
+    let values: Vec<T> = raw
+        .split(',')
+        .map(|tok| tok.trim().parse().map_err(|_| bad()))
+        .collect::<Result<_, _>>()?;
+    if values.is_empty() {
+        return Err(bad());
+    }
+    Ok((values, true))
+}
+
+fn cmd_bench(args: &Args) -> Result<i32, ArgError> {
+    use webmon_bench::scale::{self, BenchReport, CellDims};
+
+    let scale = if args.flag("quick") {
+        webmon_bench::Scale::Quick
+    } else {
+        webmon_bench::Scale::Paper
+    };
+    let base = CellDims {
+        profiles: 150,
+        rank: 3,
+        horizon: 300,
+        budget: 2,
+    };
+    let (profiles, p) = bench_ladder(args, "bench-profiles", base.profiles, "a profile ladder")?;
+    let (ranks, r) = bench_ladder(args, "bench-ranks", base.rank, "a rank ladder")?;
+    let (horizons, h) = bench_ladder(args, "bench-horizons", base.horizon, "a horizon ladder")?;
+    let (budgets, b) = bench_ladder(args, "bench-budgets", base.budget, "a budget ladder")?;
+    for (key, ok) in [
+        ("bench-profiles", profiles.iter().all(|&v| v > 0)),
+        ("bench-horizons", horizons.iter().all(|&v| v > 0)),
+    ] {
+        if !ok {
+            return Err(ArgError::BadValue {
+                key: key.to_string(),
+                value: "0".to_string(),
+                expected: "positive values",
+            });
+        }
+    }
+
+    let cells: Vec<CellDims> = if p || r || h || b {
+        let mut cells = Vec::new();
+        for &profiles in &profiles {
+            for &rank in &ranks {
+                for &horizon in &horizons {
+                    for &budget in &budgets {
+                        cells.push(CellDims {
+                            profiles,
+                            rank,
+                            horizon,
+                            budget,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    } else {
+        scale::grid(scale)
+    };
+
+    let report = scale::collect_grid(scale, &cells, &scale::roster(scale));
+    webmon_bench::print_tables(&report.tables());
+
+    if let Some(path) = args.get("out") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return Ok(1);
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = args.get("check") {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return Ok(1);
+            }
+        };
+        let baseline = match BenchReport::from_json(&raw) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {path} is not a BenchReport: {e}");
+                return Ok(1);
+            }
+        };
+        let violations = report.violations_against(&baseline);
+        if !violations.is_empty() {
+            eprintln!("bench gate: {} violation(s) vs {path}:", violations.len());
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return Ok(1);
+        }
+        println!("bench gate: OK ({} cells vs {path})", report.cells.len());
     }
     Ok(0)
 }
@@ -620,6 +754,19 @@ mod tests {
     }
 
     #[test]
+    fn trace_rejects_degenerate_sizes() {
+        // Regression: `webmon trace` skipped the positivity guards that
+        // `run`/`sweep` apply, so a zero slipped into trace generation.
+        for key in ["resources", "horizon"] {
+            let err = cmd_trace(&parse(&["trace", &format!("--{key}"), "0"])).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { key: ref k, .. } if k == key),
+                "trace --{key} 0 must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn faults_are_off_without_a_rate() {
         assert_eq!(fault_from(&parse(&["run"])).unwrap(), None);
         // Retry flags alone do not enable fault injection.
@@ -683,6 +830,53 @@ mod tests {
                 "{toks:?}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn bench_ladder_parses_overrides() {
+        let a = parse(&["bench", "--bench-profiles", "10, 20,30"]);
+        assert_eq!(
+            bench_ladder(&a, "bench-profiles", 150u32, "a profile ladder").unwrap(),
+            (vec![10, 20, 30], true)
+        );
+        assert_eq!(
+            bench_ladder(&a, "bench-budgets", 2u32, "a budget ladder").unwrap(),
+            (vec![2], false)
+        );
+        let bad = parse(&["bench", "--bench-ranks", "3,x"]);
+        let err = bench_ladder(&bad, "bench-ranks", 3u16, "a rank ladder").unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { ref key, .. } if key == "bench-ranks"));
+    }
+
+    #[test]
+    fn bench_rejects_zero_dimensions() {
+        let err = cmd_bench(&parse(&["bench", "--bench-profiles", "0"])).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { ref key, .. } if key == "bench-profiles"));
+    }
+
+    #[test]
+    fn bench_check_fails_on_shape_drift() {
+        // A syntactically valid baseline with the wrong grid shape must make
+        // the gate exit nonzero (deterministic — no wall-clock comparison).
+        let baseline = std::env::temp_dir().join("webmon_bench_empty_baseline.json");
+        std::fs::write(
+            &baseline,
+            r#"{"schema":"webmon-bench-engine/v1","scale":"Quick","repetitions":1,"cells":[]}"#,
+        )
+        .unwrap();
+        let code = cmd_bench(&parse(&[
+            "bench",
+            "--quick",
+            "--bench-profiles",
+            "10",
+            "--bench-horizons",
+            "40",
+            "--check",
+            baseline.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 1);
+        std::fs::remove_file(&baseline).ok();
     }
 
     fn tiny_experiment() -> Experiment {

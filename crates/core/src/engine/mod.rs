@@ -26,7 +26,18 @@
 //! budget accounting — to any [`crate::obs::Observer`]. The plain
 //! [`OnlineEngine::run`] uses [`crate::obs::NoopObserver`], which
 //! monomorphizes to the unobserved loop at zero cost.
+//!
+//! **Cost model.** The candidate pool lives in an incremental per-resource
+//! index (`engine::index`): entries are inserted once when their window
+//! opens and removed at the exact transition that kills them (capture,
+//! expiry, shed, parent resolution), expiries visit only the windows
+//! closing at the current chronon, and the default
+//! [`SelectionStrategy::Incremental`] reuses one engine-owned heap buffer
+//! across phases and chronons. Per-chronon cost is proportional to the
+//! work actually done that chronon — insertions, probes, captures,
+//! expiries — not to the size of the whole pool or profile.
 
+mod index;
 mod runner;
 
 pub use runner::{EngineConfig, OnlineEngine, RunResult, SelectionStrategy};

@@ -1,24 +1,42 @@
 //! The run loop implementing Algorithm 1 (Online Complex Monitoring).
 
+use super::index::{CandidateIndex, PoolEntry};
 use crate::fault::{FaultConfig, FaultModel, NoFaults};
 use crate::model::{CaptureSet, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, NoopObserver, Observer};
 use crate::policy::{Candidate, CeiView, Policy, PolicyContext, ResourceStats};
 use crate::stats::{CeiOutcome, RunStats};
 
+/// Min-heap entries for the heap-based selectors:
+/// `Reverse((score, cei id, ei index))`.
+type ScoreHeap = std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u16)>>;
+
 /// How `probeEIs` finds the minimum-score candidate each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionStrategy {
     /// Fresh linear scan per probe — the reference implementation; scores
     /// are always current.
-    #[default]
     Scan,
     /// A lazy binary heap per phase (the paper's Appendix-B suggestion):
     /// candidates are pushed once with their scores; a popped entry whose
     /// score changed (a sibling was captured this chronon) is re-pushed at
     /// its current score. Produces the identical schedule — verified by
-    /// property test — at `O(log N)` per probe instead of `O(N)`.
+    /// property test — at `O(log N)` per probe instead of `O(N)`. Kept as
+    /// the pre-refactor differential reference: it still allocates a fresh
+    /// heap and CEI→entries map every phase.
     LazyHeap,
+    /// The lazy heap on engine-owned storage: one heap buffer is reused
+    /// across phases and chronons, seeding walks the incremental
+    /// per-resource candidate index instead of the flat pool, and sibling
+    /// refresh walks the touched CEI's own EIs through the index's
+    /// liveness flags. Bit-identical to
+    /// [`LazyHeap`](SelectionStrategy::LazyHeap)
+    /// — schedule, event stream, and pop
+    /// counts; a binary heap's popped-value sequence is a function of the
+    /// value multisets pushed between pops, which the two paths share —
+    /// with zero allocation on the hot path. The default.
+    #[default]
+    Incremental,
 }
 
 /// Execution mode of the online engine.
@@ -44,7 +62,7 @@ impl EngineConfig {
         EngineConfig {
             preemptive: true,
             share_probes: true,
-            selection: SelectionStrategy::Scan,
+            selection: SelectionStrategy::Incremental,
         }
     }
 
@@ -53,7 +71,7 @@ impl EngineConfig {
         EngineConfig {
             preemptive: false,
             share_probes: true,
-            selection: SelectionStrategy::Scan,
+            selection: SelectionStrategy::Incremental,
         }
     }
 
@@ -63,9 +81,23 @@ impl EngineConfig {
         self
     }
 
-    /// Selects candidates through the lazy heap (Appendix B).
+    /// Selects candidates through a fresh linear scan per probe (the
+    /// reference implementation).
+    pub fn with_scan(mut self) -> Self {
+        self.selection = SelectionStrategy::Scan;
+        self
+    }
+
+    /// Selects candidates through the per-phase lazy heap (Appendix B) —
+    /// the pre-refactor differential reference.
     pub fn with_lazy_heap(mut self) -> Self {
         self.selection = SelectionStrategy::LazyHeap;
+        self
+    }
+
+    /// Sets the candidate selection data structure.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
         self
     }
 
@@ -109,13 +141,6 @@ impl Status {
             _ => None,
         }
     }
-}
-
-/// One candidate EI in the pool: `(parent CEI, index of the EI within it)`.
-#[derive(Debug, Clone, Copy)]
-struct PoolEntry {
-    cei: CeiId,
-    ei_idx: u16,
 }
 
 /// The online complex-monitoring engine. See the [module docs](crate::engine)
@@ -192,16 +217,43 @@ impl OnlineEngine {
         let n_res = instance.n_resources as usize;
         let horizon = instance.epoch.len();
 
+        // The heap selectors re-score a popped entry and re-push it when the
+        // stored score went stale; that loop only terminates for policies
+        // whose score is a pure function of the visible state. A policy with
+        // hidden mutable state ([`Policy::stable_scores`] `== false`, e.g.
+        // the `Random` baseline) is pinned to the always-correct `Scan`
+        // selector instead.
+        let selection = if policy.stable_scores() {
+            config.selection
+        } else {
+            SelectionStrategy::Scan
+        };
+
         // Bucket EIs by start chronon so each enters the pool exactly when
-        // its window opens.
+        // its window opens, and by end chronon so the expiry pass visits
+        // only the windows closing now instead of scanning the whole pool.
+        // Both buckets hold entries in the legacy pool order
+        // `(start, cei, ei_idx)`: the fill order is cei-major (dense ids,
+        // ascending), and each ends bucket is stable-sorted by start on top
+        // of it. A window ending at or past the horizon never expires
+        // inside the epoch, exactly as the per-chronon `end == t` test
+        // behaved.
         let mut starts: Vec<Vec<PoolEntry>> = vec![Vec::new(); horizon as usize];
+        let mut ends: Vec<Vec<PoolEntry>> = vec![Vec::new(); horizon as usize];
         for cei in &instance.ceis {
             for (idx, ei) in cei.eis.iter().enumerate() {
-                starts[ei.start as usize].push(PoolEntry {
+                let entry = PoolEntry {
                     cei: cei.id,
                     ei_idx: idx as u16,
-                });
+                };
+                starts[ei.start as usize].push(entry);
+                if (ei.end as usize) < ends.len() {
+                    ends[ei.end as usize].push(entry);
+                }
             }
+        }
+        for bucket in &mut ends {
+            bucket.sort_by_key(|e| instance.cei(e.cei).eis[e.ei_idx as usize].start);
         }
 
         let mut status: Vec<Status> = (0..n_ceis).map(|_| Status::NotArrived).collect();
@@ -214,14 +266,21 @@ impl OnlineEngine {
             ..Default::default()
         };
 
-        let mut pool: Vec<PoolEntry> = Vec::new();
-        // Reusable per-chronon buffers.
-        let mut active_count = vec![0u32; n_res];
+        // The candidate pool, grouped by resource with incremental removal
+        // and live counts (see `engine::index`). Every buffer below is
+        // allocated once here and reused for the whole run.
+        let mut index = CandidateIndex::new(instance);
+        let mut active_snapshot = vec![0u32; n_res];
         let mut has_update = vec![false; n_res];
         let mut probed_now = vec![false; n_res];
         let mut started_snapshot = vec![false; n_ceis];
         let mut transitions: Vec<(CeiId, CeiOutcome)> = Vec::new();
         let mut touched: Vec<CeiId> = Vec::new();
+        let mut capture_scratch: Vec<PoolEntry> = Vec::new();
+        let mut shed_scratch: Vec<(Chronon, u32, u16)> = Vec::new();
+        // Engine-owned heap storage for `SelectionStrategy::Incremental`:
+        // cleared, never dropped, between phases.
+        let mut reused_heap: ScoreHeap = std::collections::BinaryHeap::new();
 
         // Fault-injection state. `fault_blocked` is always allocated (the
         // selectors index it unconditionally); the rest is sized to zero
@@ -241,6 +300,12 @@ impl OnlineEngine {
             let budget = instance.budget.at(t);
             observer.on_event(Event::ChrononStart { t, budget });
             let mut retries_used: u32 = 0;
+
+            // Amortized maintenance: compact any resource list whose
+            // tombstones outnumber its live entries. This replaces the
+            // legacy whole-pool `retain` — removal itself happened at the
+            // transitions of the previous chronon.
+            index.sweep();
 
             if fault_on {
                 faults.begin_chronon(t);
@@ -279,40 +344,39 @@ impl OnlineEngine {
                 status[id.index()] = Status::Active(CaptureSet::new(instance.cei(id).size()));
             }
 
-            // -- 2. EIs whose window opens now join cands(I).
+            // -- 2. EIs whose window opens now join cands(I). Every entry in
+            // this bucket has `start == t`, so its resource gains a fresh
+            // update for the policy context.
+            has_update.fill(false);
             for entry in &starts[t as usize] {
                 if matches!(status[entry.cei.index()], Status::Active(_)) {
-                    pool.push(*entry);
+                    let resource = instance.cei(entry.cei).eis[entry.ei_idx as usize].resource;
+                    index.insert(*entry, resource.index());
+                    has_update[resource.index()] = true;
                 }
             }
 
-            // -- 3. Compact: drop EIs of resolved CEIs, captured EIs, and
-            // expired EIs (a threshold CEI can stay active past an expiry).
-            pool.retain(|e| {
-                status[e.cei.index()].capture_set().is_some_and(|cap| {
-                    !cap.is_captured(e.ei_idx as usize) && !cap.is_expired(e.ei_idx as usize)
-                })
-            });
-
-            // -- 4. Per-resource aggregates for the policy context.
-            active_count.fill(0);
-            has_update.fill(false);
-            for e in &pool {
-                let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
-                let r = ei.resource.index();
-                active_count[r] += 1;
-                if ei.start == t {
-                    has_update[r] = true;
-                }
-            }
+            // -- 3/4. The legacy compaction + aggregation scans are gone:
+            // the index drops entries at the transition that kills them and
+            // maintains per-resource live counts incrementally. Snapshot
+            // the counts for the policy context — scores must see the
+            // chronon-start occupancy even while captures land mid-probing,
+            // matching the legacy scan-once semantics — and freeze the live
+            // total as the candidate-set size selection competes over.
+            active_snapshot.copy_from_slice(index.active_now());
+            let pool_size = index.live();
 
             // Non-preemptive mode snapshots, before any probing this
             // chronon, which CEIs already have a captured EI (cands⁺).
             if !config.preemptive {
-                for e in &pool {
-                    started_snapshot[e.cei.index()] = status[e.cei.index()]
-                        .capture_set()
-                        .is_some_and(CaptureSet::is_started);
+                for r in 0..n_res {
+                    for e in index.entries(r) {
+                        if index.is_live(*e) {
+                            started_snapshot[e.cei.index()] = status[e.cei.index()]
+                                .capture_set()
+                                .is_some_and(CaptureSet::is_started);
+                        }
+                    }
                 }
             }
 
@@ -331,27 +395,44 @@ impl OnlineEngine {
                 let ctx = PolicyContext {
                     now: t,
                     resources: ResourceStats {
-                        active_eis: &active_count,
+                        active_eis: &active_snapshot,
                         has_update: &has_update,
                     },
                 };
-                // Lazy heap: seed once per phase with current scores, and
-                // index the pool by CEI so sibling captures can refresh
-                // affected entries (captures can *lower* MRSF / M-EDF
-                // scores, and a lazily validated heap never re-prioritizes
-                // buried entries on its own).
-                let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u16)>> =
-                    std::collections::BinaryHeap::new();
+                // Heap-based strategies seed once per phase with current
+                // scores; sibling captures can *lower* MRSF / M-EDF scores,
+                // and a lazily validated heap never re-prioritizes buried
+                // entries on its own, so captures refresh the touched CEIs
+                // below. LazyHeap (the pre-refactor reference) allocates a
+                // fresh heap and CEI→entries map per phase; Incremental
+                // reuses the engine-owned heap buffer and refreshes through
+                // the index, allocating nothing.
+                let mut phase_heap: ScoreHeap = std::collections::BinaryHeap::new();
                 let mut cei_entries: std::collections::HashMap<u32, Vec<PoolEntry>> =
                     std::collections::HashMap::new();
-                if config.selection == SelectionStrategy::LazyHeap {
-                    for e in &pool {
-                        let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
-                        if let Some(score) =
-                            score_entry(instance, policy, &ctx, &status, *e, snapshot)
-                        {
-                            heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
-                            cei_entries.entry(e.cei.0).or_default().push(*e);
+                let heap: &mut ScoreHeap = match selection {
+                    SelectionStrategy::Incremental => {
+                        reused_heap.clear();
+                        &mut reused_heap
+                    }
+                    _ => &mut phase_heap,
+                };
+                if selection != SelectionStrategy::Scan {
+                    let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                    let legacy = selection == SelectionStrategy::LazyHeap;
+                    for r in 0..n_res {
+                        for e in index.entries(r) {
+                            if !index.is_live(*e) {
+                                continue;
+                            }
+                            if let Some(score) =
+                                score_entry(instance, policy, &ctx, &status, *e, snapshot)
+                            {
+                                heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
+                                if legacy {
+                                    cei_entries.entry(e.cei.0).or_default().push(*e);
+                                }
+                            }
                         }
                     }
                 }
@@ -359,12 +440,12 @@ impl OnlineEngine {
                 while used < budget {
                     let remaining = budget - used;
                     let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
-                    let best = match config.selection {
+                    let best = match selection {
                         SelectionStrategy::Scan => argmin_candidate(
                             instance,
                             policy,
                             &ctx,
-                            &pool,
+                            &index,
                             &status,
                             &probed_now,
                             &fault_blocked,
@@ -372,11 +453,11 @@ impl OnlineEngine {
                             snapshot,
                             &mut selection_steps,
                         ),
-                        SelectionStrategy::LazyHeap => pop_valid(
+                        _ => pop_valid(
                             instance,
                             policy,
                             &ctx,
-                            &mut heap,
+                            heap,
                             &status,
                             &probed_now,
                             &fault_blocked,
@@ -450,10 +531,9 @@ impl OnlineEngine {
                         }
                         if !succeeded {
                             // The heap consumed this entry on pop; re-seed it
-                            // if its resource can still be selected, so Scan
-                            // and LazyHeap keep identical schedules.
-                            if config.selection == SelectionStrategy::LazyHeap && !fault_blocked[ri]
-                            {
+                            // if its resource can still be selected, so every
+                            // strategy keeps the identical schedule.
+                            if selection != SelectionStrategy::Scan && !fault_blocked[ri] {
                                 let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
                                 if let Some(score) =
                                     score_entry(instance, policy, &ctx, &status, best, snapshot)
@@ -471,11 +551,11 @@ impl OnlineEngine {
                     stats.budget_spent += u64::from(cost);
 
                     // Announce the probe with its sharing fan-out before the
-                    // per-EI capture events. The eligibility pre-count is an
-                    // extra pool scan, so it only runs for a live observer.
+                    // per-EI capture events. The fan-out is the resource's
+                    // live count — every live entry there is capturable.
                     if observer.enabled() {
                         let shared_eis = if config.share_probes {
-                            count_capturable(instance, &pool, &status, resource.index(), t)
+                            index.live_on(resource.index())
                         } else {
                             1
                         };
@@ -492,7 +572,8 @@ impl OnlineEngine {
                         probed_now[resource.index()] = true;
                         capture_resource(
                             instance,
-                            &pool,
+                            &mut index,
+                            &mut capture_scratch,
                             &mut status,
                             resource.index(),
                             t,
@@ -505,6 +586,7 @@ impl OnlineEngine {
                     } else {
                         capture_single(
                             instance,
+                            &mut index,
                             best,
                             &mut status,
                             t,
@@ -519,22 +601,53 @@ impl OnlineEngine {
                     // just changed: push their remaining live entries at
                     // their new (never higher) scores; stale copies are
                     // skipped on pop.
-                    if config.selection == SelectionStrategy::LazyHeap {
-                        let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
-                        for id in &touched {
-                            let Some(entries) = cei_entries.get(&id.0) else {
-                                continue;
-                            };
-                            for e in entries {
-                                if probed_now
-                                    [instance.cei(e.cei).eis[e.ei_idx as usize].resource.index()]
-                                {
+                    match selection {
+                        SelectionStrategy::Scan => {}
+                        SelectionStrategy::LazyHeap => {
+                            let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                            for id in &touched {
+                                let Some(entries) = cei_entries.get(&id.0) else {
                                     continue;
+                                };
+                                for e in entries {
+                                    if probed_now[instance.cei(e.cei).eis[e.ei_idx as usize]
+                                        .resource
+                                        .index()]
+                                    {
+                                        continue;
+                                    }
+                                    if let Some(score) =
+                                        score_entry(instance, policy, &ctx, &status, *e, snapshot)
+                                    {
+                                        heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
+                                    }
                                 }
-                                if let Some(score) =
-                                    score_entry(instance, policy, &ctx, &status, *e, snapshot)
-                                {
-                                    heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
+                            }
+                        }
+                        SelectionStrategy::Incremental => {
+                            // Walk the touched CEI's own EIs; the liveness
+                            // flag restricts the refresh to entries actually
+                            // in the pool (an EI whose window has not opened
+                            // yet must not enter selection). Pushes the same
+                            // value multiset as the legacy map walk: an
+                            // entry scores now iff it was seeded this phase
+                            // and still scores.
+                            let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
+                            for id in &touched {
+                                let cei = instance.cei(*id);
+                                for (idx, ei) in cei.eis.iter().enumerate() {
+                                    let e = PoolEntry {
+                                        cei: *id,
+                                        ei_idx: idx as u16,
+                                    };
+                                    if !index.is_live(e) || probed_now[ei.resource.index()] {
+                                        continue;
+                                    }
+                                    if let Some(score) =
+                                        score_entry(instance, policy, &ctx, &status, e, snapshot)
+                                    {
+                                        heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
+                                    }
                                 }
                             }
                         }
@@ -542,29 +655,19 @@ impl OnlineEngine {
                 }
             }
 
-            // Post-probing snapshot events. `pool` is untouched by probing
-            // (captures only flip status bits), so its length is the live
-            // candidate count the chronon's selection competed over; the
-            // deferred count — live EIs left unserved once the budget ran
-            // out or nothing affordable remained — needs a pool scan, so it
-            // stays behind the `enabled()` gate.
+            // Post-probing snapshot events. `pool_size` froze the live
+            // count the chronon's selection competed over (captures now
+            // remove entries as they land); the deferred count — live EIs
+            // left unserved once the budget ran out or nothing affordable
+            // remained — is whatever is still live, O(1) from the index
+            // instead of the legacy pool scan.
             if observer.enabled() {
                 observer.on_event(Event::CandidateSet {
                     t,
-                    size: pool.len() as u32,
+                    size: pool_size,
                     heap_pops: selection_steps,
                 });
-                let deferred = pool
-                    .iter()
-                    .filter(|e| {
-                        let r = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
-                        !probed_now[r.index()]
-                            && status[e.cei.index()].capture_set().is_some_and(|cap| {
-                                !cap.is_captured(e.ei_idx as usize)
-                                    && !cap.is_expired(e.ei_idx as usize)
-                            })
-                    })
-                    .count() as u32;
+                let deferred = index.live();
                 if deferred > 0 {
                     observer.on_event(Event::BudgetExhausted { t, deferred });
                 }
@@ -572,17 +675,22 @@ impl OnlineEngine {
 
             // -- 6. Expiry: EIs closing uncaptured at t doom their CEI once
             // fewer than `required` EIs can still be captured (with the
-            // paper's AND semantics: on the first expiry).
+            // paper's AND semantics: on the first expiry). Only the windows
+            // closing at t are visited — their bucket keeps pool order.
             transitions.clear();
-            for e in &pool {
+            for e in &ends[t as usize] {
+                if !index.is_live(*e) {
+                    continue; // never entered, captured, or already removed
+                }
                 let Status::Active(cap) = &mut status[e.cei.index()] else {
                     continue;
                 };
                 let cei = instance.cei(e.cei);
-                let ei = cei.eis[e.ei_idx as usize];
-                if ei.end == t && cap.mark_expired(e.ei_idx as usize) && cap.is_doomed(cei.required)
-                {
-                    transitions.push((e.cei, CeiOutcome::Failed { at: t }));
+                if cap.mark_expired(e.ei_idx as usize) {
+                    index.remove(*e, cei.eis[e.ei_idx as usize].resource.index());
+                    if cap.is_doomed(cei.required) {
+                        transitions.push((e.cei, CeiOutcome::Failed { at: t }));
+                    }
                 }
             }
             for &(id, outcome) in &transitions {
@@ -591,6 +699,7 @@ impl OnlineEngine {
                     outcomes[id.index()] = outcome;
                     stats.record_outcome_of(instance.cei(id), outcome);
                     observer.on_event(Event::CeiExpired { cei: id, at: t });
+                    index.remove_cei(instance, id);
                 }
             }
 
@@ -600,24 +709,41 @@ impl OnlineEngine {
             // meet their threshold, after the natural pass so a CEI doomed
             // by a real window close always reports CeiExpired, not CeiShed.
             if fault_on {
+                // Collect candidates from the down resources' lists, then
+                // restore the legacy pool order before the stateful pass.
+                shed_scratch.clear();
+                for (r, d) in down_snapshot.iter().enumerate() {
+                    let Some(until) = *d else {
+                        continue;
+                    };
+                    for e in index.entries(r) {
+                        if !index.is_live(*e) {
+                            continue;
+                        }
+                        let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
+                        // `end <= t`: the natural expiry pass owns closed
+                        // windows (a live entry's window is open anyway).
+                        if ei.end > t && until >= ei.end {
+                            shed_scratch.push((ei.start, e.cei.0, e.ei_idx));
+                        }
+                    }
+                }
+                shed_scratch.sort_unstable();
                 transitions.clear();
-                for e in &pool {
+                for &(_, cei_id, ei_idx) in shed_scratch.iter() {
+                    let e = PoolEntry {
+                        cei: CeiId(cei_id),
+                        ei_idx,
+                    };
                     let Status::Active(cap) = &mut status[e.cei.index()] else {
                         continue;
                     };
                     let cei = instance.cei(e.cei);
-                    let ei = cei.eis[e.ei_idx as usize];
-                    if ei.end <= t {
-                        continue; // the natural expiry pass owns closed windows
-                    }
-                    let Some(until) = down_snapshot[ei.resource.index()] else {
-                        continue;
-                    };
-                    if until >= ei.end
-                        && cap.mark_expired(e.ei_idx as usize)
-                        && cap.is_doomed(cei.required)
-                    {
-                        transitions.push((e.cei, CeiOutcome::Failed { at: t }));
+                    if cap.mark_expired(ei_idx as usize) {
+                        index.remove(e, cei.eis[ei_idx as usize].resource.index());
+                        if cap.is_doomed(cei.required) {
+                            transitions.push((e.cei, CeiOutcome::Failed { at: t }));
+                        }
                     }
                 }
                 for &(id, outcome) in &transitions {
@@ -627,6 +753,7 @@ impl OnlineEngine {
                         stats.record_outcome_of(instance.cei(id), outcome);
                         stats.ceis_shed += 1;
                         observer.on_event(Event::CeiShed { cei: id, at: t });
+                        index.remove_cei(instance, id);
                     }
                 }
             }
@@ -692,15 +819,16 @@ fn score_entry(
     Some(policy.score(ctx, &cand))
 }
 
-/// Scans the pool for the minimum-score live candidate. Ties break by
-/// `(score, cei id, ei index)` so runs are deterministic. Each call counts
-/// as one selection step toward [`Event::CandidateSet`].
+/// Scans the index for the minimum-score live candidate. Ties break by
+/// `(score, cei id, ei index)` so runs are deterministic regardless of
+/// iteration order. Each call counts as one selection step toward
+/// [`Event::CandidateSet`].
 #[allow(clippy::too_many_arguments)]
 fn argmin_candidate(
     instance: &Instance,
     policy: &dyn Policy,
     ctx: &PolicyContext<'_>,
-    pool: &[PoolEntry],
+    index: &CandidateIndex,
     status: &[Status],
     probed_now: &[bool],
     blocked: &[bool],
@@ -710,26 +838,30 @@ fn argmin_candidate(
 ) -> Option<PoolEntry> {
     *steps += 1;
     let mut best: Option<(i64, PoolEntry)> = None;
-    for e in pool {
-        let resource = instance.cei(e.cei).eis[e.ei_idx as usize].resource;
-        if probed_now[resource.index()] {
+    for r in 0..probed_now.len() {
+        if probed_now[r] {
             continue; // already captured by an earlier probe this chronon
         }
-        if blocked[resource.index()] {
+        if blocked[r] {
             continue; // down, backing off, or out of retry quota
         }
-        if instance.costs.of(resource) > remaining_budget {
+        if instance.costs.of(ResourceId(r as u32)) > remaining_budget {
             continue; // unaffordable this chronon (varying-costs extension)
         }
-        let Some(score) = score_entry(instance, policy, ctx, status, *e, phase) else {
-            continue;
-        };
-        let better = match &best {
-            None => true,
-            Some((s, b)) => (score, e.cei.0, e.ei_idx) < (*s, b.cei.0, b.ei_idx),
-        };
-        if better {
-            best = Some((score, *e));
+        for e in index.entries(r) {
+            if !index.is_live(*e) {
+                continue;
+            }
+            let Some(score) = score_entry(instance, policy, ctx, status, *e, phase) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((s, b)) => (score, e.cei.0, e.ei_idx) < (*s, b.cei.0, b.ei_idx),
+            };
+            if better {
+                best = Some((score, *e));
+            }
         }
     }
     best.map(|(_, e)| e)
@@ -744,7 +876,7 @@ fn pop_valid(
     instance: &Instance,
     policy: &dyn Policy,
     ctx: &PolicyContext<'_>,
-    heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u16)>>,
+    heap: &mut ScoreHeap,
     status: &[Status],
     probed_now: &[bool],
     blocked: &[bool],
@@ -780,37 +912,17 @@ fn pop_valid(
     None
 }
 
-/// Counts the EIs a shared probe of `resource` at `t` would capture — the
-/// sharing fan-out reported on [`Event::ProbeIssued`]. Mirrors the
-/// eligibility conditions of [`capture_resource`] without mutating, and only
-/// runs for a live observer.
-fn count_capturable(
-    instance: &Instance,
-    pool: &[PoolEntry],
-    status: &[Status],
-    resource: usize,
-    t: Chronon,
-) -> u32 {
-    pool.iter()
-        .filter(|e| {
-            let Some(cap) = status[e.cei.index()].capture_set() else {
-                return false;
-            };
-            let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
-            ei.resource.index() == resource
-                && ei.is_active(t)
-                && !cap.is_captured(e.ei_idx as usize)
-                && !cap.is_expired(e.ei_idx as usize)
-        })
-        .count() as u32
-}
-
-/// Marks every active, uncaptured pool EI on `resource` as captured by the
-/// probe at chronon `t`, completing CEIs whose last EI this was.
+/// Marks every live pool EI on `resource` as captured by the probe at
+/// chronon `t`, completing CEIs whose last required EI this was. Liveness
+/// implies an active window and an `Active` parent (see `engine::index`),
+/// so every live entry on the probed resource is captured and the list
+/// empties wholesale: it is swapped out for iteration, cleared with its
+/// capacity kept, and swapped back.
 #[allow(clippy::too_many_arguments)]
 fn capture_resource<O: Observer>(
     instance: &Instance,
-    pool: &[PoolEntry],
+    index: &mut CandidateIndex,
+    scratch: &mut Vec<PoolEntry>,
     status: &mut [Status],
     resource: usize,
     t: Chronon,
@@ -821,15 +933,19 @@ fn capture_resource<O: Observer>(
     observer: &mut O,
 ) {
     completed.clear();
-    for e in pool {
+    std::mem::swap(scratch, &mut index.by_resource[resource]);
+    for e in scratch.iter() {
+        if !index.is_live(*e) {
+            continue; // tombstone awaiting a sweep
+        }
         let Status::Active(cap) = &mut status[e.cei.index()] else {
+            debug_assert!(false, "live entry with a resolved parent");
             continue;
         };
         let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
-        if ei.resource.index() != resource || !ei.is_active(t) {
-            continue;
-        }
+        debug_assert!(ei.resource.index() == resource && ei.is_active(t));
         if cap.capture(e.ei_idx as usize) {
+            index.mark_captured(*e, resource);
             stats.eis_captured += 1;
             observer.on_event(Event::EiCaptured {
                 t,
@@ -847,18 +963,25 @@ fn capture_resource<O: Observer>(
             }
         }
     }
+    scratch.clear();
+    std::mem::swap(scratch, &mut index.by_resource[resource]);
+    index.reset_cleared(resource);
     for &(id, outcome) in completed.iter() {
         status[id.index()] = Status::Captured;
         outcomes[id.index()] = outcome;
         stats.record_outcome_of(instance.cei(id), outcome);
         observer.on_event(Event::CeiCompleted { cei: id, at: t });
+        // The completed CEI's entries on other resources leave the pool now.
+        index.remove_cei(instance, id);
     }
 }
 
 /// Ablation path (`share_probes = false`): a probe captures only the EI it
 /// was issued for.
+#[allow(clippy::too_many_arguments)]
 fn capture_single<O: Observer>(
     instance: &Instance,
+    index: &mut CandidateIndex,
     entry: PoolEntry,
     status: &mut [Status],
     t: Chronon,
@@ -870,8 +993,9 @@ fn capture_single<O: Observer>(
         return;
     };
     if cap.capture(entry.ei_idx as usize) {
-        stats.eis_captured += 1;
         let ei = instance.cei(entry.cei).eis[entry.ei_idx as usize];
+        index.remove(entry, ei.resource.index());
+        stats.eis_captured += 1;
         observer.on_event(Event::EiCaptured {
             t,
             cei: entry.cei,
@@ -886,6 +1010,7 @@ fn capture_single<O: Observer>(
                 cei: entry.cei,
                 at: t,
             });
+            index.remove_cei(instance, entry.cei);
         }
     }
 }
@@ -1242,13 +1367,9 @@ mod tests {
         assert!(!r.outcomes[0].is_captured());
     }
 
-    #[test]
-    fn lazy_heap_matches_scan_on_structured_instances() {
-        use crate::policy::{MEdf, Wic};
-        // Budget 3 with many overlapping multi-EI CEIs: intra-chronon
-        // captures shift MRSF / M-EDF sibling scores, exercising the heap's
-        // refresh path (a lazily validated heap without refresh diverges
-        // here — regression for the buried-priority bug).
+    /// A contended multi-EI workload where intra-chronon captures shift
+    /// MRSF / M-EDF sibling scores, exercising the heap refresh paths.
+    fn contended_instance() -> Instance {
         let mut b = InstanceBuilder::new(5, 30, Budget::Uniform(3));
         let p = b.profile();
         for k in 0..12u32 {
@@ -1266,10 +1387,20 @@ mod tests {
                 ],
             );
         }
-        let inst = b.build();
+        b.build()
+    }
+
+    #[test]
+    fn lazy_heap_matches_scan_on_structured_instances() {
+        use crate::policy::{MEdf, Wic};
+        // Budget 3 with many overlapping multi-EI CEIs: intra-chronon
+        // captures shift MRSF / M-EDF sibling scores, exercising the heap's
+        // refresh path (a lazily validated heap without refresh diverges
+        // here — regression for the buried-priority bug).
+        let inst = contended_instance();
         for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
             for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
-                let scan = OnlineEngine::run(&inst, policy, base);
+                let scan = OnlineEngine::run(&inst, policy, base.with_scan());
                 let heap = OnlineEngine::run(&inst, policy, base.with_lazy_heap());
                 assert_eq!(
                     scan.schedule,
@@ -1279,6 +1410,88 @@ mod tests {
                     base
                 );
                 assert_eq!(scan.stats, heap.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_scores_fall_back_to_scan_selection() {
+        use crate::policy::RandomPolicy;
+        // Regression: `RandomPolicy` re-scores the same candidate to a new
+        // value on every call, so the heap selectors' stale-entry re-push
+        // loop never terminated (the selection-step counter overflowed).
+        // The engine must pin unstable-score policies to `Scan`: the run
+        // completes, and every strategy produces the `Scan` result bit for
+        // bit (same RNG draw sequence ⇒ same schedule).
+        let inst = contended_instance();
+        for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let scan = OnlineEngine::run(&inst, &RandomPolicy::new(7), base.with_scan());
+            for config in [base, base.with_lazy_heap()] {
+                let run = OnlineEngine::run(&inst, &RandomPolicy::new(7), config);
+                assert_eq!(scan.schedule, run.schedule, "{config:?}: schedules diverge");
+                assert_eq!(scan.stats, run.stats);
+                assert_eq!(scan.outcomes, run.outcomes);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_is_the_default_selection() {
+        assert_eq!(
+            EngineConfig::preemptive().selection,
+            SelectionStrategy::Incremental
+        );
+        assert_eq!(
+            EngineConfig::non_preemptive().selection,
+            SelectionStrategy::Incremental
+        );
+        assert_eq!(SelectionStrategy::default(), SelectionStrategy::Incremental);
+    }
+
+    #[test]
+    fn incremental_matches_scan_on_structured_instances() {
+        use crate::policy::{MEdf, Wic};
+        let inst = contended_instance();
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+            for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                for variant in [base, base.without_probe_sharing()] {
+                    let scan = OnlineEngine::run(&inst, policy, variant.with_scan());
+                    let inc = OnlineEngine::run(&inst, policy, variant);
+                    assert_eq!(
+                        scan.schedule,
+                        inc.schedule,
+                        "{} {:?}: schedules diverge",
+                        policy.name(),
+                        variant
+                    );
+                    assert_eq!(scan.stats, inc.stats);
+                    assert_eq!(scan.outcomes, inc.outcomes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_lazy_heap_trace_bytes() {
+        use crate::obs::JsonlTraceObserver;
+        use crate::policy::MEdf;
+        // The contract is stronger than schedule equality: the full event
+        // stream — including per-probe fan-outs, candidate-set sizes, and
+        // heap pop counts — must be byte-identical to the legacy heap's.
+        let inst = contended_instance();
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let mut legacy = JsonlTraceObserver::new(Vec::<u8>::new());
+                OnlineEngine::run_observed(&inst, policy, base.with_lazy_heap(), &mut legacy);
+                let mut incremental = JsonlTraceObserver::new(Vec::<u8>::new());
+                OnlineEngine::run_observed(&inst, policy, base, &mut incremental);
+                assert_eq!(
+                    legacy.finish().expect("in-memory write"),
+                    incremental.finish().expect("in-memory write"),
+                    "{} {:?}: trace bytes diverge",
+                    policy.name(),
+                    base
+                );
             }
         }
     }

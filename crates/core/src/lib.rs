@@ -77,7 +77,7 @@ pub mod policy;
 pub mod stats;
 
 pub use check::{InvariantObserver, InvariantReport, Violation};
-pub use engine::{EngineConfig, OnlineEngine, RunResult};
+pub use engine::{EngineConfig, OnlineEngine, RunResult, SelectionStrategy};
 pub use fault::{Backoff, FaultConfig, FaultModel, GilbertElliott, IidFaults, NoFaults, RateLimit};
 pub use model::{
     Budget, Cei, CeiId, Chronon, Ei, Instance, InstanceBuilder, Profile, ProfileId, ResourceId,

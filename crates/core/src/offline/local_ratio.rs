@@ -195,6 +195,11 @@ fn decompose(jobs: &[Job], share_resources: bool, pivot_order: PivotOrder) -> Ve
     let mut alive: Vec<bool> = vec![true; n];
     // Because weights only ever decrease and each pivot zeroes itself,
     // scanning the chosen order once yields all pivots.
+    //
+    // `demands[0]` cannot panic: every job is a combination CEI from
+    // `expand_to_unit`, which picks one chronon per EI of the original, and
+    // `Cei::new` asserts a CEI has at least one EI — so `demands` is
+    // non-empty (and, being sorted, `demands[0].0` is the earliest demand).
     let mut order: Vec<usize> = (0..n).collect();
     if pivot_order == PivotOrder::EarliestDeadline {
         order.sort_by_key(|&j| (jobs[j].demands[0].0, j));
@@ -208,7 +213,9 @@ fn decompose(jobs: &[Job], share_resources: bool, pivot_order: PivotOrder) -> Ve
         let w = weight[j];
         pivots.push(j);
         // Subtract w from the closed neighborhood of j.
-        // Siblings (same origin):
+        // Siblings (same origin) — the `by_origin[..]` index cannot panic:
+        // the map was populated from these very jobs above, so every job's
+        // origin has an entry (containing at least the job itself).
         for &s in &by_origin[&jobs[j].origin] {
             if alive[s] {
                 weight[s] -= w;
@@ -274,6 +281,8 @@ fn unwind(
 
     if config.completion {
         // Maximality completion: every job not yet accepted, earliest first.
+        // (`demands[0]` is safe for the same reason as in `decompose`: jobs
+        // are expansions of non-empty CEIs.)
         let mut rest: Vec<usize> = (0..jobs.len()).collect();
         rest.sort_by_key(|&j| (jobs[j].demands[0].0, j));
         for j in rest {

@@ -94,6 +94,17 @@ pub trait Policy: Sync {
     /// candidate with the **minimum** score. Max-style policies (WIC) negate
     /// their utility.
     fn score(&self, ctx: &PolicyContext<'_>, cand: &Candidate<'_>) -> i64;
+
+    /// Whether `score` is a pure function of `(ctx, cand)` — `true` for
+    /// every paper policy. The heap-based selection strategies detect stale
+    /// heap entries by re-scoring on pop and re-pushing on mismatch, which
+    /// only terminates if an unchanged candidate re-scores to the same
+    /// value; a policy drawing from hidden mutable state (e.g. the `Random`
+    /// baseline) breaks that contract, so the engine falls back to the
+    /// always-correct `Scan` selector when this returns `false`.
+    fn stable_scores(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

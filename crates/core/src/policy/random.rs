@@ -51,6 +51,14 @@ impl Policy for RandomPolicy {
     fn score(&self, _ctx: &PolicyContext<'_>, _cand: &Candidate<'_>) -> i64 {
         (self.next() >> 1) as i64
     }
+
+    /// Every `score` call advances the RNG, so re-scoring the same candidate
+    /// yields a new value — the heap selectors' stale-entry check would
+    /// re-push forever. Declaring the scores unstable makes the engine pin
+    /// this policy to the `Scan` selector.
+    fn stable_scores(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

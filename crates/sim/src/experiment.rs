@@ -182,6 +182,25 @@ impl Experiment {
     /// a pure function of `(config, spec, rep)`, so `--jobs N` is
     /// bit-identical to `--jobs 1`.
     pub fn run_spec(&self, spec: PolicySpec) -> PolicyAggregate {
+        self.run_spec_configured(spec, spec.engine_config())
+    }
+
+    /// Like [`Self::run_spec`] with an explicit [`EngineConfig`] instead of
+    /// the spec's default — the hook the scaling bench and the selection
+    /// ablations use to pin a [`SelectionStrategy`] (or toggle probe
+    /// sharing) while keeping the P/NP mode, labeling, and per-repetition
+    /// policy seeding of the spec.
+    ///
+    /// `config.preemptive` should agree with `spec.preemptive`; the engine
+    /// runs whatever `config` says, but the column label comes from `spec`.
+    ///
+    /// [`EngineConfig`]: webmon_core::EngineConfig
+    /// [`SelectionStrategy`]: webmon_core::SelectionStrategy
+    pub fn run_spec_configured(
+        &self,
+        spec: PolicySpec,
+        engine_config: webmon_core::EngineConfig,
+    ) -> PolicyAggregate {
         let noisy = self.config.noise.is_some();
         let outcomes = par_map(self.workloads.iter().collect(), |rep, w| {
             let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
@@ -190,7 +209,7 @@ impl Experiment {
             let result = OnlineEngine::run_observed(
                 &w.instance,
                 policy.as_ref(),
-                spec.engine_config(),
+                engine_config,
                 &mut observer,
             );
             let runtime = start.elapsed();

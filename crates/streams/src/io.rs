@@ -126,10 +126,37 @@ pub fn read_csv<R: BufRead>(
         }
     }
 
-    let inferred_h = events.iter().map(|&(_, _, t)| t + 1).max().unwrap_or(1);
-    let h = horizon.unwrap_or(inferred_h);
-    let inferred_n = events.iter().map(|&(_, r, _)| r + 1).max().unwrap_or(0);
-    let n = n_resources.unwrap_or(inferred_n);
+    // Inference adds 1 to the maxima; `u32::MAX` would wrap (silently in
+    // release builds), so checked arithmetic turns it into a line-tagged
+    // parse error instead.
+    let h = match horizon {
+        Some(h) => h,
+        None => {
+            let mut h: Chronon = 1;
+            for &(line, _, t) in &events {
+                let bound = t.checked_add(1).ok_or_else(|| TraceIoError::BadLine {
+                    line,
+                    content: format!("chronon {t} overflows the inferred horizon"),
+                })?;
+                h = h.max(bound);
+            }
+            h
+        }
+    };
+    let n = match n_resources {
+        Some(n) => n,
+        None => {
+            let mut n: u32 = 0;
+            for &(line, r, _) in &events {
+                let bound = r.checked_add(1).ok_or_else(|| TraceIoError::BadLine {
+                    line,
+                    content: format!("resource id {r} overflows the inferred resource count"),
+                })?;
+                n = n.max(bound);
+            }
+            n
+        }
+    };
 
     let mut per_resource: Vec<Vec<Chronon>> = vec![Vec::new(); n as usize];
     for &(line, r, t) in &events {
@@ -244,6 +271,36 @@ mod tests {
         assert!(matches!(
             read_csv(csv.as_bytes(), None, Some(2)),
             Err(TraceIoError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn u32_max_values_do_not_overflow_inference() {
+        // Regression: inferring dimensions as `max + 1` used unchecked
+        // arithmetic, so a chronon or resource id of 4294967295 wrapped to
+        // zero in release builds (and panicked in debug builds).
+        let csv = "resource,chronon\n0,4294967295\n";
+        assert_eq!(
+            read_csv(csv.as_bytes(), None, None).unwrap_err(),
+            TraceIoError::BadLine {
+                line: 2,
+                content: "chronon 4294967295 overflows the inferred horizon".into()
+            }
+        );
+        let csv = "resource,chronon\n4294967295,1\n";
+        assert_eq!(
+            read_csv(csv.as_bytes(), Some(10), None).unwrap_err(),
+            TraceIoError::BadLine {
+                line: 2,
+                content: "resource id 4294967295 overflows the inferred resource count".into()
+            }
+        );
+        // With both dimensions declared the same line is caught by the
+        // existing bounds validation rather than inference.
+        let csv = "resource,chronon\n0,4294967295\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), Some(10), Some(1)),
+            Err(TraceIoError::EventBeyondHorizon { line: 2, .. })
         ));
     }
 

@@ -1,0 +1,158 @@
+//! Degenerate-instance audit of the three offline baselines.
+//!
+//! `local_ratio.rs` indexes `demands[0]` and `by_origin[&origin]` without
+//! guards; the invariants that make those safe (every expanded job inherits
+//! at least one demand because `Cei::new` forbids empty CEIs, and the origin
+//! map is built from the same job list it is queried with) are documented at
+//! the call sites. This suite pins the boundary cases those arguments lean
+//! on: empty profiles, zero-budget chronons, a single-chronon epoch, and
+//! `release == deadline` CEIs — through **all three** baselines
+//! (branch-and-bound enumeration, the Prop. 5 unit transform, and the
+//! Local-Ratio scheme) so a future refactor that weakens an invariant fails
+//! here instead of panicking in an experiment sweep.
+
+use webmon_core::model::{Budget, Instance, InstanceBuilder};
+use webmon_core::offline::{
+    expand_to_unit, local_ratio_schedule, optimal_schedule, LocalRatioConfig, SearchLimits,
+};
+
+/// Runs one instance through all three baselines and returns the CEIs each
+/// captured, asserting the shared sanity conditions on the way.
+fn all_baselines(instance: &Instance) -> (u64, u64) {
+    let (schedule, enum_stats) =
+        optimal_schedule(instance, SearchLimits::default()).expect("degenerate instances are tiny");
+    assert_eq!(enum_stats.n_ceis, instance.ceis.len() as u64);
+    assert!(enum_stats.budget_spent <= enum_stats.probes_available);
+    assert_eq!(schedule.horizon(), instance.epoch.len());
+    assert_eq!(schedule.n_resources(), instance.n_resources);
+
+    let expansion =
+        expand_to_unit(instance, 100_000).expect("degenerate instances expand within cap");
+    assert_eq!(expansion.origin.len(), expansion.instance.ceis.len());
+    for cei in &expansion.instance.ceis {
+        assert!(!cei.eis.is_empty(), "expansion may not emit an empty CEI");
+        for ei in &cei.eis {
+            assert_eq!(ei.start, ei.end, "expanded EIs are unit width");
+        }
+    }
+
+    for config in [LocalRatioConfig::default(), LocalRatioConfig::paper()] {
+        let outcome = local_ratio_schedule(instance, config).expect("within expansion cap");
+        assert_eq!(outcome.stats.n_ceis, instance.ceis.len() as u64);
+        assert!(outcome.stats.ceis_captured <= enum_stats.ceis_captured);
+        assert!(outcome.selected.len() as u64 >= outcome.stats.ceis_captured);
+    }
+
+    let lr = local_ratio_schedule(instance, LocalRatioConfig::default()).unwrap();
+    (enum_stats.ceis_captured, lr.stats.ceis_captured)
+}
+
+#[test]
+fn empty_profile_zero_ceis() {
+    // The empty instance: profiles may exist with no CEIs attached, or the
+    // profile set itself may be empty. `decompose` then iterates zero jobs
+    // and the unwinding accepts nothing.
+    let no_profiles = InstanceBuilder::new(3, 5, Budget::Uniform(1)).build();
+    assert_eq!(all_baselines(&no_profiles), (0, 0));
+
+    let mut b = InstanceBuilder::new(3, 5, Budget::Uniform(1));
+    b.profile();
+    b.profile();
+    let empty_profiles = b.build();
+    assert_eq!(all_baselines(&empty_profiles), (0, 0));
+}
+
+#[test]
+fn zero_budget_chronons() {
+    // A fully zero budget: nothing is capturable, but every baseline must
+    // still terminate with a well-formed (empty) schedule.
+    let mut b = InstanceBuilder::new(2, 4, Budget::Uniform(0));
+    let p = b.profile();
+    b.cei(p, &[(0, 0, 2)]);
+    b.cei(p, &[(1, 1, 3), (0, 2, 3)]);
+    let starved = b.build();
+    assert_eq!(all_baselines(&starved), (0, 0));
+
+    // Budget present only at chronon 2: the single-EI CEI on resource 0 is
+    // live there, so the optimum captures exactly it; the two-EI CEI needs
+    // two funded chronons and must fail without panicking in the
+    // completion/leftover passes.
+    let mut b = InstanceBuilder::new(2, 4, Budget::PerChronon(vec![0, 0, 1, 0]));
+    let p = b.profile();
+    b.cei(p, &[(0, 0, 2)]);
+    b.cei(p, &[(1, 1, 3), (0, 3, 3)]);
+    let pinched = b.build();
+    let (best, lr) = all_baselines(&pinched);
+    assert_eq!(best, 1);
+    assert!(lr <= 1);
+}
+
+#[test]
+fn single_chronon_epoch() {
+    // Horizon 1: every window is [0, 0], every expanded job is a bundle of
+    // chronon-0 demands, and the pivot ordering sort keys are all equal —
+    // the tie-break on job index must keep the decomposition deterministic.
+    let mut b = InstanceBuilder::new(3, 1, Budget::Uniform(2));
+    let p = b.profile();
+    b.cei(p, &[(0, 0, 0)]);
+    b.cei(p, &[(1, 0, 0), (2, 0, 0)]);
+    b.cei(p, &[(0, 0, 0), (1, 0, 0)]);
+    let instant = b.build();
+    let (best, lr) = all_baselines(&instant);
+    // Budget 2 funds two probes; probing {0, 1} or {1, 2} plus sharing
+    // yields two CEIs at best (CEI_0 + CEI_2 via resources {0, 1}).
+    assert_eq!(best, 2);
+    assert!(lr >= 1, "local ratio must capture something at C = 2");
+}
+
+#[test]
+fn release_equals_deadline() {
+    // A CEI released at the very chronon its only window closes: since the
+    // model requires `release <= earliest start`, release == deadline means
+    // the window collapses to the release chronon itself. Exercises
+    // `released_at` bucketing and the expansion's release-min clamp
+    // (`cei.release.min(earliest start)`).
+    let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+    let p = b.profile();
+    b.cei_released(p, 3, &[(0, 3, 3)]);
+    b.cei_released(p, 5, &[(1, 5, 5)]); // released at its own deadline
+    let brink = b.build();
+    let (best, lr) = all_baselines(&brink);
+    assert_eq!(best, 2, "both one-shot windows are capturable");
+    assert!(lr <= 2);
+}
+
+#[test]
+fn offline_matches_online_upper_bound_on_degenerates() {
+    // The exact optimum must never lose to the default online engine on any
+    // of the degenerate shapes (it is an upper bound by construction).
+    use webmon_core::engine::{EngineConfig, OnlineEngine};
+    use webmon_core::policy::SEdf;
+
+    let mut shapes: Vec<Instance> = Vec::new();
+    shapes.push(InstanceBuilder::new(3, 5, Budget::Uniform(1)).build());
+    let mut b = InstanceBuilder::new(2, 4, Budget::Uniform(0));
+    let p = b.profile();
+    b.cei(p, &[(0, 0, 2)]);
+    shapes.push(b.build());
+    let mut b = InstanceBuilder::new(3, 1, Budget::Uniform(2));
+    let p = b.profile();
+    b.cei(p, &[(0, 0, 0)]);
+    b.cei(p, &[(1, 0, 0), (2, 0, 0)]);
+    shapes.push(b.build());
+    let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+    let p = b.profile();
+    b.cei_released(p, 3, &[(0, 3, 3)]);
+    shapes.push(b.build());
+
+    for instance in &shapes {
+        let (_, best) = optimal_schedule(instance, SearchLimits::default()).unwrap();
+        let online = OnlineEngine::run(instance, &SEdf, EngineConfig::preemptive());
+        assert!(
+            best.ceis_captured >= online.stats.ceis_captured,
+            "exact optimum lost to S-EDF: {} < {}",
+            best.ceis_captured,
+            online.stats.ceis_captured
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Bit-identity of the incremental selection path.
+//!
+//! The PR-5 engine refactor replaced the per-phase `BinaryHeap` +
+//! `HashMap<u32, Vec<PoolEntry>>` rebuilds of the `LazyHeap` selector with
+//! the engine-owned incremental candidate index
+//! ([`SelectionStrategy::Incremental`], the new default). The optimization
+//! must be *observationally invisible*: over the whole conformance corpus,
+//! in every policy × mode cell, `Incremental` must reproduce the
+//! pre-refactor `LazyHeap` output **bit for bit** — the schedule, the
+//! `RunStats`/outcomes, the merged `RunMetrics` (including `heap_pops`
+//! inside `CandidateSet` events), and the raw JSONL trace bytes — and the
+//! `Scan` reference must agree on everything except the selection-step
+//! accounting that heap selectors add to the trace.
+//!
+//! The identity is also pinned under parallel execution (jobs 1 vs 4) and
+//! under fault injection at a nonzero failure rate, so neither the worker
+//! pool nor the fault paths can reorder the incremental bookkeeping.
+
+use webmon_core::engine::{EngineConfig, OnlineEngine, SelectionStrategy};
+use webmon_core::fault::{FaultConfig, IidFaults};
+use webmon_core::model::Instance;
+use webmon_core::obs::{JsonlTraceObserver, MetricsObserver, RunMetrics, Tee};
+use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
+use webmon_core::RunResult;
+use webmon_sim::parallel::par_map_with;
+use webmon_testkit::corpus::{conformance_cases, small_instance};
+
+/// The four paper policies of the identity grid.
+fn policies() -> [(&'static str, Box<dyn Policy>); 4] {
+    [
+        ("S-EDF", Box::new(SEdf)),
+        ("MRSF", Box::new(Mrsf)),
+        ("M-EDF", Box::new(MEdf)),
+        ("W-IC", Box::new(Wic::paper())),
+    ]
+}
+
+/// Both execution modes with the given selection strategy.
+fn configs(strategy: SelectionStrategy) -> [EngineConfig; 2] {
+    [
+        EngineConfig::preemptive().with_selection(strategy),
+        EngineConfig::non_preemptive().with_selection(strategy),
+    ]
+}
+
+/// One fully observed run: result + merged metrics + raw JSONL trace bytes.
+fn observed(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+) -> (RunResult, RunMetrics, Vec<u8>) {
+    let mut metrics = MetricsObserver::new();
+    let mut trace = JsonlTraceObserver::new(Vec::new());
+    let result = {
+        let mut tee = Tee(&mut metrics, &mut trace);
+        OnlineEngine::run_observed(instance, policy, config, &mut tee)
+    };
+    assert_eq!(trace.write_errors(), 0);
+    let bytes = trace.finish().expect("Vec<u8> sink cannot fail");
+    (result, metrics.finish(), bytes)
+}
+
+/// Same, through the fault-injected entry point.
+fn observed_faulted(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+    rate: f64,
+    seed: u64,
+) -> (RunResult, RunMetrics, Vec<u8>) {
+    let mut metrics = MetricsObserver::new();
+    let mut trace = JsonlTraceObserver::new(Vec::new());
+    let mut model = IidFaults::new(rate, seed);
+    let result = {
+        let mut tee = Tee(&mut metrics, &mut trace);
+        OnlineEngine::run_faulted(
+            instance,
+            policy,
+            config,
+            &mut model,
+            FaultConfig::charged(),
+            &mut tee,
+        )
+    };
+    assert_eq!(trace.write_errors(), 0);
+    let bytes = trace.finish().expect("Vec<u8> sink cannot fail");
+    (result, metrics.finish(), bytes)
+}
+
+fn assert_identical(
+    label: &str,
+    a: &(RunResult, RunMetrics, Vec<u8>),
+    b: &(RunResult, RunMetrics, Vec<u8>),
+) {
+    assert_eq!(a.0.schedule, b.0.schedule, "{label}: schedule");
+    assert_eq!(a.0.stats, b.0.stats, "{label}: stats");
+    assert_eq!(a.0.outcomes, b.0.outcomes, "{label}: outcomes");
+    assert_eq!(a.1, b.1, "{label}: RunMetrics");
+    assert_eq!(a.2, b.2, "{label}: JSONL trace bytes");
+}
+
+/// Tentpole identity: `Incremental` vs the pre-refactor `LazyHeap` over the
+/// full corpus, 4 policies × P/NP — schedule, stats, outcomes, metrics, and
+/// trace bytes all byte-identical.
+#[test]
+fn incremental_is_bit_identical_to_lazy_heap_on_the_corpus() {
+    for seed in 0..conformance_cases() {
+        let instance = small_instance(seed, false);
+        for (name, policy) in &policies() {
+            for (lazy, incr) in configs(SelectionStrategy::LazyHeap)
+                .into_iter()
+                .zip(configs(SelectionStrategy::Incremental))
+            {
+                let a = observed(&instance, policy.as_ref(), lazy);
+                let b = observed(&instance, policy.as_ref(), incr);
+                assert_identical(&format!("seed {seed}: {name} {}", lazy.label()), &a, &b);
+            }
+        }
+    }
+}
+
+/// The `Scan` reference agrees with `Incremental` on every semantic output
+/// (schedule, stats, outcomes). Trace bytes differ only in the selection
+/// accounting (`heap_pops`), so they are not compared here — the
+/// heap-selector trace identity is pinned against `LazyHeap` above.
+#[test]
+fn incremental_matches_scan_semantics_on_the_corpus() {
+    for seed in 0..conformance_cases() {
+        let instance = small_instance(seed, false);
+        for (name, policy) in &policies() {
+            for (scan, incr) in configs(SelectionStrategy::Scan)
+                .into_iter()
+                .zip(configs(SelectionStrategy::Incremental))
+            {
+                let a = OnlineEngine::run(&instance, policy.as_ref(), scan);
+                let b = OnlineEngine::run(&instance, policy.as_ref(), incr);
+                let label = format!("seed {seed}: {name} {}", scan.label());
+                assert_eq!(a.schedule, b.schedule, "{label}: schedule");
+                assert_eq!(a.stats, b.stats, "{label}: stats");
+                assert_eq!(a.outcomes, b.outcomes, "{label}: outcomes");
+            }
+        }
+    }
+}
+
+/// The identity survives fault injection at a nonzero rate: failed probes,
+/// retries, outages, and shedding all drive the incremental index through
+/// its removal paths, and the output must still match `LazyHeap` bit for
+/// bit.
+#[test]
+fn incremental_matches_lazy_heap_under_faults() {
+    let cases = conformance_cases().min(120);
+    for seed in 0..cases {
+        let instance = small_instance(seed, false);
+        for (name, policy) in &policies() {
+            for (lazy, incr) in configs(SelectionStrategy::LazyHeap)
+                .into_iter()
+                .zip(configs(SelectionStrategy::Incremental))
+            {
+                let a = observed_faulted(&instance, policy.as_ref(), lazy, 0.3, seed);
+                let b = observed_faulted(&instance, policy.as_ref(), incr, 0.3, seed);
+                assert_identical(
+                    &format!("seed {seed}: {name} {} rate 0.3", lazy.label()),
+                    &a,
+                    &b,
+                );
+            }
+        }
+    }
+}
+
+/// Digest of one strategy's output over a slice of the corpus, computed on
+/// a worker pool: per-case trace bytes and metrics, in case order.
+fn corpus_digest(strategy: SelectionStrategy, jobs: usize, cases: u64) -> Vec<(Vec<u8>, String)> {
+    par_map_with(jobs, (0..cases).collect(), |_, seed| {
+        let instance = small_instance(seed, false);
+        let mut bytes = Vec::new();
+        let mut summary = String::new();
+        for (name, policy) in &policies() {
+            for config in configs(strategy) {
+                let (result, metrics, trace) = observed(&instance, policy.as_ref(), config);
+                bytes.extend_from_slice(&trace);
+                summary.push_str(&format!(
+                    "{name}/{}: probes {} steps {} captured {} pool-max {}\n",
+                    config.label(),
+                    metrics.probes_issued,
+                    metrics.selection_steps,
+                    result.stats.ceis_captured,
+                    metrics.candidate_set.max,
+                ));
+            }
+        }
+        (bytes, summary)
+    })
+}
+
+/// The PR-1 determinism contract extends to the incremental path: the whole
+/// corpus digest (trace bytes + metric counters) is identical on 1 worker
+/// and on 4, and identical between `LazyHeap` and `Incremental`.
+#[test]
+fn corpus_digest_is_jobs_invariant_and_strategy_invariant() {
+    let cases = conformance_cases().min(60);
+    let incr_1 = corpus_digest(SelectionStrategy::Incremental, 1, cases);
+    let incr_4 = corpus_digest(SelectionStrategy::Incremental, 4, cases);
+    assert_eq!(incr_1, incr_4, "jobs 1 vs jobs 4 digests differ");
+    let lazy_1 = corpus_digest(SelectionStrategy::LazyHeap, 1, cases);
+    assert_eq!(incr_1, lazy_1, "Incremental vs LazyHeap digests differ");
+}
