@@ -59,7 +59,8 @@ fn main() -> ExitCode {
     let (horizons, h) = ladder(&args, "--horizons", base.horizon);
     let (budgets, b) = ladder(&args, "--budgets", base.budget);
 
-    let cells: Vec<CellDims> = if p || r || h || b {
+    let overridden = p || r || h || b;
+    let cells: Vec<CellDims> = if overridden {
         let mut cells = Vec::new();
         for &profiles in &profiles {
             for &rank in &ranks {
@@ -79,8 +80,15 @@ fn main() -> ExitCode {
     } else {
         grid(scale)
     };
+    // Axis overrides replace the whole grid, so the default churn ladder
+    // would not match any baseline made from them — skip it.
+    let churn_cells = if overridden {
+        Vec::new()
+    } else {
+        webmon_bench::scale::churn_grid(scale)
+    };
 
-    let report = webmon_bench::scale::collect_grid(scale, &cells, &roster(scale));
+    let report = webmon_bench::scale::collect_grid(scale, &cells, &roster(scale), &churn_cells);
     webmon_bench::print_tables(&report.tables());
 
     if let Some(path) = path_arg(&args, "--out") {

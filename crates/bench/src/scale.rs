@@ -31,8 +31,10 @@
 use crate::Scale;
 use serde::{Deserialize, Serialize};
 use webmon_sim::parallel::serial;
-use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec};
-use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+use webmon_sim::{
+    ChurnSpec, Experiment, ExperimentConfig, PolicyKind, PolicySpec, Table, TraceSpec,
+};
+use webmon_workload::{ChurnConfig, EiLength, RankSpec, WorkloadConfig};
 
 /// Relative speedup regression the CI gate tolerates (20%).
 pub const SPEEDUP_TOLERANCE: f64 = 0.20;
@@ -167,6 +169,75 @@ pub struct StrategyMeasure {
     pub peak_pool: u64,
 }
 
+/// The churn ladder: the |P| ladder of the main grid rerun under a fixed
+/// churn overlay. At a fixed arrival/cancel *rate* the per-registration
+/// cost is O(own EIs), so the churned-over-static throughput ratio must
+/// stay flat as |P| grows — the property the `churn` section of
+/// `BENCH_engine.json` pins.
+pub fn churn_grid(scale: Scale) -> Vec<CellDims> {
+    let base = CellDims {
+        profiles: 150,
+        rank: 3,
+        horizon: 300,
+        budget: 2,
+    };
+    match scale {
+        Scale::Quick => vec![
+            base,
+            CellDims {
+                profiles: 600,
+                ..base
+            },
+        ],
+        Scale::Paper => vec![
+            base,
+            CellDims {
+                profiles: 600,
+                ..base
+            },
+            CellDims {
+                profiles: 2400,
+                ..base
+            },
+        ],
+    }
+}
+
+/// The fixed churn overlay of the `churn_grid` cells: 30% of CEIs arrive
+/// mid-run, 20% are cancelled, mildly skewed toward popular resources.
+pub fn churn_scenario() -> ChurnSpec {
+    ChurnSpec {
+        config: ChurnConfig::new(0.3, 0.2).with_alpha(0.3),
+        seed: 0xC0DE,
+    }
+}
+
+/// One churn-ladder measurement: a cell of `churn_grid` run with and
+/// without the fixed churn overlay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnCellReport {
+    /// The swept dimensions.
+    pub dims: CellDims,
+    /// Roster label of the measured policy.
+    pub label: String,
+    /// Deterministic: mid-run registrations summed over repetitions.
+    pub ceis_registered: u64,
+    /// Deterministic: mid-run cancellations summed over repetitions.
+    pub ceis_cancelled: u64,
+    /// Deterministic: chronons summed over repetitions (churned run).
+    pub chronons: u64,
+    /// Deterministic: probes issued summed over repetitions (churned run).
+    pub probes_issued: u64,
+    /// Median per-repetition churned throughput, chronons/sec.
+    pub churned_chronons_per_sec: f64,
+    /// Median per-repetition static throughput, chronons/sec.
+    pub static_chronons_per_sec: f64,
+    /// Median paired ratio `churned throughput / static throughput`
+    /// (repetition `i` of both variants runs the identical workload).
+    /// Near 1.0, and — the O(own EIs) registration property — flat in |P|.
+    pub overhead: f64,
+}
+
 /// One grid cell: dimensions, workload size, and per-policy measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellReport {
@@ -206,6 +277,17 @@ pub struct BenchReport {
     pub repetitions: u32,
     /// One report per grid cell, in grid order.
     pub cells: Vec<CellReport>,
+    /// The churn ladder ([`churn_grid`] under [`churn_scenario`]), in grid
+    /// order. `Option` so pre-churn baselines (no `churn` field) still
+    /// parse — they fail the gate's shape check, prompting a re-baseline.
+    pub churn: Option<Vec<ChurnCellReport>>,
+}
+
+impl BenchReport {
+    /// The churn ladder, empty for pre-churn baselines.
+    pub fn churn_cells(&self) -> &[ChurnCellReport] {
+        self.churn.as_deref().unwrap_or(&[])
+    }
 }
 
 /// The benchmarked strategies, in report order. `Scan` is the O(|pool|)
@@ -299,15 +381,71 @@ fn measure(exp: &Experiment, spec: PolicySpec) -> PolicyCell {
     }
 }
 
+/// Measures one churn-ladder cell: the same materialized workloads run
+/// with and without the fixed churn overlay, passes interleaved so
+/// temporal drift cancels out of the paired overhead ratio.
+fn measure_churn(scale: Scale, dims: CellDims) -> ChurnCellReport {
+    let churn = churn_scenario();
+    let spec = PolicySpec::p(PolicyKind::Mrsf);
+    let exp = Experiment::materialize(dims.config(scale));
+    let mut churned_tp: Vec<f64> = Vec::new();
+    let mut static_tp: Vec<f64> = Vec::new();
+    let mut churned_metrics = None;
+    for _pass in 0..PASSES {
+        let churned = exp.run_spec_churned(spec, churn);
+        let stat = exp.run_spec(spec);
+        for r in &churned.repetitions {
+            let secs = r.runtime.as_secs_f64();
+            churned_tp.push(if secs > 0.0 {
+                r.metrics.chronons as f64 / secs
+            } else {
+                f64::INFINITY
+            });
+        }
+        for r in &stat.repetitions {
+            let secs = r.runtime.as_secs_f64();
+            static_tp.push(if secs > 0.0 {
+                r.metrics.chronons as f64 / secs
+            } else {
+                f64::INFINITY
+            });
+        }
+        churned_metrics = Some(churned.metrics);
+    }
+    let m = churned_metrics.expect("at least one pass");
+    let mut ratios: Vec<f64> = churned_tp
+        .iter()
+        .zip(&static_tp)
+        .map(|(c, s)| c / s)
+        .collect();
+    ChurnCellReport {
+        dims,
+        label: spec.label(),
+        ceis_registered: m.ceis_registered,
+        ceis_cancelled: m.ceis_cancelled,
+        chronons: m.chronons,
+        probes_issued: m.probes_issued,
+        churned_chronons_per_sec: median(&mut churned_tp.clone()),
+        static_chronons_per_sec: median(&mut static_tp.clone()),
+        overhead: median(&mut ratios),
+    }
+}
+
 /// Runs the scaling grid. Wall-clock measurements, so the whole sweep is
 /// pinned to one worker ([`webmon_sim::parallel::serial`]).
 pub fn collect(scale: Scale) -> BenchReport {
-    collect_grid(scale, &grid(scale), &roster(scale))
+    collect_grid(scale, &grid(scale), &roster(scale), &churn_grid(scale))
 }
 
 /// Runs an explicit grid/roster (the `--profiles`/`--ranks`/… CLI
-/// overrides funnel through here).
-pub fn collect_grid(scale: Scale, cells: &[CellDims], specs: &[PolicySpec]) -> BenchReport {
+/// overrides funnel through here). `churn_cells` is the churn ladder to
+/// append (pass `&[]` to skip the churn section).
+pub fn collect_grid(
+    scale: Scale,
+    cells: &[CellDims],
+    specs: &[PolicySpec],
+    churn_cells: &[CellDims],
+) -> BenchReport {
     serial(|| {
         let mut reports = Vec::with_capacity(cells.len());
         let mut repetitions = 0;
@@ -323,11 +461,18 @@ pub fn collect_grid(scale: Scale, cells: &[CellDims], specs: &[PolicySpec]) -> B
                 policies: specs.iter().map(|&s| measure(&exp, s)).collect(),
             });
         }
+        let churn = Some(
+            churn_cells
+                .iter()
+                .map(|&dims| measure_churn(scale, dims))
+                .collect(),
+        );
         BenchReport {
             schema: "webmon-bench-engine/v1".to_string(),
             scale: format!("{scale:?}"),
             repetitions,
             cells: reports,
+            churn,
         }
     })
 }
@@ -405,6 +550,53 @@ impl BenchReport {
                 }
             }
         }
+        if self.churn_cells().len() != baseline.churn_cells().len() {
+            out.push(format!(
+                "churn ladder shape changed: {} cells vs baseline {} — re-baseline \
+                 BENCH_engine.json",
+                self.churn_cells().len(),
+                baseline.churn_cells().len()
+            ));
+            return out;
+        }
+        for (cell, base) in self.churn_cells().iter().zip(baseline.churn_cells()) {
+            let where_ = format!("churn {}", cell.dims.label());
+            if cell.dims != base.dims {
+                out.push(format!(
+                    "{where_}: dims differ from baseline churn {} — re-baseline",
+                    base.dims.label()
+                ));
+                continue;
+            }
+            for (name, got, want) in [
+                (
+                    "ceis_registered",
+                    cell.ceis_registered,
+                    base.ceis_registered,
+                ),
+                ("ceis_cancelled", cell.ceis_cancelled, base.ceis_cancelled),
+                ("chronons", cell.chronons, base.chronons),
+                ("probes_issued", cell.probes_issued, base.probes_issued),
+            ] {
+                if got != want {
+                    out.push(format!(
+                        "{where_}: deterministic counter {name} drifted: {got} vs baseline {want}"
+                    ));
+                }
+            }
+            // The O(own EIs) registration gate: the churned-over-static
+            // throughput ratio of this cell may not fall more than the
+            // tolerance below the baseline's — registration cost creeping
+            // up with pool size shows up here first.
+            let floor = base.overhead * (1.0 - SPEEDUP_TOLERANCE);
+            if cell.overhead < floor {
+                out.push(format!(
+                    "{where_}: churn overhead regressed: {:.2}x vs baseline {:.2}x (floor \
+                     {:.2}x)",
+                    cell.overhead, base.overhead, floor
+                ));
+            }
+        }
         out
     }
 
@@ -446,7 +638,35 @@ impl BenchReport {
                 );
             }
         }
-        vec![t]
+        if self.churn_cells().is_empty() {
+            return vec![t];
+        }
+        let mut c = Table::with_headers(
+            "exp_scale — churn ladder (fixed arrival/cancel rates; overhead = churned/static \
+             throughput, flat in |P| iff registration is O(own EIs))",
+            &[
+                "cell · policy",
+                "registered",
+                "cancelled",
+                "static c/s",
+                "churned c/s",
+                "overhead",
+            ],
+        );
+        for cell in self.churn_cells() {
+            c.push_numeric_row(
+                format!("{} {}", cell.dims.label(), cell.label),
+                &[
+                    cell.ceis_registered as f64,
+                    cell.ceis_cancelled as f64,
+                    cell.static_chronons_per_sec,
+                    cell.churned_chronons_per_sec,
+                    cell.overhead,
+                ],
+                2,
+            );
+        }
+        vec![t, c]
     }
 }
 
@@ -462,15 +682,17 @@ mod tests {
     fn tiny() -> BenchReport {
         // One micro-cell so the unit tests stay fast; the full grid runs in
         // the exp_scale binary / CI smoke job.
+        let dims = CellDims {
+            profiles: 30,
+            rank: 2,
+            horizon: 80,
+            budget: 2,
+        };
         collect_grid(
             Scale::Quick,
-            &[CellDims {
-                profiles: 30,
-                rank: 2,
-                horizon: 80,
-                budget: 2,
-            }],
+            &[dims],
             &[PolicySpec::p(PolicyKind::Mrsf)],
+            &[dims],
         )
     }
 
@@ -518,5 +740,48 @@ mod tests {
         reshaped.cells.clear();
         let v = reshaped.violations_against(&report);
         assert!(v[0].contains("re-baseline"), "{v:?}");
+    }
+
+    #[test]
+    fn churn_ladder_is_measured_and_gated() {
+        let report = tiny();
+        assert_eq!(report.churn_cells().len(), 1);
+        let c = &report.churn_cells()[0];
+        assert!(c.ceis_registered > 0, "churn overlay registered nothing");
+        assert!(c.ceis_cancelled > 0, "churn overlay cancelled nothing");
+        assert!(c.overhead.is_finite() && c.overhead > 0.0);
+
+        // A pre-churn baseline (no churn section) fails the shape check.
+        let mut stale = report.clone();
+        stale.churn = None;
+        let v = report.violations_against(&stale);
+        assert!(v.iter().any(|m| m.contains("churn ladder shape")), "{v:?}");
+
+        // Deterministic churn counters are gated exactly.
+        let mut drifted = report.clone();
+        drifted.churn.as_mut().unwrap()[0].ceis_registered += 1;
+        let v = drifted.violations_against(&report);
+        assert!(v.iter().any(|m| m.contains("ceis_registered")), "{v:?}");
+
+        // Overhead regressions beyond tolerance are gated.
+        let mut slower = report.clone();
+        slower.churn.as_mut().unwrap()[0].overhead *= 1.0 - SPEEDUP_TOLERANCE - 0.05;
+        let v = slower.violations_against(&report);
+        assert!(v.iter().any(|m| m.contains("churn overhead")), "{v:?}");
+    }
+
+    #[test]
+    fn churn_section_survives_json_and_renders_a_table() {
+        let report = tiny();
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.churn_cells().len(), 1);
+        assert_eq!(report.tables().len(), 2);
+        // Pre-churn baselines (no `churn` field) still parse.
+        let pre =
+            r#"{"schema":"webmon-bench-engine/v1","scale":"Quick","repetitions":1,"cells":[]}"#;
+        assert!(BenchReport::from_json(pre)
+            .unwrap()
+            .churn_cells()
+            .is_empty());
     }
 }

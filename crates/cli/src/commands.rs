@@ -5,8 +5,8 @@ use serde::Serialize;
 use webmon_core::fault::{Backoff, FaultConfig};
 use webmon_core::obs::RunMetrics;
 use webmon_sim::{
-    Experiment, ExperimentConfig, FaultKind, FaultSpec, NoiseSpec, PolicyAggregate, PolicyKind,
-    PolicySpec, Report, Table, TraceSpec,
+    ChurnSpec, Experiment, ExperimentConfig, FaultKind, FaultSpec, NoiseSpec, PolicyAggregate,
+    PolicyKind, PolicySpec, Report, Table, TraceSpec,
 };
 use webmon_streams::auction::AuctionTraceConfig;
 use webmon_streams::fpn::FpnModel;
@@ -57,6 +57,16 @@ FAULT INJECTION (run; sweep --param fault-rate):
     --fault-free                   failed probes do not consume budget
     --retry immediate|backoff      retry discipline           [immediate]
     --retry-quota <u32>            max retried probes per chronon
+
+PROFILE CHURN (run):
+    --churn-arrivals <f64>         fraction of CEIs arriving mid-run via
+                                   dynamic registration (enables churn)
+    --churn-cancels <f64>          fraction of CEIs cancelled mid-run
+                                   (enables churn)
+    --churn-alpha <f64>            skew churn toward popular resources [0]
+    --churn-delay <u32>            max registration delay, chronons    [4]
+    --churn-budget-changes <u32>   mid-run budget reconfigurations     [0]
+    --churn-seed <u64>             churn master seed               [49374]
 
 TRACE OPTIONS:
     --trace poisson|auction|news, --resources, --horizon, --lambda, --seed
@@ -252,6 +262,38 @@ fn fault_from(args: &Args) -> Result<Option<FaultSpec>, ArgError> {
     }))
 }
 
+/// Default master seed of CLI churn overlays (`0xC0DE` = 49374).
+const DEFAULT_CHURN_SEED: u64 = 0xC0DE;
+
+/// Builds the optional churn scenario of `webmon run`. Churn is enabled by
+/// `--churn-arrivals` and/or `--churn-cancels`; without either, the other
+/// churn flags are ignored and the run is the static-profile fast path.
+fn churn_from(args: &Args) -> Result<Option<ChurnSpec>, ArgError> {
+    if args.get("churn-arrivals").is_none() && args.get("churn-cancels").is_none() {
+        return Ok(None);
+    }
+    let mut rates = [0.0f64; 2];
+    for (slot, key) in rates.iter_mut().zip(["churn-arrivals", "churn-cancels"]) {
+        let rate: f64 = args.get_parsed(key, 0.0, "a probability in [0,1]")?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(ArgError::BadValue {
+                key: key.to_string(),
+                value: args.get(key).unwrap_or_default().to_string(),
+                expected: "a probability in [0,1]",
+            });
+        }
+        *slot = rate;
+    }
+    let config = webmon_workload::ChurnConfig::new(rates[0], rates[1])
+        .with_alpha(args.get_parsed("churn-alpha", 0.0, "a number")?)
+        .with_max_delay(args.get_parsed("churn-delay", 4, "an integer")?)
+        .with_reconfigurations(args.get_parsed("churn-budget-changes", 0, "an integer")?);
+    Ok(Some(ChurnSpec {
+        config,
+        seed: args.get_parsed("churn-seed", DEFAULT_CHURN_SEED, "an integer")?,
+    }))
+}
+
 fn roster_table(title: &str, aggregates: &[PolicyAggregate]) -> Table {
     let mut t = Table::with_headers(
         title,
@@ -339,14 +381,16 @@ fn write_trace(
     path: &str,
     exp: &Experiment,
     roster: &[PolicySpec],
+    churn: Option<ChurnSpec>,
     fault: Option<FaultSpec>,
 ) -> std::io::Result<u64> {
     let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
     let mut total = 0;
     for &spec in roster {
-        let (w, events) = match fault {
-            Some(f) => exp.trace_spec_faulted(spec, f, 0, writer)?,
-            None => exp.trace_spec(spec, 0, writer)?,
+        let (w, events) = match (churn, fault) {
+            (Some(c), f) => exp.trace_spec_churned(spec, c, f, 0, writer)?,
+            (None, Some(f)) => exp.trace_spec_faulted(spec, f, 0, writer)?,
+            (None, None) => exp.trace_spec(spec, 0, writer)?,
         };
         writer = w;
         total += events;
@@ -357,11 +401,13 @@ fn write_trace(
 fn cmd_run(args: &Args) -> Result<i32, ArgError> {
     let cfg = config_from(args)?;
     let fault = fault_from(args)?;
+    let churn = churn_from(args)?;
     let exp = Experiment::materialize(cfg);
     let roster = PolicySpec::paper_roster();
-    let aggregates = match fault {
-        Some(f) => exp.run_roster_faulted(&roster, f),
-        None => exp.run_roster(&roster),
+    let aggregates = match (churn, fault) {
+        (Some(c), f) => exp.run_roster_churned(&roster, c, f),
+        (None, Some(f)) => exp.run_roster_faulted(&roster, f),
+        (None, None) => exp.run_roster(&roster),
     };
 
     if let Some(path) = args.get("metrics") {
@@ -376,7 +422,7 @@ fn cmd_run(args: &Args) -> Result<i32, ArgError> {
         eprintln!("metrics: wrote {} policies to {path}", doc.policies.len());
     }
     if let Some(path) = args.get("trace-out") {
-        match write_trace(path, &exp, &roster, fault) {
+        match write_trace(path, &exp, &roster, churn, fault) {
             Ok(events) => eprintln!("trace: wrote {events} events to {path}"),
             Err(e) => {
                 eprintln!("cannot write trace to {path}: {e}");
@@ -396,6 +442,16 @@ fn cmd_run(args: &Args) -> Result<i32, ArgError> {
         "workload: ~{ceis:.0} CEIs / ~{eis:.0} EIs per repetition ({} reps)",
         exp.config().repetitions
     );
+    if let Some(c) = churn {
+        println!(
+            "churn:    {} seed {} (alpha {}, delay {}, {} budget change(s))",
+            c.label(),
+            c.seed,
+            c.config.resource_alpha,
+            c.config.max_delay,
+            c.config.reconfigurations,
+        );
+    }
     if let Some(f) = fault {
         println!(
             "faults:   {} seed {} ({}charged{}{})",
@@ -624,7 +680,14 @@ fn cmd_bench(args: &Args) -> Result<i32, ArgError> {
         scale::grid(scale)
     };
 
-    let report = scale::collect_grid(scale, &cells, &scale::roster(scale));
+    // Axis overrides replace the whole grid, so the default churn ladder
+    // would not match any baseline made from them — skip it.
+    let churn_cells = if p || r || h || b {
+        Vec::new()
+    } else {
+        scale::churn_grid(scale)
+    };
+    let report = scale::collect_grid(scale, &cells, &scale::roster(scale), &churn_cells);
     webmon_bench::print_tables(&report.tables());
 
     if let Some(path) = args.get("out") {
@@ -825,6 +888,65 @@ mod tests {
             vec!["run", "--fault-rate", "0.1", "--retry", "never"],
         ] {
             let err = fault_from(&parse(&toks)).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { .. }),
+                "{toks:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_is_off_without_a_rate() {
+        assert_eq!(churn_from(&parse(&["run"])).unwrap(), None);
+        // Secondary churn knobs alone do not enable churn.
+        assert_eq!(
+            churn_from(&parse(&["run", "--churn-alpha", "1.0"])).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn churn_flags_build_the_spec() {
+        let c = churn_from(&parse(&["run", "--churn-arrivals", "0.3"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(c.config.arrival_rate, 0.3);
+        assert_eq!(c.config.cancel_rate, 0.0);
+        assert_eq!(c.seed, DEFAULT_CHURN_SEED);
+
+        let c = churn_from(&parse(&[
+            "run",
+            "--churn-arrivals",
+            "0.2",
+            "--churn-cancels",
+            "0.1",
+            "--churn-alpha",
+            "1.37",
+            "--churn-delay",
+            "9",
+            "--churn-budget-changes",
+            "3",
+            "--churn-seed",
+            "17",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(c.config.arrival_rate, 0.2);
+        assert_eq!(c.config.cancel_rate, 0.1);
+        assert_eq!(c.config.resource_alpha, 1.37);
+        assert_eq!(c.config.max_delay, 9);
+        assert_eq!(c.config.reconfigurations, 3);
+        assert_eq!(c.seed, 17);
+    }
+
+    #[test]
+    fn bad_churn_flags_are_structured_errors() {
+        for toks in [
+            vec!["run", "--churn-arrivals", "1.5"],
+            vec!["run", "--churn-cancels", "-0.1"],
+            vec!["run", "--churn-arrivals", "lots"],
+        ] {
+            let err = churn_from(&parse(&toks)).unwrap_err();
             assert!(
                 matches!(err, ArgError::BadValue { .. }),
                 "{toks:?}: {err:?}"

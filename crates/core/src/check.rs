@@ -30,6 +30,13 @@
 //!   [`Event::ProbeRetried`] and respect the per-chronon quota, and
 //!   [`Event::CeiShed`] fires exactly when committed outage horizons (not
 //!   natural window closings) first make a CEI's threshold unreachable.
+//! * **Churn**: under a declared [`MutationQueue`], every announced
+//!   registration, cancellation, and budget reconfiguration matches the
+//!   script's next effective entry at its drain chronon (and every
+//!   effective entry is announced), dynamically registered CEIs are
+//!   candidates only from their registration chronon onward, no probe
+//!   serves a cancelled CEI's windows, and a reconfigured budget takes
+//!   effect exactly one chronon after draining.
 //!
 //! Divergence is reported as structured [`Violation`]s collected into an
 //! [`InvariantReport`] instead of panicking, so a differential harness can
@@ -55,7 +62,7 @@
 //! assert!(report.is_clean(), "{report}");
 //! ```
 
-use crate::engine::{EngineConfig, RunResult};
+use crate::engine::{EngineConfig, Mutation, MutationQueue, RunResult};
 use crate::fault::FaultConfig;
 use crate::model::{ei_captured, Cei, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, Observer};
@@ -310,6 +317,26 @@ pub enum Violation {
         /// Deferred candidates in the mirrored pool.
         expected: u32,
     },
+    /// A churn event (`CeiRegistered`, `CeiCancelled`, or
+    /// `BudgetReconfigured`) has no matching effective entry in the
+    /// declared [`MutationQueue`] at its
+    /// chronon — it is undeclared, out of queue order, or re-mutates a CEI
+    /// the mirror already saw resolve.
+    UnexpectedMutation {
+        /// The chronon.
+        t: Chronon,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A declared mutation that should have drained at `t` (it was
+    /// effective against the mirrored state) was never announced by the
+    /// stream.
+    MissingMutation {
+        /// The drain chronon.
+        t: Chronon,
+        /// Human-readable description of the dropped mutation.
+        detail: String,
+    },
     /// The run ended before covering the instance's epoch.
     EpochTruncated {
         /// Chronons fully processed.
@@ -473,6 +500,12 @@ impl fmt::Display for Violation {
                 f,
                 "t={t}: BudgetExhausted reported {reported} deferred, mirror says {expected}"
             ),
+            Violation::UnexpectedMutation { t, detail } => {
+                write!(f, "t={t}: unexpected mutation event: {detail}")
+            }
+            Violation::MissingMutation { t, detail } => {
+                write!(f, "t={t}: declared mutation never announced: {detail}")
+            }
             Violation::EpochTruncated {
                 chronons_seen,
                 expected,
@@ -556,11 +589,17 @@ struct MirrorCei {
     n_captured: u16,
     completed_at: Option<Chronon>,
     failed_at: Option<Chronon>,
+    /// Chronon from which the engine considers the CEI registered:
+    /// `Some(0)` for statically released CEIs, `None` for CEIs declared
+    /// dynamic by the mutation script until their `CeiRegistered` arrives.
+    registered_at: Option<Chronon>,
+    /// Chronon of the CEI's `CeiCancelled` event, if any.
+    cancelled_at: Option<Chronon>,
 }
 
 impl MirrorCei {
     fn live(&self) -> bool {
-        self.completed_at.is_none() && self.failed_at.is_none()
+        self.completed_at.is_none() && self.failed_at.is_none() && self.cancelled_at.is_none()
     }
 }
 
@@ -610,6 +649,14 @@ pub struct InvariantObserver<'a> {
     probes_failed_seen: u64,
     budget_lost_seen: u64,
     sheds_seen: u64,
+    // Churn mirror: the declared mutation script bucketed by drain
+    // chronon, a cursor into the open chronon's bucket, and the mirrored
+    // budget trajectory (a drained `SetBudget` becomes effective exactly
+    // at the next `ChrononStart`).
+    mutation_buckets: Vec<Vec<Mutation>>,
+    mutation_cursor: usize,
+    budget_override: Option<u32>,
+    pending_budget: Option<u32>,
 
     violations: Vec<Violation>,
     suppressed: u64,
@@ -650,6 +697,8 @@ impl<'a> InvariantObserver<'a> {
                     n_captured: 0,
                     completed_at: None,
                     failed_at: None,
+                    registered_at: Some(0),
+                    cancelled_at: None,
                 })
                 .collect(),
             schedule: Schedule::new(instance.n_resources, instance.epoch),
@@ -661,6 +710,10 @@ impl<'a> InvariantObserver<'a> {
             probes_failed_seen: 0,
             budget_lost_seen: 0,
             sheds_seen: 0,
+            mutation_buckets: Vec::new(),
+            mutation_cursor: 0,
+            budget_override: None,
+            pending_budget: None,
             violations: Vec::new(),
             suppressed: 0,
         }
@@ -672,6 +725,28 @@ impl<'a> InvariantObserver<'a> {
     /// configuration is consistent with fault-free streams.
     pub fn with_faults(mut self, fault_config: FaultConfig) -> Self {
         self.fault_config = fault_config;
+        self
+    }
+
+    /// Declares the [`MutationQueue`] the checked run drains, enabling the
+    /// churn invariants: every announced registration, cancellation, and
+    /// reconfiguration must match the script's next effective entry at its
+    /// drain chronon, every effective entry must be announced, CEIs the
+    /// script registers enter the candidate pool only from their
+    /// registration chronon, and budget reconfigurations take effect
+    /// exactly one chronon after draining. Runs driven without mutations
+    /// need no declaration.
+    pub fn with_mutations(mut self, mutations: &MutationQueue) -> Self {
+        self.mutation_buckets = mutations.bucketed(self.instance.epoch.len());
+        for (i, dynamic) in mutations
+            .dynamic_flags(self.ceis.len())
+            .into_iter()
+            .enumerate()
+        {
+            if dynamic {
+                self.ceis[i].registered_at = None;
+            }
+        }
         self
     }
 
@@ -698,13 +773,19 @@ impl<'a> InvariantObserver<'a> {
     }
 
     /// `true` iff EI `k` of CEI `i` is a live candidate at `t` in the
-    /// mirror: parent unresolved, window open, not yet captured, not shed
-    /// into a committed outage. For CEIs resolved in earlier chronons this
-    /// coincides with membership in the engine's compacted pool.
+    /// mirror: parent registered and unresolved (not cancelled), window
+    /// open, not yet captured, not shed into a committed outage. For CEIs
+    /// resolved in earlier chronons this coincides with membership in the
+    /// engine's compacted pool.
     fn is_live_candidate(&self, i: usize, k: usize, t: Chronon) -> bool {
         let m = &self.ceis[i];
         let ei = self.instance.ceis[i].eis[k];
-        m.live() && !m.captured[k] && m.early[k].is_none() && ei.start <= t && t <= ei.end
+        m.live()
+            && m.registered_at.is_some()
+            && !m.captured[k]
+            && m.early[k].is_none()
+            && ei.start <= t
+            && t <= ei.end
     }
 
     /// Mirrored candidate-pool size at `t` (over all resources).
@@ -751,6 +832,163 @@ impl<'a> InvariantObserver<'a> {
         n
     }
 
+    /// Mirrored count of live candidates on `resource` whose windows
+    /// opened strictly before `t` — the engine's index contents during the
+    /// mutation drain, before the chronon's `starts[t]` insertions.
+    fn live_on_before_starts(&self, resource: ResourceId, t: Chronon) -> u32 {
+        let mut n = 0u32;
+        for i in 0..self.ceis.len() {
+            for (k, ei) in self.instance.ceis[i].eis.iter().enumerate() {
+                if ei.resource == resource && ei.start < t && self.is_live_candidate(i, k, t) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Whether a declared mutation would drain as a no-op against the
+    /// mirrored state (and therefore announces no event).
+    fn mutation_is_noop(&self, m: Mutation) -> bool {
+        match m {
+            Mutation::Register { cei } => match self.ceis.get(cei.index()) {
+                Some(mc) => mc.registered_at.is_some() || !mc.live(),
+                None => true,
+            },
+            Mutation::Cancel { cei } => match self.ceis.get(cei.index()) {
+                Some(mc) => !mc.live(),
+                None => true,
+            },
+            Mutation::SetBudget { .. } => false,
+        }
+    }
+
+    /// Consumes the next effective entry of the open chronon's declared
+    /// mutation script; it must equal the announced mutation. Reports an
+    /// [`Violation::UnexpectedMutation`] on any mismatch.
+    fn expect_mutation(&mut self, t: Chronon, announced: Mutation, kind: &'static str) {
+        loop {
+            let m = match self
+                .mutation_buckets
+                .get(t as usize)
+                .and_then(|b| b.get(self.mutation_cursor))
+            {
+                Some(&m) => m,
+                None => {
+                    self.report(Violation::UnexpectedMutation {
+                        t,
+                        detail: format!("{kind} is not declared by the script for this chronon"),
+                    });
+                    return;
+                }
+            };
+            self.mutation_cursor += 1;
+            if self.mutation_is_noop(m) {
+                continue;
+            }
+            if m == announced {
+                return;
+            }
+            self.report(Violation::UnexpectedMutation {
+                t,
+                detail: format!("{kind} announced, but the script's next effective entry is {m:?}"),
+            });
+            return;
+        }
+    }
+
+    /// Drains the remainder of the closing chronon's declared script:
+    /// every entry still effective against the mirrored state was never
+    /// announced by the stream. The mirror does not apply the dropped
+    /// effect — it stays aligned with the engine state the stream
+    /// describes, so one dropped mutation yields one violation rather than
+    /// a cascade.
+    fn flush_mutation_script(&mut self, t: Chronon) {
+        loop {
+            let m = match self
+                .mutation_buckets
+                .get(t as usize)
+                .and_then(|b| b.get(self.mutation_cursor))
+            {
+                Some(&m) => m,
+                None => return,
+            };
+            self.mutation_cursor += 1;
+            if self.mutation_is_noop(m) {
+                continue;
+            }
+            self.report(Violation::MissingMutation {
+                t,
+                detail: format!("{m:?} drained without an announcing event"),
+            });
+        }
+    }
+
+    fn on_cei_registered(&mut self, cei: CeiId, at: Chronon) {
+        if self.open_chronon(at, "CeiRegistered").is_none() {
+            return;
+        }
+        let i = cei.index();
+        if i >= self.ceis.len() {
+            self.protocol(format!("CeiRegistered references unknown {cei}"));
+            return;
+        }
+        self.expect_mutation(at, Mutation::Register { cei }, "CeiRegistered");
+        if self.ceis[i].registered_at.is_none() {
+            self.ceis[i].registered_at = Some(at);
+        }
+        // Registration reshapes the pool the engine freezes for this
+        // chronon's `CandidateSet`: re-snapshot it.
+        if !self.candidate_set_seen {
+            self.expected_pool = self.pool_size(at);
+        }
+    }
+
+    fn on_cei_cancelled(&mut self, cei: CeiId, at: Chronon) {
+        if self.open_chronon(at, "CeiCancelled").is_none() {
+            return;
+        }
+        let i = cei.index();
+        if i >= self.ceis.len() {
+            self.protocol(format!("CeiCancelled references unknown {cei}"));
+            return;
+        }
+        self.expect_mutation(at, Mutation::Cancel { cei }, "CeiCancelled");
+        if !self.ceis[i].live() {
+            self.report(Violation::UnexpectedMutation {
+                t: at,
+                detail: format!("{cei} cancelled after resolving"),
+            });
+            return;
+        }
+        self.ceis[i].cancelled_at = Some(at);
+        if !self.candidate_set_seen {
+            self.expected_pool = self.pool_size(at);
+        }
+        // Cancellation clears retry state on every resource it emptied:
+        // the engine checks its index during the drain, before the
+        // chronon's `starts[t]` insertions, so only windows opened
+        // strictly before `at` count as still-live occupancy.
+        for k in 0..self.instance.ceis[i].eis.len() {
+            let r = self.instance.ceis[i].eis[k].resource;
+            if self.consec_failures[r.index()] > 0 && self.live_on_before_starts(r, at) == 0 {
+                self.consec_failures[r.index()] = 0;
+                self.next_attempt_at[r.index()] = 0;
+            }
+        }
+    }
+
+    fn on_budget_reconfigured(&mut self, t: Chronon, budget: u32) {
+        if self.open_chronon(t, "BudgetReconfigured").is_none() {
+            return;
+        }
+        self.expect_mutation(t, Mutation::SetBudget { budget }, "BudgetReconfigured");
+        // Effective exactly at the next chronon: the mirror folds it into
+        // `budget_override` at the next `ChrononStart`, so an engine that
+        // applies it earlier or later diverges as a BudgetMismatch there.
+        self.pending_budget = Some(budget);
+    }
+
     /// Closes out the previous probe: its capture fan-out must match the
     /// mirror, and every threshold crossing must have produced a
     /// `CeiCompleted` by now.
@@ -781,7 +1019,15 @@ impl<'a> InvariantObserver<'a> {
             let expected = self.next_t;
             self.protocol(format!("chronon {t} opened, expected {expected}"));
         }
-        let prescribed = self.instance.budget.at(t);
+        // A reconfiguration drained in the previous chronon becomes the
+        // effective budget exactly now; a stream applying it any earlier
+        // or later surfaces here as a BudgetMismatch.
+        if let Some(b) = self.pending_budget.take() {
+            self.budget_override = Some(b);
+        }
+        let prescribed = self
+            .budget_override
+            .unwrap_or_else(|| self.instance.budget.at(t));
         if budget != prescribed {
             self.report(Violation::BudgetMismatch {
                 t,
@@ -802,6 +1048,7 @@ impl<'a> InvariantObserver<'a> {
         self.shed_this_chronon.clear();
         self.retries_used = 0;
         self.pending_retry = None;
+        self.mutation_cursor = 0;
         // Snapshot the pool the engine's compaction produces at the top of
         // this chronon; `CandidateSet` (emitted after probing, from the
         // untouched pool vector) must report exactly this.
@@ -973,6 +1220,12 @@ impl<'a> InvariantObserver<'a> {
         }
         self.ceis[i].failed_at = Some(at);
         self.expired_this_chronon.push(cei);
+        // A registration whose already-closed windows doom the CEI expires
+        // during the mutation drain, before the chronon's `CandidateSet`
+        // freezes — re-snapshot the pool the engine will report.
+        if !self.candidate_set_seen {
+            self.expected_pool = self.pool_size(at);
+        }
     }
 
     /// A probe attempt (successful or failed) must not target a resource
@@ -1260,6 +1513,7 @@ impl<'a> InvariantObserver<'a> {
                 "ProbeRetried for {r} (attempt {a}) with no following attempt in chronon {t}"
             ));
         }
+        self.flush_mutation_script(t);
         self.check_expiries(t);
         self.t_open = None;
         self.next_t = t.wrapping_add(1);
@@ -1279,6 +1533,11 @@ impl<'a> InvariantObserver<'a> {
         for (i, cei) in self.instance.ceis.iter().enumerate() {
             let m = &self.ceis[i];
             if m.completed_at.is_some() {
+                continue;
+            }
+            // Cancelled or never-registered CEIs are outside the engine's
+            // lifecycle: no expiry or shed is ever announced for them.
+            if m.cancelled_at.is_some() || m.registered_at.is_none() {
                 continue;
             }
             let failed_now = m.failed_at == Some(t);
@@ -1399,6 +1658,8 @@ impl<'a> InvariantObserver<'a> {
                     CeiOutcome::Captured { at }
                 } else if let Some(at) = m.failed_at {
                     CeiOutcome::Failed { at }
+                } else if let Some(at) = m.cancelled_at {
+                    CeiOutcome::Cancelled { at }
                 } else {
                     CeiOutcome::Pending
                 };
@@ -1416,6 +1677,11 @@ impl<'a> InvariantObserver<'a> {
             .filter(|m| m.completed_at.is_some())
             .count() as u64;
         let failed = self.ceis.iter().filter(|m| m.failed_at.is_some()).count() as u64;
+        let cancelled = self
+            .ceis
+            .iter()
+            .filter(|m| m.cancelled_at.is_some())
+            .count() as u64;
         let checks = [
             ("probes_used", result.stats.probes_used, self.probes_seen),
             (
@@ -1436,6 +1702,7 @@ impl<'a> InvariantObserver<'a> {
                 self.budget_lost_seen,
             ),
             ("ceis_shed", result.stats.ceis_shed, self.sheds_seen),
+            ("ceis_cancelled", result.stats.ceis_cancelled, cancelled),
         ];
         for (name, engine, mirror) in checks {
             if engine != mirror {
@@ -1519,6 +1786,9 @@ impl Observer for InvariantObserver<'_> {
             Event::ResourceDown { t, resource, until } => self.on_resource_down(t, resource, until),
             Event::ResourceUp { t, resource } => self.on_resource_up(t, resource),
             Event::CeiShed { cei, at } => self.on_cei_shed(cei, at),
+            Event::CeiRegistered { cei, at } => self.on_cei_registered(cei, at),
+            Event::CeiCancelled { cei, at } => self.on_cei_cancelled(cei, at),
+            Event::BudgetReconfigured { t, budget } => self.on_budget_reconfigured(t, budget),
         }
     }
 }
@@ -1527,7 +1797,7 @@ impl Observer for InvariantObserver<'_> {
 mod tests {
     use super::*;
     use crate::engine::OnlineEngine;
-    use crate::fault::{Backoff, GilbertElliott, IidFaults, RateLimit};
+    use crate::fault::{Backoff, GilbertElliott, IidFaults, NoFaults, RateLimit};
     use crate::model::{Budget, InstanceBuilder, ProbeCosts};
     use crate::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
 
@@ -2169,6 +2439,233 @@ mod tests {
                 Violation::MissingShed {
                     cei: CeiId(0),
                     t: 2
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    /// A churn script over [`mixed_instance`]: a dynamic registration with
+    /// one pre-opened and one future window, effective and no-op
+    /// cancellations, two budget reconfigurations, and a registration
+    /// doomed on arrival by an already-closed window.
+    fn churn_queue() -> MutationQueue {
+        let mut q = MutationQueue::new();
+        q.cancel(2, CeiId(0))
+            .set_budget(5, 3)
+            .cancel(7, CeiId(2))
+            .register(13, CeiId(3))
+            .set_budget(16, 1)
+            .register(19, CeiId(4))
+            .cancel(21, CeiId(4));
+        q
+    }
+
+    #[test]
+    fn clean_churned_runs_produce_clean_reports() {
+        for budget in [0, 1, 2] {
+            let instance = mixed_instance(budget);
+            let q = churn_queue();
+            for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+                for config in [
+                    EngineConfig::preemptive(),
+                    EngineConfig::non_preemptive(),
+                    EngineConfig::preemptive().without_probe_sharing(),
+                ] {
+                    let mut obs = InvariantObserver::new(&instance, config).with_mutations(&q);
+                    let run = OnlineEngine::run_mutated(
+                        &instance,
+                        policy,
+                        config,
+                        &mut NoFaults,
+                        FaultConfig::default(),
+                        &q,
+                        &mut obs,
+                    );
+                    obs.finish_with(&run).assert_clean();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_churned_faulted_runs_produce_clean_reports() {
+        let instance = mixed_instance(2);
+        let q = churn_queue();
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            for fc in [
+                FaultConfig::default(),
+                FaultConfig::default()
+                    .free_failures()
+                    .with_backoff(Backoff::new(1, 8))
+                    .with_retry_quota(1),
+            ] {
+                let mut faults = IidFaults::new(0.35, 0xF00D);
+                let mut obs = InvariantObserver::new(&instance, config)
+                    .with_faults(fc)
+                    .with_mutations(&q);
+                let run = OnlineEngine::run_mutated(
+                    &instance,
+                    &Mrsf,
+                    config,
+                    &mut faults,
+                    fc,
+                    &q,
+                    &mut obs,
+                );
+                obs.finish_with(&run).assert_clean();
+            }
+        }
+    }
+
+    /// Like [`mutated_report`], for a churned run: the true stream of
+    /// `run_mutated` under `queue` is tampered with and re-checked.
+    fn churned_mutated_report(
+        instance: &Instance,
+        queue: &MutationQueue,
+        mutate: impl Fn(Vec<Event>) -> Vec<Event>,
+    ) -> InvariantReport {
+        struct Rec(Vec<Event>);
+        impl Observer for Rec {
+            fn on_event(&mut self, event: Event) {
+                self.0.push(event);
+            }
+        }
+        let config = EngineConfig::preemptive();
+        let mut rec = Rec(Vec::new());
+        OnlineEngine::run_mutated(
+            instance,
+            &Mrsf,
+            config,
+            &mut NoFaults,
+            FaultConfig::default(),
+            queue,
+            &mut rec,
+        );
+        let events = mutate(rec.0);
+        let mut checker = InvariantObserver::new(instance, config).with_mutations(queue);
+        for e in events {
+            checker.on_event(e);
+        }
+        checker.finish()
+    }
+
+    #[test]
+    fn undeclared_registration_is_flagged() {
+        // No MutationQueue was declared, so any churn event is unexpected.
+        let report = mutated_report(&mixed_instance(1), EngineConfig::preemptive(), |mut ev| {
+            ev.insert(
+                1,
+                Event::CeiRegistered {
+                    cei: CeiId(3),
+                    at: 0,
+                },
+            );
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnexpectedMutation { t: 0, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_is_flagged() {
+        let mut q = MutationQueue::new();
+        q.register(13, CeiId(3));
+        let report = churned_mutated_report(&mixed_instance(1), &q, |mut ev| {
+            let at = ev
+                .iter()
+                .position(|e| matches!(e, Event::CeiRegistered { .. }))
+                .unwrap();
+            ev.insert(at, ev[at]);
+            ev
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnexpectedMutation { t: 13, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dropped_cancellation_event_is_flagged() {
+        let mut q = MutationQueue::new();
+        q.cancel(7, CeiId(2));
+        let report = churned_mutated_report(&mixed_instance(1), &q, |ev| {
+            ev.into_iter()
+                .filter(|e| !matches!(e, Event::CeiCancelled { .. }))
+                .collect()
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::MissingMutation { t: 7, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn probe_for_cancelled_cei_is_flagged() {
+        // CEI 2 owns the only window on resource 3 around chronon 8; after
+        // its cancellation at 7 a probe there serves nobody.
+        let mut q = MutationQueue::new();
+        q.cancel(7, CeiId(2));
+        let report = churned_mutated_report(&mixed_instance(1), &q, |mut ev| {
+            let at = ev
+                .iter()
+                .position(|e| matches!(e, Event::ChrononStart { t: 8, .. }))
+                .unwrap();
+            ev.insert(
+                at + 1,
+                Event::ProbeIssued {
+                    t: 8,
+                    resource: ResourceId(3),
+                    cost: 1,
+                    shared_eis: 0,
+                },
+            );
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::ProbeOutsideWindow {
+                    t: 8,
+                    resource: ResourceId(3)
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn same_chronon_budget_application_is_flagged() {
+        // A reconfiguration drained at 5 must not change chronon 5's own
+        // budget; a stream claiming it did diverges from the mirror.
+        let mut q = MutationQueue::new();
+        q.set_budget(5, 3);
+        let report = churned_mutated_report(&mixed_instance(1), &q, |mut ev| {
+            for e in &mut ev {
+                if let Event::ChrononStart { t: 5, budget } = e {
+                    *budget = 3;
+                }
+            }
+            ev
+        });
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::BudgetMismatch {
+                    t: 5,
+                    reported: 3,
+                    expected: 1
                 }
             )),
             "{report}"

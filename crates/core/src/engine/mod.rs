@@ -30,14 +30,26 @@
 //! **Cost model.** The candidate pool lives in an incremental per-resource
 //! index (`engine::index`): entries are inserted once when their window
 //! opens and removed at the exact transition that kills them (capture,
-//! expiry, shed, parent resolution), expiries visit only the windows
-//! closing at the current chronon, and the default
+//! expiry, shed, parent resolution, cancellation), expiries visit only the
+//! windows closing at the current chronon, and the default
 //! [`SelectionStrategy::Incremental`] reuses one engine-owned heap buffer
 //! across phases and chronons. Per-chronon cost is proportional to the
 //! work actually done that chronon — insertions, probes, captures,
 //! expiries — not to the size of the whole pool or profile.
+//!
+//! **Mutation.** The profile set is *not* frozen at `run()`:
+//! [`OnlineEngine::run_mutated`] drains a [`MutationQueue`] at each chronon
+//! start — mid-run CEI registration (release chronon = now), cancellation
+//! of live CEIs, and budget reconfiguration — emitting typed
+//! [`crate::obs::Event`]s for each drained mutation so churned runs stay
+//! replayable byte-for-byte. An empty queue is bit-identical to
+//! [`OnlineEngine::run_faulted`]; registration costs O(own EIs) because
+//! open windows insert directly into the per-resource index and future
+//! windows ride the prebuilt `starts[t]` buckets.
 
 mod index;
+mod mutation;
 mod runner;
 
+pub use mutation::{Mutation, MutationQueue};
 pub use runner::{EngineConfig, OnlineEngine, RunResult, SelectionStrategy};

@@ -1,6 +1,7 @@
 //! The run loop implementing Algorithm 1 (Online Complex Monitoring).
 
 use super::index::{CandidateIndex, PoolEntry};
+use super::mutation::{Mutation, MutationQueue};
 use crate::fault::{FaultConfig, FaultModel, NoFaults};
 use crate::model::{CaptureSet, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, NoopObserver, Observer};
@@ -132,6 +133,8 @@ enum Status {
     Captured,
     /// An EI expired uncaptured.
     Failed,
+    /// Cancelled mid-run through the mutation API; never resolves.
+    Cancelled,
 }
 
 impl Status {
@@ -205,12 +208,67 @@ impl OnlineEngine {
     /// seed and parameters, so the faulted run — schedule, event stream,
     /// stats — is a pure function of
     /// `(instance, policy, config, model, fault_config)`.
+    ///
+    /// Equivalent to [`run_mutated`](Self::run_mutated) with an empty
+    /// [`MutationQueue`] — bit-identical schedule, event stream, and stats.
     pub fn run_faulted<F: FaultModel, O: Observer>(
         instance: &Instance,
         policy: &dyn Policy,
         config: EngineConfig,
         faults: &mut F,
         fault_config: FaultConfig,
+        observer: &mut O,
+    ) -> RunResult {
+        Self::run_mutated(
+            instance,
+            policy,
+            config,
+            faults,
+            fault_config,
+            &MutationQueue::new(),
+            observer,
+        )
+    }
+
+    /// The most general entry point: runs `policy` over `instance` under a
+    /// fault model *and* a mid-run [`MutationQueue`] — the profile set is
+    /// no longer frozen at `run()`.
+    ///
+    /// At each chronon start (immediately after [`Event::ChrononStart`],
+    /// before fault announcements, arrivals, and probing) the engine drains
+    /// the queue's mutations for that chronon, in queue order:
+    ///
+    /// * [`Mutation::Register`] — the CEI activates with release chronon
+    ///   `= now` ([`Event::CeiRegistered`]). Windows already closed are
+    ///   expired on the spot (if that alone dooms the CEI it fails
+    ///   immediately, [`Event::CeiExpired`]); currently-open windows join
+    ///   the candidate pool now; future windows ride the prebuilt
+    ///   `starts[t]` buckets. Cost is O(own EIs), never O(pool). A CEI
+    ///   named by any `Register` in the queue is *dynamic*: its natural
+    ///   release from the instance trace is suppressed.
+    /// * [`Mutation::Cancel`] — a live (or not-yet-released) CEI resolves
+    ///   as [`CeiOutcome::Cancelled`] ([`Event::CeiCancelled`]); its
+    ///   windows leave the pool through the same incremental-removal path
+    ///   captures and expiries use. Pending retry state (failure streaks,
+    ///   backoff deadlines) on resources the cancellation emptied is
+    ///   dropped, so the per-chronon retry quota is not spent on profiles
+    ///   nobody wants anymore.
+    /// * [`Mutation::SetBudget`] — replaces the per-chronon budget with a
+    ///   uniform value effective **exactly from the next chronon**
+    ///   ([`Event::BudgetReconfigured`]); the current chronon keeps the
+    ///   budget its `ChrononStart` announced.
+    ///
+    /// Determinism: the churned run — schedule, event stream, stats — is a
+    /// pure function of
+    /// `(instance, policy, config, model, fault_config, mutations)`; an
+    /// empty queue is bit-identical to [`run_faulted`](Self::run_faulted).
+    pub fn run_mutated<F: FaultModel, O: Observer>(
+        instance: &Instance,
+        policy: &dyn Policy,
+        config: EngineConfig,
+        faults: &mut F,
+        fault_config: FaultConfig,
+        mutations: &MutationQueue,
         observer: &mut O,
     ) -> RunResult {
         let n_ceis = instance.ceis.len();
@@ -259,12 +317,24 @@ impl OnlineEngine {
         let mut status: Vec<Status> = (0..n_ceis).map(|_| Status::NotArrived).collect();
         let mut outcomes = vec![CeiOutcome::Pending; n_ceis];
         let mut schedule = Schedule::new(instance.n_resources, instance.epoch);
+        // `probes_available` accumulates the effective per-chronon budget
+        // inside the loop: equal to `budget.total_over(horizon)` on
+        // unmutated runs, and correct under mid-run `SetBudget`.
         let mut stats = RunStats {
             n_ceis: n_ceis as u64,
             n_eis: instance.total_eis() as u64,
-            probes_available: instance.budget.total_over(horizon),
             ..Default::default()
         };
+
+        // Mutation state: prebucketed per-chronon drain lists and the
+        // dynamic-CEI flags, built only when the queue is non-empty so the
+        // mutation-free paths pay one branch per chronon and nothing else.
+        let mutation_buckets = (!mutations.is_empty()).then(|| mutations.bucketed(horizon));
+        let dynamic = (!mutations.is_empty()).then(|| mutations.dynamic_flags(n_ceis));
+        // A drained `SetBudget` parks here and becomes the override at the
+        // next chronon boundary — reconfiguration never applies mid-chronon.
+        let mut budget_override: Option<u32> = None;
+        let mut pending_budget: Option<u32> = None;
 
         // The candidate pool, grouped by resource with incremental removal
         // and live counts (see `engine::index`). Every buffer below is
@@ -297,14 +367,100 @@ impl OnlineEngine {
         let mut fault_blocked: Vec<bool> = vec![false; n_res];
 
         for t in instance.epoch.chronons() {
-            let budget = instance.budget.at(t);
+            // A budget reconfiguration drained last chronon takes effect
+            // exactly now — at the first chronon boundary after its drain.
+            if let Some(b) = pending_budget.take() {
+                budget_override = Some(b);
+            }
+            let budget = budget_override.unwrap_or_else(|| instance.budget.at(t));
+            stats.probes_available += u64::from(budget);
             observer.on_event(Event::ChrononStart { t, budget });
             let mut retries_used: u32 = 0;
+
+            // -- 0. Drain this chronon's mutations, in queue order, before
+            // fault announcements and arrivals so a registration's windows
+            // and a cancellation's retry-state cleanup are visible to the
+            // whole chronon.
+            if let Some(buckets) = &mutation_buckets {
+                for m in &buckets[t as usize] {
+                    match *m {
+                        Mutation::Register { cei: id } => {
+                            if !matches!(status[id.index()], Status::NotArrived) {
+                                continue; // already live, resolved, or cancelled
+                            }
+                            let cei = instance.cei(id);
+                            let mut cap = CaptureSet::new(cei.size());
+                            // Windows already closed expire on the spot;
+                            // open windows (strictly `start < t` — the
+                            // `starts[t]` bucket below owns `start == t`)
+                            // enter the pool now; future windows ride the
+                            // prebuilt buckets. O(own EIs) throughout.
+                            for (idx, ei) in cei.eis.iter().enumerate() {
+                                if ei.end < t {
+                                    cap.mark_expired(idx);
+                                } else if ei.start < t {
+                                    index.insert(
+                                        PoolEntry {
+                                            cei: id,
+                                            ei_idx: idx as u16,
+                                        },
+                                        ei.resource.index(),
+                                    );
+                                }
+                            }
+                            observer.on_event(Event::CeiRegistered { cei: id, at: t });
+                            if cap.is_doomed(cei.required) {
+                                // Registered too late: the already-closed
+                                // windows alone make `required` unreachable.
+                                let outcome = CeiOutcome::Failed { at: t };
+                                status[id.index()] = Status::Failed;
+                                outcomes[id.index()] = outcome;
+                                stats.record_outcome_of(cei, outcome);
+                                observer.on_event(Event::CeiExpired { cei: id, at: t });
+                                index.remove_cei(instance, id);
+                            } else {
+                                status[id.index()] = Status::Active(cap);
+                            }
+                        }
+                        Mutation::Cancel { cei: id } => {
+                            if !matches!(status[id.index()], Status::NotArrived | Status::Active(_))
+                            {
+                                continue; // already resolved or cancelled
+                            }
+                            let outcome = CeiOutcome::Cancelled { at: t };
+                            status[id.index()] = Status::Cancelled;
+                            outcomes[id.index()] = outcome;
+                            stats.record_outcome_of(instance.cei(id), outcome);
+                            observer.on_event(Event::CeiCancelled { cei: id, at: t });
+                            index.remove_cei(instance, id);
+                            // Drop pending retry state on resources the
+                            // cancellation emptied: the streak belonged to a
+                            // profile nobody wants anymore, and keeping it
+                            // would burn backoff delays and the per-chronon
+                            // retry quota on dead candidates.
+                            if fault_on {
+                                for ei in &instance.cei(id).eis {
+                                    let r = ei.resource.index();
+                                    if index.live_on(r) == 0 && consec_failures[r] > 0 {
+                                        consec_failures[r] = 0;
+                                        next_attempt_at[r] = 0;
+                                    }
+                                }
+                            }
+                        }
+                        Mutation::SetBudget { budget } => {
+                            pending_budget = Some(budget);
+                            observer.on_event(Event::BudgetReconfigured { t, budget });
+                        }
+                    }
+                }
+            }
 
             // Amortized maintenance: compact any resource list whose
             // tombstones outnumber its live entries. This replaces the
             // legacy whole-pool `retain` — removal itself happened at the
-            // transitions of the previous chronon.
+            // transitions of the previous chronon (or a cancellation
+            // drained just above).
             index.sweep();
 
             if fault_on {
@@ -339,9 +495,17 @@ impl OnlineEngine {
                 }
             }
 
-            // -- 1. Arrivals: η(j) joins cands(η).
+            // -- 1. Arrivals: η(j) joins cands(η). Dynamic CEIs (named by a
+            // `Register` anywhere in the queue) skip their natural release —
+            // their registration drain is their release — and a CEI
+            // cancelled before its release stays cancelled.
             for &id in instance.released_at(t) {
-                status[id.index()] = Status::Active(CaptureSet::new(instance.cei(id).size()));
+                if dynamic.as_ref().is_some_and(|d| d[id.index()]) {
+                    continue;
+                }
+                if matches!(status[id.index()], Status::NotArrived) {
+                    status[id.index()] = Status::Active(CaptureSet::new(instance.cei(id).size()));
+                }
             }
 
             // -- 2. EIs whose window opens now join cands(I). Every entry in
@@ -1018,7 +1182,7 @@ fn capture_single<O: Observer>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{Budget, InstanceBuilder};
+    use crate::model::{Budget, CeiId, InstanceBuilder};
     use crate::policy::{MEdf, Mrsf, SEdf};
     use crate::stats::CeiOutcome;
 
@@ -1637,5 +1801,262 @@ mod tests {
         let r = run_sedf(&inst);
         let total: u64 = r.stats.by_size.values().map(|b| b.total).sum();
         assert_eq!(total, 3);
+    }
+
+    #[derive(Default)]
+    struct EventRecorder(Vec<crate::obs::Event>);
+    impl crate::obs::Observer for EventRecorder {
+        fn on_event(&mut self, event: crate::obs::Event) {
+            self.0.push(event);
+        }
+    }
+
+    fn run_churned(
+        inst: &Instance,
+        policy: &dyn Policy,
+        config: EngineConfig,
+        q: &MutationQueue,
+        observer: &mut impl Observer,
+    ) -> RunResult {
+        OnlineEngine::run_mutated(
+            inst,
+            policy,
+            config,
+            &mut NoFaults,
+            FaultConfig::default(),
+            q,
+            observer,
+        )
+    }
+
+    #[test]
+    fn empty_queue_is_bit_identical_to_unmutated_run() {
+        let mut b = InstanceBuilder::new(3, 12, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 3), (1, 2, 6)]);
+        b.cei(p, &[(2, 4, 8)]);
+        b.cei(p, &[(0, 7, 10), (2, 9, 11)]);
+        let inst = b.build();
+        for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let mut plain = EventRecorder::default();
+            let r1 = OnlineEngine::run_observed(&inst, &Mrsf, config, &mut plain);
+            let mut churnless = EventRecorder::default();
+            let r2 = run_churned(&inst, &Mrsf, config, &MutationQueue::new(), &mut churnless);
+            assert_eq!(plain.0, churnless.0);
+            assert_eq!(r1.schedule, r2.schedule);
+            assert_eq!(r1.stats, r2.stats);
+            assert_eq!(r1.outcomes, r2.outcomes);
+        }
+    }
+
+    #[test]
+    fn mid_run_registration_activates_with_release_now() {
+        // CEI 1 is dynamic: registered at chronon 4 with one window already
+        // open (2..=6) and one future window (6..=9). Nothing is probed for
+        // it before the registration; both windows are then captured.
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1)]);
+        b.cei(p, &[(0, 2, 6), (1, 6, 9)]);
+        let inst = b.build();
+        let mut q = MutationQueue::new();
+        q.register(4, CeiId(1));
+        let r = run_churned(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive(),
+            &q,
+            &mut NoopObserver,
+        );
+        assert!(r.schedule.probes_at(2).is_empty());
+        assert!(r.schedule.probes_at(3).is_empty());
+        assert!(r.schedule.is_probed(ResourceId(0), 4));
+        assert!(r.schedule.is_probed(ResourceId(1), 6));
+        assert_eq!(r.outcomes[1], CeiOutcome::Captured { at: 6 });
+    }
+
+    #[test]
+    fn dynamic_single_chronon_cei_registered_at_its_only_chronon() {
+        // release == deadline for a dynamic CEI: the window (0, 5, 5)
+        // registered exactly at 5 rides the starts[5] bucket (processed
+        // after the drain) and is capturable that very chronon.
+        let mut b = InstanceBuilder::new(1, 8, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 5, 5)]);
+        let inst = b.build();
+        let mut q = MutationQueue::new();
+        q.register(5, CeiId(0));
+        let r = run_churned(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive(),
+            &q,
+            &mut NoopObserver,
+        );
+        assert_eq!(r.outcomes[0], CeiOutcome::Captured { at: 5 });
+        assert_eq!(r.stats.probes_used, 1);
+
+        // Registered one chronon later the window is already closed: the
+        // CEI fails on arrival without ever entering the pool.
+        let mut late = MutationQueue::new();
+        late.register(6, CeiId(0));
+        let r = run_churned(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive(),
+            &late,
+            &mut NoopObserver,
+        );
+        assert_eq!(r.outcomes[0], CeiOutcome::Failed { at: 6 });
+        assert_eq!(r.stats.probes_used, 0);
+        assert_eq!(r.stats.ceis_failed, 1);
+    }
+
+    #[test]
+    fn cancellation_before_release_prevents_activation() {
+        let mut b = InstanceBuilder::new(1, 8, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 4, 7)]);
+        let inst = b.build();
+        let mut q = MutationQueue::new();
+        q.cancel(2, CeiId(0));
+        let r = run_churned(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive(),
+            &q,
+            &mut NoopObserver,
+        );
+        assert_eq!(r.outcomes[0], CeiOutcome::Cancelled { at: 2 });
+        assert_eq!(r.stats.ceis_cancelled, 1);
+        assert_eq!(r.stats.probes_used, 0);
+    }
+
+    #[test]
+    fn cancelling_a_live_cei_redirects_probes() {
+        // Budget 1, S-EDF: CEI 0 (deadline 5) wins resource selection over
+        // CEI 1 (deadline 9) at chronon 0 — unless CEI 0 is cancelled in
+        // the chronon-0 drain, which frees the probe for CEI 1 immediately.
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 5)]);
+        b.cei(p, &[(1, 0, 9)]);
+        let inst = b.build();
+        let baseline = OnlineEngine::run(&inst, &SEdf, EngineConfig::preemptive());
+        assert_eq!(baseline.outcomes[1], CeiOutcome::Captured { at: 1 });
+        let mut q = MutationQueue::new();
+        q.cancel(0, CeiId(0));
+        let r = run_churned(
+            &inst,
+            &SEdf,
+            EngineConfig::preemptive(),
+            &q,
+            &mut NoopObserver,
+        );
+        assert_eq!(r.outcomes[0], CeiOutcome::Cancelled { at: 0 });
+        assert_eq!(r.outcomes[1], CeiOutcome::Captured { at: 0 });
+    }
+
+    #[test]
+    fn budget_reconfiguration_takes_effect_next_chronon() {
+        let mut b = InstanceBuilder::new(2, 6, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 5)]);
+        let inst = b.build();
+        let mut q = MutationQueue::new();
+        q.set_budget(2, 3).set_budget(4, 0);
+        let mut rec = EventRecorder::default();
+        let r = run_churned(&inst, &SEdf, EngineConfig::preemptive(), &q, &mut rec);
+        let starts: Vec<(Chronon, u32)> = rec
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                Event::ChrononStart { t, budget } => Some((*t, *budget)),
+                _ => None,
+            })
+            .collect();
+        // Drained at 2 → effective at 3; drained at 4 → effective at 5.
+        assert_eq!(starts, vec![(0, 1), (1, 1), (2, 1), (3, 3), (4, 3), (5, 0)]);
+        assert_eq!(r.stats.probes_available, 1 + 1 + 1 + 3 + 3);
+    }
+
+    #[test]
+    fn cancellation_clears_pending_retry_state() {
+        use crate::fault::{Backoff, IidFaults};
+        // Resource 0 always fails. CEI 0 draws a failed probe at chronon 0;
+        // the streak and backoff (or a zero retry quota) would then block
+        // resource 0 long past CEI 1's window opening at 6. Cancelling
+        // CEI 0 at chronon 2 empties the resource, so the retry state is
+        // dropped and chronon 6's attempt is a fresh, unannounced one.
+        let mut b = InstanceBuilder::new(1, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 3)]);
+        b.cei(p, &[(0, 6, 9)]);
+        let inst = b.build();
+        for fc in [
+            FaultConfig::default()
+                .free_failures()
+                .with_backoff(Backoff::new(8, 16)),
+            FaultConfig::default().free_failures().with_retry_quota(0),
+        ] {
+            let mut q = MutationQueue::new();
+            q.cancel(2, CeiId(0));
+            let mut faults = IidFaults::new(1.0, 0xBAD);
+            let mut rec = EventRecorder::default();
+            let r = OnlineEngine::run_mutated(
+                &inst,
+                &Mrsf,
+                EngineConfig::preemptive(),
+                &mut faults,
+                fc,
+                &q,
+                &mut rec,
+            );
+            assert_eq!(r.outcomes[0], CeiOutcome::Cancelled { at: 2 });
+            assert!(
+                rec.0.iter().any(|e| matches!(
+                    e,
+                    Event::ProbeFailed {
+                        t: 6,
+                        attempt: 0,
+                        ..
+                    }
+                )),
+                "chronon-6 attempt must be fresh: {:?}",
+                rec.0
+            );
+            assert!(
+                !rec.0
+                    .iter()
+                    .any(|e| matches!(e, Event::ProbeRetried { .. })),
+                "no attempt may announce itself as a retry of the cancelled CEI's streak"
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_same_chronon_double_transitions() {
+        // Chronon 2 lands a shared capture on resource 0 while sibling
+        // expiries tombstone entries of the same CEIs; the cancellation
+        // then drains at chronon 3 while those tombstones may still be
+        // unswept. Incremental selection must stay bit-identical to the
+        // always-correct Scan through both.
+        let mut b = InstanceBuilder::new(3, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 2, 2), (1, 2, 2)]);
+        b.cei(p, &[(0, 2, 4), (2, 2, 7)]);
+        b.cei(p, &[(1, 3, 6)]);
+        let inst = b.build();
+        let mut q = MutationQueue::new();
+        q.cancel(3, CeiId(1));
+        for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf] {
+            for config in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+                let inc = run_churned(&inst, policy, config, &q, &mut NoopObserver);
+                let scan = run_churned(&inst, policy, config.with_scan(), &q, &mut NoopObserver);
+                assert_eq!(inc.schedule, scan.schedule, "{}", policy.name());
+                assert_eq!(inc.stats, scan.stats, "{}", policy.name());
+                assert_eq!(inc.outcomes, scan.outcomes, "{}", policy.name());
+            }
+        }
     }
 }

@@ -169,6 +169,16 @@ pub struct RunMetrics {
     /// [`RunStats::ceis_shed`]).
     #[serde(default)]
     pub ceis_shed: u64,
+    /// CEIs registered mid-run through the mutation API.
+    #[serde(default)]
+    pub ceis_registered: u64,
+    /// CEIs cancelled mid-run through the mutation API (mirror of
+    /// [`RunStats::ceis_cancelled`]).
+    #[serde(default)]
+    pub ceis_cancelled: u64,
+    /// Budget reconfigurations drained mid-run.
+    #[serde(default)]
+    pub budget_reconfigurations: u64,
     /// Consecutive-failure count per retry attempt.
     #[serde(default = "retry_attempts_histogram")]
     pub retry_attempts: Histogram,
@@ -211,6 +221,9 @@ impl Default for RunMetrics {
             budget_lost: 0,
             resource_outages: 0,
             ceis_shed: 0,
+            ceis_registered: 0,
+            ceis_cancelled: 0,
+            budget_reconfigurations: 0,
             retry_attempts: retry_attempts_histogram(),
             outage_length: outage_length_histogram(),
         }
@@ -242,6 +255,9 @@ impl RunMetrics {
         self.budget_lost += other.budget_lost;
         self.resource_outages += other.resource_outages;
         self.ceis_shed += other.ceis_shed;
+        self.ceis_registered += other.ceis_registered;
+        self.ceis_cancelled += other.ceis_cancelled;
+        self.budget_reconfigurations += other.budget_reconfigurations;
         self.retry_attempts.merge(&other.retry_attempts);
         self.outage_length.merge(&other.outage_length);
     }
@@ -287,6 +303,7 @@ impl RunMetrics {
         check("probes failed", self.probes_failed, stats.probes_failed);
         check("budget lost", self.budget_lost, stats.budget_lost);
         check("CEIs shed", self.ceis_shed, stats.ceis_shed);
+        check("CEIs cancelled", self.ceis_cancelled, stats.ceis_cancelled);
         check(
             "capture-latency histogram mass",
             self.capture_latency.count,
@@ -406,6 +423,9 @@ impl Observer for MetricsObserver {
                 }
             }
             Event::CeiShed { .. } => m.ceis_shed += 1,
+            Event::CeiRegistered { .. } => m.ceis_registered += 1,
+            Event::CeiCancelled { .. } => m.ceis_cancelled += 1,
+            Event::BudgetReconfigured { .. } => m.budget_reconfigurations += 1,
         }
     }
 }

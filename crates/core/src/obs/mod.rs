@@ -22,11 +22,17 @@
 //! One run emits, per chronon `t` of the epoch, in this order:
 //!
 //! 1. [`Event::ChrononStart`] — the chronon opens with its probe budget;
-//! 2. under fault injection only: [`Event::ResourceDown`] /
+//! 2. under mutation only: the chronon's drained
+//!    [`MutationQueue`](crate::engine::MutationQueue) entries, in queue
+//!    order — [`Event::CeiRegistered`] / [`Event::CeiCancelled`] /
+//!    [`Event::BudgetReconfigured`]; a registration whose already-closed
+//!    windows doom the CEI on arrival is followed immediately by its
+//!    [`Event::CeiExpired`];
+//! 3. under fault injection only: [`Event::ResourceDown`] /
 //!    [`Event::ResourceUp`] transitions, in resource order — a `Down` is
 //!    (re-)emitted whenever a resource's committed outage horizon starts
 //!    or extends;
-//! 3. per probe attempt: an optional [`Event::ProbeRetried`] (the attempt
+//! 4. per probe attempt: an optional [`Event::ProbeRetried`] (the attempt
 //!    targets a resource with consecutive failures), then either one
 //!    [`Event::ProbeIssued`] (with the probe's cost and its intra-resource
 //!    sharing fan-out), followed by that probe's [`Event::EiCaptured`]s
@@ -34,22 +40,22 @@
 //!    [`Event::CeiCompleted`]s (CEIs that crossed their threshold) — or
 //!    one [`Event::ProbeFailed`] (the fault model rejected the probe;
 //!    failed probes never capture);
-//! 4. one [`Event::CandidateSet`] — the live candidate-EI pool the
+//! 5. one [`Event::CandidateSet`] — the live candidate-EI pool the
 //!    chronon's `probeEIs` competed over, plus how many selection steps
 //!    (heap pops or full scans) it performed;
-//! 5. at most one [`Event::BudgetExhausted`] — live candidates were left
+//! 6. at most one [`Event::BudgetExhausted`] — live candidates were left
 //!    unserved when the budget ran out (or nothing affordable remained);
-//! 6. zero or more [`Event::CeiExpired`] — CEIs doomed by this chronon's
+//! 7. zero or more [`Event::CeiExpired`] — CEIs doomed by this chronon's
 //!    window expiries — then zero or more [`Event::CeiShed`] — CEIs the
 //!    engine degraded gracefully because their remaining windows lie
 //!    entirely within committed outages;
-//! 7. [`Event::ChrononEnd`] — budget units actually spent (including
+//! 8. [`Event::ChrononEnd`] — budget units actually spent (including
 //!    budget charged to failed probes).
 //!
 //! The stream is **deterministic**: the engine is a pure function of
-//! `(instance, policy, config)`, so the exact event sequence — not just its
-//! aggregates — is reproducible, worker count and repetition order
-//! notwithstanding.
+//! `(instance, policy, config, mutations)`, so the exact event sequence —
+//! not just its aggregates — is reproducible, worker count and repetition
+//! order notwithstanding.
 
 mod metrics;
 mod replay;
@@ -196,6 +202,34 @@ pub enum Event {
         /// The chronon of the shed decision.
         at: Chronon,
     },
+    /// A CEI was registered mid-run: its release chronon is the drain
+    /// chronon (`release = now`), and its still-open windows joined the
+    /// candidate pool.
+    CeiRegistered {
+        /// The registered CEI.
+        cei: CeiId,
+        /// The chronon of the registration (the CEI's effective release).
+        at: Chronon,
+    },
+    /// A live (or not-yet-released) CEI was cancelled mid-run: its windows
+    /// left the candidate pool and it resolves as
+    /// [`CeiOutcome::Cancelled`](crate::stats::CeiOutcome).
+    CeiCancelled {
+        /// The cancelled CEI.
+        cei: CeiId,
+        /// The chronon of the cancellation.
+        at: Chronon,
+    },
+    /// The probe budget was reconfigured mid-run. The new per-chronon
+    /// budget takes effect exactly at chronon `t + 1`; the current
+    /// chronon's [`Event::ChrononStart`] / [`Event::ChrononEnd`] still
+    /// carry the old budget.
+    BudgetReconfigured {
+        /// The chronon at which the reconfiguration was drained.
+        t: Chronon,
+        /// The new per-chronon budget, effective from `t + 1`.
+        budget: u32,
+    },
 }
 
 impl Event {
@@ -216,6 +250,9 @@ impl Event {
             Event::ResourceDown { .. } => "ResourceDown",
             Event::ResourceUp { .. } => "ResourceUp",
             Event::CeiShed { .. } => "CeiShed",
+            Event::CeiRegistered { .. } => "CeiRegistered",
+            Event::CeiCancelled { .. } => "CeiCancelled",
+            Event::BudgetReconfigured { .. } => "BudgetReconfigured",
         }
     }
 }

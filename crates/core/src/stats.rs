@@ -24,6 +24,13 @@ pub enum CeiOutcome {
     /// enter the probe pool, so no expiry ever dooms them) — e.g. a
     /// release at or beyond epoch end.
     Pending,
+    /// The CEI was cancelled mid-run through the engine's mutation API
+    /// before it resolved. Cancelled CEIs count in the size histogram's
+    /// totals but in neither the captured nor the failed tallies.
+    Cancelled {
+        /// Chronon at which the cancellation was drained.
+        at: Chronon,
+    },
 }
 
 impl CeiOutcome {
@@ -76,6 +83,11 @@ pub struct RunStats {
     /// are also counted in [`ceis_failed`](Self::ceis_failed).
     #[serde(default)]
     pub ceis_shed: u64,
+    /// CEIs cancelled mid-run through the mutation API. Cancelled CEIs are
+    /// counted in neither [`ceis_captured`](Self::ceis_captured) nor
+    /// [`ceis_failed`](Self::ceis_failed) (always 0 on mutation-free runs).
+    #[serde(default)]
+    pub ceis_cancelled: u64,
 }
 
 /// Captured / total counts for CEIs of one size.
@@ -152,6 +164,7 @@ impl RunStats {
             }
             CeiOutcome::Failed { .. } => self.ceis_failed += 1,
             CeiOutcome::Pending => {}
+            CeiOutcome::Cancelled { .. } => self.ceis_cancelled += 1,
         }
     }
 
@@ -215,5 +228,17 @@ mod tests {
         assert!(CeiOutcome::Captured { at: 0 }.is_captured());
         assert!(!CeiOutcome::Failed { at: 0 }.is_captured());
         assert!(!CeiOutcome::Pending.is_captured());
+        assert!(!CeiOutcome::Cancelled { at: 0 }.is_captured());
+    }
+
+    #[test]
+    fn cancelled_counts_in_totals_but_not_captured_or_failed() {
+        let mut stats = RunStats::default();
+        stats.record_outcome(2, 1.0, CeiOutcome::Cancelled { at: 4 });
+        stats.record_outcome(2, 1.0, CeiOutcome::Captured { at: 5 });
+        assert_eq!(stats.ceis_cancelled, 1);
+        assert_eq!(stats.ceis_captured, 1);
+        assert_eq!(stats.ceis_failed, 0);
+        assert_eq!(stats.completeness_for_size(2), Some(0.5));
     }
 }

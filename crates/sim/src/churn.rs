@@ -1,0 +1,101 @@
+//! Serializable churn scenarios for experiments and the CLI.
+//!
+//! A [`ChurnSpec`] names a [`ChurnConfig`] (arrival/cancel rates, popularity
+//! skew, registration delay, budget reconfigurations) plus its master seed.
+//! Specs are plain data (CLI flags, sweep axes, JSON); [`ChurnSpec::build`]
+//! turns one into a concrete [`MutationQueue`] per repetition, forking the
+//! seed by repetition index exactly like policy and fault seeding — so a
+//! churned experiment stays a pure function of `(config, spec, churn, rep)`
+//! and `--jobs N` remains bit-identical to `--jobs 1`.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::engine::MutationQueue;
+use webmon_core::model::Instance;
+use webmon_streams::rng::SimRng;
+use webmon_workload::churn::{overlay, ChurnConfig};
+
+/// A complete churn scenario: overlay configuration plus master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Arrival/cancel rates, skew, delay, and reconfiguration knobs.
+    pub config: ChurnConfig,
+    /// Master churn seed; each repetition forks it by index.
+    pub seed: u64,
+}
+
+impl ChurnSpec {
+    /// A churn scenario with the given arrival and cancellation rates
+    /// (uniform across resources, no budget reconfigurations).
+    pub fn new(arrival_rate: f64, cancel_rate: f64, seed: u64) -> Self {
+        ChurnSpec {
+            config: ChurnConfig::new(arrival_rate, cancel_rate),
+            seed,
+        }
+    }
+
+    /// Replaces the overlay configuration.
+    pub fn with_config(mut self, config: ChurnConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Short table label, e.g. `"churn(0.20,0.10)"`.
+    pub fn label(&self) -> String {
+        format!(
+            "churn({:.2},{:.2})",
+            self.config.arrival_rate, self.config.cancel_rate
+        )
+    }
+
+    /// Builds the mutation script for repetition `rep` of `instance`. The
+    /// per-repetition seed is `seed.wrapping_add(rep)`, mirroring fault
+    /// seeding, so every repetition's script is a pure function of
+    /// `(instance, spec, rep)`.
+    pub fn build(&self, rep: u64, instance: &Instance) -> MutationQueue {
+        overlay(
+            instance,
+            &self.config,
+            &SimRng::new(self.seed.wrapping_add(rep)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webmon_core::model::{Budget, InstanceBuilder};
+
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(4, 30, Budget::Uniform(1));
+        for i in 0..8u32 {
+            let p = b.profile();
+            b.cei(p, &[(i % 4, i * 2, i * 2 + 5)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn labels_name_the_rates() {
+        assert_eq!(ChurnSpec::new(0.2, 0.1, 5).label(), "churn(0.20,0.10)");
+    }
+
+    #[test]
+    fn build_forks_seed_by_repetition() {
+        let spec = ChurnSpec::new(0.8, 0.8, 42);
+        let inst = instance();
+        assert_eq!(spec.build(0, &inst), spec.build(0, &inst));
+        assert_ne!(spec.build(0, &inst), spec.build(1, &inst));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ChurnSpec::new(0.3, 0.2, 9).with_config(
+            ChurnConfig::new(0.3, 0.2)
+                .with_alpha(1.37)
+                .with_reconfigurations(2),
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ChurnSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

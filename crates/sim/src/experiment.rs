@@ -1,5 +1,6 @@
 //! Materializing problem instances and running policy rosters over them.
 
+use crate::churn::ChurnSpec;
 use crate::config::ExperimentConfig;
 use crate::faults::FaultSpec;
 use crate::parallel::par_map;
@@ -268,6 +269,87 @@ impl Experiment {
         PolicyAggregate::from_outcomes(spec.label(), outcomes)
     }
 
+    /// Like [`Self::run_spec`], under a churn scenario: each repetition
+    /// builds a fresh [`MutationQueue`](webmon_core::engine::MutationQueue)
+    /// from `churn` (seed forked by repetition index) and drives
+    /// [`OnlineEngine::run_mutated`] — mid-run registrations, cancellations,
+    /// and budget reconfigurations — instead of the static-profile path.
+    ///
+    /// Determinism carries over: the outcome is a pure function of
+    /// `(config, spec, churn, rep)`, so `--jobs N` stays bit-identical to
+    /// `--jobs 1`, and a quiescent spec (both rates zero, no
+    /// reconfigurations) reproduces [`Self::run_spec`] exactly.
+    pub fn run_spec_churned(&self, spec: PolicySpec, churn: ChurnSpec) -> PolicyAggregate {
+        self.run_spec_churned_faulted(spec, churn, None)
+    }
+
+    /// The fully general online run: churn overlay plus an optional fault
+    /// scenario on the same materialized repetitions. `fault: None` is the
+    /// fault-free churned run of [`Self::run_spec_churned`].
+    pub fn run_spec_churned_faulted(
+        &self,
+        spec: PolicySpec,
+        churn: ChurnSpec,
+        fault: Option<FaultSpec>,
+    ) -> PolicyAggregate {
+        let noisy = self.config.noise.is_some();
+        let outcomes = par_map(self.workloads.iter().collect(), |rep, w| {
+            let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
+            let mutations = churn.build(rep as u64, &w.instance);
+            let mut observer = MetricsObserver::new();
+            let start = Instant::now();
+            let result = match fault {
+                Some(f) => {
+                    let mut model = f.build(rep as u64, w.instance.n_resources as usize);
+                    OnlineEngine::run_mutated(
+                        &w.instance,
+                        policy.as_ref(),
+                        spec.engine_config(),
+                        &mut model,
+                        f.config,
+                        &mutations,
+                        &mut observer,
+                    )
+                }
+                None => OnlineEngine::run_mutated(
+                    &w.instance,
+                    policy.as_ref(),
+                    spec.engine_config(),
+                    &mut webmon_core::fault::NoFaults,
+                    webmon_core::fault::FaultConfig::default(),
+                    &mutations,
+                    &mut observer,
+                ),
+            };
+            let runtime = start.elapsed();
+            let stats = if noisy {
+                evaluate_schedule(&w.truth, &result.schedule)
+            } else {
+                result.stats
+            };
+            RepetitionOutcome {
+                stats,
+                metrics: observer.finish(),
+                runtime,
+                n_eis: w.n_eis(),
+            }
+        });
+        PolicyAggregate::from_outcomes(spec.label(), outcomes)
+    }
+
+    /// Runs a roster of policy specs under one churn scenario (and an
+    /// optional fault scenario).
+    pub fn run_roster_churned(
+        &self,
+        specs: &[PolicySpec],
+        churn: ChurnSpec,
+        fault: Option<FaultSpec>,
+    ) -> Vec<PolicyAggregate> {
+        par_map(specs.to_vec(), |_, s| {
+            self.run_spec_churned_faulted(s, churn, fault)
+        })
+    }
+
     /// Runs a roster of policy specs under one fault scenario.
     pub fn run_roster_faulted(
         &self,
@@ -325,6 +407,57 @@ impl Experiment {
             fault.config,
             &mut observer,
         );
+        let events = observer.events_written();
+        Ok((observer.finish()?, events))
+    }
+
+    /// Re-runs one materialized repetition of `spec` under the `churn`
+    /// overlay (and an optional fault scenario) with a
+    /// [`JsonlTraceObserver`], streaming the churned event stream —
+    /// including `cei_registered` / `cei_cancelled` / `budget_reconfigured`
+    /// records — to `writer` as JSONL. The trace twin of
+    /// [`Self::run_spec_churned_faulted`]: the exact run it scores, so
+    /// churned traces replay byte-for-byte.
+    ///
+    /// # Panics
+    /// Panics if `rep` is out of range.
+    pub fn trace_spec_churned<W: std::io::Write>(
+        &self,
+        spec: PolicySpec,
+        churn: ChurnSpec,
+        fault: Option<FaultSpec>,
+        rep: usize,
+        writer: W,
+    ) -> std::io::Result<(W, u64)> {
+        let w = &self.workloads[rep];
+        let policy = spec.kind.build(self.config.seed.wrapping_add(rep as u64));
+        let mutations = churn.build(rep as u64, &w.instance);
+        let mut observer = JsonlTraceObserver::new(writer);
+        match fault {
+            Some(f) => {
+                let mut model = f.build(rep as u64, w.instance.n_resources as usize);
+                OnlineEngine::run_mutated(
+                    &w.instance,
+                    policy.as_ref(),
+                    spec.engine_config(),
+                    &mut model,
+                    f.config,
+                    &mutations,
+                    &mut observer,
+                );
+            }
+            None => {
+                OnlineEngine::run_mutated(
+                    &w.instance,
+                    policy.as_ref(),
+                    spec.engine_config(),
+                    &mut webmon_core::fault::NoFaults,
+                    webmon_core::fault::FaultConfig::default(),
+                    &mutations,
+                    &mut observer,
+                );
+            }
+        }
         let events = observer.events_written();
         Ok((observer.finish()?, events))
     }
@@ -440,6 +573,7 @@ mod tests {
     use crate::config::{NoiseSpec, TraceSpec};
     use crate::policies::PolicyKind;
     use webmon_streams::fpn::FpnModel;
+    use webmon_workload::churn::ChurnConfig;
     use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
 
     fn tiny_config() -> ExperimentConfig {
@@ -626,6 +760,65 @@ mod tests {
             let errs = rep.metrics.consistency_errors(&rep.stats);
             assert!(errs.is_empty(), "metrics drifted from stats: {errs:?}");
         }
+    }
+
+    #[test]
+    fn quiescent_churn_reproduces_the_static_run() {
+        let exp = Experiment::materialize(tiny_config());
+        let spec = PolicySpec::p(PolicyKind::Mrsf);
+        let base = exp.run_spec(spec);
+        let churned = exp.run_spec_churned(spec, ChurnSpec::new(0.0, 0.0, 123));
+        for (a, b) in base.repetitions.iter().zip(&churned.repetitions) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn churned_runs_register_and_cancel_and_stay_consistent() {
+        let exp = Experiment::materialize(tiny_config());
+        let churn = ChurnSpec::new(0.5, 0.4, 21)
+            .with_config(ChurnConfig::new(0.5, 0.4).with_reconfigurations(2));
+        let agg = exp.run_spec_churned(PolicySpec::p(PolicyKind::MEdf), churn);
+        assert!(agg.metrics.ceis_registered > 0);
+        assert!(agg.metrics.ceis_cancelled > 0);
+        assert!(agg.metrics.budget_reconfigurations > 0);
+        for rep in &agg.repetitions {
+            let errs = rep.metrics.consistency_errors(&rep.stats);
+            assert!(errs.is_empty(), "metrics drifted from stats: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn churned_faulted_runs_compose_both_overlays() {
+        let exp = Experiment::materialize(tiny_config());
+        let churn = ChurnSpec::new(0.4, 0.3, 33);
+        let agg = exp.run_spec_churned_faulted(
+            PolicySpec::p(PolicyKind::MEdf),
+            churn,
+            Some(FaultSpec::iid(0.4, 7)),
+        );
+        assert!(agg.metrics.ceis_registered > 0);
+        assert!(agg.metrics.probes_failed > 0);
+        for rep in &agg.repetitions {
+            let errs = rep.metrics.consistency_errors(&rep.stats);
+            assert!(errs.is_empty(), "metrics drifted from stats: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn churned_trace_replays_to_the_scored_metrics() {
+        let exp = Experiment::materialize(tiny_config());
+        let spec = PolicySpec::p(PolicyKind::Mrsf);
+        let churn = ChurnSpec::new(0.5, 0.4, 21);
+        let agg = exp.run_spec_churned(spec, churn);
+        let (buf, events) = exp
+            .trace_spec_churned(spec, churn, None, 1, Vec::new())
+            .unwrap();
+        assert!(events > 0);
+        let replayed =
+            webmon_core::obs::replay_metrics(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(replayed, agg.repetitions[1].metrics);
     }
 
     #[test]

@@ -29,7 +29,16 @@
 //! bursty outages, or rate limits ([`Experiment::run_spec_faulted`] and
 //! [`Experiment::robustness_sweep`]) to measure how gained completeness
 //! degrades when probes are lost.
+//!
+//! [`churn`] does the same for profile churn: a [`churn::ChurnSpec`]
+//! overlays each materialized repetition with a seeded
+//! [`MutationQueue`](webmon_core::engine::MutationQueue) of mid-run
+//! registrations, cancellations, and budget reconfigurations
+//! ([`Experiment::run_spec_churned`] and friends), so the service-style
+//! dynamic-profile setting reuses the same instances, policies, and
+//! determinism contract.
 
+pub mod churn;
 pub mod config;
 pub mod experiment;
 pub mod faults;
@@ -39,6 +48,7 @@ pub mod report;
 pub mod summary;
 pub mod table;
 
+pub use churn::ChurnSpec;
 pub use config::{ExperimentConfig, NoiseSpec, TraceSpec};
 pub use experiment::{Experiment, PolicyAggregate, RepetitionOutcome};
 pub use faults::{BuiltFault, FaultKind, FaultSpec};

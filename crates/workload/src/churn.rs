@@ -1,0 +1,313 @@
+//! Seeded churn overlay: profile arrival and cancellation mid-run.
+//!
+//! Web Monitoring 2.0 is a service under *churn*: clients register new
+//! complex profiles and cancel old ones while the monitor runs. This module
+//! turns a static [`Instance`] into a churned run script — a deterministic
+//! [`MutationQueue`] in which a seeded fraction of the instance's CEIs
+//! arrives dynamically (mid-run registration, release chronon = drain
+//! chronon) and a seeded fraction of the live CEIs is cancelled before its
+//! deadline, optionally with budget reconfigurations sprinkled over the
+//! epoch.
+//!
+//! Churn propensity can be skewed by resource popularity: with
+//! `resource_alpha > 0`, CEIs whose primary (first) EI watches a popular
+//! resource — low resource id, matching the generator's Zipf head — churn
+//! more than CEIs on the tail, mirroring the paper's observation that real
+//! Web-feed popularity follows a Zipf with exponent ≈ 1.37. `alpha = 0`
+//! applies the configured rates uniformly.
+//!
+//! The overlay is a pure function of `(instance, config, seed)`: the same
+//! inputs always produce the same queue, entry for entry, so churned
+//! conformance and bench runs replay byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+use webmon_core::engine::{Mutation, MutationQueue};
+use webmon_core::model::{Chronon, Instance};
+use webmon_streams::rng::SimRng;
+use webmon_streams::zipf::Zipf;
+
+/// Knobs of the churn overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Probability that a CEI arrives dynamically (via mid-run
+    /// registration) instead of at its natural release chronon.
+    pub arrival_rate: f64,
+    /// Probability that a CEI is cancelled at some chronon of its live
+    /// range. Applies to static and dynamic CEIs alike.
+    pub cancel_rate: f64,
+    /// Zipf exponent skewing churn toward CEIs on popular resources;
+    /// `0` applies the rates uniformly.
+    pub resource_alpha: f64,
+    /// Maximal registration delay, in chronons, past the CEI's natural
+    /// release. The actual delay is uniform in `[0, max_delay]`; delays
+    /// past the CEI's deadline produce doomed-on-arrival registrations,
+    /// which the engine resolves as failures at the drain chronon.
+    pub max_delay: Chronon,
+    /// Number of budget reconfigurations spread uniformly over the epoch
+    /// (each effective from the chronon after its drain).
+    pub reconfigurations: u32,
+}
+
+impl ChurnConfig {
+    /// A churn overlay with the given arrival and cancellation rates,
+    /// uniform across resources, with a short registration delay and no
+    /// budget reconfigurations.
+    pub fn new(arrival_rate: f64, cancel_rate: f64) -> Self {
+        ChurnConfig {
+            arrival_rate,
+            cancel_rate,
+            resource_alpha: 0.0,
+            max_delay: 4,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Skews churn toward CEIs on popular resources.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.resource_alpha = alpha;
+        self
+    }
+
+    /// Sets the maximal registration delay past natural release.
+    pub fn with_max_delay(mut self, max_delay: Chronon) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sprinkles `n` budget reconfigurations over the epoch.
+    pub fn with_reconfigurations(mut self, n: u32) -> Self {
+        self.reconfigurations = n;
+        self
+    }
+
+    /// Whether this configuration can produce any mutation at all.
+    pub fn is_quiescent(&self) -> bool {
+        self.arrival_rate <= 0.0 && self.cancel_rate <= 0.0 && self.reconfigurations == 0
+    }
+}
+
+/// Builds the churn script for `instance`: a deterministic function of
+/// `(instance, config, rng seed)`.
+///
+/// Per CEI (in id order, each on its own forked RNG stream):
+///
+/// * with probability `arrival_rate × boost` the CEI becomes dynamic — a
+///   [`Mutation::Register`] at `release + U[0, max_delay]` (clamped to the
+///   last chronon) replaces its natural release;
+/// * with probability `cancel_rate × boost` a [`Mutation::Cancel`] lands
+///   uniformly between the CEI's (effective) release and its deadline —
+///   cancellations that drain after the CEI already resolved are benign
+///   no-ops, as in a real service where the cancel request races the
+///   capture.
+///
+/// `boost` is the popularity weight of the CEI's primary resource: the
+/// Zipf(`resource_alpha`) probability mass of that resource, normalized so
+/// `alpha = 0` gives `boost = 1` everywhere.
+///
+/// `reconfigurations` extra [`Mutation::SetBudget`] entries are drawn from
+/// an independent stream, each at a uniform chronon with a uniform budget
+/// in `[1, 2 × max_over(horizon)]`.
+///
+/// Entries are sorted by drain chronon (stably, so a CEI's registration
+/// always precedes its same-chronon cancellation).
+pub fn overlay(instance: &Instance, config: &ChurnConfig, rng: &SimRng) -> MutationQueue {
+    let horizon = instance.epoch.len();
+    let mut queue = MutationQueue::new();
+    if config.is_quiescent() || horizon == 0 {
+        return queue;
+    }
+    let last = horizon - 1;
+    let n_resources = instance.n_resources;
+    let zipf = (config.resource_alpha > 0.0 && n_resources > 0)
+        .then(|| Zipf::new(config.resource_alpha, n_resources));
+
+    let mut entries: Vec<(Chronon, Mutation)> = Vec::new();
+    for cei in &instance.ceis {
+        let mut crng = rng.fork_indexed("churn-cei", u64::from(cei.id.0));
+        let boost = match &zipf {
+            // pmf is 1-based; uniform alpha would give pmf = 1/n, so this
+            // normalization makes `alpha = 0` equivalent to no skew.
+            Some(z) => z.pmf(cei.eis[0].resource.0 + 1) * f64::from(n_resources),
+            None => 1.0,
+        };
+        let arrival_p = (config.arrival_rate * boost).clamp(0.0, 1.0);
+        let cancel_p = (config.cancel_rate * boost).clamp(0.0, 1.0);
+
+        let mut release = cei.release;
+        if crng.chance(arrival_p) {
+            let delay = crng.range_inclusive(0, u64::from(config.max_delay)) as Chronon;
+            release = (cei.release + delay).min(last);
+            entries.push((release, Mutation::Register { cei: cei.id }));
+        }
+        if crng.chance(cancel_p) {
+            let deadline = cei.horizon().min(last);
+            let at = if deadline > release {
+                crng.range_inclusive(u64::from(release), u64::from(deadline)) as Chronon
+            } else {
+                release
+            };
+            entries.push((at, Mutation::Cancel { cei: cei.id }));
+        }
+    }
+
+    let mut brng = rng.fork("churn-budget");
+    let cap = u64::from(instance.budget.max_over(horizon).max(1)) * 2;
+    for _ in 0..config.reconfigurations {
+        let t = brng.below(u64::from(horizon)) as Chronon;
+        let budget = brng.range_inclusive(1, cap) as u32;
+        entries.push((t, Mutation::SetBudget { budget }));
+    }
+
+    entries.sort_by_key(|&(t, _)| t);
+    for (t, m) in entries {
+        queue.push(t, m);
+    }
+    queue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webmon_core::model::{Budget, CeiId, InstanceBuilder};
+
+    fn instance(n_resources: u32, horizon: Chronon, n_ceis: u32) -> Instance {
+        let mut b = InstanceBuilder::new(n_resources, horizon, Budget::Uniform(2));
+        for i in 0..n_ceis {
+            let p = b.profile();
+            let r = i % n_resources;
+            let start = (i * 3) % horizon.saturating_sub(4).max(1);
+            b.cei(
+                p,
+                &[
+                    (r, start, start + 3),
+                    ((r + 1) % n_resources, start + 1, start + 4),
+                ],
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn overlay_is_deterministic() {
+        let inst = instance(6, 40, 25);
+        let cfg = ChurnConfig::new(0.4, 0.3)
+            .with_alpha(0.9)
+            .with_reconfigurations(3);
+        let a = overlay(&inst, &cfg, &SimRng::new(11));
+        let b = overlay(&inst, &cfg, &SimRng::new(11));
+        assert_eq!(a, b);
+        let c = overlay(&inst, &cfg, &SimRng::new(12));
+        assert_ne!(a, c, "different seeds should produce different scripts");
+    }
+
+    #[test]
+    fn quiescent_config_yields_empty_queue() {
+        let inst = instance(4, 20, 10);
+        let q = overlay(&inst, &ChurnConfig::new(0.0, 0.0), &SimRng::new(1));
+        assert!(q.is_empty());
+        assert!(ChurnConfig::new(0.0, 0.0).is_quiescent());
+        assert!(!ChurnConfig::new(0.0, 0.0)
+            .with_reconfigurations(1)
+            .is_quiescent());
+    }
+
+    #[test]
+    fn full_rates_churn_every_cei() {
+        let inst = instance(5, 30, 12);
+        let q = overlay(&inst, &ChurnConfig::new(1.0, 1.0), &SimRng::new(7));
+        let regs = q
+            .entries()
+            .iter()
+            .filter(|(_, m)| matches!(m, Mutation::Register { .. }))
+            .count();
+        let cancels = q
+            .entries()
+            .iter()
+            .filter(|(_, m)| matches!(m, Mutation::Cancel { .. }))
+            .count();
+        assert_eq!(regs, 12);
+        assert_eq!(cancels, 12);
+        assert_eq!(q.dynamic_flags(12), vec![true; 12]);
+    }
+
+    #[test]
+    fn entries_are_sorted_and_within_the_epoch() {
+        let inst = instance(6, 25, 30);
+        let cfg = ChurnConfig::new(0.8, 0.8)
+            .with_max_delay(50)
+            .with_reconfigurations(5);
+        let q = overlay(&inst, &cfg, &SimRng::new(3));
+        let ts: Vec<Chronon> = q.entries().iter().map(|&(t, _)| t).collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "entries sorted by chronon"
+        );
+        assert!(ts.iter().all(|&t| t < 25), "no entry past the horizon");
+    }
+
+    #[test]
+    fn registration_precedes_same_chronon_cancellation() {
+        // With max_delay 0 and full rates, a CEI whose deadline equals its
+        // release gets both mutations at the same chronon; the register
+        // must drain first.
+        let mut b = InstanceBuilder::new(1, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 4, 4)]);
+        let inst = b.build();
+        let cfg = ChurnConfig::new(1.0, 1.0).with_max_delay(0);
+        let q = overlay(&inst, &cfg, &SimRng::new(9));
+        assert_eq!(
+            q.entries(),
+            &[
+                (4, Mutation::Register { cei: CeiId(0) }),
+                (4, Mutation::Cancel { cei: CeiId(0) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn popularity_skew_concentrates_churn_on_the_head() {
+        // Every CEI has a distinct primary resource; with a strong skew and
+        // a low base rate, head resources should churn strictly more often
+        // than tail resources in aggregate.
+        let n: u32 = 20;
+        let mut b = InstanceBuilder::new(n, 30, Budget::Uniform(2));
+        for r in 0..n {
+            let p = b.profile();
+            for k in 0..8u32 {
+                b.cei(p, &[(r, (k * 3) % 24, (k * 3) % 24 + 3)]);
+            }
+        }
+        let inst = b.build();
+        let cfg = ChurnConfig::new(0.15, 0.0).with_alpha(1.4);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for seed in 0..20u64 {
+            let q = overlay(&inst, &cfg, &SimRng::new(seed));
+            for &(_, m) in q.entries() {
+                if let Mutation::Register { cei } = m {
+                    let r = inst.cei(cei).eis[0].resource.0;
+                    if r < n / 2 {
+                        head += 1;
+                    } else {
+                        tail += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            head > tail * 2,
+            "skewed churn should concentrate on popular resources (head={head}, tail={tail})"
+        );
+    }
+
+    #[test]
+    fn config_serde_round_trips() {
+        let cfg = ChurnConfig::new(0.25, 0.1)
+            .with_alpha(1.37)
+            .with_reconfigurations(2);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ChurnConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

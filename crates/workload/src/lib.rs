@@ -33,14 +33,22 @@
 //! template of the paper's Example 2 / Figure 4 (blog poll + conditional
 //! news crossing), and [`arbitrage`] the push-triggered atomic crossing of
 //! Examples 1 and 3.
+//!
+//! [`churn`] overlays any generated instance with mid-run profile churn: a
+//! seeded fraction of CEIs arrives via dynamic registration and a seeded
+//! fraction is cancelled before its deadline, optionally skewed toward
+//! popular resources — producing the engine's
+//! [`MutationQueue`](webmon_core::engine::MutationQueue) script.
 
 pub mod arbitrage;
+pub mod churn;
 pub mod generator;
 pub mod length;
 pub mod mashup;
 pub mod spec;
 
 pub use arbitrage::ArbitrageTemplate;
+pub use churn::ChurnConfig;
 pub use generator::{generate, GeneratedWorkload};
 pub use length::EiLength;
 pub use mashup::{MashupTemplate, MashupWorkload};

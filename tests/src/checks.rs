@@ -7,8 +7,8 @@
 //! live conformance case.
 
 use webmon_core::check::InvariantObserver;
-use webmon_core::engine::{EngineConfig, OnlineEngine, RunResult};
-use webmon_core::fault::{FaultConfig, FaultModel};
+use webmon_core::engine::{EngineConfig, MutationQueue, OnlineEngine, RunResult};
+use webmon_core::fault::{FaultConfig, FaultModel, NoFaults};
 use webmon_core::model::{evaluate_schedule, Instance};
 use webmon_core::policy::{MEdf, Mrsf, MrsfExact, Policy, SEdf, UtilityWeighted, Wic};
 
@@ -44,6 +44,35 @@ pub fn conformant_faulted_run<F: FaultModel>(
     assert!(
         report.is_clean(),
         "{} under {} (faulted): {report}",
+        policy.name(),
+        config.label()
+    );
+    run
+}
+
+/// The churned twin of [`conformant_run`]: drains `mutations` through
+/// [`OnlineEngine::run_mutated`] with a churn-aware invariant checker
+/// attached and panics on any violation. Returns the run.
+pub fn conformant_churned_run(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+    mutations: &MutationQueue,
+) -> RunResult {
+    let mut checker = InvariantObserver::new(instance, config).with_mutations(mutations);
+    let run = OnlineEngine::run_mutated(
+        instance,
+        policy,
+        config,
+        &mut NoFaults,
+        FaultConfig::default(),
+        mutations,
+        &mut checker,
+    );
+    let report = checker.finish_with(&run);
+    assert!(
+        report.is_clean(),
+        "{} under {} (churned): {report}",
         policy.name(),
         config.label()
     );

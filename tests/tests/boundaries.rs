@@ -126,6 +126,46 @@ fn release_equal_to_deadline_is_satisfiable() {
     assert_eq!(failed, 6, "failure must date to the closing chronon");
 }
 
+/// The dynamic twin of the release == deadline pin: the same single-chronon
+/// CEIs *registered mid-run* at the very chronon their only window closes.
+/// The registration drain precedes the `starts[t]` bucket, so one probe
+/// still captures; registering one chronon too late dooms the CEI at the
+/// drain itself (`CeiRegistered` then `CeiExpired` at the drain chronon).
+#[test]
+fn dynamically_registered_release_equal_to_deadline_is_satisfiable() {
+    use webmon_core::engine::MutationQueue;
+    use webmon_testkit::checks::conformant_churned_run;
+
+    let mut b = InstanceBuilder::new(2, 12, Budget::Uniform(1));
+    let p = b.profile();
+    b.cei_released(p, 6, &[(0, 6, 6)]);
+    b.cei_released(p, 6, &[(1, 6, 6)]);
+    let inst = b.build();
+
+    let mut on_time = MutationQueue::new();
+    on_time
+        .register(6, inst.ceis[0].id)
+        .register(6, inst.ceis[1].id);
+    let run = conformant_churned_run(&inst, &Mrsf, EngineConfig::preemptive(), &on_time);
+    // Identical to the static pin: budget 1 serves exactly one deadline.
+    assert_eq!(run.stats.ceis_captured, 1);
+    assert_eq!(run.stats.ceis_failed, 1);
+    assert!(run.outcomes.contains(&CeiOutcome::Failed { at: 6 }));
+
+    // One chronon late: the window already closed, both CEIs are doomed at
+    // the registration drain itself and dated to that drain chronon.
+    let mut late = MutationQueue::new();
+    late.register(7, inst.ceis[0].id)
+        .register(7, inst.ceis[1].id);
+    let run = conformant_churned_run(&inst, &Mrsf, EngineConfig::preemptive(), &late);
+    assert_eq!(run.stats.ceis_captured, 0);
+    assert_eq!(run.stats.ceis_failed, 2);
+    assert!(run
+        .outcomes
+        .iter()
+        .all(|o| *o == CeiOutcome::Failed { at: 7 }));
+}
+
 /// Exact-budget feasibility boundary: `C` probes in a chronon are feasible,
 /// `C + 1` are not — for uniform and per-chronon budgets.
 #[test]
