@@ -80,16 +80,39 @@ fn main() -> ExitCode {
     } else {
         grid(scale)
     };
-    // Axis overrides replace the whole grid, so the default churn ladder
-    // would not match any baseline made from them — skip it.
-    let churn_cells = if overridden {
-        Vec::new()
+    // Axis overrides replace the whole grid, so the default churn and
+    // sharded ladders would not match any baseline made from them — skip
+    // both.
+    let (churn_cells, shard_cells) = if overridden {
+        (Vec::new(), Vec::new())
     } else {
-        webmon_bench::scale::churn_grid(scale)
+        (
+            webmon_bench::scale::churn_grid(scale),
+            webmon_bench::scale::shard_grid(scale),
+        )
     };
 
-    let report = webmon_bench::scale::collect_grid(scale, &cells, &roster(scale), &churn_cells);
+    let report = webmon_bench::scale::collect_grid(
+        scale,
+        &cells,
+        &roster(scale),
+        &churn_cells,
+        &shard_cells,
+    );
     webmon_bench::print_tables(&report.tables());
+
+    // The sharded ladder's cross-shard-count identity is a correctness
+    // property, not a perf baseline: gate it against the fresh report
+    // itself, so it holds even on --out-only (re-baselining) runs where
+    // no --check baseline is consulted.
+    let identity = report.violations_against(&report);
+    if !identity.is_empty() {
+        eprintln!("sharded-execution identity broken in this run:");
+        for v in &identity {
+            eprintln!("  - {v}");
+        }
+        return ExitCode::FAILURE;
+    }
 
     if let Some(path) = path_arg(&args, "--out") {
         if let Err(e) = std::fs::write(&path, report.to_json()) {

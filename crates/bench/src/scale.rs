@@ -21,7 +21,12 @@
 //!   by more than 20% relative to the baseline's speedup for that cell.
 //!   Comparing the self-normalized ratio — both strategies measured in the
 //!   same process seconds apart — keeps the gate meaningful across
-//!   machines of different absolute speed.
+//!   machines of different absolute speed, or
+//! * the **sharded ladder** ([`shard_grid`] at [`shard_counts`]) breaks:
+//!   a deterministic counter at any shard count diverging from the serial
+//!   row is a bit-identity break (gated against the fresh run itself), and
+//!   the max-shards-over-serial throughput ratio gets the same 20%
+//!   self-normalized tolerance as the strategy speedups.
 //!
 //! Re-baselining is deliberate: regenerate with
 //! `cargo run --release -p webmon-bench --bin exp_scale -- --quick --out BENCH_engine.json`
@@ -238,6 +243,139 @@ pub struct ChurnCellReport {
     pub overhead: f64,
 }
 
+/// Shard counts of the sharded ladder, ascending; the first entry is the
+/// serial baseline and the last is the headline parallel configuration.
+pub fn shard_counts() -> [u32; 3] {
+    [1, 2, 4]
+}
+
+/// The sharded ladder: one large cell (Quick: ~10⁵ CEIs; Paper adds a
+/// ~4×10⁵-CEI cell) rerun at each shard count. Sharding only pays above
+/// the engine's threaded-dispatch threshold, so the ladder uses a cell an
+/// order of magnitude beyond the main grid — the regime of the ROADMAP's
+/// production-scale north star.
+pub fn shard_grid(scale: Scale) -> Vec<CellDims> {
+    let base = CellDims {
+        profiles: 5500,
+        rank: 3,
+        horizon: 300,
+        budget: 2,
+    };
+    match scale {
+        Scale::Quick => vec![base],
+        Scale::Paper => vec![
+            base,
+            CellDims {
+                profiles: 22_000,
+                ..base
+            },
+        ],
+    }
+}
+
+/// One (cell × shard count) measurement of the sharded ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardMeasure {
+    /// Shard count of this measurement (`1` = the serial engine).
+    pub shards: u32,
+    /// Engine wall time summed over repetitions, seconds.
+    pub wall_secs: f64,
+    /// Median per-repetition `chronons / runtime`.
+    pub chronons_per_sec: f64,
+    /// Deterministic: chronons summed over repetitions. Bit-identity makes
+    /// every deterministic counter equal across shard counts — the gate
+    /// checks that within each fresh report *and* against the baseline.
+    pub chronons: u64,
+    /// Deterministic: probes issued summed over repetitions.
+    pub probes_issued: u64,
+    /// Deterministic: selection steps summed over repetitions.
+    pub selection_steps: u64,
+    /// Deterministic: peak candidate-pool size over all repetitions.
+    pub peak_pool: u64,
+}
+
+/// One sharded-ladder cell: the same large instance at every shard count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardCellReport {
+    /// The swept dimensions.
+    pub dims: CellDims,
+    /// Roster label of the measured policy.
+    pub label: String,
+    /// Mean CEIs per repetition.
+    pub ceis: f64,
+    /// Mean EIs per repetition.
+    pub eis: f64,
+    /// One measurement per shard count, in [`shard_counts`] order.
+    pub shards: Vec<ShardMeasure>,
+    /// Median paired per-repetition ratio `throughput at max shards /
+    /// throughput at 1 shard` (repetition `i` of both runs the identical
+    /// workload moments apart, so drift cancels).
+    pub speedup: f64,
+}
+
+/// Measures one sharded-ladder cell: the same materialized workloads run
+/// at each shard count, passes interleaved so temporal drift cancels out
+/// of the paired speedup ratio. Repetitions are reduced relative to the
+/// main grid — the cell is an order of magnitude larger.
+fn measure_shards(scale: Scale, dims: CellDims) -> ShardCellReport {
+    let spec = PolicySpec::p(PolicyKind::Mrsf);
+    let mut cfg = dims.config(scale);
+    cfg.repetitions = match scale {
+        Scale::Quick => 2,
+        Scale::Paper => 3,
+    };
+    let exp = Experiment::materialize(cfg);
+    let (ceis, eis) = exp.mean_sizes();
+    let counts = shard_counts();
+    let mut rep_tp: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];
+    let mut wall: Vec<f64> = vec![0.0; counts.len()];
+    let mut last: Vec<Option<webmon_core::obs::RunMetrics>> = vec![None; counts.len()];
+    for _pass in 0..PASSES {
+        for (si, &n) in counts.iter().enumerate() {
+            let agg = exp.run_spec_configured(spec, spec.engine_config().with_shards(n));
+            for r in &agg.repetitions {
+                let secs = r.runtime.as_secs_f64();
+                wall[si] += secs;
+                rep_tp[si].push(if secs > 0.0 {
+                    r.metrics.chronons as f64 / secs
+                } else {
+                    f64::INFINITY
+                });
+            }
+            last[si] = Some(agg.metrics);
+        }
+    }
+    let shards: Vec<ShardMeasure> = counts
+        .iter()
+        .enumerate()
+        .map(|(si, &n)| {
+            let m = last[si].take().expect("measured above");
+            ShardMeasure {
+                shards: n,
+                wall_secs: wall[si],
+                chronons_per_sec: median(&mut rep_tp[si].clone()),
+                chronons: m.chronons,
+                probes_issued: m.probes_issued,
+                selection_steps: m.selection_steps,
+                peak_pool: m.candidate_set.max,
+            }
+        })
+        .collect();
+    let mut ratios: Vec<f64> = rep_tp[counts.len() - 1]
+        .iter()
+        .zip(&rep_tp[0])
+        .map(|(p, s)| p / s)
+        .collect();
+    ShardCellReport {
+        dims,
+        label: spec.label(),
+        ceis,
+        eis,
+        shards,
+        speedup: median(&mut ratios),
+    }
+}
+
 /// One grid cell: dimensions, workload size, and per-policy measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellReport {
@@ -281,12 +419,21 @@ pub struct BenchReport {
     /// order. `Option` so pre-churn baselines (no `churn` field) still
     /// parse — they fail the gate's shape check, prompting a re-baseline.
     pub churn: Option<Vec<ChurnCellReport>>,
+    /// The sharded ladder ([`shard_grid`] at [`shard_counts`]), in grid
+    /// order. `Option` so pre-shard baselines still parse — they fail the
+    /// gate's shape check, prompting a re-baseline.
+    pub shard: Option<Vec<ShardCellReport>>,
 }
 
 impl BenchReport {
     /// The churn ladder, empty for pre-churn baselines.
     pub fn churn_cells(&self) -> &[ChurnCellReport] {
         self.churn.as_deref().unwrap_or(&[])
+    }
+
+    /// The sharded ladder, empty for pre-shard baselines.
+    pub fn shard_cells(&self) -> &[ShardCellReport] {
+        self.shard.as_deref().unwrap_or(&[])
     }
 }
 
@@ -432,19 +579,30 @@ fn measure_churn(scale: Scale, dims: CellDims) -> ChurnCellReport {
 }
 
 /// Runs the scaling grid. Wall-clock measurements, so the whole sweep is
-/// pinned to one worker ([`webmon_sim::parallel::serial`]).
+/// pinned to one worker ([`webmon_sim::parallel::serial`]). The sharded
+/// ladder still parallelizes *inside* the engine: shard dispatch rides
+/// [`webmon_sim::parallel::par_map_with`], which ignores `serial` scopes —
+/// repetitions stay serial while each run fans out per shard.
 pub fn collect(scale: Scale) -> BenchReport {
-    collect_grid(scale, &grid(scale), &roster(scale), &churn_grid(scale))
+    collect_grid(
+        scale,
+        &grid(scale),
+        &roster(scale),
+        &churn_grid(scale),
+        &shard_grid(scale),
+    )
 }
 
 /// Runs an explicit grid/roster (the `--profiles`/`--ranks`/… CLI
 /// overrides funnel through here). `churn_cells` is the churn ladder to
-/// append (pass `&[]` to skip the churn section).
+/// append and `shard_cells` the sharded ladder (pass `&[]` to skip
+/// either section).
 pub fn collect_grid(
     scale: Scale,
     cells: &[CellDims],
     specs: &[PolicySpec],
     churn_cells: &[CellDims],
+    shard_cells: &[CellDims],
 ) -> BenchReport {
     serial(|| {
         let mut reports = Vec::with_capacity(cells.len());
@@ -467,12 +625,19 @@ pub fn collect_grid(
                 .map(|&dims| measure_churn(scale, dims))
                 .collect(),
         );
+        let shard = Some(
+            shard_cells
+                .iter()
+                .map(|&dims| measure_shards(scale, dims))
+                .collect(),
+        );
         BenchReport {
             schema: "webmon-bench-engine/v1".to_string(),
             scale: format!("{scale:?}"),
             repetitions,
             cells: reports,
             churn,
+            shard,
         }
     })
 }
@@ -597,6 +762,82 @@ impl BenchReport {
                 ));
             }
         }
+        if self.shard_cells().len() != baseline.shard_cells().len() {
+            out.push(format!(
+                "sharded ladder shape changed: {} cells vs baseline {} — re-baseline \
+                 BENCH_engine.json",
+                self.shard_cells().len(),
+                baseline.shard_cells().len()
+            ));
+            return out;
+        }
+        for (cell, base) in self.shard_cells().iter().zip(baseline.shard_cells()) {
+            let where_ = format!("shard {}", cell.dims.label());
+            if cell.dims != base.dims {
+                out.push(format!(
+                    "{where_}: dims differ from baseline shard {} — re-baseline",
+                    base.dims.label()
+                ));
+                continue;
+            }
+            // The sharded-vs-serial identity gate inside the bench: every
+            // deterministic counter must be identical at every shard count
+            // of the *fresh* run (serial is row 0), and identical to the
+            // committed baseline.
+            let serial_row = &cell.shards[0];
+            for m in &cell.shards {
+                let tag = format!("{where_} shards={}", m.shards);
+                for (name, got, want) in [
+                    ("chronons", m.chronons, serial_row.chronons),
+                    ("probes_issued", m.probes_issued, serial_row.probes_issued),
+                    (
+                        "selection_steps",
+                        m.selection_steps,
+                        serial_row.selection_steps,
+                    ),
+                    ("peak_pool", m.peak_pool, serial_row.peak_pool),
+                ] {
+                    if got != want {
+                        out.push(format!(
+                            "{tag}: deterministic counter {name} diverged from the serial run: \
+                             {got} vs {want} — sharded execution broke bit-identity"
+                        ));
+                    }
+                }
+            }
+            for (m, bm) in cell.shards.iter().zip(&base.shards) {
+                let tag = format!("{where_} shards={}", m.shards);
+                if m.shards != bm.shards {
+                    out.push(format!(
+                        "{tag}: shard-count ladder drift vs baseline shards={} — re-baseline",
+                        bm.shards
+                    ));
+                    continue;
+                }
+                for (name, got, want) in [
+                    ("chronons", m.chronons, bm.chronons),
+                    ("probes_issued", m.probes_issued, bm.probes_issued),
+                    ("selection_steps", m.selection_steps, bm.selection_steps),
+                    ("peak_pool", m.peak_pool, bm.peak_pool),
+                ] {
+                    if got != want {
+                        out.push(format!(
+                            "{tag}: deterministic counter {name} drifted: {got} vs baseline {want}"
+                        ));
+                    }
+                }
+            }
+            // Self-normalized scaling gate: the max-shards-over-serial
+            // throughput ratio may not fall more than the tolerance below
+            // the baseline's ratio for this cell.
+            let floor = base.speedup * (1.0 - SPEEDUP_TOLERANCE);
+            if cell.speedup < floor {
+                out.push(format!(
+                    "{where_}: shard speedup regressed: {:.2}x vs baseline {:.2}x (floor {:.2}x)",
+                    cell.speedup, base.speedup, floor
+                ));
+            }
+        }
         out
     }
 
@@ -666,7 +907,33 @@ impl BenchReport {
                 2,
             );
         }
-        vec![t, c]
+        if self.shard_cells().is_empty() {
+            return vec![t, c];
+        }
+        let mut s = Table::with_headers(
+            "exp_scale — sharded ladder (chronons/sec per shard count on one large cell; \
+             identical schedules and traces at every N)",
+            &["cell · policy", "CEIs", "shards", "chronons/sec", "speedup"],
+        );
+        for cell in self.shard_cells() {
+            for m in &cell.shards {
+                s.push_numeric_row(
+                    format!("{} {}", cell.dims.label(), cell.label),
+                    &[
+                        cell.ceis,
+                        f64::from(m.shards),
+                        m.chronons_per_sec,
+                        if m.shards == cell.shards.last().map_or(0, |l| l.shards) {
+                            cell.speedup
+                        } else {
+                            f64::NAN
+                        },
+                    ],
+                    2,
+                );
+            }
+        }
+        vec![t, c, s]
     }
 }
 
@@ -692,6 +959,7 @@ mod tests {
             Scale::Quick,
             &[dims],
             &[PolicySpec::p(PolicyKind::Mrsf)],
+            &[dims],
             &[dims],
         )
     }
@@ -775,13 +1043,71 @@ mod tests {
         let report = tiny();
         let back = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.churn_cells().len(), 1);
-        assert_eq!(report.tables().len(), 2);
+        assert_eq!(report.tables().len(), 3);
         // Pre-churn baselines (no `churn` field) still parse.
         let pre =
             r#"{"schema":"webmon-bench-engine/v1","scale":"Quick","repetitions":1,"cells":[]}"#;
-        assert!(BenchReport::from_json(pre)
-            .unwrap()
-            .churn_cells()
-            .is_empty());
+        let pre = BenchReport::from_json(pre).unwrap();
+        assert!(pre.churn_cells().is_empty());
+        // Pre-shard baselines (no `shard` field) parse too, and fail the
+        // gate's shape check rather than vacuously passing.
+        assert!(pre.shard_cells().is_empty());
+    }
+
+    #[test]
+    fn shard_ladder_is_measured_and_counters_agree_across_counts() {
+        let report = tiny();
+        assert_eq!(report.shard_cells().len(), 1);
+        let c = &report.shard_cells()[0];
+        assert_eq!(c.shards.len(), shard_counts().len());
+        let serial_row = &c.shards[0];
+        assert_eq!(serial_row.shards, 1);
+        assert!(serial_row.chronons > 0 && serial_row.wall_secs > 0.0);
+        for m in &c.shards {
+            // Bit-identity: every deterministic counter equals the serial
+            // run's, at every shard count.
+            assert_eq!(m.chronons, serial_row.chronons, "shards={}", m.shards);
+            assert_eq!(
+                m.probes_issued, serial_row.probes_issued,
+                "shards={}",
+                m.shards
+            );
+            assert_eq!(
+                m.selection_steps, serial_row.selection_steps,
+                "shards={}",
+                m.shards
+            );
+            assert_eq!(m.peak_pool, serial_row.peak_pool, "shards={}", m.shards);
+        }
+        assert!(c.speedup.is_finite() && c.speedup > 0.0);
+    }
+
+    #[test]
+    fn shard_ladder_gate_catches_identity_breaks_and_regressions() {
+        let report = tiny();
+        assert_eq!(report.violations_against(&report), Vec::<String>::new());
+
+        // A pre-shard baseline (no shard section) fails the shape check.
+        let mut stale = report.clone();
+        stale.shard = None;
+        let v = report.violations_against(&stale);
+        assert!(
+            v.iter().any(|m| m.contains("sharded ladder shape")),
+            "{v:?}"
+        );
+
+        // A counter diverging from the serial row is an identity break —
+        // flagged against the fresh run itself, not just the baseline.
+        let mut broken = report.clone();
+        broken.shard.as_mut().unwrap()[0].shards[1].probes_issued += 1;
+        let v = broken.violations_against(&report);
+        assert!(v.iter().any(|m| m.contains("broke bit-identity")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("drifted")), "{v:?}");
+
+        // Scaling regressions beyond tolerance are gated.
+        let mut slower = report.clone();
+        slower.shard.as_mut().unwrap()[0].speedup *= 1.0 - SPEEDUP_TOLERANCE - 0.05;
+        let v = slower.violations_against(&report);
+        assert!(v.iter().any(|m| m.contains("shard speedup")), "{v:?}");
     }
 }

@@ -1,7 +1,8 @@
 //! The run loop implementing Algorithm 1 (Online Complex Monitoring).
 
-use super::index::{CandidateIndex, PoolEntry};
+use super::index::PoolEntry;
 use super::mutation::{Mutation, MutationQueue};
+use super::shard::{ShardMap, ShardSet};
 use crate::fault::{FaultConfig, FaultModel, NoFaults};
 use crate::model::{CaptureSet, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, NoopObserver, Observer};
@@ -55,6 +56,13 @@ pub struct EngineConfig {
     pub share_probes: bool,
     /// Candidate selection data structure.
     pub selection: SelectionStrategy,
+    /// Number of resource shards for intra-cell parallelism. `0` resolves
+    /// automatically ([`crate::parallel::effective_shards`]: the CLI's
+    /// `--shards N`, then `WEBMON_SHARDS`, then 1); any value is clamped to
+    /// `1..=|R|`. **Determinism contract:** every shard count produces the
+    /// bit-identical schedule, stats, `RunMetrics`, and JSONL trace bytes —
+    /// sharding changes wall-clock time only.
+    pub shards: u32,
 }
 
 impl EngineConfig {
@@ -64,6 +72,7 @@ impl EngineConfig {
             preemptive: true,
             share_probes: true,
             selection: SelectionStrategy::Incremental,
+            shards: 0,
         }
     }
 
@@ -73,6 +82,7 @@ impl EngineConfig {
             preemptive: false,
             share_probes: true,
             selection: SelectionStrategy::Incremental,
+            shards: 0,
         }
     }
 
@@ -99,6 +109,13 @@ impl EngineConfig {
     /// Sets the candidate selection data structure.
     pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
         self.selection = selection;
+        self
+    }
+
+    /// Sets the shard count for intra-cell parallelism (see
+    /// [`EngineConfig::shards`]). `0` restores automatic resolution.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -287,6 +304,25 @@ impl OnlineEngine {
             SelectionStrategy::Scan
         };
 
+        // Resource sharding (see `engine::shard`): `0` resolves through the
+        // global knob, and any request clamps to `1..=|R|`. The shard count
+        // never affects output — only which thread performs per-shard
+        // maintenance and scoring.
+        let n_shards = ShardMap::resolve(
+            if config.shards == 0 {
+                crate::parallel::effective_shards()
+            } else {
+                config.shards as usize
+            },
+            n_res,
+        );
+
+        // The candidate pool, grouped by resource with incremental removal
+        // and live counts, partitioned into per-shard scoped indexes (one
+        // shard is exactly the serial index). Allocated once and reused for
+        // the whole run.
+        let mut index = ShardSet::new(instance, n_shards);
+
         // Bucket EIs by start chronon so each enters the pool exactly when
         // its window opens, and by end chronon so the expiry pass visits
         // only the windows closing now instead of scanning the whole pool.
@@ -295,8 +331,13 @@ impl OnlineEngine {
         // ascending), and each ends bucket is stable-sorted by start on top
         // of it. A window ending at or past the horizon never expires
         // inside the epoch, exactly as the per-chronon `end == t` test
-        // behaved.
-        let mut starts: Vec<Vec<PoolEntry>> = vec![Vec::new(); horizon as usize];
+        // behaved. Start buckets are additionally split by owning shard —
+        // `starts[t][s]` — so each shard inserts its own entries; within a
+        // shard the cei-major order is preserved, and shards cover
+        // contiguous ascending resource ranges, so the per-resource lists
+        // are filled exactly as a serial run fills them.
+        let mut starts: Vec<Vec<Vec<PoolEntry>>> =
+            vec![vec![Vec::new(); n_shards]; horizon as usize];
         let mut ends: Vec<Vec<PoolEntry>> = vec![Vec::new(); horizon as usize];
         for cei in &instance.ceis {
             for (idx, ei) in cei.eis.iter().enumerate() {
@@ -304,7 +345,8 @@ impl OnlineEngine {
                     cei: cei.id,
                     ei_idx: idx as u16,
                 };
-                starts[ei.start as usize].push(entry);
+                let shard = index.map().shard_of(ei.resource.index());
+                starts[ei.start as usize][shard].push(entry);
                 if (ei.end as usize) < ends.len() {
                     ends[ei.end as usize].push(entry);
                 }
@@ -336,10 +378,8 @@ impl OnlineEngine {
         let mut budget_override: Option<u32> = None;
         let mut pending_budget: Option<u32> = None;
 
-        // The candidate pool, grouped by resource with incremental removal
-        // and live counts (see `engine::index`). Every buffer below is
-        // allocated once here and reused for the whole run.
-        let mut index = CandidateIndex::new(instance);
+        // Every buffer below is allocated once here and reused for the
+        // whole run.
         let mut active_snapshot = vec![0u32; n_res];
         let mut has_update = vec![false; n_res];
         let mut probed_now = vec![false; n_res];
@@ -351,6 +391,12 @@ impl OnlineEngine {
         // Engine-owned heap storage for `SelectionStrategy::Incremental`:
         // cleared, never dropped, between phases.
         let mut reused_heap: ScoreHeap = std::collections::BinaryHeap::new();
+        // Per-shard seeding buffers: each shard scores its live entries
+        // into its buffer (concurrently when sharded), and the buffers are
+        // merged serially into the one global heap. A heap's popped-value
+        // sequence is a function of the pushed-value multisets between
+        // pops, so the buffered merge is bit-identical to direct pushes.
+        let mut seed_bufs: Vec<Vec<(i64, u32, u16)>> = vec![Vec::new(); index.n_shards()];
 
         // Fault-injection state. `fault_blocked` is always allocated (the
         // selectors index it unconditionally); the rest is sized to zero
@@ -456,13 +502,6 @@ impl OnlineEngine {
                 }
             }
 
-            // Amortized maintenance: compact any resource list whose
-            // tombstones outnumber its live entries. This replaces the
-            // legacy whole-pool `retain` — removal itself happened at the
-            // transitions of the previous chronon (or a cancellation
-            // drained just above).
-            index.sweep();
-
             if fault_on {
                 faults.begin_chronon(t);
                 for r in 0..n_res {
@@ -508,26 +547,24 @@ impl OnlineEngine {
                 }
             }
 
-            // -- 2. EIs whose window opens now join cands(I). Every entry in
-            // this bucket has `start == t`, so its resource gains a fresh
-            // update for the policy context.
-            has_update.fill(false);
-            for entry in &starts[t as usize] {
-                if matches!(status[entry.cei.index()], Status::Active(_)) {
-                    let resource = instance.cei(entry.cei).eis[entry.ei_idx as usize].resource;
-                    index.insert(*entry, resource.index());
-                    has_update[resource.index()] = true;
-                }
-            }
-
-            // -- 3/4. The legacy compaction + aggregation scans are gone:
-            // the index drops entries at the transition that kills them and
-            // maintains per-resource live counts incrementally. Snapshot
-            // the counts for the policy context — scores must see the
+            // -- 2–4. Fused per-shard maintenance, one task per shard
+            // (threaded on large sharded runs, inline otherwise — output is
+            // identical either way): amortized tombstone sweep, then EIs
+            // whose window opens now join cands(I) from the shard's
+            // `starts[t]` bucket (every entry there has `start == t`, so
+            // its resource gains a fresh update for the policy context),
+            // then the occupancy snapshot — scores must see the
             // chronon-start occupancy even while captures land mid-probing,
-            // matching the legacy scan-once semantics — and freeze the live
-            // total as the candidate-set size selection competes over.
-            active_snapshot.copy_from_slice(index.active_now());
+            // matching the legacy scan-once semantics. The live total is
+            // frozen after as the candidate-set size selection competes
+            // over.
+            index.begin_chronon(
+                instance,
+                &starts[t as usize],
+                &mut has_update,
+                &mut active_snapshot,
+                |cei| matches!(status[cei], Status::Active(_)),
+            );
             let pool_size = index.live();
 
             // Non-preemptive mode snapshots, before any probing this
@@ -535,7 +572,7 @@ impl OnlineEngine {
             if !config.preemptive {
                 for r in 0..n_res {
                     for e in index.entries(r) {
-                        if index.is_live(*e) {
+                        if index.is_live(*e, r) {
                             started_snapshot[e.cei.index()] = status[e.cei.index()]
                                 .capture_set()
                                 .is_some_and(CaptureSet::is_started);
@@ -584,18 +621,20 @@ impl OnlineEngine {
                 if selection != SelectionStrategy::Scan {
                     let snapshot = phase.map(|req| (req, started_snapshot.as_slice()));
                     let legacy = selection == SelectionStrategy::LazyHeap;
-                    for r in 0..n_res {
-                        for e in index.entries(r) {
-                            if !index.is_live(*e) {
-                                continue;
-                            }
-                            if let Some(score) =
-                                score_entry(instance, policy, &ctx, &status, *e, snapshot)
-                            {
-                                heap.push(std::cmp::Reverse((score, e.cei.0, e.ei_idx)));
-                                if legacy {
-                                    cei_entries.entry(e.cei.0).or_default().push(*e);
-                                }
+                    // Per-shard scoring (concurrent when sharded), then a
+                    // serial merge in shard order — ascending resource
+                    // order, i.e. the exact serial seeding order.
+                    index.seed_scores(&mut seed_bufs, |e| {
+                        score_entry(instance, policy, &ctx, &status, e, snapshot)
+                    });
+                    for buf in &seed_bufs {
+                        for &(score, cei, ei_idx) in buf {
+                            heap.push(std::cmp::Reverse((score, cei, ei_idx)));
+                            if legacy {
+                                cei_entries.entry(cei).or_default().push(PoolEntry {
+                                    cei: CeiId(cei),
+                                    ei_idx,
+                                });
                             }
                         }
                     }
@@ -804,7 +843,9 @@ impl OnlineEngine {
                                         cei: *id,
                                         ei_idx: idx as u16,
                                     };
-                                    if !index.is_live(e) || probed_now[ei.resource.index()] {
+                                    if !index.is_live(e, ei.resource.index())
+                                        || probed_now[ei.resource.index()]
+                                    {
                                         continue;
                                     }
                                     if let Some(score) =
@@ -843,15 +884,16 @@ impl OnlineEngine {
             // closing at t are visited — their bucket keeps pool order.
             transitions.clear();
             for e in &ends[t as usize] {
-                if !index.is_live(*e) {
+                let cei = instance.cei(e.cei);
+                let r = cei.eis[e.ei_idx as usize].resource.index();
+                if !index.is_live(*e, r) {
                     continue; // never entered, captured, or already removed
                 }
                 let Status::Active(cap) = &mut status[e.cei.index()] else {
                     continue;
                 };
-                let cei = instance.cei(e.cei);
                 if cap.mark_expired(e.ei_idx as usize) {
-                    index.remove(*e, cei.eis[e.ei_idx as usize].resource.index());
+                    index.remove(*e, r);
                     if cap.is_doomed(cei.required) {
                         transitions.push((e.cei, CeiOutcome::Failed { at: t }));
                     }
@@ -881,7 +923,7 @@ impl OnlineEngine {
                         continue;
                     };
                     for e in index.entries(r) {
-                        if !index.is_live(*e) {
+                        if !index.is_live(*e, r) {
                             continue;
                         }
                         let ei = instance.cei(e.cei).eis[e.ei_idx as usize];
@@ -992,7 +1034,7 @@ fn argmin_candidate(
     instance: &Instance,
     policy: &dyn Policy,
     ctx: &PolicyContext<'_>,
-    index: &CandidateIndex,
+    index: &ShardSet,
     status: &[Status],
     probed_now: &[bool],
     blocked: &[bool],
@@ -1013,7 +1055,7 @@ fn argmin_candidate(
             continue; // unaffordable this chronon (varying-costs extension)
         }
         for e in index.entries(r) {
-            if !index.is_live(*e) {
+            if !index.is_live(*e, r) {
                 continue;
             }
             let Some(score) = score_entry(instance, policy, ctx, status, *e, phase) else {
@@ -1085,7 +1127,7 @@ fn pop_valid(
 #[allow(clippy::too_many_arguments)]
 fn capture_resource<O: Observer>(
     instance: &Instance,
-    index: &mut CandidateIndex,
+    index: &mut ShardSet,
     scratch: &mut Vec<PoolEntry>,
     status: &mut [Status],
     resource: usize,
@@ -1097,9 +1139,9 @@ fn capture_resource<O: Observer>(
     observer: &mut O,
 ) {
     completed.clear();
-    std::mem::swap(scratch, &mut index.by_resource[resource]);
+    std::mem::swap(scratch, index.list_mut(resource));
     for e in scratch.iter() {
-        if !index.is_live(*e) {
+        if !index.is_live(*e, resource) {
             continue; // tombstone awaiting a sweep
         }
         let Status::Active(cap) = &mut status[e.cei.index()] else {
@@ -1128,7 +1170,7 @@ fn capture_resource<O: Observer>(
         }
     }
     scratch.clear();
-    std::mem::swap(scratch, &mut index.by_resource[resource]);
+    std::mem::swap(scratch, index.list_mut(resource));
     index.reset_cleared(resource);
     for &(id, outcome) in completed.iter() {
         status[id.index()] = Status::Captured;
@@ -1145,7 +1187,7 @@ fn capture_resource<O: Observer>(
 #[allow(clippy::too_many_arguments)]
 fn capture_single<O: Observer>(
     instance: &Instance,
-    index: &mut CandidateIndex,
+    index: &mut ShardSet,
     entry: PoolEntry,
     status: &mut [Status],
     t: Chronon,

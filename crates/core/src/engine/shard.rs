@@ -1,0 +1,476 @@
+//! Resource sharding: intra-cell parallelism for the Algorithm-1 loop.
+//!
+//! A shard is a contiguous range of resources plus everything the engine
+//! tracks per resource: the shard's slice of the [`CandidateIndex`], its
+//! `starts[t]` insertion buckets, its `has_update` / `active_eis` slices.
+//! Because intra-resource probe sharing (`R_ids`) never crosses resources,
+//! the cut is clean — all per-chronon *maintenance* (tombstone sweeps,
+//! window-open insertions, occupancy snapshots) and all candidate *scoring*
+//! (selection seeding) touch exactly one shard's state and fan out on the
+//! scoped-thread pool ([`crate::parallel`]). Everything that orders the run
+//! — the mutation drain, the global selection heap, probe issue, captures,
+//! expiry, shedding, and every observer event — stays serial, in the
+//! canonical merge order, which is what keeps `shards = N` **bit-identical**
+//! to `shards = 1` on schedules, `RunMetrics`, and JSONL trace bytes.
+//!
+//! # Why buffered seeding is exact
+//!
+//! The heap selectors' observable behavior (popped values and pop counts)
+//! is a pure function of the *multiset* of values pushed between pops: the
+//! key `(score, cei, ei_idx)` is totally ordered, so the minimum of the
+//! multiset — what a pop returns — does not depend on push order, and
+//! duplicate keys are indistinguishable as values. Seeding therefore scores
+//! each shard's live entries into a per-shard buffer concurrently and
+//! merges the buffers into the one global heap serially (in shard order,
+//! which is ascending resource order — the exact serial order, though any
+//! order would do). Scan selection distributes the same way: the global
+//! argmin under the `(score, cei, ei_idx)` tie-break is the min of the
+//! per-shard argmins.
+//!
+//! # Dispatch
+//!
+//! Whether the per-shard sections actually run on threads is a pure
+//! performance choice ([`ShardSet::threaded`]): shard state is disjoint, so
+//! inline and threaded execution are operation-identical. Small instances
+//! stay inline — scoped-thread spawns per chronon would dwarf the work.
+
+use std::ops::Range;
+
+use super::index::{CandidateIndex, PoolEntry};
+use crate::model::Instance;
+use crate::parallel::par_map_with;
+
+/// Below this many total EIs a sharded run executes its per-shard sections
+/// inline: the per-chronon scoped-thread spawns would cost more than the
+/// work they distribute. Purely a dispatch threshold — output is identical
+/// either way.
+const THREADED_MIN_EIS: usize = 4096;
+
+/// One shard's disjoint slice bundle for the fused per-chronon prep: its
+/// index, its `starts[t]` bucket, and its `has_update` / occupancy windows.
+type PrepUnit<'a> = (
+    &'a mut CandidateIndex,
+    &'a [PoolEntry],
+    &'a mut [bool],
+    &'a mut [u32],
+);
+
+/// A contiguous partition of `n_resources` into shards: the first
+/// `n_resources % n_shards` shards own one extra resource, so shard sizes
+/// differ by at most one and [`Self::shard_of`] is O(1) arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardMap {
+    n_shards: usize,
+    /// Resources per shard, rounded down.
+    base: usize,
+    /// The first `rem` shards own `base + 1` resources.
+    rem: usize,
+}
+
+impl ShardMap {
+    /// Clamps a requested shard count to `1..=max(1, n_res)`: zero requests
+    /// mean one shard, and `shards > |R|` degrades to one resource per
+    /// shard (an empty shard could never own an entry anyway).
+    pub(crate) fn resolve(requested: usize, n_res: usize) -> usize {
+        requested.clamp(1, n_res.max(1))
+    }
+
+    /// Builds the partition. `n_shards` must already be resolved
+    /// ([`Self::resolve`]).
+    pub(crate) fn new(n_shards: usize, n_res: usize) -> Self {
+        debug_assert!(n_shards >= 1 && (n_shards <= n_res || n_res == 0));
+        ShardMap {
+            n_shards,
+            base: n_res / n_shards,
+            rem: n_res % n_shards,
+        }
+    }
+
+    /// The shard owning resource `r`.
+    #[inline]
+    pub(crate) fn shard_of(&self, r: usize) -> usize {
+        let fat = self.rem * (self.base + 1);
+        if r < fat {
+            r / (self.base + 1)
+        } else {
+            self.rem + (r - fat) / self.base.max(1)
+        }
+    }
+
+    /// The contiguous resource range shard `s` owns.
+    pub(crate) fn range(&self, s: usize) -> Range<usize> {
+        let start = if s < self.rem {
+            s * (self.base + 1)
+        } else {
+            self.rem * (self.base + 1) + (s - self.rem) * self.base
+        };
+        let width = self.base + usize::from(s < self.rem);
+        start..start + width
+    }
+}
+
+/// The engine's sharded candidate pool: one scoped [`CandidateIndex`] per
+/// shard behind the exact API the serial engine used, with every method
+/// routing through [`ShardMap::shard_of`]. With one shard this is the
+/// serial index plus one O(1) routing arithmetic per call.
+pub(crate) struct ShardSet {
+    map: ShardMap,
+    shards: Vec<CandidateIndex>,
+    /// Whether per-shard sections dispatch on the thread pool (see
+    /// [`THREADED_MIN_EIS`]); never affects output.
+    threaded: bool,
+}
+
+impl ShardSet {
+    /// Builds the sharded pool for `instance` with a resolved shard count.
+    pub(crate) fn new(instance: &Instance, n_shards: usize) -> Self {
+        let n_res = instance.n_resources as usize;
+        let map = ShardMap::new(n_shards, n_res);
+        let shards = if n_shards == 1 {
+            vec![CandidateIndex::new(instance)]
+        } else {
+            (0..n_shards)
+                .map(|s| CandidateIndex::new_scoped(instance, map.range(s)))
+                .collect()
+        };
+        let threaded = n_shards > 1 && instance.total_eis() >= THREADED_MIN_EIS;
+        ShardSet {
+            map,
+            shards,
+            threaded,
+        }
+    }
+
+    /// The resource partition.
+    pub(crate) fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub(crate) fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_for(&self, r: usize) -> &CandidateIndex {
+        &self.shards[self.map.shard_of(r)]
+    }
+
+    #[inline]
+    fn shard_for_mut(&mut self, r: usize) -> &mut CandidateIndex {
+        &mut self.shards[self.map.shard_of(r)]
+    }
+
+    /// `true` if the entry (owned by `resource`) is live.
+    #[inline]
+    pub(crate) fn is_live(&self, e: PoolEntry, resource: usize) -> bool {
+        self.shard_for(resource).is_live(e)
+    }
+
+    /// Total live entries across all shards — the candidate-set size.
+    #[inline]
+    pub(crate) fn live(&self) -> u32 {
+        self.shards.iter().map(CandidateIndex::live).sum()
+    }
+
+    /// Live entries on one resource.
+    #[inline]
+    pub(crate) fn live_on(&self, resource: usize) -> u32 {
+        self.shard_for(resource).live_on(resource)
+    }
+
+    /// The entry list of one resource, tombstones included.
+    #[inline]
+    pub(crate) fn entries(&self, resource: usize) -> &[PoolEntry] {
+        self.shard_for(resource).entries(resource)
+    }
+
+    /// Exclusive access to one resource's entry list (the shared-capture
+    /// swap).
+    #[inline]
+    pub(crate) fn list_mut(&mut self, resource: usize) -> &mut Vec<PoolEntry> {
+        let s = self.map.shard_of(resource);
+        &mut self.shards[s].by_resource[resource]
+    }
+
+    /// Inserts a newly opened entry on its owning shard.
+    #[inline]
+    pub(crate) fn insert(&mut self, e: PoolEntry, resource: usize) {
+        self.shard_for_mut(resource).insert(e, resource);
+    }
+
+    /// Removes an entry if live; returns whether it was.
+    #[inline]
+    pub(crate) fn remove(&mut self, e: PoolEntry, resource: usize) -> bool {
+        self.shard_for_mut(resource).remove(e, resource)
+    }
+
+    /// Clears liveness accounting for an entry whose list is swapped out.
+    #[inline]
+    pub(crate) fn mark_captured(&mut self, e: PoolEntry, resource: usize) {
+        self.shard_for_mut(resource).mark_captured(e, resource);
+    }
+
+    /// Resets tombstone accounting after a wholesale list clear.
+    #[inline]
+    pub(crate) fn reset_cleared(&mut self, resource: usize) {
+        self.shard_for_mut(resource).reset_cleared(resource);
+    }
+
+    /// Removes every still-live entry of a resolved CEI, routing each of
+    /// its EIs to the owning shard — a CEI may span shards even though a
+    /// single probe's captures never do.
+    pub(crate) fn remove_cei(&mut self, instance: &Instance, id: crate::model::CeiId) {
+        let cei = instance.cei(id);
+        for (idx, ei) in cei.eis.iter().enumerate() {
+            let e = PoolEntry {
+                cei: id,
+                ei_idx: idx as u16,
+            };
+            self.remove(e, ei.resource.index());
+        }
+    }
+
+    /// The fused per-chronon maintenance section, one task per shard:
+    /// tombstone sweep, `has_update` reset, window-open insertions from the
+    /// shard's `starts[t]` bucket, and the `active_eis` occupancy snapshot.
+    /// `has_update` and `active_snapshot` are the full-length engine
+    /// buffers, split at shard boundaries; `is_active` reads the (shared,
+    /// frozen) CEI status table.
+    pub(crate) fn begin_chronon<F>(
+        &mut self,
+        instance: &Instance,
+        starts_t: &[Vec<PoolEntry>],
+        has_update: &mut [bool],
+        active_snapshot: &mut [u32],
+        is_active: F,
+    ) where
+        F: Fn(usize) -> bool + Sync,
+    {
+        fn prep<F: Fn(usize) -> bool>(
+            index: &mut CandidateIndex,
+            range: Range<usize>,
+            bucket: &[PoolEntry],
+            has_update: &mut [bool],
+            active: &mut [u32],
+            instance: &Instance,
+            is_active: &F,
+        ) {
+            index.sweep();
+            has_update.fill(false);
+            for e in bucket {
+                if is_active(e.cei.index()) {
+                    let r = instance.cei(e.cei).eis[e.ei_idx as usize].resource.index();
+                    index.insert(*e, r);
+                    has_update[r - range.start] = true;
+                }
+            }
+            active.copy_from_slice(&index.active_now()[range]);
+        }
+
+        if self.shards.len() == 1 {
+            let range = self.map.range(0);
+            prep(
+                &mut self.shards[0],
+                range,
+                &starts_t[0],
+                has_update,
+                active_snapshot,
+                instance,
+                &is_active,
+            );
+            return;
+        }
+
+        let mut units: Vec<PrepUnit> = Vec::with_capacity(self.shards.len());
+        let mut hu = has_update;
+        let mut act = active_snapshot;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let width = self.map.range(s).len();
+            let (hu_s, hu_rest) = hu.split_at_mut(width);
+            let (act_s, act_rest) = act.split_at_mut(width);
+            hu = hu_rest;
+            act = act_rest;
+            units.push((shard, &starts_t[s], hu_s, act_s));
+        }
+        let map = &self.map;
+        let work = |s: usize, (index, bucket, hu_s, act_s): (_, _, _, _)| {
+            prep(
+                index,
+                map.range(s),
+                bucket,
+                hu_s,
+                act_s,
+                instance,
+                &is_active,
+            );
+        };
+        if self.threaded {
+            par_map_with(units.len(), units, work);
+        } else {
+            for (s, unit) in units.into_iter().enumerate() {
+                work(s, unit);
+            }
+        }
+    }
+
+    /// The per-phase seeding section, one task per shard: scores every live
+    /// entry of the shard into its buffer, in ascending resource order. The
+    /// caller merges the buffers serially into the global selection heap
+    /// (see the [module docs](self) for why the merge is exact).
+    pub(crate) fn seed_scores<F>(&self, bufs: &mut [Vec<(i64, u32, u16)>], score: F)
+    where
+        F: Fn(PoolEntry) -> Option<i64> + Sync,
+    {
+        fn seed<F: Fn(PoolEntry) -> Option<i64>>(
+            index: &CandidateIndex,
+            range: Range<usize>,
+            buf: &mut Vec<(i64, u32, u16)>,
+            score: &F,
+        ) {
+            buf.clear();
+            for r in range {
+                for e in index.entries(r) {
+                    if !index.is_live(*e) {
+                        continue;
+                    }
+                    if let Some(s) = score(*e) {
+                        buf.push((s, e.cei.0, e.ei_idx));
+                    }
+                }
+            }
+        }
+
+        if self.shards.len() == 1 {
+            seed(&self.shards[0], self.map.range(0), &mut bufs[0], &score);
+            return;
+        }
+        let units: Vec<_> = self.shards.iter().zip(bufs.iter_mut()).collect();
+        let map = &self.map;
+        let work = |s: usize, (index, buf): (&CandidateIndex, &mut Vec<(i64, u32, u16)>)| {
+            seed(index, map.range(s), buf, &score);
+        };
+        if self.threaded {
+            par_map_with(units.len(), units, work);
+        } else {
+            for (s, unit) in units.into_iter().enumerate() {
+                work(s, unit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Budget, CeiId, InstanceBuilder};
+
+    #[test]
+    fn resolve_clamps_to_resource_count() {
+        assert_eq!(ShardMap::resolve(0, 8), 1);
+        assert_eq!(ShardMap::resolve(3, 8), 3);
+        assert_eq!(ShardMap::resolve(7, 3), 3, "shards > |R| degrades");
+        assert_eq!(ShardMap::resolve(4, 0), 1, "no resources: one shard");
+        assert_eq!(ShardMap::resolve(4, 1), 1);
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        for n_res in [1usize, 2, 3, 7, 8, 100] {
+            for n_shards in 1..=n_res.min(9) {
+                let map = ShardMap::new(n_shards, n_res);
+                let mut covered = 0;
+                for s in 0..n_shards {
+                    let range = map.range(s);
+                    assert_eq!(range.start, covered, "ranges are contiguous");
+                    covered = range.end;
+                    let width = range.len();
+                    assert!(
+                        width == n_res / n_shards || width == n_res / n_shards + 1,
+                        "sizes differ by at most one"
+                    );
+                    for r in range {
+                        assert_eq!(map.shard_of(r), s, "shard_of agrees with range");
+                    }
+                }
+                assert_eq!(covered, n_res, "partition covers every resource");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_handles_the_boundary_resource() {
+        // 5 resources over 2 shards: [0, 3) and [3, 5). Resource 2 is the
+        // last of shard 0, resource 3 the first of shard 1.
+        let map = ShardMap::new(2, 5);
+        assert_eq!(map.range(0), 0..3);
+        assert_eq!(map.range(1), 3..5);
+        assert_eq!(map.shard_of(2), 0);
+        assert_eq!(map.shard_of(3), 1);
+    }
+
+    fn cross_shard_instance() -> Instance {
+        let mut b = InstanceBuilder::new(4, 10, Budget::Uniform(2));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 5), (3, 0, 5)]); // spans both shards of a 2-split
+        b.cei(p, &[(1, 1, 4)]);
+        b.build()
+    }
+
+    #[test]
+    fn shard_set_routes_inserts_and_counts() {
+        let inst = cross_shard_instance();
+        let mut set = ShardSet::new(&inst, 2);
+        assert_eq!(set.n_shards(), 2);
+        let a0 = PoolEntry {
+            cei: CeiId(0),
+            ei_idx: 0,
+        };
+        let a1 = PoolEntry {
+            cei: CeiId(0),
+            ei_idx: 1,
+        };
+        set.insert(a0, 0);
+        set.insert(a1, 3);
+        assert_eq!(set.live(), 2, "live total sums across shards");
+        assert_eq!(set.live_on(0), 1);
+        assert_eq!(set.live_on(3), 1);
+        assert!(set.is_live(a0, 0) && set.is_live(a1, 3));
+        // Resolving the CEI removes its entries from both shards.
+        set.remove_cei(&inst, CeiId(0));
+        assert_eq!(set.live(), 0);
+        assert!(!set.is_live(a0, 0) && !set.is_live(a1, 3));
+    }
+
+    #[test]
+    fn begin_chronon_matches_serial_prep() {
+        // The fused prep on 2 shards leaves the same observable state as on
+        // 1 shard: live counts, has_update, and the occupancy snapshot.
+        let inst = cross_shard_instance();
+        let mut starts1 = vec![vec![Vec::new(); 10]];
+        let mut starts2 = vec![vec![Vec::new(); 10], vec![Vec::new(); 10]];
+        let map2 = ShardMap::new(2, 4);
+        for cei in &inst.ceis {
+            for (idx, ei) in cei.eis.iter().enumerate() {
+                let e = PoolEntry {
+                    cei: cei.id,
+                    ei_idx: idx as u16,
+                };
+                starts1[0][ei.start as usize].push(e);
+                starts2[map2.shard_of(ei.resource.index())][ei.start as usize].push(e);
+            }
+        }
+        let run = |n_shards: usize, starts: &[Vec<Vec<PoolEntry>>]| {
+            let mut set = ShardSet::new(&inst, n_shards);
+            let mut hu = vec![false; 4];
+            let mut act = vec![0u32; 4];
+            for t in [0usize, 1] {
+                let buckets: Vec<Vec<PoolEntry>> =
+                    (0..n_shards).map(|s| starts[s][t].clone()).collect();
+                set.begin_chronon(&inst, &buckets, &mut hu, &mut act, |_| true);
+            }
+            (set.live(), hu, act)
+        };
+        assert_eq!(run(1, &starts1), run(2, &starts2));
+    }
+}

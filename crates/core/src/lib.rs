@@ -73,6 +73,7 @@ pub mod fault;
 pub mod model;
 pub mod obs;
 pub mod offline;
+pub mod parallel;
 pub mod policy;
 pub mod stats;
 

@@ -42,11 +42,12 @@ pub mod churn;
 pub mod config;
 pub mod experiment;
 pub mod faults;
-pub mod parallel;
 pub mod policies;
 pub mod report;
 pub mod summary;
 pub mod table;
+
+pub use webmon_core::parallel;
 
 pub use churn::ChurnSpec;
 pub use config::{ExperimentConfig, NoiseSpec, TraceSpec};

@@ -196,6 +196,65 @@ fn reconfigured_budget_is_respected_from_the_next_chronon() {
     }
 }
 
+/// Mid-run Register and Cancel mutations landing on a **non-zero shard**:
+/// with 8 resources and 4 shards the partition is `[0,2) [2,4) [4,6)
+/// [6,8)`, so a CEI registered on resources 6–7 inserts into shard 3's
+/// index and a cancellation on resources 4–5 routes its removals through
+/// shard 2 — and the sharded churned run must match the serial churned run
+/// bit for bit (schedule, stats, outcomes, metrics, trace bytes).
+#[test]
+fn midrun_mutations_on_a_nonzero_shard_match_serial() {
+    let mut b = webmon_core::model::InstanceBuilder::new(8, 16, Budget::Uniform(2));
+    let p = b.profile();
+    b.cei(p, &[(0, 0, 6)]); // shard 0 background load
+    b.cei(p, &[(3, 0, 14)]); // shard 1
+                             // Shard 2, cancelled mid-run: the second EI only opens at chronon 8,
+                             // so the CEI cannot resolve before the cancellation drains at 5.
+    b.cei(p, &[(4, 2, 12), (5, 8, 12)]);
+    b.cei_released(p, 5, &[(6, 5, 12), (7, 6, 13)]); // shard 3: registered mid-run
+    let inst = b.build();
+
+    let mut mutations = MutationQueue::new();
+    mutations.register(5, inst.ceis[3].id);
+    mutations.cancel(5, inst.ceis[2].id);
+    mutations.set_budget(8, 1);
+
+    for policy in [&SEdf as &dyn Policy, &Mrsf, &MEdf, &Wic::paper()] {
+        for base in [EngineConfig::preemptive(), EngineConfig::non_preemptive()] {
+            let mut runs = Vec::new();
+            for shards in [1u32, 4] {
+                let config = base.with_shards(shards);
+                let run = conformant_churned_run(&inst, policy, config, &mutations);
+                let mut tee = Tee(MetricsObserver::new(), JsonlTraceObserver::new(Vec::new()));
+                OnlineEngine::run_mutated(
+                    &inst,
+                    policy,
+                    config,
+                    &mut NoFaults,
+                    FaultConfig::default(),
+                    &mutations,
+                    &mut tee,
+                );
+                let Tee(metrics, trace) = tee;
+                runs.push((
+                    run,
+                    metrics.finish(),
+                    trace.finish().expect("Vec<u8> sink cannot fail"),
+                ));
+            }
+            let label = format!("{} {}", policy.name(), base.label());
+            assert_eq!(runs[0].0.schedule, runs[1].0.schedule, "{label}: schedule");
+            assert_eq!(runs[0].0.stats, runs[1].0.stats, "{label}: stats");
+            assert_eq!(runs[0].0.outcomes, runs[1].0.outcomes, "{label}: outcomes");
+            assert_eq!(runs[0].1, runs[1].1, "{label}: RunMetrics");
+            assert_eq!(runs[0].2, runs[1].2, "{label}: trace bytes");
+            // The mutations actually landed: the shard-2 CEI is cancelled.
+            assert_eq!(runs[1].0.stats.ceis_cancelled, 1, "{label}: cancel");
+            assert_eq!(runs[1].0.outcomes[2], CeiOutcome::Cancelled { at: 5 });
+        }
+    }
+}
+
 /// Churned trace replay: the JSONL trace of a churned run is deterministic
 /// byte for byte across reruns, and folding it through the pure
 /// re-derivation reproduces the live `RunMetrics` exactly.

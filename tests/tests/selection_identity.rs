@@ -15,15 +15,25 @@
 //! The identity is also pinned under parallel execution (jobs 1 vs 4) and
 //! under fault injection at a nonzero failure rate, so neither the worker
 //! pool nor the fault paths can reorder the incremental bookkeeping.
+//!
+//! The PR-7 sharded engine extends the same contract to intra-cell
+//! parallelism: `shards = N` must be bit-identical to `shards = 1` —
+//! schedule, stats, outcomes, `RunMetrics`, and JSONL trace bytes — for
+//! every shard count in the suite grid, across policies × P/NP × selection
+//! strategies, with and without fault injection and profile churn, and on
+//! an instance large enough to force the threaded shard dispatch path.
 
-use webmon_core::engine::{EngineConfig, OnlineEngine, SelectionStrategy};
-use webmon_core::fault::{FaultConfig, IidFaults};
-use webmon_core::model::Instance;
+use webmon_core::engine::{EngineConfig, MutationQueue, OnlineEngine, SelectionStrategy};
+use webmon_core::fault::{FaultConfig, IidFaults, NoFaults};
+use webmon_core::model::{Budget, Chronon, Instance, InstanceBuilder};
 use webmon_core::obs::{JsonlTraceObserver, MetricsObserver, RunMetrics, Tee};
 use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
 use webmon_core::RunResult;
 use webmon_sim::parallel::par_map_with;
-use webmon_testkit::corpus::{conformance_cases, small_instance};
+use webmon_streams::SimRng;
+use webmon_testkit::corpus::{conformance_cases, small_instance, CorpusRng};
+use webmon_workload::churn::overlay;
+use webmon_workload::ChurnConfig;
 
 /// The four paper policies of the identity grid.
 fn policies() -> [(&'static str, Box<dyn Policy>); 4] {
@@ -205,4 +215,223 @@ fn corpus_digest_is_jobs_invariant_and_strategy_invariant() {
     assert_eq!(incr_1, incr_4, "jobs 1 vs jobs 4 digests differ");
     let lazy_1 = corpus_digest(SelectionStrategy::LazyHeap, 1, cases);
     assert_eq!(incr_1, lazy_1, "Incremental vs LazyHeap digests differ");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded vs serial identity (PR-7).
+// ---------------------------------------------------------------------------
+
+/// Shard counts exercised against the `shards = 1` baseline. The corpus
+/// instances have 1–3 resources, so 2 lands on a real partition, while 4
+/// and 7 also pin the `shards > |R|` clamp (a requested count above the
+/// resource count resolves to one shard per resource).
+const SHARD_COUNTS: [u32; 3] = [2, 4, 7];
+
+/// Same, through the mutation-drain entry point with a churn overlay.
+fn observed_churned(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+    mutations: &MutationQueue,
+) -> (RunResult, RunMetrics, Vec<u8>) {
+    let mut metrics = MetricsObserver::new();
+    let mut trace = JsonlTraceObserver::new(Vec::new());
+    let result = {
+        let mut tee = Tee(&mut metrics, &mut trace);
+        OnlineEngine::run_mutated(
+            instance,
+            policy,
+            config,
+            &mut NoFaults,
+            FaultConfig::default(),
+            mutations,
+            &mut tee,
+        )
+    };
+    assert_eq!(trace.write_errors(), 0);
+    let bytes = trace.finish().expect("Vec<u8> sink cannot fail");
+    (result, metrics.finish(), bytes)
+}
+
+/// Tentpole identity: every sharded run reproduces the serial run bit for
+/// bit over the full corpus — 4 policies × P/NP × shards {2, 4, 7}, on the
+/// default `Incremental` strategy. Schedule, stats, outcomes, `RunMetrics`
+/// (including `heap_pops` inside `CandidateSet` events), and raw JSONL
+/// trace bytes must all match.
+#[test]
+fn sharded_is_bit_identical_to_serial_on_the_corpus() {
+    for seed in 0..conformance_cases() {
+        let instance = small_instance(seed, false);
+        for (name, policy) in &policies() {
+            for config in configs(SelectionStrategy::Incremental) {
+                let serial = observed(&instance, policy.as_ref(), config.with_shards(1));
+                for shards in SHARD_COUNTS {
+                    let sharded = observed(&instance, policy.as_ref(), config.with_shards(shards));
+                    assert_identical(
+                        &format!("seed {seed}: {name} {} shards {shards}", config.label()),
+                        &serial,
+                        &sharded,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The shard identity is strategy-independent: `Scan`, `LazyHeap`, and
+/// `Incremental` each reproduce their own serial output bit for bit under
+/// sharding (each strategy is compared against itself, so the selection-step
+/// accounting differences between strategies never enter the comparison).
+#[test]
+fn sharded_identity_holds_for_every_selection_strategy() {
+    let cases = conformance_cases().min(120);
+    for seed in 0..cases {
+        let instance = small_instance(seed, false);
+        for strategy in [
+            SelectionStrategy::Scan,
+            SelectionStrategy::LazyHeap,
+            SelectionStrategy::Incremental,
+        ] {
+            for config in configs(strategy) {
+                let serial = observed(&instance, &Mrsf, config.with_shards(1));
+                for shards in SHARD_COUNTS {
+                    let sharded = observed(&instance, &Mrsf, config.with_shards(shards));
+                    assert_identical(
+                        &format!(
+                            "seed {seed}: {strategy:?} {} shards {shards}",
+                            config.label()
+                        ),
+                        &serial,
+                        &sharded,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Sharding composes with fault injection: failed probes, retries, and
+/// shedding drive the per-shard indices through their removal paths, and
+/// the faulted sharded run still matches the faulted serial run bit for
+/// bit.
+#[test]
+fn sharded_identity_survives_fault_injection() {
+    let cases = conformance_cases().min(120);
+    for seed in 0..cases {
+        let instance = small_instance(seed, false);
+        for (name, policy) in &policies() {
+            for config in configs(SelectionStrategy::Incremental) {
+                let serial =
+                    observed_faulted(&instance, policy.as_ref(), config.with_shards(1), 0.3, seed);
+                for shards in [2, 7] {
+                    let sharded = observed_faulted(
+                        &instance,
+                        policy.as_ref(),
+                        config.with_shards(shards),
+                        0.3,
+                        seed,
+                    );
+                    assert_identical(
+                        &format!(
+                            "seed {seed}: {name} {} shards {shards} rate 0.3",
+                            config.label()
+                        ),
+                        &serial,
+                        &sharded,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Sharding composes with profile churn: mid-run registrations insert into
+/// the owning shard's index, cancellations route per-EI, and the churned
+/// sharded run matches the churned serial run bit for bit.
+#[test]
+fn sharded_identity_survives_profile_churn() {
+    let cases = conformance_cases().min(120);
+    let churn = ChurnConfig::new(0.5, 0.4)
+        .with_alpha(0.8)
+        .with_reconfigurations(1);
+    for seed in 0..cases {
+        let instance = small_instance(seed, true);
+        let mutations = overlay(&instance, &churn, &SimRng::new(seed));
+        for (name, policy) in &policies() {
+            for config in configs(SelectionStrategy::Incremental) {
+                let serial = observed_churned(
+                    &instance,
+                    policy.as_ref(),
+                    config.with_shards(1),
+                    &mutations,
+                );
+                for shards in [2, 7] {
+                    let sharded = observed_churned(
+                        &instance,
+                        policy.as_ref(),
+                        config.with_shards(shards),
+                        &mutations,
+                    );
+                    assert_identical(
+                        &format!(
+                            "seed {seed}: {name} {} shards {shards} churned",
+                            config.label()
+                        ),
+                        &serial,
+                        &sharded,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic instance big enough (> 4096 EIs) that multi-shard runs
+/// take the *threaded* shard dispatch path rather than the inline loop.
+fn large_instance(seed: u64) -> Instance {
+    let n_resources = 48u32;
+    let horizon: Chronon = 80;
+    let mut rng = CorpusRng::new(seed);
+    let mut b = InstanceBuilder::new(n_resources, horizon, Budget::Uniform(3));
+    let p = b.profile();
+    for _ in 0..2600 {
+        let n_eis = rng.range(1, 3);
+        let eis: Vec<(u32, Chronon, Chronon)> = (0..n_eis)
+            .map(|_| {
+                let r = rng.below(u64::from(n_resources)) as u32;
+                let start = rng.below(u64::from(horizon)) as Chronon;
+                let end = (start + rng.below(6) as Chronon).min(horizon - 1);
+                (r, start, end)
+            })
+            .collect();
+        b.cei(p, &eis);
+    }
+    b.build()
+}
+
+/// The identity holds on the threaded dispatch path: an instance with
+/// thousands of EIs spread over 48 resources, where `shards > 1` actually
+/// fans the per-chronon maintenance and scoring out on the scoped-thread
+/// pool, still reproduces the serial trace byte for byte.
+#[test]
+fn sharded_identity_holds_on_the_threaded_dispatch_path() {
+    let instance = large_instance(0x5AAD);
+    assert!(
+        instance.total_eis() > 4096,
+        "fixture too small to force threaded dispatch: {} EIs",
+        instance.total_eis()
+    );
+    for policy in [&Mrsf as &dyn Policy, &Wic::paper()] {
+        for config in configs(SelectionStrategy::Incremental) {
+            let serial = observed(&instance, policy, config.with_shards(1));
+            for shards in SHARD_COUNTS {
+                let sharded = observed(&instance, policy, config.with_shards(shards));
+                assert_identical(
+                    &format!("{} {} shards {shards}", policy.name(), config.label()),
+                    &serial,
+                    &sharded,
+                );
+            }
+        }
+    }
 }
