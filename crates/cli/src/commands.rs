@@ -1,9 +1,14 @@
 //! CLI subcommand implementations.
 
 use crate::args::{ArgError, Args};
+use crate::serve::{Daemon, ServeSession};
 use serde::Serialize;
+use webmon_core::engine::{MutationQueue, ScriptedMutations};
 use webmon_core::fault::{Backoff, FaultConfig};
 use webmon_core::obs::RunMetrics;
+use webmon_core::serve::{
+    Clock, FreeClock, ProbeExecutor, ReplayExecutor, TcpProbeExecutor, WallClock,
+};
 use webmon_sim::{
     ChurnSpec, Experiment, ExperimentConfig, FaultKind, FaultSpec, NoiseSpec, PolicyAggregate,
     PolicyKind, PolicySpec, Report, Table, TraceSpec,
@@ -25,6 +30,7 @@ COMMANDS:
     run          Run one monitoring experiment and print the policy table
     sweep        Sweep one parameter (budget | lambda | alpha | rank)
     trace        Generate a trace and print its statistics
+    serve        Run the engine as a monitoring daemon on a local socket
     experiments  Run the full paper experiment suite (all figures/tables)
     bench        Run the engine scaling benchmark (the BENCH_engine.json grid)
     help         Show this message
@@ -107,6 +113,32 @@ OBSERVABILITY (run):
                                    repetition 0 for every roster policy,
                                    concatenated in roster order (a new stream
                                    starts at each ChrononStart with t = 0)
+
+SERVE OPTIONS (plus the common/fault/churn options above, which shape
+the monitored instance exactly like `run` repetition 0):
+    --listen <addr>                control socket          [127.0.0.1:7077]
+                                   (:0 picks a free port, printed to stderr)
+    --chronon-ms <u64>             wall-clock ms per chronon; 0 = free-run
+                                   as fast as the engine computes     [0]
+    --policy s-edf|mrsf|m-edf|w-ic|random|round-robin     policy     [m-edf]
+    --np                           non-preemptive variant (default: P)
+    --executor replay|live         probe executor          [replay]
+                                   replay: deterministic, probes answered
+                                   from the scripted fault model (none ->
+                                   always up) — byte-identical to the
+                                   simulator; live: real TCP probes
+    --targets <a:p,b:p,..>         probe targets, required with live
+    --probe-timeout-ms <u64>       per-probe TCP timeout with live   [200]
+    --replay-feed <path>           build the instance from a CSV update
+                                   trace instead of the generated one
+    --trace-out <path>             write the daemon's JSONL event trace
+    --sim-trace-out <path>         also run the simulator on the same case
+                                   and write its JSONL trace (for diffing;
+                                   not valid with --replay-feed)
+
+    The line protocol on the socket: ping | attach | register <cei-id> |
+    cancel <cei-id> | set-budget <n> | shutdown. One JSON reply per line;
+    attach switches the connection to the JSONL event stream.
 ";
 
 /// Runs the parsed command line; returns the process exit code.
@@ -119,6 +151,7 @@ pub fn dispatch(args: &Args) -> Result<i32, ArgError> {
         Some("run") => cmd_run(args),
         Some("sweep") => cmd_sweep(args),
         Some("trace") => cmd_trace(args),
+        Some("serve") => cmd_serve(args),
         Some("experiments") => cmd_experiments(args),
         Some("bench") => cmd_bench(args),
         Some("help") | None => {
@@ -595,6 +628,232 @@ fn cmd_trace(args: &Args) -> Result<i32, ArgError> {
     Ok(0)
 }
 
+/// Parses the single-policy selection of `webmon serve` (`run` and `sweep`
+/// always score a roster; the daemon monitors with exactly one policy).
+fn policy_spec_from(args: &Args) -> Result<PolicySpec, ArgError> {
+    let kind = match args.get("policy").unwrap_or("m-edf") {
+        "s-edf" => PolicyKind::SEdf,
+        "mrsf" => PolicyKind::Mrsf,
+        "m-edf" => PolicyKind::MEdf,
+        "w-ic" => PolicyKind::Wic,
+        "random" => PolicyKind::Random,
+        "round-robin" => PolicyKind::RoundRobin,
+        other => {
+            return Err(ArgError::BadValue {
+                key: "policy".to_string(),
+                value: other.to_string(),
+                expected: "s-edf|mrsf|m-edf|w-ic|random|round-robin",
+            })
+        }
+    };
+    Ok(if args.flag("np") {
+        PolicySpec::np(kind)
+    } else {
+        PolicySpec::p(kind)
+    })
+}
+
+/// Parses the `--targets` list of the live executor.
+fn targets_from(args: &Args) -> Result<Vec<std::net::SocketAddr>, ArgError> {
+    let raw = args.get("targets").unwrap_or("");
+    let bad = || ArgError::BadValue {
+        key: "targets".to_string(),
+        value: raw.to_string(),
+        expected: "comma-separated host:port probe targets (required with --executor live)",
+    };
+    if raw.is_empty() {
+        return Err(bad());
+    }
+    raw.split(',')
+        .map(|tok| tok.trim().parse().map_err(|_| bad()))
+        .collect()
+}
+
+/// The `webmon serve` summary line (one JSON object on stdout at exit).
+#[derive(Debug, Serialize)]
+struct ServeSummary {
+    /// Policy label, e.g. `"M-EDF(P)"`.
+    policy: String,
+    /// Chronons driven (the epoch length).
+    chronons: u32,
+    /// CEIs in the monitored instance.
+    ceis: usize,
+    /// CEIs fully captured.
+    captured: u64,
+    /// Fraction of CEIs fully captured.
+    completeness: f64,
+    /// Probes issued over the run.
+    probes: u64,
+    /// Events serialized to the trace file / attached sockets.
+    events_written: u64,
+    /// Failed trace/socket writes (nonzero → exit code 1).
+    write_errors: u64,
+}
+
+fn cmd_serve(args: &Args) -> Result<i32, ArgError> {
+    let cfg = config_from(args)?;
+    let fault = fault_from(args)?;
+    let churn = churn_from(args)?;
+    // Without a fault model the retry flags still shape how executor
+    // failures (e.g. live probe timeouts) are charged and retried.
+    let fault_config = match fault {
+        Some(f) => f.config,
+        None => fault_config_from(args)?,
+    };
+    let spec = policy_spec_from(args)?;
+    let chronon_ms: u64 = args.get_parsed("chronon-ms", 0, "milliseconds per chronon")?;
+
+    if args.get("replay-feed").is_some() && args.get("sim-trace-out").is_some() {
+        return Err(ArgError::BadValue {
+            key: "sim-trace-out".to_string(),
+            value: args.get("sim-trace-out").unwrap_or_default().to_string(),
+            expected: "no --replay-feed (the simulator reference replays the generated trace)",
+        });
+    }
+
+    // The monitored instance: repetition 0 of the configured experiment, or
+    // the same workload generator run over a CSV update feed from disk.
+    let (instance, exp) = match args.get("replay-feed") {
+        Some(path) => {
+            let trace = match webmon_streams::read_csv_file(
+                std::path::Path::new(path),
+                Some(cfg.horizon),
+                Some(cfg.n_resources),
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot load replay feed {path}: {e}");
+                    return Ok(2);
+                }
+            };
+            let rep_rng = SimRng::new(cfg.seed).fork_indexed("repetition", 0);
+            let w = webmon_workload::generate(
+                &cfg.workload,
+                &webmon_streams::NoisyTrace::exact(&trace),
+                webmon_core::model::Budget::Uniform(cfg.budget),
+                &rep_rng.fork("workload"),
+            );
+            (w.instance, None)
+        }
+        None => {
+            let exp = Experiment::materialize(cfg.clone());
+            let instance = exp.workloads()[0].instance.clone();
+            (instance, Some(exp))
+        }
+    };
+
+    // Seeds follow the simulator's repetition-0 conventions exactly, so the
+    // daemon's event stream is byte-identical to `Experiment::trace_spec*`.
+    let queue = match churn {
+        Some(c) => c.build(0, &instance),
+        None => MutationQueue::new(),
+    };
+    let script = ScriptedMutations::compile(&queue, instance.epoch.len(), instance.ceis.len());
+    let session = ServeSession {
+        policy: spec.kind.build(cfg.seed),
+        config: spec.engine_config(),
+        fault_config,
+        script,
+        instance,
+    };
+
+    let listen = args.get("listen").unwrap_or("127.0.0.1:7077");
+    let mut daemon = match Daemon::bind(listen) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            return Ok(2);
+        }
+    };
+    if let Ok(addr) = daemon.local_addr() {
+        eprintln!("serving on {addr}");
+    }
+
+    let executor: Box<dyn ProbeExecutor> = match args.get("executor").unwrap_or("replay") {
+        "replay" => match fault {
+            Some(f) => Box::new(ReplayExecutor::scripted(
+                f.build(0, session.instance.n_resources as usize),
+            )),
+            None => Box::new(ReplayExecutor::faultless()),
+        },
+        "live" => {
+            let timeout_ms: u64 = args.get_parsed("probe-timeout-ms", 200, "milliseconds")?;
+            let tcp = TcpProbeExecutor::new(
+                targets_from(args)?,
+                std::time::Duration::from_millis(timeout_ms),
+            );
+            // A `shutdown` mid-backoff must not wait out in-flight probes:
+            // the flag makes every later probe fail instantly.
+            let stop = tcp.stop_flag();
+            daemon.on_shutdown(std::sync::Arc::new(move || {
+                stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            }));
+            Box::new(tcp)
+        }
+        other => {
+            return Err(ArgError::BadValue {
+                key: "executor".to_string(),
+                value: other.to_string(),
+                expected: "replay|live",
+            })
+        }
+    };
+    let clock: Box<dyn Clock> = if chronon_ms == 0 {
+        Box::new(FreeClock)
+    } else {
+        Box::new(WallClock::new(chronon_ms))
+    };
+
+    let label = spec.label();
+    let n_ceis = session.instance.ceis.len();
+    let horizon = session.instance.epoch.len();
+    let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
+    let outcome = match daemon.run(session, executor, clock, trace_out.as_deref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("daemon failed: {e}");
+            return Ok(1);
+        }
+    };
+
+    // The simulator reference for CI's byte-for-byte diff: the same case,
+    // run by `Experiment::trace_spec*` with its own JSONL writer.
+    if let Some(path) = args.get("sim-trace-out") {
+        let exp = exp.expect("checked: --sim-trace-out excludes --replay-feed");
+        let sim = std::fs::File::create(path)
+            .map(std::io::BufWriter::new)
+            .and_then(|w| match (churn, fault) {
+                (Some(c), f) => exp.trace_spec_churned(spec, c, f, 0, w),
+                (None, Some(f)) => exp.trace_spec_faulted(spec, f, 0, w),
+                (None, None) => exp.trace_spec(spec, 0, w),
+            });
+        match sim {
+            Ok((_, events)) => eprintln!("sim trace: wrote {events} events to {path}"),
+            Err(e) => {
+                eprintln!("cannot write sim trace to {path}: {e}");
+                return Ok(1);
+            }
+        }
+    }
+
+    let captured = outcome.result.stats.ceis_captured;
+    let summary = ServeSummary {
+        policy: label,
+        chronons: horizon,
+        ceis: n_ceis,
+        captured,
+        completeness: captured as f64 / n_ceis.max(1) as f64,
+        probes: outcome.metrics.probes_issued,
+        events_written: outcome.events_written,
+        write_errors: outcome.write_errors,
+    };
+    match serde_json::to_string(&summary) {
+        Ok(line) => println!("{line}"),
+        Err(e) => eprintln!("cannot serialize summary: {e}"),
+    }
+    Ok(i32::from(summary.write_errors != 0))
+}
+
 fn cmd_experiments(args: &Args) -> Result<i32, ArgError> {
     let scale = if args.flag("quick") {
         webmon_bench::Scale::Quick
@@ -1024,6 +1283,82 @@ mod tests {
         .unwrap();
         assert_eq!(code, 1);
         std::fs::remove_file(&baseline).ok();
+    }
+
+    #[test]
+    fn serve_policy_defaults_to_preemptive_medf() {
+        let spec = policy_spec_from(&parse(&["serve"])).unwrap();
+        assert_eq!(spec, PolicySpec::p(PolicyKind::MEdf));
+        let spec = policy_spec_from(&parse(&["serve", "--policy", "mrsf", "--np"])).unwrap();
+        assert_eq!(spec, PolicySpec::np(PolicyKind::Mrsf));
+        let err = policy_spec_from(&parse(&["serve", "--policy", "oracle"])).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { ref key, .. } if key == "policy"));
+    }
+
+    #[test]
+    fn serve_targets_parse_and_reject() {
+        let a = parse(&["serve", "--targets", "127.0.0.1:80, 127.0.0.1:8080"]);
+        let targets = targets_from(&a).unwrap();
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[1].port(), 8080);
+        for toks in [vec!["serve"], vec!["serve", "--targets", "not-an-addr"]] {
+            let err = targets_from(&parse(&toks)).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { ref key, .. } if key == "targets"),
+                "{toks:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_rejects_sim_trace_with_replay_feed() {
+        // The simulator reference replays the generated trace; with a CSV
+        // feed there is no simulator case to diff against.
+        let err = cmd_serve(&parse(&[
+            "serve",
+            "--replay-feed",
+            "feed.csv",
+            "--sim-trace-out",
+            "sim.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { ref key, .. } if key == "sim-trace-out"));
+    }
+
+    #[test]
+    fn serve_surfaces_structured_feed_errors() {
+        // A missing feed file is exit code 2 with a TraceIoError message,
+        // not a panic (and not a bound socket left behind).
+        let code = cmd_serve(&parse(&[
+            "serve",
+            "--replay-feed",
+            "/nonexistent/webmon-feed.csv",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn serve_rejects_bad_executor() {
+        let err = cmd_serve(&parse(&[
+            "serve",
+            "--resources",
+            "10",
+            "--horizon",
+            "20",
+            "--profiles",
+            "3",
+            "--reps",
+            "1",
+            "--listen",
+            "127.0.0.1:0",
+            "--executor",
+            "psychic",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { ref key, .. } if key == "executor"));
     }
 
     fn tiny_experiment() -> Experiment {

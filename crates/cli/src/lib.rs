@@ -1,0 +1,7 @@
+//! `webmon` — the command-line front end of the Web Monitoring 2.0
+//! reproduction, as a library so the integration suite can drive the
+//! daemon ([`serve`]) and the argument/config plumbing in-process.
+
+pub mod args;
+pub mod commands;
+pub mod serve;

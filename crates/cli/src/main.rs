@@ -1,18 +1,15 @@
 //! `webmon` — the command-line front end of the Web Monitoring 2.0
 //! reproduction. Run `webmon help` for usage.
 
-mod args;
-mod commands;
-
 fn main() {
-    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+    let parsed = match webmon_cli::args::Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            eprintln!("error: {e}\n\n{}", webmon_cli::commands::USAGE);
             std::process::exit(2);
         }
     };
-    match commands::dispatch(&parsed) {
+    match webmon_cli::commands::dispatch(&parsed) {
         Ok(code) => std::process::exit(code),
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,490 @@
+//! The `webmon serve` daemon: the simulator engine promoted to a
+//! long-running monitor behind a local TCP socket.
+//!
+//! One engine run is one daemon lifetime. The engine executes on the
+//! calling thread via [`webmon_core::serve::drive`]; a background accept
+//! thread serves a line protocol on the listening socket:
+//!
+//! ```text
+//! ping                  -> {"ok":"pong"}
+//! attach                -> {"ok":"attached"}, then the JSONL event stream
+//!                          from the next chronon start onward
+//! register <cei-id>     -> {"ok":{"register":<id>}}   (drained next chronon)
+//! cancel <cei-id>       -> {"ok":{"cancel":<id>}}
+//! set-budget <n>        -> {"ok":{"set-budget":<n>}}
+//! shutdown              -> {"ok":"shutting-down"}; the clock is released,
+//!                          the engine free-runs to the horizon and exits
+//! ```
+//!
+//! Every response is one JSON line. A malformed request gets a structured
+//! `{"err":{"reason":...,"input":...}}` line and the connection stays
+//! open. Registration commands feed the engine's live
+//! [`LiveMutationQueue`], drained at each chronon start with exactly the
+//! `run_mutated` semantics.
+//!
+//! **Byte identity.** The daemon's event hub writes every event as
+//! `serde_json::to_string(&event)` plus `\n` — the same bytes
+//! [`JsonlTraceObserver`](webmon_core::obs::JsonlTraceObserver) produces —
+//! to the `--trace-out` file (from event zero) and to every attached
+//! socket (from its first post-attach chronon start). The daemon's trace
+//! file is therefore byte-identical to the simulator's for the same case,
+//! which `tests/tests/serve.rs` and CI's `serve-smoke` job enforce.
+
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+use webmon_core::engine::{EngineConfig, Mutation, RunResult, ScriptedMutations};
+use webmon_core::fault::FaultConfig;
+use webmon_core::model::{CeiId, Instance};
+use webmon_core::obs::{Event, MetricsObserver, Observer, RunMetrics, Tee};
+use webmon_core::policy::Policy;
+use webmon_core::serve::{
+    drive, Clock, ClockRelease, DaemonSource, LiveMutationQueue, ProbeExecutor,
+};
+
+/// How long a client read blocks before re-checking the stop flag, and how
+/// long the accept loop naps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Everything the engine run needs, bundled so [`Daemon::run`] can build
+/// the policy inside a spawned thread when tests run the daemon off-main.
+pub struct ServeSession {
+    /// The monitoring instance (profiles, epoch, budget).
+    pub instance: Instance,
+    /// The scheduling policy.
+    pub policy: Box<dyn Policy>,
+    /// Engine execution mode / selection / sharding.
+    pub config: EngineConfig,
+    /// Retry/backoff discipline for failed probes.
+    pub fault_config: FaultConfig,
+    /// Precompiled churn script (empty for static profiles).
+    pub script: ScriptedMutations,
+}
+
+/// What a completed daemon run produced.
+#[derive(Debug)]
+pub struct DaemonOutcome {
+    /// The engine's schedule, stats, and per-CEI outcomes.
+    pub result: RunResult,
+    /// In-run metrics from the daemon's own event stream.
+    pub metrics: RunMetrics,
+    /// Events serialized by the hub (trace file and sockets share them).
+    pub events_written: u64,
+    /// Failed writes (a full disk, a torn socket mid-line on the file sink).
+    pub write_errors: u64,
+}
+
+/// Shared state between the engine thread, the accept thread, and every
+/// client connection.
+struct Control {
+    live: LiveMutationQueue,
+    stop: Arc<AtomicBool>,
+    pending: Arc<Mutex<Vec<TcpStream>>>,
+    hooks: Vec<ClockRelease>,
+    n_ceis: usize,
+}
+
+impl Control {
+    /// Stops the accept loop and every client thread, and releases the
+    /// clock (plus any registered executor stop flags) so the engine
+    /// free-runs to the horizon. Idempotent.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for hook in &self.hooks {
+            hook();
+        }
+    }
+}
+
+fn json_line(value: Value) -> String {
+    serde_json::to_string(&value).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn ok_line(ok: Value) -> String {
+    json_line(Value::Object(vec![("ok".to_string(), ok)]))
+}
+
+fn ok_str(ok: &str) -> String {
+    ok_line(Value::String(ok.to_string()))
+}
+
+fn ok_applied(cmd: &str, value: u32) -> String {
+    ok_line(Value::Object(vec![(
+        cmd.to_string(),
+        Value::UInt(u64::from(value)),
+    )]))
+}
+
+fn err_line(reason: String, input: &str) -> String {
+    json_line(Value::Object(vec![(
+        "err".to_string(),
+        Value::Object(vec![
+            ("reason".to_string(), Value::String(reason)),
+            ("input".to_string(), Value::String(input.to_string())),
+        ]),
+    )]))
+}
+
+/// What the client thread should do after one request line.
+enum Action {
+    /// Write the response and keep reading commands.
+    Reply(String),
+    /// Write the response, hand the socket to the event hub, stop reading.
+    Attach(String),
+    /// Write the response, trigger daemon shutdown, stop reading.
+    Shutdown(String),
+}
+
+/// Resolves one request line against the protocol. Pure except for
+/// submissions into the live mutation queue.
+fn handle_line(line: &str, ctl: &Control) -> Action {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or("");
+    let arg = parts.next();
+    if parts.next().is_some() {
+        return Action::Reply(err_line("too many arguments".to_string(), line));
+    }
+    match (cmd, arg) {
+        ("ping", None) => Action::Reply(ok_str("pong")),
+        ("attach", None) => Action::Attach(ok_str("attached")),
+        ("shutdown", None) => Action::Shutdown(ok_str("shutting-down")),
+        ("register" | "cancel", Some(raw)) => match raw.parse::<u32>() {
+            Ok(id) if (id as usize) < ctl.n_ceis => {
+                let cei = CeiId(id);
+                ctl.live.submit(if cmd == "register" {
+                    Mutation::Register { cei }
+                } else {
+                    Mutation::Cancel { cei }
+                });
+                Action::Reply(ok_applied(cmd, id))
+            }
+            Ok(id) => Action::Reply(err_line(
+                format!("cei {id} out of range: instance has {} ceis", ctl.n_ceis),
+                line,
+            )),
+            Err(_) => Action::Reply(err_line(format!("{cmd} expects a cei id"), line)),
+        },
+        ("set-budget", Some(raw)) => match raw.parse::<u32>() {
+            Ok(budget) => {
+                ctl.live.submit(Mutation::SetBudget { budget });
+                Action::Reply(ok_applied("set-budget", budget))
+            }
+            Err(_) => Action::Reply(err_line("set-budget expects an integer".to_string(), line)),
+        },
+        _ => Action::Reply(err_line(
+            "unknown command: ping | attach | register <id> | cancel <id> | \
+             set-budget <n> | shutdown"
+                .to_string(),
+            line,
+        )),
+    }
+}
+
+/// Serves one client connection until it closes, attaches, or the daemon
+/// stops. Reads use a short timeout so the thread notices shutdown
+/// promptly; a timeout preserves any partially read line.
+fn client_loop(stream: TcpStream, ctl: &Control) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if ctl.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let trimmed = line.trim().to_string();
+                line.clear();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match handle_line(&trimmed, ctl) {
+                    Action::Reply(resp) => {
+                        if writeln!(writer, "{resp}").is_err() {
+                            return;
+                        }
+                    }
+                    Action::Attach(resp) => {
+                        if writeln!(writer, "{resp}").is_ok() {
+                            // From here the engine thread is the socket's
+                            // only writer; this thread reads no further
+                            // commands.
+                            ctl.pending.lock().unwrap().push(writer);
+                        }
+                        return;
+                    }
+                    Action::Shutdown(resp) => {
+                        let _ = writeln!(writer, "{resp}");
+                        ctl.shutdown();
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Accepts connections until shutdown, one thread per client, and joins
+/// every client thread before exiting so the daemon leaks nothing.
+fn accept_loop(listener: TcpListener, ctl: Arc<Control>) {
+    let mut clients = Vec::new();
+    while !ctl.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let ctl = Arc::clone(&ctl);
+                clients.push(thread::spawn(move || client_loop(stream, &ctl)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => break,
+        }
+    }
+    for client in clients {
+        client.join().ok();
+    }
+}
+
+/// The engine-side event fan-out: serializes every event once (the exact
+/// [`JsonlTraceObserver`](webmon_core::obs::JsonlTraceObserver) bytes) and
+/// writes the line to the optional trace file plus every attached socket.
+///
+/// Sockets attach mid-run: a freshly attached stream waits in the shared
+/// pending list and is promoted *before* the next `ChrononStart` line is
+/// written, so every attached client's stream begins at a chronon
+/// boundary. A socket whose write fails is dropped; file write failures
+/// are counted, never propagated into the engine.
+struct EventHub {
+    file: Option<BufWriter<std::fs::File>>,
+    active: Vec<TcpStream>,
+    pending: Arc<Mutex<Vec<TcpStream>>>,
+    events_written: u64,
+    write_errors: u64,
+}
+
+impl Observer for EventHub {
+    fn on_event(&mut self, event: Event) {
+        if matches!(event, Event::ChrononStart { .. }) {
+            let mut pending = self.pending.lock().unwrap();
+            self.active.append(&mut pending);
+        }
+        let line = match serde_json::to_string(&event) {
+            Ok(line) => line,
+            Err(_) => {
+                self.write_errors += 1;
+                return;
+            }
+        };
+        self.events_written += 1;
+        if let Some(file) = &mut self.file {
+            if writeln!(file, "{line}").is_err() {
+                self.write_errors += 1;
+            }
+        }
+        self.active
+            .retain_mut(|sock| writeln!(sock, "{line}").is_ok());
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A bound `webmon serve` daemon, ready to run one engine session.
+pub struct Daemon {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    hooks: Vec<ClockRelease>,
+}
+
+impl Daemon {
+    /// Binds the control socket. `127.0.0.1:0` picks a free port — read it
+    /// back with [`local_addr`](Self::local_addr).
+    pub fn bind(addr: &str) -> io::Result<Daemon> {
+        Ok(Daemon {
+            listener: TcpListener::bind(addr)?,
+            stop: Arc::new(AtomicBool::new(false)),
+            hooks: Vec::new(),
+        })
+    }
+
+    /// The bound address of the control socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The daemon's stop flag (set when the `shutdown` command triggers
+    /// the control shutdown); shared so tests can observe termination.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Registers an extra shutdown hook, run (after the stop flag is set)
+    /// when the `shutdown` command arrives — e.g. a live executor's
+    /// fail-fast flag, so a probe mid-backoff cannot delay exit.
+    pub fn on_shutdown(&mut self, hook: ClockRelease) {
+        self.hooks.push(hook);
+    }
+
+    /// Runs the engine to the horizon on the calling thread while the
+    /// accept thread serves the protocol, then tears everything down —
+    /// every spawned thread is joined before this returns.
+    pub fn run<E, C>(
+        mut self,
+        session: ServeSession,
+        executor: E,
+        clock: C,
+        trace_out: Option<&Path>,
+    ) -> io::Result<DaemonOutcome>
+    where
+        E: ProbeExecutor,
+        C: Clock,
+    {
+        let live = LiveMutationQueue::new();
+        let pending: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut hooks = std::mem::take(&mut self.hooks);
+        hooks.push(clock.release_handle());
+        let ctl = Arc::new(Control {
+            live: live.clone(),
+            stop: Arc::clone(&self.stop),
+            pending: Arc::clone(&pending),
+            hooks,
+            n_ceis: session.instance.ceis.len(),
+        });
+        self.listener.set_nonblocking(true)?;
+        let accept = {
+            let listener = self.listener.try_clone()?;
+            let ctl = Arc::clone(&ctl);
+            thread::spawn(move || accept_loop(listener, ctl))
+        };
+
+        let file = match trace_out {
+            Some(path) => Some(BufWriter::new(std::fs::File::create(path)?)),
+            None => None,
+        };
+        let mut hub = EventHub {
+            file,
+            active: Vec::new(),
+            pending,
+            events_written: 0,
+            write_errors: 0,
+        };
+        let mut metrics = MetricsObserver::new();
+        let mut source = DaemonSource::new(session.script, live);
+        let result = drive(
+            &session.instance,
+            session.policy.as_ref(),
+            session.config,
+            executor,
+            session.fault_config,
+            &mut source,
+            clock,
+            Tee(&mut metrics, &mut hub),
+        );
+
+        // Horizon reached (or shutdown already free-ran us here): stop the
+        // protocol side and join every thread.
+        ctl.shutdown();
+        accept.join().ok();
+        if let Some(file) = &mut hub.file {
+            if file.flush().is_err() {
+                hub.write_errors += 1;
+            }
+        }
+        Ok(DaemonOutcome {
+            result,
+            metrics: metrics.metrics().clone(),
+            events_written: hub.events_written,
+            write_errors: hub.write_errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_control(n_ceis: usize) -> Control {
+        Control {
+            live: LiveMutationQueue::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            pending: Arc::new(Mutex::new(Vec::new())),
+            hooks: Vec::new(),
+            n_ceis,
+        }
+    }
+
+    fn reply(action: Action) -> String {
+        match action {
+            Action::Reply(s) | Action::Attach(s) | Action::Shutdown(s) => s,
+        }
+    }
+
+    #[test]
+    fn protocol_lines_are_json() {
+        let ctl = test_control(4);
+        for (line, expect) in [
+            ("ping", r#"{"ok":"pong"}"#),
+            ("attach", r#"{"ok":"attached"}"#),
+            ("shutdown", r#"{"ok":"shutting-down"}"#),
+            ("register 2", r#"{"ok":{"register":2}}"#),
+            ("cancel 0", r#"{"ok":{"cancel":0}}"#),
+            ("set-budget 7", r#"{"ok":{"set-budget":7}}"#),
+        ] {
+            assert_eq!(reply(handle_line(line, &ctl)), expect, "{line}");
+        }
+        assert_eq!(ctl.live.pending(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        let ctl = test_control(2);
+        for line in [
+            "frobnicate",
+            "register",
+            "register x",
+            "register 9",
+            "set-budget many",
+            "ping twice please",
+        ] {
+            let resp = reply(handle_line(line, &ctl));
+            let v: Value = serde_json::from_str(&resp).unwrap();
+            assert!(!v["err"].is_null(), "{line} -> {resp}");
+            assert_eq!(v["err"]["input"], *line, "{resp}");
+        }
+        assert_eq!(ctl.live.pending(), 0, "rejected commands submit nothing");
+    }
+
+    #[test]
+    fn shutdown_sets_stop_and_runs_hooks() {
+        let fired = Arc::new(AtomicBool::new(false));
+        let mut ctl = test_control(1);
+        let observed = Arc::clone(&fired);
+        ctl.hooks.push(Arc::new(move || {
+            observed.store(true, Ordering::SeqCst);
+        }));
+        assert!(matches!(handle_line("shutdown", &ctl), Action::Shutdown(_)));
+        ctl.shutdown();
+        assert!(ctl.stop.load(Ordering::SeqCst));
+        assert!(fired.load(Ordering::SeqCst));
+    }
+}

@@ -66,5 +66,5 @@ mod mutation;
 mod runner;
 mod shard;
 
-pub use mutation::{Mutation, MutationQueue};
+pub use mutation::{Mutation, MutationQueue, MutationSource, ScriptedMutations};
 pub use runner::{EngineConfig, OnlineEngine, RunResult, SelectionStrategy};

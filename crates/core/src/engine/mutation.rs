@@ -162,6 +162,103 @@ impl MutationQueue {
     }
 }
 
+/// Where the engine's per-chronon mutations come from.
+///
+/// [`OnlineEngine::run_driven`](crate::engine::OnlineEngine::run_driven) is
+/// generic over this trait, which is what lets the same run loop serve both
+/// the batch simulator (a prebuilt [`MutationQueue`] script, compiled to
+/// [`ScriptedMutations`]) and a live daemon (a channel clients feed while
+/// the engine runs — see [`crate::serve`]). The engine calls
+/// [`drain_at`](Self::drain_at) exactly once per chronon, immediately after
+/// [`ChrononStart`](crate::obs::Event::ChrononStart), and applies the
+/// drained mutations in the order the source produced them.
+///
+/// An *inactive* source (`active() == false`) promises it will never
+/// produce a mutation nor suppress a release; the engine then skips all
+/// per-chronon mutation work, keeping mutation-free runs on the exact
+/// pre-churn fast path.
+pub trait MutationSource {
+    /// Whether this source can ever produce mutations. Sampled once at run
+    /// start; an inactive source is never drained.
+    fn active(&self) -> bool;
+
+    /// Appends the mutations to apply at chronon `t` to `out`, in
+    /// application order. The engine clears `out` before calling.
+    fn drain_at(&mut self, t: Chronon, out: &mut Vec<Mutation>);
+
+    /// Whether `cei`'s natural release
+    /// ([`Instance::released_at`](crate::model::Instance::released_at)) is
+    /// suppressed because the CEI is *dynamic* — it only ever activates
+    /// through a drained [`Mutation::Register`].
+    fn suppresses_release(&self, cei: CeiId) -> bool;
+}
+
+/// A [`MutationQueue`] compiled for one run: per-chronon drain buckets plus
+/// the dynamic-CEI flags, exactly the state
+/// [`OnlineEngine::run_mutated`](crate::engine::OnlineEngine::run_mutated)
+/// used to build inline. Draining a compiled script is bit-identical to the
+/// pre-refactor queue handling by construction: the buckets preserve queue
+/// order and an empty queue compiles to an inactive source.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedMutations {
+    buckets: Vec<Vec<Mutation>>,
+    dynamic: Vec<bool>,
+    active: bool,
+}
+
+impl ScriptedMutations {
+    /// Compiles `queue` for an instance with `horizon` chronons and
+    /// `n_ceis` CEIs. An empty queue compiles to an inactive source.
+    pub fn compile(queue: &MutationQueue, horizon: Chronon, n_ceis: usize) -> Self {
+        let active = !queue.is_empty();
+        ScriptedMutations {
+            buckets: if active {
+                queue.bucketed(horizon)
+            } else {
+                Vec::new()
+            },
+            dynamic: if active {
+                queue.dynamic_flags(n_ceis)
+            } else {
+                Vec::new()
+            },
+            active,
+        }
+    }
+}
+
+impl MutationSource for ScriptedMutations {
+    fn active(&self) -> bool {
+        self.active
+    }
+
+    fn drain_at(&mut self, t: Chronon, out: &mut Vec<Mutation>) {
+        if let Some(bucket) = self.buckets.get(t as usize) {
+            out.extend_from_slice(bucket);
+        }
+    }
+
+    fn suppresses_release(&self, cei: CeiId) -> bool {
+        self.dynamic.get(cei.index()).copied().unwrap_or(false)
+    }
+}
+
+/// Forwarding impl so drivers can hand the engine `&mut source` without
+/// giving up ownership.
+impl<M: MutationSource + ?Sized> MutationSource for &mut M {
+    fn active(&self) -> bool {
+        (**self).active()
+    }
+
+    fn drain_at(&mut self, t: Chronon, out: &mut Vec<Mutation>) {
+        (**self).drain_at(t, out);
+    }
+
+    fn suppresses_release(&self, cei: CeiId) -> bool {
+        (**self).suppresses_release(cei)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +319,43 @@ mod tests {
         let json = serde_json::to_string(&q).unwrap();
         let back: MutationQueue = serde_json::from_str(&json).unwrap();
         assert_eq!(q, back);
+    }
+
+    #[test]
+    fn empty_queue_compiles_inactive() {
+        let s = ScriptedMutations::compile(&MutationQueue::new(), 10, 3);
+        assert!(!s.active());
+        assert!(!s.suppresses_release(CeiId(0)));
+    }
+
+    #[test]
+    fn compiled_script_drains_in_queue_order() {
+        let mut q = MutationQueue::new();
+        q.set_budget(1, 4)
+            .register(1, CeiId(0))
+            .cancel(30, CeiId(2));
+        let mut s = ScriptedMutations::compile(&q, 10, 3);
+        assert!(s.active());
+        let mut out = Vec::new();
+        s.drain_at(1, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Mutation::SetBudget { budget: 4 },
+                Mutation::Register { cei: CeiId(0) },
+            ]
+        );
+        // Out-of-epoch entries never drain; chronons beyond the bucket
+        // range are silently empty.
+        out.clear();
+        s.drain_at(5, &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        s.drain_at(30, &mut out);
+        assert!(out.is_empty());
+        // Dynamic flags mirror the queue's; unknown ids are not dynamic.
+        assert!(s.suppresses_release(CeiId(0)));
+        assert!(!s.suppresses_release(CeiId(2)));
+        assert!(!s.suppresses_release(CeiId(99)));
     }
 }

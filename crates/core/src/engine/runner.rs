@@ -1,7 +1,7 @@
 //! The run loop implementing Algorithm 1 (Online Complex Monitoring).
 
 use super::index::PoolEntry;
-use super::mutation::{Mutation, MutationQueue};
+use super::mutation::{Mutation, MutationQueue, MutationSource, ScriptedMutations};
 use super::shard::{ShardMap, ShardSet};
 use crate::fault::{FaultConfig, FaultModel, NoFaults};
 use crate::model::{CaptureSet, CeiId, Chronon, Instance, ResourceId, Schedule};
@@ -288,6 +288,50 @@ impl OnlineEngine {
         mutations: &MutationQueue,
         observer: &mut O,
     ) -> RunResult {
+        let mut source =
+            ScriptedMutations::compile(mutations, instance.epoch.len(), instance.ceis.len());
+        Self::run_driven(
+            instance,
+            policy,
+            config,
+            faults,
+            fault_config,
+            &mut source,
+            observer,
+        )
+    }
+
+    /// Runs `policy` over `instance` drawing mid-run mutations from an
+    /// arbitrary [`MutationSource`] instead of a prerecorded
+    /// [`MutationQueue`] — the entry point the `webmon serve` daemon uses
+    /// to splice live registration-API traffic into the engine loop.
+    ///
+    /// The engine samples [`MutationSource::active`] once at run start: an
+    /// inactive source takes the exact mutation-free fast path
+    /// [`run_faulted`](Self::run_faulted) compiles to. An active source is
+    /// drained once per chronon (immediately after [`Event::ChrononStart`],
+    /// before fault announcements and arrivals) and its drained mutations
+    /// apply with precisely the semantics documented on
+    /// [`run_mutated`](Self::run_mutated); natural releases are suppressed
+    /// per-CEI via [`MutationSource::suppresses_release`].
+    ///
+    /// Equivalence: driving with
+    /// [`ScriptedMutations::compile`]`(queue, ..)` is bit-identical —
+    /// schedule, event stream, stats — to
+    /// [`run_mutated`](Self::run_mutated) with `queue`; an always-active
+    /// source that never drains anything and never suppresses is
+    /// bit-identical to an inactive one (activity only gates a per-chronon
+    /// drain that applies no mutations).
+    #[allow(clippy::too_many_lines)]
+    pub fn run_driven<F: FaultModel, M: MutationSource, O: Observer>(
+        instance: &Instance,
+        policy: &dyn Policy,
+        config: EngineConfig,
+        faults: &mut F,
+        fault_config: FaultConfig,
+        mutations: &mut M,
+        observer: &mut O,
+    ) -> RunResult {
         let n_ceis = instance.ceis.len();
         let n_res = instance.n_resources as usize;
         let horizon = instance.epoch.len();
@@ -368,11 +412,11 @@ impl OnlineEngine {
             ..Default::default()
         };
 
-        // Mutation state: prebucketed per-chronon drain lists and the
-        // dynamic-CEI flags, built only when the queue is non-empty so the
-        // mutation-free paths pay one branch per chronon and nothing else.
-        let mutation_buckets = (!mutations.is_empty()).then(|| mutations.bucketed(horizon));
-        let dynamic = (!mutations.is_empty()).then(|| mutations.dynamic_flags(n_ceis));
+        // Mutation state: sampled once so an inactive source keeps the
+        // mutation-free paths at one branch per chronon and nothing else.
+        // `drained` is the reusable per-chronon drain buffer.
+        let mutations_on = mutations.active();
+        let mut drained: Vec<Mutation> = Vec::new();
         // A drained `SetBudget` parks here and becomes the override at the
         // next chronon boundary — reconfiguration never applies mid-chronon.
         let mut budget_override: Option<u32> = None;
@@ -427,9 +471,11 @@ impl OnlineEngine {
             // fault announcements and arrivals so a registration's windows
             // and a cancellation's retry-state cleanup are visible to the
             // whole chronon.
-            if let Some(buckets) = &mutation_buckets {
-                for m in &buckets[t as usize] {
-                    match *m {
+            if mutations_on {
+                drained.clear();
+                mutations.drain_at(t, &mut drained);
+                for &m in &drained {
+                    match m {
                         Mutation::Register { cei: id } => {
                             if !matches!(status[id.index()], Status::NotArrived) {
                                 continue; // already live, resolved, or cancelled
@@ -539,7 +585,7 @@ impl OnlineEngine {
             // their registration drain is their release — and a CEI
             // cancelled before its release stays cancelled.
             for &id in instance.released_at(t) {
-                if dynamic.as_ref().is_some_and(|d| d[id.index()]) {
+                if mutations_on && mutations.suppresses_release(id) {
                     continue;
                 }
                 if matches!(status[id.index()], Status::NotArrived) {

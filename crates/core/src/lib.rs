@@ -46,6 +46,10 @@
 //!   failures, Gilbert–Elliott bursty outages, and rate-limit windows,
 //!   threaded through [`engine::OnlineEngine::run_faulted`] with retry /
 //!   backoff handling and graceful shedding of provably-doomed CEIs.
+//! * [`serve`] — serving-mode adapters: clocks mapping chronons onto wall
+//!   (or test-controlled) time, pluggable probe executors (live TCP and
+//!   deterministic replay), and the chronon driver binding both to the
+//!   engine loop — the daemon runs the exact simulator engine.
 //!
 //! ## Quick start
 //!
@@ -75,6 +79,7 @@ pub mod obs;
 pub mod offline;
 pub mod parallel;
 pub mod policy;
+pub mod serve;
 pub mod stats;
 
 pub use check::{InvariantObserver, InvariantReport, Violation};

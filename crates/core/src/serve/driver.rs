@@ -1,0 +1,288 @@
+//! The chronon driver: running the discrete engine against a [`Clock`], a
+//! [`ProbeExecutor`], and a live mutation feed.
+//!
+//! [`drive`] is the daemon's engine entry point. It composes three adapters
+//! around [`OnlineEngine::run_driven`]:
+//!
+//! * [`Paced`] wraps the observer and blocks on every
+//!   [`Event::ChrononStart`] until the clock admits that chronon — pacing
+//!   lives entirely in the observer layer, so the engine's computation (and
+//!   its event stream) is bit-identical under any clock;
+//! * [`ExecutorModel`] turns the executor into the engine's fault model;
+//! * [`DaemonSource`] merges a precompiled churn script with mutations
+//!   submitted live over the registration API ([`LiveMutationQueue`]).
+//!
+//! [`Event::ChrononStart`]: crate::obs::Event::ChrononStart
+
+use super::clock::Clock;
+use super::executor::{ExecutorModel, ProbeExecutor};
+use crate::engine::{
+    EngineConfig, Mutation, MutationSource, OnlineEngine, RunResult, ScriptedMutations,
+};
+use crate::fault::FaultConfig;
+use crate::model::{CeiId, Chronon, Instance};
+use crate::obs::{Event, Observer};
+use crate::policy::Policy;
+use std::sync::{Arc, Mutex};
+
+/// An observer wrapper that paces the run: before forwarding each
+/// [`Event::ChrononStart`] it blocks on the clock until that chronon may
+/// begin. Once the clock reports released ([`Clock::wait_until`] returning
+/// `false`) pacing is permanently off and events stream through untouched.
+///
+/// Pacing is invisible to the inner observer — the event sequence (and the
+/// engine output it reflects) is identical to an unpaced run.
+///
+/// [`Event::ChrononStart`]: crate::obs::Event::ChrononStart
+#[derive(Debug)]
+pub struct Paced<C, O> {
+    clock: C,
+    inner: O,
+    pacing: bool,
+}
+
+impl<C: Clock, O: Observer> Paced<C, O> {
+    /// Wraps `inner` so chronon starts wait on `clock`.
+    pub fn new(clock: C, inner: O) -> Self {
+        Paced {
+            clock,
+            inner,
+            pacing: true,
+        }
+    }
+
+    /// Unwraps the clock and inner observer.
+    pub fn into_inner(self) -> (C, O) {
+        (self.clock, self.inner)
+    }
+}
+
+impl<C: Clock, O: Observer> Observer for Paced<C, O> {
+    fn on_event(&mut self, event: Event) {
+        if self.pacing {
+            if let Event::ChrononStart { t, .. } = event {
+                self.pacing = self.clock.wait_until(t);
+            }
+        }
+        self.inner.on_event(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+}
+
+/// A thread-safe inbox for mutations submitted while the engine runs: the
+/// daemon's registration API pushes here from client threads, and the
+/// engine (through [`DaemonSource`]) drains everything pending at each
+/// chronon start.
+///
+/// Clones share the same inbox.
+#[derive(Debug, Clone, Default)]
+pub struct LiveMutationQueue {
+    inbox: Arc<Mutex<Vec<Mutation>>>,
+}
+
+impl LiveMutationQueue {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues `mutation` for the next chronon-start drain.
+    pub fn submit(&self, mutation: Mutation) {
+        self.inbox.lock().unwrap().push(mutation);
+    }
+
+    /// How many mutations are waiting to be drained.
+    pub fn pending(&self) -> usize {
+        self.inbox.lock().unwrap().len()
+    }
+
+    fn drain_into(&self, out: &mut Vec<Mutation>) {
+        out.append(&mut self.inbox.lock().unwrap());
+    }
+}
+
+/// The daemon's [`MutationSource`]: a precompiled churn script (drained at
+/// its scripted chronons, with its natural-release suppression) merged
+/// with whatever the live registration API submitted since the previous
+/// chronon — script first, then live arrivals in submission order.
+///
+/// The source is always active. For a run with an empty script and no live
+/// traffic this is still bit-identical to the mutation-free engine path:
+/// activity only gates a per-chronon drain, and an empty drain applies
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonSource {
+    script: ScriptedMutations,
+    live: LiveMutationQueue,
+}
+
+impl DaemonSource {
+    /// A source merging `script` with live submissions from `live`.
+    pub fn new(script: ScriptedMutations, live: LiveMutationQueue) -> Self {
+        DaemonSource { script, live }
+    }
+}
+
+impl MutationSource for DaemonSource {
+    fn active(&self) -> bool {
+        true
+    }
+
+    fn drain_at(&mut self, t: Chronon, out: &mut Vec<Mutation>) {
+        self.script.drain_at(t, out);
+        self.live.drain_into(out);
+    }
+
+    fn suppresses_release(&self, cei: CeiId) -> bool {
+        self.script.suppresses_release(cei)
+    }
+}
+
+/// Runs `policy` over `instance` against a clock and a probe executor —
+/// the daemon's engine entry point.
+///
+/// Equivalence contract: for any clock, `drive` with
+/// [`ReplayExecutor::faultless`] and an empty [`DaemonSource`] is
+/// byte-identical (schedule, stats, event stream) to
+/// [`OnlineEngine::run_observed`]; with
+/// [`ReplayExecutor::scripted`]`(model)` it matches
+/// [`OnlineEngine::run_faulted`] on the same model; adding a compiled
+/// churn script matches [`OnlineEngine::run_mutated`].
+///
+/// [`ReplayExecutor::faultless`]: super::ReplayExecutor::faultless
+/// [`ReplayExecutor::scripted`]: super::ReplayExecutor::scripted
+#[allow(clippy::too_many_arguments)]
+pub fn drive<E, M, C, O>(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+    executor: E,
+    fault_config: FaultConfig,
+    mutations: &mut M,
+    clock: C,
+    observer: O,
+) -> RunResult
+where
+    E: ProbeExecutor,
+    M: MutationSource,
+    C: Clock,
+    O: Observer,
+{
+    let mut model = ExecutorModel::new(executor);
+    let mut paced = Paced::new(clock, observer);
+    OnlineEngine::run_driven(
+        instance,
+        policy,
+        config,
+        &mut model,
+        fault_config,
+        mutations,
+        &mut paced,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MutationQueue;
+    use crate::model::{Budget, InstanceBuilder};
+    use crate::obs::MetricsObserver;
+    use crate::policy::MEdf;
+    use crate::serve::{FreeClock, ManualClock, ReplayExecutor};
+
+    fn tiny_instance() -> Instance {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 1, 4), (1, 2, 6)]);
+        b.cei(p, &[(0, 3, 8)]);
+        b.build()
+    }
+
+    #[test]
+    fn drive_with_free_clock_matches_run_observed() {
+        let instance = tiny_instance();
+        let mut sim = MetricsObserver::default();
+        let expected =
+            OnlineEngine::run_observed(&instance, &MEdf, EngineConfig::preemptive(), &mut sim);
+
+        let mut served = MetricsObserver::default();
+        let mut source = DaemonSource::default();
+        let got = drive(
+            &instance,
+            &MEdf,
+            EngineConfig::preemptive(),
+            ReplayExecutor::faultless(),
+            FaultConfig::default(),
+            &mut source,
+            FreeClock,
+            &mut served,
+        );
+        assert_eq!(expected.schedule, got.schedule);
+        assert_eq!(expected.stats, got.stats);
+        assert_eq!(expected.outcomes, got.outcomes);
+        assert_eq!(sim.metrics(), served.metrics());
+    }
+
+    #[test]
+    fn drive_with_released_manual_clock_free_runs_to_horizon() {
+        let instance = tiny_instance();
+        let (clock, handle) = ManualClock::new();
+        handle.release();
+        let mut source = DaemonSource::default();
+        let got = drive(
+            &instance,
+            &MEdf,
+            EngineConfig::preemptive(),
+            ReplayExecutor::faultless(),
+            FaultConfig::default(),
+            &mut source,
+            clock,
+            &mut crate::obs::NoopObserver,
+        );
+        let expected = OnlineEngine::run(&instance, &MEdf, EngineConfig::preemptive());
+        assert_eq!(expected.schedule, got.schedule);
+    }
+
+    #[test]
+    fn live_queue_drains_at_next_chronon_start() {
+        // A live SetBudget submitted before the run starts drains at
+        // chronon 0 and (per run_mutated semantics) applies from chronon 1.
+        let instance = tiny_instance();
+        let live = LiveMutationQueue::new();
+        live.submit(Mutation::SetBudget { budget: 0 });
+        assert_eq!(live.pending(), 1);
+        let mut source = DaemonSource::new(ScriptedMutations::default(), live.clone());
+        let got = drive(
+            &instance,
+            &MEdf,
+            EngineConfig::preemptive(),
+            ReplayExecutor::faultless(),
+            FaultConfig::default(),
+            &mut source,
+            FreeClock,
+            &mut crate::obs::NoopObserver,
+        );
+        assert_eq!(live.pending(), 0);
+        // Budget zeroed from chronon 1 on: nothing captures.
+        assert_eq!(got.stats.ceis_captured, 0);
+
+        // The same mutation prerecorded at chronon 0 is bit-identical.
+        let mut queue = MutationQueue::new();
+        queue.set_budget(0, 0);
+        let expected = OnlineEngine::run_mutated(
+            &instance,
+            &MEdf,
+            EngineConfig::preemptive(),
+            &mut crate::fault::NoFaults,
+            FaultConfig::default(),
+            &queue,
+            &mut crate::obs::NoopObserver,
+        );
+        assert_eq!(expected.schedule, got.schedule);
+        assert_eq!(expected.stats, got.stats);
+        assert_eq!(expected.outcomes, got.outcomes);
+    }
+}

@@ -1,0 +1,292 @@
+//! Probe executors: how the daemon actually touches (or replays) the Web.
+//!
+//! The engine's fault machinery already speaks the right language — a probe
+//! either succeeds or fails, failures feed retry/backoff, committed outages
+//! feed shedding — so a live executor is just a [`FaultModel`] whose
+//! answers come from the network instead of a seeded script.
+//! [`ProbeExecutor`] is that trait, restated for implementors who think in
+//! probes rather than faults, and [`ExecutorModel`] adapts any executor
+//! into the [`FaultModel`] the engine runs against.
+//!
+//! Two executors ship:
+//!
+//! * [`ReplayExecutor`] — deterministic and fully offline. `faultless()`
+//!   reports `fallible() == false`, so the engine monomorphizes to the
+//!   exact unfaulted simulator path; `scripted(model)` delegates to any
+//!   seeded [`FaultModel`], reproducing the simulator's faulted runs
+//!   byte-for-byte.
+//! * [`TcpProbeExecutor`] — a real network prober: one TCP connect with a
+//!   per-probe timeout per probe, resources mapped round-robin onto the
+//!   configured target addresses. Failures flow into the engine's
+//!   `ProbeFailed` / retry / backoff machinery unchanged.
+
+use crate::fault::{FaultModel, NoFaults};
+use crate::model::{Chronon, ResourceId};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A source of probe outcomes for the serving engine.
+///
+/// The contract mirrors [`FaultModel`] exactly (the engine consumes
+/// executors through [`ExecutorModel`]): [`begin_chronon`] is called once
+/// per chronon before any probe, [`down_until`] reports committed outage
+/// horizons, [`probe`] resolves one attempt, and [`fallible`] gates every
+/// engine fault branch — an infallible executor runs the zero-cost
+/// unfaulted loop.
+///
+/// [`begin_chronon`]: Self::begin_chronon
+/// [`down_until`]: Self::down_until
+/// [`probe`]: Self::probe
+/// [`fallible`]: Self::fallible
+pub trait ProbeExecutor {
+    /// Advances the executor to chronon `t` (once per chronon, ascending).
+    fn begin_chronon(&mut self, t: Chronon);
+
+    /// The committed inclusive unavailability horizon for `resource`, or
+    /// `None` if the resource is (as far as the executor knows) reachable.
+    fn down_until(&self, resource: ResourceId) -> Option<Chronon>;
+
+    /// Executes one probe of `resource` at chronon `t`; `attempt` counts
+    /// the consecutive failures already observed on this resource. Returns
+    /// whether the probe succeeded.
+    fn probe(&mut self, t: Chronon, resource: ResourceId, attempt: u32) -> bool;
+
+    /// Whether this executor can ever fail a probe. `false` routes the
+    /// engine through the exact unfaulted instruction stream.
+    fn fallible(&self) -> bool;
+}
+
+/// Forwarding impl so boxed executors (`Box<dyn ProbeExecutor + Send>`)
+/// plug into the generic driver.
+impl<E: ProbeExecutor + ?Sized> ProbeExecutor for Box<E> {
+    fn begin_chronon(&mut self, t: Chronon) {
+        (**self).begin_chronon(t);
+    }
+    fn down_until(&self, resource: ResourceId) -> Option<Chronon> {
+        (**self).down_until(resource)
+    }
+    fn probe(&mut self, t: Chronon, resource: ResourceId, attempt: u32) -> bool {
+        (**self).probe(t, resource, attempt)
+    }
+    fn fallible(&self) -> bool {
+        (**self).fallible()
+    }
+}
+
+/// Adapts a [`ProbeExecutor`] into the [`FaultModel`] the engine consumes:
+/// probe failures become fault-model failures, committed outages become
+/// `down_until` horizons, and `fallible()` drives
+/// [`FaultModel::enabled`] so infallible executors cost nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorModel<E>(E);
+
+impl<E: ProbeExecutor> ExecutorModel<E> {
+    /// Wraps `executor` for the engine.
+    pub fn new(executor: E) -> Self {
+        ExecutorModel(executor)
+    }
+
+    /// Unwraps the executor.
+    pub fn into_inner(self) -> E {
+        self.0
+    }
+}
+
+impl<E: ProbeExecutor> FaultModel for ExecutorModel<E> {
+    fn begin_chronon(&mut self, t: Chronon) {
+        self.0.begin_chronon(t);
+    }
+    fn down_until(&self, resource: ResourceId) -> Option<Chronon> {
+        self.0.down_until(resource)
+    }
+    fn probe_succeeds(&mut self, t: Chronon, resource: ResourceId, attempt: u32) -> bool {
+        self.0.probe(t, resource, attempt)
+    }
+    fn enabled(&self) -> bool {
+        self.0.fallible()
+    }
+}
+
+/// The deterministic offline executor: probe outcomes come from a seeded
+/// [`FaultModel`] script instead of the network, so a serving run is a
+/// pure function of its inputs — the keystone of the daemon-vs-simulator
+/// equivalence contract.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayExecutor<F = NoFaults> {
+    model: F,
+    fallible: bool,
+}
+
+impl ReplayExecutor {
+    /// An executor whose every probe succeeds. `fallible()` is `false`, so
+    /// the engine takes the exact unfaulted simulator path.
+    pub fn faultless() -> Self {
+        ReplayExecutor {
+            model: NoFaults,
+            fallible: false,
+        }
+    }
+}
+
+impl<F: FaultModel> ReplayExecutor<F> {
+    /// An executor replaying `model`'s scripted failures — byte-identical
+    /// to the simulator running the same model directly.
+    pub fn scripted(model: F) -> Self {
+        let fallible = model.enabled();
+        ReplayExecutor { model, fallible }
+    }
+}
+
+impl<F: FaultModel> ProbeExecutor for ReplayExecutor<F> {
+    fn begin_chronon(&mut self, t: Chronon) {
+        self.model.begin_chronon(t);
+    }
+    fn down_until(&self, resource: ResourceId) -> Option<Chronon> {
+        self.model.down_until(resource)
+    }
+    fn probe(&mut self, t: Chronon, resource: ResourceId, attempt: u32) -> bool {
+        self.model.probe_succeeds(t, resource, attempt)
+    }
+    fn fallible(&self) -> bool {
+        self.fallible
+    }
+}
+
+/// A live TCP prober: each probe is one `connect` with a per-probe timeout
+/// against the target address the resource maps to (round-robin over the
+/// configured targets), success iff the connection is established.
+///
+/// The executor is fully synchronous — no probe threads exist, so daemon
+/// shutdown has nothing to leak; the shared stop flag
+/// ([`stop_flag`](Self::stop_flag)) makes every probe after shutdown fail
+/// immediately instead of waiting out its timeout, bounding exit latency
+/// even mid-backoff.
+#[derive(Debug)]
+pub struct TcpProbeExecutor {
+    targets: Vec<SocketAddr>,
+    timeout: Duration,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpProbeExecutor {
+    /// A prober over `targets` with the given per-probe connect timeout.
+    /// With no targets every probe fails (nothing to monitor is a fault,
+    /// not a success).
+    pub fn new(targets: Vec<SocketAddr>, timeout: Duration) -> Self {
+        TcpProbeExecutor {
+            targets,
+            timeout,
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The shared stop flag: set it to make every subsequent probe fail
+    /// fast (used by daemon shutdown).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The target address `resource` maps to.
+    pub fn target_of(&self, resource: ResourceId) -> Option<SocketAddr> {
+        if self.targets.is_empty() {
+            None
+        } else {
+            Some(self.targets[resource.index() % self.targets.len()])
+        }
+    }
+}
+
+impl ProbeExecutor for TcpProbeExecutor {
+    fn begin_chronon(&mut self, _t: Chronon) {}
+
+    fn down_until(&self, _resource: ResourceId) -> Option<Chronon> {
+        // A live network never commits to future unavailability; shedding
+        // stays a simulator-side optimization.
+        None
+    }
+
+    fn probe(&mut self, _t: Chronon, resource: ResourceId, _attempt: u32) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        match self.target_of(resource) {
+            Some(addr) => TcpStream::connect_timeout(&addr, self.timeout).is_ok(),
+            None => false,
+        }
+    }
+
+    fn fallible(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::IidFaults;
+
+    #[test]
+    fn faultless_replay_is_infallible_and_always_succeeds() {
+        let mut e = ReplayExecutor::faultless();
+        assert!(!e.fallible());
+        e.begin_chronon(0);
+        assert_eq!(e.down_until(ResourceId(0)), None);
+        assert!(e.probe(0, ResourceId(0), 0));
+        // Adapter mirrors the executor verbatim.
+        let m = ExecutorModel::new(e);
+        assert!(!m.enabled());
+    }
+
+    #[test]
+    fn scripted_replay_matches_its_model() {
+        let mut model = IidFaults::new(0.5, 99);
+        let mut exec = ReplayExecutor::scripted(IidFaults::new(0.5, 99));
+        assert!(exec.fallible());
+        for t in 0..50 {
+            for r in 0..4 {
+                assert_eq!(
+                    exec.probe(t, ResourceId(r), 0),
+                    model.probe_succeeds(t, ResourceId(r), 0),
+                    "t={t} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_replay_of_nofaults_is_infallible() {
+        assert!(!ReplayExecutor::scripted(NoFaults).fallible());
+    }
+
+    #[test]
+    fn tcp_executor_with_no_targets_fails_every_probe() {
+        let mut e = TcpProbeExecutor::new(Vec::new(), Duration::from_millis(5));
+        assert!(e.fallible());
+        assert_eq!(e.target_of(ResourceId(3)), None);
+        assert!(!e.probe(0, ResourceId(3), 0));
+    }
+
+    #[test]
+    fn tcp_executor_stop_flag_fails_fast() {
+        // A bound listener would accept, but the stop flag short-circuits
+        // before any connect happens.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut e = TcpProbeExecutor::new(vec![addr], Duration::from_millis(200));
+        assert!(e.probe(0, ResourceId(0), 0));
+        e.stop_flag().store(true, Ordering::Relaxed);
+        assert!(!e.probe(1, ResourceId(0), 1));
+    }
+
+    #[test]
+    fn tcp_executor_maps_resources_round_robin() {
+        let a: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:2".parse().unwrap();
+        let e = TcpProbeExecutor::new(vec![a, b], Duration::from_millis(5));
+        assert_eq!(e.target_of(ResourceId(0)), Some(a));
+        assert_eq!(e.target_of(ResourceId(1)), Some(b));
+        assert_eq!(e.target_of(ResourceId(2)), Some(a));
+    }
+}

@@ -1,0 +1,37 @@
+//! Serving-mode building blocks: clocks, probe executors, and the chronon
+//! driver that promote the discrete simulator into a long-running monitor.
+//!
+//! The design premise is that *serving must not fork the engine*. The
+//! daemon runs the very same [`OnlineEngine`](crate::engine::OnlineEngine)
+//! loop the simulator and conformance corpus exercise; this module only
+//! supplies the adapters that bind that loop to real time and a real (or
+//! replayed) network:
+//!
+//! * [`Clock`] decides when each chronon begins — [`WallClock`] for real
+//!   deployments, [`ManualClock`] for deterministic tests, [`FreeClock`]
+//!   for as-fast-as-possible drains. Pacing happens in the [`Paced`]
+//!   observer layer, so it cannot perturb engine output.
+//! * [`ProbeExecutor`] resolves probe attempts — [`TcpProbeExecutor`]
+//!   against live TCP targets with per-probe timeouts, [`ReplayExecutor`]
+//!   against deterministic scripts for fully offline serving.
+//! * [`drive`] composes both with a [`MutationSource`] merging scripted
+//!   churn and live registration traffic ([`DaemonSource`],
+//!   [`LiveMutationQueue`]) and calls
+//!   [`OnlineEngine::run_driven`](crate::engine::OnlineEngine::run_driven).
+//!
+//! **Equivalence contract.** A daemon run with [`ReplayExecutor`] under
+//! any clock is byte-identical — schedule, stats, `RunMetrics`, JSONL
+//! trace bytes — to the corresponding simulator entry point
+//! (`run_observed` / `run_faulted` / `run_mutated`). Every invariant the
+//! conformance harness checks therefore transfers to serving mode for
+//! free; `tests/tests/serve.rs` and CI's `serve-smoke` job enforce it.
+//!
+//! [`MutationSource`]: crate::engine::MutationSource
+
+mod clock;
+mod driver;
+mod executor;
+
+pub use clock::{Clock, ClockRelease, FreeClock, ManualClock, ManualHandle, WallClock};
+pub use driver::{drive, DaemonSource, LiveMutationQueue, Paced};
+pub use executor::{ExecutorModel, ProbeExecutor, ReplayExecutor, TcpProbeExecutor};

@@ -179,6 +179,20 @@ pub fn read_csv<R: BufRead>(
     Ok(UpdateTrace::from_events(h, per_resource))
 }
 
+/// Reads a trace from a CSV file on disk — the `webmon serve` replay feed's
+/// loader. Unreadable files surface as [`TraceIoError::Io`]; malformed
+/// content (including a file truncated mid-line) keeps its structured,
+/// line-numbered [`read_csv`] error.
+pub fn read_csv_file(
+    path: &std::path::Path,
+    horizon: Option<Chronon>,
+    n_resources: Option<u32>,
+) -> Result<UpdateTrace, TraceIoError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| TraceIoError::Io(format!("{}: {e}", path.display())))?;
+    read_csv(std::io::BufReader::new(file), horizon, n_resources)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +324,30 @@ mod tests {
         let t = read_csv(csv.as_bytes(), Some(10), Some(2)).unwrap();
         assert_eq!(t.total_events(), 0);
         assert_eq!(t.n_resources(), 2);
+    }
+
+    #[test]
+    fn truncated_mid_line_eof_is_a_structured_line_error() {
+        // A dump cut off mid-write ends with a partial record and no final
+        // newline; the reader must report the exact file line, not panic.
+        let csv = "resource,chronon\n0,5\n1,";
+        assert_eq!(
+            read_csv(csv.as_bytes(), None, None).unwrap_err(),
+            TraceIoError::BadLine {
+                line: 3,
+                content: "1,".into()
+            }
+        );
+    }
+
+    #[test]
+    fn read_csv_file_maps_missing_file_to_io_error() {
+        let err = read_csv_file(
+            std::path::Path::new("/nonexistent/webmon-feed.csv"),
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)), "{err}");
     }
 }

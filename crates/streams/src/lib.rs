@@ -39,7 +39,7 @@ pub mod zipf;
 pub use auction::{AuctionTrace, AuctionTraceConfig};
 pub use fitted::{PoissonFittedModel, PrefixFittedModel};
 pub use fpn::{EventPair, FpnModel, NoisyTrace};
-pub use io::{read_csv, write_csv, TraceIoError};
+pub use io::{read_csv, read_csv_file, write_csv, TraceIoError};
 pub use news::NewsTraceConfig;
 pub use poisson::{poisson_count, PoissonProcess};
 pub use rng::SimRng;
