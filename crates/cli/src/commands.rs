@@ -1,7 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::{ArgError, Args};
-use crate::serve::{Daemon, ServeSession};
+use crate::serve::{Daemon, ServeOptions, ServeSession};
 use serde::Serialize;
 use webmon_core::engine::{MutationQueue, ScriptedMutations};
 use webmon_core::fault::{Backoff, FaultConfig};
@@ -135,6 +135,19 @@ the monitored instance exactly like `run` repetition 0):
     --sim-trace-out <path>         also run the simulator on the same case
                                    and write its JSONL trace (for diffing;
                                    not valid with --replay-feed)
+    --journal-dir <dir>            append a durable run journal (frames,
+                                   snapshots, live mutations) to
+                                   <dir>/run.journal
+    --fsync every-chronon|every-<n>|os
+                                   journal durability policy [every-chronon]
+    --snapshot-every <n>           journal an engine snapshot every n
+                                   chronons; 0 = never (recovery then
+                                   replays from chronon 0)          [64]
+    --recover <dir>                recover a crashed run from the journal
+                                   in <dir>: restore the latest snapshot,
+                                   replay the journaled chronons to the
+                                   crash point, then continue live (all
+                                   other flags must match the crashed run)
 
     The line protocol on the socket: ping | attach | register <cei-id> |
     cancel <cei-id> | set-budget <n> | shutdown. One JSON reply per line;
@@ -688,6 +701,9 @@ struct ServeSummary {
     events_written: u64,
     /// Failed trace/socket writes (nonzero → exit code 1).
     write_errors: u64,
+    /// Structured trace/journal IO failures with file paths (nonempty →
+    /// exit code 1).
+    io_errors: Vec<String>,
 }
 
 fn cmd_serve(args: &Args) -> Result<i32, ArgError> {
@@ -702,6 +718,38 @@ fn cmd_serve(args: &Args) -> Result<i32, ArgError> {
     };
     let spec = policy_spec_from(args)?;
     let chronon_ms: u64 = args.get_parsed("chronon-ms", 0, "milliseconds per chronon")?;
+
+    let fsync = match args.get("fsync") {
+        Some(raw) => raw
+            .parse::<webmon_core::serve::FsyncPolicy>()
+            .map_err(|_| ArgError::BadValue {
+                key: "fsync".to_string(),
+                value: raw.to_string(),
+                expected: "every-chronon|every-<n>|os",
+            })?,
+        None => webmon_core::serve::FsyncPolicy::EveryChronon,
+    };
+    let snapshot_every: u32 = args.get_parsed("snapshot-every", 64, "a chronon count")?;
+    let recover_dir = args.get("recover").map(std::path::PathBuf::from);
+    let journal_dir = args.get("journal-dir").map(std::path::PathBuf::from);
+    if let (Some(r), Some(j)) = (&recover_dir, &journal_dir) {
+        if r != j {
+            return Err(ArgError::BadValue {
+                key: "journal-dir".to_string(),
+                value: j.display().to_string(),
+                expected: "the same directory as --recover (recovery continues that journal)",
+            });
+        }
+    }
+    let journal =
+        recover_dir
+            .clone()
+            .or(journal_dir)
+            .map(|dir| webmon_core::serve::JournalConfig {
+                dir,
+                fsync,
+                snapshot_every,
+            });
 
     if args.get("replay-feed").is_some() && args.get("sim-trace-out").is_some() {
         return Err(ArgError::BadValue {
@@ -769,13 +817,20 @@ fn cmd_serve(args: &Args) -> Result<i32, ArgError> {
         eprintln!("serving on {addr}");
     }
 
+    // Replay executors are deterministic, so recovery may step them through
+    // the replayed prefix to keep stateful fault models exact; a live
+    // executor must never probe during replay.
+    let mut resync_executor = false;
     let executor: Box<dyn ProbeExecutor> = match args.get("executor").unwrap_or("replay") {
-        "replay" => match fault {
-            Some(f) => Box::new(ReplayExecutor::scripted(
-                f.build(0, session.instance.n_resources as usize),
-            )),
-            None => Box::new(ReplayExecutor::faultless()),
-        },
+        "replay" => {
+            resync_executor = true;
+            match fault {
+                Some(f) => Box::new(ReplayExecutor::scripted(
+                    f.build(0, session.instance.n_resources as usize),
+                )),
+                None => Box::new(ReplayExecutor::faultless()),
+            }
+        }
         "live" => {
             let timeout_ms: u64 = args.get_parsed("probe-timeout-ms", 200, "milliseconds")?;
             let tcp = TcpProbeExecutor::new(
@@ -798,20 +853,28 @@ fn cmd_serve(args: &Args) -> Result<i32, ArgError> {
             })
         }
     };
-    let clock: Box<dyn Clock> = if chronon_ms == 0 {
-        Box::new(FreeClock)
-    } else {
-        Box::new(WallClock::new(chronon_ms))
-    };
-
     let label = spec.label();
     let n_ceis = session.instance.ceis.len();
     let horizon = session.instance.epoch.len();
-    let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
-    let outcome = match daemon.run(session, executor, clock, trace_out.as_deref()) {
+    let opts = ServeOptions {
+        trace_out: args.get("trace-out").map(std::path::PathBuf::from),
+        journal,
+        recover: recover_dir.is_some(),
+        resync_executor,
+    };
+    // The clock anchors at the first live chronon, so a recovered wall
+    // clock never paces the replayed prefix.
+    let make_clock = |anchor| -> Box<dyn Clock> {
+        if chronon_ms == 0 {
+            Box::new(FreeClock)
+        } else {
+            Box::new(WallClock::anchored(chronon_ms, anchor))
+        }
+    };
+    let outcome = match daemon.run_with(session, executor, make_clock, opts) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("daemon failed: {e}");
+            println!("{}", serve_error_json(&e.to_string()));
             return Ok(1);
         }
     };
@@ -846,12 +909,28 @@ fn cmd_serve(args: &Args) -> Result<i32, ArgError> {
         probes: outcome.metrics.probes_issued,
         events_written: outcome.events_written,
         write_errors: outcome.write_errors,
+        io_errors: outcome.io_errors,
     };
     match serde_json::to_string(&summary) {
         Ok(line) => println!("{line}"),
         Err(e) => eprintln!("cannot serialize summary: {e}"),
     }
-    Ok(i32::from(summary.write_errors != 0))
+    Ok(i32::from(
+        summary.write_errors != 0 || !summary.io_errors.is_empty(),
+    ))
+}
+
+/// One structured `{"err":{"reason":...}}` line for a failed daemon start
+/// (journal corruption, fingerprint mismatch, bind/trace failures).
+fn serve_error_json(reason: &str) -> String {
+    serde_json::to_string(&serde_json::Value::Object(vec![(
+        "err".to_string(),
+        serde_json::Value::Object(vec![(
+            "reason".to_string(),
+            serde_json::Value::String(reason.to_string()),
+        )]),
+    )]))
+    .unwrap_or_else(|_| r#"{"err":{"reason":"unserializable"}}"#.to_string())
 }
 
 fn cmd_experiments(args: &Args) -> Result<i32, ArgError> {

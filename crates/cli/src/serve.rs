@@ -33,19 +33,24 @@
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 use webmon_core::engine::{EngineConfig, Mutation, RunResult, ScriptedMutations};
 use webmon_core::fault::FaultConfig;
-use webmon_core::model::{CeiId, Instance};
-use webmon_core::obs::{Event, MetricsObserver, Observer, RunMetrics, Tee};
+use webmon_core::model::{CeiId, Chronon, Instance};
+use webmon_core::obs::{replay_events, Event, MetricsObserver, Observer, RunMetrics, Tee};
 use webmon_core::policy::Policy;
-use webmon_core::serve::{
-    drive, Clock, ClockRelease, DaemonSource, LiveMutationQueue, ProbeExecutor,
+use webmon_core::serve::journal::{
+    scan_journal, JournalObserver, JournalSink, JournalWriter, SharedJournal,
 };
+use webmon_core::serve::{
+    drive_resumable, Clock, ClockRelease, DaemonSource, JournalConfig, JournalError,
+    LiveMutationQueue, NoSnapshots, ProbeExecutor, Recovery, SnapshotSink,
+};
+use webmon_streams::write_all_tagged;
 
 /// How long a client read blocks before re-checking the stop flag, and how
 /// long the accept loop naps when no connection is pending.
@@ -77,6 +82,61 @@ pub struct DaemonOutcome {
     pub events_written: u64,
     /// Failed writes (a full disk, a torn socket mid-line on the file sink).
     pub write_errors: u64,
+    /// Structured descriptions of trace-file and journal write failures
+    /// (partial writes, `ENOSPC`), each tagged with the file path. Nonempty
+    /// makes `webmon serve` exit 1 with a JSON error summary.
+    pub io_errors: Vec<String>,
+}
+
+/// Optional behaviors of a daemon run beyond the bare engine session.
+#[derive(Debug, Default)]
+pub struct ServeOptions {
+    /// JSONL event trace destination (same bytes as the simulator's).
+    pub trace_out: Option<PathBuf>,
+    /// Journal destination and durability policy (`None`: no journal).
+    pub journal: Option<JournalConfig>,
+    /// Recover from the journal in [`journal`](Self::journal)'s directory:
+    /// restore the latest snapshot, replay the journaled chronons, then go
+    /// live. Requires `journal` to be set.
+    pub recover: bool,
+    /// During recovery replay, step the wrapped executor through every
+    /// replayed chronon and probe so stateful deterministic fault models
+    /// (Gilbert-Elliott chains, rate limiters) are exact at the handover.
+    /// `false` for live network executors, which must not probe during
+    /// replay.
+    pub resync_executor: bool,
+}
+
+/// A daemon-level failure: socket/trace infrastructure, or the journal.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or trace-file setup failure.
+    Io(io::Error),
+    /// Journal create/scan/recovery failure (structured, with path).
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Journal(e)
+    }
 }
 
 /// Shared state between the engine thread, the accept thread, and every
@@ -87,6 +147,9 @@ struct Control {
     pending: Arc<Mutex<Vec<TcpStream>>>,
     hooks: Vec<ClockRelease>,
     n_ceis: usize,
+    /// When journaling, every accepted mutation is appended (and synced,
+    /// per policy) here *before* its `ok` acknowledgement is written.
+    journal: Option<SharedJournal>,
 }
 
 impl Control {
@@ -140,8 +203,45 @@ enum Action {
     Shutdown(String),
 }
 
+/// Journals (when configured) and enqueues one accepted mutation, then
+/// acknowledges it — in exactly that order.
+///
+/// The sequence number is reserved first and the mutation is journaled
+/// *before* it is enqueued: a mutation whose journal append fails is
+/// rejected with a structured error and never reaches the engine, and a
+/// mutation that is acknowledged is always on disk (per the fsync policy).
+/// A `shutdown` already in flight rejects new mutations outright, so a
+/// submission racing the shutdown reply is either fully applied (journaled
+/// and drained by the free-running engine) or cleanly refused — never
+/// half-applied.
+fn accept_mutation(ctl: &Control, mutation: Mutation, ack: String, line: &str) -> Action {
+    if ctl.stop.load(Ordering::SeqCst) {
+        return Action::Reply(err_line(
+            "daemon is shutting down; mutation rejected".to_string(),
+            line,
+        ));
+    }
+    match &ctl.journal {
+        Some(journal) => {
+            // The journal lock spans reserve + append so journal record
+            // order matches sequence order (lock order: journal, then the
+            // queue's internal lock — same everywhere, no deadlock).
+            let mut journal = journal.lock().unwrap();
+            let seq = ctl.live.reserve();
+            if let Err(e) = journal.live_mutation(seq, mutation) {
+                return Action::Reply(err_line(format!("not journaled: {e}"), line));
+            }
+            ctl.live.reinject(seq, mutation);
+        }
+        None => {
+            ctl.live.submit(mutation);
+        }
+    }
+    Action::Reply(ack)
+}
+
 /// Resolves one request line against the protocol. Pure except for
-/// submissions into the live mutation queue.
+/// submissions into the live mutation queue (and their journal appends).
 fn handle_line(line: &str, ctl: &Control) -> Action {
     let mut parts = line.split_whitespace();
     let cmd = parts.next().unwrap_or("");
@@ -156,12 +256,12 @@ fn handle_line(line: &str, ctl: &Control) -> Action {
         ("register" | "cancel", Some(raw)) => match raw.parse::<u32>() {
             Ok(id) if (id as usize) < ctl.n_ceis => {
                 let cei = CeiId(id);
-                ctl.live.submit(if cmd == "register" {
+                let mutation = if cmd == "register" {
                     Mutation::Register { cei }
                 } else {
                     Mutation::Cancel { cei }
-                });
-                Action::Reply(ok_applied(cmd, id))
+                };
+                accept_mutation(ctl, mutation, ok_applied(cmd, id), line)
             }
             Ok(id) => Action::Reply(err_line(
                 format!("cei {id} out of range: instance has {} ceis", ctl.n_ceis),
@@ -170,10 +270,12 @@ fn handle_line(line: &str, ctl: &Control) -> Action {
             Err(_) => Action::Reply(err_line(format!("{cmd} expects a cei id"), line)),
         },
         ("set-budget", Some(raw)) => match raw.parse::<u32>() {
-            Ok(budget) => {
-                ctl.live.submit(Mutation::SetBudget { budget });
-                Action::Reply(ok_applied("set-budget", budget))
-            }
+            Ok(budget) => accept_mutation(
+                ctl,
+                Mutation::SetBudget { budget },
+                ok_applied("set-budget", budget),
+                line,
+            ),
             Err(_) => Action::Reply(err_line("set-budget expects an integer".to_string(), line)),
         },
         _ => Action::Reply(err_line(
@@ -205,6 +307,12 @@ fn client_loop(stream: TcpStream, ctl: &Control) {
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {
+                // A nonempty read without a trailing newline means the
+                // client hung up mid-command. Never execute the fragment —
+                // drop only this session; the daemon keeps serving.
+                if !line.ends_with('\n') {
+                    return;
+                }
                 let trimmed = line.trim().to_string();
                 line.clear();
                 if trimmed.is_empty() {
@@ -274,11 +382,60 @@ fn accept_loop(listener: TcpListener, ctl: Arc<Control>) {
 /// boundary. A socket whose write fails is dropped; file write failures
 /// are counted, never propagated into the engine.
 struct EventHub {
-    file: Option<BufWriter<std::fs::File>>,
+    file: Option<TraceSink>,
     active: Vec<TcpStream>,
     pending: Arc<Mutex<Vec<TcpStream>>>,
     events_written: u64,
     write_errors: u64,
+    io_errors: Vec<String>,
+}
+
+/// The `--trace-out` file sink: every write goes through the checked
+/// write-all helper, so a partial write or `ENOSPC` surfaces as a
+/// structured, path-tagged error instead of a panic or a silent short
+/// file. The sink disarms after the first failure (one structured error,
+/// not one per event on a full disk).
+struct TraceSink {
+    writer: BufWriter<std::fs::File>,
+    path: PathBuf,
+}
+
+impl TraceSink {
+    fn create(path: &Path) -> io::Result<Self> {
+        Ok(TraceSink {
+            writer: BufWriter::new(std::fs::File::create(path)?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), String> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.write_raw(&buf)
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) -> Result<(), String> {
+        write_all_tagged(&mut self.writer, bytes, &self.path).map_err(|e| e.to_string())
+    }
+
+    fn finish(mut self) -> Result<(), String> {
+        self.writer
+            .flush()
+            .map_err(|e| format!("trace {}: flush failed: {e}", self.path.display()))
+    }
+}
+
+impl EventHub {
+    fn sink_line(&mut self, line: &str) {
+        if let Some(file) = &mut self.file {
+            if let Err(e) = file.write_line(line) {
+                self.write_errors += 1;
+                self.io_errors.push(e);
+                self.file = None;
+            }
+        }
+    }
 }
 
 impl Observer for EventHub {
@@ -295,13 +452,24 @@ impl Observer for EventHub {
             }
         };
         self.events_written += 1;
-        if let Some(file) = &mut self.file {
-            if writeln!(file, "{line}").is_err() {
-                self.write_errors += 1;
-            }
-        }
+        self.sink_line(&line);
         self.active
             .retain_mut(|sock| writeln!(sock, "{line}").is_ok());
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// An observer forwarding to a [`JournalObserver`] when journaling is on.
+struct MaybeJournal(Option<JournalObserver>);
+
+impl Observer for MaybeJournal {
+    fn on_event(&mut self, event: Event) {
+        if let Some(journal) = &mut self.0 {
+            journal.on_event(event);
+        }
     }
 
     fn enabled(&self) -> bool {
@@ -349,17 +517,83 @@ impl Daemon {
     /// accept thread serves the protocol, then tears everything down —
     /// every spawned thread is joined before this returns.
     pub fn run<E, C>(
-        mut self,
+        self,
         session: ServeSession,
         executor: E,
         clock: C,
         trace_out: Option<&Path>,
-    ) -> io::Result<DaemonOutcome>
+    ) -> Result<DaemonOutcome, ServeError>
     where
         E: ProbeExecutor,
         C: Clock,
     {
-        let live = LiveMutationQueue::new();
+        self.run_with(
+            session,
+            executor,
+            |_| clock,
+            ServeOptions {
+                trace_out: trace_out.map(Path::to_path_buf),
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// [`run`](Self::run) with the full option set: journaling, crash
+    /// recovery, and an anchor-aware clock. `make_clock` receives the first
+    /// chronon that executes live — 0 for a fresh run, one past the last
+    /// journaled chronon when recovering — so a wall clock can anchor there
+    /// and never pace the replayed prefix.
+    pub fn run_with<E, C, F>(
+        mut self,
+        session: ServeSession,
+        executor: E,
+        make_clock: F,
+        opts: ServeOptions,
+    ) -> Result<DaemonOutcome, ServeError>
+    where
+        E: ProbeExecutor,
+        C: Clock,
+        F: FnOnce(Chronon) -> C,
+    {
+        let fp = fingerprint(&session, executor.fallible());
+
+        // Recovery planning happens before anything spawns: scan the
+        // journal, check its header against this invocation, distill the
+        // replay plan. Scan failures (beyond a discardable torn tail) are
+        // structured errors, never a silent partial replay.
+        let recovery: Option<Recovery> = match (&opts.journal, opts.recover) {
+            (Some(jc), true) => {
+                let scan = scan_journal(&jc.path())?;
+                scan.verify_fingerprint(&fp)?;
+                Some(Recovery::plan(&scan)?)
+            }
+            (None, true) => {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "recovery requires a journal directory",
+                )))
+            }
+            _ => None,
+        };
+        let first_live = recovery.as_ref().map_or(0, Recovery::first_live_chronon);
+        let live = recovery
+            .as_ref()
+            .map_or_else(LiveMutationQueue::new, Recovery::live_queue);
+
+        // The journal writer: fresh (header first), or appending after the
+        // already-journaled prefix with re-emitted frames suppressed.
+        let journal: Option<SharedJournal> = match &opts.journal {
+            Some(jc) => {
+                let writer = match &recovery {
+                    Some(rec) => JournalWriter::append_to(&jc.path(), jc.fsync, rec.replay_until)?,
+                    None => JournalWriter::create(&jc.path(), jc.fsync, &fp)?,
+                };
+                Some(Arc::new(Mutex::new(writer)))
+            }
+            None => None,
+        };
+
+        let clock = make_clock(first_live);
         let pending: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let mut hooks = std::mem::take(&mut self.hooks);
         hooks.push(clock.release_handle());
@@ -369,6 +603,7 @@ impl Daemon {
             pending: Arc::clone(&pending),
             hooks,
             n_ceis: session.instance.ceis.len(),
+            journal: journal.clone(),
         });
         self.listener.set_nonblocking(true)?;
         let accept = {
@@ -377,46 +612,134 @@ impl Daemon {
             thread::spawn(move || accept_loop(listener, ctl))
         };
 
-        let file = match trace_out {
-            Some(path) => Some(BufWriter::new(std::fs::File::create(path)?)),
+        let file = match &opts.trace_out {
+            Some(path) => Some(TraceSink::create(path)?),
             None => None,
         };
         let mut hub = EventHub {
             file,
             active: Vec::new(),
             pending,
-            events_written: 0,
+            events_written: recovery.as_ref().map_or(0, |r| r.prefix_events),
             write_errors: 0,
+            io_errors: Vec::new(),
         };
         let mut metrics = MetricsObserver::new();
-        let mut source = DaemonSource::new(session.script, live);
-        let result = drive(
-            &session.instance,
-            session.policy.as_ref(),
-            session.config,
-            executor,
-            session.fault_config,
-            &mut source,
-            clock,
-            Tee(&mut metrics, &mut hub),
+
+        // Recovery's trace prefix: chronons before the snapshot boundary are
+        // not re-emitted by the resumed engine, so their journaled bytes go
+        // to the trace file (and through the metrics observer) up front.
+        if let Some(rec) = &recovery {
+            if !rec.prefix_lines.is_empty() {
+                if let Some(sink) = &mut hub.file {
+                    if let Err(e) = sink.write_raw(rec.prefix_lines.as_bytes()) {
+                        hub.write_errors += 1;
+                        hub.io_errors.push(e);
+                        hub.file = None;
+                    }
+                }
+                let events =
+                    replay_events(&rec.prefix_lines).map_err(|e| JournalError::Corrupt {
+                        offset: 0,
+                        detail: format!("journaled trace prefix line {}: {}", e.line, e.detail),
+                    })?;
+                for event in events {
+                    metrics.on_event(event);
+                }
+            }
+        }
+
+        let mut jobs = MaybeJournal(
+            journal
+                .as_ref()
+                .map(|core| JournalObserver::new(Arc::clone(core), live.clone())),
         );
+        let mut sink: Box<dyn SnapshotSink> = match (&journal, &opts.journal) {
+            (Some(core), Some(jc)) => Box::new(JournalSink::new(
+                Arc::clone(core),
+                jc.snapshot_every,
+                recovery.as_ref().and_then(|r| r.replay_until),
+            )),
+            _ => Box::new(NoSnapshots),
+        };
+
+        let result = match &recovery {
+            Some(rec) => {
+                let journal_exec =
+                    rec.executor(executor, session.instance.n_resources, opts.resync_executor);
+                let mut source = rec.mutations(DaemonSource::new(session.script, live));
+                drive_resumable(
+                    &session.instance,
+                    session.policy.as_ref(),
+                    session.config,
+                    journal_exec,
+                    session.fault_config,
+                    &mut source,
+                    clock,
+                    Tee(&mut metrics, Tee(&mut hub, &mut jobs)),
+                    rec.resume.as_ref(),
+                    sink.as_mut(),
+                )
+            }
+            None => {
+                let mut source = DaemonSource::new(session.script, live);
+                drive_resumable(
+                    &session.instance,
+                    session.policy.as_ref(),
+                    session.config,
+                    executor,
+                    session.fault_config,
+                    &mut source,
+                    clock,
+                    Tee(&mut metrics, Tee(&mut hub, &mut jobs)),
+                    None,
+                    sink.as_mut(),
+                )
+            }
+        };
 
         // Horizon reached (or shutdown already free-ran us here): stop the
         // protocol side and join every thread.
         ctl.shutdown();
         accept.join().ok();
-        if let Some(file) = &mut hub.file {
-            if file.flush().is_err() {
+        if let Some(mut journal_obs) = jobs.0.take() {
+            journal_obs.finish();
+        }
+        if let Some(sink) = hub.file.take() {
+            if let Err(e) = sink.finish() {
                 hub.write_errors += 1;
+                hub.io_errors.push(e);
             }
+        }
+        let mut io_errors = std::mem::take(&mut hub.io_errors);
+        if let Some(core) = &journal {
+            io_errors.extend(core.lock().unwrap().errors().iter().cloned());
         }
         Ok(DaemonOutcome {
             result,
             metrics: metrics.metrics().clone(),
             events_written: hub.events_written,
             write_errors: hub.write_errors,
+            io_errors,
         })
     }
+}
+
+/// The configuration fingerprint pinned in the journal header. Recovery
+/// under a different instance shape, policy, engine mode, or executor
+/// fallibility would replay the journal against a run it does not describe,
+/// so `--recover` refuses a mismatch with a structured error.
+fn fingerprint(session: &ServeSession, fallible: bool) -> String {
+    format!(
+        "horizon={};resources={};ceis={};policy={};preemptive={};share={};fallible={}",
+        session.instance.epoch.len(),
+        session.instance.n_resources,
+        session.instance.ceis.len(),
+        session.policy.name(),
+        session.config.preemptive,
+        session.config.share_probes,
+        fallible,
+    )
 }
 
 #[cfg(test)]
@@ -430,6 +753,7 @@ mod tests {
             pending: Arc::new(Mutex::new(Vec::new())),
             hooks: Vec::new(),
             n_ceis,
+            journal: None,
         }
     }
 

@@ -7,6 +7,7 @@ use crate::fault::{FaultConfig, FaultModel, NoFaults};
 use crate::model::{CaptureSet, CeiId, Chronon, Instance, ResourceId, Schedule};
 use crate::obs::{Event, NoopObserver, Observer};
 use crate::policy::{Candidate, CeiView, Policy, PolicyContext, ResourceStats};
+use crate::serve::snapshot::{CeiState, EngineSnapshot, NoSnapshots, SnapshotSink};
 use crate::stats::{CeiOutcome, RunStats};
 
 /// Min-heap entries for the heap-based selectors:
@@ -322,7 +323,6 @@ impl OnlineEngine {
     /// source that never drains anything and never suppresses is
     /// bit-identical to an inactive one (activity only gates a per-chronon
     /// drain that applies no mutations).
-    #[allow(clippy::too_many_lines)]
     pub fn run_driven<F: FaultModel, M: MutationSource, O: Observer>(
         instance: &Instance,
         policy: &dyn Policy,
@@ -331,6 +331,48 @@ impl OnlineEngine {
         fault_config: FaultConfig,
         mutations: &mut M,
         observer: &mut O,
+    ) -> RunResult {
+        Self::run_driven_resumable(
+            instance,
+            policy,
+            config,
+            faults,
+            fault_config,
+            mutations,
+            observer,
+            None,
+            &mut NoSnapshots,
+        )
+    }
+
+    /// [`run_driven`](Self::run_driven) with crash-recovery hooks: the
+    /// engine offers an [`EngineSnapshot`] to `snapshots` at every chronon
+    /// boundary, and `resume` restores a previously captured snapshot so
+    /// the loop starts at its boundary chronon instead of 0.
+    ///
+    /// Identity contract (pinned by `tests/tests/recovery.rs`): capturing a
+    /// snapshot at boundary `S` during a run and replaying
+    /// `resume = Some(snapshot)` with the same instance, policy, config,
+    /// fault model state, and per-chronon mutations reproduces chronons
+    /// `S..horizon` bit-identically — schedule, stats, outcomes, and event
+    /// stream suffix. A declining sink and `resume = None` are bit-identical
+    /// to [`run_driven`](Self::run_driven).
+    ///
+    /// # Panics
+    /// Panics if `resume` disagrees with `instance` on CEI count, resource
+    /// count, or horizon — a snapshot only resumes the run it was taken
+    /// from.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn run_driven_resumable<F: FaultModel, M: MutationSource, O: Observer>(
+        instance: &Instance,
+        policy: &dyn Policy,
+        config: EngineConfig,
+        faults: &mut F,
+        fault_config: FaultConfig,
+        mutations: &mut M,
+        observer: &mut O,
+        resume: Option<&EngineSnapshot>,
+        snapshots: &mut dyn SnapshotSink,
     ) -> RunResult {
         let n_ceis = instance.ceis.len();
         let n_res = instance.n_resources as usize;
@@ -456,7 +498,88 @@ impl OnlineEngine {
         let mut next_attempt_at: Vec<Chronon> = vec![0; n_track];
         let mut fault_blocked: Vec<bool> = vec![false; n_res];
 
-        for t in instance.epoch.chronons() {
+        // Restoring a snapshot replaces every piece of cross-chronon state
+        // with the captured boundary's; per-chronon scratch stays freshly
+        // allocated and is rebuilt by the loop exactly as the original run
+        // rebuilt it.
+        let resume_at: Chronon = match resume {
+            Some(snap) => {
+                assert_eq!(snap.status.len(), n_ceis, "snapshot CEI count mismatch");
+                assert_eq!(snap.index.len(), n_res, "snapshot resource count mismatch");
+                assert_eq!(
+                    snap.schedule.horizon(),
+                    horizon,
+                    "snapshot horizon mismatch"
+                );
+                assert!(snap.at < horizon, "snapshot boundary beyond the epoch");
+                for (i, state) in snap.status.iter().enumerate() {
+                    status[i] = match state {
+                        CeiState::NotArrived => Status::NotArrived,
+                        CeiState::Active { captured, expired } => {
+                            assert_eq!(
+                                captured.len(),
+                                instance.ceis[i].size(),
+                                "snapshot capture flags disagree with CEI {i}'s size"
+                            );
+                            Status::Active(CaptureSet::from_flags(
+                                captured.clone(),
+                                expired.clone(),
+                            ))
+                        }
+                        CeiState::Captured => Status::Captured,
+                        CeiState::Failed => Status::Failed,
+                        CeiState::Cancelled => Status::Cancelled,
+                    };
+                }
+                outcomes.copy_from_slice(&snap.outcomes);
+                stats = snap.stats.clone();
+                schedule = snap.schedule.clone();
+                budget_override = snap.budget_override;
+                pending_budget = snap.pending_budget;
+                if fault_on {
+                    announced.copy_from_slice(&snap.announced);
+                    consec_failures.copy_from_slice(&snap.consec_failures);
+                    next_attempt_at.copy_from_slice(&snap.next_attempt_at);
+                }
+                // Refill the per-resource candidate lists in recorded order:
+                // shared captures fire in list order, so insertion order is
+                // part of the observable state.
+                for (r, entries) in snap.index.iter().enumerate() {
+                    for &(cei, ei_idx) in entries {
+                        index.insert(
+                            PoolEntry {
+                                cei: CeiId(cei),
+                                ei_idx,
+                            },
+                            r,
+                        );
+                    }
+                }
+                snap.at
+            }
+            None => 0,
+        };
+
+        for t in resume_at..horizon {
+            // Offer the boundary state before any of chronon t's work —
+            // including the pending-budget promotion just below, which is
+            // chronon t's first action and must replay after a restore.
+            if snapshots.wants(t) {
+                snapshots.accept(snapshot_state(
+                    t,
+                    instance,
+                    &index,
+                    &status,
+                    &outcomes,
+                    &stats,
+                    &schedule,
+                    budget_override,
+                    pending_budget,
+                    &announced,
+                    &consec_failures,
+                    &next_attempt_at,
+                ));
+            }
             // A budget reconfiguration drained last chronon takes effect
             // exactly now — at the first chronon boundary after its drain.
             if let Some(b) = pending_budget.take() {
@@ -1033,6 +1156,62 @@ impl OnlineEngine {
             stats,
             outcomes,
         }
+    }
+}
+
+/// Builds the [`EngineSnapshot`] of the boundary of chronon `t`: every
+/// piece of cross-chronon state, with the candidate index recorded as live
+/// entries in per-resource list order (the order shared captures fire in).
+#[allow(clippy::too_many_arguments)]
+fn snapshot_state(
+    t: Chronon,
+    instance: &Instance,
+    index: &ShardSet,
+    status: &[Status],
+    outcomes: &[CeiOutcome],
+    stats: &RunStats,
+    schedule: &Schedule,
+    budget_override: Option<u32>,
+    pending_budget: Option<u32>,
+    announced: &[Option<Chronon>],
+    consec_failures: &[u32],
+    next_attempt_at: &[Chronon],
+) -> EngineSnapshot {
+    let n_res = instance.n_resources as usize;
+    let mut per_resource: Vec<Vec<(u32, u16)>> = Vec::with_capacity(n_res);
+    for r in 0..n_res {
+        let mut live = Vec::new();
+        for e in index.entries(r) {
+            if index.is_live(*e, r) {
+                live.push((e.cei.0, e.ei_idx));
+            }
+        }
+        per_resource.push(live);
+    }
+    EngineSnapshot {
+        at: t,
+        status: status
+            .iter()
+            .map(|s| match s {
+                Status::NotArrived => CeiState::NotArrived,
+                Status::Active(cap) => CeiState::Active {
+                    captured: cap.flags().to_vec(),
+                    expired: cap.expired_flags().to_vec(),
+                },
+                Status::Captured => CeiState::Captured,
+                Status::Failed => CeiState::Failed,
+                Status::Cancelled => CeiState::Cancelled,
+            })
+            .collect(),
+        outcomes: outcomes.to_vec(),
+        stats: stats.clone(),
+        schedule: schedule.clone(),
+        budget_override,
+        pending_budget,
+        announced: announced.to_vec(),
+        consec_failures: consec_failures.to_vec(),
+        next_attempt_at: next_attempt_at.to_vec(),
+        index: per_resource,
     }
 }
 

@@ -169,6 +169,30 @@ impl CaptureSet {
         }
     }
 
+    /// Rebuilds a capture set from per-EI `captured`/`expired` flags — the
+    /// inverse of [`flags`](Self::flags) + [`expired_flags`](Self::expired_flags),
+    /// used when restoring engine state from a serialized snapshot. Counts
+    /// are recomputed from the flags.
+    ///
+    /// # Panics
+    /// Panics if the two flag vectors disagree in length or any EI claims
+    /// to be both captured and expired.
+    pub fn from_flags(captured: Vec<bool>, expired: Vec<bool>) -> Self {
+        assert_eq!(captured.len(), expired.len(), "flag vectors must align");
+        let n_captured = captured.iter().filter(|&&c| c).count();
+        let n_expired = expired.iter().filter(|&&e| e).count();
+        assert!(
+            captured.iter().zip(&expired).all(|(&c, &e)| !(c && e)),
+            "an EI cannot be both captured and expired"
+        );
+        CaptureSet {
+            captured,
+            expired,
+            n_captured,
+            n_expired,
+        }
+    }
+
     /// Marks an uncaptured EI's window as closed. Idempotent; no effect on
     /// captured EIs. Returns `true` if newly expired.
     pub fn mark_expired(&mut self, idx: usize) -> bool {
@@ -244,6 +268,12 @@ impl CaptureSet {
     #[inline]
     pub fn flags(&self) -> &[bool] {
         &self.captured
+    }
+
+    /// Per-EI expired-uncaptured flags, parallel to `cei.eis`.
+    #[inline]
+    pub fn expired_flags(&self) -> &[bool] {
+        &self.expired
     }
 }
 

@@ -84,6 +84,10 @@ impl Release {
 pub struct WallClock {
     period: Duration,
     start: Option<Instant>,
+    /// Chronon mapped to the sampled start instant. A fresh run anchors at
+    /// 0; a recovered run anchors at its first live chronon so the replayed
+    /// prefix (whose chronons are all below the anchor) never sleeps.
+    anchor: Chronon,
     release: Arc<Release>,
 }
 
@@ -91,9 +95,18 @@ impl WallClock {
     /// A clock running at `chronon_ms` milliseconds per chronon
     /// (clamped ≥ 1; use [`FreeClock`] for unpaced runs).
     pub fn new(chronon_ms: u64) -> Self {
+        Self::anchored(chronon_ms, 0)
+    }
+
+    /// A clock whose deadline for chronon `t` is
+    /// `start + (t - anchor) * chronon_ms` — recovery's clock: replaying
+    /// journaled chronons (`t < anchor`) free-runs, and live pacing resumes
+    /// exactly at the anchor chronon.
+    pub fn anchored(chronon_ms: u64, anchor: Chronon) -> Self {
         WallClock {
             period: Duration::from_millis(chronon_ms.max(1)),
             start: None,
+            anchor,
             release: Arc::new(Release::default()),
         }
     }
@@ -102,7 +115,7 @@ impl WallClock {
 impl Clock for WallClock {
     fn wait_until(&mut self, t: Chronon) -> bool {
         let start = *self.start.get_or_insert_with(Instant::now);
-        let deadline = start + self.period * t;
+        let deadline = start + self.period * t.saturating_sub(self.anchor);
         let mut released = self.release.released.lock().unwrap();
         loop {
             if *released {
@@ -255,6 +268,20 @@ mod tests {
         release();
         assert!(!waiter.join().unwrap(), "released wait reports free-run");
         handle.release(); // idempotent
+    }
+
+    #[test]
+    fn anchored_wall_clock_free_runs_below_the_anchor() {
+        let mut clock = WallClock::anchored(50, 100);
+        let t0 = Instant::now();
+        // Every chronon at or below the anchor is already due.
+        for t in 0..=100 {
+            assert!(clock.wait_until(t));
+        }
+        assert!(t0.elapsed() < Duration::from_millis(40), "replay paced");
+        // The first post-anchor chronon paces one period from the anchor.
+        assert!(clock.wait_until(101));
+        assert!(t0.elapsed() >= Duration::from_millis(50));
     }
 
     #[test]

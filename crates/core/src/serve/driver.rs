@@ -16,6 +16,7 @@
 
 use super::clock::Clock;
 use super::executor::{ExecutorModel, ProbeExecutor};
+use super::snapshot::{EngineSnapshot, NoSnapshots, SnapshotSink};
 use crate::engine::{
     EngineConfig, Mutation, MutationSource, OnlineEngine, RunResult, ScriptedMutations,
 };
@@ -77,30 +78,96 @@ impl<C: Clock, O: Observer> Observer for Paced<C, O> {
 /// engine (through [`DaemonSource`]) drains everything pending at each
 /// chronon start.
 ///
+/// Every submission is stamped with a monotonically increasing sequence
+/// number (starting at 1), and the inbox remembers the highest sequence the
+/// engine has drained. The journal uses both: live mutations are journaled
+/// by sequence before they are acknowledged, each journal frame records the
+/// drained high-water mark, and recovery re-injects exactly the journaled
+/// mutations whose sequence exceeds the last frame's mark.
+///
 /// Clones share the same inbox.
 #[derive(Debug, Clone, Default)]
 pub struct LiveMutationQueue {
-    inbox: Arc<Mutex<Vec<Mutation>>>,
+    inbox: Arc<Mutex<Inbox>>,
+}
+
+#[derive(Debug, Default)]
+struct Inbox {
+    queue: Vec<(u64, Mutation)>,
+    /// Sequence assigned to the most recent submission (0 = none yet).
+    last_seq: u64,
+    /// Highest sequence drained into the engine (0 = none yet).
+    drained_seq: u64,
 }
 
 impl LiveMutationQueue {
-    /// An empty inbox.
+    /// An empty inbox; sequences start at 1.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Enqueues `mutation` for the next chronon-start drain.
-    pub fn submit(&self, mutation: Mutation) {
-        self.inbox.lock().unwrap().push(mutation);
+    /// An inbox resuming a recovered run: sequence numbering continues
+    /// after `last_seq` (the highest sequence in the journal) and the
+    /// drained high-water mark starts at `drained_seq` (the last journaled
+    /// frame's mark), so frames written before any post-recovery drain
+    /// never regress the mark.
+    pub fn resumed(last_seq: u64, drained_seq: u64) -> Self {
+        LiveMutationQueue {
+            inbox: Arc::new(Mutex::new(Inbox {
+                queue: Vec::new(),
+                last_seq,
+                drained_seq,
+            })),
+        }
+    }
+
+    /// Enqueues `mutation` for the next chronon-start drain and returns its
+    /// assigned sequence number.
+    pub fn submit(&self, mutation: Mutation) -> u64 {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.last_seq += 1;
+        let seq = inbox.last_seq;
+        inbox.queue.push((seq, mutation));
+        seq
+    }
+
+    /// Reserves the next sequence number without enqueuing anything — the
+    /// journal-before-ack path: the daemon journals the mutation under the
+    /// reserved sequence first and enqueues it (via
+    /// [`reinject`](Self::reinject)) only if the journal write succeeded, so
+    /// a rejected submission is never half-applied. A burned sequence (the
+    /// journal write failed) leaves a harmless gap in the numbering.
+    pub fn reserve(&self) -> u64 {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.last_seq += 1;
+        inbox.last_seq
+    }
+
+    /// Re-enqueues a journaled mutation under its original sequence number
+    /// — recovery's path for accepted-but-undrained submissions. Keeps the
+    /// sequence counter ahead of every re-injected number.
+    pub fn reinject(&self, seq: u64, mutation: Mutation) {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.queue.push((seq, mutation));
+        inbox.last_seq = inbox.last_seq.max(seq);
     }
 
     /// How many mutations are waiting to be drained.
     pub fn pending(&self) -> usize {
-        self.inbox.lock().unwrap().len()
+        self.inbox.lock().unwrap().queue.len()
+    }
+
+    /// Highest sequence number the engine has drained (0 = none yet).
+    pub fn drained_seq(&self) -> u64 {
+        self.inbox.lock().unwrap().drained_seq
     }
 
     fn drain_into(&self, out: &mut Vec<Mutation>) {
-        out.append(&mut self.inbox.lock().unwrap());
+        let mut inbox = self.inbox.lock().unwrap();
+        if let Some(&(seq, _)) = inbox.queue.last() {
+            inbox.drained_seq = inbox.drained_seq.max(seq);
+        }
+        out.extend(inbox.queue.drain(..).map(|(_, m)| m));
     }
 }
 
@@ -171,9 +238,46 @@ where
     C: Clock,
     O: Observer,
 {
+    drive_resumable(
+        instance,
+        policy,
+        config,
+        executor,
+        fault_config,
+        mutations,
+        clock,
+        observer,
+        None,
+        &mut NoSnapshots,
+    )
+}
+
+/// [`drive`] with crash-recovery hooks: boundary snapshots stream to
+/// `snapshots`, and `resume` restarts the engine mid-run from a restored
+/// [`EngineSnapshot`] — the daemon's `--recover` entry point. With
+/// `resume = None` and a declining sink this is bit-identical to [`drive`].
+#[allow(clippy::too_many_arguments)]
+pub fn drive_resumable<E, M, C, O>(
+    instance: &Instance,
+    policy: &dyn Policy,
+    config: EngineConfig,
+    executor: E,
+    fault_config: FaultConfig,
+    mutations: &mut M,
+    clock: C,
+    observer: O,
+    resume: Option<&EngineSnapshot>,
+    snapshots: &mut dyn SnapshotSink,
+) -> RunResult
+where
+    E: ProbeExecutor,
+    M: MutationSource,
+    C: Clock,
+    O: Observer,
+{
     let mut model = ExecutorModel::new(executor);
     let mut paced = Paced::new(clock, observer);
-    OnlineEngine::run_driven(
+    OnlineEngine::run_driven_resumable(
         instance,
         policy,
         config,
@@ -181,6 +285,8 @@ where
         fault_config,
         mutations,
         &mut paced,
+        resume,
+        snapshots,
     )
 }
 

@@ -1,0 +1,1226 @@
+//! The durable run journal: crash-safe serving for the daemon.
+//!
+//! A driven run is a pure function of `(instance, policy, config,
+//! fault/executor outcomes, mutations)` — PR 8's daemon-vs-simulator
+//! identity proves it. The journal therefore append-logs exactly the
+//! nondeterministic inputs as the run consumes them, and recovery re-runs
+//! the engine against the log:
+//!
+//! * a **header** record pins the journal format version and a
+//!   configuration fingerprint (instance dimensions, engine mode, executor
+//!   fallibility) so a recovery under different arguments fails loudly;
+//! * one **frame** record per completed chronon carries the chronon's full
+//!   JSONL event block — which subsumes every nondeterministic input: probe
+//!   outcomes (`ProbeIssued`/`ProbeFailed` in attempt order), outage
+//!   transitions (`ResourceDown`/`ResourceUp`), and applied mutations
+//!   (`CeiRegistered`/`CeiCancelled`/`BudgetReconfigured` in drain order) —
+//!   plus the live-mutation drain high-water mark;
+//! * **snapshot** records ([`EngineSnapshot`]) interleave periodically so
+//!   the engine resumes `O(chronons since snapshot)` instead of replaying
+//!   from chronon 0;
+//! * **live-mutation** records are written *before* the registration API
+//!   acknowledges a submission, so an acknowledged mutation survives a
+//!   crash even if no frame drained it yet.
+//!
+//! Records ride the checksummed framing of [`webmon_streams::record`]: a
+//! crash mid-append leaves a torn tail that the scanner detects (truncated
+//! extent or checksum failure on the final record) and cleanly discards —
+//! reported, never silently replayed. Damage strictly *before* the tail is
+//! a hard [`JournalError::Corrupt`]: acknowledged history must not be
+//! guessed around.
+//!
+//! Recovery ([`scan_journal`] → [`Recovery::plan`]) restores the latest
+//! snapshot, replays the frames after it through [`JournalExecutor`] /
+//! [`JournalMutations`] (the engine re-executes and re-emits those chronons
+//! byte-identically), re-injects acknowledged-but-undrained live mutations,
+//! and hands the run over to the real executor at the first unjournaled
+//! chronon. `tests/tests/recovery.rs` pins the end-to-end contract: a
+//! daemon SIGKILLed at any chronon and recovered produces a final trace,
+//! schedule, and `RunMetrics` byte-identical to an uninterrupted run.
+//!
+//! [`webmon_streams::record`]: ../../../webmon_streams/record/index.html
+
+use super::driver::LiveMutationQueue;
+use super::executor::ProbeExecutor;
+use super::snapshot::{EngineSnapshot, SnapshotSink};
+use crate::engine::{Mutation, MutationSource};
+use crate::model::{CeiId, Chronon, ResourceId};
+use crate::obs::{replay_events, Event, Observer};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use webmon_streams::record::{parse_record, write_record, RecordError};
+
+/// Journal format version; bumped on any incompatible record change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The journal file name inside a `--journal-dir`.
+pub const JOURNAL_FILE: &str = "run.journal";
+
+const KIND_HEADER: u8 = 1;
+const KIND_FRAME: u8 = 2;
+const KIND_SNAPSHOT: u8 = 3;
+const KIND_LIVE_MUTATION: u8 = 4;
+
+/// When journal appends reach the disk platter, not just the page cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every chronon frame — at most one chronon of history
+    /// is lost to a power failure; slowest.
+    EveryChronon,
+    /// `fsync` after every `N` frames — bounded loss window, amortized
+    /// cost.
+    EveryN(u32),
+    /// Flush to the OS page cache only — a process crash (`kill -9`) loses
+    /// nothing, a power failure may lose the cached suffix; fastest.
+    Os,
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::EveryChronon => write!(f, "every-chronon"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::Os => write!(f, "os"),
+        }
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "every-chronon" => Ok(FsyncPolicy::EveryChronon),
+            "os" => Ok(FsyncPolicy::Os),
+            other => other
+                .strip_prefix("every-")
+                .and_then(|n| n.parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .map(FsyncPolicy::EveryN)
+                .ok_or_else(|| format!("expected every-chronon, every-<n>, or os, got '{other}'")),
+        }
+    }
+}
+
+/// Where and how a daemon run journals itself.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding the journal file.
+    pub dir: PathBuf,
+    /// Durability policy for frame appends.
+    pub fsync: FsyncPolicy,
+    /// Snapshot cadence in chronons (`0` disables snapshots; recovery then
+    /// replays from chronon 0).
+    pub snapshot_every: u32,
+}
+
+impl JournalConfig {
+    /// The journal file path inside [`dir`](Self::dir).
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+}
+
+/// A structured journal failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// Filesystem-level failure, tagged with the journal path.
+    Io {
+        /// The journal file.
+        path: String,
+        /// Failure detail (including partial-write byte counts).
+        detail: String,
+    },
+    /// Unrecoverable damage before the journal's tail.
+    Corrupt {
+        /// Byte offset of the damaged record.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The journal was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The journal's configuration fingerprint disagrees with the serve
+    /// arguments — recovering under a different instance, policy, or
+    /// executor would not reproduce the run.
+    FingerprintMismatch {
+        /// Fingerprint found in the header.
+        found: String,
+        /// Fingerprint derived from the current arguments.
+        expected: String,
+    },
+    /// The file has no (valid) header record.
+    MissingHeader,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, detail } => write!(f, "journal {path}: {detail}"),
+            JournalError::Corrupt { offset, detail } => {
+                write!(f, "journal corrupt at byte {offset}: {detail}")
+            }
+            JournalError::VersionMismatch { found, expected } => write!(
+                f,
+                "journal version {found} is not the supported version {expected}"
+            ),
+            JournalError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "journal fingerprint '{found}' does not match the serve configuration '{expected}'"
+            ),
+            JournalError::MissingHeader => write!(f, "journal has no valid header record"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<RecordError> for JournalError {
+    fn from(e: RecordError) -> Self {
+        match e {
+            RecordError::Io { path, detail } => JournalError::Io { path, detail },
+            RecordError::Truncated { offset } => JournalError::Corrupt {
+                offset,
+                detail: "record truncated".into(),
+            },
+            RecordError::BadChecksum { offset } => JournalError::Corrupt {
+                offset,
+                detail: "checksum mismatch".into(),
+            },
+            RecordError::BadLength { offset } => JournalError::Corrupt {
+                offset,
+                detail: "impossible record length".into(),
+            },
+        }
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct HeaderRecord {
+    version: u32,
+    fingerprint: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LiveRecord {
+    seq: u64,
+    mutation: Mutation,
+}
+
+/// The append side of the journal: one writer shared (behind a mutex) by
+/// the engine-side observer, the snapshot sink, and the registration API's
+/// journal-before-ack path.
+///
+/// Frame and snapshot appends record failures internally (the engine loop
+/// must not panic mid-run; the daemon surfaces [`errors`](Self::errors) as
+/// a JSON summary and exits nonzero). [`live_mutation`](Self::live_mutation)
+/// returns its error instead — an un-journaled mutation must not be
+/// acknowledged.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    frames_since_sync: u32,
+    errors: Vec<String>,
+    /// Frames and snapshots at chronons `<= suppress_until` are already on
+    /// disk (a recovery replaying them) and are skipped.
+    suppress_until: Option<Chronon>,
+    /// A boundary snapshot stashed by the sink, flushed in record order by
+    /// the observer (after the preceding chronon's frame).
+    pending_snapshot: Option<EngineSnapshot>,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any previous file) and
+    /// writes the header record.
+    pub fn create(
+        path: &Path,
+        fsync: FsyncPolicy,
+        fingerprint: &str,
+    ) -> Result<Self, JournalError> {
+        // A fresh journal creates its own directory; only recovery
+        // (`append_to`) requires one to already exist.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| JournalError::Io {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        }
+        let file = File::create(path).map_err(|e| JournalError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let mut w = JournalWriter {
+            file: BufWriter::new(file),
+            path: path.to_path_buf(),
+            fsync,
+            frames_since_sync: 0,
+            errors: Vec::new(),
+            suppress_until: None,
+            pending_snapshot: None,
+        };
+        let header = serde_json::to_string(&HeaderRecord {
+            version: JOURNAL_VERSION,
+            fingerprint: fingerprint.to_string(),
+        })
+        .map_err(|e| JournalError::Io {
+            path: path.display().to_string(),
+            detail: format!("header serialization: {e}"),
+        })?;
+        write_record(&mut w.file, KIND_HEADER, header.as_bytes(), &w.path)?;
+        w.sync(true)?;
+        Ok(w)
+    }
+
+    /// Reopens an existing journal for append — recovery's continuation
+    /// path. Frames and snapshots at chronons `<= suppress_until` are
+    /// skipped (the recovered engine re-emits them, but they are already
+    /// on disk).
+    pub fn append_to(
+        path: &Path,
+        fsync: FsyncPolicy,
+        suppress_until: Option<Chronon>,
+    ) -> Result<Self, JournalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::Io {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        Ok(JournalWriter {
+            file: BufWriter::new(file),
+            path: path.to_path_buf(),
+            fsync,
+            frames_since_sync: 0,
+            errors: Vec::new(),
+            suppress_until,
+            pending_snapshot: None,
+        })
+    }
+
+    fn sync(&mut self, force: bool) -> Result<(), JournalError> {
+        self.file.flush().map_err(|e| JournalError::Io {
+            path: self.path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let due = force
+            || match self.fsync {
+                FsyncPolicy::EveryChronon => true,
+                FsyncPolicy::EveryN(n) => self.frames_since_sync >= n,
+                FsyncPolicy::Os => false,
+            };
+        if due {
+            self.frames_since_sync = 0;
+            self.file
+                .get_ref()
+                .sync_data()
+                .map_err(|e| JournalError::Io {
+                    path: self.path.display().to_string(),
+                    detail: format!("fsync: {e}"),
+                })?;
+        }
+        Ok(())
+    }
+
+    fn record_err(&mut self, e: JournalError) {
+        self.errors.push(e.to_string());
+    }
+
+    /// Appends a chronon frame: the chronon, the live-mutation drain
+    /// high-water mark, and the chronon's JSONL event block. Failures are
+    /// recorded, not returned.
+    pub fn frame(&mut self, t: Chronon, drained_seq: u64, lines: &str) {
+        if self.suppress_until.is_some_and(|u| t <= u) {
+            return;
+        }
+        let mut payload = Vec::with_capacity(12 + lines.len());
+        payload.extend_from_slice(&t.to_le_bytes());
+        payload.extend_from_slice(&drained_seq.to_le_bytes());
+        payload.extend_from_slice(lines.as_bytes());
+        self.frames_since_sync += 1;
+        if let Err(e) = write_record(&mut self.file, KIND_FRAME, &payload, &self.path)
+            .map_err(JournalError::from)
+            .and_then(|()| self.sync(false))
+        {
+            self.record_err(e);
+        }
+    }
+
+    /// Appends an engine snapshot. Failures are recorded, not returned (a
+    /// lost snapshot only lengthens the next recovery's replay).
+    pub fn snapshot(&mut self, snap: &EngineSnapshot) {
+        if self.suppress_until.is_some_and(|u| snap.at <= u) {
+            return;
+        }
+        match serde_json::to_string(snap) {
+            Ok(json) => {
+                if let Err(e) =
+                    write_record(&mut self.file, KIND_SNAPSHOT, json.as_bytes(), &self.path)
+                        .map_err(JournalError::from)
+                        .and_then(|()| self.sync(true))
+                {
+                    self.record_err(e);
+                }
+            }
+            Err(e) => self.record_err(JournalError::Io {
+                path: self.path.display().to_string(),
+                detail: format!("snapshot serialization: {e}"),
+            }),
+        }
+    }
+
+    /// Durably appends an accepted live mutation *before* it is
+    /// acknowledged. Unlike frames, the error is returned: the caller must
+    /// reject the submission if it cannot be journaled.
+    pub fn live_mutation(&mut self, seq: u64, mutation: Mutation) -> Result<(), JournalError> {
+        let json =
+            serde_json::to_string(&LiveRecord { seq, mutation }).map_err(|e| JournalError::Io {
+                path: self.path.display().to_string(),
+                detail: format!("mutation serialization: {e}"),
+            })?;
+        write_record(
+            &mut self.file,
+            KIND_LIVE_MUTATION,
+            json.as_bytes(),
+            &self.path,
+        )?;
+        // `Os` keeps even acks cache-only (the documented trade-off);
+        // either fsync policy makes the ack durable.
+        self.sync(!matches!(self.fsync, FsyncPolicy::Os))
+    }
+
+    /// Flushes and syncs the final suffix.
+    pub fn finish(&mut self) {
+        if let Err(e) = self.sync(!matches!(self.fsync, FsyncPolicy::Os)) {
+            self.record_err(e);
+        }
+    }
+
+    /// Structured descriptions of every append failure so far.
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Stashes a boundary snapshot for the observer to flush in record
+    /// order (after the preceding chronon's frame).
+    pub fn stash_snapshot(&mut self, snap: EngineSnapshot) {
+        self.pending_snapshot = Some(snap);
+    }
+}
+
+/// A shared handle to one [`JournalWriter`].
+pub type SharedJournal = Arc<Mutex<JournalWriter>>;
+
+/// The engine-side journal adapter: an [`Observer`] that buffers each
+/// chronon's serialized event lines and appends the finished frame when the
+/// next chronon starts (plus any snapshot stashed at that boundary), and a
+/// [`SnapshotSink`] ([`JournalSink`]) that requests snapshots on the
+/// configured cadence.
+///
+/// The drain high-water mark read at `ChrononStart { t + 1 }` reflects
+/// exactly the drains through chronon `t`: the engine emits the start event
+/// before draining chronon `t + 1`'s mutations.
+#[derive(Debug)]
+pub struct JournalObserver {
+    core: SharedJournal,
+    queue: LiveMutationQueue,
+    buf: String,
+    cur: Option<Chronon>,
+}
+
+impl JournalObserver {
+    /// An observer appending frames to `core`, reading the drain high-water
+    /// mark from `queue`.
+    pub fn new(core: SharedJournal, queue: LiveMutationQueue) -> Self {
+        JournalObserver {
+            core,
+            queue,
+            buf: String::new(),
+            cur: None,
+        }
+    }
+
+    fn finalize_frame(&mut self) {
+        if let Some(t) = self.cur.take() {
+            let drained = self.queue.drained_seq();
+            let mut core = self.core.lock().unwrap();
+            core.frame(t, drained, &self.buf);
+            if let Some(snap) = core.pending_snapshot.take() {
+                core.snapshot(&snap);
+            }
+        }
+        self.buf.clear();
+    }
+
+    /// Appends the final chronon's frame; call once after the run returns.
+    pub fn finish(&mut self) {
+        self.finalize_frame();
+        self.core.lock().unwrap().finish();
+    }
+}
+
+impl Observer for JournalObserver {
+    fn on_event(&mut self, event: Event) {
+        if let Event::ChrononStart { .. } = event {
+            self.finalize_frame();
+        }
+        match serde_json::to_string(&event) {
+            Ok(json) => {
+                if let Event::ChrononStart { t, .. } = event {
+                    self.cur = Some(t);
+                }
+                self.buf.push_str(&json);
+                self.buf.push('\n');
+            }
+            Err(e) => {
+                let path = self.core.lock().unwrap().path.display().to_string();
+                self.core.lock().unwrap().record_err(JournalError::Io {
+                    path,
+                    detail: format!("event serialization: {e}"),
+                });
+            }
+        }
+    }
+}
+
+/// The snapshot side of the journal adapter: requests an [`EngineSnapshot`]
+/// every `every` chronons and stashes it on the shared writer for the
+/// observer to flush in record order.
+#[derive(Debug)]
+pub struct JournalSink {
+    core: SharedJournal,
+    every: u32,
+    suppress_until: Option<Chronon>,
+}
+
+impl JournalSink {
+    /// A sink snapshotting every `every` chronons (`0` disables);
+    /// boundaries at or below `suppress_until` are already journaled and
+    /// skipped.
+    pub fn new(core: SharedJournal, every: u32, suppress_until: Option<Chronon>) -> Self {
+        JournalSink {
+            core,
+            every,
+            suppress_until,
+        }
+    }
+}
+
+impl SnapshotSink for JournalSink {
+    fn wants(&mut self, t: Chronon) -> bool {
+        // `is_multiple_of` / `is_none_or` need Rust 1.87/1.82; the
+        // workspace MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of, clippy::nonminimal_bool)]
+        let boundary = self.every > 0 && t > 0 && t % self.every == 0;
+        let suppressed = self.suppress_until.is_some_and(|u| t <= u);
+        boundary && !suppressed
+    }
+    fn accept(&mut self, snapshot: EngineSnapshot) {
+        self.core.lock().unwrap().stash_snapshot(snapshot);
+    }
+}
+
+/// One frame as scanned off disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedFrame {
+    /// The chronon this frame covers.
+    pub t: Chronon,
+    /// Live-mutation drain high-water mark after this chronon's drain.
+    pub drained_seq: u64,
+    /// The chronon's JSONL event block, exactly as the trace carries it.
+    pub lines: String,
+    /// Byte offset of the frame record in the file.
+    pub offset: usize,
+    /// Byte offset one past the frame record — truncating the file here
+    /// simulates a crash right after this chronon.
+    pub end: usize,
+}
+
+/// Everything a valid journal contains, in file order.
+#[derive(Debug, Clone)]
+pub struct JournalScan {
+    /// The header's configuration fingerprint.
+    pub fingerprint: String,
+    /// Chronon frames, contiguous from 0.
+    pub frames: Vec<ScannedFrame>,
+    /// Interleaved engine snapshots, in append order.
+    pub snapshots: Vec<EngineSnapshot>,
+    /// Journaled live mutations with their sequence numbers.
+    pub live: Vec<(u64, Mutation)>,
+    /// Report of a discarded torn tail (`None` for a clean file).
+    pub torn_tail: Option<String>,
+}
+
+impl JournalScan {
+    /// Fails with [`JournalError::FingerprintMismatch`] unless the journal
+    /// was written under `expected`.
+    pub fn verify_fingerprint(&self, expected: &str) -> Result<(), JournalError> {
+        if self.fingerprint == expected {
+            Ok(())
+        } else {
+            Err(JournalError::FingerprintMismatch {
+                found: self.fingerprint.clone(),
+                expected: expected.to_string(),
+            })
+        }
+    }
+}
+
+/// Reads and validates a journal file.
+///
+/// A damaged **final** record — truncated extent or checksum failure, the
+/// signature a crash mid-append leaves — is discarded and reported in
+/// [`JournalScan::torn_tail`]; the scan still succeeds with everything
+/// before it. Damage with valid data after it, an unknown record kind, or
+/// non-contiguous frames are hard [`JournalError`]s.
+pub fn scan_journal(path: &Path) -> Result<JournalScan, JournalError> {
+    let buf = std::fs::read(path).map_err(|e| JournalError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let mut offset = 0usize;
+    let mut header: Option<HeaderRecord> = None;
+    let mut scan = JournalScan {
+        fingerprint: String::new(),
+        frames: Vec::new(),
+        snapshots: Vec::new(),
+        live: Vec::new(),
+        torn_tail: None,
+    };
+    loop {
+        let rec = match parse_record(&buf, offset) {
+            Ok(None) => break,
+            Ok(Some(rec)) => rec,
+            Err(err) => {
+                // A record whose extent reaches (or overruns) the end of
+                // the file is the torn tail a crash leaves; anything with
+                // valid bytes after it is real corruption.
+                let tail = match err {
+                    RecordError::Truncated { .. } => true,
+                    RecordError::BadChecksum { .. } | RecordError::BadLength { .. } => {
+                        let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap())
+                            as usize;
+                        offset + 4 + len + 4 >= buf.len()
+                    }
+                    RecordError::Io { .. } => false,
+                };
+                if tail && header.is_some() {
+                    scan.torn_tail = Some(format!(
+                        "discarded torn tail at byte {offset} ({} of {} bytes): {err}",
+                        buf.len() - offset,
+                        buf.len(),
+                    ));
+                    break;
+                }
+                if header.is_none() {
+                    return Err(JournalError::MissingHeader);
+                }
+                return Err(JournalError::from(err));
+            }
+        };
+        let payload_str = || {
+            std::str::from_utf8(rec.payload).map_err(|e| JournalError::Corrupt {
+                offset: rec.offset,
+                detail: format!("non-UTF-8 payload: {e}"),
+            })
+        };
+        match rec.kind {
+            KIND_HEADER => {
+                if header.is_some() {
+                    return Err(JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: "duplicate header record".into(),
+                    });
+                }
+                let h: HeaderRecord =
+                    serde_json::from_str(payload_str()?).map_err(|e| JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: format!("unreadable header: {e}"),
+                    })?;
+                if h.version != JOURNAL_VERSION {
+                    return Err(JournalError::VersionMismatch {
+                        found: h.version,
+                        expected: JOURNAL_VERSION,
+                    });
+                }
+                scan.fingerprint = h.fingerprint.clone();
+                header = Some(h);
+            }
+            _ if header.is_none() => return Err(JournalError::MissingHeader),
+            KIND_FRAME => {
+                if rec.payload.len() < 12 {
+                    return Err(JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: "frame payload shorter than its fixed fields".into(),
+                    });
+                }
+                let t = Chronon::from_le_bytes(rec.payload[0..4].try_into().unwrap());
+                let drained_seq = u64::from_le_bytes(rec.payload[4..12].try_into().unwrap());
+                let expected = scan.frames.len() as Chronon;
+                if t != expected {
+                    return Err(JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: format!("frame for chronon {t} where {expected} was expected"),
+                    });
+                }
+                let lines = std::str::from_utf8(&rec.payload[12..])
+                    .map_err(|e| JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: format!("non-UTF-8 frame lines: {e}"),
+                    })?
+                    .to_string();
+                scan.frames.push(ScannedFrame {
+                    t,
+                    drained_seq,
+                    lines,
+                    offset: rec.offset,
+                    end: rec.end,
+                });
+            }
+            KIND_SNAPSHOT => {
+                let snap: EngineSnapshot =
+                    serde_json::from_str(payload_str()?).map_err(|e| JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: format!("unreadable snapshot: {e}"),
+                    })?;
+                scan.snapshots.push(snap);
+            }
+            KIND_LIVE_MUTATION => {
+                let lr: LiveRecord =
+                    serde_json::from_str(payload_str()?).map_err(|e| JournalError::Corrupt {
+                        offset: rec.offset,
+                        detail: format!("unreadable live mutation: {e}"),
+                    })?;
+                scan.live.push((lr.seq, lr.mutation));
+            }
+            other => {
+                return Err(JournalError::Corrupt {
+                    offset: rec.offset,
+                    detail: format!("unknown record kind {other} (newer journal version?)"),
+                })
+            }
+        }
+        offset = rec.end;
+    }
+    if header.is_none() {
+        return Err(JournalError::MissingHeader);
+    }
+    Ok(scan)
+}
+
+/// One journaled chronon parsed into the engine's nondeterministic inputs.
+#[derive(Debug, Clone)]
+struct ReplayFrame {
+    /// Probe outcomes in attempt order (`ProbeIssued` → success,
+    /// `ProbeFailed` → failure).
+    outcomes: Vec<bool>,
+    /// Outage transitions in event order.
+    downs: Vec<(u32, Option<Chronon>)>,
+    /// Applied mutations in drain order.
+    mutations: Vec<Mutation>,
+}
+
+/// A recovery plan distilled from a [`JournalScan`]: what to restore, what
+/// to replay, what to re-inject, and where live execution resumes.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The snapshot to restore (`None`: resume from chronon 0).
+    pub resume: Option<EngineSnapshot>,
+    /// Last fully journaled chronon (`None`: no frames survived; the whole
+    /// run re-executes live).
+    pub replay_until: Option<Chronon>,
+    /// Trace JSONL for chronons before the snapshot boundary — the prefix
+    /// the resumed engine will not re-emit.
+    pub prefix_lines: String,
+    /// Number of event lines in [`prefix_lines`](Self::prefix_lines).
+    pub prefix_events: u64,
+    /// Acknowledged live mutations no frame drained, in sequence order.
+    pub undrained: Vec<(u64, Mutation)>,
+    /// Highest live-mutation sequence in the journal.
+    pub last_seq: u64,
+    /// The last frame's drain high-water mark.
+    pub drained_seq: u64,
+    /// Report of a discarded torn tail, forwarded from the scan.
+    pub torn_tail: Option<String>,
+    /// Parsed frames for the replayed range `resume_at..=replay_until`.
+    frames: Vec<(Chronon, ReplayFrame)>,
+}
+
+impl Recovery {
+    /// Distills `scan` into a recovery plan. Fails if a frame's event block
+    /// does not parse back into events (journal bytes passed their
+    /// checksum but are not a trace — real corruption).
+    pub fn plan(scan: &JournalScan) -> Result<Self, JournalError> {
+        // The latest snapshot wins; frames from its boundary on replay
+        // through the engine, frames before it become the trace prefix.
+        let resume = scan.snapshots.last().cloned();
+        let resume_at = resume.as_ref().map_or(0, |s| s.at);
+        let replay_until = scan.frames.last().map(|f| f.t);
+        let drained_seq = scan.frames.last().map_or(0, |f| f.drained_seq);
+
+        let mut prefix_lines = String::new();
+        let mut prefix_events = 0u64;
+        let mut frames = Vec::new();
+        for f in &scan.frames {
+            if f.t < resume_at {
+                prefix_lines.push_str(&f.lines);
+                prefix_events += f.lines.lines().count() as u64;
+                continue;
+            }
+            let events = replay_events(&f.lines).map_err(|e| JournalError::Corrupt {
+                offset: f.offset,
+                detail: format!("frame {} line {}: {}", f.t, e.line, e.detail),
+            })?;
+            let mut rf = ReplayFrame {
+                outcomes: Vec::new(),
+                downs: Vec::new(),
+                mutations: Vec::new(),
+            };
+            for e in events {
+                match e {
+                    Event::ProbeIssued { .. } => rf.outcomes.push(true),
+                    Event::ProbeFailed { .. } => rf.outcomes.push(false),
+                    Event::ResourceDown {
+                        resource, until, ..
+                    } => rf.downs.push((resource.0, Some(until))),
+                    Event::ResourceUp { resource, .. } => rf.downs.push((resource.0, None)),
+                    Event::CeiRegistered { cei, .. } => {
+                        rf.mutations.push(Mutation::Register { cei });
+                    }
+                    Event::CeiCancelled { cei, .. } => {
+                        rf.mutations.push(Mutation::Cancel { cei });
+                    }
+                    Event::BudgetReconfigured { budget, .. } => {
+                        rf.mutations.push(Mutation::SetBudget { budget });
+                    }
+                    _ => {}
+                }
+            }
+            frames.push((f.t, rf));
+        }
+
+        let mut undrained: Vec<(u64, Mutation)> = scan
+            .live
+            .iter()
+            .filter(|&&(seq, _)| seq > drained_seq)
+            .copied()
+            .collect();
+        undrained.sort_by_key(|&(seq, _)| seq);
+        let last_seq = scan.live.iter().map(|&(seq, _)| seq).max().unwrap_or(0);
+
+        Ok(Recovery {
+            resume,
+            replay_until,
+            prefix_lines,
+            prefix_events,
+            undrained,
+            last_seq,
+            drained_seq,
+            torn_tail: scan.torn_tail.clone(),
+            frames,
+        })
+    }
+
+    /// The chronon the engine restarts at (the snapshot boundary, or 0).
+    pub fn resume_at(&self) -> Chronon {
+        self.resume.as_ref().map_or(0, |s| s.at)
+    }
+
+    /// The first chronon that executes live (everything before it replays
+    /// from the journal).
+    pub fn first_live_chronon(&self) -> Chronon {
+        self.replay_until.map_or(0, |u| u + 1)
+    }
+
+    /// A live queue resuming this journal's sequence numbering, with every
+    /// acknowledged-but-undrained mutation re-injected in sequence order.
+    pub fn live_queue(&self) -> LiveMutationQueue {
+        let queue = LiveMutationQueue::resumed(self.last_seq, self.drained_seq);
+        for &(seq, m) in &self.undrained {
+            queue.reinject(seq, m);
+        }
+        queue
+    }
+
+    /// Wraps `inner` so journaled chronons replay recorded probe outcomes
+    /// and outage state; see [`JournalExecutor`].
+    pub fn executor<E: ProbeExecutor>(
+        &self,
+        inner: E,
+        n_resources: u32,
+        sync_inner: bool,
+    ) -> JournalExecutor<E> {
+        let mut mirror = vec![None; n_resources as usize];
+        if let Some(snap) = &self.resume {
+            for (m, &a) in mirror.iter_mut().zip(&snap.announced) {
+                *m = a;
+            }
+        }
+        JournalExecutor {
+            inner,
+            sync_inner,
+            frames: self
+                .frames
+                .iter()
+                .map(|(t, f)| (*t, (f.outcomes.clone(), f.downs.clone())))
+                .collect(),
+            mirror,
+            replay_until: self.replay_until,
+            now: 0,
+            staged: VecDeque::new(),
+        }
+    }
+
+    /// Wraps `inner` so journaled chronons drain the recorded mutations;
+    /// see [`JournalMutations`].
+    pub fn mutations<M: MutationSource>(&self, inner: M) -> JournalMutations<M> {
+        JournalMutations {
+            inner,
+            frames: self
+                .frames
+                .iter()
+                .map(|(t, f)| (*t, f.mutations.clone()))
+                .collect(),
+            replay_until: self.replay_until,
+        }
+    }
+}
+
+/// A journaled chronon's executor-visible inputs: probe outcomes in
+/// attempt order, and outage transitions as `(resource, Some(until))` for
+/// a down edge or `(resource, None)` for an up edge, in event order.
+type ExecutorFrame = (Vec<bool>, Vec<(u32, Option<Chronon>)>);
+
+/// A [`ProbeExecutor`] that replays journaled chronons and delegates to the
+/// wrapped executor from the first unjournaled chronon on.
+///
+/// During replay, probe outcomes come from the journal in attempt order and
+/// outage state from a mirror of the journaled `ResourceDown`/`ResourceUp`
+/// transitions (seeded from the restored snapshot's announced horizons).
+/// With `sync_inner` (deterministic replay executors whose fault models
+/// step per chronon or per probe — Gilbert-Elliott chains, rate limiters),
+/// the wrapped executor is stepped through every replayed chronon and
+/// attempt so its state is exact at the handover; a live network executor
+/// sets `sync_inner = false` and is not touched during replay.
+#[derive(Debug)]
+pub struct JournalExecutor<E> {
+    inner: E,
+    sync_inner: bool,
+    frames: std::collections::BTreeMap<Chronon, ExecutorFrame>,
+    mirror: Vec<Option<Chronon>>,
+    replay_until: Option<Chronon>,
+    now: Chronon,
+    staged: VecDeque<bool>,
+}
+
+impl<E> JournalExecutor<E> {
+    fn replaying(&self, t: Chronon) -> bool {
+        self.replay_until.is_some_and(|u| t <= u)
+    }
+}
+
+impl<E: ProbeExecutor> ProbeExecutor for JournalExecutor<E> {
+    fn begin_chronon(&mut self, t: Chronon) {
+        self.now = t;
+        if self.replaying(t) {
+            if self.sync_inner {
+                self.inner.begin_chronon(t);
+            }
+            self.staged.clear();
+            if let Some((outcomes, downs)) = self.frames.get(&t) {
+                self.staged.extend(outcomes.iter().copied());
+                for &(r, until) in downs {
+                    self.mirror[r as usize] = until;
+                }
+            }
+        } else {
+            self.inner.begin_chronon(t);
+        }
+    }
+
+    fn down_until(&self, resource: ResourceId) -> Option<Chronon> {
+        if self.replaying(self.now) {
+            self.mirror[resource.index()]
+        } else {
+            self.inner.down_until(resource)
+        }
+    }
+
+    fn probe(&mut self, t: Chronon, resource: ResourceId, attempt: u32) -> bool {
+        if self.replaying(t) {
+            if self.sync_inner {
+                let _ = self.inner.probe(t, resource, attempt);
+            }
+            self.staged
+                .pop_front()
+                .expect("journal frame exhausted mid-chronon: replay diverged from the recording")
+        } else {
+            self.inner.probe(t, resource, attempt)
+        }
+    }
+
+    fn fallible(&self) -> bool {
+        self.inner.fallible()
+    }
+}
+
+/// A [`MutationSource`] that drains the journaled mutations for replayed
+/// chronons and delegates to the wrapped source (the daemon's script +
+/// live queue) from the first unjournaled chronon on. Release suppression
+/// always delegates — it is a property of the recompiled churn script, not
+/// of the journal.
+#[derive(Debug)]
+pub struct JournalMutations<M> {
+    inner: M,
+    frames: std::collections::BTreeMap<Chronon, Vec<Mutation>>,
+    replay_until: Option<Chronon>,
+}
+
+impl<M: MutationSource> MutationSource for JournalMutations<M> {
+    fn active(&self) -> bool {
+        true
+    }
+
+    fn drain_at(&mut self, t: Chronon, out: &mut Vec<Mutation>) {
+        if self.replay_until.is_some_and(|u| t <= u) {
+            if let Some(ms) = self.frames.get(&t) {
+                out.extend_from_slice(ms);
+            }
+        } else {
+            self.inner.drain_at(t, out);
+        }
+    }
+
+    fn suppresses_release(&self, cei: CeiId) -> bool {
+        self.inner.suppresses_release(cei)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ResourceId;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "webmon-journal-{tag}-{}-{n}.journal",
+            std::process::id()
+        ))
+    }
+
+    fn sample_lines(t: Chronon) -> String {
+        let start = serde_json::to_string(&Event::ChrononStart { t, budget: 2 }).unwrap();
+        let end = serde_json::to_string(&Event::ChrononEnd {
+            t,
+            spent: 1,
+            budget: 2,
+        })
+        .unwrap();
+        format!("{start}\n{end}\n")
+    }
+
+    #[test]
+    fn write_scan_roundtrip() {
+        let path = temp_journal("roundtrip");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Os, "fp=1").unwrap();
+        w.frame(0, 0, &sample_lines(0));
+        w.live_mutation(1, Mutation::SetBudget { budget: 7 })
+            .unwrap();
+        w.frame(1, 1, &sample_lines(1));
+        w.finish();
+        assert!(w.errors().is_empty(), "{:?}", w.errors());
+        drop(w);
+
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.fingerprint, "fp=1");
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.frames[1].drained_seq, 1);
+        assert_eq!(scan.frames[0].lines, sample_lines(0));
+        assert_eq!(scan.live, vec![(1, Mutation::SetBudget { budget: 7 })]);
+        assert!(scan.torn_tail.is_none());
+        scan.verify_fingerprint("fp=1").unwrap();
+        assert!(matches!(
+            scan.verify_fingerprint("fp=2"),
+            Err(JournalError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_reported() {
+        let path = temp_journal("torn");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::EveryChronon, "fp").unwrap();
+        w.frame(0, 0, &sample_lines(0));
+        w.frame(1, 0, &sample_lines(1));
+        w.finish();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        let clean = scan_journal(&path).unwrap();
+        let last = clean.frames.last().unwrap().clone();
+        // Cut anywhere strictly inside the final record: frame 1 must be
+        // discarded with a report, frame 0 must survive.
+        for cut in last.offset + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan_journal(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(scan.frames.len(), 1, "cut at {cut}");
+            assert!(scan.torn_tail.is_some(), "cut at {cut} not reported");
+        }
+        // Cutting exactly at the record boundary is a clean, shorter file.
+        std::fs::write(&path, &full[..last.offset]).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert!(scan.torn_tail.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let path = temp_journal("midfile");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Os, "fp").unwrap();
+        w.frame(0, 0, &sample_lines(0));
+        w.frame(1, 0, &sample_lines(1));
+        w.finish();
+        drop(w);
+        let clean = scan_journal(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of frame 0 — valid data follows, so this is
+        // not a discardable tail.
+        bytes[clean.frames[0].offset + 6] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            scan_journal(&path),
+            Err(JournalError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_structured() {
+        let path = temp_journal("version");
+        let header = serde_json::to_string(&HeaderRecord {
+            version: JOURNAL_VERSION + 1,
+            fingerprint: "fp".into(),
+        })
+        .unwrap();
+        let mut buf = Vec::new();
+        webmon_streams::record::write_record(&mut buf, KIND_HEADER, header.as_bytes(), &path)
+            .unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(
+            scan_journal(&path).unwrap_err(),
+            JournalError::VersionMismatch {
+                found: JOURNAL_VERSION + 1,
+                expected: JOURNAL_VERSION,
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_headerless_journals() {
+        let path = temp_journal("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert_eq!(
+            scan_journal(&path).unwrap_err(),
+            JournalError::MissingHeader
+        );
+        // A header-only journal is a valid, empty run.
+        let w = JournalWriter::create(&path, FsyncPolicy::Os, "fp").unwrap();
+        drop(w);
+        let scan = scan_journal(&path).unwrap();
+        assert!(scan.frames.is_empty() && scan.snapshots.is_empty());
+        let rec = Recovery::plan(&scan).unwrap();
+        assert_eq!(rec.replay_until, None);
+        assert_eq!(rec.first_live_chronon(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        use std::str::FromStr;
+        assert_eq!(
+            FsyncPolicy::from_str("every-chronon").unwrap(),
+            FsyncPolicy::EveryChronon
+        );
+        assert_eq!(FsyncPolicy::from_str("os").unwrap(), FsyncPolicy::Os);
+        assert_eq!(
+            FsyncPolicy::from_str("every-16").unwrap(),
+            FsyncPolicy::EveryN(16)
+        );
+        assert!(FsyncPolicy::from_str("every-0").is_err());
+        assert!(FsyncPolicy::from_str("sometimes").is_err());
+        assert_eq!(FsyncPolicy::EveryN(16).to_string(), "every-16");
+    }
+
+    #[test]
+    fn recovery_plan_extracts_inputs() {
+        let path = temp_journal("plan");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Os, "fp").unwrap();
+        let issued = serde_json::to_string(&Event::ProbeIssued {
+            t: 0,
+            resource: ResourceId(2),
+            cost: 1,
+            shared_eis: 1,
+        })
+        .unwrap();
+        let failed = serde_json::to_string(&Event::ProbeFailed {
+            t: 0,
+            resource: ResourceId(1),
+            cost: 1,
+            attempt: 0,
+            charged: true,
+        })
+        .unwrap();
+        let down = serde_json::to_string(&Event::ResourceDown {
+            t: 0,
+            resource: ResourceId(1),
+            until: 4,
+        })
+        .unwrap();
+        let reg = serde_json::to_string(&Event::CeiRegistered {
+            cei: CeiId(3),
+            at: 0,
+        })
+        .unwrap();
+        w.frame(0, 2, &format!("{down}\n{reg}\n{failed}\n{issued}\n"));
+        w.live_mutation(1, Mutation::Register { cei: CeiId(3) })
+            .unwrap();
+        w.live_mutation(2, Mutation::Cancel { cei: CeiId(0) })
+            .unwrap();
+        w.live_mutation(3, Mutation::SetBudget { budget: 5 })
+            .unwrap();
+        w.finish();
+        drop(w);
+
+        let rec = Recovery::plan(&scan_journal(&path).unwrap()).unwrap();
+        assert_eq!(rec.replay_until, Some(0));
+        assert_eq!(rec.first_live_chronon(), 1);
+        assert_eq!(rec.drained_seq, 2);
+        assert_eq!(rec.undrained, vec![(3, Mutation::SetBudget { budget: 5 })]);
+        assert_eq!(rec.last_seq, 3);
+        let (_, rf) = &rec.frames[0];
+        assert_eq!(rf.outcomes, vec![false, true]);
+        assert_eq!(rf.downs, vec![(1, Some(4))]);
+        assert_eq!(rf.mutations, vec![Mutation::Register { cei: CeiId(3) }]);
+
+        // The live queue resumes numbering and re-injects the undrained.
+        let q = rec.live_queue();
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.drained_seq(), 2);
+        assert_eq!(q.submit(Mutation::SetBudget { budget: 1 }), 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

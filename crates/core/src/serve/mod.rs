@@ -26,12 +26,27 @@
 //! conformance harness checks therefore transfers to serving mode for
 //! free; `tests/tests/serve.rs` and CI's `serve-smoke` job enforce it.
 //!
+//! **Durability.** [`journal`] append-logs everything nondeterministic a
+//! driven run consumes (event frames, live mutations) plus periodic
+//! [`EngineSnapshot`]s into a checksummed record log, and rebuilds a
+//! [`Recovery`] plan from it after a crash. Because a replayed run is a
+//! pure function of its journaled inputs, a daemon SIGKILLed at any chronon
+//! and recovered produces the same bytes an uninterrupted run would — the
+//! kill-resume identity `tests/tests/recovery.rs` pins.
+//!
 //! [`MutationSource`]: crate::engine::MutationSource
 
 mod clock;
 mod driver;
 mod executor;
+pub mod journal;
+pub mod snapshot;
 
 pub use clock::{Clock, ClockRelease, FreeClock, ManualClock, ManualHandle, WallClock};
-pub use driver::{drive, DaemonSource, LiveMutationQueue, Paced};
+pub use driver::{drive, drive_resumable, DaemonSource, LiveMutationQueue, Paced};
 pub use executor::{ExecutorModel, ProbeExecutor, ReplayExecutor, TcpProbeExecutor};
+pub use journal::{
+    FsyncPolicy, JournalConfig, JournalError, JournalExecutor, JournalMutations, JournalObserver,
+    JournalWriter, Recovery,
+};
+pub use snapshot::{CaptureAt, CeiState, EngineSnapshot, NoSnapshots, SnapshotSink};

@@ -1,0 +1,184 @@
+//! Engine-state snapshots: everything the online engine carries across a
+//! chronon boundary, serialized so a crashed daemon can resume mid-run.
+//!
+//! A snapshot is captured at the *top* of the chronon loop — after chronon
+//! `at - 1` completed, before any of chronon `at`'s work (including the
+//! promotion of a pending budget reconfiguration, which is part of chronon
+//! `at` and therefore recorded still-pending). Restoring a snapshot and
+//! running chronons `at..horizon` with the same nondeterministic inputs is
+//! bit-identical — schedule, stats, outcomes, event stream — to the
+//! uninterrupted run; `tests/tests/recovery.rs` pins this contract across
+//! the conformance corpus.
+//!
+//! Two details make the state closure exact rather than approximate:
+//!
+//! * the candidate index records the **live entries of every per-resource
+//!   list in list order**, not merely a liveness set — shared captures
+//!   ([`Event::EiCaptured`]) fire in list order, so order is observable in
+//!   the event stream;
+//! * the fault bookkeeping (`announced` outage horizons, failure streaks,
+//!   backoff deadlines) rides along, so a resumed run neither re-announces
+//!   a steady outage nor forgets a backoff.
+//!
+//! [`Event::EiCaptured`]: crate::obs::Event::EiCaptured
+
+use crate::model::{Chronon, Schedule};
+use crate::stats::{CeiOutcome, RunStats};
+use serde::{Deserialize, Serialize};
+
+/// One CEI's lifecycle state inside a snapshot, mirroring the engine's
+/// private status enum. `Active` carries the per-EI captured/expired flags
+/// (counts are recomputed on restore).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CeiState {
+    /// Release chronon not reached yet.
+    NotArrived,
+    /// Released and still being tracked.
+    Active {
+        /// Per-EI captured flags, parallel to the CEI's EIs.
+        captured: Vec<bool>,
+        /// Per-EI expired-uncaptured flags, parallel to the CEI's EIs.
+        expired: Vec<bool>,
+    },
+    /// Resolved: threshold met.
+    Captured,
+    /// Resolved: doomed by expiry or shedding.
+    Failed,
+    /// Resolved: cancelled through the mutation API.
+    Cancelled,
+}
+
+/// The engine's complete cross-chronon state at a chronon boundary.
+///
+/// Everything per-chronon (candidate scores, retry usage, down snapshots,
+/// probed-now flags) is recomputed by the resumed loop; everything here is
+/// exactly the state that survives a boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The chronon about to run when this snapshot was captured.
+    pub at: Chronon,
+    /// Per-CEI lifecycle state, indexed by CEI id.
+    pub status: Vec<CeiState>,
+    /// Per-CEI outcomes recorded so far, indexed by CEI id.
+    pub outcomes: Vec<CeiOutcome>,
+    /// Aggregate statistics through chronon `at - 1`.
+    pub stats: RunStats,
+    /// Probes issued through chronon `at - 1`.
+    pub schedule: Schedule,
+    /// The budget override in force (from an applied `SetBudget`).
+    pub budget_override: Option<u32>,
+    /// A `SetBudget` drained last chronon, not yet promoted — promotion is
+    /// chronon `at`'s first action and must happen exactly once.
+    pub pending_budget: Option<u32>,
+    /// Last announced outage horizon per resource (empty when the run has
+    /// no fault model).
+    pub announced: Vec<Option<Chronon>>,
+    /// Consecutive probe-failure streak per resource (empty when faultless).
+    pub consec_failures: Vec<u32>,
+    /// Backoff deadline per resource (empty when faultless).
+    pub next_attempt_at: Vec<Chronon>,
+    /// Live candidate entries `(cei, ei_idx)` of every per-resource list,
+    /// in exact list order — the order shared captures fire in.
+    pub index: Vec<Vec<(u32, u16)>>,
+}
+
+/// Receives engine snapshots at chronon boundaries.
+///
+/// The engine asks [`wants`](Self::wants) at the top of every chronon and
+/// builds the (moderately expensive) [`EngineSnapshot`] only on `true`; a
+/// sink that always declines costs one virtual call per chronon.
+pub trait SnapshotSink {
+    /// Whether a snapshot at the boundary of chronon `t` should be built.
+    fn wants(&mut self, t: Chronon) -> bool;
+    /// Receives the snapshot a `wants(t) == true` requested.
+    fn accept(&mut self, snapshot: EngineSnapshot);
+}
+
+/// The no-op sink: never requests a snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSnapshots;
+
+impl SnapshotSink for NoSnapshots {
+    fn wants(&mut self, _t: Chronon) -> bool {
+        false
+    }
+    fn accept(&mut self, _snapshot: EngineSnapshot) {}
+}
+
+/// A sink that captures every requested boundary into memory — the building
+/// block tests use to snapshot at an exact chronon.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureAt {
+    /// The boundaries to capture.
+    pub at: Vec<Chronon>,
+    /// The captured snapshots, in boundary order.
+    pub taken: Vec<EngineSnapshot>,
+}
+
+impl CaptureAt {
+    /// A sink capturing exactly the boundaries in `at`.
+    pub fn new(at: Vec<Chronon>) -> Self {
+        CaptureAt {
+            at,
+            taken: Vec::new(),
+        }
+    }
+}
+
+impl SnapshotSink for CaptureAt {
+    fn wants(&mut self, t: Chronon) -> bool {
+        self.at.contains(&t)
+    }
+    fn accept(&mut self, snapshot: EngineSnapshot) {
+        self.taken.push(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Epoch;
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let snap = EngineSnapshot {
+            at: 7,
+            status: vec![
+                CeiState::NotArrived,
+                CeiState::Active {
+                    captured: vec![true, false],
+                    expired: vec![false, false],
+                },
+                CeiState::Captured,
+                CeiState::Failed,
+                CeiState::Cancelled,
+            ],
+            outcomes: vec![
+                CeiOutcome::Pending,
+                CeiOutcome::Pending,
+                CeiOutcome::Captured { at: 3 },
+                CeiOutcome::Failed { at: 5 },
+                CeiOutcome::Cancelled { at: 6 },
+            ],
+            stats: RunStats {
+                n_ceis: 5,
+                probes_used: 4,
+                ..Default::default()
+            },
+            schedule: {
+                let mut s = Schedule::new(3, Epoch::new(10));
+                s.probe(crate::model::ResourceId(1), 2);
+                s
+            },
+            budget_override: Some(9),
+            pending_budget: None,
+            announced: vec![None, Some(12), None],
+            consec_failures: vec![0, 2, 0],
+            next_attempt_at: vec![0, 9, 0],
+            index: vec![vec![(1, 0)], vec![(1, 1), (4, 0)], vec![]],
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: EngineSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -32,6 +32,7 @@ pub mod fpn;
 pub mod io;
 pub mod news;
 pub mod poisson;
+pub mod record;
 pub mod rng;
 pub mod trace;
 pub mod zipf;
@@ -42,6 +43,7 @@ pub use fpn::{EventPair, FpnModel, NoisyTrace};
 pub use io::{read_csv, read_csv_file, write_csv, TraceIoError};
 pub use news::NewsTraceConfig;
 pub use poisson::{poisson_count, PoissonProcess};
+pub use record::{crc32, parse_record, write_all_tagged, write_record, Record, RecordError};
 pub use rng::SimRng;
 pub use trace::UpdateTrace;
 pub use zipf::Zipf;

@@ -21,15 +21,19 @@ use std::thread;
 use std::time::Duration;
 use webmon_cli::args::Args;
 use webmon_cli::commands::dispatch;
-use webmon_cli::serve::{Daemon, DaemonOutcome, ServeSession};
+use webmon_cli::serve::{Daemon, DaemonOutcome, ServeOptions, ServeSession};
 use webmon_core::engine::{
-    EngineConfig, MutationQueue, OnlineEngine, RunResult, ScriptedMutations,
+    EngineConfig, Mutation, MutationQueue, OnlineEngine, RunResult, ScriptedMutations,
 };
 use webmon_core::fault::{Backoff, FaultConfig, IidFaults, NoFaults};
-use webmon_core::model::{Budget, Instance, InstanceBuilder};
+use webmon_core::model::{Budget, CeiId, Instance, InstanceBuilder};
 use webmon_core::obs::{JsonlTraceObserver, MetricsObserver, RunMetrics, Tee};
 use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
-use webmon_core::serve::{FreeClock, ManualClock, ProbeExecutor, ReplayExecutor, TcpProbeExecutor};
+use webmon_core::serve::journal::{scan_journal, JOURNAL_FILE};
+use webmon_core::serve::{
+    FreeClock, FsyncPolicy, JournalConfig, ManualClock, ProbeExecutor, ReplayExecutor,
+    TcpProbeExecutor,
+};
 use webmon_core::stats::CeiOutcome;
 use webmon_streams::SimRng;
 use webmon_testkit::corpus::{conformance_cases, small_instance};
@@ -583,6 +587,149 @@ fn serve_truncated_replay_feed_is_a_structured_error() {
     let args = Args::parse(toks.iter().map(|s| s.to_string())).unwrap();
     assert_eq!(dispatch(&args).unwrap(), 2);
     std::fs::remove_file(&feed).ok();
+}
+
+/// A client that dies mid-line — EOF with a partial command buffered —
+/// drops only that session: the fragment is never executed, and the
+/// daemon keeps serving other connections.
+#[test]
+fn socket_disconnect_mid_line_drops_only_that_session() {
+    let daemon = Daemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let stop = daemon.stop_flag();
+    let (clock, _handle) = ManualClock::new();
+
+    let client = thread::spawn(move || {
+        // A complete command with no trailing newline, then a hard close:
+        // the torn fragment must be discarded, not executed.
+        let (_reader, mut stream) = connect(addr);
+        stream.write_all(b"shutdown").unwrap();
+        drop(stream);
+        thread::sleep(Duration::from_millis(200));
+        assert!(
+            !stop.load(Ordering::SeqCst),
+            "a command torn by disconnect must not execute"
+        );
+        // The daemon is still serving: a healthy client works, and ends
+        // the run with a properly terminated command.
+        let (mut reader, mut stream) = connect(addr);
+        send_line(&mut stream, "ping");
+        assert_eq!(read_line(&mut reader), r#"{"ok":"pong"}"#);
+        send_line(&mut stream, "shutdown");
+        assert_eq!(read_line(&mut reader), r#"{"ok":"shutting-down"}"#);
+    });
+
+    let outcome = daemon
+        .run(
+            serve_session(protocol_instance()),
+            ReplayExecutor::faultless(),
+            clock,
+            None,
+        )
+        .unwrap();
+    client.join().unwrap();
+    let sim = OnlineEngine::run(&protocol_instance(), &MEdf, EngineConfig::preemptive());
+    assert_eq!(
+        outcome.result.schedule, sim.schedule,
+        "the torn session must not perturb the run"
+    );
+}
+
+/// The shutdown/register race under a journal: a mutation acknowledged
+/// before the shutdown reply is journaled *and* drained — never
+/// half-applied — while one arriving after the shutdown reply is rejected
+/// with a structured error (or a closed connection), never silently
+/// applied.
+#[test]
+fn shutdown_racing_register_is_journaled_or_rejected() {
+    let dir = temp_path("race-journal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = temp_path("race-trace");
+    let daemon = Daemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let (clock, handle) = ManualClock::new();
+
+    let client = thread::spawn(move || {
+        let (mut events, mut attach) = connect(addr);
+        send_line(&mut attach, "attach");
+        assert_eq!(read_line(&mut events), r#"{"ok":"attached"}"#);
+        thread::sleep(Duration::from_millis(100));
+        let (mut a_reader, mut a) = connect(addr);
+        let (mut b_reader, mut b) = connect(addr);
+        handle.advance_to(1);
+        loop {
+            let line = read_line(&mut events);
+            if line.starts_with(r#"{"ChrononEnd":{"t":1,"#) {
+                break;
+            }
+        }
+        // Acknowledged before the shutdown reply: must be journaled and
+        // drained at chronon 2.
+        send_line(&mut a, "register 1");
+        assert_eq!(read_line(&mut a_reader), r#"{"ok":{"register":1}}"#);
+        send_line(&mut a, "shutdown");
+        assert_eq!(read_line(&mut a_reader), r#"{"ok":"shutting-down"}"#);
+        // Arriving after the shutdown reply: structured rejection or a
+        // closed socket — never a half-applied mutation.
+        send_line(&mut b, "cancel 0");
+        let mut resp = String::new();
+        let n = b_reader.read_line(&mut resp).unwrap_or(0);
+        assert!(
+            n == 0 || resp.contains(r#""err""#),
+            "post-shutdown mutation must be rejected, got {resp:?}"
+        );
+    });
+
+    let opts = ServeOptions {
+        trace_out: Some(trace_path.clone()),
+        journal: Some(JournalConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::EveryChronon,
+            snapshot_every: 8,
+        }),
+        recover: false,
+        resync_executor: false,
+    };
+    let outcome = daemon
+        .run_with(
+            serve_session(protocol_instance()),
+            ReplayExecutor::faultless(),
+            |_| clock,
+            opts,
+        )
+        .unwrap();
+    client.join().unwrap();
+    assert!(outcome.io_errors.is_empty(), "{:?}", outcome.io_errors);
+
+    // Fully applied: the registered CEI drained at chronon 2 and captured.
+    assert!(
+        outcome.result.outcomes[1].is_captured(),
+        "pre-shutdown registration must apply, got {:?}",
+        outcome.result.outcomes[1]
+    );
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(
+        trace.contains(r#"{"CeiRegistered":{"cei":1,"at":2}}"#),
+        "acknowledged registration must drain at chronon 2"
+    );
+    // And journaled before the ack: a crash after the reply would recover
+    // it from the journal's live-mutation records.
+    let scan = scan_journal(&dir.join(JOURNAL_FILE)).unwrap();
+    assert!(
+        scan.live
+            .iter()
+            .any(|(_, m)| *m == Mutation::Register { cei: CeiId(1) }),
+        "acknowledged mutation must be in the journal, got {:?}",
+        scan.live
+    );
+    // The rejected cancel never touched CEI 0.
+    assert!(
+        !matches!(outcome.result.outcomes[0], CeiOutcome::Cancelled { .. }),
+        "rejected mutation must not apply, got {:?}",
+        outcome.result.outcomes[0]
+    );
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Sanity: `DaemonOutcome` carries the counts CI's smoke job asserts on.
