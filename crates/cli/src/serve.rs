@@ -50,7 +50,7 @@ use webmon_core::serve::{
     drive_resumable, Clock, ClockRelease, DaemonSource, JournalConfig, JournalError,
     LiveMutationQueue, NoSnapshots, ProbeExecutor, Recovery, SnapshotSink,
 };
-use webmon_streams::write_all_tagged;
+use webmon_streams::{crc32, write_all_tagged};
 
 /// How long a client read blocks before re-checking the stop flag, and how
 /// long the accept loop naps when no connection is pending.
@@ -555,7 +555,7 @@ impl Daemon {
         C: Clock,
         F: FnOnce(Chronon) -> C,
     {
-        let fp = fingerprint(&session, executor.fallible());
+        let fp = fingerprint(&session, &executor.descriptor());
 
         // Recovery planning happens before anything spawns: scan the
         // journal, check its header against this invocation, distill the
@@ -581,11 +581,18 @@ impl Daemon {
             .map_or_else(LiveMutationQueue::new, Recovery::live_queue);
 
         // The journal writer: fresh (header first), or appending after the
-        // already-journaled prefix with re-emitted frames suppressed.
+        // already-journaled prefix — truncated to the scan's valid length
+        // first, so a discarded torn tail never has records appended after
+        // it — with re-emitted frames suppressed.
         let journal: Option<SharedJournal> = match &opts.journal {
             Some(jc) => {
                 let writer = match &recovery {
-                    Some(rec) => JournalWriter::append_to(&jc.path(), jc.fsync, rec.replay_until)?,
+                    Some(rec) => JournalWriter::append_to(
+                        &jc.path(),
+                        jc.fsync,
+                        rec.replay_until,
+                        rec.valid_len,
+                    )?,
                     None => JournalWriter::create(&jc.path(), jc.fsync, &fp)?,
                 };
                 Some(Arc::new(Mutex::new(writer)))
@@ -663,10 +670,12 @@ impl Daemon {
             _ => Box::new(NoSnapshots),
         };
 
+        let mut divergence = None;
         let result = match &recovery {
             Some(rec) => {
                 let journal_exec =
                     rec.executor(executor, session.instance.n_resources, opts.resync_executor);
+                divergence = Some(journal_exec.divergence());
                 let mut source = rec.mutations(DaemonSource::new(session.script, live));
                 drive_resumable(
                     &session.instance,
@@ -715,6 +724,17 @@ impl Daemon {
         if let Some(core) = &journal {
             io_errors.extend(core.lock().unwrap().errors().iter().cloned());
         }
+        // Replay consumed the journal differently than the recording (the
+        // fingerprint is a hash, not the inputs themselves): the recovery
+        // is invalid and its output must not be trusted — a structured
+        // error, never a panic, and never a silent mis-replay.
+        if let Some(cell) = divergence {
+            if let Some(detail) = cell.lock().unwrap().take() {
+                return Err(ServeError::Journal(JournalError::ReplayDivergence {
+                    detail,
+                }));
+            }
+        }
         Ok(DaemonOutcome {
             result,
             metrics: metrics.metrics().clone(),
@@ -725,20 +745,33 @@ impl Daemon {
     }
 }
 
-/// The configuration fingerprint pinned in the journal header. Recovery
-/// under a different instance shape, policy, engine mode, or executor
-/// fallibility would replay the journal against a run it does not describe,
-/// so `--recover` refuses a mismatch with a structured error.
-fn fingerprint(session: &ServeSession, fallible: bool) -> String {
+/// The configuration fingerprint pinned in the journal header. It covers
+/// everything that determines a driven run: the instance **content** (CRC
+/// of its serialized form, not just its dimensions), the policy's full
+/// spec (name + parameters), engine mode, the fault/retry configuration,
+/// the compiled churn script, and the executor's descriptor (fault model
+/// kind, parameters, and seed for scripted executors). Recovery under any
+/// same-shaped-but-different input would replay the journal against a run
+/// it does not describe, so `--recover` refuses a mismatch with a
+/// structured error up front instead of diverging mid-replay.
+fn fingerprint(session: &ServeSession, executor_desc: &str) -> String {
+    let hash = |json: Result<String, serde_json::Error>| match json {
+        Ok(s) => format!("{:08x}", crc32(s.as_bytes())),
+        Err(_) => "unserializable".to_string(),
+    };
     format!(
-        "horizon={};resources={};ceis={};policy={};preemptive={};share={};fallible={}",
+        "v2;horizon={};resources={};ceis={};instance={};policy={};preemptive={};share={};\
+         fault_config={};script={};executor={}",
         session.instance.epoch.len(),
         session.instance.n_resources,
         session.instance.ceis.len(),
-        session.policy.name(),
+        hash(serde_json::to_string(&session.instance)),
+        session.policy.spec(),
         session.config.preemptive,
         session.config.share_probes,
-        fallible,
+        hash(serde_json::to_string(&session.fault_config)),
+        hash(serde_json::to_string(&session.script)),
+        executor_desc,
     )
 }
 

@@ -199,7 +199,10 @@ pub trait MutationSource {
 /// used to build inline. Draining a compiled script is bit-identical to the
 /// pre-refactor queue handling by construction: the buckets preserve queue
 /// order and an empty queue compiles to an inactive source.
-#[derive(Debug, Clone, Default)]
+/// `Serialize` exists so the serve journal's configuration fingerprint can
+/// hash the compiled script's content — recovery under a different churn
+/// script must be refused up front.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct ScriptedMutations {
     buckets: Vec<Vec<Mutation>>,
     dynamic: Vec<bool>,

@@ -113,6 +113,15 @@ pub trait FaultModel {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// A stable description of the model's full parameterization (kind,
+    /// rates, seed) — two models with equal descriptors must script
+    /// identical outcomes. Feeds the serve journal's configuration
+    /// fingerprint so `--recover` under a different fault script is
+    /// refused up front instead of diverging mid-replay.
+    fn descriptor(&self) -> String {
+        format!("enabled={}", self.enabled())
+    }
 }
 
 /// Forwarding impl so engine entry points can take `&mut F` by value.
@@ -132,6 +141,9 @@ impl<F: FaultModel + ?Sized> FaultModel for &mut F {
     #[inline]
     fn enabled(&self) -> bool {
         (**self).enabled()
+    }
+    fn descriptor(&self) -> String {
+        (**self).descriptor()
     }
 }
 
@@ -157,6 +169,9 @@ impl FaultModel for NoFaults {
     #[inline(always)]
     fn enabled(&self) -> bool {
         false
+    }
+    fn descriptor(&self) -> String {
+        "none".to_string()
     }
 }
 
@@ -211,6 +226,10 @@ impl FaultModel for IidFaults {
             ),
             self.rate,
         )
+    }
+
+    fn descriptor(&self) -> String {
+        format!("iid(rate={},seed={})", self.rate, self.seed)
     }
 }
 
@@ -298,6 +317,16 @@ impl FaultModel for GilbertElliott {
     fn probe_succeeds(&mut self, _t: Chronon, resource: ResourceId, _attempt: u32) -> bool {
         !self.down.get(resource.0 as usize).copied().unwrap_or(false)
     }
+
+    fn descriptor(&self) -> String {
+        format!(
+            "gilbert-elliott(p_fail={},p_recover={},seed={},resources={})",
+            self.p_fail,
+            self.p_recover,
+            self.seed,
+            self.down.len(),
+        )
+    }
 }
 
 /// Per-resource rate-limit windows: at most `max_per_window` successful
@@ -362,6 +391,15 @@ impl FaultModel for RateLimit {
             }
             _ => false,
         }
+    }
+
+    fn descriptor(&self) -> String {
+        format!(
+            "rate-limit(window={},max={},resources={})",
+            self.window,
+            self.max_per_window,
+            self.used.len(),
+        )
     }
 }
 

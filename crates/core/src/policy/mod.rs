@@ -90,6 +90,17 @@ pub trait Policy: Sync {
     /// Short, stable name used in experiment tables (e.g. `"M-EDF"`).
     fn name(&self) -> &'static str;
 
+    /// The full parameterization of this policy instance — equal specs must
+    /// score identically. Parameterless policies keep the default (the
+    /// name); parameterized ones ([`Wic`]'s stale
+    /// utility, [`RandomPolicy`]'s seed)
+    /// append their parameters. Feeds the serve journal's configuration
+    /// fingerprint, which must refuse recovery under a same-named but
+    /// differently-tuned policy.
+    fn spec(&self) -> String {
+        self.name().to_string()
+    }
+
     /// The priority of probing `cand` at `ctx.now`; the engine picks the
     /// candidate with the **minimum** score. Max-style policies (WIC) negate
     /// their utility.

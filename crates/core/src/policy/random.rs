@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the [`Policy`] trait requires.
 #[derive(Debug)]
 pub struct RandomPolicy {
+    seed: u64,
     state: AtomicU64,
 }
 
@@ -19,6 +20,7 @@ impl RandomPolicy {
     /// A random policy with the given seed.
     pub fn new(seed: u64) -> Self {
         RandomPolicy {
+            seed,
             state: AtomicU64::new(seed),
         }
     }
@@ -46,6 +48,10 @@ impl Default for RandomPolicy {
 impl Policy for RandomPolicy {
     fn name(&self) -> &'static str {
         "Random"
+    }
+
+    fn spec(&self) -> String {
+        format!("Random(seed={})", self.seed)
     }
 
     fn score(&self, _ctx: &PolicyContext<'_>, _cand: &Candidate<'_>) -> i64 {

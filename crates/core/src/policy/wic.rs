@@ -54,6 +54,10 @@ impl Policy for Wic {
         "WIC"
     }
 
+    fn spec(&self) -> String {
+        format!("WIC(stale_utility={})", self.stale_utility)
+    }
+
     fn score(&self, ctx: &PolicyContext<'_>, cand: &Candidate<'_>) -> i64 {
         let r = cand.ei.resource.index();
         let live = f64::from(ctx.resources.active_eis[r]);

@@ -56,6 +56,15 @@ pub trait ProbeExecutor {
     /// Whether this executor can ever fail a probe. `false` routes the
     /// engine through the exact unfaulted instruction stream.
     fn fallible(&self) -> bool;
+
+    /// A stable description of the executor's full identity — for scripted
+    /// executors, the fault model's kind, parameters, and seed. Feeds the
+    /// serve journal's configuration fingerprint so `--recover` under a
+    /// same-shaped but differently-scripted executor is refused up front
+    /// rather than diverging during replay.
+    fn descriptor(&self) -> String {
+        format!("fallible={}", self.fallible())
+    }
 }
 
 /// Forwarding impl so boxed executors (`Box<dyn ProbeExecutor + Send>`)
@@ -72,6 +81,9 @@ impl<E: ProbeExecutor + ?Sized> ProbeExecutor for Box<E> {
     }
     fn fallible(&self) -> bool {
         (**self).fallible()
+    }
+    fn descriptor(&self) -> String {
+        (**self).descriptor()
     }
 }
 
@@ -106,6 +118,9 @@ impl<E: ProbeExecutor> FaultModel for ExecutorModel<E> {
     }
     fn enabled(&self) -> bool {
         self.0.fallible()
+    }
+    fn descriptor(&self) -> String {
+        self.0.descriptor()
     }
 }
 
@@ -151,6 +166,9 @@ impl<F: FaultModel> ProbeExecutor for ReplayExecutor<F> {
     }
     fn fallible(&self) -> bool {
         self.fallible
+    }
+    fn descriptor(&self) -> String {
+        format!("replay({})", self.model.descriptor())
     }
 }
 
@@ -219,6 +237,14 @@ impl ProbeExecutor for TcpProbeExecutor {
 
     fn fallible(&self) -> bool {
         true
+    }
+
+    fn descriptor(&self) -> String {
+        format!(
+            "tcp(targets={:?},timeout_ms={})",
+            self.targets,
+            self.timeout.as_millis(),
+        )
     }
 }
 

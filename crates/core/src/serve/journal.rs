@@ -7,8 +7,9 @@
 //! the engine against the log:
 //!
 //! * a **header** record pins the journal format version and a
-//!   configuration fingerprint (instance dimensions, engine mode, executor
-//!   fallibility) so a recovery under different arguments fails loudly;
+//!   configuration fingerprint (instance content, policy spec, engine
+//!   mode, fault configuration, churn script, executor descriptor) so a
+//!   recovery under different arguments fails loudly;
 //! * one **frame** record per completed chronon carries the chronon's full
 //!   JSONL event block — which subsumes every nondeterministic input: probe
 //!   outcomes (`ProbeIssued`/`ProbeFailed` in attempt order), outage
@@ -25,9 +26,12 @@
 //! Records ride the checksummed framing of [`webmon_streams::record`]: a
 //! crash mid-append leaves a torn tail that the scanner detects (truncated
 //! extent or checksum failure on the final record) and cleanly discards —
-//! reported, never silently replayed. Damage strictly *before* the tail is
-//! a hard [`JournalError::Corrupt`]: acknowledged history must not be
-//! guessed around.
+//! reported, never silently replayed. Before the recovered run continues
+//! the journal, the discarded bytes are physically truncated
+//! ([`JournalWriter::append_to`]) so the continuation never appends after
+//! garbage. Damage strictly *before* the tail is a hard
+//! [`JournalError::Corrupt`]: acknowledged history must not be guessed
+//! around.
 //!
 //! Recovery ([`scan_journal`] → [`Recovery::plan`]) restores the latest
 //! snapshot, replays the frames after it through [`JournalExecutor`] /
@@ -160,6 +164,14 @@ pub enum JournalError {
     },
     /// The file has no (valid) header record.
     MissingHeader,
+    /// Replay consumed the journal differently than the recording — the
+    /// engine attempted more (or fewer) probes in a replayed chronon than
+    /// the frame recorded. The journal describes a different run; the
+    /// recovery's output must be discarded.
+    ReplayDivergence {
+        /// What diverged, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -178,6 +190,9 @@ impl fmt::Display for JournalError {
                 "journal fingerprint '{found}' does not match the serve configuration '{expected}'"
             ),
             JournalError::MissingHeader => write!(f, "journal has no valid header record"),
+            JournalError::ReplayDivergence { detail } => {
+                write!(f, "journal replay diverged from the recording: {detail}")
+            }
         }
     }
 }
@@ -283,13 +298,18 @@ impl JournalWriter {
     }
 
     /// Reopens an existing journal for append — recovery's continuation
-    /// path. Frames and snapshots at chronons `<= suppress_until` are
-    /// skipped (the recovered engine re-emits them, but they are already
-    /// on disk).
+    /// path. The file is first truncated to `valid_len` (the scan's
+    /// [`JournalScan::valid_len`]) so a discarded torn tail is physically
+    /// removed before anything is appended after it: continuing past the
+    /// garbage would make the next scan fail hard (valid records after
+    /// damage) or mistake the appended suffix for a larger tear. Frames
+    /// and snapshots at chronons `<= suppress_until` are skipped (the
+    /// recovered engine re-emits them, but they are already on disk).
     pub fn append_to(
         path: &Path,
         fsync: FsyncPolicy,
         suppress_until: Option<Chronon>,
+        valid_len: u64,
     ) -> Result<Self, JournalError> {
         let file = OpenOptions::new()
             .append(true)
@@ -298,6 +318,10 @@ impl JournalWriter {
                 path: path.display().to_string(),
                 detail: e.to_string(),
             })?;
+        file.set_len(valid_len).map_err(|e| JournalError::Io {
+            path: path.display().to_string(),
+            detail: format!("truncating torn tail to {valid_len} bytes: {e}"),
+        })?;
         Ok(JournalWriter {
             file: BufWriter::new(file),
             path: path.to_path_buf(),
@@ -560,6 +584,11 @@ pub struct JournalScan {
     pub live: Vec<(u64, Mutation)>,
     /// Report of a discarded torn tail (`None` for a clean file).
     pub torn_tail: Option<String>,
+    /// Byte length of the valid prefix: the whole file for a clean
+    /// journal, the torn record's start offset otherwise. A continuation
+    /// writer must truncate here before appending
+    /// ([`JournalWriter::append_to`]).
+    pub valid_len: u64,
 }
 
 impl JournalScan {
@@ -597,6 +626,7 @@ pub fn scan_journal(path: &Path) -> Result<JournalScan, JournalError> {
         snapshots: Vec::new(),
         live: Vec::new(),
         torn_tail: None,
+        valid_len: 0,
     };
     loop {
         let rec = match parse_record(&buf, offset) {
@@ -713,6 +743,9 @@ pub fn scan_journal(path: &Path) -> Result<JournalScan, JournalError> {
         }
         offset = rec.end;
     }
+    // `offset` stopped at the end of the last valid record — the file's
+    // length for a clean journal, the torn record's start otherwise.
+    scan.valid_len = offset as u64;
     if header.is_none() {
         return Err(JournalError::MissingHeader);
     }
@@ -753,6 +786,9 @@ pub struct Recovery {
     pub drained_seq: u64,
     /// Report of a discarded torn tail, forwarded from the scan.
     pub torn_tail: Option<String>,
+    /// Valid-prefix byte length, forwarded from the scan — the length the
+    /// continuation writer truncates the file to before appending.
+    pub valid_len: u64,
     /// Parsed frames for the replayed range `resume_at..=replay_until`.
     frames: Vec<(Chronon, ReplayFrame)>,
 }
@@ -828,6 +864,7 @@ impl Recovery {
             last_seq,
             drained_seq,
             torn_tail: scan.torn_tail.clone(),
+            valid_len: scan.valid_len,
             frames,
         })
     }
@@ -879,6 +916,7 @@ impl Recovery {
             replay_until: self.replay_until,
             now: 0,
             staged: VecDeque::new(),
+            diverged: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -913,6 +951,15 @@ type ExecutorFrame = (Vec<bool>, Vec<(u32, Option<Chronon>)>);
 /// the wrapped executor is stepped through every replayed chronon and
 /// attempt so its state is exact at the handover; a live network executor
 /// sets `sync_inner = false` and is not touched during replay.
+///
+/// If the engine consumes a replayed chronon differently than the frame
+/// recorded — more probes than outcomes, or staged outcomes left over —
+/// the replay has **diverged**: the journal describes a different run
+/// (the header fingerprint should have refused it, but the fingerprint is
+/// a hash, not the inputs themselves). Divergence is recorded on the
+/// shared [`divergence`](Self::divergence) cell — never a panic — and the
+/// driver surfaces it as a failed recovery whose output is discarded;
+/// probes past exhaustion report failure in the meantime.
 #[derive(Debug)]
 pub struct JournalExecutor<E> {
     inner: E,
@@ -922,16 +969,38 @@ pub struct JournalExecutor<E> {
     replay_until: Option<Chronon>,
     now: Chronon,
     staged: VecDeque<bool>,
+    diverged: Arc<Mutex<Option<String>>>,
 }
 
 impl<E> JournalExecutor<E> {
     fn replaying(&self, t: Chronon) -> bool {
         self.replay_until.is_some_and(|u| t <= u)
     }
+
+    /// The shared divergence cell: `Some(detail)` once replay has consumed
+    /// the journal differently than the recording. Clone the handle before
+    /// handing the executor to the engine and check it after the run.
+    pub fn divergence(&self) -> Arc<Mutex<Option<String>>> {
+        Arc::clone(&self.diverged)
+    }
+
+    fn mark_diverged(&self, detail: String) {
+        let mut cell = self.diverged.lock().unwrap();
+        if cell.is_none() {
+            *cell = Some(detail);
+        }
+    }
 }
 
 impl<E: ProbeExecutor> ProbeExecutor for JournalExecutor<E> {
     fn begin_chronon(&mut self, t: Chronon) {
+        if !self.staged.is_empty() {
+            self.mark_diverged(format!(
+                "{} recorded probe outcome(s) for chronon {} were never consumed",
+                self.staged.len(),
+                self.now,
+            ));
+        }
         self.now = t;
         if self.replaying(t) {
             if self.sync_inner {
@@ -962,9 +1031,13 @@ impl<E: ProbeExecutor> ProbeExecutor for JournalExecutor<E> {
             if self.sync_inner {
                 let _ = self.inner.probe(t, resource, attempt);
             }
-            self.staged
-                .pop_front()
-                .expect("journal frame exhausted mid-chronon: replay diverged from the recording")
+            self.staged.pop_front().unwrap_or_else(|| {
+                self.mark_diverged(format!(
+                    "frame {t} exhausted mid-chronon: the engine attempted more probes \
+                     than the journal recorded (next: {resource:?} attempt {attempt})",
+                ));
+                false
+            })
         } else {
             self.inner.probe(t, resource, attempt)
         }
@@ -972,6 +1045,10 @@ impl<E: ProbeExecutor> ProbeExecutor for JournalExecutor<E> {
 
     fn fallible(&self) -> bool {
         self.inner.fallible()
+    }
+
+    fn descriptor(&self) -> String {
+        self.inner.descriptor()
     }
 }
 
@@ -1077,12 +1154,92 @@ mod tests {
             let scan = scan_journal(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
             assert_eq!(scan.frames.len(), 1, "cut at {cut}");
             assert!(scan.torn_tail.is_some(), "cut at {cut} not reported");
+            assert_eq!(scan.valid_len, last.offset as u64, "cut at {cut}");
         }
         // Cutting exactly at the record boundary is a clean, shorter file.
         std::fs::write(&path, &full[..last.offset]).unwrap();
         let scan = scan_journal(&path).unwrap();
         assert_eq!(scan.frames.len(), 1);
         assert!(scan.torn_tail.is_none());
+        assert_eq!(scan.valid_len, last.offset as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_torn_tail_truncates_the_garbage() {
+        let path = temp_journal("truncate");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Os, "fp").unwrap();
+        w.frame(0, 0, &sample_lines(0));
+        w.frame(1, 0, &sample_lines(1));
+        w.finish();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        let clean = scan_journal(&path).unwrap();
+        assert_eq!(
+            clean.valid_len,
+            full.len() as u64,
+            "clean file: whole length"
+        );
+        let last = clean.frames.last().unwrap().clone();
+
+        // Tear the final record, then continue the journal exactly as a
+        // recovery does: truncate to the valid prefix, re-append from the
+        // first unjournaled chronon with the surviving prefix suppressed.
+        std::fs::write(&path, &full[..last.end - 3]).unwrap();
+        let torn = scan_journal(&path).unwrap();
+        assert!(torn.torn_tail.is_some());
+        assert_eq!(torn.valid_len, last.offset as u64);
+        let mut w =
+            JournalWriter::append_to(&path, FsyncPolicy::Os, Some(0), torn.valid_len).unwrap();
+        w.frame(0, 0, &sample_lines(0)); // suppressed: already on disk
+        w.frame(1, 0, &sample_lines(1));
+        w.frame(2, 0, &sample_lines(2));
+        w.finish();
+        assert!(w.errors().is_empty(), "{:?}", w.errors());
+        drop(w);
+
+        // The continued journal is whole again: contiguous frames, no torn
+        // bytes left behind the appended records, nothing discarded.
+        let rescan = scan_journal(&path).unwrap();
+        assert_eq!(rescan.frames.len(), 3);
+        assert!(rescan.torn_tail.is_none(), "{:?}", rescan.torn_tail);
+        assert_eq!(rescan.frames[1].offset as u64, torn.valid_len);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_divergence_is_reported_not_a_panic() {
+        use crate::serve::executor::ReplayExecutor;
+
+        let path = temp_journal("diverge");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Os, "fp").unwrap();
+        let issued = serde_json::to_string(&Event::ProbeIssued {
+            t: 0,
+            resource: ResourceId(0),
+            cost: 1,
+            shared_eis: 1,
+        })
+        .unwrap();
+        w.frame(0, 0, &format!("{issued}\n"));
+        w.finish();
+        drop(w);
+
+        let rec = Recovery::plan(&scan_journal(&path).unwrap()).unwrap();
+        let mut exec = rec.executor(ReplayExecutor::faultless(), 1, true);
+        let divergence = exec.divergence();
+        exec.begin_chronon(0);
+        assert!(exec.probe(0, ResourceId(0), 0), "recorded outcome replays");
+        assert!(divergence.lock().unwrap().is_none());
+        // A second attempt has no recorded outcome: the divergence is
+        // flagged on the shared cell and the probe reports failure — the
+        // run ends with a structured error, never a panic.
+        assert!(!exec.probe(0, ResourceId(0), 1));
+        let detail = divergence
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("divergence flagged");
+        assert!(detail.contains("frame 0"), "{detail}");
         std::fs::remove_file(&path).ok();
     }
 

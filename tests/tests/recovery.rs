@@ -25,7 +25,7 @@ use webmon_core::engine::{
     EngineConfig, MutationQueue, OnlineEngine, RunResult, ScriptedMutations,
 };
 use webmon_core::fault::{Backoff, FaultConfig, IidFaults, NoFaults};
-use webmon_core::model::Instance;
+use webmon_core::model::{Budget, Instance};
 use webmon_core::obs::{JsonlTraceObserver, MetricsObserver, RunMetrics, Tee};
 use webmon_core::policy::{MEdf, Mrsf, Policy, SEdf, Wic};
 use webmon_core::serve::journal::{scan_journal, JOURNAL_FILE};
@@ -230,6 +230,12 @@ fn check_kill_resume(case: &Case, kill_rng: &mut SimRng, kills: usize) {
             "{}: continued journal has every frame",
             case.label
         );
+        assert!(
+            rescan.torn_tail.is_none(),
+            "{}: continued journal must have no tear: {:?}",
+            case.label,
+            rescan.torn_tail
+        );
         std::fs::remove_dir_all(&rdir).ok();
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -426,6 +432,22 @@ fn recovery_from_a_torn_tail_is_still_identical() {
         assert!(pre.torn_tail.is_some(), "{tag}: tear must be reported");
         let recovered = daemon_journaled(&case, &rdir, true);
         assert_identical(&format!("torn-tail recovery ({tag})"), &sim, &recovered);
+        // The torn bytes were truncated before the continuation appended:
+        // the continued journal is complete and cleanly scannable, so a
+        // *second* crash recovers too instead of hitting garbage between
+        // the old prefix and the appended records.
+        let rescan = scan_journal(&rdir.join(JOURNAL_FILE))
+            .unwrap_or_else(|e| panic!("{tag}: continued journal must scan cleanly: {e}"));
+        assert_eq!(
+            rescan.frames.len(),
+            case.instance.epoch.len() as usize,
+            "{tag}: continued journal has every frame"
+        );
+        assert!(
+            rescan.torn_tail.is_none(),
+            "{tag}: no residual tear: {:?}",
+            rescan.torn_tail
+        );
         std::fs::remove_dir_all(&rdir).ok();
     }
 }
@@ -531,6 +553,76 @@ fn cross_configuration_recovery_is_refused_by_fingerprint() {
         "policy mismatch must be refused: {err}"
     );
     std::fs::remove_dir_all(&rdir).ok();
+}
+
+/// The fingerprint covers run **content**, not just shape: recovery with a
+/// same-shaped but different instance, fault script, or churn script is
+/// refused up front by the header check — it would otherwise pass the
+/// dimension comparison and then diverge mid-replay.
+#[test]
+fn same_shape_different_content_is_refused_by_fingerprint() {
+    fn refuse(journal_bytes: &[u8], case: &Case, what: &str) {
+        let rdir = temp_dir("content");
+        std::fs::write(rdir.join(JOURNAL_FILE), journal_bytes).unwrap();
+        let opts = ServeOptions {
+            trace_out: None,
+            journal: Some(journal_config(&rdir)),
+            recover: true,
+            resync_executor: true,
+        };
+        let err = Daemon::bind("127.0.0.1:0")
+            .unwrap()
+            .run_with(case.session(), case.executor(), |_| FreeClock, opts)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "{what}: must be refused by fingerprint: {err}"
+        );
+        std::fs::remove_dir_all(&rdir).ok();
+    }
+
+    // Same dimensions, different instance content: only the budget differs.
+    let case = simple_case(14);
+    let (bytes, _) = completed_journal(&case);
+    let mut imposter = simple_case(14);
+    imposter.instance.budget = Budget::Uniform(imposter.instance.budget.at(0) + 1);
+    refuse(&bytes, &imposter, "instance content");
+
+    // Identical shape, different fault seed behind the executor.
+    let faulted = |seed| Case {
+        label: format!("faulted seed {seed}"),
+        instance: small_instance(3, false),
+        make_policy: || Box::new(MEdf),
+        config: EngineConfig::preemptive(),
+        fault_config: FaultConfig::charged().with_backoff(Backoff::new(1, 8)),
+        fault: Some((0.4, seed)),
+        queue: MutationQueue::new(),
+    };
+    let (bytes, _) = completed_journal(&faulted(77));
+    refuse(&bytes, &faulted(78), "fault seed");
+
+    // Same instance, different churn script.
+    let instance = small_instance(5, false);
+    let churn = ChurnConfig::new(0.4, 0.3).with_reconfigurations(2);
+    let queue = overlay(&instance, &churn, &SimRng::new(0xC0DE));
+    assert!(!queue.is_empty(), "churn overlay must script something");
+    let churned = Case {
+        label: "churned donor".into(),
+        instance: instance.clone(),
+        make_policy: || Box::new(MEdf),
+        config: EngineConfig::preemptive(),
+        fault_config: FaultConfig::default(),
+        fault: None,
+        queue,
+    };
+    let (bytes, _) = completed_journal(&churned);
+    let unchurned = Case::faultless(
+        "unchurned imposter".into(),
+        instance,
+        || Box::new(MEdf),
+        EngineConfig::preemptive(),
+    );
+    refuse(&bytes, &unchurned, "churn script");
 }
 
 /// An empty journal file (zero bytes — creat() succeeded, nothing was
