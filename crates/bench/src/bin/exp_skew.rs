@@ -1,0 +1,27 @@
+//! Prints the skewed-workload degradation tables (temporal burstiness and
+//! placement skew). Pass `--quick` for a fast smoke run; `--out PATH`
+//! writes the tables as a Report JSON artifact.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    webmon_bench::jobs_from_args();
+    let scale = webmon_bench::Scale::from_args();
+    let tables = webmon_bench::skew::run(scale);
+    webmon_bench::print_tables(&tables);
+
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+    {
+        let report = webmon_sim::Report::from_tables(tables);
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

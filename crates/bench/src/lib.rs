@@ -24,6 +24,7 @@
 //! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
 //! | [`extensions`] | §III/§VII future-work extensions: utilities, thresholds, probe costs |
 //! | [`faults`] | Robustness — completeness under fault-injected probing (not in the paper) |
+//! | [`skew`] | Skewed workloads — degradation under bursty updates and placement skew (not in the paper) |
 //!
 //! [`scale`] is not a paper artifact either: it is the engine scaling
 //! benchmark (`exp_scale`), sweeping instance size × policies × selection
@@ -51,6 +52,7 @@ pub mod fig15;
 pub mod metrics;
 pub mod runtime_offline;
 pub mod scale;
+pub mod skew;
 pub mod table1;
 
 use webmon_sim::Table;

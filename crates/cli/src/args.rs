@@ -53,8 +53,9 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses an iterator of arguments (excluding the program name).
     ///
-    /// `--key value` becomes an option; `--key` followed by another `--…` or
-    /// nothing becomes a flag; the first bare token is the subcommand.
+    /// `--key value` and `--key=value` become options; `--key` followed by
+    /// another `--…` or nothing becomes a flag; the first bare token is the
+    /// subcommand.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
         let mut it = args.into_iter().peekable();
         let mut command = None;
@@ -63,6 +64,18 @@ impl Args {
 
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
+                // `--key=value` carries its value inline. Without this arm
+                // the whole token used to parse as a *flag* named
+                // `key=value`, silently dropping the value (so e.g.
+                // `--churn-alpha=-2` was accepted and ignored).
+                if let Some((key, value)) = key.split_once('=') {
+                    if options.insert(key.to_string(), value.to_string()).is_some()
+                        || flags.contains(&key.to_string())
+                    {
+                        return Err(ArgError::Duplicate(key.to_string()));
+                    }
+                    continue;
+                }
                 // `next_if` both tests and consumes the value token, so there
                 // is no peek-then-unwrap window to go wrong.
                 if let Some(value) = it.next_if(|next| !next.starts_with("--")) {
@@ -162,6 +175,26 @@ mod tests {
         assert_eq!(a.get_parsed("missing", 7u32, "an integer").unwrap(), 7);
         let bad = parse(&["run", "--budget", "x"]).unwrap();
         assert!(bad.get_parsed("budget", 1u32, "an integer").is_err());
+    }
+
+    #[test]
+    fn equals_form_carries_the_value() {
+        let a = parse(&["run", "--churn-alpha=-2", "--lambda=20"]).unwrap();
+        assert_eq!(a.get("churn-alpha"), Some("-2"));
+        assert_eq!(a.get("lambda"), Some("20"));
+        assert!(!a.flag("churn-alpha=-2"));
+        // An empty value is still a value, not a flag.
+        let a = parse(&["run", "--out="]).unwrap();
+        assert_eq!(a.get("out"), Some(""));
+        // Duplicates across both forms are rejected.
+        assert_eq!(
+            parse(&["run", "--x=1", "--x", "2"]),
+            Err(ArgError::Duplicate("x".into()))
+        );
+        assert_eq!(
+            parse(&["run", "--x", "--x=2"]),
+            Err(ArgError::Duplicate("x".into()))
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use webmon_streams::auction::AuctionTraceConfig;
 use webmon_streams::fpn::FpnModel;
 use webmon_streams::news::NewsTraceConfig;
 use webmon_streams::rng::SimRng;
-use webmon_workload::{EiLength, RankSpec, WorkloadConfig};
+use webmon_workload::{EiLength, RankSpec, WorkloadConfig, WorkloadSpec};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -28,7 +28,7 @@ USAGE:
 
 COMMANDS:
     run          Run one monitoring experiment and print the policy table
-    sweep        Sweep one parameter (budget | lambda | alpha | rank)
+    sweep        Sweep one parameter (budget | lambda | alpha | skew-alpha | rank)
     trace        Generate a trace and print its statistics
     serve        Run the engine as a monitoring daemon on a local socket
     experiments  Run the full paper experiment suite (all figures/tables)
@@ -51,8 +51,19 @@ COMMON OPTIONS (run / sweep):
     --reps <u32>                   repetitions                [5]
     --seed <u64>                   master seed                [1234]
 
+RUN OPTIONS:
+    --workload-spec <path>         build the experiment from a declarative
+                                   WorkloadSpec JSON file (skewed placement,
+                                   hot-key classes, bursty updates) instead
+                                   of the flags above
+    --offline-lr                   also run the offline Local-Ratio baseline;
+                                   infeasible instances (threshold CEIs,
+                                   expansion over the cap) exit 2 with a
+                                   diagnostic
+
 SWEEP OPTIONS:
-    --param budget|lambda|alpha|rank|fault-rate   swept parameter [budget]
+    --param budget|lambda|alpha|skew-alpha|rank|fault-rate
+                                   swept parameter [budget]
 
 FAULT INJECTION (run; sweep --param fault-rate):
     --fault-rate <f64>             enable faults: per-probe failure (iid)
@@ -192,6 +203,21 @@ fn require_positive(key: &'static str, value: u32) -> Result<u32, ArgError> {
     Ok(value)
 }
 
+/// Parses a Zipf-style skew exponent, rejecting non-finite or negative
+/// values with a structured error instead of letting them reach
+/// `Zipf::new`'s panic deep in workload generation.
+fn skew_exponent(args: &Args, key: &'static str, default: f64) -> Result<f64, ArgError> {
+    let v: f64 = args.get_parsed(key, default, "a number")?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(ArgError::BadValue {
+            key: key.to_string(),
+            value: args.get(key).unwrap_or_default().to_string(),
+            expected: "a finite non-negative exponent",
+        });
+    }
+    Ok(v)
+}
+
 /// Builds an `ExperimentConfig` from common options.
 fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
     let n_resources = require_positive(
@@ -201,7 +227,7 @@ fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
     let horizon = require_positive("horizon", args.get_parsed("horizon", 1000, "an integer")?)?;
     let lambda: f64 = args.get_parsed("lambda", 20.0, "a number")?;
     let rank: u16 = args.get_parsed("rank", 5, "an integer")?;
-    let beta: f64 = args.get_parsed("beta", 0.0, "a number")?;
+    let beta = skew_exponent(args, "beta", 0.0)?;
 
     let trace = match args.get("trace").unwrap_or("poisson") {
         "auction" => TraceSpec::Auction(AuctionTraceConfig::scaled(n_resources, horizon)),
@@ -234,7 +260,7 @@ fn config_from(args: &Args) -> Result<ExperimentConfig, ArgError> {
             } else {
                 RankSpec::UpTo { k: rank, beta }
             },
-            resource_alpha: args.get_parsed("alpha", 0.3, "a number")?,
+            resource_alpha: skew_exponent(args, "alpha", 0.3)?,
             length,
             distinct_resources: true,
             max_ceis: None,
@@ -321,6 +347,9 @@ const DEFAULT_CHURN_SEED: u64 = 0xC0DE;
 /// `--churn-arrivals` and/or `--churn-cancels`; without either, the other
 /// churn flags are ignored and the run is the static-profile fast path.
 fn churn_from(args: &Args) -> Result<Option<ChurnSpec>, ArgError> {
+    // Validate the skew exponent even when churn stays off: a malformed
+    // `--churn-alpha` must be a structured error, never silently ignored.
+    let churn_alpha = skew_exponent(args, "churn-alpha", 0.0)?;
     if args.get("churn-arrivals").is_none() && args.get("churn-cancels").is_none() {
         return Ok(None);
     }
@@ -337,7 +366,7 @@ fn churn_from(args: &Args) -> Result<Option<ChurnSpec>, ArgError> {
         *slot = rate;
     }
     let config = webmon_workload::ChurnConfig::new(rates[0], rates[1])
-        .with_alpha(args.get_parsed("churn-alpha", 0.0, "a number")?)
+        .with_alpha(churn_alpha)
         .with_max_delay(args.get_parsed("churn-delay", 4, "an integer")?)
         .with_reconfigurations(args.get_parsed("churn-budget-changes", 0, "an integer")?);
     Ok(Some(ChurnSpec {
@@ -450,17 +479,45 @@ fn write_trace(
     Ok(total)
 }
 
+/// Materializes the experiment of a `--workload-spec <file>` run: read the
+/// file, parse the declarative [`WorkloadSpec`], materialize. Every failure
+/// is a diagnostic string for exit code 2 — never a panic.
+fn experiment_from_spec_file(path: &str) -> Result<Experiment, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read workload spec {path}: {e}"))?;
+    let spec = WorkloadSpec::from_json(&raw).map_err(|e| e.to_string())?;
+    Experiment::materialize_spec(&spec).map_err(|e| e.to_string())
+}
+
 fn cmd_run(args: &Args) -> Result<i32, ArgError> {
-    let cfg = config_from(args)?;
     let fault = fault_from(args)?;
     let churn = churn_from(args)?;
-    let exp = Experiment::materialize(cfg);
+    let exp = match args.get("workload-spec") {
+        Some(path) => match experiment_from_spec_file(path) {
+            Ok(exp) => exp,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return Ok(2);
+            }
+        },
+        None => Experiment::materialize(config_from(args)?),
+    };
     let roster = PolicySpec::paper_roster();
-    let aggregates = match (churn, fault) {
+    let mut aggregates = match (churn, fault) {
         (Some(c), f) => exp.run_roster_churned(&roster, c, f),
         (None, Some(f)) => exp.run_roster_faulted(&roster, f),
         (None, None) => exp.run_roster(&roster),
     };
+    if args.flag("offline-lr") {
+        use webmon_core::offline::LocalRatioConfig;
+        match exp.try_run_local_ratio(LocalRatioConfig::default()) {
+            Ok(agg) => aggregates.push(agg),
+            Err(e) => {
+                eprintln!("error: offline Local-Ratio baseline is infeasible: {e}");
+                return Ok(2);
+            }
+        }
+    }
 
     if let Some(path) = args.get("metrics") {
         let doc = metrics_doc(&exp, &aggregates);
@@ -567,6 +624,16 @@ fn cmd_sweep(args: &Args) -> Result<i32, ArgError> {
         "alpha" => [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
             .map(|&a| {
+                let mut c = base.clone();
+                c.workload.resource_alpha = a;
+                (format!("{a}"), c)
+            })
+            .collect(),
+        // The skewed-workload ladder: uniform through the Table-I baseline
+        // to the paper's α = 1.37 Web-feed estimate.
+        "skew-alpha" => webmon_sim::alpha_ladder()
+            .into_iter()
+            .map(|a| {
                 let mut c = base.clone();
                 c.workload.resource_alpha = a;
                 (format!("{a}"), c)
@@ -1105,6 +1172,7 @@ fn suite() -> Vec<(&'static str, Runner)> {
         ("Ablations", webmon_bench::ablations::run),
         ("Extensions", webmon_bench::extensions::run),
         ("Robustness", webmon_bench::faults::run),
+        ("Skewed workloads", webmon_bench::skew::run),
     ]
 }
 
@@ -1165,7 +1233,7 @@ mod tests {
 
     #[test]
     fn suite_covers_all_artifacts() {
-        assert_eq!(suite().len(), 12);
+        assert_eq!(suite().len(), 13);
     }
 
     #[test]
@@ -1315,6 +1383,151 @@ mod tests {
                 "{toks:?}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn negative_or_nonfinite_skew_exponents_are_rejected() {
+        // Regression: these used to slip through `get_parsed` and panic in
+        // `Zipf::new` deep inside workload generation (or, with churn off,
+        // be silently accepted).
+        for (build, toks, key) in [
+            (
+                config_from as fn(&Args) -> Result<ExperimentConfig, ArgError>,
+                vec!["run", "--alpha", "-2"],
+                "alpha",
+            ),
+            (config_from, vec!["run", "--alpha", "inf"], "alpha"),
+            (config_from, vec!["run", "--alpha", "NaN"], "alpha"),
+            (config_from, vec!["run", "--beta", "-0.5"], "beta"),
+        ] {
+            let err = build(&parse(&toks)).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { key: ref k, .. } if k == key),
+                "{toks:?}: {err:?}"
+            );
+        }
+        // --churn-alpha is validated even when churn itself stays off.
+        for toks in [
+            vec!["run", "--churn-alpha", "-2"],
+            vec!["run", "--churn-alpha=-2"],
+            vec!["run", "--churn-arrivals", "0.1", "--churn-alpha", "-2"],
+        ] {
+            let err = churn_from(&parse(&toks)).unwrap_err();
+            assert!(
+                matches!(err, ArgError::BadValue { key: ref k, .. } if k == "churn-alpha"),
+                "{toks:?}: {err:?}"
+            );
+        }
+        // A valid exponent still builds the spec.
+        let c = churn_from(&parse(&[
+            "run",
+            "--churn-arrivals",
+            "0.1",
+            "--churn-alpha",
+            "1.37",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(c.config.resource_alpha, 1.37);
+    }
+
+    #[test]
+    fn workload_spec_runs_and_rejects_structurally() {
+        // A missing file is a diagnostic + exit 2, not a panic.
+        assert_eq!(
+            cmd_run(&parse(&[
+                "run",
+                "--workload-spec",
+                "/nonexistent/spec.json"
+            ]))
+            .unwrap(),
+            2
+        );
+        // Malformed JSON likewise.
+        let dir = std::env::temp_dir();
+        let bad = dir.join("webmon_cli_bad_spec.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        assert_eq!(
+            cmd_run(&parse(&["run", "--workload-spec", bad.to_str().unwrap()])).unwrap(),
+            2
+        );
+        std::fs::remove_file(&bad).ok();
+        // A valid spec runs end to end.
+        let mut spec = WorkloadSpec::paper_baseline();
+        spec.resources = 30;
+        spec.horizon = 100;
+        spec.profiles = 6;
+        spec.repetitions = 1;
+        let good = dir.join("webmon_cli_good_spec.json");
+        std::fs::write(&good, spec.to_json()).unwrap();
+        assert_eq!(
+            cmd_run(&parse(&["run", "--workload-spec", good.to_str().unwrap()])).unwrap(),
+            0
+        );
+        std::fs::remove_file(&good).ok();
+    }
+
+    #[test]
+    fn offline_lr_on_a_threshold_instance_is_exit_2() {
+        // The acceptance check: a threshold-semantics CEI through the
+        // offline baseline is a structured diagnostic, not a panic.
+        let mut spec = WorkloadSpec::paper_baseline();
+        spec.resources = 30;
+        spec.horizon = 100;
+        spec.profiles = 8;
+        spec.repetitions = 1;
+        spec.length = EiLength::Window(0);
+        let dir = std::env::temp_dir();
+
+        let ok = dir.join("webmon_cli_lr_and_spec.json");
+        std::fs::write(&ok, spec.to_json()).unwrap();
+        assert_eq!(
+            cmd_run(&parse(&[
+                "run",
+                "--offline-lr",
+                "--workload-spec",
+                ok.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            0
+        );
+        std::fs::remove_file(&ok).ok();
+
+        let threshold = spec.with_required_fraction(0.5);
+        let bad = dir.join("webmon_cli_lr_threshold_spec.json");
+        std::fs::write(&bad, threshold.to_json()).unwrap();
+        assert_eq!(
+            cmd_run(&parse(&[
+                "run",
+                "--offline-lr",
+                "--workload-spec",
+                bad.to_str().unwrap(),
+            ]))
+            .unwrap(),
+            2
+        );
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn sweep_walks_the_skew_alpha_ladder() {
+        let code = cmd_sweep(&parse(&[
+            "sweep",
+            "--param",
+            "skew-alpha",
+            "--resources",
+            "20",
+            "--horizon",
+            "60",
+            "--profiles",
+            "4",
+            "--rank",
+            "2",
+            "--reps",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
     }
 
     #[test]

@@ -56,16 +56,26 @@ pub struct Cei {
     pub weight: f32,
 }
 
+/// AND-semantics default for `required`: the EI count, with an explicit
+/// guard instead of a silent `as u16` truncation (a 65536-EI CEI would
+/// otherwise wrap to `required = 0` and break capture accounting).
+fn checked_required(eis: &[Ei]) -> u16 {
+    u16::try_from(eis.len())
+        .unwrap_or_else(|_| panic!("a CEI holds at most {} EIs (got {})", u16::MAX, eis.len()))
+}
+
 impl Cei {
     /// Creates an AND-semantics, unit-weight CEI releasing at the start of
     /// its earliest EI.
     ///
     /// # Panics
-    /// Panics if `eis` is empty — a CEI must contain at least one EI.
+    /// Panics if `eis` is empty — a CEI must contain at least one EI — or
+    /// holds more than `u16::MAX` EIs (the `required` counter is a `u16`;
+    /// silently truncating would corrupt the AND semantics).
     pub fn new(id: CeiId, profile: ProfileId, eis: Vec<Ei>) -> Self {
         assert!(!eis.is_empty(), "a CEI must contain at least one EI");
         let release = eis.iter().map(|i| i.start).min().expect("non-empty");
-        let required = eis.len() as u16;
+        let required = checked_required(&eis);
         Cei {
             id,
             profile,
@@ -79,9 +89,10 @@ impl Cei {
     /// Creates a CEI with an explicit release chronon.
     ///
     /// # Panics
-    /// Panics if `eis` is empty or if `release` is later than the earliest EI
-    /// start (a CEI the proxy learns about only after one of its windows has
-    /// opened could never be captured reliably; clamp upstream instead).
+    /// Panics if `eis` is empty or holds more than `u16::MAX` EIs, or if
+    /// `release` is later than the earliest EI start (a CEI the proxy
+    /// learns about only after one of its windows has opened could never be
+    /// captured reliably; clamp upstream instead).
     pub fn with_release(id: CeiId, profile: ProfileId, release: Chronon, eis: Vec<Ei>) -> Self {
         assert!(!eis.is_empty(), "a CEI must contain at least one EI");
         let earliest = eis.iter().map(|i| i.start).min().expect("non-empty");
@@ -89,7 +100,7 @@ impl Cei {
             release <= earliest,
             "release chronon {release} is after the earliest EI start {earliest}"
         );
-        let required = eis.len() as u16;
+        let required = checked_required(&eis);
         Cei {
             id,
             profile,
@@ -234,6 +245,21 @@ mod tests {
     #[should_panic(expected = "at least one EI")]
     fn empty_cei_rejected() {
         let _ = cei(vec![]);
+    }
+
+    #[test]
+    fn required_counts_up_to_u16_max_eis() {
+        let eis: Vec<Ei> = (0..u32::from(u16::MAX)).map(|_| ei(0, 0, 1)).collect();
+        let c = cei(eis);
+        assert_eq!(c.required, u16::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "a CEI holds at most 65535 EIs")]
+    fn oversized_cei_rejected_not_truncated() {
+        // 65536 EIs would silently wrap `required` to 0 under `as u16`.
+        let eis: Vec<Ei> = (0..=u32::from(u16::MAX)).map(|_| ei(0, 0, 1)).collect();
+        let _ = cei(eis);
     }
 
     #[test]

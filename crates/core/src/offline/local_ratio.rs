@@ -562,6 +562,9 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert_eq!(err.cap, 10);
+        assert!(
+            matches!(err, ExpansionError::CapExceeded { cap: 10, .. }),
+            "got {err:?}"
+        );
     }
 }

@@ -38,37 +38,60 @@ impl UnitExpansion {
     }
 }
 
-/// Expansion failed: the combination product exceeds the cap.
+/// Expansion failed. Both variants are structured so CLI and bench call
+/// sites can surface a diagnostic instead of panicking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExpansionError {
-    /// The CEI whose expansion overflowed the cap.
-    pub cei: CeiId,
-    /// Number of expanded CEIs accumulated when the cap was hit.
-    pub reached: usize,
-    /// The configured cap.
-    pub cap: usize,
+pub enum ExpansionError {
+    /// The combination product exceeds the cap.
+    CapExceeded {
+        /// The CEI whose expansion overflowed the cap.
+        cei: CeiId,
+        /// Number of expanded CEIs accumulated when the cap was hit.
+        reached: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A threshold-semantics CEI (`required < |η|`) cannot be expanded: the
+    /// combination construction realizes AND semantics only, and silently
+    /// treating a threshold CEI as AND would understate the offline
+    /// baseline.
+    ThresholdSemantics {
+        /// The offending CEI.
+        cei: CeiId,
+        /// Its satisfaction threshold.
+        required: u16,
+        /// Its EI count `|η|`.
+        size: usize,
+    },
 }
 
 impl fmt::Display for ExpansionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "P^[1] expansion of {} exceeds cap of {} CEIs (reached {})",
-            self.cei, self.cap, self.reached
-        )
+        match self {
+            ExpansionError::CapExceeded { cei, reached, cap } => write!(
+                f,
+                "P^[1] expansion of {cei} exceeds cap of {cap} CEIs (reached {reached})"
+            ),
+            ExpansionError::ThresholdSemantics {
+                cei,
+                required,
+                size,
+            } => write!(
+                f,
+                "{cei}: Prop. 5 expansion requires AND semantics \
+                 (required {required} < size {size})"
+            ),
+        }
     }
 }
 
 impl std::error::Error for ExpansionError {}
 
 /// Expands `instance` into the `P^[1]` class per Prop. 5, capping the total
-/// number of expanded CEIs at `max_ceis`.
-///
-/// # Panics
-/// Panics on threshold-semantics CEIs (`required < |η|`): the combination
-/// construction realizes AND semantics only, and silently treating a
-/// threshold CEI as AND would understate the offline baseline. (Weights are
-/// carried through to the combinations.)
+/// number of expanded CEIs at `max_ceis`. Threshold-semantics CEIs
+/// (`required < |η|`) yield [`ExpansionError::ThresholdSemantics`] — the
+/// construction realizes AND semantics only. (Weights are carried through
+/// to the combinations.)
 pub fn expand_to_unit(
     instance: &Instance,
     max_ceis: usize,
@@ -82,20 +105,20 @@ pub fn expand_to_unit(
         .collect();
 
     for cei in &instance.ceis {
-        assert!(
-            usize::from(cei.required) == cei.size(),
-            "{}: Prop. 5 expansion requires AND semantics (required {} < size {})",
-            cei.id,
-            cei.required,
-            cei.size()
-        );
+        if usize::from(cei.required) != cei.size() {
+            return Err(ExpansionError::ThresholdSemantics {
+                cei: cei.id,
+                required: cei.required,
+                size: cei.size(),
+            });
+        }
         // Iterate the Cartesian product of per-EI chronon choices with a
         // mixed-radix counter.
         let k = cei.size();
         let mut choice: Vec<u32> = vec![0; k]; // offset within each EI
         loop {
             if ceis.len() >= max_ceis {
-                return Err(ExpansionError {
+                return Err(ExpansionError::CapExceeded {
                     cei: cei.id,
                     reached: ceis.len(),
                     cap: max_ceis,
@@ -211,8 +234,32 @@ mod tests {
         b.cei(p, &[(0, 0, 9), (1, 10, 19), (2, 20, 29)]);
         let inst = b.build();
         let err = expand_to_unit(&inst, 100).unwrap_err();
-        assert_eq!(err.cap, 100);
-        assert_eq!(err.cei, CeiId(0));
+        match err {
+            ExpansionError::CapExceeded { cei, cap, .. } => {
+                assert_eq!(cap, 100);
+                assert_eq!(cei, CeiId(0));
+            }
+            other => panic!("expected CapExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_cei_is_a_structured_error_not_a_panic() {
+        let mut b = InstanceBuilder::new(2, 10, Budget::Uniform(1));
+        let p = b.profile();
+        b.cei(p, &[(0, 0, 1), (1, 4, 5)]);
+        let mut inst = b.build();
+        inst.ceis[0] = inst.ceis[0].clone().with_required(1);
+        let err = expand_to_unit(&inst, 1000).unwrap_err();
+        assert_eq!(
+            err,
+            ExpansionError::ThresholdSemantics {
+                cei: CeiId(0),
+                required: 1,
+                size: 2,
+            }
+        );
+        assert!(err.to_string().contains("AND semantics"));
     }
 
     #[test]

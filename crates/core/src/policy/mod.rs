@@ -172,7 +172,7 @@ pub(crate) mod test_util {
                 eis,
                 captured,
                 n_captured: captured.iter().filter(|&&c| c).count() as u16,
-                required: eis.len() as u16,
+                required: u16::try_from(eis.len()).expect("test CEIs stay u16-sized"),
                 weight: 1.0,
                 profile_rank,
             },

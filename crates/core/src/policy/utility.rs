@@ -57,9 +57,9 @@ mod tests {
                 eis,
                 captured: &captured,
                 n_captured: 0,
-                required: eis.len() as u16,
+                required: u16::try_from(eis.len()).expect("test CEIs stay u16-sized"),
                 weight,
-                profile_rank: eis.len() as u16,
+                profile_rank: u16::try_from(eis.len()).expect("test CEIs stay u16-sized"),
             },
         };
         policy.score(&data.ctx(), &cand)

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use webmon_core::model::Chronon;
 use webmon_streams::auction::{AuctionTrace, AuctionTraceConfig};
+use webmon_streams::bursty::{DiurnalConfig, ParetoBurstConfig, UpdateModel};
 use webmon_streams::fitted::{PoissonFittedModel, PrefixFittedModel};
 use webmon_streams::fpn::{FpnModel, NoisyTrace};
 use webmon_streams::news::NewsTraceConfig;
@@ -24,11 +25,19 @@ pub enum TraceSpec {
     Auction(AuctionTraceConfig),
     /// Synthetic RSS news-feed trace.
     News(NewsTraceConfig),
+    /// Diurnal on/off Poisson stream: the epoch mean is preserved, but
+    /// updates concentrate in the on-phase of each period (office-hours
+    /// burstiness).
+    Diurnal(DiurnalConfig),
+    /// Pareto-burst renewal stream: heavy-tailed interarrivals at the same
+    /// epoch mean as the matching Poisson source.
+    ParetoBurst(ParetoBurstConfig),
 }
 
 impl TraceSpec {
-    /// Generates the trace. `n_resources`/`horizon` apply to the Poisson
-    /// source; auction and news sources carry their own dimensions.
+    /// Generates the trace. `n_resources`/`horizon` apply to the synthetic
+    /// per-resource sources (Poisson, diurnal, Pareto-burst); auction and
+    /// news sources carry their own dimensions.
     pub fn generate(&self, n_resources: u32, horizon: Chronon, rng: &SimRng) -> UpdateTrace {
         match self {
             TraceSpec::Poisson { lambda } => {
@@ -36,15 +45,30 @@ impl TraceSpec {
             }
             TraceSpec::Auction(cfg) => AuctionTrace::generate(cfg, rng).trace,
             TraceSpec::News(cfg) => cfg.generate(rng),
+            TraceSpec::Diurnal(cfg) => cfg.sample_trace(n_resources, horizon, rng),
+            TraceSpec::ParetoBurst(cfg) => cfg.sample_trace(n_resources, horizon, rng),
         }
     }
 
     /// The number of resources this spec will produce.
     pub fn n_resources(&self, default_n: u32) -> u32 {
         match self {
-            TraceSpec::Poisson { .. } => default_n,
+            TraceSpec::Poisson { .. } | TraceSpec::Diurnal(_) | TraceSpec::ParetoBurst(_) => {
+                default_n
+            }
             TraceSpec::Auction(cfg) => cfg.n_auctions,
             TraceSpec::News(cfg) => cfg.n_feeds,
+        }
+    }
+
+    /// Lifts a declarative [`UpdateModel`] into the trace source it denotes.
+    /// The mapping is exact: the Poisson arm reproduces the legacy
+    /// [`TraceSpec::Poisson`] stream byte-for-byte.
+    pub fn from_update_model(model: &UpdateModel) -> Self {
+        match model {
+            UpdateModel::Poisson { lambda } => TraceSpec::Poisson { lambda: *lambda },
+            UpdateModel::Diurnal(cfg) => TraceSpec::Diurnal(*cfg),
+            UpdateModel::ParetoBurst(cfg) => TraceSpec::ParetoBurst(*cfg),
         }
     }
 }
@@ -162,6 +186,58 @@ mod tests {
         assert_eq!(spec.n_resources(0), 20);
         let t = spec.generate(0, 1000, &SimRng::new(3));
         assert_eq!(t.n_resources(), 20);
+    }
+
+    #[test]
+    fn bursty_specs_generate_requested_dimensions() {
+        let d = TraceSpec::Diurnal(DiurnalConfig {
+            rate_per_epoch: 10.0,
+            period: 50,
+            duty: 0.5,
+            night_level: 0.1,
+        });
+        let t = d.generate(8, 200, &SimRng::new(7));
+        assert_eq!((t.n_resources(), t.horizon()), (8, 200));
+        assert_eq!(d.n_resources(8), 8);
+
+        let p = TraceSpec::ParetoBurst(ParetoBurstConfig {
+            rate_per_epoch: 10.0,
+            shape: 1.5,
+        });
+        let t = p.generate(8, 200, &SimRng::new(7));
+        assert_eq!((t.n_resources(), t.horizon()), (8, 200));
+        assert_eq!(p.n_resources(8), 8);
+    }
+
+    #[test]
+    fn update_model_lifts_onto_the_matching_trace_spec() {
+        let poisson = TraceSpec::from_update_model(&UpdateModel::Poisson { lambda: 20.0 });
+        assert!(matches!(poisson, TraceSpec::Poisson { lambda } if lambda == 20.0));
+        // The lifted Poisson source is byte-identical to the legacy one.
+        let rng = SimRng::new(11);
+        assert_eq!(
+            poisson.generate(6, 100, &rng),
+            TraceSpec::Poisson { lambda: 20.0 }.generate(6, 100, &rng)
+        );
+
+        let cfg = DiurnalConfig {
+            rate_per_epoch: 5.0,
+            period: 20,
+            duty: 0.5,
+            night_level: 0.0,
+        };
+        assert_eq!(
+            TraceSpec::from_update_model(&UpdateModel::Diurnal(cfg)),
+            TraceSpec::Diurnal(cfg)
+        );
+        let cfg = ParetoBurstConfig {
+            rate_per_epoch: 5.0,
+            shape: 2.0,
+        };
+        assert_eq!(
+            TraceSpec::from_update_model(&UpdateModel::ParetoBurst(cfg)),
+            TraceSpec::ParetoBurst(cfg)
+        );
     }
 
     #[test]

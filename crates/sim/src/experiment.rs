@@ -1,7 +1,7 @@
 //! Materializing problem instances and running policy rosters over them.
 
 use crate::churn::ChurnSpec;
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, TraceSpec};
 use crate::faults::FaultSpec;
 use crate::parallel::par_map;
 use crate::policies::PolicySpec;
@@ -12,12 +12,12 @@ use std::time::{Duration, Instant};
 use webmon_core::engine::OnlineEngine;
 use webmon_core::model::{evaluate_schedule, Budget, Cei, CeiId, Instance, Profile, ProfileId};
 use webmon_core::obs::{JsonlTraceObserver, MetricsObserver, RunMetrics};
-use webmon_core::offline::{local_ratio_schedule, LocalRatioConfig};
+use webmon_core::offline::{local_ratio_schedule, ExpansionError, LocalRatioConfig};
 use webmon_core::policy::SEdf;
 use webmon_core::stats::RunStats;
 use webmon_streams::fpn::NoisyTrace;
 use webmon_streams::rng::SimRng;
-use webmon_workload::{generate, GeneratedWorkload};
+use webmon_workload::{generate, generate_spec, GeneratedWorkload, SpecError, WorkloadSpec};
 
 /// One repetition's measurements for one policy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -150,6 +150,49 @@ impl Experiment {
             )
         });
         Experiment { config, workloads }
+    }
+
+    /// Materializes a declarative [`WorkloadSpec`] — the v2 entry point.
+    ///
+    /// The fork discipline is identical to [`Self::materialize`]
+    /// (`("repetition", i)` → `"trace"` → `"workload"`), so a spec whose
+    /// update model is Poisson and whose placement is `Uniform`/`Zipfian`
+    /// with no hot class reproduces the legacy path byte-identically. The
+    /// spec path carries no noise model (`noise: None`): noisy prediction
+    /// studies stay on [`ExperimentConfig`].
+    ///
+    /// Fails (instead of panicking) when the spec does not validate.
+    pub fn materialize_spec(spec: &WorkloadSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let trace_spec = TraceSpec::from_update_model(&spec.updates);
+        let master = SimRng::new(spec.seed);
+        let spec = *spec;
+        let results = par_map((0..spec.repetitions).collect(), |_, rep| {
+            let rep_rng = master.fork_indexed("repetition", u64::from(rep));
+            let trace = trace_spec.generate(spec.resources, spec.horizon, &rep_rng.fork("trace"));
+            let noisy = NoisyTrace::exact(&trace);
+            generate_spec(
+                &spec,
+                &noisy,
+                Budget::Uniform(spec.budget),
+                &rep_rng.fork("workload"),
+            )
+        });
+        let mut workloads = Vec::with_capacity(results.len());
+        for r in results {
+            workloads.push(r?);
+        }
+        let config = ExperimentConfig {
+            n_resources: spec.resources,
+            horizon: spec.horizon,
+            budget: spec.budget,
+            workload: spec.legacy_config(),
+            trace: trace_spec,
+            noise: None,
+            repetitions: spec.repetitions,
+            seed: spec.seed,
+        };
+        Ok(Experiment { config, workloads })
     }
 
     /// The experiment's configuration.
@@ -500,28 +543,47 @@ impl Experiment {
     /// Runs the offline Local-Ratio baseline over every repetition.
     ///
     /// # Panics
-    /// Panics if the Prop. 5 expansion exceeds the configured cap — size the
-    /// cap (or the workload) accordingly.
+    /// Panics on any [`ExpansionError`] — the Prop. 5 expansion exceeded the
+    /// configured cap, or a threshold-semantics CEI reached the AND-only
+    /// construction. Call sites that must stay alive (CLI, benches) should
+    /// use [`Self::try_run_local_ratio`] and surface the diagnostic.
     pub fn run_local_ratio(&self, lr: LocalRatioConfig) -> PolicyAggregate {
+        self.try_run_local_ratio(lr)
+            .unwrap_or_else(|e| panic!("offline Local-Ratio baseline failed: {e}"))
+    }
+
+    /// Fallible twin of [`Self::run_local_ratio`]: returns the first
+    /// repetition's [`ExpansionError`] (in repetition order) instead of
+    /// panicking when the Prop. 5 expansion is infeasible.
+    pub fn try_run_local_ratio(
+        &self,
+        lr: LocalRatioConfig,
+    ) -> Result<PolicyAggregate, ExpansionError> {
         let noisy = self.config.noise.is_some();
-        let outcomes = par_map(self.workloads.iter().collect(), |_, w| {
+        let results = par_map(self.workloads.iter().collect(), |_, w| {
             let start = Instant::now();
-            let out = local_ratio_schedule(&w.instance, lr)
-                .expect("P^[1] expansion exceeded cap; reduce EI lengths or raise the cap");
+            let out = local_ratio_schedule(&w.instance, lr)?;
             let runtime = start.elapsed();
             let stats = if noisy {
                 evaluate_schedule(&w.truth, &out.schedule)
             } else {
                 out.stats
             };
-            RepetitionOutcome {
+            Ok(RepetitionOutcome {
                 stats,
                 metrics: RunMetrics::default(),
                 runtime,
                 n_eis: w.n_eis(),
-            }
+            })
         });
-        PolicyAggregate::from_outcomes("Offline-LR".to_string(), outcomes)
+        let mut outcomes = Vec::with_capacity(results.len());
+        for r in results {
+            outcomes.push(r?);
+        }
+        Ok(PolicyAggregate::from_outcomes(
+            "Offline-LR".to_string(),
+            outcomes,
+        ))
     }
 
     /// The Figure 10 normalizer: the "worst case upper bound on the optimal
@@ -594,6 +656,97 @@ mod tests {
             noise: None,
             repetitions: 3,
             seed: 99,
+        }
+    }
+
+    fn tiny_spec() -> WorkloadSpec {
+        let cfg = tiny_config();
+        WorkloadSpec::from_legacy(
+            &cfg.workload,
+            cfg.n_resources,
+            cfg.horizon,
+            cfg.budget,
+            8.0,
+            cfg.repetitions,
+            cfg.seed,
+        )
+    }
+
+    #[test]
+    fn uniform_spec_is_bit_identical_to_the_legacy_path() {
+        let legacy = Experiment::materialize(tiny_config());
+        let spec = Experiment::materialize_spec(&tiny_spec()).unwrap();
+        assert_eq!(legacy.workloads().len(), spec.workloads().len());
+        for (a, b) in legacy.workloads().iter().zip(spec.workloads()) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.truth, b.truth);
+        }
+        // And the runs themselves agree — same schedules, same metrics.
+        let pa = legacy.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+        let pb = spec.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+        for (a, b) in pa.repetitions.iter().zip(&pb.repetitions) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn invalid_spec_is_a_structured_error_not_a_panic() {
+        let mut spec = tiny_spec();
+        spec.resources = 0;
+        let err = match Experiment::materialize_spec(&spec) {
+            Ok(_) => panic!("zero-resource spec must not materialize"),
+            Err(e) => e,
+        };
+        assert!(matches!(
+            err,
+            SpecError::Field {
+                field: "resources",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bursty_specs_materialize_and_run() {
+        use webmon_streams::bursty::{DiurnalConfig, UpdateModel};
+        let spec = tiny_spec().with_updates(UpdateModel::Diurnal(DiurnalConfig {
+            rate_per_epoch: 8.0,
+            period: 50,
+            duty: 0.25,
+            night_level: 0.0,
+        }));
+        let exp = Experiment::materialize_spec(&spec).unwrap();
+        assert_eq!(exp.workloads().len(), 3);
+        let agg = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+        assert!(agg.completeness.mean > 0.0 && agg.completeness.mean <= 1.0);
+    }
+
+    #[test]
+    fn threshold_instances_fail_local_ratio_with_a_structured_error() {
+        let mut spec = tiny_spec().with_required_fraction(0.5);
+        spec.length = EiLength::Window(0);
+        let exp = Experiment::materialize_spec(&spec).unwrap();
+        let err = exp
+            .try_run_local_ratio(LocalRatioConfig::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            webmon_core::offline::ExpansionError::ThresholdSemantics { .. }
+        ));
+    }
+
+    #[test]
+    fn try_run_local_ratio_matches_the_panicking_wrapper() {
+        let mut cfg = tiny_config();
+        cfg.workload.length = EiLength::Window(0);
+        let exp = Experiment::materialize(cfg);
+        let a = exp.run_local_ratio(LocalRatioConfig::default());
+        let b = exp
+            .try_run_local_ratio(LocalRatioConfig::default())
+            .unwrap();
+        for (x, y) in a.repetitions.iter().zip(&b.repetitions) {
+            assert_eq!(x.stats, y.stats);
         }
     }
 

@@ -37,6 +37,12 @@
 //! ([`Experiment::run_spec_churned`] and friends), so the service-style
 //! dynamic-profile setting reuses the same instances, policies, and
 //! determinism contract.
+//!
+//! [`skew`] names the skewed-workload experiment cells — temporal
+//! burstiness ladders ([`burst_ladder`]) and placement-skew grids
+//! ([`placement_grid`]) — which [`Experiment::materialize_spec`] turns into
+//! materialized experiments from a declarative
+//! [`WorkloadSpec`](webmon_workload::WorkloadSpec).
 
 pub mod churn;
 pub mod config;
@@ -44,6 +50,7 @@ pub mod experiment;
 pub mod faults;
 pub mod policies;
 pub mod report;
+pub mod skew;
 pub mod summary;
 pub mod table;
 
@@ -55,5 +62,6 @@ pub use experiment::{Experiment, PolicyAggregate, RepetitionOutcome};
 pub use faults::{BuiltFault, FaultKind, FaultSpec};
 pub use policies::{PolicyKind, PolicySpec};
 pub use report::Report;
+pub use skew::{alpha_ladder, burst_ladder, placement_grid, BurstCell, PlacementCell};
 pub use summary::Summary;
 pub use table::Table;

@@ -1,0 +1,467 @@
+//! Bursty update-event processes: diurnal on/off modulation and
+//! Pareto-burst interarrivals.
+//!
+//! The paper's synthetic evaluation drives every resource with a
+//! *homogeneous* Poisson stream; real web sources are anything but. Blog
+//! and feed crawling studies (see PAPERS.md, "Continuous Web Monitoring
+//! Through Online Crawling of Blogs") document a strong day/night cycle and
+//! heavy-tailed inter-update gaps. This module supplies both shapes while
+//! keeping the epoch-level mean rate comparable to the Poisson baseline, so
+//! skew experiments vary *when* updates land without changing *how many*:
+//!
+//! * [`DiurnalConfig`] — a Poisson process whose rate switches between an
+//!   on-phase ("day") and a damped off-phase ("night") with a fixed period,
+//!   sampled by Lewis–Shedler thinning;
+//! * [`ParetoBurstConfig`] — i.i.d. Pareto inter-arrival gaps: many short
+//!   gaps (bursts) separated by occasional very long silences.
+//!
+//! [`UpdateModel`] is the serde-facing sum of the three synthetic models
+//! (Poisson / Diurnal / ParetoBurst) consumed by the declarative
+//! `WorkloadSpec`; its Poisson arm delegates to [`PoissonProcess`] with the
+//! identical per-resource fork labels, so a spec-driven Poisson trace is
+//! bit-identical to the legacy one.
+
+use crate::poisson::PoissonProcess;
+use crate::rng::SimRng;
+use crate::trace::{Chronon, UpdateTrace};
+use serde::{Deserialize, Serialize};
+
+/// A structured validation error for bursty-model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyError {
+    /// The offending parameter name.
+    pub field: &'static str,
+    /// The rejected value, rendered for diagnostics.
+    pub value: String,
+    /// What the parameter must satisfy.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for BurstyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: got {}, expected {}",
+            self.field, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for BurstyError {}
+
+fn bad(field: &'static str, value: impl std::fmt::Display, expected: &'static str) -> BurstyError {
+    BurstyError {
+        field,
+        value: value.to_string(),
+        expected,
+    }
+}
+
+/// A diurnally modulated Poisson process: the instantaneous rate is high for
+/// the first `duty` fraction of every `period` chronons (the on-phase) and
+/// damped to `night_level` of the peak for the rest. The peak rate is chosen
+/// so the *epoch mean* stays `rate_per_epoch` regardless of duty cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalConfig {
+    /// Expected number of events over the whole epoch (as for Poisson).
+    pub rate_per_epoch: f64,
+    /// Cycle length in chronons.
+    pub period: Chronon,
+    /// Fraction of each period spent in the on-phase, in `(0, 1]`.
+    pub duty: f64,
+    /// Off-phase rate as a fraction of the peak rate, in `[0, 1]`.
+    /// `0` silences the night entirely; `1` degenerates to homogeneous.
+    pub night_level: f64,
+}
+
+impl DiurnalConfig {
+    /// Validates every parameter, returning the first violation.
+    pub fn validate(&self) -> Result<(), BurstyError> {
+        if !(self.rate_per_epoch.is_finite() && self.rate_per_epoch >= 0.0) {
+            return Err(bad(
+                "rate_per_epoch",
+                self.rate_per_epoch,
+                "a finite non-negative rate",
+            ));
+        }
+        if self.period == 0 {
+            return Err(bad("period", self.period, "a positive cycle length"));
+        }
+        if !(self.duty.is_finite() && self.duty > 0.0 && self.duty <= 1.0) {
+            return Err(bad("duty", self.duty, "a duty cycle in (0, 1]"));
+        }
+        if !(self.night_level.is_finite() && (0.0..=1.0).contains(&self.night_level)) {
+            return Err(bad("night_level", self.night_level, "a damping in [0, 1]"));
+        }
+        Ok(())
+    }
+
+    /// Samples event chronons over `0..horizon` (sorted, deduplicated at
+    /// chronon granularity) by thinning a homogeneous process at the peak
+    /// rate: an arrival in the off-phase survives with chance `night_level`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`Self::validate`]).
+    pub fn sample(&self, horizon: Chronon, rng: &mut SimRng) -> Vec<Chronon> {
+        self.validate().unwrap_or_else(|e| panic!("diurnal {e}"));
+        if self.rate_per_epoch == 0.0 {
+            return Vec::new();
+        }
+        // mean = peak * (duty + night_level * (1 - duty))  ⇒  solve for peak.
+        let dilution = self.duty + self.night_level * (1.0 - self.duty);
+        let peak_per_chronon = self.rate_per_epoch / f64::from(horizon) / dilution;
+        let on_span = self.duty * f64::from(self.period);
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(peak_per_chronon);
+            if t >= f64::from(horizon) {
+                break;
+            }
+            let phase = t % f64::from(self.period);
+            if phase < on_span || rng.chance(self.night_level) {
+                events.push(t as Chronon);
+            }
+        }
+        events.dedup();
+        events
+    }
+
+    /// Samples a full trace: one independent process per resource.
+    pub fn sample_trace(&self, n_resources: u32, horizon: Chronon, rng: &SimRng) -> UpdateTrace {
+        let events = (0..n_resources)
+            .map(|r| {
+                let mut sub = rng.fork_indexed("diurnal-resource", u64::from(r));
+                self.sample(horizon, &mut sub)
+            })
+            .collect();
+        UpdateTrace::from_events(horizon, events)
+    }
+}
+
+/// A renewal process with Pareto-distributed inter-arrival gaps: the shape
+/// parameter controls tail weight (smaller shape → heavier tail → burstier
+/// stream). The scale is chosen so the *mean gap* matches a Poisson process
+/// of the same `rate_per_epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoBurstConfig {
+    /// Expected number of events over the whole epoch (as for Poisson).
+    pub rate_per_epoch: f64,
+    /// Pareto tail exponent; must exceed 1 so the mean gap is finite.
+    /// Values near 1 are extremely bursty; large values approach constancy.
+    pub shape: f64,
+}
+
+impl ParetoBurstConfig {
+    /// Validates every parameter, returning the first violation.
+    pub fn validate(&self) -> Result<(), BurstyError> {
+        if !(self.rate_per_epoch.is_finite() && self.rate_per_epoch >= 0.0) {
+            return Err(bad(
+                "rate_per_epoch",
+                self.rate_per_epoch,
+                "a finite non-negative rate",
+            ));
+        }
+        if !(self.shape.is_finite() && self.shape > 1.0) {
+            return Err(bad("shape", self.shape, "a tail exponent > 1"));
+        }
+        Ok(())
+    }
+
+    /// Samples event chronons over `0..horizon` (sorted, deduplicated at
+    /// chronon granularity) with i.i.d. Pareto gaps via inverse transform:
+    /// `gap = x_m / u^(1/shape)` with `u ~ U(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`Self::validate`]).
+    pub fn sample(&self, horizon: Chronon, rng: &mut SimRng) -> Vec<Chronon> {
+        self.validate()
+            .unwrap_or_else(|e| panic!("pareto-burst {e}"));
+        if self.rate_per_epoch == 0.0 {
+            return Vec::new();
+        }
+        // E[gap] = shape * x_m / (shape - 1)  ⇒  match the Poisson mean gap.
+        let mean_gap = f64::from(horizon) / self.rate_per_epoch;
+        let x_m = mean_gap * (self.shape - 1.0) / self.shape;
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        loop {
+            let u = 1.0 - rng.f64(); // in (0, 1] — never divides by zero
+            t += x_m / u.powf(1.0 / self.shape);
+            if t >= f64::from(horizon) {
+                break;
+            }
+            events.push(t as Chronon);
+        }
+        events.dedup();
+        events
+    }
+
+    /// Samples a full trace: one independent process per resource.
+    pub fn sample_trace(&self, n_resources: u32, horizon: Chronon, rng: &SimRng) -> UpdateTrace {
+        let events = (0..n_resources)
+            .map(|r| {
+                let mut sub = rng.fork_indexed("pareto-resource", u64::from(r));
+                self.sample(horizon, &mut sub)
+            })
+            .collect();
+        UpdateTrace::from_events(horizon, events)
+    }
+}
+
+/// The synthetic update models a declarative workload spec can name.
+///
+/// The Poisson arm delegates to [`PoissonProcess::sample_trace`] with the
+/// identical `"poisson-resource"` fork labels, so a spec that asks for
+/// `Poisson` produces byte-identical traces to the legacy simulator path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UpdateModel {
+    /// Homogeneous Poisson at `lambda` expected events per epoch.
+    Poisson {
+        /// Expected number of events over the whole epoch.
+        lambda: f64,
+    },
+    /// Diurnal on/off modulated Poisson (day/night cycle).
+    Diurnal(DiurnalConfig),
+    /// Pareto-burst interarrivals (heavy-tailed gaps).
+    ParetoBurst(ParetoBurstConfig),
+}
+
+impl UpdateModel {
+    /// Validates the model parameters, returning the first violation.
+    pub fn validate(&self) -> Result<(), BurstyError> {
+        match self {
+            UpdateModel::Poisson { lambda } => {
+                if lambda.is_finite() && *lambda >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(bad("lambda", lambda, "a finite non-negative rate"))
+                }
+            }
+            UpdateModel::Diurnal(c) => c.validate(),
+            UpdateModel::ParetoBurst(c) => c.validate(),
+        }
+    }
+
+    /// Expected number of events per resource over the epoch.
+    pub fn rate_per_epoch(&self) -> f64 {
+        match self {
+            UpdateModel::Poisson { lambda } => *lambda,
+            UpdateModel::Diurnal(c) => c.rate_per_epoch,
+            UpdateModel::ParetoBurst(c) => c.rate_per_epoch,
+        }
+    }
+
+    /// Samples a full trace: one independent process per resource, forked
+    /// from `rng` by a model-specific label.
+    ///
+    /// # Panics
+    /// Panics if the model is invalid (see [`Self::validate`]).
+    pub fn sample_trace(&self, n_resources: u32, horizon: Chronon, rng: &SimRng) -> UpdateTrace {
+        match self {
+            UpdateModel::Poisson { lambda } => {
+                PoissonProcess::new(*lambda).sample_trace(n_resources, horizon, rng)
+            }
+            UpdateModel::Diurnal(c) => c.sample_trace(n_resources, horizon, rng),
+            UpdateModel::ParetoBurst(c) => c.sample_trace(n_resources, horizon, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diurnal(duty: f64, night: f64) -> DiurnalConfig {
+        DiurnalConfig {
+            rate_per_epoch: 20.0,
+            period: 100,
+            duty,
+            night_level: night,
+        }
+    }
+
+    #[test]
+    fn diurnal_mean_matches_rate_across_duty_cycles() {
+        for duty in [1.0, 0.5, 0.25, 0.125] {
+            let cfg = diurnal(duty, 0.1);
+            let mut rng = SimRng::new(42);
+            let reps = 400;
+            let total: usize = (0..reps).map(|_| cfg.sample(1000, &mut rng).len()).sum();
+            let mean = total as f64 / f64::from(reps);
+            assert!(
+                (mean - 20.0).abs() < 1.5,
+                "duty {duty}: mean {mean} far from 20"
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_concentrates_events_in_the_on_phase() {
+        let cfg = diurnal(0.25, 0.05);
+        let mut rng = SimRng::new(7);
+        let mut on = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            for t in cfg.sample(1000, &mut rng) {
+                total += 1;
+                if f64::from(t % cfg.period) < cfg.duty * f64::from(cfg.period) {
+                    on += 1;
+                }
+            }
+        }
+        // Uniform would put 25% in the on-phase; thinning should push > 80%.
+        let frac = on as f64 / total as f64;
+        assert!(frac > 0.8, "only {frac:.2} of events in the on-phase");
+    }
+
+    #[test]
+    fn diurnal_night_zero_silences_the_off_phase() {
+        let cfg = diurnal(0.5, 0.0);
+        let mut rng = SimRng::new(11);
+        for t in cfg.sample(1000, &mut rng) {
+            assert!(f64::from(t % cfg.period) < cfg.duty * f64::from(cfg.period));
+        }
+    }
+
+    #[test]
+    fn diurnal_full_duty_is_homogeneous_poisson_law() {
+        // duty = 1 never enters the off-phase branch: peak == mean rate.
+        let cfg = diurnal(1.0, 0.0);
+        let mut rng = SimRng::new(13);
+        let evs = cfg.sample(1000, &mut rng);
+        assert!(evs.windows(2).all(|w| w[0] < w[1]));
+        assert!(evs.iter().all(|&t| t < 1000));
+    }
+
+    #[test]
+    fn pareto_mean_matches_rate() {
+        let cfg = ParetoBurstConfig {
+            rate_per_epoch: 20.0,
+            shape: 1.5,
+        };
+        let mut rng = SimRng::new(42);
+        let reps = 2000;
+        let total: usize = (0..reps).map(|_| cfg.sample(1000, &mut rng).len()).sum();
+        let mean = total as f64 / f64::from(reps);
+        // Heavy tails converge slowly; a loose band still catches scale bugs.
+        assert!((mean - 20.0).abs() < 3.0, "mean {mean} far from 20");
+    }
+
+    #[test]
+    fn pareto_stream_is_burstier_than_poisson() {
+        // Index of dispersion (variance/mean of per-bin counts): ~1 for a
+        // Poisson stream, clearly above it for heavy-tailed interarrivals.
+        let dispersion = |samples: &mut dyn FnMut(&mut SimRng) -> Vec<Chronon>| {
+            let mut rng = SimRng::new(5);
+            let mut counts: Vec<f64> = Vec::new();
+            for _ in 0..100 {
+                let mut bins = [0u32; 50]; // 20-chronon bins over 1000
+                for t in samples(&mut rng) {
+                    bins[(t / 20) as usize] += 1;
+                }
+                counts.extend(bins.iter().map(|&c| f64::from(c)));
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+            var / mean
+        };
+        let cfg = ParetoBurstConfig {
+            rate_per_epoch: 50.0,
+            shape: 1.1,
+        };
+        let poisson = PoissonProcess::new(50.0);
+        let d_pareto = dispersion(&mut |rng| cfg.sample(1000, rng));
+        let d_poisson = dispersion(&mut |rng| poisson.sample(1000, rng));
+        assert!(
+            d_pareto > 1.5 * d_poisson,
+            "pareto dispersion {d_pareto:.2} not clearly above poisson {d_poisson:.2}"
+        );
+    }
+
+    #[test]
+    fn traces_are_reproducible_and_per_resource_independent() {
+        let d = diurnal(0.5, 0.1);
+        let t1 = d.sample_trace(5, 500, &SimRng::new(3));
+        let t2 = d.sample_trace(5, 500, &SimRng::new(3));
+        assert_eq!(t1, t2);
+        assert_ne!(t1.events_of(0), t1.events_of(1));
+
+        let p = ParetoBurstConfig {
+            rate_per_epoch: 10.0,
+            shape: 2.0,
+        };
+        let t1 = p.sample_trace(5, 500, &SimRng::new(3));
+        let t2 = p.sample_trace(5, 500, &SimRng::new(3));
+        assert_eq!(t1, t2);
+        assert_ne!(t1.events_of(0), t1.events_of(1));
+    }
+
+    #[test]
+    fn update_model_poisson_is_bit_identical_to_legacy() {
+        let legacy = PoissonProcess::new(20.0).sample_trace(8, 500, &SimRng::new(9));
+        let via_model = UpdateModel::Poisson { lambda: 20.0 }.sample_trace(8, 500, &SimRng::new(9));
+        assert_eq!(legacy, via_model);
+    }
+
+    #[test]
+    fn zero_rates_yield_empty_streams() {
+        let mut rng = SimRng::new(1);
+        let d = DiurnalConfig {
+            rate_per_epoch: 0.0,
+            ..diurnal(0.5, 0.1)
+        };
+        assert!(d.sample(100, &mut rng).is_empty());
+        let p = ParetoBurstConfig {
+            rate_per_epoch: 0.0,
+            shape: 2.0,
+        };
+        assert!(p.sample(100, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(diurnal(0.0, 0.1).validate().is_err());
+        assert!(diurnal(1.5, 0.1).validate().is_err());
+        assert!(diurnal(0.5, -0.1).validate().is_err());
+        assert!(diurnal(0.5, f64::NAN).validate().is_err());
+        let d = DiurnalConfig {
+            period: 0,
+            ..diurnal(0.5, 0.1)
+        };
+        assert!(d.validate().is_err());
+        let d = DiurnalConfig {
+            rate_per_epoch: -1.0,
+            ..diurnal(0.5, 0.1)
+        };
+        assert!(d.validate().is_err());
+        for shape in [1.0, 0.5, f64::INFINITY, f64::NAN] {
+            let p = ParetoBurstConfig {
+                rate_per_epoch: 10.0,
+                shape,
+            };
+            assert!(p.validate().is_err(), "shape {shape} accepted");
+        }
+        assert!(UpdateModel::Poisson { lambda: -1.0 }.validate().is_err());
+        assert!(UpdateModel::Poisson { lambda: 20.0 }.validate().is_ok());
+        let err = diurnal(2.0, 0.1).validate().unwrap_err();
+        assert_eq!(err.field, "duty");
+        assert!(err.to_string().contains("duty cycle"));
+    }
+
+    #[test]
+    fn update_model_serde_round_trips() {
+        for m in [
+            UpdateModel::Poisson { lambda: 20.0 },
+            UpdateModel::Diurnal(diurnal(0.25, 0.1)),
+            UpdateModel::ParetoBurst(ParetoBurstConfig {
+                rate_per_epoch: 15.0,
+                shape: 1.5,
+            }),
+        ] {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: UpdateModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+}

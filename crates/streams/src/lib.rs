@@ -22,11 +22,16 @@
 //! [`fitted`] implements the homogeneous Poisson-fitted model of the
 //! Section V-H news experiment (predict from the rate, not the timestamps).
 //!
+//! [`bursty`] goes beyond the paper's homogeneous streams with diurnal
+//! on/off rate modulation and Pareto-burst interarrivals (plus the
+//! [`bursty::UpdateModel`] sum type the declarative workload spec names).
+//!
 //! [`zipf`] provides the Zipf sampler the workload generator needs (kept
 //! here with the other stochastic substrates), and [`rng`] a seeded,
 //! forkable RNG wrapper so every trace is reproducible.
 
 pub mod auction;
+pub mod bursty;
 pub mod fitted;
 pub mod fpn;
 pub mod io;
@@ -38,6 +43,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use auction::{AuctionTrace, AuctionTraceConfig};
+pub use bursty::{BurstyError, DiurnalConfig, ParetoBurstConfig, UpdateModel};
 pub use fitted::{PoissonFittedModel, PrefixFittedModel};
 pub use fpn::{EventPair, FpnModel, NoisyTrace};
 pub use io::{read_csv, read_csv_file, write_csv, TraceIoError};

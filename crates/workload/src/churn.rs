@@ -100,9 +100,11 @@ impl ChurnConfig {
 ///   no-ops, as in a real service where the cancel request races the
 ///   capture.
 ///
-/// `boost` is the popularity weight of the CEI's primary resource: the
-/// Zipf(`resource_alpha`) probability mass of that resource, normalized so
-/// `alpha = 0` gives `boost = 1` everywhere.
+/// `boost` is the popularity weight of the CEI: the **maximum**
+/// Zipf(`resource_alpha`) probability mass over the CEI's distinct
+/// resources, normalized so `alpha = 0` gives `boost = 1` everywhere. A
+/// multi-resource CEI therefore churns at the rate of its most popular
+/// resource regardless of the order its EIs happen to be listed in.
 ///
 /// `reconfigurations` extra [`Mutation::SetBudget`] entries are drawn from
 /// an independent stream, each at a uniform chronon with a uniform budget
@@ -126,8 +128,16 @@ pub fn overlay(instance: &Instance, config: &ChurnConfig, rng: &SimRng) -> Mutat
         let mut crng = rng.fork_indexed("churn-cei", u64::from(cei.id.0));
         let boost = match &zipf {
             // pmf is 1-based; uniform alpha would give pmf = 1/n, so this
-            // normalization makes `alpha = 0` equivalent to no skew.
-            Some(z) => z.pmf(cei.eis[0].resource.0 + 1) * f64::from(n_resources),
+            // normalization makes `alpha = 0` equivalent to no skew. The
+            // max over the CEI's resources keeps the boost independent of
+            // EI listing order.
+            Some(z) => {
+                cei.eis
+                    .iter()
+                    .map(|e| z.pmf(e.resource.0 + 1))
+                    .fold(0.0, f64::max)
+                    * f64::from(n_resources)
+            }
             None => 1.0,
         };
         let arrival_p = (config.arrival_rate * boost).clamp(0.0, 1.0);
@@ -263,6 +273,68 @@ mod tests {
                 (4, Mutation::Cancel { cei: CeiId(0) }),
             ]
         );
+    }
+
+    #[test]
+    fn boost_is_invariant_to_ei_listing_order() {
+        // Two instances whose CEIs are identical up to the order of their
+        // EIs (same windows, same min start ⇒ same release) must churn
+        // identically: the boost aggregates over the CEI's resources
+        // instead of crediting whichever EI is listed first.
+        let build = |head_first: bool| {
+            let mut b = InstanceBuilder::new(20, 40, Budget::Uniform(2));
+            for i in 0..30u32 {
+                let p = b.profile();
+                let s = i % 30;
+                let head = (0, s, s + 3);
+                let tail = (19, s, s + 3);
+                if head_first {
+                    b.cei(p, &[head, tail]);
+                } else {
+                    b.cei(p, &[tail, head]);
+                }
+            }
+            b.build()
+        };
+        let cfg = ChurnConfig::new(0.3, 0.2).with_alpha(2.0);
+        let a = overlay(&build(true), &cfg, &SimRng::new(17));
+        let b = overlay(&build(false), &cfg, &SimRng::new(17));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn multi_resource_cei_churns_at_its_most_popular_resource() {
+        // With α = 2 over 20 resources, pmf(head) * n ≈ 12.5; a base
+        // arrival rate of 0.1 therefore clamps to probability 1 for any
+        // CEI touching the head — even when the head EI is listed second.
+        let mut b = InstanceBuilder::new(20, 40, Budget::Uniform(2));
+        for i in 0..10u32 {
+            let p = b.profile();
+            let s = i * 3;
+            b.cei(p, &[(19, s, s + 3), (0, s + 1, s + 4)]);
+        }
+        let inst = b.build();
+        let cfg = ChurnConfig::new(0.1, 0.0).with_alpha(2.0);
+        let q = overlay(&inst, &cfg, &SimRng::new(23));
+        let regs = q
+            .entries()
+            .iter()
+            .filter(|(_, m)| matches!(m, Mutation::Register { .. }))
+            .count();
+        assert_eq!(regs, 10, "every head-touching CEI must register");
+    }
+
+    #[test]
+    fn zero_alpha_path_is_unchanged_by_the_boost_aggregate() {
+        // α = 0 takes the `None` branch: boost 1.0 for every CEI, so the
+        // overlay cannot depend on EI order at all.
+        let inst = instance(6, 40, 25);
+        let cfg = ChurnConfig::new(0.4, 0.3);
+        let a = overlay(&inst, &cfg, &SimRng::new(29));
+        let b = overlay(&inst, &cfg, &SimRng::new(29));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Declarative resource-popularity distributions for the workload spec.
+//!
+//! The paper's generator hard-codes one shape — `Zipf(α, n)` over resource
+//! ids — which covers the Table-I grid but nothing else. [`DistributionSpec`]
+//! names the YCSB-style family (constant / uniform / zipfian / latest /
+//! hot-set) so a declarative `WorkloadSpec` can place profile EIs on any of
+//! them, and [`ResourceSampler`] compiles a spec against a concrete resource
+//! count into a sampling function.
+//!
+//! **Bit-identity contract:** `Uniform` and `Zipfian { alpha }` compile to
+//! exactly the legacy generator's draw — `Zipf::new(alpha, n).sample(rng) - 1`
+//! with `alpha = 0` for uniform — consuming one `f64` from the stream per
+//! sample. A spec using only those shapes therefore reproduces the current
+//! Table-I generator byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+use webmon_streams::rng::SimRng;
+use webmon_streams::zipf::Zipf;
+
+/// A named popularity distribution over `n` resources (ids `0..n`, where
+/// lower ids are the popular head, matching the legacy Zipf convention).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DistributionSpec {
+    /// Every draw yields the same resource.
+    Constant {
+        /// The fixed resource id.
+        index: u32,
+    },
+    /// Uniform over all resources (equals `Zipfian { alpha: 0.0 }`, and
+    /// draws through the identical code path).
+    Uniform,
+    /// `Zipf(α, n)` over resource ids — the legacy generator's shape.
+    Zipfian {
+        /// Zipf exponent `α ≥ 0`; the paper estimates `1.37` for Web feeds.
+        alpha: f64,
+    },
+    /// Zipf mass concentrated on the *highest* resource ids — YCSB's
+    /// "latest" shape, standing in for recently added resources when ids
+    /// are assigned in creation order.
+    Latest {
+        /// Zipf exponent `α ≥ 0` of the reversed ranking.
+        alpha: f64,
+    },
+    /// A two-tier shape: a head of `n` resources receives `mass` of the
+    /// probability uniformly; the tail shares the rest uniformly.
+    HotSet {
+        /// Number of hot resources (`1 ≤ n ≤` resource count).
+        n: u32,
+        /// Probability mass on the hot set, in `[0, 1]`.
+        mass: f64,
+    },
+}
+
+/// A structured validation error for a [`DistributionSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A Zipf exponent was negative or non-finite.
+    BadAlpha(f64),
+    /// The distribution was compiled against zero resources.
+    EmptyDomain,
+    /// A `Constant` index fell outside `0..n`.
+    IndexOutOfRange {
+        /// The requested index.
+        index: u32,
+        /// The resource count.
+        n: u32,
+    },
+    /// A `HotSet` head was empty or larger than the resource count.
+    BadHotSet {
+        /// The requested head size.
+        n: u32,
+        /// The resource count.
+        resources: u32,
+    },
+    /// A `HotSet` mass fell outside `[0, 1]` or was non-finite.
+    BadMass(f64),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::BadAlpha(a) => {
+                write!(f, "Zipf exponent must be finite and non-negative (got {a})")
+            }
+            DistError::EmptyDomain => write!(f, "distribution needs at least one resource"),
+            DistError::IndexOutOfRange { index, n } => {
+                write!(f, "constant index {index} out of range (resources: {n})")
+            }
+            DistError::BadHotSet { n, resources } => {
+                write!(f, "hot-set size {n} must be in 1..={resources}")
+            }
+            DistError::BadMass(m) => write!(f, "hot-set mass must be in [0, 1] (got {m})"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl DistributionSpec {
+    /// Validates the spec against a concrete resource count.
+    pub fn validate(&self, n_resources: u32) -> Result<(), DistError> {
+        if n_resources == 0 {
+            return Err(DistError::EmptyDomain);
+        }
+        match *self {
+            DistributionSpec::Constant { index } => {
+                if index < n_resources {
+                    Ok(())
+                } else {
+                    Err(DistError::IndexOutOfRange {
+                        index,
+                        n: n_resources,
+                    })
+                }
+            }
+            DistributionSpec::Uniform => Ok(()),
+            DistributionSpec::Zipfian { alpha } | DistributionSpec::Latest { alpha } => {
+                if alpha.is_finite() && alpha >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(DistError::BadAlpha(alpha))
+                }
+            }
+            DistributionSpec::HotSet { n, mass } => {
+                if !(n >= 1 && n <= n_resources) {
+                    Err(DistError::BadHotSet {
+                        n,
+                        resources: n_resources,
+                    })
+                } else if !(mass.is_finite() && (0.0..=1.0).contains(&mass)) {
+                    Err(DistError::BadMass(mass))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A [`DistributionSpec`] compiled against a concrete resource count: draws
+/// 0-based resource ids and exposes the exact pmf (for goodness-of-fit
+/// tests and the churn popularity boost).
+#[derive(Debug, Clone)]
+pub struct ResourceSampler {
+    n: u32,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Constant(u32),
+    /// Uniform and Zipfian both draw through the legacy Zipf sampler.
+    Zipf(Zipf),
+    Latest(Zipf),
+    HotSet {
+        head: u32,
+        mass: f64,
+    },
+}
+
+impl ResourceSampler {
+    /// Compiles `spec` against `n_resources`, validating first.
+    pub fn new(spec: DistributionSpec, n_resources: u32) -> Result<Self, DistError> {
+        spec.validate(n_resources)?;
+        let kind = match spec {
+            DistributionSpec::Constant { index } => SamplerKind::Constant(index),
+            DistributionSpec::Uniform => SamplerKind::Zipf(Zipf::new(0.0, n_resources)),
+            DistributionSpec::Zipfian { alpha } => SamplerKind::Zipf(Zipf::new(alpha, n_resources)),
+            DistributionSpec::Latest { alpha } => {
+                SamplerKind::Latest(Zipf::new(alpha, n_resources))
+            }
+            DistributionSpec::HotSet { n, mass } => SamplerKind::HotSet { head: n, mass },
+        };
+        Ok(ResourceSampler {
+            n: n_resources,
+            kind,
+        })
+    }
+
+    /// The resource count the sampler was compiled against.
+    pub fn n_resources(&self) -> u32 {
+        self.n
+    }
+
+    /// Draws one 0-based resource id.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match &self.kind {
+            SamplerKind::Constant(index) => *index,
+            // Rank 1 → resource 0 (most popular): the legacy draw, verbatim.
+            SamplerKind::Zipf(z) => z.sample(rng) - 1,
+            // Rank 1 → resource n-1: the head sits on the newest ids.
+            SamplerKind::Latest(z) => self.n - z.sample(rng),
+            SamplerKind::HotSet { head, mass } => {
+                if *head == self.n || rng.chance(*mass) {
+                    rng.below(u64::from(*head)) as u32
+                } else {
+                    head + rng.below(u64::from(self.n - head)) as u32
+                }
+            }
+        }
+    }
+
+    /// Exact probability of drawing resource `r` (0-based); `0` out of range.
+    pub fn pmf(&self, r: u32) -> f64 {
+        if r >= self.n {
+            return 0.0;
+        }
+        match &self.kind {
+            SamplerKind::Constant(index) => {
+                if r == *index {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SamplerKind::Zipf(z) => z.pmf(r + 1),
+            SamplerKind::Latest(z) => z.pmf(self.n - r),
+            SamplerKind::HotSet { head, mass } => {
+                if *head == self.n {
+                    1.0 / f64::from(self.n)
+                } else if r < *head {
+                    mass / f64::from(*head)
+                } else {
+                    (1.0 - mass) / f64::from(self.n - head)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pearson chi-square statistic of `samples` draws against the sampler's
+    /// own pmf (cells with expected < 5 pooled into their neighbour).
+    fn chi_square(sampler: &ResourceSampler, samples: u32, seed: u64) -> (f64, usize) {
+        let mut rng = SimRng::new(seed);
+        let mut observed = vec![0u32; sampler.n_resources() as usize];
+        for _ in 0..samples {
+            observed[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let mut stat = 0.0;
+        let mut cells = 0usize;
+        let mut pooled_obs = 0.0;
+        let mut pooled_exp = 0.0;
+        for (r, &obs) in observed.iter().enumerate() {
+            let exp = sampler.pmf(r as u32) * f64::from(samples);
+            pooled_obs += f64::from(obs);
+            pooled_exp += exp;
+            if pooled_exp >= 5.0 {
+                stat += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+                cells += 1;
+                pooled_obs = 0.0;
+                pooled_exp = 0.0;
+            }
+        }
+        if pooled_exp > 0.0 {
+            stat += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+            cells += 1;
+        }
+        (stat, cells)
+    }
+
+    /// The fit must not reject at far beyond the 0.001 level: for the cell
+    /// counts here (≤ 50), chi-square(0.999, 49) ≈ 85, so a generous bound
+    /// of `3 * cells + 30` only fails on real sampling bugs.
+    fn assert_fits(spec: DistributionSpec, n: u32) {
+        let sampler = ResourceSampler::new(spec, n).unwrap();
+        let (stat, cells) = chi_square(&sampler, 50_000, 0xC0FFEE);
+        let bound = 3.0 * cells as f64 + 30.0;
+        assert!(
+            stat < bound,
+            "{spec:?}: chi-square {stat:.1} over {cells} cells exceeds {bound:.1}"
+        );
+    }
+
+    #[test]
+    fn zipfian_sampling_fits_its_pmf() {
+        assert_fits(DistributionSpec::Zipfian { alpha: 0.8 }, 50);
+        assert_fits(DistributionSpec::Zipfian { alpha: 1.37 }, 50);
+    }
+
+    #[test]
+    fn latest_sampling_fits_its_pmf() {
+        assert_fits(DistributionSpec::Latest { alpha: 1.37 }, 50);
+    }
+
+    #[test]
+    fn hotset_sampling_fits_its_pmf() {
+        assert_fits(DistributionSpec::HotSet { n: 5, mass: 0.9 }, 50);
+        assert_fits(DistributionSpec::HotSet { n: 50, mass: 0.5 }, 50);
+    }
+
+    #[test]
+    fn uniform_sampling_fits_its_pmf() {
+        assert_fits(DistributionSpec::Uniform, 40);
+    }
+
+    #[test]
+    fn uniform_is_bit_identical_to_zero_alpha_zipf() {
+        let uniform = ResourceSampler::new(DistributionSpec::Uniform, 30).unwrap();
+        let legacy = Zipf::new(0.0, 30);
+        let mut a = SimRng::new(99);
+        let mut b = SimRng::new(99);
+        for _ in 0..1000 {
+            assert_eq!(uniform.sample(&mut a), legacy.sample(&mut b) - 1);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_bit_identical_to_legacy_zipf() {
+        let spec = ResourceSampler::new(DistributionSpec::Zipfian { alpha: 1.37 }, 30).unwrap();
+        let legacy = Zipf::new(1.37, 30);
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(spec.sample(&mut a), legacy.sample(&mut b) - 1);
+        }
+    }
+
+    #[test]
+    fn latest_mirrors_zipfian_head() {
+        let latest = ResourceSampler::new(DistributionSpec::Latest { alpha: 2.0 }, 20).unwrap();
+        let mut rng = SimRng::new(3);
+        let mut high = 0;
+        for _ in 0..1000 {
+            if latest.sample(&mut rng) >= 15 {
+                high += 1;
+            }
+        }
+        assert!(high > 900, "only {high}/1000 draws on the latest head");
+        assert!(latest.pmf(19) > latest.pmf(0));
+    }
+
+    #[test]
+    fn constant_always_returns_its_index() {
+        let c = ResourceSampler::new(DistributionSpec::Constant { index: 7 }, 10).unwrap();
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), 7);
+        }
+        assert_eq!(c.pmf(7), 1.0);
+        assert_eq!(c.pmf(6), 0.0);
+    }
+
+    #[test]
+    fn pmfs_sum_to_one() {
+        for spec in [
+            DistributionSpec::Constant { index: 3 },
+            DistributionSpec::Uniform,
+            DistributionSpec::Zipfian { alpha: 1.37 },
+            DistributionSpec::Latest { alpha: 0.8 },
+            DistributionSpec::HotSet { n: 4, mass: 0.9 },
+            DistributionSpec::HotSet { n: 25, mass: 0.9 },
+        ] {
+            let s = ResourceSampler::new(spec, 25).unwrap();
+            let total: f64 = (0..25).map(|r| s.pmf(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{spec:?} pmf sums to {total}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert_eq!(
+            DistributionSpec::Zipfian { alpha: -1.0 }.validate(10),
+            Err(DistError::BadAlpha(-1.0))
+        );
+        assert!(DistributionSpec::Latest { alpha: f64::NAN }
+            .validate(10)
+            .is_err());
+        assert_eq!(
+            DistributionSpec::Constant { index: 10 }.validate(10),
+            Err(DistError::IndexOutOfRange { index: 10, n: 10 })
+        );
+        assert_eq!(
+            DistributionSpec::HotSet { n: 0, mass: 0.5 }.validate(10),
+            Err(DistError::BadHotSet {
+                n: 0,
+                resources: 10
+            })
+        );
+        assert_eq!(
+            DistributionSpec::HotSet { n: 11, mass: 0.5 }.validate(10),
+            Err(DistError::BadHotSet {
+                n: 11,
+                resources: 10
+            })
+        );
+        assert_eq!(
+            DistributionSpec::HotSet { n: 2, mass: 1.5 }.validate(10),
+            Err(DistError::BadMass(1.5))
+        );
+        assert_eq!(
+            DistributionSpec::Uniform.validate(0),
+            Err(DistError::EmptyDomain)
+        );
+        assert!(DistributionSpec::Uniform.validate(1).is_ok());
+        let err = DistributionSpec::Zipfian { alpha: -2.0 }
+            .validate(10)
+            .unwrap_err();
+        assert!(err.to_string().contains("finite and non-negative"));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        for spec in [
+            DistributionSpec::Constant { index: 2 },
+            DistributionSpec::Uniform,
+            DistributionSpec::Zipfian { alpha: 0.3 },
+            DistributionSpec::Latest { alpha: 1.37 },
+            DistributionSpec::HotSet { n: 8, mass: 0.9 },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: DistributionSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+}

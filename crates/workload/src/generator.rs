@@ -1,7 +1,10 @@
-//! The two-stage Zipf profile-instance generator (Section V-A.2).
+//! The two-stage Zipf profile-instance generator (Section V-A.2), plus the
+//! spec-driven path ([`generate_spec`]) that generalizes stage 2 to any
+//! [`DistributionSpec`] while keeping the legacy path byte-identical.
 
+use crate::dist::{DistributionSpec, ResourceSampler};
 use crate::length::EiLength;
-use crate::spec::{RankSpec, WorkloadConfig};
+use crate::spec::{RankSpec, SpecError, WorkloadConfig, WorkloadSpec};
 use webmon_core::model::{Budget, Chronon, Ei, Instance, InstanceBuilder, ResourceId};
 use webmon_streams::fpn::{EventPair, NoisyTrace};
 use webmon_streams::rng::SimRng;
@@ -52,7 +55,6 @@ pub fn generate(
     rng: &SimRng,
 ) -> GeneratedWorkload {
     let n = trace.n_resources();
-    let horizon = trace.horizon();
     assert!(n > 0, "trace has no resources");
     let max_rank = config.rank.max_rank();
     assert!(max_rank >= 1, "rank must be at least 1");
@@ -62,6 +64,116 @@ pub fn generate(
             "cannot pick {max_rank} distinct resources out of {n}"
         );
     }
+    // The legacy α maps onto the Zipfian spec; an invalid exponent panics
+    // with the same message `Zipf::new` always raised.
+    let base = ResourceSampler::new(
+        DistributionSpec::Zipfian {
+            alpha: config.resource_alpha,
+        },
+        n,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let plan = GenPlan {
+        n_profiles: config.n_profiles,
+        rank: config.rank,
+        base,
+        hot: None,
+        length: config.length,
+        distinct_resources: config.distinct_resources,
+        max_ceis: config.max_ceis,
+        no_intra_resource_overlap: config.no_intra_resource_overlap,
+        required_fraction: None,
+    };
+    generate_plan(&plan, trace, budget, rng)
+}
+
+/// The spec-driven generator path: like [`generate`], but stage 2 draws
+/// from the spec's [`DistributionSpec`] (with the optional hot-key profile
+/// class) and the spec may switch CEIs to threshold semantics.
+///
+/// Validates the spec (including against the trace's resource count) and
+/// returns a structured [`SpecError`] instead of panicking. A spec using
+/// only the paper's shapes (`Uniform`/`Zipfian` placement, no hot class,
+/// AND semantics) is byte-identical to [`generate`] on the same inputs:
+/// the hot-class membership draw comes from a dedicated `"hot-class"` fork
+/// that never touches the `"profile"` streams.
+pub fn generate_spec(
+    spec: &WorkloadSpec,
+    trace: &NoisyTrace,
+    budget: Budget,
+    rng: &SimRng,
+) -> Result<GeneratedWorkload, SpecError> {
+    spec.validate()?;
+    let n = trace.n_resources();
+    if n != spec.resources {
+        return Err(SpecError::Field {
+            field: "resources",
+            reason: format!(
+                "spec names {} resources but the trace has {n}",
+                spec.resources
+            ),
+        });
+    }
+    if trace.horizon() != spec.horizon {
+        return Err(SpecError::Field {
+            field: "horizon",
+            reason: format!(
+                "spec names horizon {} but the trace spans {}",
+                spec.horizon,
+                trace.horizon()
+            ),
+        });
+    }
+    let base = ResourceSampler::new(spec.placement, n).map_err(|e| SpecError::Field {
+        field: "placement",
+        reason: e.to_string(),
+    })?;
+    let hot = match &spec.hot {
+        Some(h) => Some((
+            h.fraction,
+            ResourceSampler::new(h.placement, n).map_err(|e| SpecError::Field {
+                field: "hot",
+                reason: e.to_string(),
+            })?,
+        )),
+        None => None,
+    };
+    let plan = GenPlan {
+        n_profiles: spec.profiles,
+        rank: spec.rank,
+        base,
+        hot,
+        length: spec.length,
+        distinct_resources: spec.distinct_resources,
+        max_ceis: spec.max_ceis,
+        no_intra_resource_overlap: spec.no_intra_resource_overlap,
+        required_fraction: spec.required_fraction,
+    };
+    Ok(generate_plan(&plan, trace, budget, rng))
+}
+
+/// The fully resolved generation plan both public paths compile down to.
+struct GenPlan {
+    n_profiles: u32,
+    rank: RankSpec,
+    base: ResourceSampler,
+    /// `(fraction, sampler)` of the hot-key profile class, if any.
+    hot: Option<(f64, ResourceSampler)>,
+    length: EiLength,
+    distinct_resources: bool,
+    max_ceis: Option<usize>,
+    no_intra_resource_overlap: bool,
+    required_fraction: Option<f64>,
+}
+
+fn generate_plan(
+    plan: &GenPlan,
+    trace: &NoisyTrace,
+    budget: Budget,
+    rng: &SimRng,
+) -> GeneratedWorkload {
+    let n = trace.n_resources();
+    let horizon = trace.horizon();
 
     // Per-resource event pairs sorted by *predicted* chronon — the timeline
     // the proxy plans on.
@@ -77,38 +189,45 @@ pub fn generate(
         .map(|r| trace.pairs_of(r).iter().map(|p| p.truth).collect())
         .collect();
 
-    let resource_zipf = Zipf::new(config.resource_alpha, n);
-    let rank_zipf = match config.rank {
+    let rank_zipf = match plan.rank {
         RankSpec::Fixed(_) => None,
         RankSpec::UpTo { k, beta } => Some(Zipf::new(beta, u32::from(k))),
     };
 
     let mut predicted = InstanceBuilder::new(n, horizon, budget.clone());
     let mut truth = InstanceBuilder::new(n, horizon, budget);
-    let mut profile_resources = Vec::with_capacity(config.n_profiles as usize);
+    let mut profile_resources = Vec::with_capacity(plan.n_profiles as usize);
     let mut total_ceis = 0usize;
     // Occupied spans per resource, kept sorted by start, for the
     // no-intra-resource-overlap mode.
-    let mut occupied: Vec<Vec<(Chronon, Chronon)>> = if config.no_intra_resource_overlap {
+    let mut occupied: Vec<Vec<(Chronon, Chronon)>> = if plan.no_intra_resource_overlap {
         vec![Vec::new(); n as usize]
     } else {
         Vec::new()
     };
 
-    for pi in 0..config.n_profiles {
+    for pi in 0..plan.n_profiles {
         let mut prng = rng.fork_indexed("profile", u64::from(pi));
-        let rank = match (&config.rank, &rank_zipf) {
+        let rank = match (&plan.rank, &rank_zipf) {
             (RankSpec::Fixed(k), _) => *k,
             (RankSpec::UpTo { .. }, Some(z)) => z.sample(&mut prng) as u16,
             (RankSpec::UpTo { .. }, None) => unreachable!(),
         };
-        let resources = pick_resources(
-            &resource_zipf,
-            rank,
-            config.distinct_resources,
-            n,
-            &mut prng,
-        );
+        // Hot-class membership comes from its own fork so the "profile"
+        // streams — and hence the legacy bit-identity — are untouched when
+        // the class is absent or empty.
+        let sampler = match &plan.hot {
+            Some((fraction, hot)) => {
+                let mut hrng = rng.fork_indexed("hot-class", u64::from(pi));
+                if hrng.chance(*fraction) {
+                    hot
+                } else {
+                    &plan.base
+                }
+            }
+            None => &plan.base,
+        };
+        let resources = pick_resources(sampler, rank, plan.distinct_resources, n, &mut prng);
         let primary = resources[0];
 
         let p_pred = predicted.profile();
@@ -116,14 +235,14 @@ pub fn generate(
         debug_assert_eq!(p_pred, p_truth);
 
         for (j, pair) in by_pred[primary as usize].iter().enumerate() {
-            if let Some(cap) = config.max_ceis {
+            if let Some(cap) = plan.max_ceis {
                 if total_ceis >= cap {
                     break;
                 }
             }
             let next_pred = by_pred[primary as usize].get(j + 1).map(|p| p.predicted);
             let Some(cei) = build_cei(
-                config.length,
+                plan.length,
                 &resources,
                 *pair,
                 next_pred,
@@ -133,7 +252,7 @@ pub fn generate(
             ) else {
                 continue;
             };
-            if config.no_intra_resource_overlap && !claim_slots(&mut occupied, &cei.predicted_eis) {
+            if plan.no_intra_resource_overlap && !claim_slots(&mut occupied, &cei.predicted_eis) {
                 continue;
             }
             predicted.cei_from_eis(p_pred, cei.predicted_eis, Some(cei.release));
@@ -143,23 +262,48 @@ pub fn generate(
         profile_resources.push(resources);
     }
 
+    let mut instance = predicted.build();
+    let mut truth = truth.build();
+    if let Some(frac) = plan.required_fraction {
+        apply_required_fraction(&mut instance, frac);
+        apply_required_fraction(&mut truth, frac);
+    }
+
     GeneratedWorkload {
-        instance: predicted.build(),
-        truth: truth.build(),
+        instance,
+        truth,
         profile_resources,
     }
 }
 
-/// Stage 2: draw `rank` resources from `Zipf(α, n)` (optionally distinct).
-fn pick_resources(zipf: &Zipf, rank: u16, distinct: bool, n: u32, rng: &mut SimRng) -> Vec<u32> {
+/// Threshold semantics: each CEI requires `ceil(frac * size)` EIs (≥ 1).
+/// Applied identically to the predicted and truth instances.
+fn apply_required_fraction(instance: &mut Instance, frac: f64) {
+    for cei in &mut instance.ceis {
+        let size = cei.size();
+        let req = ((size as f64 * frac).ceil() as usize).clamp(1, size) as u16;
+        *cei = cei.clone().with_required(req);
+    }
+}
+
+/// Stage 2: draw `rank` resources from the placement distribution
+/// (optionally distinct).
+fn pick_resources(
+    sampler: &ResourceSampler,
+    rank: u16,
+    distinct: bool,
+    n: u32,
+    rng: &mut SimRng,
+) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::with_capacity(rank as usize);
     let mut attempts = 0u32;
     while out.len() < rank as usize {
-        let r = zipf.sample(rng) - 1; // rank 1 → resource 0 (most popular)
+        let r = sampler.sample(rng);
         if distinct && out.contains(&r) {
             attempts += 1;
-            // A heavily skewed Zipf can dwell on the head; fall back to a
-            // uniform draw over the remaining resources if sampling stalls.
+            // A heavily concentrated distribution can dwell on the head;
+            // fall back to a uniform draw over the remaining resources if
+            // sampling stalls.
             if attempts > 64 {
                 let r = rng.below(u64::from(n)) as u32;
                 if !out.contains(&r) {
@@ -485,5 +629,156 @@ mod tests {
             ..WorkloadConfig::fig10(5)
         };
         let _ = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(22));
+    }
+
+    fn spec_of(cfg: &WorkloadConfig, resources: u32, horizon: Chronon) -> WorkloadSpec {
+        WorkloadSpec::from_legacy(cfg, resources, horizon, 1, 20.0, 1, 0)
+    }
+
+    #[test]
+    fn uniform_spec_is_bit_identical_to_legacy_generator() {
+        for (cfg, seed) in [
+            (WorkloadConfig::paper_baseline(), 31u64),
+            (WorkloadConfig::fig10(3), 32),
+            (
+                WorkloadConfig {
+                    n_profiles: 25,
+                    resource_alpha: 0.0,
+                    max_ceis: Some(40),
+                    ..WorkloadConfig::paper_baseline()
+                },
+                33,
+            ),
+        ] {
+            let trace = exact_trace(60, 500, 20.0, seed);
+            let legacy = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(seed + 100));
+            let spec = spec_of(&cfg, 60, 500);
+            let via_spec =
+                generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(seed + 100)).unwrap();
+            assert_eq!(legacy.instance, via_spec.instance);
+            assert_eq!(legacy.truth, via_spec.truth);
+            assert_eq!(legacy.profile_resources, via_spec.profile_resources);
+        }
+    }
+
+    #[test]
+    fn empty_hot_class_preserves_bit_identity() {
+        let cfg = WorkloadConfig::paper_baseline();
+        let trace = exact_trace(50, 500, 20.0, 41);
+        let legacy = generate(&cfg, &trace, Budget::Uniform(1), &SimRng::new(42));
+        let spec = spec_of(&cfg, 50, 500).with_hot(0.0, DistributionSpec::Constant { index: 0 });
+        let via_spec = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(42)).unwrap();
+        assert_eq!(legacy.instance, via_spec.instance);
+        assert_eq!(legacy.profile_resources, via_spec.profile_resources);
+    }
+
+    #[test]
+    fn hot_class_concentrates_member_profiles_on_its_placement() {
+        let cfg = WorkloadConfig {
+            n_profiles: 200,
+            rank: RankSpec::Fixed(1),
+            resource_alpha: 0.0,
+            length: EiLength::Window(0),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        };
+        let trace = exact_trace(100, 500, 10.0, 43);
+        let spec =
+            spec_of(&cfg, 100, 500).with_hot(0.5, DistributionSpec::HotSet { n: 5, mass: 1.0 });
+        let w = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(44)).unwrap();
+        let on_head = w.profile_resources.iter().filter(|rs| rs[0] < 5).count();
+        // ~half the profiles are hot and land entirely on the 5-resource
+        // head; uniform alone would put ~5% there.
+        assert!(
+            (60..=140).contains(&on_head),
+            "{on_head}/200 profiles on the head"
+        );
+    }
+
+    #[test]
+    fn latest_placement_concentrates_on_high_resource_ids() {
+        let cfg = WorkloadConfig {
+            n_profiles: 200,
+            rank: RankSpec::Fixed(1),
+            resource_alpha: 0.0,
+            length: EiLength::Window(0),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        };
+        let trace = exact_trace(100, 500, 10.0, 45);
+        let spec = spec_of(&cfg, 100, 500).with_placement(DistributionSpec::Latest { alpha: 1.37 });
+        let w = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(46)).unwrap();
+        let on_tail = w.profile_resources.iter().filter(|rs| rs[0] >= 80).count();
+        assert!(
+            on_tail > 100,
+            "only {on_tail}/200 profiles on the latest head"
+        );
+    }
+
+    #[test]
+    fn required_fraction_yields_threshold_ceis_on_both_instances() {
+        let cfg = WorkloadConfig {
+            n_profiles: 20,
+            rank: RankSpec::Fixed(4),
+            resource_alpha: 0.0,
+            length: EiLength::Window(3),
+            distinct_resources: true,
+            max_ceis: None,
+            no_intra_resource_overlap: false,
+        };
+        let trace = exact_trace(40, 500, 15.0, 47);
+        let spec = spec_of(&cfg, 40, 500).with_required_fraction(0.5);
+        let w = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(48)).unwrap();
+        assert!(w.n_ceis() > 0);
+        for (p, t) in w.instance.ceis.iter().zip(&w.truth.ceis) {
+            assert_eq!(p.required, 2, "ceil(0.5 * 4)");
+            assert_eq!(t.required, 2);
+        }
+        // The schedule/structure is otherwise untouched relative to AND.
+        let and = generate_spec(
+            &spec_of(&cfg, 40, 500),
+            &trace,
+            Budget::Uniform(1),
+            &SimRng::new(48),
+        )
+        .unwrap();
+        assert_eq!(and.n_ceis(), w.n_ceis());
+        for (a, b) in and.instance.ceis.iter().zip(&w.instance.ceis) {
+            assert_eq!(a.eis, b.eis);
+        }
+    }
+
+    #[test]
+    fn spec_trace_mismatch_is_a_structured_error() {
+        let trace = exact_trace(10, 100, 5.0, 49);
+        let spec = spec_of(&WorkloadConfig::fig10(2), 20, 100);
+        let err = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(50)).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Field {
+                field: "resources",
+                ..
+            }
+        ));
+        let spec = spec_of(&WorkloadConfig::fig10(2), 10, 200);
+        let err = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(50)).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Field {
+                field: "horizon",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_not_panicked() {
+        let trace = exact_trace(10, 100, 5.0, 51);
+        let mut spec = spec_of(&WorkloadConfig::fig10(2), 10, 100);
+        spec.placement = DistributionSpec::Zipfian { alpha: -2.0 };
+        let err = generate_spec(&spec, &trace, Budget::Uniform(1), &SimRng::new(52)).unwrap_err();
+        assert!(err.to_string().contains("placement"));
     }
 }

@@ -39,9 +39,17 @@
 //! fraction is cancelled before its deadline, optionally skewed toward
 //! popular resources — producing the engine's
 //! [`MutationQueue`](webmon_core::engine::MutationQueue) script.
+//!
+//! [`dist`] and the [`spec::WorkloadSpec`] v2 extend the paper's grid into
+//! a declarative, serde-loadable workload description: named popularity
+//! distributions (constant / uniform / zipfian / latest / hot-set), hot-key
+//! profile classes, threshold semantics, and bursty update models — with
+//! the guarantee that a spec restricted to the paper's shapes reproduces
+//! the legacy generator byte-identically ([`generator::generate_spec`]).
 
 pub mod arbitrage;
 pub mod churn;
+pub mod dist;
 pub mod generator;
 pub mod length;
 pub mod mashup;
@@ -49,7 +57,8 @@ pub mod spec;
 
 pub use arbitrage::ArbitrageTemplate;
 pub use churn::ChurnConfig;
-pub use generator::{generate, GeneratedWorkload};
+pub use dist::{DistError, DistributionSpec, ResourceSampler};
+pub use generator::{generate, generate_spec, GeneratedWorkload};
 pub use length::EiLength;
 pub use mashup::{MashupTemplate, MashupWorkload};
-pub use spec::{RankSpec, WorkloadConfig};
+pub use spec::{HotClassSpec, RankSpec, SpecError, WorkloadConfig, WorkloadSpec};

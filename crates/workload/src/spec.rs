@@ -1,7 +1,13 @@
-//! Workload specification: the knobs of Table I.
+//! Workload specification: the knobs of Table I ([`WorkloadConfig`]) and
+//! the declarative v2 spec ([`WorkloadSpec`]) that extends them with named
+//! popularity distributions, hot-key profile classes, and bursty update
+//! models — serde-loadable from a JSON file and composable from the CLI.
 
+use crate::dist::DistributionSpec;
 use crate::length::EiLength;
 use serde::{Deserialize, Serialize};
+use webmon_core::model::Chronon;
+use webmon_streams::bursty::UpdateModel;
 
 /// How profile ranks are assigned (stage 1 of the generator).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +96,275 @@ impl WorkloadConfig {
     }
 }
 
+/// A hot-key profile class: a fraction of profiles draw their EI placement
+/// from a (typically much more concentrated) alternative distribution
+/// instead of the base one, modelling the minority of users who all watch
+/// the same few hot resources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotClassSpec {
+    /// Fraction of profiles in the hot class, in `[0, 1]`. Membership is
+    /// decided per profile from a dedicated RNG fork (`"hot-class"`), so a
+    /// fraction of `0` leaves the base generator stream untouched.
+    pub fraction: f64,
+    /// Placement distribution of hot-class profiles.
+    pub placement: DistributionSpec,
+}
+
+/// The declarative workload spec (v2): everything one experiment cell needs
+/// — dimensions, update model, profile shape, skew knobs, repetitions and
+/// seed — in one serde-loadable value.
+///
+/// **Bit-identity contract:** a spec with `placement: Zipfian { alpha }`
+/// (or `Uniform` = `alpha: 0`), a `Poisson` update model, no hot class and
+/// no `required_fraction` reproduces the legacy Table-I generator
+/// byte-identically: same instances, same schedules, same trace bytes,
+/// under the identical `SimRng` fork discipline.
+///
+/// In the JSON form every field must be present except the `Option`-typed
+/// ones (`hot`, `max_ceis`, `required_fraction`), which may be omitted or
+/// `null`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of monitored resources `n`.
+    pub resources: u32,
+    /// Epoch length in chronons.
+    pub horizon: Chronon,
+    /// Uniform per-chronon probe budget `C`.
+    pub budget: u32,
+    /// Update-event model driving every resource.
+    pub updates: UpdateModel,
+    /// Number of profiles `m`.
+    pub profiles: u32,
+    /// Rank assignment (stage 1 of the generator).
+    pub rank: RankSpec,
+    /// Base placement distribution (stage 2): where profile EIs land.
+    pub placement: DistributionSpec,
+    /// Optional hot-key profile class overriding `placement` for a fraction
+    /// of profiles.
+    pub hot: Option<HotClassSpec>,
+    /// EI length semantics.
+    pub length: EiLength,
+    /// Require the resources of one profile to be pairwise distinct.
+    pub distinct_resources: bool,
+    /// Safety cap on generated CEIs (`None` = unlimited).
+    pub max_ceis: Option<usize>,
+    /// Enforce the paper's "no intra-resource overlap" premise globally.
+    pub no_intra_resource_overlap: bool,
+    /// When set, every generated CEI keeps only `ceil(fraction * size)`
+    /// (at least 1) of its EIs as required — the §VII threshold semantics.
+    /// `None` keeps the paper's AND semantics (`required = size`).
+    pub required_fraction: Option<f64>,
+    /// Repetitions to aggregate over.
+    pub repetitions: u32,
+    /// Master seed; repetition `i` forks `("repetition", i)` from it.
+    pub seed: u64,
+}
+
+/// A structured validation or parse error for a [`WorkloadSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The JSON could not be parsed into a spec.
+    Parse(String),
+    /// A field failed validation.
+    Field {
+        /// The offending field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "workload spec parse error: {e}"),
+            SpecError::Field { field, reason } => {
+                write!(f, "workload spec field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn field_err(field: &'static str, reason: impl std::fmt::Display) -> SpecError {
+    SpecError::Field {
+        field,
+        reason: reason.to_string(),
+    }
+}
+
+impl WorkloadSpec {
+    /// The Table-I baseline as a declarative spec: 200 resources over 1000
+    /// chronons, budget 1, Poisson λ = 20, and the
+    /// [`WorkloadConfig::paper_baseline`] profile shape.
+    pub fn paper_baseline() -> Self {
+        WorkloadSpec::from_legacy(
+            &WorkloadConfig::paper_baseline(),
+            200,
+            1000,
+            1,
+            20.0,
+            5,
+            0xC0DE,
+        )
+    }
+
+    /// Lifts a legacy [`WorkloadConfig`] plus experiment dimensions into a
+    /// spec that reproduces it byte-identically (Poisson updates, Zipfian
+    /// placement, no hot class, AND semantics).
+    pub fn from_legacy(
+        config: &WorkloadConfig,
+        resources: u32,
+        horizon: Chronon,
+        budget: u32,
+        lambda: f64,
+        repetitions: u32,
+        seed: u64,
+    ) -> Self {
+        WorkloadSpec {
+            resources,
+            horizon,
+            budget,
+            updates: UpdateModel::Poisson { lambda },
+            profiles: config.n_profiles,
+            rank: config.rank,
+            placement: DistributionSpec::Zipfian {
+                alpha: config.resource_alpha,
+            },
+            hot: None,
+            length: config.length,
+            distinct_resources: config.distinct_resources,
+            max_ceis: config.max_ceis,
+            no_intra_resource_overlap: config.no_intra_resource_overlap,
+            required_fraction: None,
+            repetitions,
+            seed,
+        }
+    }
+
+    /// Projects the spec back onto the legacy [`WorkloadConfig`] for
+    /// reporting and bookkeeping. `resource_alpha` carries the Zipf
+    /// exponent when the placement is expressible as one (`Uniform` /
+    /// `Zipfian`) and `0` otherwise — generation always goes through the
+    /// full [`DistributionSpec`], never through this projection.
+    pub fn legacy_config(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            n_profiles: self.profiles,
+            rank: self.rank,
+            resource_alpha: match self.placement {
+                DistributionSpec::Zipfian { alpha } => alpha,
+                _ => 0.0,
+            },
+            length: self.length,
+            distinct_resources: self.distinct_resources,
+            max_ceis: self.max_ceis,
+            no_intra_resource_overlap: self.no_intra_resource_overlap,
+        }
+    }
+
+    /// Replaces the placement distribution.
+    pub fn with_placement(mut self, placement: DistributionSpec) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Replaces the update model.
+    pub fn with_updates(mut self, updates: UpdateModel) -> Self {
+        self.updates = updates;
+        self
+    }
+
+    /// Installs a hot-key profile class.
+    pub fn with_hot(mut self, fraction: f64, placement: DistributionSpec) -> Self {
+        self.hot = Some(HotClassSpec {
+            fraction,
+            placement,
+        });
+        self
+    }
+
+    /// Switches to threshold semantics: each CEI requires
+    /// `ceil(fraction * size)` of its EIs.
+    pub fn with_required_fraction(mut self, fraction: f64) -> Self {
+        self.required_fraction = Some(fraction);
+        self
+    }
+
+    /// Validates every field, returning the first violation.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.resources == 0 {
+            return Err(field_err("resources", "must be at least 1"));
+        }
+        if self.horizon == 0 {
+            return Err(field_err("horizon", "must be at least 1"));
+        }
+        self.updates
+            .validate()
+            .map_err(|e| field_err("updates", e))?;
+        if self.rank.max_rank() == 0 {
+            return Err(field_err("rank", "max rank must be at least 1"));
+        }
+        if let RankSpec::UpTo { beta, .. } = self.rank {
+            if !(beta.is_finite() && beta >= 0.0) {
+                return Err(field_err(
+                    "rank",
+                    format!("beta must be finite and non-negative (got {beta})"),
+                ));
+            }
+        }
+        if self.distinct_resources && u32::from(self.rank.max_rank()) > self.resources {
+            return Err(field_err(
+                "rank",
+                format!(
+                    "cannot pick {} distinct resources out of {}",
+                    self.rank.max_rank(),
+                    self.resources
+                ),
+            ));
+        }
+        self.placement
+            .validate(self.resources)
+            .map_err(|e| field_err("placement", e))?;
+        if let Some(hot) = &self.hot {
+            if !(hot.fraction.is_finite() && (0.0..=1.0).contains(&hot.fraction)) {
+                return Err(field_err(
+                    "hot",
+                    format!("fraction must lie in [0, 1] (got {})", hot.fraction),
+                ));
+            }
+            hot.placement
+                .validate(self.resources)
+                .map_err(|e| field_err("hot", e))?;
+        }
+        if let Some(frac) = self.required_fraction {
+            if !(frac.is_finite() && frac > 0.0 && frac <= 1.0) {
+                return Err(field_err(
+                    "required_fraction",
+                    format!("must lie in (0, 1] (got {frac})"),
+                ));
+            }
+        }
+        if self.repetitions == 0 {
+            return Err(field_err("repetitions", "must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// Parses and validates a spec from its JSON form.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        let spec: WorkloadSpec =
+            serde_json::from_str(json).map_err(|e| SpecError::Parse(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serialization cannot fail")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +390,138 @@ mod tests {
         assert_eq!(c.rank, RankSpec::Fixed(4));
         assert_eq!(c.length, EiLength::Window(0));
         assert!(c.distinct_resources);
+    }
+
+    #[test]
+    fn spec_baseline_is_valid_and_round_trips_through_json() {
+        let spec = WorkloadSpec::paper_baseline();
+        assert!(spec.validate().is_ok());
+        let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn spec_round_trips_with_every_optional_knob_set() {
+        let spec = WorkloadSpec::paper_baseline()
+            .with_placement(DistributionSpec::Latest { alpha: 1.37 })
+            .with_updates(UpdateModel::Diurnal(
+                webmon_streams::bursty::DiurnalConfig {
+                    rate_per_epoch: 20.0,
+                    period: 100,
+                    duty: 0.25,
+                    night_level: 0.1,
+                },
+            ))
+            .with_hot(0.3, DistributionSpec::HotSet { n: 8, mass: 0.9 })
+            .with_required_fraction(0.5);
+        assert!(spec.validate().is_ok());
+        let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn legacy_round_trip_preserves_the_config() {
+        let cfg = WorkloadConfig::paper_baseline();
+        let spec = WorkloadSpec::from_legacy(&cfg, 200, 1000, 1, 20.0, 5, 42);
+        assert_eq!(spec.legacy_config(), cfg);
+        assert_eq!(spec.updates, UpdateModel::Poisson { lambda: 20.0 });
+    }
+
+    #[test]
+    fn spec_validation_pinpoints_the_bad_field() {
+        let base = WorkloadSpec::paper_baseline();
+
+        let checks: Vec<(WorkloadSpec, &str)> = vec![
+            (
+                WorkloadSpec {
+                    resources: 0,
+                    ..base
+                },
+                "resources",
+            ),
+            (WorkloadSpec { horizon: 0, ..base }, "horizon"),
+            (
+                base.with_updates(UpdateModel::Poisson { lambda: -1.0 }),
+                "updates",
+            ),
+            (
+                WorkloadSpec {
+                    rank: RankSpec::Fixed(0),
+                    ..base
+                },
+                "rank",
+            ),
+            (
+                WorkloadSpec {
+                    rank: RankSpec::UpTo { k: 3, beta: -0.5 },
+                    ..base
+                },
+                "rank",
+            ),
+            (
+                WorkloadSpec {
+                    rank: RankSpec::Fixed(300),
+                    ..base
+                },
+                "rank",
+            ),
+            (
+                base.with_placement(DistributionSpec::Zipfian { alpha: -2.0 }),
+                "placement",
+            ),
+            (base.with_hot(1.5, DistributionSpec::Uniform), "hot"),
+            (
+                base.with_hot(0.3, DistributionSpec::HotSet { n: 0, mass: 0.5 }),
+                "hot",
+            ),
+            (base.with_required_fraction(0.0), "required_fraction"),
+            (base.with_required_fraction(1.5), "required_fraction"),
+            (
+                WorkloadSpec {
+                    repetitions: 0,
+                    ..base
+                },
+                "repetitions",
+            ),
+        ];
+        for (spec, expected_field) in checks {
+            match spec.validate() {
+                Err(SpecError::Field { field, .. }) => assert_eq!(field, expected_field),
+                other => panic!("{expected_field}: expected field error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_with_a_parse_error() {
+        assert!(matches!(
+            WorkloadSpec::from_json("{not json"),
+            Err(SpecError::Parse(_))
+        ));
+        let err = WorkloadSpec::from_json("{}").unwrap_err();
+        assert!(matches!(err, SpecError::Parse(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn optional_fields_may_be_omitted_in_json() {
+        // A hand-written file without the three Option fields (`hot`,
+        // `max_ceis`, `required_fraction`) must parse with them as None.
+        let json = r#"{
+            "resources": 50, "horizon": 200, "budget": 1,
+            "updates": {"Poisson": {"lambda": 20.0}},
+            "profiles": 10,
+            "rank": {"UpTo": {"k": 5, "beta": 0.0}},
+            "placement": "Uniform",
+            "length": {"Window": 2},
+            "distinct_resources": true,
+            "no_intra_resource_overlap": false,
+            "repetitions": 3, "seed": 42
+        }"#;
+        let spec = WorkloadSpec::from_json(json).unwrap();
+        assert_eq!(spec.hot, None);
+        assert_eq!(spec.max_ceis, None);
+        assert_eq!(spec.required_fraction, None);
+        assert_eq!(spec.placement, DistributionSpec::Uniform);
+        assert_eq!(spec.resources, 50);
     }
 }

@@ -1,0 +1,179 @@
+//! End-to-end contracts of the declarative `WorkloadSpec` v2 path:
+//!
+//! * **Legacy bit-identity** — a spec lifted from a legacy
+//!   `ExperimentConfig` (Poisson updates, Zipfian placement, no hot class,
+//!   AND semantics) must reproduce the legacy generator byte-for-byte
+//!   across a grid of Table-I-shaped configurations: same instances, same
+//!   ground-truth traces, same schedules/stats/metrics, and the same JSONL
+//!   engine trace bytes.
+//! * **Jobs invariance** — materializing and running a skewed, bursty spec
+//!   on the worker pool is bit-identical to running it inline
+//!   (`webmon_sim::parallel::serial`), extending the PR-1 determinism
+//!   contract to the v2 path.
+
+use webmon_sim::parallel::serial;
+use webmon_sim::{Experiment, ExperimentConfig, PolicyKind, PolicySpec, TraceSpec};
+use webmon_streams::bursty::{DiurnalConfig, UpdateModel};
+use webmon_workload::{DistributionSpec, EiLength, RankSpec, WorkloadConfig, WorkloadSpec};
+
+/// A small grid of legacy configurations covering both rank specs, both EI
+/// length semantics, uniform and skewed placement, and the overlap-free
+/// premise.
+fn legacy_grid() -> Vec<ExperimentConfig> {
+    let mut grid = Vec::new();
+    for (alpha, rank, length, overlap_free) in [
+        (
+            0.0,
+            RankSpec::UpTo { k: 3, beta: 0.0 },
+            EiLength::Window(3),
+            false,
+        ),
+        (
+            0.3,
+            RankSpec::UpTo { k: 5, beta: 0.5 },
+            EiLength::Overwrite { max_len: Some(10) },
+            false,
+        ),
+        (1.37, RankSpec::Fixed(2), EiLength::Window(0), true),
+    ] {
+        grid.push(ExperimentConfig {
+            n_resources: 40,
+            horizon: 150,
+            budget: 1,
+            workload: WorkloadConfig {
+                n_profiles: 12,
+                rank,
+                resource_alpha: alpha,
+                length,
+                distinct_resources: true,
+                max_ceis: Some(600),
+                no_intra_resource_overlap: overlap_free,
+            },
+            trace: TraceSpec::Poisson { lambda: 7.0 },
+            noise: None,
+            repetitions: 3,
+            seed: 0xBEEF ^ (alpha.to_bits() >> 32),
+        });
+    }
+    grid
+}
+
+fn lift(cfg: &ExperimentConfig) -> WorkloadSpec {
+    let TraceSpec::Poisson { lambda } = cfg.trace else {
+        panic!("grid uses Poisson traces only");
+    };
+    WorkloadSpec::from_legacy(
+        &cfg.workload,
+        cfg.n_resources,
+        cfg.horizon,
+        cfg.budget,
+        lambda,
+        cfg.repetitions,
+        cfg.seed,
+    )
+}
+
+#[test]
+fn uniform_spec_reproduces_the_legacy_generator_bit_for_bit() {
+    for cfg in legacy_grid() {
+        let legacy = Experiment::materialize(cfg.clone());
+        let spec = Experiment::materialize_spec(&lift(&cfg)).unwrap();
+
+        // Instances and ground-truth traces are identical per repetition.
+        assert_eq!(legacy.workloads().len(), spec.workloads().len());
+        for (a, b) in legacy.workloads().iter().zip(spec.workloads()) {
+            assert_eq!(a.instance, b.instance, "instance drifted: {cfg:?}");
+            assert_eq!(a.truth, b.truth, "truth trace drifted: {cfg:?}");
+        }
+
+        // Scheduling runs agree: stats and engine metrics.
+        for policy in [
+            PolicySpec::p(PolicyKind::Mrsf),
+            PolicySpec::np(PolicyKind::SEdf),
+        ] {
+            let pa = legacy.run_spec(policy);
+            let pb = spec.run_spec(policy);
+            for (a, b) in pa.repetitions.iter().zip(&pb.repetitions) {
+                assert_eq!(a.stats, b.stats, "stats drifted: {cfg:?}");
+                assert_eq!(a.metrics, b.metrics, "metrics drifted: {cfg:?}");
+            }
+        }
+
+        // The JSONL engine event trace is byte-identical too.
+        let policy = PolicySpec::p(PolicyKind::MEdf);
+        let (ta, ea) = legacy.trace_spec(policy, 0, Vec::new()).unwrap();
+        let (tb, eb) = spec.trace_spec(policy, 0, Vec::new()).unwrap();
+        assert_eq!(ea, eb);
+        assert_eq!(ta, tb, "trace bytes drifted: {cfg:?}");
+    }
+}
+
+/// A spec exercising every v2 knob at once: diurnal updates, a skewed
+/// base placement, a hot-key class, and threshold semantics.
+fn skewed_spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::paper_baseline();
+    spec.resources = 50;
+    spec.horizon = 200;
+    spec.profiles = 14;
+    spec.repetitions = 4;
+    spec.seed = 0xD1CE;
+    spec.updates = UpdateModel::Diurnal(DiurnalConfig {
+        rate_per_epoch: 12.0,
+        period: 40,
+        duty: 0.25,
+        night_level: 0.1,
+    });
+    spec.with_placement(DistributionSpec::Latest { alpha: 1.0 })
+        .with_hot(0.4, DistributionSpec::HotSet { n: 3, mass: 0.9 })
+        .with_required_fraction(0.6)
+}
+
+#[test]
+fn spec_path_is_bit_identical_across_worker_counts() {
+    let spec = skewed_spec();
+    let baseline = serial(|| {
+        let exp = Experiment::materialize_spec(&spec).unwrap();
+        let agg = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+        let (trace, _) = exp
+            .trace_spec(PolicySpec::p(PolicyKind::Mrsf), 1, Vec::new())
+            .unwrap();
+        (exp, agg, trace)
+    });
+    // The pooled run (whatever the ambient worker count is).
+    let exp = Experiment::materialize_spec(&spec).unwrap();
+    let agg = exp.run_spec(PolicySpec::p(PolicyKind::Mrsf));
+    let (trace, _) = exp
+        .trace_spec(PolicySpec::p(PolicyKind::Mrsf), 1, Vec::new())
+        .unwrap();
+
+    let (base_exp, base_agg, base_trace) = baseline;
+    for (a, b) in base_exp.workloads().iter().zip(exp.workloads()) {
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.truth, b.truth);
+    }
+    for (a, b) in base_agg.repetitions.iter().zip(&agg.repetitions) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.metrics, b.metrics);
+    }
+    assert_eq!(base_agg.metrics, agg.metrics);
+    assert_eq!(base_trace, trace);
+}
+
+#[test]
+fn skewed_spec_round_trips_through_json_and_reruns_identically() {
+    let spec = skewed_spec();
+    let reparsed = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(spec, reparsed);
+    let a = Experiment::materialize_spec(&spec).unwrap();
+    let b = Experiment::materialize_spec(&reparsed).unwrap();
+    for (wa, wb) in a.workloads().iter().zip(b.workloads()) {
+        assert_eq!(wa.instance, wb.instance);
+    }
+    // Threshold semantics actually landed: some CEI requires fewer EIs
+    // than it holds.
+    assert!(a
+        .workloads()
+        .iter()
+        .flat_map(|w| &w.instance.ceis)
+        .any(|c| usize::from(c.required) < c.size()));
+}
